@@ -1,0 +1,57 @@
+//! Construction cost of the coding strategies (ablation, not a paper
+//! figure): Algorithm 1 performs one `(s+1)×(s+1)` LU solve per partition,
+//! so cost should scale ≈ `k·(s+1)³`; the group-based construction adds
+//! the exact-cover search on top.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgc::{cyclic, group_based, heter_aware, ClusterSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_heter_aware(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/heter_aware");
+    for (m, s) in [(8usize, 1usize), (16, 1), (32, 1), (8, 2), (16, 2)] {
+        let throughputs: Vec<f64> = (0..m).map(|i| 1.0 + (i % 4) as f64).collect();
+        let k = 2 * m;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_s{s}")),
+            &(throughputs, k, s),
+            |b, (ths, k, s)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| heter_aware(ths, *k, *s, &mut rng).expect("construct"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cyclic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/cyclic");
+    for m in [8usize, 16, 32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| cyclic(m, 1, &mut rng).expect("construct"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_group_based(c: &mut Criterion) {
+    let mut group = c.benchmark_group("construct/group_based");
+    for cluster in [ClusterSpec::cluster_a(), ClusterSpec::cluster_b()] {
+        let throughputs = cluster.throughputs();
+        let k = hetgc_coding::suggest_partition_count(&throughputs, 1, cluster.len(), 6 * cluster.len());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cluster.name().to_owned()),
+            &(throughputs, k),
+            |b, (ths, k)| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| group_based(ths, *k, 1, &mut rng).expect("construct"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heter_aware, bench_cyclic, bench_group_based);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Decoding cost (the paper's §III-B claims realtime decode-vector solves
+//! cost `O(mk²)` and "can be ignored" relative to gradient computation —
+//! this bench quantifies that claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgc::{decode_vector, heter_aware, CodingMatrix, OnlineDecoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn build(m: usize, s: usize) -> CodingMatrix {
+    let throughputs: Vec<f64> = (0..m).map(|i| 1.0 + (i % 4) as f64).collect();
+    let mut rng = StdRng::seed_from_u64(11);
+    heter_aware(&throughputs, 2 * m, s, &mut rng).expect("construct")
+}
+
+fn bench_one_shot_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/one_shot");
+    for m in [8usize, 16, 32] {
+        let code = build(m, 1);
+        let survivors: Vec<usize> = (1..m).collect(); // worker 0 straggles
+        group.bench_with_input(BenchmarkId::from_parameter(m), &code, |b, code| {
+            b.iter(|| decode_vector(code, &survivors).expect("decodable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decode/online_full_round");
+    for m in [8usize, 16, 32] {
+        let code = build(m, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &code, |b, code| {
+            b.iter(|| {
+                let mut dec = OnlineDecoder::new(code);
+                for w in 0..m {
+                    if dec.push(w).expect("valid push").is_some() {
+                        return;
+                    }
+                }
+                panic!("never decoded");
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode_matrix(c: &mut Criterion) {
+    // The offline A matrix enumerates C(m, s) patterns: viable for small m
+    // (the paper's storage-vs-solve tradeoff).
+    let mut group = c.benchmark_group("decode/full_matrix");
+    group.sample_size(10);
+    for m in [8usize, 12] {
+        let code = build(m, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &code, |b, code| {
+            b.iter(|| hetgc_coding::DecodingMatrix::build(code).expect("robust"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_shot_decode, bench_online_decode, bench_decode_matrix);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Simulator throughput: how many BSP iterations per second the
+//! discrete-event engine sustains on each Table II cluster — establishes
+//! that the figure harnesses measure the modelled system, not the
+//! simulator's own overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgc::{
+    simulate_bsp_iteration, BspIterationConfig, ClusterSpec, NetworkModel, SchemeBuilder,
+    SchemeKind, StragglerModel,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_bsp_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/bsp_iteration");
+    for cluster in ClusterSpec::table2() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(SchemeKind::HeterAware, &mut rng)
+            .expect("scheme");
+        let rates = cluster.throughputs();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(cluster.name().to_owned()),
+            &(scheme, rates),
+            |b, (scheme, rates)| {
+                let cfg = BspIterationConfig::new(rates)
+                    .network(NetworkModel::lan())
+                    .compute_jitter(0.05);
+                let straggler = StragglerModel::RandomChoice {
+                    count: 1,
+                    delay: hetgc::DelayDistribution::Constant(1.0),
+                };
+                let mut rng = StdRng::seed_from_u64(6);
+                b.iter(|| {
+                    let events = straggler.sample_iteration(scheme.code.workers(), &mut rng);
+                    simulate_bsp_iteration(&scheme.code, &cfg, &events, &mut rng)
+                        .expect("simulate")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ssp_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/ssp_1000_events");
+    for m in [8usize, 32, 58] {
+        let iter_times: Vec<f64> = (0..m).map(|i| 0.1 + 0.05 * (i % 5) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &iter_times, |b, times| {
+            b.iter(|| {
+                let mut engine = hetgc::SspEngine::new(times.clone(), 3).expect("engine");
+                for _ in 0..1000 {
+                    engine.next_event().expect("infinite stream");
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsp_iteration, bench_ssp_events);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates **Fig. 4** of the paper: training-loss curves over
+//! simulated wall-clock on Cluster-C — the four BSP schemes plus the SSP
+//! asynchronous baseline, all training the same MLP on synthetic
+//! CIFAR-like data.
+//!
+//! Expected shape (paper §VI-A-2): the coded BSP schemes share one
+//! per-iteration trajectory (decoding is exact) and differ only in speed,
+//! with group-based ≥ heter-aware > cyclic ≥ naive; SSP converges worst —
+//! its updates are stale and arrive at unbalanced per-worker rates.
+//!
+//! ```text
+//! cargo run --release -p hetgc-bench --bin fig4
+//! ```
+
+use hetgc::experiment::{fig4, Fig4Config};
+use hetgc::report::{render_curves, render_table};
+use hetgc_bench::arg_or;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iterations = arg_or(&args, "--iterations", 60usize);
+    let samples = arg_or(&args, "--samples", 3_200usize);
+    let dim = arg_or(&args, "--dim", 64usize);
+    let seed = arg_or(&args, "--seed", 2021u64);
+
+    let cfg = Fig4Config { iterations, samples, dim, seed, ..Fig4Config::default() };
+    println!(
+        "Fig. 4: training loss vs simulated time on {} \
+         (MLP {}-{}-{} on {} synthetic CIFAR-like samples, SSP staleness {})\n",
+        cfg.cluster.name(),
+        cfg.dim,
+        cfg.hidden,
+        cfg.classes,
+        cfg.samples,
+        cfg.ssp_staleness
+    );
+
+    let curves = fig4(&cfg).expect("fig4 experiment");
+
+    // Summary table: time to finish + final loss per scheme.
+    let headers = ["scheme", "updates", "sim duration (s)", "final loss"];
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            vec![
+                c.label.clone(),
+                c.points.len().to_string(),
+                format!("{:.2}", c.duration()),
+                c.final_loss().map(|l| format!("{l:.4}")).unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&headers, &rows));
+
+    // Loss-at-common-deadline comparison (the visually obvious part of the
+    // paper's figure): at the time the slowest scheme finishes half its
+    // run, where is everyone?
+    let deadline = curves
+        .iter()
+        .map(|c| c.duration())
+        .fold(f64::INFINITY, f64::min)
+        .max(1e-9);
+    let rows: Vec<Vec<String>> = curves
+        .iter()
+        .map(|c| {
+            let at: Option<f64> = c
+                .points
+                .iter()
+                .take_while(|&&(t, _)| t <= deadline)
+                .last()
+                .map(|&(_, l)| l);
+            vec![
+                c.label.clone(),
+                at.map(|l| format!("{l:.4}")).unwrap_or_else(|| "(no update yet)".into()),
+            ]
+        })
+        .collect();
+    println!(
+        "loss reached by the common deadline t = {deadline:.2}s:\n{}",
+        render_table(&["scheme", "loss"], &rows)
+    );
+
+    let series: Vec<(String, Vec<(f64, f64)>)> =
+        curves.iter().map(|c| (c.label.clone(), c.points.clone())).collect();
+    println!("{}", render_curves(&series, 64));
+}

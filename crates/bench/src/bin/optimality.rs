@@ -1,0 +1,75 @@
+//! Validates **Theorem 5** numerically: the heter-aware scheme's
+//! worst-case completion time `T(B)` equals the lower bound `(s+1)k/Σc`
+//! whenever Eq. 5 is integral, while cyclic exceeds it by the cluster's
+//! imbalance factor. Also reproduces Example 1 of the paper.
+//!
+//! ```text
+//! cargo run --release -p hetgc-bench --bin optimality
+//! ```
+
+use hetgc::analysis::{integral_partition_count, optimality_report};
+use hetgc::report::render_table;
+use hetgc::{cyclic, heter_aware, naive, ClusterSpec};
+use hetgc_bench::arg_or;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn report_for(name: &str, throughputs: &[f64], stragglers: usize, rng: &mut StdRng) {
+    let m = throughputs.len();
+    let Some(k) = integral_partition_count(throughputs, stragglers) else {
+        println!("{name}: no integral k in [m, 8m] — skipped\n");
+        return;
+    };
+    let het = heter_aware(throughputs, k, stragglers, rng).expect("heter-aware");
+    let cyc = cyclic(m, stragglers, rng).expect("cyclic");
+    let nai = naive(m).expect("naive");
+    let rows = optimality_report(
+        &[
+            ("heter-aware".to_owned(), &het),
+            ("cyclic".to_owned(), &cyc),
+            ("naive".to_owned(), &nai),
+        ],
+        throughputs,
+    )
+    .expect("report");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.4}", r.worst_case),
+                format!("{:.4}", r.bound),
+                format!("{:.3}", r.ratio),
+                format!("{:.2}", r.balance),
+            ]
+        })
+        .collect();
+    println!(
+        "{name} (m = {m}, s = {stragglers}, k = {k}):\n{}",
+        render_table(&["scheme", "T(B)", "bound (s+1)k/Σc", "ratio", "balance max/min"], &table)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = arg_or(&args, "--seed", 7u64);
+    let random_clusters = arg_or(&args, "--random", 3usize);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    println!("Theorem 5 validation: T(B) vs the lower bound (s+1)k/Σc\n");
+
+    // Example 1 of the paper.
+    report_for("paper Example 1", &[1.0, 2.0, 3.0, 4.0, 4.0], 1, &mut rng);
+
+    // Cluster-A with vCPU-proportional throughputs.
+    let a = ClusterSpec::cluster_a();
+    report_for("Cluster-A", &a.throughputs(), 1, &mut rng);
+    report_for("Cluster-A", &a.throughputs(), 2, &mut rng);
+
+    // Random heterogeneous clusters.
+    for i in 0..random_clusters {
+        let m = rng.gen_range(4..8);
+        let c: Vec<f64> = (0..m).map(|_| f64::from(rng.gen_range(1u32..5))).collect();
+        report_for(&format!("random cluster #{i}"), &c, 1, &mut rng);
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cluster model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A cluster must contain at least one worker.
+    EmptyCluster,
+    /// A worker index was out of range.
+    UnknownWorker {
+        /// The offending index.
+        worker: usize,
+        /// Number of workers in the cluster.
+        size: usize,
+    },
+    /// An estimator was asked for an estimate before observing any sample.
+    NoSamples {
+        /// The worker lacking samples.
+        worker: usize,
+    },
+    /// A partition assignment referenced a partition out of range.
+    UnknownPartition {
+        /// The offending partition index.
+        partition: usize,
+        /// Number of partitions.
+        count: usize,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyCluster => write!(f, "cluster has no workers"),
+            ClusterError::UnknownWorker { worker, size } => {
+                write!(f, "worker {worker} out of range (cluster size {size})")
+            }
+            ClusterError::NoSamples { worker } => {
+                write!(f, "no throughput samples recorded for worker {worker}")
+            }
+            ClusterError::UnknownPartition { partition, count } => {
+                write!(f, "partition {partition} out of range ({count} partitions)")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ClusterError::EmptyCluster.to_string().contains("no workers"));
+        assert!(ClusterError::UnknownWorker { worker: 9, size: 4 }.to_string().contains("9"));
+        assert!(ClusterError::NoSamples { worker: 1 }.to_string().contains("samples"));
+        assert!(ClusterError::UnknownPartition { partition: 5, count: 3 }
+            .to_string()
+            .contains("partition 5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ClusterError>();
+    }
+}

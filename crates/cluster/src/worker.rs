@@ -1,0 +1,141 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a worker within a cluster (dense index, `0..m`).
+///
+/// A newtype rather than a bare `usize` so that worker indices, partition
+/// indices and iteration counters cannot be confused at API boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub usize);
+
+impl WorkerId {
+    /// The dense index of this worker.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W{}", self.0)
+    }
+}
+
+impl From<usize> for WorkerId {
+    fn from(i: usize) -> Self {
+        WorkerId(i)
+    }
+}
+
+/// Static description of one worker node.
+///
+/// The paper's clusters are QingCloud "performance type" VMs whose relevant
+/// property is the vCPU count; gradient throughput is modelled as
+/// proportional to vCPUs (`throughput = vcpus × per_core_rate`). A
+/// `speed_factor` multiplier captures persistent deviations from that ideal
+/// (background daemons, NUMA effects) when experiments want them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerSpec {
+    vcpus: u32,
+    speed_factor: f64,
+}
+
+impl WorkerSpec {
+    /// A worker with the given vCPU count and nominal speed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcpus == 0`.
+    pub fn new(vcpus: u32) -> Self {
+        assert!(vcpus > 0, "a worker needs at least one vCPU");
+        WorkerSpec { vcpus, speed_factor: 1.0 }
+    }
+
+    /// Sets a persistent speed multiplier (1.0 = nominal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn with_speed_factor(mut self, factor: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "speed factor must be positive");
+        self.speed_factor = factor;
+        self
+    }
+
+    /// The vCPU count.
+    pub fn vcpus(&self) -> u32 {
+        self.vcpus
+    }
+
+    /// The persistent speed multiplier.
+    pub fn speed_factor(&self) -> f64 {
+        self.speed_factor
+    }
+
+    /// Gradient throughput in work-units per second given a per-core rate.
+    ///
+    /// The unit of "work" is defined by the consumer: the simulator uses
+    /// samples/second, the coding layer partitions/second. Only ratios
+    /// between workers matter to the schemes.
+    pub fn throughput(&self, per_core_rate: f64) -> f64 {
+        f64::from(self.vcpus) * self.speed_factor * per_core_rate
+    }
+}
+
+impl Default for WorkerSpec {
+    /// A 1-vCPU nominal worker.
+    fn default() -> Self {
+        WorkerSpec::new(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_id_display_and_conversions() {
+        let id = WorkerId::from(3);
+        assert_eq!(id.index(), 3);
+        assert_eq!(id.to_string(), "W3");
+        assert_eq!(WorkerId(3), id);
+    }
+
+    #[test]
+    fn worker_id_ordering() {
+        assert!(WorkerId(1) < WorkerId(2));
+    }
+
+    #[test]
+    fn spec_throughput_proportional_to_vcpus() {
+        let w2 = WorkerSpec::new(2);
+        let w8 = WorkerSpec::new(8);
+        assert_eq!(w8.throughput(1.5) / w2.throughput(1.5), 4.0);
+    }
+
+    #[test]
+    fn spec_speed_factor_scales() {
+        let w = WorkerSpec::new(4).with_speed_factor(0.5);
+        assert_eq!(w.throughput(1.0), 2.0);
+        assert_eq!(w.speed_factor(), 0.5);
+        assert_eq!(w.vcpus(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vCPU")]
+    fn zero_vcpus_rejected() {
+        WorkerSpec::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_speed_factor_rejected() {
+        WorkerSpec::new(1).with_speed_factor(0.0);
+    }
+
+    #[test]
+    fn default_is_one_core() {
+        assert_eq!(WorkerSpec::default().vcpus(), 1);
+    }
+}

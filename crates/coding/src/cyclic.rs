@@ -1,0 +1,176 @@
+//! Baseline schemes the paper compares against (§VI):
+//!
+//! * [`naive`] — uniform split, no replication, master waits for *all*
+//!   workers (`s = 0`, `B = I`).
+//! * [`cyclic`] — the cyclic repetition gradient code of Tandon et al.
+//!   \[12\]: `k = m` uniform partitions, worker `i` holds the `s+1`
+//!   consecutive partitions `{i, i+1, …, i+s} (mod m)`, coefficients from
+//!   the same randomized construction as Alg. 1. Heterogeneity-blind: every
+//!   worker gets identical load, so slow workers throttle the whole
+//!   cluster — exactly the pathology Fig. 2/3 of the paper demonstrates.
+
+use rand::Rng;
+
+use crate::error::CodingError;
+use crate::heter_aware::heter_aware_from_support;
+use crate::strategy::CodingMatrix;
+use crate::support::SupportMatrix;
+
+/// The naive (uncoded) baseline: `k = m` partitions, worker `i` computes
+/// partition `i` alone, decode requires every worker. Tolerates zero
+/// stragglers.
+///
+/// # Errors
+///
+/// [`CodingError::InvalidParameter`] if `workers == 0`.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), hetgc_coding::CodingError> {
+/// let b = hetgc_coding::naive(4)?;
+/// assert_eq!(b.stragglers(), 0);
+/// assert_eq!(b.load_of(2), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn naive(workers: usize) -> Result<CodingMatrix, CodingError> {
+    if workers == 0 {
+        return Err(CodingError::InvalidParameter { reason: "no workers".into() });
+    }
+    CodingMatrix::from_matrix(hetgc_linalg::Matrix::identity(workers), 0)
+}
+
+/// The cyclic support of Tandon et al.: worker `i` holds partitions
+/// `{(i+j) mod m : j = 0..s}` with `k = m`.
+///
+/// # Errors
+///
+/// [`CodingError::InvalidParameter`] if `s + 1 > m`.
+pub fn cyclic_support(workers: usize, stragglers: usize) -> Result<SupportMatrix, CodingError> {
+    if workers == 0 {
+        return Err(CodingError::InvalidParameter { reason: "no workers".into() });
+    }
+    if stragglers + 1 > workers {
+        return Err(CodingError::InvalidParameter {
+            reason: format!("need s+1 <= m, got s={stragglers}, m={workers}"),
+        });
+    }
+    let rows: Vec<Vec<usize>> = (0..workers)
+        .map(|i| (0..=stragglers).map(|j| (i + j) % workers).collect())
+        .collect();
+    SupportMatrix::from_rows(rows, workers, stragglers)
+}
+
+/// The cyclic repetition gradient coding scheme of Tandon et al. \[12\].
+///
+/// # Errors
+///
+/// Propagates [`cyclic_support`] and construction errors.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), hetgc_coding::CodingError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let b = hetgc_coding::cyclic(5, 2, &mut rng)?;
+/// assert_eq!(b.partitions(), 5);
+/// // Uniform load s+1 = 3 regardless of worker speed: the scheme is
+/// // heterogeneity-blind by design.
+/// assert!((0..5).all(|w| b.load_of(w) == 3));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cyclic<R: Rng + ?Sized>(
+    workers: usize,
+    stragglers: usize,
+    rng: &mut R,
+) -> Result<CodingMatrix, CodingError> {
+    let support = cyclic_support(workers, stragglers)?;
+    heter_aware_from_support(&support, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_condition_c1;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn naive_is_identity() {
+        let b = naive(3).unwrap();
+        assert_eq!(b.workers(), 3);
+        assert_eq!(b.partitions(), 3);
+        assert_eq!(b.stragglers(), 0);
+        for w in 0..3 {
+            assert_eq!(b.support_of(w), vec![w]);
+        }
+        verify_condition_c1(&b).unwrap();
+    }
+
+    #[test]
+    fn naive_rejects_zero_workers() {
+        assert!(naive(0).is_err());
+    }
+
+    #[test]
+    fn cyclic_support_layout() {
+        let s = cyclic_support(5, 2).unwrap();
+        assert_eq!(s.partitions_of(0), &[0, 1, 2]);
+        assert_eq!(s.partitions_of(3), &[0, 3, 4]); // wraps: {3,4,0} sorted
+        assert_eq!(s.partitions_of(4), &[0, 1, 4]);
+        for p in 0..5 {
+            assert_eq!(s.owners_of(p).len(), 3);
+        }
+    }
+
+    #[test]
+    fn cyclic_support_rejects_bad_params() {
+        assert!(cyclic_support(0, 0).is_err());
+        assert!(cyclic_support(2, 2).is_err());
+    }
+
+    #[test]
+    fn cyclic_is_robust() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for (m, s) in [(4usize, 1usize), (5, 2), (6, 1), (7, 3)] {
+            let b = cyclic(m, s, &mut rng).unwrap();
+            verify_condition_c1(&b)
+                .unwrap_or_else(|e| panic!("cyclic({m},{s}) violated C1: {e}"));
+        }
+    }
+
+    #[test]
+    fn cyclic_uniform_load() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let b = cyclic(6, 2, &mut rng).unwrap();
+        for w in 0..6 {
+            assert_eq!(b.load_of(w), 3);
+        }
+    }
+
+    #[test]
+    fn cyclic_worst_case_dominated_by_slowest() {
+        // Heterogeneous throughputs: cyclic's worst case is driven by slow
+        // workers (load is uniform), unlike heter-aware.
+        let mut rng = StdRng::seed_from_u64(33);
+        let b = cyclic(4, 1, &mut rng).unwrap();
+        let c = [1.0, 4.0, 4.0, 4.0];
+        let t = b.worst_case_time(&c).unwrap();
+        // Worker 0 takes (s+1)/c0 = 2.0; the adversary kills a fast worker,
+        // forcing the master to wait for the slow one.
+        assert!((t - 2.0).abs() < 1e-9, "t = {t}");
+    }
+
+    #[test]
+    fn cyclic_s0_equals_naive_structure() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let b = cyclic(4, 0, &mut rng).unwrap();
+        for w in 0..4 {
+            assert_eq!(b.support_of(w), vec![w]);
+        }
+    }
+}

@@ -1,0 +1,642 @@
+//! Decoding: recovering `g = Σ g_i` from coded worker results.
+//!
+//! Three decoders cover the paper's use cases:
+//!
+//! * [`decode_vector`] — one-shot: given a survivor set, find `a` with
+//!   `a·B = 1` supported on the survivors (the realtime
+//!   "solve in `O(mk²)`" path of §III-B).
+//! * [`OnlineDecoder`] — incremental: the master feeds results as they
+//!   arrive and decodes at the *earliest* decodable prefix. This is what
+//!   both the simulator and the threaded runtime use; it is also what makes
+//!   the group-based scheme shine (a complete group decodes early).
+//! * [`DecodingMatrix`] — offline: the full matrix `A` of Eq. 2 with one
+//!   decode row per straggler pattern, mirroring the paper's storage-cost
+//!   discussion.
+
+use std::collections::HashMap;
+
+use hetgc_linalg::{solve_any, vec_ops, DEFAULT_TOLERANCE};
+
+use crate::error::CodingError;
+use crate::strategy::{enumerate_subsets, CodingMatrix};
+
+/// Computes a decode vector `a ∈ R^m` with `a·B = 1_{1×k}` and
+/// `supp(a) ⊆ survivors`.
+///
+/// # Errors
+///
+/// * [`CodingError::InvalidParameter`] on out-of-range survivor indices or
+///   duplicates.
+/// * [`CodingError::NotDecodable`] if the survivors' rows do not span the
+///   all-ones vector (more than `s` stragglers, or an invalid `B`).
+///
+/// # Example
+///
+/// ```
+/// use hetgc_coding::{decode_vector, heter_aware};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), hetgc_coding::CodingError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let b = heter_aware(&[1.0, 2.0, 3.0, 4.0, 4.0], 7, 1, &mut rng)?;
+/// // Worker 2 straggles; decode from the rest.
+/// let a = decode_vector(&b, &[0, 1, 3, 4])?;
+/// assert_eq!(a.len(), 5);
+/// assert_eq!(a[2], 0.0); // straggler gets zero weight
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode_vector(code: &CodingMatrix, survivors: &[usize]) -> Result<Vec<f64>, CodingError> {
+    let m = code.workers();
+    let mut seen = vec![false; m];
+    for &w in survivors {
+        if w >= m {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("survivor index {w} >= m={m}"),
+            });
+        }
+        if seen[w] {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("duplicate survivor index {w}"),
+            });
+        }
+        seen[w] = true;
+    }
+    // Solve Mᵀ·x = 1ᵀ where M = B_survivors.
+    let rows = code.matrix().select_rows(survivors)?;
+    let ones = vec![1.0; code.partitions()];
+    let x = solve_any(&rows.transpose(), &ones, DEFAULT_TOLERANCE)
+        .ok_or_else(|| CodingError::NotDecodable { survivors: survivors.to_vec() })?;
+    let mut a = vec![0.0; m];
+    for (&w, &coef) in survivors.iter().zip(&x) {
+        a[w] = coef;
+    }
+    Ok(a)
+}
+
+/// Combines coded gradients with a decode vector:
+/// `g = Σ_w a_w · g̃_w` over the workers with non-zero weight.
+///
+/// `coded` maps worker index → its coded gradient `g̃_w`.
+///
+/// # Errors
+///
+/// [`CodingError::InvalidParameter`] if a needed coded gradient is missing
+/// or dimensions disagree.
+pub fn combine(a: &[f64], coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, CodingError> {
+    let dim = coded.values().next().map(Vec::len).unwrap_or(0);
+    let mut out = vec![0.0; dim];
+    for (w, &coef) in a.iter().enumerate() {
+        if coef == 0.0 {
+            continue;
+        }
+        let g = coded.get(&w).ok_or_else(|| CodingError::InvalidParameter {
+            reason: format!("decode vector needs worker {w} but its result is missing"),
+        })?;
+        if g.len() != dim {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("worker {w} gradient dim {} != {}", g.len(), dim),
+            });
+        }
+        vec_ops::axpy(coef, g, &mut out);
+    }
+    Ok(out)
+}
+
+/// Incremental decoder: feed worker results in completion order; decode as
+/// soon as the received rows span `1_{1×k}`.
+///
+/// Internally maintains a reduced row-echelon basis of the received rows of
+/// `B` together with the linear combinations that produced each basis row,
+/// so each [`OnlineDecoder::push`] costs `O(k·r)` (r = current rank) and
+/// decodability checks are `O(k·r)` — no re-solve from scratch per arrival.
+///
+/// # Example
+///
+/// ```
+/// use hetgc_coding::{heter_aware, OnlineDecoder};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), hetgc_coding::CodingError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let b = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng)?;
+/// let mut dec = OnlineDecoder::new(&b);
+/// assert!(dec.push(0)?.is_none()); // one worker is never enough here
+/// let a = dec.push(2)?.expect("two workers suffice for s=1, m=3");
+/// assert_eq!(a.len(), 3);
+/// assert_eq!(a[1], 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineDecoder {
+    /// Rows of B (cloned up-front; k·m doubles — small).
+    b_rows: Vec<Vec<f64>>,
+    k: usize,
+    /// RREF basis rows over partition space.
+    basis: Vec<Vec<f64>>,
+    /// `combo[i][j]`: coefficient of the j-th *arrived* worker in basis row i.
+    combos: Vec<Vec<f64>>,
+    /// Pivot column of each basis row.
+    pivots: Vec<usize>,
+    /// Arrival order of workers.
+    arrivals: Vec<usize>,
+    /// Workers already pushed (guards duplicates).
+    pushed: Vec<bool>,
+}
+
+impl OnlineDecoder {
+    /// Creates a decoder for the given strategy.
+    pub fn new(code: &CodingMatrix) -> Self {
+        let b_rows = (0..code.workers()).map(|w| code.row(w).to_vec()).collect();
+        OnlineDecoder {
+            b_rows,
+            k: code.partitions(),
+            basis: Vec::new(),
+            combos: Vec::new(),
+            pivots: Vec::new(),
+            arrivals: Vec::new(),
+            pushed: vec![false; code.workers()],
+        }
+    }
+
+    /// Number of results received so far.
+    pub fn received(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Current rank of the received rows.
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Feeds the result of `worker`; returns a decode vector over all `m`
+    /// workers if the received set is now decodable, `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::InvalidParameter`] on out-of-range or duplicate
+    /// worker indices.
+    pub fn push(&mut self, worker: usize) -> Result<Option<Vec<f64>>, CodingError> {
+        if worker >= self.pushed.len() {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("worker {worker} >= m={}", self.pushed.len()),
+            });
+        }
+        if self.pushed[worker] {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("worker {worker} already pushed"),
+            });
+        }
+        self.pushed[worker] = true;
+        self.arrivals.push(worker);
+        let arrival_idx = self.arrivals.len() - 1;
+
+        // Reduce the new row against the basis, tracking the combination.
+        let mut row = self.b_rows[worker].clone();
+        let mut combo = vec![0.0; self.arrivals.len()];
+        combo[arrival_idx] = 1.0;
+        for combo_row in &mut self.combos {
+            combo_row.push(0.0); // widen existing combos to the new arrival
+        }
+        for (i, basis_row) in self.basis.iter().enumerate() {
+            let p = self.pivots[i];
+            let factor = row[p];
+            if factor != 0.0 {
+                vec_ops::axpy(-factor, basis_row, &mut row);
+                vec_ops::axpy(-factor, &self.combos[i], &mut combo);
+            }
+        }
+        // Numerical zero test relative to the source row's magnitude.
+        let scale = vec_ops::norm_inf(&self.b_rows[worker]).max(1.0);
+        if let Some(p) = pivot_of(&row, DEFAULT_TOLERANCE * scale) {
+            // Normalize and back-eliminate to keep the basis reduced.
+            let inv = 1.0 / row[p];
+            vec_ops::scale(inv, &mut row);
+            vec_ops::scale(inv, &mut combo);
+            for i in 0..self.basis.len() {
+                let factor = self.basis[i][p];
+                if factor != 0.0 {
+                    let (brow, bcombo) = (row.clone(), combo.clone());
+                    vec_ops::axpy(-factor, &brow, &mut self.basis[i]);
+                    vec_ops::axpy(-factor, &bcombo, &mut self.combos[i]);
+                }
+            }
+            self.basis.push(row);
+            self.combos.push(combo);
+            self.pivots.push(p);
+        }
+        Ok(self.try_decode())
+    }
+
+    /// Attempts to decode with the results received so far.
+    pub fn try_decode(&self) -> Option<Vec<f64>> {
+        let mut target = vec![1.0; self.k];
+        let mut combo = vec![0.0; self.arrivals.len()];
+        for (i, basis_row) in self.basis.iter().enumerate() {
+            let p = self.pivots[i];
+            let factor = target[p];
+            if factor != 0.0 {
+                vec_ops::axpy(-factor, basis_row, &mut target);
+                vec_ops::axpy(factor, &self.combos[i], &mut combo);
+            }
+        }
+        if vec_ops::norm_inf(&target) > DEFAULT_TOLERANCE {
+            return None;
+        }
+        let mut a = vec![0.0; self.pushed.len()];
+        for (j, &w) in self.arrivals.iter().enumerate() {
+            a[w] += combo[j];
+        }
+        Some(a)
+    }
+}
+
+fn pivot_of(row: &[f64], tol: f64) -> Option<usize> {
+    // Largest-magnitude entry as pivot for stability.
+    let (mut best, mut best_val) = (None, tol);
+    for (j, &v) in row.iter().enumerate() {
+        if v.abs() > best_val {
+            best = Some(j);
+            best_val = v.abs();
+        }
+    }
+    best
+}
+
+/// The offline decoding matrix `A ∈ R^{S×m}` of Eq. 2: one row per
+/// straggler pattern of size exactly `s`, `S = C(m, s)` rows total.
+///
+/// The paper notes `A` can be partially stored for "regular" stragglers and
+/// solved in realtime otherwise; this type is the fully-materialized
+/// variant used for analysis and tests.
+#[derive(Debug, Clone)]
+pub struct DecodingMatrix {
+    rows: Vec<(Vec<usize>, Vec<f64>)>,
+    workers: usize,
+}
+
+impl DecodingMatrix {
+    /// Builds `A` by enumerating all `C(m, s)` straggler patterns.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::NotDecodable`] if any pattern cannot be decoded
+    /// (i.e. `B` violates Condition C1) — the offending pattern is the
+    /// complement of the reported survivors.
+    pub fn build(code: &CodingMatrix) -> Result<Self, CodingError> {
+        let m = code.workers();
+        let s = code.stragglers();
+        let mut rows = Vec::new();
+        let mut scratch = Vec::new();
+        enumerate_subsets(m, s, &mut scratch, &mut |stragglers| {
+            let survivors: Vec<usize> =
+                (0..m).filter(|w| !stragglers.contains(w)).collect();
+            let a = decode_vector(code, &survivors)?;
+            rows.push((stragglers.to_vec(), a));
+            Ok(())
+        })?;
+        Ok(DecodingMatrix { rows, workers: m })
+    }
+
+    /// Number of rows `S = C(m, s)`.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if there are no rows (never for a valid build).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Looks up the decode row for an exact straggler pattern (sorted
+    /// indices). Returns `None` for unknown patterns.
+    pub fn row_for(&self, stragglers: &[usize]) -> Option<&[f64]> {
+        let mut key = stragglers.to_vec();
+        key.sort_unstable();
+        self.rows
+            .iter()
+            .find(|(pattern, _)| *pattern == key)
+            .map(|(_, a)| a.as_slice())
+    }
+
+    /// Iterates over `(straggler_pattern, decode_row)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[usize], &[f64])> {
+        self.rows.iter().map(|(p, a)| (p.as_slice(), a.as_slice()))
+    }
+
+    /// Number of workers `m`.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}
+
+/// A decode-vector cache keyed by straggler pattern — the paper's hybrid
+/// storage strategy (§III-B): "the decoding matrix A could be partially
+/// stored specially for regular stragglers. As to decoding functions …
+/// designed for unregular stragglers, the decoding vectors aᵢ could \[be\]
+/// solved in realtime".
+///
+/// Repeated patterns (a persistently slow VM) hit the cache; novel
+/// patterns pay one `O(mk²)` solve and are remembered. A capacity bound
+/// evicts the least-recently-used pattern so the cache cannot grow beyond
+/// the "regular stragglers" working set.
+#[derive(Debug, Clone)]
+pub struct DecodeCache {
+    code: CodingMatrix,
+    capacity: usize,
+    /// (pattern, decode row), most recently used last.
+    entries: Vec<(Vec<usize>, Vec<f64>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl DecodeCache {
+    /// A cache over `code` remembering up to `capacity` straggler patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(code: CodingMatrix, capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        DecodeCache { code, capacity, entries: Vec::new(), hits: 0, misses: 0 }
+    }
+
+    /// The decode row for the given straggler pattern, cached or solved.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::NotDecodable`] if the pattern exceeds the code's
+    /// tolerance; [`CodingError::InvalidParameter`] on bad indices.
+    pub fn decode_for(&mut self, stragglers: &[usize]) -> Result<Vec<f64>, CodingError> {
+        let mut key = stragglers.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(pos) = self.entries.iter().position(|(p, _)| *p == key) {
+            self.hits += 1;
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry); // refresh LRU position
+            return Ok(self.entries.last().expect("just pushed").1.clone());
+        }
+        self.misses += 1;
+        let survivors: Vec<usize> =
+            (0..self.code.workers()).filter(|w| !key.contains(w)).collect();
+        let a = decode_vector(&self.code, &survivors)?;
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0); // evict least recently used
+        }
+        self.entries.push((key, a.clone()));
+        Ok(a)
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (realtime solves) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heter_aware::heter_aware;
+    use hetgc_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn code() -> CodingMatrix {
+        let mut rng = StdRng::seed_from_u64(11);
+        heter_aware(&[1.0, 2.0, 3.0, 4.0, 4.0], 7, 1, &mut rng).unwrap()
+    }
+
+    fn check_decode(code: &CodingMatrix, a: &[f64]) {
+        let prod = code.matrix().vecmat(a).unwrap();
+        for (j, v) in prod.iter().enumerate() {
+            assert!((v - 1.0).abs() < 1e-6, "aB[{j}] = {v}, want 1");
+        }
+    }
+
+    #[test]
+    fn decode_vector_every_single_straggler() {
+        let b = code();
+        for straggler in 0..5 {
+            let survivors: Vec<usize> = (0..5).filter(|&w| w != straggler).collect();
+            let a = decode_vector(&b, &survivors).unwrap();
+            assert_eq!(a[straggler], 0.0);
+            check_decode(&b, &a);
+        }
+    }
+
+    #[test]
+    fn decode_vector_all_workers() {
+        let b = code();
+        let a = decode_vector(&b, &[0, 1, 2, 3, 4]).unwrap();
+        check_decode(&b, &a);
+    }
+
+    #[test]
+    fn decode_vector_rejects_bad_survivors() {
+        let b = code();
+        assert!(matches!(
+            decode_vector(&b, &[0, 9]),
+            Err(CodingError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            decode_vector(&b, &[0, 0]),
+            Err(CodingError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_vector_fails_with_too_few() {
+        let b = code();
+        // Two stragglers when s = 1: workers {0,1,2} generally cannot span
+        // all 7 partitions (loads 1+2+3 = 6 < 7).
+        let err = decode_vector(&b, &[0, 1, 2]).unwrap_err();
+        assert!(matches!(err, CodingError::NotDecodable { .. }));
+    }
+
+    #[test]
+    fn combine_weighted_sum() {
+        let mut coded = HashMap::new();
+        coded.insert(0, vec![1.0, 2.0]);
+        coded.insert(2, vec![10.0, 20.0]);
+        let g = combine(&[2.0, 0.0, 0.5], &coded).unwrap();
+        assert_eq!(g, vec![7.0, 14.0]);
+    }
+
+    #[test]
+    fn combine_missing_worker_errors() {
+        let coded = HashMap::new();
+        assert!(combine(&[1.0], &coded).is_err());
+    }
+
+    #[test]
+    fn combine_dim_mismatch_errors() {
+        let mut coded = HashMap::new();
+        coded.insert(0, vec![1.0, 2.0]);
+        coded.insert(1, vec![1.0]);
+        assert!(combine(&[1.0, 1.0], &coded).is_err());
+    }
+
+    #[test]
+    fn online_decoder_decodes_at_m_minus_s() {
+        let b = code();
+        let mut dec = OnlineDecoder::new(&b);
+        // Lemma 2: decoding from Alg.1's B needs m−s = 4 workers. Coverage
+        // alone (workers 3+4 hold every partition) is NOT enough because the
+        // coefficients are generic.
+        assert_eq!(dec.push(3).unwrap(), None);
+        assert_eq!(dec.push(4).unwrap(), None);
+        assert_eq!(dec.push(0).unwrap(), None);
+        let a = dec.push(1).unwrap().expect("m−s workers must decode (C1)");
+        check_decode(&b, &a);
+        assert_eq!(a[2], 0.0); // worker 2 never arrived
+        assert_eq!(dec.received(), 4);
+    }
+
+    #[test]
+    fn online_decoder_needs_enough_rows() {
+        let b = code();
+        let mut dec = OnlineDecoder::new(&b);
+        assert!(dec.push(0).unwrap().is_none());
+        assert!(dec.push(1).unwrap().is_none());
+        // Workers 0,1,2 cover partitions 0..6 minus partition 6 → still no.
+        assert!(dec.push(2).unwrap().is_none());
+        let a = dec.push(3).unwrap().expect("0..3 cover everything");
+        check_decode(&b, &a);
+        assert_eq!(dec.received(), 4);
+    }
+
+    #[test]
+    fn online_decoder_duplicate_rejected() {
+        let b = code();
+        let mut dec = OnlineDecoder::new(&b);
+        dec.push(1).unwrap();
+        assert!(dec.push(1).is_err());
+        assert!(dec.push(17).is_err());
+    }
+
+    #[test]
+    fn online_decoder_any_order_decodes_eventually() {
+        let b = code();
+        let orders: Vec<Vec<usize>> = vec![
+            vec![0, 1, 2, 3, 4],
+            vec![4, 3, 2, 1, 0],
+            vec![2, 0, 4, 1, 3],
+        ];
+        for order in orders {
+            let mut dec = OnlineDecoder::new(&b);
+            let mut decoded = None;
+            for w in order {
+                if let Some(a) = dec.push(w).unwrap() {
+                    decoded = Some(a);
+                    break;
+                }
+            }
+            let a = decoded.expect("all five workers must decode");
+            check_decode(&b, &a);
+        }
+    }
+
+    #[test]
+    fn decoding_matrix_has_binomial_rows() {
+        let b = code();
+        let a = DecodingMatrix::build(&b).unwrap();
+        assert_eq!(a.len(), 5); // C(5,1)
+        assert!(!a.is_empty());
+        assert_eq!(a.workers(), 5);
+        for (pattern, row) in a.iter() {
+            assert_eq!(pattern.len(), 1);
+            check_decode(&b, row);
+            assert_eq!(row[pattern[0]], 0.0);
+        }
+    }
+
+    #[test]
+    fn decoding_matrix_lookup() {
+        let b = code();
+        let a = DecodingMatrix::build(&b).unwrap();
+        assert!(a.row_for(&[3]).is_some());
+        assert!(a.row_for(&[0, 1]).is_none());
+    }
+
+    #[test]
+    fn decoding_matrix_detects_invalid_code() {
+        // Identity claims s=1 but is not robust.
+        let m = Matrix::identity(3);
+        let bad = CodingMatrix::from_matrix(m, 1).unwrap();
+        assert!(DecodingMatrix::build(&bad).is_err());
+    }
+
+    #[test]
+    fn decode_cache_hits_regular_pattern() {
+        let b = code();
+        let mut cache = DecodeCache::new(b.clone(), 4);
+        assert!(cache.is_empty());
+        let a1 = cache.decode_for(&[2]).unwrap();
+        check_decode(&b, &a1);
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let a2 = cache.decode_for(&[2]).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn decode_cache_pattern_order_insensitive() {
+        // Needs s=2 for two stragglers.
+        let mut rng = StdRng::seed_from_u64(13);
+        let b = heter_aware(&[1.0, 1.0, 2.0, 2.0, 3.0, 3.0], 12, 2, &mut rng).unwrap();
+        let mut cache = DecodeCache::new(b, 4);
+        let a1 = cache.decode_for(&[0, 3]).unwrap();
+        let a2 = cache.decode_for(&[3, 0]).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn decode_cache_evicts_lru() {
+        let b = code();
+        let mut cache = DecodeCache::new(b, 2);
+        cache.decode_for(&[0]).unwrap();
+        cache.decode_for(&[1]).unwrap();
+        cache.decode_for(&[0]).unwrap(); // refresh 0
+        cache.decode_for(&[2]).unwrap(); // evicts 1
+        assert_eq!(cache.len(), 2);
+        cache.decode_for(&[0]).unwrap(); // still cached
+        assert_eq!(cache.hits(), 2);
+        cache.decode_for(&[1]).unwrap(); // miss: was evicted
+        assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn decode_cache_rejects_excess_stragglers() {
+        let b = code(); // s = 1
+        let mut cache = DecodeCache::new(b, 2);
+        assert!(matches!(
+            cache.decode_for(&[0, 1]),
+            Err(CodingError::NotDecodable { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn decode_cache_zero_capacity_panics() {
+        DecodeCache::new(code(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or using gradient coding strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodingError {
+    /// A parameter was invalid (e.g. `s >= m`, `k == 0`).
+    InvalidParameter {
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+    /// The requested allocation is infeasible, e.g. a worker would need
+    /// more than `k` partitions (`n_i > k` violates Eq. 5's assumption).
+    InfeasibleAllocation {
+        /// Index of the offending worker.
+        worker: usize,
+        /// Partitions the worker would have been assigned.
+        assigned: usize,
+        /// Total number of partitions `k`.
+        partitions: usize,
+    },
+    /// A support structure does not replicate some partition `s+1` times.
+    BadReplication {
+        /// The partition with wrong replication.
+        partition: usize,
+        /// Copies found.
+        found: usize,
+        /// Copies required (`s+1`).
+        required: usize,
+    },
+    /// Decoding failed: the given survivor set cannot reconstruct the
+    /// aggregated gradient (more than `s` stragglers, or an invalid B).
+    NotDecodable {
+        /// The survivors that were available.
+        survivors: Vec<usize>,
+    },
+    /// A numeric routine failed while building the strategy. Carries the
+    /// message of the underlying `hetgc-linalg` error.
+    Numerical {
+        /// Underlying error message.
+        message: String,
+    },
+    /// Condition C1 was found violated for some straggler pattern.
+    ConditionViolated {
+        /// A straggler set for which decoding is impossible.
+        stragglers: Vec<usize>,
+    },
+    /// The fractional repetition scheme requires `(s+1) | m` and a
+    /// compatible partition count.
+    Divisibility {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodingError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+            CodingError::InfeasibleAllocation { worker, assigned, partitions } => write!(
+                f,
+                "infeasible allocation: worker {worker} assigned {assigned} of {partitions} partitions (n_i > k)"
+            ),
+            CodingError::BadReplication { partition, found, required } => write!(
+                f,
+                "partition {partition} replicated {found} times, required {required}"
+            ),
+            CodingError::NotDecodable { survivors } => {
+                write!(f, "gradient not decodable from survivors {survivors:?}")
+            }
+            CodingError::Numerical { message } => write!(f, "numerical failure: {message}"),
+            CodingError::ConditionViolated { stragglers } => {
+                write!(f, "condition C1 violated for straggler set {stragglers:?}")
+            }
+            CodingError::Divisibility { reason } => write!(f, "divisibility constraint: {reason}"),
+        }
+    }
+}
+
+impl Error for CodingError {}
+
+impl From<hetgc_linalg::LinalgError> for CodingError {
+    fn from(e: hetgc_linalg::LinalgError) -> Self {
+        CodingError::Numerical { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let cases: Vec<(CodingError, &str)> = vec![
+            (CodingError::InvalidParameter { reason: "s >= m".into() }, "invalid parameter"),
+            (
+                CodingError::InfeasibleAllocation { worker: 1, assigned: 9, partitions: 4 },
+                "infeasible",
+            ),
+            (
+                CodingError::BadReplication { partition: 0, found: 1, required: 2 },
+                "replicated",
+            ),
+            (CodingError::NotDecodable { survivors: vec![0, 1] }, "not decodable"),
+            (CodingError::Numerical { message: "x".into() }, "numerical"),
+            (CodingError::ConditionViolated { stragglers: vec![2] }, "C1"),
+            (CodingError::Divisibility { reason: "m % (s+1) != 0".into() }, "divisibility"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().to_lowercase().contains(&needle.to_lowercase()),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_linalg_error() {
+        let le = hetgc_linalg::LinalgError::Empty { op: "lu" };
+        let ce: CodingError = le.into();
+        assert!(matches!(ce, CodingError::Numerical { .. }));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodingError>();
+    }
+}

@@ -1,0 +1,149 @@
+//! Fractional repetition coding (Tandon et al. [12], §VI of the paper).
+//!
+//! The paper declines to evaluate this baseline because it "requires that
+//! the number of workers m is divisible by s+1" and performs comparably to
+//! the cyclic scheme; we implement it anyway as an extension — it is the
+//! degenerate case of the group-based scheme where *every* worker belongs
+//! to a group, and it gives the test suite an indicator-matrix code whose
+//! decode vectors are combinatorial rather than numerical.
+//!
+//! Construction: split the `m` workers into `s+1` replica *teams* of
+//! `G = m/(s+1)` workers each; split the data into `G` chunks of `k/G`
+//! partitions. The `j`-th worker of every team holds chunk `j` with all-one
+//! coefficients. Any `s` stragglers leave at least one team intact... more
+//! precisely, every chunk is held by `s+1` distinct workers (one per team),
+//! so some complete set of chunk-holders survives and the master sums their
+//! (disjoint) results.
+
+use crate::error::CodingError;
+use crate::strategy::CodingMatrix;
+
+/// Builds the fractional repetition code.
+///
+/// `workers` = m, `partitions` = k, `stragglers` = s, requiring
+/// `(s+1) | m` and `(m/(s+1)) | k`.
+///
+/// # Errors
+///
+/// [`CodingError::Divisibility`] when the divisibility constraints fail,
+/// [`CodingError::InvalidParameter`] for degenerate sizes.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), hetgc_coding::CodingError> {
+/// // m = 6 workers, s = 2 → 3 teams of 2; k = 4 partitions → chunks of 2.
+/// let b = hetgc_coding::fractional_repetition(6, 4, 2)?;
+/// assert_eq!(b.load_of(0), 2);
+/// // Worker 0 and worker 2 (same chunk, different teams) hold identical rows.
+/// assert_eq!(b.row(0), b.row(2));
+/// # Ok(())
+/// # }
+/// ```
+pub fn fractional_repetition(
+    workers: usize,
+    partitions: usize,
+    stragglers: usize,
+) -> Result<CodingMatrix, CodingError> {
+    if workers == 0 || partitions == 0 {
+        return Err(CodingError::InvalidParameter { reason: "empty cluster or dataset".into() });
+    }
+    if stragglers + 1 > workers {
+        return Err(CodingError::InvalidParameter {
+            reason: format!("need s+1 <= m, got s={stragglers}, m={workers}"),
+        });
+    }
+    if !workers.is_multiple_of(stragglers + 1) {
+        return Err(CodingError::Divisibility {
+            reason: format!(
+                "fractional repetition requires (s+1) | m: s+1={}, m={workers}",
+                stragglers + 1
+            ),
+        });
+    }
+    let chunks = workers / (stragglers + 1);
+    if !partitions.is_multiple_of(chunks) {
+        return Err(CodingError::Divisibility {
+            reason: format!(
+                "fractional repetition requires (m/(s+1)) | k: chunks={chunks}, k={partitions}"
+            ),
+        });
+    }
+    let chunk_len = partitions / chunks;
+    let mut b = hetgc_linalg::Matrix::zeros(workers, partitions);
+    for w in 0..workers {
+        let chunk = w % chunks;
+        for p in (chunk * chunk_len)..((chunk + 1) * chunk_len) {
+            b[(w, p)] = 1.0;
+        }
+    }
+    CodingMatrix::from_matrix(b, stragglers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{decodable_prefix_len, verify_condition_c1};
+
+    #[test]
+    fn constructs_and_is_robust() {
+        let b = fractional_repetition(6, 6, 2).unwrap();
+        assert_eq!(b.workers(), 6);
+        assert_eq!(b.partitions(), 6);
+        verify_condition_c1(&b).unwrap();
+    }
+
+    #[test]
+    fn replication_structure() {
+        let b = fractional_repetition(6, 6, 1).unwrap();
+        // 3 chunks of 2 partitions; workers 0..3 and 3..6 are replica teams.
+        assert_eq!(b.row(0), b.row(3));
+        assert_eq!(b.row(1), b.row(4));
+        assert_eq!(b.row(2), b.row(5));
+        verify_condition_c1(&b).unwrap();
+    }
+
+    #[test]
+    fn rows_are_indicators() {
+        let b = fractional_repetition(4, 4, 1).unwrap();
+        for w in 0..4 {
+            assert!(b.row(w).iter().all(|&x| x == 0.0 || x == 1.0));
+        }
+    }
+
+    #[test]
+    fn divisibility_errors() {
+        assert!(matches!(
+            fractional_repetition(5, 5, 1),
+            Err(CodingError::Divisibility { .. })
+        ));
+        assert!(matches!(
+            fractional_repetition(6, 5, 2),
+            Err(CodingError::Divisibility { .. })
+        ));
+    }
+
+    #[test]
+    fn parameter_errors() {
+        assert!(fractional_repetition(0, 4, 0).is_err());
+        assert!(fractional_repetition(4, 0, 0).is_err());
+        assert!(fractional_repetition(2, 2, 3).is_err());
+    }
+
+    #[test]
+    fn decodes_from_one_chunk_cover() {
+        // m=6, s=1, 3 chunks: a full set of distinct chunk holders (3
+        // workers) decodes — earlier than the m−s = 5 of Alg.1-style codes.
+        let b = fractional_repetition(6, 6, 1).unwrap();
+        assert_eq!(decodable_prefix_len(&b, &[0, 1, 2]), Some(3));
+        // Two workers of the same chunk never decode.
+        assert_eq!(decodable_prefix_len(&b, &[0, 3]), None);
+    }
+
+    #[test]
+    fn s_zero_single_team() {
+        let b = fractional_repetition(3, 6, 0).unwrap();
+        assert_eq!(b.load_of(0), 2);
+        verify_condition_c1(&b).unwrap();
+    }
+}

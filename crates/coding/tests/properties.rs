@@ -1,0 +1,187 @@
+//! Property-based tests for the coding layer: the invariants here are the
+//! paper's core claims, exercised over randomized cluster shapes.
+
+use hetgc_coding::{
+    cyclic, decode_vector, fractional_repetition, group_based, heter_aware, naive,
+    verify_condition_c1, Allocation, OnlineDecoder, SupportMatrix,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a feasible heterogeneous cluster description
+/// `(throughputs, k, s)` with integral Eq.-5 allocations guaranteed feasible
+/// (no worker exceeding the `n_i ≤ k` cap).
+fn cluster() -> impl Strategy<Value = (Vec<f64>, usize, usize, u64)> {
+    (3usize..7, 0usize..3, any::<u64>()).prop_flat_map(|(m, s, seed)| {
+        let s = s.min(m - 1);
+        prop::collection::vec(1u32..5, m).prop_map(move |speeds| {
+            let throughputs: Vec<f64> = speeds.iter().map(|&x| x as f64).collect();
+            // Feasibility of Eq.5 needs max(c)/Σc ≤ 1/(s+1); enforce by
+            // clamping the largest speed.
+            let sum: f64 = throughputs.iter().sum();
+            let max = throughputs.iter().cloned().fold(0.0, f64::max);
+            let s = if max / sum > 1.0 / (s as f64 + 1.0) { 0 } else { s };
+            // k = Σ speeds keeps Eq.5 integral often; any k works thanks to
+            // largest-remainder rounding. Cap for test speed.
+            let k = (sum as usize).clamp(m, 24);
+            (throughputs, k, s, seed)
+        })
+    })
+}
+
+fn check_decode_row(b: &hetgc_coding::CodingMatrix, a: &[f64]) {
+    let prod = b.matrix().vecmat(a).unwrap();
+    for v in &prod {
+        assert!((v - 1.0).abs() < 1e-5, "aB = {prod:?}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 4: Alg. 1 is robust to any s stragglers.
+    #[test]
+    fn heter_aware_satisfies_c1((c, k, s, seed) in cluster()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = heter_aware(&c, k, s, &mut rng).unwrap();
+        prop_assert!(verify_condition_c1(&b).is_ok());
+    }
+
+    /// Replication invariant: every partition is held by exactly s+1 workers.
+    #[test]
+    fn allocation_replicates_s_plus_1((c, k, s, _seed) in cluster()) {
+        let alloc = Allocation::balanced(&c, k, s).unwrap();
+        let support = SupportMatrix::cyclic(&alloc).unwrap();
+        for p in 0..k {
+            prop_assert_eq!(support.owners_of(p).len(), s + 1);
+        }
+        prop_assert_eq!(alloc.total(), k * (s + 1));
+    }
+
+    /// Every straggler pattern of size ≤ s yields an exact decode vector.
+    #[test]
+    fn decode_exact_for_every_pattern((c, k, s, seed) in cluster()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = heter_aware(&c, k, s, &mut rng).unwrap();
+        let m = c.len();
+        // All single-straggler patterns plus the empty pattern.
+        let survivors_all: Vec<usize> = (0..m).collect();
+        let a = decode_vector(&b, &survivors_all).unwrap();
+        check_decode_row(&b, &a);
+        if s >= 1 {
+            for dead in 0..m {
+                let survivors: Vec<usize> = (0..m).filter(|&w| w != dead).collect();
+                let a = decode_vector(&b, &survivors).unwrap();
+                prop_assert_eq!(a[dead], 0.0);
+                check_decode_row(&b, &a);
+            }
+        }
+    }
+
+    /// Theorem 5: T(B) equals the lower bound (s+1)k/Σc whenever Eq. 5 is
+    /// integral (checked via the exact allocation).
+    #[test]
+    fn optimality_when_allocation_integral((c, k, s, seed) in cluster()) {
+        let alloc = Allocation::balanced(&c, k, s).unwrap();
+        let sum: f64 = c.iter().sum();
+        let integral = c.iter().all(|&ci| {
+            let q = (k * (s + 1)) as f64 * ci / sum;
+            (q - q.round()).abs() < 1e-9
+        });
+        prop_assume!(integral);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = heter_aware(&c, k, s, &mut rng).unwrap();
+        let t = b.worst_case_time(&c).unwrap();
+        let bound = alloc.ideal_completion_time(&c);
+        prop_assert!((t - bound).abs() < 1e-9, "T(B)={t} bound={bound}");
+    }
+
+    /// No strategy with s+1 replication beats the bound: cyclic is ≥ the
+    /// heter-aware optimum on the same cluster.
+    #[test]
+    fn cyclic_never_beats_heter_aware((c, _k, s, seed) in cluster()) {
+        let m = c.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cyc = cyclic(m, s, &mut rng).unwrap();
+        let t_cyc = cyc.worst_case_time(&c).unwrap();
+        // Compare per-partition-normalized times: cyclic uses k=m.
+        let bound = (s as f64 + 1.0) * m as f64 / c.iter().sum::<f64>();
+        prop_assert!(t_cyc >= bound - 1e-9, "cyclic {t_cyc} < bound {bound}");
+    }
+
+    /// The online decoder agrees with the one-shot decoder: pushing workers
+    /// in any order decodes exactly when the prefix is decodable, and the
+    /// returned vector satisfies aB = 1.
+    #[test]
+    fn online_decoder_consistent((c, k, s, seed) in cluster()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = heter_aware(&c, k, s, &mut rng).unwrap();
+        let m = c.len();
+        let mut order: Vec<usize> = (0..m).collect();
+        // Deterministic shuffle from the seed.
+        for i in (1..m).rev() {
+            order.swap(i, (seed as usize + i * 7) % (i + 1));
+        }
+        let mut dec = OnlineDecoder::new(&b);
+        let mut decoded_at = None;
+        for (idx, &w) in order.iter().enumerate() {
+            if let Some(a) = dec.push(w).unwrap() {
+                check_decode_row(&b, &a);
+                decoded_at = Some(idx + 1);
+                break;
+            }
+        }
+        let n = decoded_at.expect("all workers must decode");
+        prop_assert!(n <= m - s + s, "bounded by m");
+        prop_assert!(n >= 1);
+    }
+
+    /// Group-based codes satisfy C1 and their groups are valid exact covers.
+    #[test]
+    fn group_based_valid((c, k, s, seed) in cluster()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = group_based(&c, k, s, &mut rng).unwrap();
+        prop_assert!(verify_condition_c1(g.code()).is_ok());
+        // Groups partition-cover D disjointly.
+        let support = g.code().to_support().unwrap();
+        for grp in g.groups() {
+            let mut covered = vec![false; k];
+            for &w in grp.workers() {
+                for &p in support.partitions_of(w) {
+                    prop_assert!(!covered[p], "group not disjoint");
+                    covered[p] = true;
+                }
+            }
+            prop_assert!(covered.iter().all(|&x| x), "group not covering");
+        }
+        // Pairwise disjoint workers.
+        for (i, a) in g.groups().iter().enumerate() {
+            for b2 in g.groups().iter().skip(i + 1) {
+                for &w in a.workers() {
+                    prop_assert!(!b2.contains(w));
+                }
+            }
+        }
+    }
+
+    /// Naive decodes only from the complete worker set.
+    #[test]
+    fn naive_needs_everyone(m in 2usize..7) {
+        let b = naive(m).unwrap();
+        let all: Vec<usize> = (0..m).collect();
+        prop_assert!(decode_vector(&b, &all).is_ok());
+        let partial: Vec<usize> = (0..m - 1).collect();
+        prop_assert!(decode_vector(&b, &partial).is_err());
+    }
+
+    /// Fractional repetition is robust whenever its divisibility
+    /// constraints are satisfiable.
+    #[test]
+    fn fractional_repetition_robust(groups in 2usize..4, s in 0usize..3, chunk in 1usize..3) {
+        let m = groups * (s + 1);
+        let k = groups * chunk;
+        let b = fractional_repetition(m, k, s).unwrap();
+        prop_assert!(verify_condition_c1(&b).is_ok());
+    }
+}

@@ -1,0 +1,364 @@
+//! Adaptive throughput re-estimation (an extension beyond the paper).
+//!
+//! The paper estimates worker throughput once, up front (§III-C:
+//! "estimated by sampling"), and §V's group-based scheme hedges against
+//! estimation *noise*. Neither handles estimation *drift* — a co-tenant VM
+//! landing on a worker halfway through training permanently changes its
+//! `c_i`, re-introducing exactly the consistent stragglers the allocation
+//! was supposed to remove. This module closes the loop:
+//!
+//! 1. observe per-worker compute times each iteration,
+//! 2. feed an EWMA estimator ([`hetgc_cluster::EwmaEstimator`]),
+//! 3. every `reestimate_every` iterations, rebuild the coding strategy
+//!    from the fresh estimates (Eq. 5 → Eq. 6 → Alg. 1/3).
+//!
+//! Rebuild cost is the Alg. 1 construction — microseconds (see the
+//! `construction` Criterion bench) against iteration times of seconds, so
+//! re-coding "for free" is realistic; the data movement a new allocation
+//! implies is the real-world cost and is *not* modelled (documented
+//! limitation).
+
+use hetgc_cluster::{ClusterSpec, EwmaEstimator, StragglerModel, ThroughputEstimator};
+use hetgc_sim::{simulate_bsp_iteration, BspIterationConfig, NetworkModel, RunMetrics};
+use rand::Rng;
+
+use crate::scheme::{BoxError, SchemeBuilder, SchemeKind};
+
+/// How the cluster's true worker rates evolve over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateDrift {
+    /// Speeds never change (the paper's setting).
+    None,
+    /// At iteration `at` (0-based), worker `w`'s rate is multiplied by
+    /// `factors[w]` permanently — a co-tenant arriving or a thermal
+    /// throttle engaging.
+    StepChange {
+        /// Iteration at which the change takes effect.
+        at: usize,
+        /// Per-worker multipliers (missing entries = 1.0).
+        factors: Vec<f64>,
+    },
+    /// Smooth sinusoidal fluctuation: worker `w`'s rate is scaled by
+    /// `1 + amplitude·sin(2π·(iter/period + w/m))` (phase-shifted per
+    /// worker so the cluster never slows down uniformly).
+    Wave {
+        /// Period in iterations.
+        period: f64,
+        /// Relative amplitude in `[0, 1)`.
+        amplitude: f64,
+    },
+}
+
+impl RateDrift {
+    /// The true rates at a given iteration.
+    pub fn rates_at(&self, base: &[f64], iteration: usize) -> Vec<f64> {
+        match self {
+            RateDrift::None => base.to_vec(),
+            RateDrift::StepChange { at, factors } => base
+                .iter()
+                .enumerate()
+                .map(|(w, &r)| {
+                    if iteration >= *at {
+                        r * factors.get(w).copied().unwrap_or(1.0)
+                    } else {
+                        r
+                    }
+                })
+                .collect(),
+            RateDrift::Wave { period, amplitude } => {
+                let m = base.len() as f64;
+                base.iter()
+                    .enumerate()
+                    .map(|(w, &r)| {
+                        let phase = iteration as f64 / period + w as f64 / m;
+                        r * (1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin())
+                            .max(0.05)
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Configuration of an adaptive-vs-static comparison run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveConfig {
+    /// Which heterogeneity-aware scheme to run (HeterAware or GroupBased).
+    pub kind: SchemeKind,
+    /// Straggler tolerance `s`.
+    pub stragglers: usize,
+    /// Total iterations.
+    pub iterations: usize,
+    /// Dataset size in work units.
+    pub samples: usize,
+    /// Rebuild the code from fresh estimates every this many iterations
+    /// (0 disables re-estimation — the static baseline does this
+    /// implicitly).
+    pub reestimate_every: usize,
+    /// EWMA smoothing factor for the throughput tracker.
+    pub ewma_alpha: f64,
+    /// Per-iteration compute jitter σ.
+    pub jitter: f64,
+    /// Transient straggler injection.
+    pub straggler_model: StragglerModel,
+}
+
+impl Default for AdaptiveConfig {
+    /// Heter-aware, s = 1, 60 iterations, re-estimate every 5, α = 0.4.
+    fn default() -> Self {
+        AdaptiveConfig {
+            kind: SchemeKind::HeterAware,
+            stragglers: 1,
+            iterations: 60,
+            samples: 48,
+            reestimate_every: 5,
+            ewma_alpha: 0.4,
+            jitter: 0.03,
+            straggler_model: StragglerModel::None,
+        }
+    }
+}
+
+/// Outcome of one policy (static or adaptive) under drift.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome {
+    /// Timing metrics of the run.
+    pub metrics: RunMetrics,
+    /// How many times the strategy was rebuilt.
+    pub rebuilds: usize,
+    /// How many rebuild attempts failed (infeasible estimates) and kept
+    /// the previous strategy.
+    pub rebuild_failures: usize,
+}
+
+/// Runs one policy over a drifting cluster.
+///
+/// `reestimate_every = 0` gives the static baseline: the scheme is built
+/// once from the *pre-drift* rates and never touched again.
+///
+/// # Errors
+///
+/// Propagates scheme-construction and simulator errors. A failed *rebuild*
+/// is not an error — the run keeps the previous strategy and counts it in
+/// [`AdaptiveOutcome::rebuild_failures`].
+pub fn run_with_drift<R: Rng + ?Sized>(
+    cluster: &ClusterSpec,
+    drift: &RateDrift,
+    cfg: &AdaptiveConfig,
+    rng: &mut R,
+) -> Result<AdaptiveOutcome, BoxError> {
+    let base = cluster.throughputs();
+    let m = cluster.len();
+    let builder = SchemeBuilder::new(cluster, cfg.stragglers);
+    let mut scheme = builder.build(cfg.kind, rng)?;
+    let mut estimator = EwmaEstimator::new(m, cfg.ewma_alpha);
+    let mut metrics = RunMetrics::new();
+    let mut rebuilds = 0;
+    let mut rebuild_failures = 0;
+
+    for iter in 0..cfg.iterations {
+        let rates = drift.rates_at(&base, iter);
+        let k = scheme.code.partitions();
+        let work_per_partition = cfg.samples as f64 / k as f64;
+        let sim_cfg = BspIterationConfig::new(&rates)
+            .work_per_partition(work_per_partition)
+            .network(NetworkModel::lan())
+            .compute_jitter(cfg.jitter);
+        let events = cfg.straggler_model.sample_iteration(m, rng);
+        let outcome = simulate_bsp_iteration(&scheme.code, &sim_cfg, &events, rng)?;
+        metrics.record(&outcome);
+
+        // Observe: each worker's measured rate this iteration (the master
+        // sees compute duration; injected delay contaminates it exactly as
+        // it would in production).
+        for arr in &outcome.arrivals {
+            if arr.compute_end.is_finite() {
+                let work = scheme.code.load_of(arr.worker) as f64 * work_per_partition;
+                estimator.observe(arr.worker, work, arr.compute_end.max(1e-9));
+            }
+        }
+
+        // Periodic re-coding from fresh estimates.
+        if cfg.reestimate_every > 0 && (iter + 1) % cfg.reestimate_every == 0 {
+            if let Ok(estimates) = estimator.estimates() {
+                match SchemeBuilder::new(cluster, cfg.stragglers)
+                    .estimates(estimates)
+                    .build(cfg.kind, rng)
+                {
+                    Ok(new_scheme) => {
+                        scheme = new_scheme;
+                        rebuilds += 1;
+                    }
+                    Err(_) => rebuild_failures += 1,
+                }
+            }
+        }
+    }
+    Ok(AdaptiveOutcome { metrics, rebuilds, rebuild_failures })
+}
+
+/// Convenience: static (never re-estimates) vs adaptive under the same
+/// drift and seed-derived randomness.
+///
+/// # Errors
+///
+/// Propagates [`run_with_drift`] errors from either run.
+pub fn compare_static_vs_adaptive<R: Rng + ?Sized>(
+    cluster: &ClusterSpec,
+    drift: &RateDrift,
+    cfg: &AdaptiveConfig,
+    rng: &mut R,
+) -> Result<(AdaptiveOutcome, AdaptiveOutcome), BoxError> {
+    let static_cfg = AdaptiveConfig { reestimate_every: 0, ..cfg.clone() };
+    let static_run = run_with_drift(cluster, drift, &static_cfg, rng)?;
+    let adaptive_run = run_with_drift(cluster, drift, cfg, rng)?;
+    Ok((static_run, adaptive_run))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::from_vcpu_rows("drifty", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0).unwrap()
+    }
+
+    #[test]
+    fn drift_none_is_identity() {
+        let base = [1.0, 2.0];
+        assert_eq!(RateDrift::None.rates_at(&base, 10), base.to_vec());
+    }
+
+    #[test]
+    fn drift_step_change_applies_from_at() {
+        let d = RateDrift::StepChange { at: 5, factors: vec![0.5, 1.0] };
+        let base = [4.0, 4.0];
+        assert_eq!(d.rates_at(&base, 4), vec![4.0, 4.0]);
+        assert_eq!(d.rates_at(&base, 5), vec![2.0, 4.0]);
+        assert_eq!(d.rates_at(&base, 50), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn drift_step_change_missing_factors_default_to_one() {
+        let d = RateDrift::StepChange { at: 0, factors: vec![0.5] };
+        assert_eq!(d.rates_at(&[2.0, 2.0], 0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn drift_wave_oscillates_but_stays_positive() {
+        let d = RateDrift::Wave { period: 10.0, amplitude: 0.9 };
+        let base = [1.0, 1.0, 1.0];
+        for iter in 0..40 {
+            for r in d.rates_at(&base, iter) {
+                assert!(r > 0.0);
+            }
+        }
+        // Not constant.
+        assert_ne!(d.rates_at(&base, 0), d.rates_at(&base, 3));
+    }
+
+    #[test]
+    fn adaptive_beats_static_when_drift_exceeds_tolerance() {
+        let cluster = cluster();
+        // TWO workers lose 70 % of their speed: with s = 1 the code can
+        // only discard one of them, so the static allocation is forced to
+        // wait for a slowed worker every iteration; rebalancing fixes it.
+        let drift =
+            RateDrift::StepChange { at: 15, factors: vec![1.0, 1.0, 0.3, 0.3] };
+        let cfg = AdaptiveConfig { iterations: 60, reestimate_every: 5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(1);
+        let (static_run, adaptive_run) =
+            compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng).unwrap();
+        let t_static = static_run.metrics.avg_iteration_time().unwrap();
+        let t_adaptive = adaptive_run.metrics.avg_iteration_time().unwrap();
+        assert!(adaptive_run.rebuilds > 0);
+        assert_eq!(static_run.rebuilds, 0);
+        assert!(
+            t_adaptive < t_static * 0.90,
+            "adaptive {t_adaptive:.3} should beat static {t_static:.3}"
+        );
+    }
+
+    #[test]
+    fn adaptive_beats_static_when_a_worker_speeds_up() {
+        let cluster = cluster();
+        // A worker gets 3× faster (co-tenant left): the static allocation
+        // leaves its new capacity idle; rebalancing exploits it.
+        let drift = RateDrift::StepChange { at: 10, factors: vec![3.0, 1.0, 1.0, 1.0] };
+        let cfg = AdaptiveConfig { iterations: 60, reestimate_every: 5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(7);
+        let (static_run, adaptive_run) =
+            compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng).unwrap();
+        let t_static = static_run.metrics.avg_iteration_time().unwrap();
+        let t_adaptive = adaptive_run.metrics.avg_iteration_time().unwrap();
+        assert!(
+            t_adaptive < t_static * 0.95,
+            "adaptive {t_adaptive:.3} should exploit the speed-up (static {t_static:.3})"
+        );
+    }
+
+    #[test]
+    fn coding_absorbs_single_worker_drift_without_rebuild() {
+        // The counter-intuitive finding this module documents: when only
+        // ONE worker slows (within the s = 1 budget), the *static* code
+        // absorbs it for free — the slowed worker is simply treated as the
+        // straggler — while rebalancing drags it back onto the critical
+        // path. Adaptive re-coding is NOT a universal win.
+        let cluster = cluster();
+        let drift = RateDrift::StepChange { at: 15, factors: vec![1.0, 1.0, 1.0, 0.3] };
+        let cfg = AdaptiveConfig { iterations: 60, reestimate_every: 5, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (static_run, adaptive_run) =
+            compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng).unwrap();
+        let t_static = static_run.metrics.avg_iteration_time().unwrap();
+        let t_adaptive = adaptive_run.metrics.avg_iteration_time().unwrap();
+        assert!(
+            t_static <= t_adaptive * 1.05,
+            "static ({t_static:.3}) should not lose to adaptive ({t_adaptive:.3}) \
+             when the drift fits the straggler budget"
+        );
+    }
+
+    #[test]
+    fn adaptive_harmless_without_drift() {
+        let cluster = cluster();
+        let cfg = AdaptiveConfig { iterations: 40, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(2);
+        let (static_run, adaptive_run) =
+            compare_static_vs_adaptive(&cluster, &RateDrift::None, &cfg, &mut rng).unwrap();
+        let t_static = static_run.metrics.avg_iteration_time().unwrap();
+        let t_adaptive = adaptive_run.metrics.avg_iteration_time().unwrap();
+        // Within a few percent of each other (jitter noise only).
+        assert!((t_adaptive - t_static).abs() / t_static < 0.10);
+    }
+
+    #[test]
+    fn group_based_also_adapts() {
+        let cluster = cluster();
+        let drift = RateDrift::StepChange { at: 10, factors: vec![0.4, 1.0, 1.0, 1.0] };
+        let cfg = AdaptiveConfig {
+            kind: SchemeKind::GroupBased,
+            iterations: 40,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = run_with_drift(&cluster, &drift, &cfg, &mut rng).unwrap();
+        assert!(out.rebuilds > 0);
+        assert_eq!(out.metrics.iterations(), 40);
+    }
+
+    #[test]
+    fn rebuild_failures_keep_running() {
+        // An adversarial drift that makes one worker dominate: Eq. 5 may
+        // become infeasible, but the run must keep going on the old code.
+        let cluster = ClusterSpec::from_vcpu_rows("skew", &[(3, 2), (1, 4)], 10.0).unwrap();
+        let drift = RateDrift::StepChange { at: 2, factors: vec![0.05, 0.05, 0.05, 1.0] };
+        let cfg = AdaptiveConfig { iterations: 20, reestimate_every: 2, ..Default::default() };
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = run_with_drift(&cluster, &drift, &cfg, &mut rng).unwrap();
+        assert_eq!(out.metrics.iterations(), 20);
+        assert!(out.rebuild_failures > 0, "expected infeasible rebuilds to be counted");
+    }
+}

@@ -1,0 +1,74 @@
+//! # hetgc — Heterogeneity-aware Gradient Coding for Straggler Tolerance
+//!
+//! A full Rust reproduction of *"Heterogeneity-aware Gradient Coding for
+//! Straggler Tolerance"* (Wang, Guo, Tang, Li, Li — ICDCS 2019): the
+//! heter-aware coding scheme (Alg. 1), the group-based variant
+//! (Algs. 2–3), the baselines they are evaluated against (naive BSP,
+//! cyclic gradient coding, fractional repetition, SSP), a heterogeneous
+//! cluster model, a discrete-event simulator, a threaded runtime and a
+//! miniature ML stack — each living in its own crate and re-exported here.
+//!
+//! This crate adds the unifying layer:
+//!
+//! * [`SchemeKind`] / [`SchemeBuilder`] — one entry point constructing any
+//!   scheme for a [`ClusterSpec`], with optional estimation noise.
+//! * [`train_bsp_sim`] / [`train_ssp_sim`] — simulated-time distributed
+//!   SGD producing the loss-vs-time curves of Fig. 4.
+//! * [`experiment`] — runners regenerating every figure of the paper
+//!   (Figs. 2, 3, 4, 5 and the Table II inventory).
+//! * [`analysis`] — optimality checks against Theorem 5.
+//! * [`report`] — plain-text/CSV rendering for the bench binaries.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hetgc::{ClusterSpec, SchemeBuilder, SchemeKind};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cluster = ClusterSpec::cluster_a();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let scheme = SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng)?;
+//! // Worker loads are proportional to vCPUs: the 12-vCPU node holds 6×
+//! // the partitions of a 2-vCPU node.
+//! let loads: Vec<usize> = (0..8).map(|w| scheme.code.load_of(w)).collect();
+//! assert_eq!(loads[7] / loads[0], 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod analysis;
+pub mod experiment;
+pub mod report;
+mod scheme;
+mod trainer;
+
+pub use scheme::{SchemeBuilder, SchemeInstance, SchemeKind};
+pub use trainer::{train_bsp_sim, train_ssp_sim, BspTrainOutcome, LossCurve, SimTrainConfig};
+
+// Re-export the sub-crates under stable names so downstream users need a
+// single dependency.
+pub use hetgc_cluster::{
+    ClusterSpec, DelayDistribution, EstimationNoise, PartitionAssignment, StragglerEvent,
+    StragglerModel, WorkerId, WorkerSpec,
+};
+pub use hetgc_coding::{
+    approximate_decode, combine, cyclic, gradient_error_bound, decodable_prefix_len, decode_vector, fractional_repetition, group_based,
+    heter_aware, is_robust_to, naive, suggest_partition_count, verify_condition_c1,
+    under_replicated, verify_condition_c1_sampled, Allocation, ApproximateDecode,
+    CodingError, CodingMatrix, DecodeCache, DecodingMatrix, Group,
+    GroupCodingMatrix, GroupSearchConfig, OnlineDecoder, SupportMatrix,
+};
+pub use hetgc_ml::{
+    accuracy, synthetic, Adam, Classifier, Dataset, LinearRegression, Mlp, Model, Momentum,
+    Optimizer, Sgd, SoftmaxRegression, Targets,
+};
+pub use hetgc_runtime::{RuntimeConfig, ThreadedTrainer, TrainingReport, WorkerBehavior};
+pub use hetgc_sim::{
+    simulate_bsp_iteration, BspIteration, BspIterationConfig, IterationTrace, NetworkModel,
+    RunMetrics, SspEngine, SspEvent,
+};

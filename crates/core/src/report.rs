@@ -1,0 +1,187 @@
+//! Plain-text table / CSV rendering for the bench binaries.
+//!
+//! Nothing here knows about schemes or figures — it renders generic rows,
+//! so the same code path serves Table II, the Fig. 2/3 sweeps and the
+//! optimality report.
+
+/// Renders an aligned plain-text table.
+///
+/// # Example
+///
+/// ```
+/// let t = hetgc::report::render_table(
+///     &["scheme", "time"],
+///     &[vec!["naive".into(), "3.00".into()], vec!["heter".into(), "1.00".into()]],
+/// );
+/// assert!(t.contains("scheme"));
+/// assert!(t.contains("naive"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            if cell.len() > widths[i] {
+                widths[i] = cell.len();
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            for _ in cell.len()..widths[i] {
+                out.push(' ');
+            }
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    render_row(&header_cells, &mut out);
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        render_row(row, &mut out);
+    }
+    out
+}
+
+/// Renders rows as CSV (simple quoting: fields containing commas or quotes
+/// are double-quoted with embedded quotes doubled).
+pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let quote = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_owned()
+        }
+    };
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an `Option<f64>` as seconds with 3 decimals, or `"-"`.
+pub fn fmt_opt_secs(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "-".to_owned(),
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn fmt_percent(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{:.1}%", 100.0 * x),
+        None => "-".to_owned(),
+    }
+}
+
+/// Renders a simple ASCII sparkline of `(x, y)` series for quick terminal
+/// inspection of loss curves (one row per series, `width` buckets, `#`
+/// density by relative y).
+pub fn render_curves(curves: &[(String, Vec<(f64, f64)>)], width: usize) -> String {
+    let mut out = String::new();
+    let (mut tmax, mut ymax) = (0.0_f64, 0.0_f64);
+    for (_, pts) in curves {
+        for &(t, y) in pts {
+            tmax = tmax.max(t);
+            ymax = ymax.max(y);
+        }
+    }
+    if tmax <= 0.0 || ymax <= 0.0 {
+        return out;
+    }
+    let levels: &[char] = &[' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    for (label, pts) in curves {
+        let mut buckets = vec![f64::NAN; width];
+        for &(t, y) in pts {
+            let idx = ((t / tmax) * (width as f64 - 1.0)).round() as usize;
+            buckets[idx] = y;
+        }
+        // Forward-fill gaps for readability.
+        let mut last = f64::NAN;
+        for b in buckets.iter_mut() {
+            if b.is_nan() {
+                *b = last;
+            } else {
+                last = *b;
+            }
+        }
+        out.push_str(&format!("{label:>12} |"));
+        for b in &buckets {
+            if b.is_nan() {
+                out.push(' ');
+            } else {
+                let lvl = ((b / ymax) * (levels.len() as f64 - 1.0)).round() as usize;
+                out.push(levels[lvl.min(levels.len() - 1)]);
+            }
+        }
+        out.push_str("|\n");
+    }
+    out.push_str(&format!("{:>12}  0 … {tmax:.1}s (y: 0 … {ymax:.2})\n", ""));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[vec!["xx".into(), "y".into()], vec!["z".into(), "wwwww".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with("---"));
+        // All rows same width.
+        assert!(lines[2].trim_end().len() <= lines[1].len());
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let c = render_csv(&["x", "y"], &[vec!["a,b".into(), "say \"hi\"".into()]]);
+        assert!(c.contains("\"a,b\""));
+        assert!(c.contains("\"say \"\"hi\"\"\""));
+        assert!(c.starts_with("x,y\n"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_opt_secs(Some(1.23456)), "1.235");
+        assert_eq!(fmt_opt_secs(None), "-");
+        assert_eq!(fmt_percent(Some(0.4567)), "45.7%");
+        assert_eq!(fmt_percent(None), "-");
+    }
+
+    #[test]
+    fn curves_render() {
+        let curves = vec![
+            ("fast".to_owned(), vec![(0.0, 1.0), (1.0, 0.2)]),
+            ("slow".to_owned(), vec![(0.0, 1.0), (2.0, 0.6)]),
+        ];
+        let s = render_curves(&curves, 20);
+        assert!(s.contains("fast"));
+        assert!(s.contains("slow"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    fn curves_empty_safe() {
+        assert!(render_curves(&[], 10).is_empty());
+        let flat = vec![("z".to_owned(), vec![(0.0, 0.0)])];
+        assert!(render_curves(&flat, 10).is_empty());
+    }
+}

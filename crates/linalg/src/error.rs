@@ -1,0 +1,137 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by `hetgc-linalg` routines.
+///
+/// Every fallible public function in this crate returns
+/// `Result<_, LinalgError>`. The variants carry enough context to diagnose
+/// shape bugs in callers (the most common failure in coding-matrix
+/// construction) without panicking inside library code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// `op` names the operation, and the two `(rows, cols)` pairs are the
+    /// offending shapes.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        left: (usize, usize),
+        /// Shape of the right-hand operand.
+        right: (usize, usize),
+    },
+    /// A matrix that must be square was not.
+    NotSquare {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Actual shape.
+        shape: (usize, usize),
+    },
+    /// A matrix was singular (or numerically singular) where an invertible
+    /// one was required, e.g. in [`crate::Matrix::solve`].
+    Singular {
+        /// The pivot magnitude that fell below tolerance.
+        pivot: f64,
+    },
+    /// A dimension was zero where a non-empty matrix was required.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// Row data passed to a constructor had inconsistent lengths.
+    RaggedRows {
+        /// Length of the first row.
+        expected: usize,
+        /// Length of the first offending row.
+        found: usize,
+        /// Index of the first offending row.
+        row: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+        /// Which axis (`"row"` or `"col"`).
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { op, shape } => {
+                write!(f, "{op} requires a square matrix, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (pivot magnitude {pivot:.3e})")
+            }
+            LinalgError::Empty { op } => write!(f, "{op} requires a non-empty matrix"),
+            LinalgError::RaggedRows { expected, found, row } => write!(
+                f,
+                "ragged row data: row {row} has length {found}, expected {expected}"
+            ),
+            LinalgError::IndexOutOfBounds { index, bound, axis } => {
+                write!(f, "{axis} index {index} out of bounds (must be < {bound})")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch { op: "mul", left: (2, 3), right: (4, 5) };
+        assert_eq!(e.to_string(), "shape mismatch in mul: 2x3 vs 4x5");
+    }
+
+    #[test]
+    fn display_not_square() {
+        let e = LinalgError::NotSquare { op: "inverse", shape: (2, 3) };
+        assert!(e.to_string().contains("square"));
+        assert!(e.to_string().contains("2x3"));
+    }
+
+    #[test]
+    fn display_singular_contains_pivot() {
+        let e = LinalgError::Singular { pivot: 1e-18 };
+        assert!(e.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn display_empty() {
+        let e = LinalgError::Empty { op: "lu" };
+        assert!(e.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn display_ragged() {
+        let e = LinalgError::RaggedRows { expected: 3, found: 2, row: 1 };
+        assert!(e.to_string().contains("row 1"));
+    }
+
+    #[test]
+    fn display_index() {
+        let e = LinalgError::IndexOutOfBounds { index: 9, bound: 4, axis: "row" };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,316 @@
+// Index-style loops below mirror the textbook elimination algorithms;
+// iterator adaptors would obscure the pivot arithmetic.
+#![allow(clippy::needless_range_loop)]
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Householder QR decomposition `A = Q·R` for `rows ≥ 1, cols ≥ 1`.
+///
+/// Gradient-coding decoders need least-squares solves: given the rows of `B`
+/// held by surviving workers (a generally non-square, full-row-rank system),
+/// find `a` with `aᵀ·B_I = 1`. We solve the transposed system
+/// `B_Iᵀ·a = 1ᵀ` in the least-squares sense and check the residual; a
+/// near-zero residual certifies decodability (Condition C1 for that
+/// survivor set).
+///
+/// # Example
+///
+/// ```
+/// use hetgc_linalg::Matrix;
+///
+/// # fn main() -> Result<(), hetgc_linalg::LinalgError> {
+/// // Overdetermined: fit x to minimize |Ax - b|.
+/// let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]])?;
+/// let qr = a.qr()?;
+/// let x = qr.solve_least_squares(&[6.0, 0.0, 0.0])?;
+/// assert_eq!(x.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Householder vectors stored below the diagonal; R on/above.
+    qr: Matrix,
+    /// The diagonal of R (kept separately for clarity).
+    r_diag: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors `a`. Called via [`Matrix::qr`].
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::Empty`] if either dimension is zero.
+    pub(crate) fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty { op: "qr" });
+        }
+        let mut qr = a.clone();
+        let steps = m.min(n);
+        let mut r_diag = vec![0.0; steps];
+
+        for k in 0..steps {
+            // Compute the norm of the k-th column below (and including) row k.
+            let mut norm = 0.0;
+            for i in k..m {
+                norm = f64::hypot(norm, qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                r_diag[k] = 0.0;
+                continue;
+            }
+            // Choose sign to avoid cancellation.
+            if qr[(k, k)] < 0.0 {
+                norm = -norm;
+            }
+            for i in k..m {
+                qr[(i, k)] /= norm;
+            }
+            qr[(k, k)] += 1.0;
+            // Apply the Householder reflection to the remaining columns.
+            for j in (k + 1)..n {
+                let mut s = 0.0;
+                for i in k..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s = -s / qr[(k, k)];
+                for i in k..m {
+                    let update = s * qr[(i, k)];
+                    qr[(i, j)] += update;
+                }
+            }
+            r_diag[k] = -norm;
+        }
+
+        Ok(Qr { qr, r_diag })
+    }
+
+    /// Number of rows of the factored matrix.
+    pub fn nrows(&self) -> usize {
+        self.qr.nrows()
+    }
+
+    /// Number of columns of the factored matrix.
+    pub fn ncols(&self) -> usize {
+        self.qr.ncols()
+    }
+
+    /// Returns `true` if R has a (numerically) zero diagonal entry, i.e. the
+    /// columns of `A` are linearly dependent.
+    pub fn is_rank_deficient(&self, tol: f64) -> bool {
+        self.r_diag.iter().any(|d| d.abs() <= tol)
+    }
+
+    /// Solves `min_x |A·x − b|₂` for `m ≥ n` systems.
+    ///
+    /// For square non-singular `A` this is an exact solve.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::ShapeMismatch`] if `b.len() != self.nrows()` or the
+    ///   system is underdetermined (`m < n`) — use
+    ///   [`solve_min_norm`] semantics via transposition instead.
+    /// * [`LinalgError::Singular`] if the columns are linearly dependent.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = (self.nrows(), self.ncols());
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        if m < n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve_underdetermined",
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        if self.is_rank_deficient(1e-12) {
+            return Err(LinalgError::Singular { pivot: 0.0 });
+        }
+        // y = Qᵀ·b, applied reflection by reflection.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            let mut s = 0.0;
+            for i in k..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s = -s / self.qr[(k, k)];
+            for i in k..m {
+                y[i] += s * self.qr[(i, k)];
+            }
+        }
+        // Back substitution on R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.qr[(i, j)] * x[j];
+            }
+            x[i] = acc / self.r_diag[i];
+        }
+        Ok(x)
+    }
+
+    /// Residual norm `|A·x − b|₂` for a candidate solution.
+    ///
+    /// Decoders use this to certify that a least-squares "solution" is an
+    /// exact solution (residual ≈ 0 ⇒ the survivor rows really span `1`).
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::ShapeMismatch`] on dimension mismatch.
+    pub fn residual_norm(&self, a: &Matrix, x: &[f64], b: &[f64]) -> Result<f64, LinalgError> {
+        let ax = a.matvec(x)?;
+        if ax.len() != b.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "residual",
+                left: (ax.len(), 1),
+                right: (b.len(), 1),
+            });
+        }
+        Ok(ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt())
+    }
+}
+
+/// Solves the underdetermined system `M·x = b` (with `M` having full row
+/// rank, `rows ≤ cols`) for the minimum-norm solution via the normal
+/// equations on `Mᵀ`: `x = Mᵀ·(M·Mᵀ)⁻¹·b`.
+///
+/// This is the textbook way to obtain a decode vector supported on a
+/// *larger-than-necessary* survivor set: `x` spreads weight across all
+/// available rows, which is numerically gentler than picking an arbitrary
+/// square subsystem.
+///
+/// # Errors
+///
+/// [`LinalgError::ShapeMismatch`] on dimension mismatch, or
+/// [`LinalgError::Singular`] if `M` does not have full row rank.
+pub fn solve_min_norm(m: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != m.nrows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "solve_min_norm",
+            left: m.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let mt = m.transpose();
+    let gram = m.matmul(&mt)?; // rows × rows
+    let w = gram.solve(b)?;
+    mt.matvec(&w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows).unwrap()
+    }
+
+    #[test]
+    fn square_exact_solve() {
+        let a = mat(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_line_fit() {
+        // Fit y = c0 + c1 * t to exact line data: residual must be ~0 and
+        // coefficients recovered.
+        let a = mat(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]);
+        let b = [1.0, 3.0, 5.0, 7.0]; // y = 1 + 2t
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 2.0).abs() < 1e-10);
+        assert!(qr.residual_norm(&a, &x, &b).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_with_noise_minimizes() {
+        let a = mat(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]);
+        let b = [0.0, 1.1, 1.9];
+        let qr = a.qr().unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        let r_star = qr.residual_norm(&a, &x, &b).unwrap();
+        // Any perturbation must not beat the LS solution.
+        for d0 in [-0.05, 0.05] {
+            for d1 in [-0.05, 0.05] {
+                let xp = [x[0] + d0, x[1] + d1];
+                let r = qr.residual_norm(&a, &xp, &b).unwrap();
+                assert!(r >= r_star - 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        let a = mat(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = a.qr().unwrap();
+        assert!(qr.is_rank_deficient(1e-10));
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn underdetermined_rejected_by_ls() {
+        let a = mat(&[&[1.0, 2.0, 3.0]]);
+        let qr = a.qr().unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn min_norm_solves_underdetermined() {
+        // One equation, two unknowns: x + y = 2; min-norm solution (1,1).
+        let m = mat(&[&[1.0, 1.0]]);
+        let x = solve_min_norm(&m, &[2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_norm_exactness() {
+        let m = mat(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, 1.0]]);
+        let b = [3.0, 5.0];
+        let x = solve_min_norm(&m, &b).unwrap();
+        let mx = m.matvec(&x).unwrap();
+        assert!((mx[0] - b[0]).abs() < 1e-10 && (mx[1] - b[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn min_norm_rank_deficient_errors() {
+        let m = mat(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        assert!(solve_min_norm(&m, &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn min_norm_shape_error() {
+        let m = mat(&[&[1.0, 1.0]]);
+        assert!(matches!(
+            solve_min_norm(&m, &[1.0, 2.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(Matrix::zeros(0, 3).qr().is_err());
+    }
+
+    #[test]
+    fn qr_handles_zero_column() {
+        let a = mat(&[&[0.0, 1.0], &[0.0, 2.0]]);
+        let qr = a.qr().unwrap();
+        assert!(qr.is_rank_deficient(1e-12));
+    }
+}

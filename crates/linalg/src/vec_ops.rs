@@ -1,0 +1,158 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! Gradients in the ML substrate are flat `Vec<f32>`/`Vec<f64>` buffers;
+//! encoding (`g̃_i = Σ_j b_ij·g_j`) and decoding (`g = Σ_i a_i·g̃_i`) are
+//! repeated scaled accumulations. These helpers keep that code readable and
+//! give the property tests a single algebra to target.
+
+/// Dot product `Σ a_i·b_i`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+/// ```
+/// assert_eq!(hetgc_linalg::vec_ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// In-place scaled accumulation: `y += alpha * x` (BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scaling: `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm `|x|₂`.
+pub fn norm2(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// Maximum absolute component `|x|_∞`.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+}
+
+/// Number of non-zero entries — the `ℓ₀` "norm" `‖b‖₀` used throughout the
+/// paper to count how many partitions a worker computes.
+pub fn l0_norm(x: &[f64]) -> usize {
+    x.iter().filter(|&&v| v != 0.0).count()
+}
+
+/// Indices of non-zero entries — `supp(b)` in the paper's notation.
+pub fn support(x: &[f64]) -> Vec<usize> {
+    x.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(i, _)| i).collect()
+}
+
+/// Componentwise sum of many equal-length vectors.
+///
+/// Returns an empty vector when `vs` is empty.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn sum_all(vs: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = vs.first() else { return Vec::new() };
+    let mut acc = vec![0.0; first.len()];
+    for v in vs {
+        axpy(1.0, v, &mut acc);
+    }
+    acc
+}
+
+/// Maximum absolute componentwise difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_len_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn axpy_zero_alpha_noop() {
+        let mut y = vec![1.0, 2.0];
+        axpy(0.0, &[100.0, 100.0], &mut y);
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = vec![1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm2(&[]), 0.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn l0_and_support() {
+        let v = [0.0, 1.5, 0.0, -2.0, 0.0];
+        assert_eq!(l0_norm(&v), 2);
+        assert_eq!(support(&v), vec![1, 3]);
+        assert_eq!(l0_norm(&[]), 0);
+        assert!(support(&[0.0, 0.0]).is_empty());
+    }
+
+    #[test]
+    fn sum_all_sums() {
+        let vs = vec![vec![1.0, 2.0], vec![10.0, 20.0], vec![100.0, 200.0]];
+        assert_eq!(sum_all(&vs), vec![111.0, 222.0]);
+        assert!(sum_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn max_abs_diff_works() {
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[1.5, 4.0]), 1.0);
+        assert_eq!(max_abs_diff(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the linear-algebra kernel.
+//!
+//! These target the algebraic identities the coding layer relies on:
+//! solve/inverse exactness, rank monotonicity, span-membership soundness,
+//! and the min-norm solver's exactness on full-row-rank systems.
+
+use hetgc_linalg::{in_span, solve_min_norm, Matrix, DEFAULT_TOLERANCE};
+use proptest::prelude::*;
+
+/// Strategy: a well-conditioned-ish square matrix (diagonally dominated) of
+/// side `n`, entries in (-1, 1) plus `n` on the diagonal. Diagonal dominance
+/// guarantees invertibility, so solve-based properties never vacuously pass.
+fn dominant_square(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |mut data| {
+        for i in 0..n {
+            data[i * n + i] += n as f64 + 1.0;
+        }
+        Matrix::from_vec(n, n, data).expect("sized correctly")
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-10.0f64..10.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solve_then_multiply_recovers_rhs(n in 1usize..8) {
+        let runner = (dominant_square(n), vector(n));
+        proptest!(|((a, b) in runner)| {
+            let x = a.solve(&b).unwrap();
+            let ax = a.matvec(&x).unwrap();
+            for (p, q) in ax.iter().zip(&b) {
+                prop_assert!((p - q).abs() < 1e-8, "residual too large");
+            }
+        });
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in dominant_square(5)) {
+        let inv = a.inverse().unwrap();
+        let left = inv.matmul(&a).unwrap();
+        let right = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(5);
+        prop_assert!(left.approx_eq(&id, 1e-8));
+        prop_assert!(right.approx_eq(&id, 1e-8));
+    }
+
+    #[test]
+    fn determinant_of_product_multiplies(a in dominant_square(4), b in dominant_square(4)) {
+        let da = a.determinant().unwrap();
+        let db = b.determinant().unwrap();
+        let dab = a.matmul(&b).unwrap().determinant().unwrap();
+        let scale = da.abs().max(db.abs()).max(1.0);
+        prop_assert!((dab - da * db).abs() / (scale * scale) < 1e-6);
+    }
+
+    #[test]
+    fn transpose_preserves_rank(
+        data in prop::collection::vec(-1.0f64..1.0, 12),
+    ) {
+        let a = Matrix::from_vec(3, 4, data).unwrap();
+        prop_assert_eq!(a.rank(DEFAULT_TOLERANCE), a.transpose().rank(DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn linear_combination_is_in_span(
+        rows in prop::collection::vec(prop::collection::vec(-5.0f64..5.0, 6), 1..4),
+        coeffs in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&row_refs).unwrap();
+        let mut target = vec![0.0; 6];
+        for (row, &c) in rows.iter().zip(&coeffs) {
+            for (t, &v) in target.iter_mut().zip(row) {
+                *t += c * v;
+            }
+        }
+        prop_assert!(in_span(&m, &target, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn vector_outside_row_space_is_rejected(
+        rows in prop::collection::vec(prop::collection::vec(0.1f64..5.0, 4), 1..3),
+    ) {
+        // Rows live in the first 4 coords of R^5; e5 cannot be in their span
+        // after embedding (last coordinate zero for all rows).
+        let embedded: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                let mut v = r.clone();
+                v.push(0.0);
+                v
+            })
+            .collect();
+        let row_refs: Vec<&[f64]> = embedded.iter().map(|r| r.as_slice()).collect();
+        let m = Matrix::from_rows(&row_refs).unwrap();
+        let e_last = [0.0, 0.0, 0.0, 0.0, 1.0];
+        prop_assert!(!in_span(&m, &e_last, DEFAULT_TOLERANCE));
+    }
+
+    #[test]
+    fn min_norm_is_exact_on_full_row_rank(
+        b in vector(2),
+        data in prop::collection::vec(-1.0f64..1.0, 8),
+    ) {
+        // 2x4 with orthogonal-ish structure: add identity blocks to force
+        // full row rank.
+        let mut d = data;
+        d[0] += 5.0; // (0,0)
+        d[5] += 5.0; // (1,1)
+        let m = Matrix::from_vec(2, 4, d).unwrap();
+        let x = solve_min_norm(&m, &b).unwrap();
+        let mx = m.matvec(&x).unwrap();
+        for (p, q) in mx.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matmul_associative(
+        a in dominant_square(3),
+        b in dominant_square(3),
+        c in dominant_square(3),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!(left.approx_eq(&right, 1e-6 * left.max_abs().max(1.0)));
+    }
+
+    #[test]
+    fn rank_of_stacked_duplicate_rows_unchanged(
+        row in prop::collection::vec(-5.0f64..5.0, 5),
+        k in 1usize..4,
+    ) {
+        prop_assume!(row.iter().any(|&x| x.abs() > 1e-6));
+        let rows: Vec<&[f64]> = std::iter::repeat_n(row.as_slice(), k).collect();
+        let m = Matrix::from_rows(&rows).unwrap();
+        prop_assert_eq!(m.rank(DEFAULT_TOLERANCE), 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Glue between models and the coding layer: per-partition partial
+//! gradients.
+//!
+//! The paper's framework (§III-A) needs `g_j` — the gradient over data
+//! partition `D_j` — for each partition a worker holds, which the worker
+//! then encodes as `g̃ = Σ_j b_j·g_j`. [`partial_gradients`] computes the
+//! `g_j` from contiguous sample ranges; by the additivity contract of
+//! [`Model`], `Σ_j g_j` equals the full-dataset gradient exactly.
+
+use crate::dataset::Dataset;
+use crate::model::Model;
+
+/// Computes the partial gradient for each `[lo, hi)` range in `ranges`.
+///
+/// Ranges typically come from `hetgc_cluster::PartitionAssignment::iter`.
+/// Only the listed ranges are computed — a worker passes just its own
+/// partitions.
+///
+/// # Panics
+///
+/// Panics (inside the model) on invalid ranges.
+pub fn partial_gradients<M: Model + ?Sized>(
+    model: &M,
+    params: &[f64],
+    data: &Dataset,
+    ranges: &[(usize, usize)],
+) -> Vec<Vec<f64>> {
+    ranges.iter().map(|&r| model.gradient(params, data, r)).collect()
+}
+
+/// Sums gradients component-wise. Returns an empty vector for no inputs.
+///
+/// # Panics
+///
+/// Panics if the gradients have different lengths.
+pub fn sum_gradients(grads: &[Vec<f64>]) -> Vec<f64> {
+    let Some(first) = grads.first() else {
+        return Vec::new();
+    };
+    let mut acc = vec![0.0; first.len()];
+    for g in grads {
+        assert_eq!(g.len(), acc.len(), "gradient length mismatch");
+        for (a, v) in acc.iter_mut().zip(g) {
+            *a += v;
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearRegression;
+    use crate::synthetic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partials_sum_to_full_gradient() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let data = synthetic::linear_regression(20, 3, 0.1, &mut rng);
+        let model = LinearRegression::new(3);
+        let params = model.init_params(&mut rng);
+        let ranges = [(0usize, 5usize), (5, 12), (12, 20)];
+        let partials = partial_gradients(&model, &params, &data, &ranges);
+        assert_eq!(partials.len(), 3);
+        let total = sum_gradients(&partials);
+        let full = model.gradient(&params, &data, (0, 20));
+        for (a, b) in total.iter().zip(&full) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn subset_of_ranges_only() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let data = synthetic::linear_regression(10, 2, 0.0, &mut rng);
+        let model = LinearRegression::new(2);
+        let params = vec![0.0; 3];
+        let partials = partial_gradients(&model, &params, &data, &[(3, 7)]);
+        assert_eq!(partials.len(), 1);
+        assert_eq!(partials[0].len(), 3);
+    }
+
+    #[test]
+    fn sum_gradients_empty() {
+        assert!(sum_gradients(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn sum_gradients_ragged_panics() {
+        sum_gradients(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

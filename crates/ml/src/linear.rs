@@ -1,0 +1,192 @@
+//! Linear regression with squared loss.
+
+use rand::RngCore;
+
+use crate::dataset::Dataset;
+use crate::model::{uniform_init, Model};
+
+/// Linear regression: `ŷ = wᵀx + b`, loss `½(ŷ − y)²` summed over samples.
+///
+/// Parameters are laid out `[w_0 … w_{d−1}, b]`.
+///
+/// # Example
+///
+/// ```
+/// use hetgc_ml::{synthetic, LinearRegression, Model};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let data = synthetic::linear_regression(100, 3, 0.0, &mut rng);
+/// let model = LinearRegression::new(3);
+/// let params = model.init_params(&mut rng);
+/// let g = model.gradient(&params, &data, (0, 100));
+/// assert_eq!(g.len(), 4); // 3 weights + bias
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearRegression {
+    dim: usize,
+}
+
+impl LinearRegression {
+    /// A linear model over `dim` features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        LinearRegression { dim }
+    }
+
+    /// The feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn predict(&self, params: &[f64], x: &[f64]) -> f64 {
+        let w = &params[..self.dim];
+        let b = params[self.dim];
+        w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>() + b
+    }
+
+    fn check(&self, params: &[f64], data: &Dataset, (lo, hi): (usize, usize)) {
+        assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
+        assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
+        assert!(lo <= hi && hi <= data.len(), "bad range [{lo}, {hi})");
+    }
+}
+
+impl Model for LinearRegression {
+    fn num_params(&self) -> usize {
+        self.dim + 1
+    }
+
+    fn loss(&self, params: &[f64], data: &Dataset, range: (usize, usize)) -> f64 {
+        self.check(params, data, range);
+        (range.0..range.1)
+            .map(|i| {
+                let r = self.predict(params, data.features_of(i)) - data.regression_target(i);
+                0.5 * r * r
+            })
+            .sum()
+    }
+
+    fn gradient(&self, params: &[f64], data: &Dataset, range: (usize, usize)) -> Vec<f64> {
+        self.check(params, data, range);
+        let mut grad = vec![0.0; self.num_params()];
+        for i in range.0..range.1 {
+            let x = data.features_of(i);
+            let r = self.predict(params, x) - data.regression_target(i);
+            for (gj, xj) in grad[..self.dim].iter_mut().zip(x) {
+                *gj += r * xj;
+            }
+            grad[self.dim] += r;
+        }
+        grad
+    }
+
+    fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64> {
+        uniform_init(self.num_params(), 0.1, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Targets;
+    use crate::model::numeric_gradient;
+    use crate::synthetic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0],
+            Targets::Regression(vec![2.0, 3.0, 5.0]),
+            2,
+        )
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let d = tiny();
+        let m = LinearRegression::new(2);
+        let params = [0.3, -0.7, 0.1];
+        let g = m.gradient(&params, &d, (0, 3));
+        let ng = numeric_gradient(&m, &params, &d, (0, 3), 1e-6);
+        for (a, b) in g.iter().zip(&ng) {
+            assert!((a - b).abs() < 1e-5, "{g:?} vs {ng:?}");
+        }
+    }
+
+    #[test]
+    fn partial_gradients_sum_to_full() {
+        let d = tiny();
+        let m = LinearRegression::new(2);
+        let params = [0.5, 0.5, 0.0];
+        let full = m.gradient(&params, &d, (0, 3));
+        let a = m.gradient(&params, &d, (0, 1));
+        let b = m.gradient(&params, &d, (1, 3));
+        for j in 0..3 {
+            assert!((full[j] - a[j] - b[j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_loss_at_exact_solution() {
+        // y = 2x₀ + 3x₁ + 0: tiny() targets are exactly that.
+        let d = tiny();
+        let m = LinearRegression::new(2);
+        let loss = m.loss(&[2.0, 3.0, 0.0], &d, (0, 3));
+        assert!(loss < 1e-20);
+        let g = m.gradient(&[2.0, 3.0, 0.0], &d, (0, 3));
+        assert!(g.iter().all(|x| x.abs() < 1e-10));
+    }
+
+    #[test]
+    fn sgd_recovers_ground_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = synthetic::linear_regression(500, 3, 0.0, &mut rng);
+        let m = LinearRegression::new(3);
+        let mut params = m.init_params(&mut rng);
+        let n = d.len() as f64;
+        for _ in 0..300 {
+            let mut g = m.gradient(&params, &d, (0, d.len()));
+            for gi in &mut g {
+                *gi /= n;
+            }
+            for (p, gi) in params.iter_mut().zip(&g) {
+                *p -= 0.3 * gi;
+            }
+        }
+        let loss = m.loss(&params, &d, (0, d.len())) / n;
+        assert!(loss < 1e-4, "final loss {loss}");
+    }
+
+    #[test]
+    fn empty_range_is_zero() {
+        let d = tiny();
+        let m = LinearRegression::new(2);
+        assert_eq!(m.loss(&[0.0; 3], &d, (1, 1)), 0.0);
+        assert!(m.gradient(&[0.0; 3], &d, (2, 2)).iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count")]
+    fn wrong_param_len_panics() {
+        LinearRegression::new(2).loss(&[0.0; 2], &tiny(), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad range")]
+    fn bad_range_panics() {
+        LinearRegression::new(2).loss(&[0.0; 3], &tiny(), (0, 9));
+    }
+
+    #[test]
+    fn accessors() {
+        let m = LinearRegression::new(4);
+        assert_eq!(m.dim(), 4);
+        assert_eq!(m.num_params(), 5);
+    }
+}

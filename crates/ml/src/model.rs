@@ -1,0 +1,131 @@
+//! The model contract.
+
+use rand::Rng;
+
+use crate::dataset::Dataset;
+
+/// A differentiable model over flat `f64` parameter vectors.
+///
+/// The central contract for gradient coding is **additivity**: for disjoint
+/// sample ranges `R₁, R₂`, `gradient(R₁ ∪ R₂) = gradient(R₁) + gradient(R₂)`
+/// — which holds because both [`Model::loss`] and [`Model::gradient`]
+/// return *sums* over samples, not means (the trainer normalizes once at
+/// the end). The test suites of every implementation assert this property
+/// together with a finite-difference check via [`numeric_gradient`].
+pub trait Model {
+    /// Total number of parameters.
+    fn num_params(&self) -> usize;
+
+    /// Sum of per-sample losses over `range = [lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on parameter/dataset shape mismatches and
+    /// out-of-range `range` — these are caller bugs, not runtime
+    /// conditions.
+    fn loss(&self, params: &[f64], data: &Dataset, range: (usize, usize)) -> f64;
+
+    /// Sum of per-sample loss gradients over `range = [lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Model::loss`].
+    fn gradient(&self, params: &[f64], data: &Dataset, range: (usize, usize)) -> Vec<f64>;
+
+    /// Fresh parameters (small random values; exact scheme per model).
+    fn init_params(&self, rng: &mut dyn rand::RngCore) -> Vec<f64>;
+}
+
+/// Central-difference numerical gradient, for verifying [`Model::gradient`]
+/// implementations in tests: `∂L/∂θ_j ≈ (L(θ+εe_j) − L(θ−εe_j)) / 2ε`.
+pub fn numeric_gradient<M: Model + ?Sized>(
+    model: &M,
+    params: &[f64],
+    data: &Dataset,
+    range: (usize, usize),
+    eps: f64,
+) -> Vec<f64> {
+    let mut theta = params.to_vec();
+    let mut grad = vec![0.0; params.len()];
+    for j in 0..params.len() {
+        let orig = theta[j];
+        theta[j] = orig + eps;
+        let up = model.loss(&theta, data, range);
+        theta[j] = orig - eps;
+        let down = model.loss(&theta, data, range);
+        theta[j] = orig;
+        grad[j] = (up - down) / (2.0 * eps);
+    }
+    grad
+}
+
+/// Uniform random init in `[-scale, scale]` — shared by model impls.
+pub(crate) fn uniform_init(n: usize, scale: f64, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+    (0..n).map(|_| rng.gen_range(-scale..scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Targets;
+
+    /// A deliberately trivial model for exercising the trait machinery:
+    /// L(θ) = Σ_i (θ₀ − y_i)².
+    struct ConstModel;
+
+    impl Model for ConstModel {
+        fn num_params(&self) -> usize {
+            1
+        }
+
+        fn loss(&self, params: &[f64], data: &Dataset, (lo, hi): (usize, usize)) -> f64 {
+            (lo..hi).map(|i| (params[0] - data.regression_target(i)).powi(2)).sum()
+        }
+
+        fn gradient(&self, params: &[f64], data: &Dataset, (lo, hi): (usize, usize)) -> Vec<f64> {
+            vec![(lo..hi).map(|i| 2.0 * (params[0] - data.regression_target(i))).sum()]
+        }
+
+        fn init_params(&self, rng: &mut dyn rand::RngCore) -> Vec<f64> {
+            uniform_init(1, 0.1, rng)
+        }
+    }
+
+    fn data() -> Dataset {
+        Dataset::new(vec![0.0; 4], Targets::Regression(vec![1.0, 2.0, 3.0, 4.0]), 1)
+    }
+
+    #[test]
+    fn numeric_gradient_matches_analytic() {
+        let d = data();
+        let g = ConstModel.gradient(&[0.5], &d, (0, 4));
+        let ng = numeric_gradient(&ConstModel, &[0.5], &d, (0, 4), 1e-6);
+        assert!((g[0] - ng[0]).abs() < 1e-6, "{} vs {}", g[0], ng[0]);
+    }
+
+    #[test]
+    fn gradient_additivity() {
+        let d = data();
+        let full = ConstModel.gradient(&[0.5], &d, (0, 4));
+        let left = ConstModel.gradient(&[0.5], &d, (0, 2));
+        let right = ConstModel.gradient(&[0.5], &d, (2, 4));
+        assert!((full[0] - left[0] - right[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn init_in_range() {
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let p = ConstModel.init_params(&mut rng);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].abs() <= 0.1);
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let d = data();
+        let m: &dyn Model = &ConstModel;
+        assert_eq!(m.num_params(), 1);
+        let g = numeric_gradient(m, &[0.0], &d, (0, 4), 1e-6);
+        assert_eq!(g.len(), 1);
+    }
+}

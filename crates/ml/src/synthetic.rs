@@ -1,0 +1,225 @@
+//! Synthetic dataset generators.
+//!
+//! Stand-ins for the paper's CIFAR-10 / ImageNet workloads (see DESIGN.md):
+//! what gradient coding needs from a dataset is only (a) partitionable
+//! sample order, (b) per-sample gradient cost proportional to the sample
+//! count, and (c) a non-trivial loss landscape for the Fig. 4 convergence
+//! curves. These generators provide all three with controllable size.
+
+// Index loops keep the per-pixel template/center arithmetic explicit.
+#![allow(clippy::needless_range_loop)]
+
+use rand::Rng;
+
+use crate::dataset::{Dataset, Targets};
+
+/// Standard normal via Box–Muller.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Linear-regression data: `y = w*ᵀx + ε`, `x ~ N(0, I)`,
+/// `ε ~ N(0, noise²)`, with a fixed ground-truth `w*` drawn once.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `dim == 0`.
+pub fn linear_regression<R: Rng + ?Sized>(
+    n: usize,
+    dim: usize,
+    noise: f64,
+    rng: &mut R,
+) -> Dataset {
+    assert!(n > 0 && dim > 0, "need samples and features");
+    let w_star: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+    let mut x = Vec::with_capacity(n * dim);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let xi: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+        let target: f64 =
+            w_star.iter().zip(&xi).map(|(w, v)| w * v).sum::<f64>() + noise * standard_normal(rng);
+        x.extend_from_slice(&xi);
+        y.push(target);
+    }
+    Dataset::new(x, Targets::Regression(y), dim)
+}
+
+/// Gaussian blobs: `classes` isotropic clusters with centers at distance
+/// `separation` from the origin along random directions; unit within-class
+/// variance. Labels cycle through classes so every prefix is roughly
+/// balanced (partitions see all classes).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `dim == 0`, or `classes < 2`.
+pub fn gaussian_blobs<R: Rng + ?Sized>(
+    n: usize,
+    dim: usize,
+    classes: usize,
+    separation: f64,
+    rng: &mut R,
+) -> Dataset {
+    assert!(n > 0 && dim > 0, "need samples and features");
+    assert!(classes >= 2, "need at least two classes");
+    let centers: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            let dir: Vec<f64> = (0..dim).map(|_| standard_normal(rng)).collect();
+            let norm = dir.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-9);
+            dir.into_iter().map(|v| v / norm * separation).collect()
+        })
+        .collect();
+    let mut x = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        for j in 0..dim {
+            x.push(centers[c][j] + standard_normal(rng));
+        }
+        labels.push(c);
+    }
+    Dataset::new(x, Targets::Classes { labels, num_classes: classes }, dim)
+}
+
+/// CIFAR-like image classification data: class templates with localized
+/// "feature patches" plus pixel noise, normalized to `[-1, 1]`-ish range.
+/// Use `dim = 3072` for a faithful CIFAR shape or smaller for quick runs.
+///
+/// Labels cycle through classes (balanced partitions).
+///
+/// # Panics
+///
+/// Panics if `n == 0`, `dim == 0`, or `classes < 2`.
+pub fn image_like<R: Rng + ?Sized>(n: usize, dim: usize, classes: usize, rng: &mut R) -> Dataset {
+    assert!(n > 0 && dim > 0, "need samples and pixels");
+    assert!(classes >= 2, "need at least two classes");
+    // Each class activates a sparse random template (like object shape).
+    let templates: Vec<Vec<f64>> = (0..classes)
+        .map(|_| {
+            (0..dim)
+                .map(|_| if rng.gen_bool(0.2) { rng.gen_range(0.5..1.5) } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let mut x = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        for j in 0..dim {
+            let pixel = templates[c][j] + 0.5 * standard_normal(rng);
+            x.push(pixel.clamp(-2.0, 2.0));
+        }
+        labels.push(c);
+    }
+    Dataset::new(x, Targets::Classes { labels, num_classes: classes }, dim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn linear_regression_shapes() {
+        let d = linear_regression(50, 3, 0.1, &mut rng());
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.dim(), 3);
+        assert!(d.num_classes().is_none());
+    }
+
+    #[test]
+    fn linear_regression_noiseless_is_consistent() {
+        // With zero noise, the same x maps to the same deterministic y; the
+        // data must be exactly fittable — check residual of normal
+        // equations is ~0 via training in linear.rs tests; here check
+        // variance of targets is driven by w*, not degenerate.
+        let d = linear_regression(100, 2, 0.0, &mut rng());
+        let mean: f64 = (0..100).map(|i| d.regression_target(i)).sum::<f64>() / 100.0;
+        let var: f64 =
+            (0..100).map(|i| (d.regression_target(i) - mean).powi(2)).sum::<f64>() / 100.0;
+        assert!(var > 0.01, "targets degenerate: var {var}");
+    }
+
+    #[test]
+    fn blobs_balanced_labels() {
+        let d = gaussian_blobs(90, 2, 3, 3.0, &mut rng());
+        let mut counts = [0usize; 3];
+        for i in 0..90 {
+            counts[d.class_of(i)] += 1;
+        }
+        assert_eq!(counts, [30, 30, 30]);
+    }
+
+    #[test]
+    fn blobs_are_separated() {
+        let d = gaussian_blobs(300, 4, 2, 8.0, &mut rng());
+        // Class means should be far apart relative to unit noise.
+        let mut means = vec![vec![0.0; 4]; 2];
+        let mut counts = [0usize; 2];
+        for i in 0..300 {
+            let c = d.class_of(i);
+            counts[c] += 1;
+            for j in 0..4 {
+                means[c][j] += d.features_of(i)[j];
+            }
+        }
+        for c in 0..2 {
+            for j in 0..4 {
+                means[c][j] /= counts[c] as f64;
+            }
+        }
+        let dist: f64 = means[0]
+            .iter()
+            .zip(&means[1])
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
+        assert!(dist > 4.0, "centers too close: {dist}");
+    }
+
+    #[test]
+    fn image_like_shapes_and_range() {
+        let d = image_like(40, 64, 10, &mut rng());
+        assert_eq!(d.len(), 40);
+        assert_eq!(d.dim(), 64);
+        assert_eq!(d.num_classes(), Some(10));
+        for i in 0..40 {
+            for &p in d.features_of(i) {
+                assert!((-2.0..=2.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn image_like_classes_cycle() {
+        let d = image_like(25, 8, 5, &mut rng());
+        for i in 0..25 {
+            assert_eq!(d.class_of(i), i % 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn image_like_one_class_rejected() {
+        image_like(10, 4, 1, &mut rng());
+    }
+
+    #[test]
+    #[should_panic(expected = "samples")]
+    fn zero_samples_rejected() {
+        linear_regression(0, 4, 0.0, &mut rng());
+    }
+
+    #[test]
+    fn determinism_given_seed() {
+        let a = image_like(10, 8, 2, &mut StdRng::seed_from_u64(5));
+        let b = image_like(10, 8, 2, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,146 @@
+//! Runtime configuration: per-worker behaviour injection.
+
+use std::time::Duration;
+
+/// Behaviour of one worker, used to emulate heterogeneity and stragglers on
+/// real threads.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerBehavior {
+    /// Extra sleep added to every iteration (transient straggler
+    /// emulation; the Fig. 2 delay knob).
+    pub extra_delay: Duration,
+    /// Target throughput in samples/second. When set, the worker sleeps
+    /// after computing so its iteration takes at least
+    /// `samples / rate` seconds — turning a fast local thread into a slow
+    /// "2-vCPU VM". `None` runs at native speed.
+    pub throttle_samples_per_sec: Option<f64>,
+    /// Fail-stop: from this iteration on (1-based), the worker stops
+    /// responding entirely — the paper's fault case.
+    pub fail_from_iteration: Option<usize>,
+}
+
+impl WorkerBehavior {
+    /// Nominal behaviour: no delay, native speed, never fails.
+    pub fn nominal() -> Self {
+        WorkerBehavior::default()
+    }
+
+    /// Adds a fixed per-iteration delay.
+    pub fn with_delay(mut self, delay: Duration) -> Self {
+        self.extra_delay = delay;
+        self
+    }
+
+    /// Throttles to the given samples/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn with_throttle(mut self, rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "throttle rate must be positive");
+        self.throttle_samples_per_sec = Some(rate);
+        self
+    }
+
+    /// Makes the worker fail from iteration `iter` (1-based) onward.
+    pub fn failing_from(mut self, iter: usize) -> Self {
+        self.fail_from_iteration = Some(iter);
+        self
+    }
+
+    /// Whether the worker responds at iteration `iter` (1-based).
+    pub fn responds_at(&self, iter: usize) -> bool {
+        self.fail_from_iteration.is_none_or(|f| iter < f)
+    }
+}
+
+/// Whole-runtime configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuntimeConfig {
+    /// Per-worker behaviours. Missing entries default to
+    /// [`WorkerBehavior::nominal`].
+    pub behaviors: Vec<WorkerBehavior>,
+    /// How long the master waits for results in one iteration before
+    /// declaring it undecodable. `None` waits forever (safe only when at
+    /// most `s` workers can be missing).
+    pub iteration_timeout: Option<Duration>,
+}
+
+impl RuntimeConfig {
+    /// All-nominal configuration.
+    pub fn nominal(workers: usize) -> Self {
+        RuntimeConfig {
+            behaviors: vec![WorkerBehavior::nominal(); workers],
+            iteration_timeout: None,
+        }
+    }
+
+    /// The behaviour of worker `w` (nominal when unspecified).
+    pub fn behavior_of(&self, w: usize) -> WorkerBehavior {
+        self.behaviors.get(w).cloned().unwrap_or_default()
+    }
+
+    /// Sets the behaviour of a single worker, growing the table as needed.
+    pub fn set_behavior(mut self, worker: usize, behavior: WorkerBehavior) -> Self {
+        if self.behaviors.len() <= worker {
+            self.behaviors.resize(worker + 1, WorkerBehavior::nominal());
+        }
+        self.behaviors[worker] = behavior;
+        self
+    }
+
+    /// Sets the per-iteration decode timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.iteration_timeout = Some(timeout);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_defaults() {
+        let b = WorkerBehavior::nominal();
+        assert_eq!(b.extra_delay, Duration::ZERO);
+        assert!(b.throttle_samples_per_sec.is_none());
+        assert!(b.responds_at(1_000_000));
+    }
+
+    #[test]
+    fn builder_chain() {
+        let b = WorkerBehavior::nominal()
+            .with_delay(Duration::from_millis(5))
+            .with_throttle(100.0)
+            .failing_from(3);
+        assert_eq!(b.extra_delay, Duration::from_millis(5));
+        assert_eq!(b.throttle_samples_per_sec, Some(100.0));
+        assert!(b.responds_at(2));
+        assert!(!b.responds_at(3));
+        assert!(!b.responds_at(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throttle_rejected() {
+        WorkerBehavior::nominal().with_throttle(0.0);
+    }
+
+    #[test]
+    fn config_defaults_and_growth() {
+        let cfg = RuntimeConfig::nominal(2)
+            .set_behavior(4, WorkerBehavior::nominal().failing_from(1));
+        assert_eq!(cfg.behaviors.len(), 5);
+        assert!(cfg.behavior_of(1).responds_at(9));
+        assert!(!cfg.behavior_of(4).responds_at(1));
+        // Unknown workers are nominal.
+        assert!(cfg.behavior_of(99).responds_at(1));
+    }
+
+    #[test]
+    fn timeout_builder() {
+        let cfg = RuntimeConfig::nominal(1).with_timeout(Duration::from_secs(2));
+        assert_eq!(cfg.iteration_timeout, Some(Duration::from_secs(2)));
+    }
+}

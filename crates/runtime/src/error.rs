@@ -1,0 +1,74 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the threaded runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// Configuration inconsistent with the coding matrix or dataset.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// An iteration could not be decoded: more workers were lost than the
+    /// scheme tolerates.
+    Undecodable {
+        /// The iteration that failed.
+        iteration: usize,
+        /// How many results arrived before the master gave up.
+        received: usize,
+    },
+    /// A worker thread disconnected unexpectedly (panic in worker code).
+    WorkerLost {
+        /// The worker whose channel closed.
+        worker: usize,
+    },
+    /// The coding layer failed (propagated message).
+    Coding {
+        /// Underlying message.
+        message: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig { reason } => write!(f, "invalid runtime config: {reason}"),
+            RuntimeError::Undecodable { iteration, received } => write!(
+                f,
+                "iteration {iteration} undecodable after {received} results (too many stragglers)"
+            ),
+            RuntimeError::WorkerLost { worker } => write!(f, "worker {worker} disconnected"),
+            RuntimeError::Coding { message } => write!(f, "coding failure: {message}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+impl From<hetgc_coding::CodingError> for RuntimeError {
+    fn from(e: hetgc_coding::CodingError) -> Self {
+        RuntimeError::Coding { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(RuntimeError::InvalidConfig { reason: "x".into() }.to_string().contains("invalid"));
+        assert!(RuntimeError::Undecodable { iteration: 3, received: 2 }
+            .to_string()
+            .contains("iteration 3"));
+        assert!(RuntimeError::WorkerLost { worker: 1 }.to_string().contains("worker 1"));
+        assert!(RuntimeError::Coding { message: "m".into() }.to_string().contains("coding"));
+    }
+
+    #[test]
+    fn from_coding() {
+        let e: RuntimeError =
+            hetgc_coding::CodingError::InvalidParameter { reason: "r".into() }.into();
+        assert!(matches!(e, RuntimeError::Coding { .. }));
+    }
+}

@@ -1,0 +1,386 @@
+//! The master: broadcast → collect → decode at the earliest decodable set
+//! → optimize, iterated.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hetgc_cluster::PartitionAssignment;
+use hetgc_coding::{CodingMatrix, OnlineDecoder};
+use hetgc_ml::{Dataset, Model, Optimizer};
+use rand::RngCore;
+
+use crate::config::RuntimeConfig;
+use crate::error::RuntimeError;
+use crate::message::{FromWorker, ToWorker};
+use crate::worker::{worker_main, WorkerContext};
+
+/// Outcome of a threaded training run.
+#[derive(Debug, Clone)]
+pub struct TrainingReport {
+    /// Mean training loss after each iteration.
+    pub losses: Vec<f64>,
+    /// Wall-clock duration of each iteration.
+    pub iteration_times: Vec<Duration>,
+    /// How many worker results the master consumed per iteration.
+    pub results_used: Vec<usize>,
+    /// Final parameters.
+    pub params: Vec<f64>,
+}
+
+impl TrainingReport {
+    /// Mean iteration wall time in seconds.
+    pub fn avg_iteration_seconds(&self) -> f64 {
+        if self.iteration_times.is_empty() {
+            return 0.0;
+        }
+        self.iteration_times.iter().map(Duration::as_secs_f64).sum::<f64>()
+            / self.iteration_times.len() as f64
+    }
+}
+
+/// A coded distributed trainer running each worker on its own OS thread.
+///
+/// Construction wires up channels and partition assignments; [`run`]
+/// spawns the threads, trains, and joins them.
+///
+/// [`run`]: ThreadedTrainer::run
+#[derive(Debug)]
+pub struct ThreadedTrainer<M, O> {
+    code: CodingMatrix,
+    model: Arc<M>,
+    data: Arc<Dataset>,
+    optimizer: O,
+    config: RuntimeConfig,
+    assignment: PartitionAssignment,
+}
+
+impl<M, O> ThreadedTrainer<M, O>
+where
+    M: Model + Send + Sync + 'static,
+    O: Optimizer,
+{
+    /// Creates a trainer for `code` over `data`.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] when the dataset has fewer samples
+    /// than partitions.
+    pub fn new(
+        code: CodingMatrix,
+        model: M,
+        data: Dataset,
+        optimizer: O,
+        config: RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let assignment =
+            PartitionAssignment::even(data.len(), code.partitions()).map_err(|e| {
+                RuntimeError::InvalidConfig { reason: format!("partitioning failed: {e}") }
+            })?;
+        Ok(ThreadedTrainer {
+            code,
+            model: Arc::new(model),
+            data: Arc::new(data),
+            optimizer,
+            config,
+            assignment,
+        })
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.code.workers()
+    }
+
+    /// Trains for `iterations` rounds, returning the loss/timing report.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Undecodable`] if an iteration cannot decode within
+    ///   the configured timeout (too many failed workers for `s`).
+    /// * [`RuntimeError::WorkerLost`] if a worker thread panics.
+    pub fn run(mut self, iterations: usize, rng: &mut dyn RngCore) -> Result<TrainingReport, RuntimeError> {
+        let m = self.code.workers();
+        let (from_tx, from_rx) = unbounded::<FromWorker>();
+        let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(m);
+        let mut handles = Vec::with_capacity(m);
+
+        for w in 0..m {
+            let (to_tx, to_rx) = unbounded::<ToWorker>();
+            to_workers.push(to_tx);
+            let support = self.code.support_of(w);
+            let ranges: Vec<(usize, usize)> = support
+                .iter()
+                .map(|&p| self.assignment.range(p).expect("support within k"))
+                .collect();
+            let coefficients: Vec<f64> =
+                support.iter().map(|&p| self.code.row(w)[p]).collect();
+            let ctx = WorkerContext {
+                index: w,
+                model: Arc::clone(&self.model),
+                data: Arc::clone(&self.data),
+                ranges,
+                coefficients,
+                behavior: self.config.behavior_of(w),
+                inbox: to_rx,
+                outbox: from_tx.clone(),
+            };
+            handles.push(std::thread::spawn(move || worker_main(ctx)));
+        }
+        drop(from_tx); // master keeps only the receiver
+
+        let result = self.training_loop(iterations, &to_workers, &from_rx, rng);
+
+        for tx in &to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        result
+    }
+
+    fn training_loop(
+        &mut self,
+        iterations: usize,
+        to_workers: &[Sender<ToWorker>],
+        from_rx: &Receiver<FromWorker>,
+        rng: &mut dyn RngCore,
+    ) -> Result<TrainingReport, RuntimeError> {
+        let n = self.data.len() as f64;
+        let mut params = self.model.init_params(rng);
+        let mut losses = Vec::with_capacity(iterations);
+        let mut iteration_times = Vec::with_capacity(iterations);
+        let mut results_used = Vec::with_capacity(iterations);
+
+        for iter in 1..=iterations {
+            let started = Instant::now();
+            let shared = Arc::new(params.clone());
+            for (w, tx) in to_workers.iter().enumerate() {
+                tx.send(ToWorker::Round { iteration: iter, params: Arc::clone(&shared) })
+                    .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
+            }
+
+            let mut decoder = OnlineDecoder::new(&self.code);
+            let mut received: HashMap<usize, Vec<f64>> = HashMap::new();
+            let decode_vec = loop {
+                let msg = match self.config.iteration_timeout {
+                    Some(t) => from_rx.recv_timeout(t).map_err(|_| RuntimeError::Undecodable {
+                        iteration: iter,
+                        received: received.len(),
+                    })?,
+                    None => from_rx.recv().map_err(|_| RuntimeError::Undecodable {
+                        iteration: iter,
+                        received: received.len(),
+                    })?,
+                };
+                if msg.iteration != iter {
+                    continue; // stale result from a previous round
+                }
+                let worker = msg.worker;
+                received.insert(worker, msg.coded);
+                if let Some(a) = decoder.push(worker)? {
+                    break a;
+                }
+            };
+
+            // g = Σ a_w · g̃_w, normalized to a mean gradient.
+            let mut gradient = vec![0.0; self.model.num_params()];
+            let mut used = 0;
+            for (w, coded) in &received {
+                let coef = decode_vec[*w];
+                if coef == 0.0 {
+                    continue;
+                }
+                used += 1;
+                for (g, c) in gradient.iter_mut().zip(coded) {
+                    *g += coef * c;
+                }
+            }
+            for g in &mut gradient {
+                *g /= n;
+            }
+            self.optimizer.step(&mut params, &gradient);
+
+            losses.push(self.model.loss(&params, &self.data, (0, self.data.len())) / n);
+            iteration_times.push(started.elapsed());
+            results_used.push(used);
+        }
+
+        Ok(TrainingReport { losses, iteration_times, results_used, params })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkerBehavior;
+    use hetgc_coding::{heter_aware, naive};
+    use hetgc_ml::{synthetic, LinearRegression, Sgd, SoftmaxRegression};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_data(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        synthetic::linear_regression(60, 3, 0.01, &mut rng)
+    }
+
+    #[test]
+    fn trains_and_loss_decreases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let code = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng).unwrap();
+        let trainer = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            quick_data(1),
+            Sgd::new(0.2),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(trainer.workers(), 3);
+        let report = trainer.run(25, &mut rng).unwrap();
+        assert_eq!(report.losses.len(), 25);
+        assert!(report.losses[24] < report.losses[0] * 0.5, "{:?}", report.losses);
+        assert!(report.avg_iteration_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn coded_training_matches_serial_sgd() {
+        // The decoded gradient is the exact batch gradient, so the coded
+        // trajectory must match serial full-batch SGD step for step.
+        let data = quick_data(2);
+        let model = LinearRegression::new(3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let code = heter_aware(&[1.0, 2.0, 1.0], 4, 1, &mut rng).unwrap();
+
+        // Serial reference with identical initialization.
+        let mut ref_rng = StdRng::seed_from_u64(99);
+        let mut ref_params = model.init_params(&mut ref_rng);
+        let n = data.len() as f64;
+        let mut ref_losses = Vec::new();
+        for _ in 0..10 {
+            let mut g = model.gradient(&ref_params, &data, (0, data.len()));
+            for gi in &mut g {
+                *gi /= n;
+            }
+            for (p, gi) in ref_params.iter_mut().zip(&g) {
+                *p -= 0.1 * gi;
+            }
+            ref_losses.push(model.loss(&ref_params, &data, (0, data.len())) / n);
+        }
+
+        let trainer = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            data,
+            Sgd::new(0.1),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let mut run_rng = StdRng::seed_from_u64(99); // same init draw
+        let report = trainer.run(10, &mut run_rng).unwrap();
+        for (a, b) in report.losses.iter().zip(&ref_losses) {
+            assert!((a - b).abs() < 1e-8, "coded {a} vs serial {b}");
+        }
+        for (p, q) in report.params.iter().zip(&ref_params) {
+            assert!((p - q).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn survives_worker_failure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let code = heter_aware(&[1.0, 1.0, 1.0, 1.0], 4, 1, &mut rng).unwrap();
+        let config = RuntimeConfig::nominal(4)
+            .set_behavior(2, WorkerBehavior::nominal().failing_from(3));
+        let trainer = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            quick_data(3),
+            Sgd::new(0.1),
+            config,
+        )
+        .unwrap();
+        let report = trainer.run(8, &mut rng).unwrap();
+        assert_eq!(report.losses.len(), 8);
+        // After the failure the master decodes from ≤ 3 workers.
+        assert!(report.results_used[5..].iter().all(|&u| u <= 3));
+    }
+
+    #[test]
+    fn naive_with_failure_times_out() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let code = naive(3).unwrap();
+        let config = RuntimeConfig::nominal(3)
+            .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
+            .with_timeout(Duration::from_millis(300));
+        let trainer = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            quick_data(4),
+            Sgd::new(0.1),
+            config,
+        )
+        .unwrap();
+        let err = trainer.run(3, &mut rng).unwrap_err();
+        assert!(matches!(err, RuntimeError::Undecodable { iteration: 1, .. }));
+    }
+
+    #[test]
+    fn delayed_worker_not_waited_for() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let code = heter_aware(&[1.0; 4], 4, 1, &mut rng).unwrap();
+        let config = RuntimeConfig::nominal(4).set_behavior(
+            0,
+            WorkerBehavior::nominal().with_delay(Duration::from_millis(400)),
+        );
+        let trainer = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            quick_data(5),
+            Sgd::new(0.1),
+            config,
+        )
+        .unwrap();
+        let started = Instant::now();
+        let report = trainer.run(3, &mut rng).unwrap();
+        // 3 iterations × 400 ms would be 1.2 s if we waited; decoding from
+        // the other 3 workers should finish far sooner.
+        assert!(started.elapsed() < Duration::from_millis(900), "{:?}", started.elapsed());
+        assert_eq!(report.losses.len(), 3);
+    }
+
+    #[test]
+    fn classification_end_to_end() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let data = synthetic::gaussian_blobs(90, 2, 3, 5.0, &mut rng);
+        let code = heter_aware(&[1.0, 2.0, 3.0], 6, 1, &mut rng).unwrap();
+        let trainer = ThreadedTrainer::new(
+            code,
+            SoftmaxRegression::new(2, 3),
+            data,
+            Sgd::new(0.05),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let report = trainer.run(40, &mut rng).unwrap();
+        assert!(report.losses[39] < report.losses[0], "{:?}", report.losses);
+    }
+
+    #[test]
+    fn invalid_partitioning_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let code = heter_aware(&[1.0, 1.0], 4, 1, &mut rng).unwrap();
+        // 3 samples < 4 partitions.
+        let data = synthetic::linear_regression(3, 2, 0.0, &mut rng);
+        let r = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(2),
+            data,
+            Sgd::new(0.1),
+            RuntimeConfig::default(),
+        );
+        assert!(matches!(r, Err(RuntimeError::InvalidConfig { .. })));
+    }
+}

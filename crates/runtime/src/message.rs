@@ -1,0 +1,68 @@
+//! The master ⇄ worker wire protocol.
+//!
+//! In the paper's deployment this is the parameter-server push/pull; here
+//! it is a pair of `crossbeam` channels per worker. Parameters travel in an
+//! `Arc` so an `m`-worker broadcast clones a pointer, not the vector —
+//! mirroring the zero-copy broadcast of a real transport.
+
+use std::sync::Arc;
+
+/// Master → worker messages.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// Start one computation round on the given parameters.
+    Round {
+        /// The global iteration number.
+        iteration: usize,
+        /// Current model parameters (shared, read-only).
+        params: Arc<Vec<f64>>,
+    },
+    /// Terminate the worker thread cleanly.
+    Shutdown,
+}
+
+/// Worker → master result message.
+#[derive(Debug, Clone)]
+pub struct FromWorker {
+    /// The sending worker's index.
+    pub worker: usize,
+    /// Which iteration this result belongs to (stale results are dropped).
+    pub iteration: usize,
+    /// The coded gradient `g̃_w = Σ_j b_wj·g_j`.
+    pub coded: Vec<f64>,
+    /// Pure compute time (excluding injected delay), for resource metrics.
+    pub compute_seconds: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_shares_params() {
+        let params = Arc::new(vec![1.0, 2.0]);
+        let msg = ToWorker::Round { iteration: 1, params: Arc::clone(&params) };
+        if let ToWorker::Round { params: p, iteration } = msg {
+            assert_eq!(iteration, 1);
+            assert_eq!(*p, vec![1.0, 2.0]);
+            assert_eq!(Arc::strong_count(&params), 2);
+        } else {
+            panic!("wrong variant");
+        }
+    }
+
+    #[test]
+    fn from_worker_fields() {
+        let m = FromWorker { worker: 2, iteration: 5, coded: vec![0.5], compute_seconds: 0.1 };
+        assert_eq!(m.worker, 2);
+        assert_eq!(m.iteration, 5);
+        assert_eq!(m.coded, vec![0.5]);
+    }
+
+    #[test]
+    fn messages_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ToWorker>();
+        assert_send::<FromWorker>();
+    }
+}

@@ -1,0 +1,167 @@
+//! The worker thread: compute partial gradients over owned partitions,
+//! encode with the worker's row of `B`, reply to the master.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, Sender};
+use hetgc_ml::{Dataset, Model};
+
+use crate::config::WorkerBehavior;
+use crate::message::{FromWorker, ToWorker};
+
+/// Everything a worker thread needs, bundled so `executor` can spawn it
+/// with a single move closure.
+pub(crate) struct WorkerContext<M> {
+    pub index: usize,
+    pub model: Arc<M>,
+    pub data: Arc<Dataset>,
+    /// This worker's sample ranges, one per owned partition, aligned with
+    /// `coefficients`.
+    pub ranges: Vec<(usize, usize)>,
+    /// The non-zero entries of `b_w`, aligned with `ranges`.
+    pub coefficients: Vec<f64>,
+    pub behavior: WorkerBehavior,
+    pub inbox: Receiver<ToWorker>,
+    pub outbox: Sender<FromWorker>,
+}
+
+/// The worker main loop. Returns when the master hangs up or sends
+/// [`ToWorker::Shutdown`].
+pub(crate) fn worker_main<M: Model>(ctx: WorkerContext<M>) {
+    let samples: usize = ctx.ranges.iter().map(|(lo, hi)| hi - lo).sum();
+    while let Ok(mut msg) = ctx.inbox.recv() {
+        // Fast-forward to the newest pending message: a worker that fell
+        // behind (delayed, throttled) joins the *current* round instead of
+        // replaying rounds the master already decoded without it.
+        while !matches!(msg, ToWorker::Shutdown) {
+            match ctx.inbox.try_recv() {
+                Ok(newer) => msg = newer,
+                Err(_) => break,
+            }
+        }
+        let (iteration, params) = match msg {
+            ToWorker::Round { iteration, params } => (iteration, params),
+            ToWorker::Shutdown => return,
+        };
+        if !ctx.behavior.responds_at(iteration) {
+            // Fail-stop: keep draining messages (a dead VM doesn't block
+            // the master's sender) but never reply.
+            continue;
+        }
+        let started = Instant::now();
+        let mut coded = vec![0.0; ctx.model.num_params()];
+        for (&range, &coef) in ctx.ranges.iter().zip(&ctx.coefficients) {
+            let g = ctx.model.gradient(&params, &ctx.data, range);
+            for (c, gi) in coded.iter_mut().zip(&g) {
+                *c += coef * gi;
+            }
+        }
+        let compute = started.elapsed();
+        // Throttle: stretch the iteration so that samples/elapsed matches
+        // the configured rate — this *is* the heterogeneity emulation.
+        if let Some(rate) = ctx.behavior.throttle_samples_per_sec {
+            let target = Duration::from_secs_f64(samples as f64 / rate);
+            if target > compute {
+                std::thread::sleep(target - compute);
+            }
+        }
+        if !ctx.behavior.extra_delay.is_zero() {
+            std::thread::sleep(ctx.behavior.extra_delay);
+        }
+        let reply = FromWorker {
+            worker: ctx.index,
+            iteration,
+            coded,
+            compute_seconds: compute.as_secs_f64(),
+        };
+        if ctx.outbox.send(reply).is_err() {
+            return; // master gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::unbounded;
+    use hetgc_ml::{synthetic, LinearRegression};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn spawn_worker(
+        behavior: WorkerBehavior,
+        coef: f64,
+    ) -> (Sender<ToWorker>, Receiver<FromWorker>, std::thread::JoinHandle<()>) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = Arc::new(synthetic::linear_regression(10, 2, 0.0, &mut rng));
+        let model = Arc::new(LinearRegression::new(2));
+        let (to_tx, to_rx) = unbounded();
+        let (from_tx, from_rx) = unbounded();
+        let ctx = WorkerContext {
+            index: 0,
+            model,
+            data,
+            ranges: vec![(0, 5), (5, 10)],
+            coefficients: vec![coef, coef],
+            behavior,
+            inbox: to_rx,
+            outbox: from_tx,
+        };
+        let handle = std::thread::spawn(move || worker_main(ctx));
+        (to_tx, from_rx, handle)
+    }
+
+    #[test]
+    fn worker_computes_encoded_gradient() {
+        let (tx, rx, handle) = spawn_worker(WorkerBehavior::nominal(), 2.0);
+        let params = Arc::new(vec![0.1, -0.2, 0.05]);
+        tx.send(ToWorker::Round { iteration: 1, params: Arc::clone(&params) }).unwrap();
+        let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(reply.worker, 0);
+        assert_eq!(reply.iteration, 1);
+        assert_eq!(reply.coded.len(), 3);
+        // coefficient 2 on both halves = 2 × full gradient.
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = synthetic::linear_regression(10, 2, 0.0, &mut rng);
+        let model = LinearRegression::new(2);
+        let full = model.gradient(&params, &data, (0, 10));
+        for (c, f) in reply.coded.iter().zip(&full) {
+            assert!((c - 2.0 * f).abs() < 1e-10);
+        }
+        tx.send(ToWorker::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn failed_worker_stays_silent() {
+        let (tx, rx, handle) = spawn_worker(WorkerBehavior::nominal().failing_from(2), 1.0);
+        let params = Arc::new(vec![0.0; 3]);
+        tx.send(ToWorker::Round { iteration: 1, params: Arc::clone(&params) }).unwrap();
+        assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        tx.send(ToWorker::Round { iteration: 2, params }).unwrap();
+        assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
+        tx.send(ToWorker::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn worker_exits_when_master_hangs_up() {
+        let (tx, _rx, handle) = spawn_worker(WorkerBehavior::nominal(), 1.0);
+        drop(tx);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn throttle_stretches_iteration() {
+        // 10 samples at 50 samples/sec → ≥ 200 ms.
+        let (tx, rx, handle) =
+            spawn_worker(WorkerBehavior::nominal().with_throttle(50.0), 1.0);
+        let start = Instant::now();
+        tx.send(ToWorker::Round { iteration: 1, params: Arc::new(vec![0.0; 3]) }).unwrap();
+        let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(180), "{:?}", start.elapsed());
+        tx.send(ToWorker::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+}

@@ -1,0 +1,54 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Configuration vectors disagree in length or carry invalid values.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The coding layer reported an error (propagated message).
+    Coding {
+        /// Underlying message.
+        message: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { reason } => write!(f, "invalid simulation config: {reason}"),
+            SimError::Coding { message } => write!(f, "coding error during simulation: {message}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+impl From<hetgc_coding::CodingError> for SimError {
+    fn from(e: hetgc_coding::CodingError) -> Self {
+        SimError::Coding { message: e.to_string() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SimError::InvalidConfig { reason: "x".into() };
+        assert!(e.to_string().contains("invalid"));
+        let c = SimError::Coding { message: "y".into() };
+        assert!(c.to_string().contains("coding"));
+    }
+
+    #[test]
+    fn from_coding_error() {
+        let ce = hetgc_coding::CodingError::InvalidParameter { reason: "z".into() };
+        let se: SimError = ce.into();
+        assert!(matches!(se, SimError::Coding { .. }));
+    }
+}

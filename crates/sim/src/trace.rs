@@ -1,0 +1,173 @@
+//! Human-readable iteration traces for debugging and teaching.
+//!
+//! A [`BspIteration`](crate::BspIteration) knows everything that happened
+//! in a round; [`IterationTrace`] renders it as an annotated timeline so
+//! a failed expectation ("why did the master wait for worker 5?") can be
+//! answered by eye:
+//!
+//! ```text
+//! t=0.000  round starts (broadcast done)
+//! t=1.000  W3 compute done                      [#######       ]
+//! t=1.003  W3 arrives at master (1/4 needed)
+//! ...
+//! t=2.003  decode! workers {0,1,3} carry weight
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::bsp::BspIteration;
+
+/// A renderable trace of one simulated BSP iteration.
+#[derive(Debug, Clone)]
+pub struct IterationTrace<'a> {
+    iteration: &'a BspIteration,
+}
+
+impl<'a> IterationTrace<'a> {
+    /// Wraps an iteration outcome for rendering.
+    pub fn new(iteration: &'a BspIteration) -> Self {
+        IterationTrace { iteration }
+    }
+
+    /// Renders the chronological event list.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "t=0.000    round starts (broadcast done)");
+        let completion = self.iteration.completion;
+        for arr in &self.iteration.arrivals {
+            if !arr.compute_end.is_finite() {
+                let _ = writeln!(out, "t=∞        W{} never responds (failed)", arr.worker);
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "t={:<8.3} W{} compute done",
+                arr.compute_end, arr.worker
+            );
+            let marker = match completion {
+                Some(t) if (arr.arrive - t).abs() < 1e-12 => "  ← decode fires here",
+                Some(t) if arr.arrive > t => "  (late: result unused)",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "t={:<8.3} W{} arrives at master{}",
+                arr.arrive, arr.worker, marker
+            );
+        }
+        match completion {
+            Some(t) => {
+                let _ = writeln!(
+                    out,
+                    "t={:<8.3} DECODE: weight on workers {:?}",
+                    t, self.iteration.decode_workers
+                );
+            }
+            None => {
+                let _ = writeln!(out, "round never decodes (too many failures)");
+            }
+        }
+        out
+    }
+
+    /// Renders a proportional ASCII Gantt chart of worker busy time
+    /// (compute = `#`, idle-until-decode = `.`), `width` columns spanning
+    /// the iteration.
+    pub fn gantt(&self, width: usize) -> String {
+        let Some(t_end) = self.iteration.completion else {
+            return String::from("(no completion: gantt unavailable)\n");
+        };
+        if t_end <= 0.0 || width == 0 {
+            return String::new();
+        }
+        let mut out = String::new();
+        for arr in &self.iteration.arrivals {
+            let busy = self.iteration.busy.get(arr.worker).copied().unwrap_or(0.0);
+            let busy_cols = ((busy / t_end) * width as f64).round() as usize;
+            let busy_cols = busy_cols.min(width);
+            let _ = write!(out, "W{:<3} |", arr.worker);
+            for _ in 0..busy_cols {
+                out.push('#');
+            }
+            for _ in busy_cols..width {
+                out.push('.');
+            }
+            let _ = writeln!(out, "| busy {busy:.3}s / {t_end:.3}s");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsp::{simulate_bsp_iteration, BspIterationConfig};
+    use crate::network::NetworkModel;
+    use hetgc_cluster::StragglerEvent;
+    use hetgc_coding::heter_aware;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn iteration(fail: Option<usize>) -> BspIteration {
+        let rates = [1.0, 2.0, 3.0, 4.0, 4.0];
+        let mut rng = StdRng::seed_from_u64(3);
+        let code = heter_aware(&rates, 7, 1, &mut rng).unwrap();
+        let cfg = BspIterationConfig::new(&rates).network(NetworkModel::instantaneous());
+        let mut events = vec![StragglerEvent::Normal; 5];
+        if let Some(w) = fail {
+            events[w] = StragglerEvent::Failed;
+        }
+        simulate_bsp_iteration(&code, &cfg, &events, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn render_contains_all_workers_and_decode() {
+        let it = iteration(None);
+        let trace = IterationTrace::new(&it).render();
+        for w in 0..5 {
+            assert!(trace.contains(&format!("W{w}")), "missing W{w} in:\n{trace}");
+        }
+        assert!(trace.contains("DECODE"));
+        assert!(trace.contains("round starts"));
+    }
+
+    #[test]
+    fn render_marks_failures() {
+        let it = iteration(Some(2));
+        let trace = IterationTrace::new(&it).render();
+        assert!(trace.contains("W2 never responds"));
+        assert!(trace.contains("DECODE"));
+    }
+
+    #[test]
+    fn gantt_rows_and_bounds() {
+        let it = iteration(None);
+        let g = IterationTrace::new(&it).gantt(20);
+        assert_eq!(g.lines().count(), 5);
+        for line in g.lines() {
+            let bar: String =
+                line.chars().skip_while(|&c| c != '|').take_while(|&c| c != ' ').collect();
+            assert!(bar.len() <= 22 + 1, "bar too wide: {line}");
+        }
+    }
+
+    #[test]
+    fn gantt_without_completion() {
+        let rates = [1.0, 1.0];
+        let code = hetgc_coding::naive(2).unwrap();
+        let cfg = BspIterationConfig::new(&rates);
+        let events = vec![StragglerEvent::Failed, StragglerEvent::Normal];
+        let mut rng = StdRng::seed_from_u64(4);
+        let it = simulate_bsp_iteration(&code, &cfg, &events, &mut rng).unwrap();
+        let g = IterationTrace::new(&it).gantt(10);
+        assert!(g.contains("unavailable"));
+        let r = IterationTrace::new(&it).render();
+        assert!(r.contains("never decodes"));
+    }
+
+    #[test]
+    fn gantt_zero_width_empty() {
+        let it = iteration(None);
+        assert!(IterationTrace::new(&it).gantt(0).is_empty());
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the simulator's physical invariants.
+
+use hetgc_cluster::StragglerEvent;
+use hetgc_coding::heter_aware;
+use hetgc_sim::{simulate_bsp_iteration, BspIterationConfig, NetworkModel, SspEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rates_and_delays() -> impl Strategy<Value = (Vec<f64>, Vec<f64>, u64)> {
+    (3usize..6, any::<u64>()).prop_flat_map(|(m, seed)| {
+        (
+            prop::collection::vec(1.0f64..8.0, m),
+            prop::collection::vec(0.0f64..5.0, m),
+            Just(seed),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Completion never precedes the fastest worker's possible finish and
+    /// never exceeds the slowest non-failed worker's finish + comm.
+    #[test]
+    fn completion_bounded_by_worker_times((rates, delays, seed) in rates_and_delays()) {
+        let m = rates.len();
+        // Clamp rates so Eq.5 stays feasible: max/Σ ≤ 1/2.
+        let sum: f64 = rates.iter().sum();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        prop_assume!(max / sum <= 0.5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = heter_aware(&rates, 2 * m, 1, &mut rng).unwrap();
+        let cfg = BspIterationConfig::new(&rates).network(NetworkModel::instantaneous());
+        let events: Vec<StragglerEvent> =
+            delays.iter().map(|&d| StragglerEvent::Delayed(d)).collect();
+        let out = simulate_bsp_iteration(&code, &cfg, &events, &mut rng).unwrap();
+        let t = out.completion.expect("delays are finite: must complete");
+        let finish: Vec<f64> = (0..m)
+            .map(|w| code.load_of(w) as f64 / rates[w] + delays[w])
+            .collect();
+        let min = finish.iter().cloned().fold(f64::MAX, f64::min);
+        let max = finish.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(t >= min - 1e-9, "completed before anyone finished: {t} < {min}");
+        prop_assert!(t <= max + 1e-9, "completed after everyone finished: {t} > {max}");
+    }
+
+    /// Injecting a delay can never make an iteration finish earlier
+    /// (monotonicity of the completion time in the delay vector).
+    #[test]
+    fn delay_monotonicity((rates, delays, seed) in rates_and_delays()) {
+        let m = rates.len();
+        let sum: f64 = rates.iter().sum();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        prop_assume!(max / sum <= 0.5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = heter_aware(&rates, 2 * m, 1, &mut rng).unwrap();
+        let cfg = BspIterationConfig::new(&rates).network(NetworkModel::instantaneous());
+
+        let base: Vec<StragglerEvent> = vec![StragglerEvent::Normal; m];
+        let delayed: Vec<StragglerEvent> =
+            delays.iter().map(|&d| StragglerEvent::Delayed(d)).collect();
+        let t_base = simulate_bsp_iteration(&code, &cfg, &base, &mut rng)
+            .unwrap()
+            .completion
+            .unwrap();
+        let t_delayed = simulate_bsp_iteration(&code, &cfg, &delayed, &mut rng)
+            .unwrap()
+            .completion
+            .unwrap();
+        prop_assert!(t_delayed >= t_base - 1e-9, "{t_delayed} < {t_base}");
+    }
+
+    /// Resource usage is always a valid ratio and busy times never exceed
+    /// the completion time.
+    #[test]
+    fn usage_and_busy_invariants((rates, delays, seed) in rates_and_delays()) {
+        let m = rates.len();
+        let sum: f64 = rates.iter().sum();
+        let max = rates.iter().cloned().fold(0.0, f64::max);
+        prop_assume!(max / sum <= 0.5);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let code = heter_aware(&rates, 2 * m, 1, &mut rng).unwrap();
+        let cfg = BspIterationConfig::new(&rates).compute_jitter(0.05);
+        let events: Vec<StragglerEvent> =
+            delays.iter().map(|&d| StragglerEvent::Delayed(d)).collect();
+        let out = simulate_bsp_iteration(&code, &cfg, &events, &mut rng).unwrap();
+        let t = out.completion.unwrap();
+        for (w, &b) in out.busy.iter().enumerate() {
+            prop_assert!(b >= 0.0 && b <= t + 1e-9, "worker {w}: busy {b} vs {t}");
+        }
+        let usage = out.resource_usage().unwrap();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&usage));
+    }
+
+    /// SSP progress gap never exceeds staleness + 1, for any speed mix.
+    #[test]
+    fn ssp_staleness_invariant(
+        times in prop::collection::vec(0.1f64..3.0, 2..6),
+        staleness in 0usize..4,
+    ) {
+        let mut engine = SspEngine::new(times, staleness).unwrap();
+        for _ in 0..300 {
+            engine.next_event().unwrap();
+            let max = engine.progress().iter().max().unwrap();
+            let min = engine.progress().iter().min().unwrap();
+            prop_assert!(max - min <= staleness + 1);
+        }
+    }
+
+    /// SSP event times are non-decreasing.
+    #[test]
+    fn ssp_time_ordering(
+        times in prop::collection::vec(0.1f64..3.0, 2..5),
+        staleness in 0usize..3,
+    ) {
+        let mut engine = SspEngine::new(times, staleness).unwrap();
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let ev = engine.next_event().unwrap();
+            prop_assert!(ev.time >= last - 1e-12);
+            last = ev.time;
+        }
+    }
+}

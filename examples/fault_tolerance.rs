@@ -1,0 +1,64 @@
+//! Fault tolerance: run simulated distributed training on Cluster-A while
+//! workers die mid-run, and show that (a) coded schemes keep training with
+//! the exact gradient and (b) the naive scheme stalls — the paper's
+//! "delay = ∞" case of Fig. 2.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use hetgc::{
+    train_bsp_sim, ClusterSpec, LinearRegression, SchemeBuilder, SchemeKind, SimTrainConfig,
+    StragglerModel,
+};
+use hetgc_ml::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let cluster = ClusterSpec::cluster_a();
+    let rates = cluster.throughputs();
+    let mut rng = StdRng::seed_from_u64(7);
+    let data = synthetic::linear_regression(480, 8, 0.05, &mut rng);
+    let model = LinearRegression::new(8);
+
+    // Two workers die: the 12-vCPU node and an 8-vCPU node (the worst case
+    // for schemes that leaned on fast machines).
+    let faults = StragglerModel::Failures { workers: vec![7, 4] };
+    let cfg = SimTrainConfig {
+        iterations: 25,
+        learning_rate: 0.3,
+        stragglers: faults,
+        ..SimTrainConfig::default()
+    };
+
+    println!(
+        "Cluster-A with workers 4 and 7 dead (s = 2 designed tolerance):\n"
+    );
+    for kind in SchemeKind::PAPER {
+        let scheme = SchemeBuilder::new(&cluster, 2).build(kind, &mut rng)?;
+        let out = train_bsp_sim(&scheme, &model, &data, &rates, &cfg, &mut rng)?;
+        if out.stalled {
+            println!(
+                "{:>12}: STALLED after {} iteration(s) — cannot tolerate faults",
+                kind.name(),
+                out.curve.points.len()
+            );
+        } else {
+            println!(
+                "{:>12}: finished 25 iterations in {:.1} simulated s, final loss {:.4}",
+                kind.name(),
+                out.curve.duration(),
+                out.curve.final_loss().unwrap_or(f64::NAN)
+            );
+        }
+    }
+
+    println!(
+        "\nThe coded schemes decode the *exact* batch gradient from the surviving\n\
+         workers every iteration (verified internally against the direct gradient),\n\
+         so convergence is identical to fault-free training — only wall-clock\n\
+         changes. The naive scheme never completes its first iteration."
+    );
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Workspace umbrella crate: re-exports the public API of every `hetgc`
+//! crate so the examples and integration tests in this repository can use a
+//! single dependency. Library users should depend on the individual crates
+//! (most commonly [`hetgc`]) instead.
+
+pub use hetgc;
+pub use hetgc_cluster as cluster;
+pub use hetgc_coding as coding;
+pub use hetgc_linalg as linalg;
+pub use hetgc_ml as ml;
+pub use hetgc_runtime as runtime;
+pub use hetgc_sim as sim;

@@ -1,0 +1,161 @@
+//! The two execution backends — the discrete-event simulator and the real
+//! threaded runtime — must tell the same story: identical parameter
+//! trajectories (decoding is exact in both) and consistent ordering of
+//! scheme completion behaviour.
+
+use std::time::Duration;
+
+use hetgc::{
+    train_bsp_sim, ClusterSpec, LinearRegression, Model, RuntimeConfig, SchemeBuilder,
+    SchemeKind, Sgd, SimTrainConfig, ThreadedTrainer, WorkerBehavior,
+};
+use hetgc_ml::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cluster() -> ClusterSpec {
+    // 1/2/3 vCPUs: heterogeneous but Eq.-5-feasible for s = 1 (the fastest
+    // worker is not faster than the rest combined).
+    ClusterSpec::from_vcpu_rows("itest", &[(1, 1), (1, 2), (1, 3)], 100.0).unwrap()
+}
+
+/// Simulated BSP training and threaded training produce the same losses:
+/// both decode the exact batch gradient, so with identical initialization
+/// the trajectories coincide.
+#[test]
+fn simulated_and_threaded_trajectories_match() {
+    let cluster = cluster();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(90, 4, 0.02, &mut StdRng::seed_from_u64(11));
+    let model = LinearRegression::new(4);
+
+    let mut build_rng = StdRng::seed_from_u64(12);
+    let scheme =
+        SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut build_rng).unwrap();
+
+    let sim_cfg = SimTrainConfig { iterations: 12, learning_rate: 0.2, ..Default::default() };
+    let sim =
+        train_bsp_sim(&scheme, &model, &data, &rates, &sim_cfg, &mut StdRng::seed_from_u64(77))
+            .unwrap();
+
+    let trainer = ThreadedTrainer::new(
+        scheme.code.clone(),
+        LinearRegression::new(4),
+        data.clone(),
+        Sgd::new(0.2),
+        RuntimeConfig::default(),
+    )
+    .unwrap();
+    let threaded = trainer.run(12, &mut StdRng::seed_from_u64(77)).unwrap();
+
+    assert_eq!(sim.curve.points.len(), threaded.losses.len());
+    for ((_, sim_loss), thr_loss) in sim.curve.points.iter().zip(&threaded.losses) {
+        assert!(
+            (sim_loss - thr_loss).abs() < 1e-8,
+            "trajectories diverged: {sim_loss} vs {thr_loss}"
+        );
+    }
+    for (p, q) in sim.params.iter().zip(&threaded.params) {
+        assert!((p - q).abs() < 1e-8);
+    }
+}
+
+/// Both backends agree that coded schemes survive a dead worker and naive
+/// does not.
+#[test]
+fn both_backends_agree_on_fault_behaviour() {
+    let cluster = cluster();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(60, 3, 0.02, &mut StdRng::seed_from_u64(21));
+    let model = LinearRegression::new(3);
+    let mut rng = StdRng::seed_from_u64(22);
+
+    // Simulator verdicts.
+    let sim_cfg = SimTrainConfig {
+        iterations: 5,
+        stragglers: hetgc::StragglerModel::Failures { workers: vec![1] },
+        ..Default::default()
+    };
+    let heter =
+        SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng).unwrap();
+    let naive = SchemeBuilder::new(&cluster, 1).build(SchemeKind::Naive, &mut rng).unwrap();
+    let sim_heter =
+        train_bsp_sim(&heter, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
+    let sim_naive =
+        train_bsp_sim(&naive, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
+    assert!(!sim_heter.stalled);
+    assert!(sim_naive.stalled);
+
+    // Threaded verdicts under the same fault.
+    let failing = RuntimeConfig::nominal(3)
+        .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
+        .with_timeout(Duration::from_millis(300));
+    let heter_run = ThreadedTrainer::new(
+        heter.code.clone(),
+        LinearRegression::new(3),
+        data.clone(),
+        Sgd::new(0.1),
+        failing.clone(),
+    )
+    .unwrap()
+    .run(5, &mut rng);
+    assert!(heter_run.is_ok(), "threaded heter-aware must survive the fault");
+
+    let naive_run = ThreadedTrainer::new(
+        naive.code.clone(),
+        LinearRegression::new(3),
+        data,
+        Sgd::new(0.1),
+        failing,
+    )
+    .unwrap()
+    .run(5, &mut rng);
+    assert!(naive_run.is_err(), "threaded naive must time out under the fault");
+}
+
+/// Loss parity with single-node SGD: the whole distributed apparatus (in
+/// either backend) must not change the optimization trajectory — the
+/// paper's accuracy-preservation argument for BSP coding vs SSP (§II).
+#[test]
+fn distributed_equals_single_node_sgd() {
+    let cluster = cluster();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(80, 5, 0.05, &mut StdRng::seed_from_u64(31));
+    let model = LinearRegression::new(5);
+
+    // Single-node reference.
+    let mut params = model.init_params(&mut StdRng::seed_from_u64(99));
+    let n = data.len() as f64;
+    let mut reference = Vec::new();
+    for _ in 0..8 {
+        let mut g = model.gradient(&params, &data, (0, data.len()));
+        for gi in &mut g {
+            *gi /= n;
+        }
+        for (p, gi) in params.iter_mut().zip(&g) {
+            *p -= 0.15 * gi;
+        }
+        reference.push(model.loss(&params, &data, (0, data.len())) / n);
+    }
+
+    let mut rng = StdRng::seed_from_u64(32);
+    for kind in [SchemeKind::Cyclic, SchemeKind::HeterAware, SchemeKind::GroupBased] {
+        let scheme = SchemeBuilder::new(&cluster, 1).build(kind, &mut rng).unwrap();
+        let cfg = SimTrainConfig { iterations: 8, learning_rate: 0.15, ..Default::default() };
+        let out = train_bsp_sim(
+            &scheme,
+            &model,
+            &data,
+            &rates,
+            &cfg,
+            &mut StdRng::seed_from_u64(99),
+        )
+        .unwrap();
+        for ((_, loss), expected) in out.curve.points.iter().zip(&reference) {
+            assert!(
+                (loss - expected).abs() < 1e-8,
+                "{kind}: distributed {loss} vs single-node {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Integration tests for the extensions layered on top of the paper's
+//! schemes: overlap, adaptive re-coding, approximate decoding, the decode
+//! cache and iteration tracing — exercised together through the public
+//! API.
+
+use hetgc::adaptive::{run_with_drift, AdaptiveConfig, RateDrift};
+use hetgc::{
+    approximate_decode, gradient_error_bound, simulate_bsp_iteration, under_replicated,
+    BspIterationConfig, ClusterSpec, DecodeCache, IterationTrace, NetworkModel, SchemeBuilder,
+    SchemeKind, StragglerEvent,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Overlap strictly improves completion time and resource usage whenever
+/// communication is non-trivial, and never changes the decode result.
+#[test]
+fn overlap_improves_but_preserves_decoding() {
+    let cluster = ClusterSpec::cluster_a();
+    let rates = cluster.throughputs();
+    let mut rng = StdRng::seed_from_u64(1);
+    let scheme = SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng).unwrap();
+    let events = vec![StragglerEvent::Normal; cluster.len()];
+
+    let base = BspIterationConfig::new(&rates)
+        .network(NetworkModel::lan())
+        .payload_bytes(2.4e8);
+    let plain = simulate_bsp_iteration(&scheme.code, &base, &events, &mut rng).unwrap();
+    let overlapped_cfg = BspIterationConfig::new(&rates)
+        .network(NetworkModel::lan())
+        .payload_bytes(2.4e8)
+        .overlap_chunks(8);
+    let overlapped =
+        simulate_bsp_iteration(&scheme.code, &overlapped_cfg, &events, &mut rng).unwrap();
+
+    let (t_plain, t_over) =
+        (plain.completion.unwrap(), overlapped.completion.unwrap());
+    assert!(t_over < t_plain, "overlap must shorten the round: {t_over} vs {t_plain}");
+    assert!(
+        overlapped.resource_usage().unwrap() > plain.resource_usage().unwrap(),
+        "overlap must raise usage"
+    );
+    // Decoding itself is untouched: both rounds produce valid decode rows.
+    for out in [&plain, &overlapped] {
+        let prod = scheme.code.matrix().vecmat(&out.decode_vector).unwrap();
+        assert!(prod.iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+}
+
+/// The adaptive loop, the decode cache and tracing compose on one cluster.
+#[test]
+fn adaptive_run_with_cache_and_trace() {
+    let cluster = ClusterSpec::from_vcpu_rows("x", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0)
+        .unwrap();
+    let drift = RateDrift::Wave { period: 8.0, amplitude: 0.3 };
+    let cfg = AdaptiveConfig { iterations: 24, reestimate_every: 6, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(2);
+    let out = run_with_drift(&cluster, &drift, &cfg, &mut rng).unwrap();
+    assert_eq!(out.metrics.iterations(), 24);
+    assert!(out.rebuilds >= 3);
+
+    // Decode cache over the same cluster's scheme: repeated patterns hit.
+    let scheme = SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng).unwrap();
+    let mut cache = DecodeCache::new(scheme.code.clone(), 8);
+    for _ in 0..5 {
+        cache.decode_for(&[1]).unwrap();
+    }
+    assert_eq!(cache.hits(), 4);
+    assert_eq!(cache.misses(), 1);
+
+    // Tracing renders a complete round.
+    let rates = cluster.throughputs();
+    let cfg2 = BspIterationConfig::new(&rates);
+    let events = vec![StragglerEvent::Normal; 4];
+    let it = simulate_bsp_iteration(&scheme.code, &cfg2, &events, &mut rng).unwrap();
+    let text = IterationTrace::new(&it).render();
+    assert!(text.contains("DECODE"));
+    let gantt = IterationTrace::new(&it).gantt(24);
+    assert_eq!(gantt.lines().count(), 4);
+}
+
+/// Approximate decoding degrades monotonically with lost workers, and the
+/// error bound is sound on real gradients.
+#[test]
+fn approximate_decoding_error_bound_holds() {
+    use hetgc_cluster::PartitionAssignment;
+    use hetgc_ml::{partial_gradients, synthetic, LinearRegression, Model};
+
+    let throughputs = [1.0, 2.0, 3.0, 4.0, 4.0];
+    let mut rng = StdRng::seed_from_u64(3);
+    let code = under_replicated(&throughputs, 7, 2, &mut rng).unwrap(); // s = 1 exact
+
+    let data = synthetic::linear_regression(70, 3, 0.1, &mut rng);
+    let model = LinearRegression::new(3);
+    let params = model.init_params(&mut rng);
+    let ranges: Vec<(usize, usize)> =
+        PartitionAssignment::even(70, 7).unwrap().iter().collect();
+    let partials = partial_gradients(&model, &params, &data, &ranges);
+    let direct = model.gradient(&params, &data, (0, 70));
+
+    // Two stragglers (one past tolerance): approximate decode.
+    let survivors = [1usize, 3, 4];
+    let approx = approximate_decode(&code, &survivors).unwrap();
+    let mut ghat = vec![0.0; 4];
+    for &w in &survivors {
+        let coded = code.encode(w, &partials).unwrap();
+        for (g, c) in ghat.iter_mut().zip(&coded) {
+            *g += approx.vector[w] * c;
+        }
+    }
+    let err: f64 = ghat
+        .iter()
+        .zip(&direct)
+        .map(|(a, b)| (a - b) * (a - b))
+        .sum::<f64>()
+        .sqrt();
+    let max_partial = partials
+        .iter()
+        .map(|g| g.iter().map(|x| x * x).sum::<f64>().sqrt())
+        .fold(0.0_f64, f64::max);
+    // The certified bound: ‖ĝ − g‖ ≤ residual · √k · max‖g_j‖ is loose;
+    // the per-coordinate Cauchy–Schwarz bound uses the residual directly.
+    let bound = gradient_error_bound(approx.residual, max_partial) * (7.0_f64).sqrt();
+    assert!(err <= bound + 1e-9, "err {err} exceeds bound {bound}");
+    assert!(err > 0.0, "approximate decode should not be exact here");
+}
+
+/// Under-replicated codes slot into the standard simulator unchanged.
+#[test]
+fn under_replicated_code_simulates() {
+    let throughputs = [1.0, 2.0, 3.0, 4.0, 4.0];
+    let mut rng = StdRng::seed_from_u64(4);
+    let code = under_replicated(&throughputs, 7, 2, &mut rng).unwrap();
+    let cfg = BspIterationConfig::new(&throughputs).network(NetworkModel::instantaneous());
+    let events = vec![StragglerEvent::Normal; 5];
+    let out = simulate_bsp_iteration(&code, &cfg, &events, &mut rng).unwrap();
+    // r = 2 → same as s = 1 exact scheme: completes at 2k/Σc = 1.0.
+    assert!((out.completion.unwrap() - 1.0).abs() < 1e-9);
+}
