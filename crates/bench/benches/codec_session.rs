@@ -1,0 +1,75 @@
+//! Per-iteration decoder setup cost: constructing a fresh `OnlineDecoder`
+//! every round (the pre-codec idiom of every trainer in this workspace)
+//! versus resetting one reusable `CodecSession`.
+//!
+//! The workload is one full master collect round on Cluster-A-sized codes
+//! (m = 8, the paper's Table II Cluster-A, plus larger powers of two):
+//! arrivals stream in a fixed order and the round ends at the earliest
+//! decodable prefix — exactly what `train_bsp_sim`, the experiment
+//! drivers and the threaded runtime do once per training iteration.
+
+#![allow(deprecated)] // the point of this bench is to measure the old path
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgc::{heter_aware, ClusterSpec, CodingMatrix, CompiledCodec, GradientCodec, OnlineDecoder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cluster-A's throughput shape (Table II: 2+2+3+1 nodes, 2–12 vCPUs),
+/// extended cyclically for larger m.
+fn cluster_a_like(m: usize) -> CodingMatrix {
+    let base = ClusterSpec::cluster_a().throughputs();
+    let throughputs: Vec<f64> = (0..m).map(|i| base[i % base.len()]).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    heter_aware(&throughputs, 2 * m, 1, &mut rng).expect("construct")
+}
+
+fn run_round_fresh(code: &CodingMatrix, order: &[usize]) {
+    let mut dec = OnlineDecoder::new(code);
+    for &w in order {
+        if dec.push(w).expect("valid push").is_some() {
+            return;
+        }
+    }
+    panic!("never decoded");
+}
+
+fn bench_fresh_decoder_per_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_session/fresh_online_decoder");
+    for m in [8usize, 16, 32] {
+        let code = cluster_a_like(m);
+        let order: Vec<usize> = (0..m).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &code, |b, code| {
+            b.iter(|| run_round_fresh(code, &order));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reused_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_session/reused_session_reset");
+    for m in [8usize, 16, 32] {
+        let codec = CompiledCodec::new(cluster_a_like(m));
+        let order: Vec<usize> = (0..m).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &codec, |b, codec| {
+            let mut session = codec.session();
+            b.iter(|| {
+                session.reset();
+                for &w in &order {
+                    if session.push(w).expect("valid push").is_some() {
+                        return;
+                    }
+                }
+                panic!("never decoded");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fresh_decoder_per_iteration,
+    bench_reused_session
+);
+criterion_main!(benches);

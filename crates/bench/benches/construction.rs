@@ -40,7 +40,12 @@ fn bench_group_based(c: &mut Criterion) {
     let mut group = c.benchmark_group("construct/group_based");
     for cluster in [ClusterSpec::cluster_a(), ClusterSpec::cluster_b()] {
         let throughputs = cluster.throughputs();
-        let k = hetgc_coding::suggest_partition_count(&throughputs, 1, cluster.len(), 6 * cluster.len());
+        let k = hetgc_coding::suggest_partition_count(
+            &throughputs,
+            1,
+            cluster.len(),
+            6 * cluster.len(),
+        );
         group.bench_with_input(
             BenchmarkId::from_parameter(cluster.name().to_owned()),
             &(throughputs, k),

@@ -1,9 +1,11 @@
 //! Decoding cost (the paper's §III-B claims realtime decode-vector solves
 //! cost `O(mk²)` and "can be ignored" relative to gradient computation —
-//! this bench quantifies that claim).
+//! this bench quantifies that claim), measured through the unified
+//! `GradientCodec` API: uncached solves, cached plan lookups, and full
+//! streaming rounds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hetgc::{decode_vector, heter_aware, CodingMatrix, OnlineDecoder};
+use hetgc::{heter_aware, CodingMatrix, CompiledCodec, GradientCodec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -14,12 +16,27 @@ fn build(m: usize, s: usize) -> CodingMatrix {
 }
 
 fn bench_one_shot_decode(c: &mut Criterion) {
-    let mut group = c.benchmark_group("decode/one_shot");
+    // The uncompiled path: every call re-solves (the old `decode_vector`).
+    let mut group = c.benchmark_group("decode/one_shot_uncached");
     for m in [8usize, 16, 32] {
         let code = build(m, 1);
         let survivors: Vec<usize> = (1..m).collect(); // worker 0 straggles
         group.bench_with_input(BenchmarkId::from_parameter(m), &code, |b, code| {
-            b.iter(|| decode_vector(code, &survivors).expect("decodable"));
+            b.iter(|| code.decode_plan(&survivors).expect("decodable"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cached_plan(c: &mut Criterion) {
+    // The compiled path: the same survivor set hits the LRU plan cache.
+    let mut group = c.benchmark_group("decode/one_shot_cached");
+    for m in [8usize, 16, 32] {
+        let codec = CompiledCodec::new(build(m, 1));
+        let survivors: Vec<usize> = (1..m).collect();
+        codec.decode_plan(&survivors).expect("warm the cache");
+        group.bench_with_input(BenchmarkId::from_parameter(m), &codec, |b, codec| {
+            b.iter(|| codec.decode_plan(&survivors).expect("decodable"));
         });
     }
     group.finish();
@@ -28,12 +45,13 @@ fn bench_one_shot_decode(c: &mut Criterion) {
 fn bench_online_decode(c: &mut Criterion) {
     let mut group = c.benchmark_group("decode/online_full_round");
     for m in [8usize, 16, 32] {
-        let code = build(m, 1);
-        group.bench_with_input(BenchmarkId::from_parameter(m), &code, |b, code| {
+        let codec = CompiledCodec::new(build(m, 1));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &codec, |b, codec| {
+            let mut session = codec.session();
             b.iter(|| {
-                let mut dec = OnlineDecoder::new(code);
+                session.reset();
                 for w in 0..m {
-                    if dec.push(w).expect("valid push").is_some() {
+                    if session.push(w).expect("valid push").is_some() {
                         return;
                     }
                 }
@@ -52,11 +70,17 @@ fn bench_decode_matrix(c: &mut Criterion) {
     for m in [8usize, 12] {
         let code = build(m, 1);
         group.bench_with_input(BenchmarkId::from_parameter(m), &code, |b, code| {
-            b.iter(|| hetgc_coding::DecodingMatrix::build(code).expect("robust"));
+            b.iter(|| hetgc::DecodingMatrix::build(code).expect("robust"));
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_one_shot_decode, bench_online_decode, bench_decode_matrix);
+criterion_group!(
+    benches,
+    bench_one_shot_decode,
+    bench_cached_plan,
+    bench_online_decode,
+    bench_decode_matrix
+);
 criterion_main!(benches);

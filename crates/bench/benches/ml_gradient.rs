@@ -58,5 +58,10 @@ fn bench_encode(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mlp_gradient, bench_softmax_gradient, bench_encode);
+criterion_group!(
+    benches,
+    bench_mlp_gradient,
+    bench_softmax_gradient,
+    bench_encode
+);
 criterion_main!(benches);

@@ -33,8 +33,7 @@ fn bench_bsp_iteration(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(6);
                 b.iter(|| {
                     let events = straggler.sample_iteration(scheme.code.workers(), &mut rng);
-                    simulate_bsp_iteration(&scheme.code, &cfg, &events, &mut rng)
-                        .expect("simulate")
+                    simulate_bsp_iteration(&scheme.code, &cfg, &events, &mut rng).expect("simulate")
                 });
             },
         );

@@ -18,8 +18,8 @@
 use hetgc::adaptive::{compare_static_vs_adaptive, AdaptiveConfig, RateDrift};
 use hetgc::report::{fmt_percent, render_table};
 use hetgc::{
-    approximate_decode, simulate_bsp_iteration, under_replicated, BspIterationConfig,
-    ClusterSpec, NetworkModel, RunMetrics, SchemeBuilder, SchemeKind, StragglerModel,
+    approximate_decode, simulate_bsp_iteration, under_replicated, BspIterationConfig, ClusterSpec,
+    NetworkModel, RunMetrics, SchemeBuilder, SchemeKind, StragglerModel,
 };
 use hetgc_bench::arg_or;
 use rand::rngs::StdRng;
@@ -46,8 +46,8 @@ fn overlap_study(iterations: usize, seed: u64) {
         let mut metrics = RunMetrics::new();
         for _ in 0..iterations {
             let events = StragglerModel::None.sample_iteration(cluster.len(), &mut rng);
-            let out = simulate_bsp_iteration(&scheme.code, &cfg, &events, &mut rng)
-                .expect("simulate");
+            let out =
+                simulate_bsp_iteration(&scheme.code, &cfg, &events, &mut rng).expect("simulate");
             metrics.record(&out);
         }
         rows.push(vec![
@@ -58,35 +58,55 @@ fn overlap_study(iterations: usize, seed: u64) {
     }
     println!(
         "{}",
-        render_table(&["pipelined chunks", "avg time/iter (s)", "resource usage"], &rows)
+        render_table(
+            &["pipelined chunks", "avg time/iter (s)", "resource usage"],
+            &rows
+        )
     );
 }
 
 fn adaptive_study(seed: u64) {
     println!("── ablation 2: adaptive re-estimation under worker-speed drift ──\n");
-    let cluster =
-        ClusterSpec::from_vcpu_rows("drift", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0)
-            .expect("cluster");
+    let cluster = ClusterSpec::from_vcpu_rows("drift", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0)
+        .expect("cluster");
     let scenarios: Vec<(&str, RateDrift)> = vec![
         ("no drift", RateDrift::None),
         (
             "1 worker -70% (fits s=1 budget)",
-            RateDrift::StepChange { at: 15, factors: vec![1.0, 1.0, 1.0, 0.3] },
+            RateDrift::StepChange {
+                at: 15,
+                factors: vec![1.0, 1.0, 1.0, 0.3],
+            },
         ),
         (
             "2 workers -70% (exceeds budget)",
-            RateDrift::StepChange { at: 15, factors: vec![1.0, 1.0, 0.3, 0.3] },
+            RateDrift::StepChange {
+                at: 15,
+                factors: vec![1.0, 1.0, 0.3, 0.3],
+            },
         ),
-        ("wave ±40%", RateDrift::Wave { period: 12.0, amplitude: 0.4 }),
+        (
+            "wave ±40%",
+            RateDrift::Wave {
+                period: 12.0,
+                amplitude: 0.4,
+            },
+        ),
     ];
     let mut rows = Vec::new();
     for (label, drift) in scenarios {
-        let cfg = AdaptiveConfig { iterations: 60, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            iterations: 60,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(seed);
         let (static_run, adaptive_run) =
             compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng).expect("runs");
         let ts = static_run.metrics.avg_iteration_time().unwrap_or(f64::NAN);
-        let ta = adaptive_run.metrics.avg_iteration_time().unwrap_or(f64::NAN);
+        let ta = adaptive_run
+            .metrics
+            .avg_iteration_time()
+            .unwrap_or(f64::NAN);
         rows.push(vec![
             label.to_owned(),
             format!("{ts:.3}"),
@@ -98,7 +118,13 @@ fn adaptive_study(seed: u64) {
     println!(
         "{}",
         render_table(
-            &["drift scenario", "static (s)", "adaptive (s)", "speedup", "rebuilds"],
+            &[
+                "drift scenario",
+                "static (s)",
+                "adaptive (s)",
+                "speedup",
+                "rebuilds"
+            ],
             &rows
         )
     );
@@ -131,7 +157,12 @@ fn replication_study(seed: u64) {
     println!(
         "{}",
         render_table(
-            &["replicas r", "exact tolerance", "total partition copies", "residual @ r stragglers"],
+            &[
+                "replicas r",
+                "exact tolerance",
+                "total partition copies",
+                "residual @ r stragglers"
+            ],
             &rows
         )
     );

@@ -24,7 +24,12 @@ fn main() {
     let iterations = arg_or(&args, "--iterations", 30usize);
     let seed = arg_or(&args, "--seed", 2019u64);
 
-    let cfg = Fig2Config { stragglers, iterations, seed, ..Fig2Config::default() };
+    let cfg = Fig2Config {
+        stragglers,
+        iterations,
+        seed,
+        ..Fig2Config::default()
+    };
     println!(
         "Fig. 2{}: avg time/iteration vs injected delay on {} (s = {stragglers}, {} iters/point)\n",
         if stragglers == 1 { "a" } else { "b" },
@@ -53,7 +58,11 @@ fn main() {
     // The paper's headline: heter-aware vs cyclic at the fault point.
     if let Some(fault_row) = rows.iter().find(|r| r.delay.is_infinite()) {
         let get = |kind: SchemeKind| {
-            fault_row.avg_times.iter().find(|(k, _)| *k == kind).and_then(|(_, t)| *t)
+            fault_row
+                .avg_times
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .and_then(|(_, t)| *t)
         };
         if let (Some(cyc), Some(het)) = (get(SchemeKind::Cyclic), get(SchemeKind::HeterAware)) {
             if let Some(s) = speedup(cyc, het) {

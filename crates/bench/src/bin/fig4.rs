@@ -23,7 +23,13 @@ fn main() {
     let dim = arg_or(&args, "--dim", 64usize);
     let seed = arg_or(&args, "--seed", 2021u64);
 
-    let cfg = Fig4Config { iterations, samples, dim, seed, ..Fig4Config::default() };
+    let cfg = Fig4Config {
+        iterations,
+        samples,
+        dim,
+        seed,
+        ..Fig4Config::default()
+    };
     println!(
         "Fig. 4: training loss vs simulated time on {} \
          (MLP {}-{}-{} on {} synthetic CIFAR-like samples, SSP staleness {})\n",
@@ -46,7 +52,9 @@ fn main() {
                 c.label.clone(),
                 c.points.len().to_string(),
                 format!("{:.2}", c.duration()),
-                c.final_loss().map(|l| format!("{l:.4}")).unwrap_or_else(|| "-".into()),
+                c.final_loss()
+                    .map(|l| format!("{l:.4}"))
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
@@ -71,7 +79,8 @@ fn main() {
                 .map(|&(_, l)| l);
             vec![
                 c.label.clone(),
-                at.map(|l| format!("{l:.4}")).unwrap_or_else(|| "(no update yet)".into()),
+                at.map(|l| format!("{l:.4}"))
+                    .unwrap_or_else(|| "(no update yet)".into()),
             ]
         })
         .collect();
@@ -80,7 +89,9 @@ fn main() {
         render_table(&["scheme", "loss"], &rows)
     );
 
-    let series: Vec<(String, Vec<(f64, f64)>)> =
-        curves.iter().map(|c| (c.label.clone(), c.points.clone())).collect();
+    let series: Vec<(String, Vec<(f64, f64)>)> = curves
+        .iter()
+        .map(|c| (c.label.clone(), c.points.clone()))
+        .collect();
     println!("{}", render_curves(&series, 64));
 }

@@ -25,7 +25,12 @@ fn main() {
     let headers = ["cluster", "naive", "cyclic", "heter-aware", "group-based"];
     let mut table = Vec::new();
     for cluster in clusters {
-        let cfg = Fig5Config { cluster: cluster.clone(), iterations, seed, ..Fig5Config::default() };
+        let cfg = Fig5Config {
+            cluster: cluster.clone(),
+            iterations,
+            seed,
+            ..Fig5Config::default()
+        };
         let rows = fig5(&cfg).expect("fig5 experiment");
         let mut cells = vec![cluster.name().to_owned()];
         for row in rows {

@@ -46,7 +46,16 @@ fn report_for(name: &str, throughputs: &[f64], stragglers: usize, rng: &mut StdR
         .collect();
     println!(
         "{name} (m = {m}, s = {stragglers}, k = {k}):\n{}",
-        render_table(&["scheme", "T(B)", "bound (s+1)k/Σc", "ratio", "balance max/min"], &table)
+        render_table(
+            &[
+                "scheme",
+                "T(B)",
+                "bound (s+1)k/Σc",
+                "ratio",
+                "balance max/min"
+            ],
+            &table
+        )
     );
 }
 

@@ -31,16 +31,30 @@ fn main() {
     );
     rows.push(
         std::iter::once("sum throughput (units/s)".to_owned())
-            .chain(clusters.iter().map(|c| format!("{:.0}", c.total_throughput())))
+            .chain(
+                clusters
+                    .iter()
+                    .map(|c| format!("{:.0}", c.total_throughput())),
+            )
             .collect(),
     );
     rows.push(
         std::iter::once("heterogeneity (max/min)".to_owned())
-            .chain(clusters.iter().map(|c| format!("{:.1}x", c.heterogeneity())))
+            .chain(
+                clusters
+                    .iter()
+                    .map(|c| format!("{:.1}x", c.heterogeneity())),
+            )
             .collect(),
     );
 
-    let headers = ["number of vCPUs", "Cluster-A", "Cluster-B", "Cluster-C", "Cluster-D"];
+    let headers = [
+        "number of vCPUs",
+        "Cluster-A",
+        "Cluster-B",
+        "Cluster-C",
+        "Cluster-D",
+    ];
     println!("{}", render_table(&headers, &rows));
     println!(
         "note: the paper's prose says clusters range 8..48 workers but its Table II\n\

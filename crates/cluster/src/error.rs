@@ -52,12 +52,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ClusterError::EmptyCluster.to_string().contains("no workers"));
-        assert!(ClusterError::UnknownWorker { worker: 9, size: 4 }.to_string().contains("9"));
-        assert!(ClusterError::NoSamples { worker: 1 }.to_string().contains("samples"));
-        assert!(ClusterError::UnknownPartition { partition: 5, count: 3 }
+        assert!(ClusterError::EmptyCluster
             .to_string()
-            .contains("partition 5"));
+            .contains("no workers"));
+        assert!(ClusterError::UnknownWorker { worker: 9, size: 4 }
+            .to_string()
+            .contains("9"));
+        assert!(ClusterError::NoSamples { worker: 1 }
+            .to_string()
+            .contains("samples"));
+        assert!(ClusterError::UnknownPartition {
+            partition: 5,
+            count: 3
+        }
+        .to_string()
+        .contains("partition 5"));
     }
 
     #[test]

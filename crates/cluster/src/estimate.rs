@@ -57,7 +57,11 @@ pub struct SamplingEstimator {
 impl SamplingEstimator {
     /// An estimator for `m` workers with no observations yet.
     pub fn new(m: usize) -> Self {
-        SamplingEstimator { work: vec![0.0; m], time: vec![0.0; m], samples: vec![0; m] }
+        SamplingEstimator {
+            work: vec![0.0; m],
+            time: vec![0.0; m],
+            samples: vec![0; m],
+        }
     }
 
     /// Number of observations recorded for `worker` (0 when out of range).
@@ -79,7 +83,10 @@ impl ThroughputEstimator for SamplingEstimator {
 
     fn estimate(&self, worker: usize) -> Result<f64, ClusterError> {
         if worker >= self.work.len() {
-            return Err(ClusterError::UnknownWorker { worker, size: self.work.len() });
+            return Err(ClusterError::UnknownWorker {
+                worker,
+                size: self.work.len(),
+            });
         }
         if self.samples[worker] == 0 {
             return Err(ClusterError::NoSamples { worker });
@@ -112,7 +119,10 @@ impl EwmaEstimator {
     /// Panics unless `0 < alpha <= 1`.
     pub fn new(m: usize, alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
-        EwmaEstimator { alpha, current: vec![None; m] }
+        EwmaEstimator {
+            alpha,
+            current: vec![None; m],
+        }
     }
 
     /// The smoothing factor.
@@ -136,7 +146,10 @@ impl ThroughputEstimator for EwmaEstimator {
 
     fn estimate(&self, worker: usize) -> Result<f64, ClusterError> {
         match self.current.get(worker) {
-            None => Err(ClusterError::UnknownWorker { worker, size: self.current.len() }),
+            None => Err(ClusterError::UnknownWorker {
+                worker,
+                size: self.current.len(),
+            }),
             Some(None) => Err(ClusterError::NoSamples { worker }),
             Some(Some(v)) => Ok(*v),
         }
@@ -167,7 +180,10 @@ impl EstimationNoise {
     ///
     /// Panics if `sigma` is negative or non-finite.
     pub fn new(sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
         EstimationNoise { sigma, floor: 0.05 }
     }
 
@@ -218,8 +234,14 @@ mod tests {
     #[test]
     fn sampling_estimator_errors() {
         let e = SamplingEstimator::new(2);
-        assert!(matches!(e.estimate(0), Err(ClusterError::NoSamples { worker: 0 })));
-        assert!(matches!(e.estimate(5), Err(ClusterError::UnknownWorker { .. })));
+        assert!(matches!(
+            e.estimate(0),
+            Err(ClusterError::NoSamples { worker: 0 })
+        ));
+        assert!(matches!(
+            e.estimate(5),
+            Err(ClusterError::UnknownWorker { .. })
+        ));
         assert!(e.estimates().is_err());
     }
 

@@ -43,7 +43,10 @@ impl PartitionAssignment {
     /// partial gradients are over non-empty data).
     pub fn even(samples: usize, partitions: usize) -> Result<Self, ClusterError> {
         if partitions == 0 || partitions > samples {
-            return Err(ClusterError::UnknownPartition { partition: partitions, count: samples });
+            return Err(ClusterError::UnknownPartition {
+                partition: partitions,
+                count: samples,
+            });
         }
         let base = samples / partitions;
         let extra = samples % partitions;
@@ -75,7 +78,10 @@ impl PartitionAssignment {
     /// [`ClusterError::UnknownPartition`] for out-of-range `p`.
     pub fn range(&self, p: usize) -> Result<(usize, usize), ClusterError> {
         if p + 1 >= self.boundaries.len() {
-            return Err(ClusterError::UnknownPartition { partition: p, count: self.partitions() });
+            return Err(ClusterError::UnknownPartition {
+                partition: p,
+                count: self.partitions(),
+            });
         }
         Ok((self.boundaries[p], self.boundaries[p + 1]))
     }

@@ -47,7 +47,9 @@ impl ClusterSpec {
         rows: &[(usize, u32)],
         per_core_rate: f64,
     ) -> Result<Self, ClusterError> {
-        let mut b = ClusterSpec::builder().name(name).per_core_rate(per_core_rate);
+        let mut b = ClusterSpec::builder()
+            .name(name)
+            .per_core_rate(per_core_rate);
         for &(count, vcpus) in rows {
             b = b.add_workers(count, WorkerSpec::new(vcpus));
         }
@@ -70,8 +72,12 @@ impl ClusterSpec {
     /// Table II **Cluster-C** (32 workers): 1×2, 4×4, 10×8, 12×12, 5×16
     /// vCPUs.
     pub fn cluster_c() -> Self {
-        Self::from_vcpu_rows("Cluster-C", &[(1, 2), (4, 4), (10, 8), (12, 12), (5, 16)], 1.0)
-            .expect("static table")
+        Self::from_vcpu_rows(
+            "Cluster-C",
+            &[(1, 2), (4, 4), (10, 8), (12, 12), (5, 16)],
+            1.0,
+        )
+        .expect("static table")
     }
 
     /// Table II **Cluster-D** (58 workers): 4×4, 20×8, 18×12, 16×16 vCPUs.
@@ -86,7 +92,12 @@ impl ClusterSpec {
 
     /// All four Table II clusters, in order.
     pub fn table2() -> Vec<ClusterSpec> {
-        vec![Self::cluster_a(), Self::cluster_b(), Self::cluster_c(), Self::cluster_d()]
+        vec![
+            Self::cluster_a(),
+            Self::cluster_b(),
+            Self::cluster_c(),
+            Self::cluster_d(),
+        ]
     }
 
     /// A homogeneous cluster of `n` workers with `vcpus` each (for
@@ -127,7 +138,10 @@ impl ClusterSpec {
     pub fn worker(&self, id: WorkerId) -> Result<&WorkerSpec, ClusterError> {
         self.workers
             .get(id.index())
-            .ok_or(ClusterError::UnknownWorker { worker: id.index(), size: self.workers.len() })
+            .ok_or(ClusterError::UnknownWorker {
+                worker: id.index(),
+                size: self.workers.len(),
+            })
     }
 
     /// Per-core rate (work-units per second per vCPU).
@@ -137,7 +151,10 @@ impl ClusterSpec {
 
     /// True throughputs `c_i` of all workers, in work-units per second.
     pub fn throughputs(&self) -> Vec<f64> {
-        self.workers.iter().map(|w| w.throughput(self.per_core_rate)).collect()
+        self.workers
+            .iter()
+            .map(|w| w.throughput(self.per_core_rate))
+            .collect()
     }
 
     /// Sum of all worker throughputs `Σc_i`.
@@ -256,7 +273,10 @@ mod tests {
 
     #[test]
     fn empty_build_rejected() {
-        assert_eq!(ClusterSpec::builder().build().unwrap_err(), ClusterError::EmptyCluster);
+        assert_eq!(
+            ClusterSpec::builder().build().unwrap_err(),
+            ClusterError::EmptyCluster
+        );
         assert!(ClusterSpec::homogeneous(0, 2).is_err());
     }
 

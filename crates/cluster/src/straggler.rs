@@ -198,7 +198,10 @@ mod tests {
 
     #[test]
     fn fixed_delay_targets_listed_workers() {
-        let m = StragglerModel::FixedDelay { workers: vec![1, 3], delay: 2.5 };
+        let m = StragglerModel::FixedDelay {
+            workers: vec![1, 3],
+            delay: 2.5,
+        };
         let events = m.sample_iteration(4, &mut rng());
         assert_eq!(events[0], StragglerEvent::Normal);
         assert_eq!(events[1], StragglerEvent::Delayed(2.5));
@@ -208,7 +211,10 @@ mod tests {
 
     #[test]
     fn fixed_delay_ignores_out_of_range() {
-        let m = StragglerModel::FixedDelay { workers: vec![9], delay: 1.0 };
+        let m = StragglerModel::FixedDelay {
+            workers: vec![9],
+            delay: 1.0,
+        };
         let events = m.sample_iteration(2, &mut rng());
         assert!(events.iter().all(|e| *e == StragglerEvent::Normal));
     }
@@ -250,7 +256,10 @@ mod tests {
         };
         for _ in 0..10 {
             let events = m.sample_iteration(8, &mut rng());
-            let delayed = events.iter().filter(|e| matches!(e, StragglerEvent::Delayed(_))).count();
+            let delayed = events
+                .iter()
+                .filter(|e| matches!(e, StragglerEvent::Delayed(_)))
+                .count();
             assert_eq!(delayed, 3);
         }
     }
@@ -263,12 +272,17 @@ mod tests {
         };
         let events = m.sample_iteration(4, &mut rng());
         assert_eq!(events.len(), 4);
-        assert!(events.iter().all(|e| matches!(e, StragglerEvent::Delayed(_))));
+        assert!(events
+            .iter()
+            .all(|e| matches!(e, StragglerEvent::Delayed(_))));
     }
 
     #[test]
     fn uniform_delay_in_range() {
-        let d = DelayDistribution::Uniform { low: 1.0, high: 2.0 };
+        let d = DelayDistribution::Uniform {
+            low: 1.0,
+            high: 2.0,
+        };
         let mut r = rng();
         for _ in 0..100 {
             let x = d.sample(&mut r);
@@ -288,14 +302,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "low < high")]
     fn uniform_invalid_range_panics() {
-        DelayDistribution::Uniform { low: 2.0, high: 1.0 }.sample(&mut rng());
+        DelayDistribution::Uniform {
+            low: 2.0,
+            high: 1.0,
+        }
+        .sample(&mut rng());
     }
 
     #[test]
     #[should_panic(expected = "probability")]
     fn random_invalid_probability_panics() {
-        StragglerModel::Random { probability: 1.5, delay: DelayDistribution::Constant(1.0) }
-            .sample_iteration(2, &mut rng());
+        StragglerModel::Random {
+            probability: 1.5,
+            delay: DelayDistribution::Constant(1.0),
+        }
+        .sample_iteration(2, &mut rng());
     }
 
     #[test]

@@ -49,7 +49,10 @@ impl WorkerSpec {
     /// Panics if `vcpus == 0`.
     pub fn new(vcpus: u32) -> Self {
         assert!(vcpus > 0, "a worker needs at least one vCPU");
-        WorkerSpec { vcpus, speed_factor: 1.0 }
+        WorkerSpec {
+            vcpus,
+            speed_factor: 1.0,
+        }
     }
 
     /// Sets a persistent speed multiplier (1.0 = nominal).
@@ -58,7 +61,10 @@ impl WorkerSpec {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn with_speed_factor(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "speed factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "speed factor must be positive"
+        );
         self.speed_factor = factor;
         self
     }

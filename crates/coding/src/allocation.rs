@@ -43,13 +43,19 @@ impl Allocation {
     /// * [`CodingError::InfeasibleAllocation`] if some `n_i` would exceed
     ///   `k` (one worker faster than the rest of the cluster combined, to
     ///   the point it would hold every partition more than once).
-    pub fn balanced(throughputs: &[f64], partitions: usize, stragglers: usize) -> Result<Self, CodingError> {
+    pub fn balanced(
+        throughputs: &[f64],
+        partitions: usize,
+        stragglers: usize,
+    ) -> Result<Self, CodingError> {
         let m = throughputs.len();
         validate_params(m, partitions, stragglers)?;
         for (i, &c) in throughputs.iter().enumerate() {
             if !(c.is_finite() && c > 0.0) {
                 return Err(CodingError::InvalidParameter {
-                    reason: format!("throughput of worker {i} must be positive and finite, got {c}"),
+                    reason: format!(
+                        "throughput of worker {i} must be positive and finite, got {c}"
+                    ),
                 });
             }
         }
@@ -79,7 +85,11 @@ impl Allocation {
                 });
             }
         }
-        Ok(Allocation { counts, partitions, stragglers })
+        Ok(Allocation {
+            counts,
+            partitions,
+            stragglers,
+        })
     }
 
     /// The uniform allocation used by the cyclic baseline of Tandon et al.:
@@ -91,12 +101,18 @@ impl Allocation {
     ///
     /// [`CodingError::Divisibility`] if `m` does not divide `k(s+1)`, plus
     /// the parameter checks of [`Allocation::balanced`].
-    pub fn uniform(workers: usize, partitions: usize, stragglers: usize) -> Result<Self, CodingError> {
+    pub fn uniform(
+        workers: usize,
+        partitions: usize,
+        stragglers: usize,
+    ) -> Result<Self, CodingError> {
         validate_params(workers, partitions, stragglers)?;
         let total = partitions * (stragglers + 1);
         if !total.is_multiple_of(workers) {
             return Err(CodingError::Divisibility {
-                reason: format!("uniform allocation requires m | k(s+1): m={workers}, k(s+1)={total}"),
+                reason: format!(
+                    "uniform allocation requires m | k(s+1): m={workers}, k(s+1)={total}"
+                ),
             });
         }
         let per = total / workers;
@@ -107,7 +123,11 @@ impl Allocation {
                 partitions,
             });
         }
-        Ok(Allocation { counts: vec![per; workers], partitions, stragglers })
+        Ok(Allocation {
+            counts: vec![per; workers],
+            partitions,
+            stragglers,
+        })
     }
 
     /// Builds an allocation from explicit counts (for tests and custom
@@ -117,7 +137,11 @@ impl Allocation {
     ///
     /// [`CodingError::InvalidParameter`] if `Σ n_i ≠ k(s+1)`;
     /// [`CodingError::InfeasibleAllocation`] if some `n_i > k`.
-    pub fn from_counts(counts: Vec<usize>, partitions: usize, stragglers: usize) -> Result<Self, CodingError> {
+    pub fn from_counts(
+        counts: Vec<usize>,
+        partitions: usize,
+        stragglers: usize,
+    ) -> Result<Self, CodingError> {
         validate_params(counts.len(), partitions, stragglers)?;
         let total: usize = counts.iter().sum();
         if total != partitions * (stragglers + 1) {
@@ -130,10 +154,18 @@ impl Allocation {
         }
         for (i, &n) in counts.iter().enumerate() {
             if n > partitions {
-                return Err(CodingError::InfeasibleAllocation { worker: i, assigned: n, partitions });
+                return Err(CodingError::InfeasibleAllocation {
+                    worker: i,
+                    assigned: n,
+                    partitions,
+                });
             }
         }
-        Ok(Allocation { counts, partitions, stragglers })
+        Ok(Allocation {
+            counts,
+            partitions,
+            stragglers,
+        })
     }
 
     /// Per-worker partition counts `n_i`.
@@ -172,10 +204,14 @@ impl Allocation {
 
 fn validate_params(m: usize, k: usize, s: usize) -> Result<(), CodingError> {
     if m == 0 {
-        return Err(CodingError::InvalidParameter { reason: "no workers".into() });
+        return Err(CodingError::InvalidParameter {
+            reason: "no workers".into(),
+        });
     }
     if k == 0 {
-        return Err(CodingError::InvalidParameter { reason: "no partitions".into() });
+        return Err(CodingError::InvalidParameter {
+            reason: "no partitions".into(),
+        });
     }
     if s + 1 > m {
         return Err(CodingError::InvalidParameter {

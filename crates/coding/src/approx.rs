@@ -156,7 +156,7 @@ pub fn gradient_error_bound(residual: f64, max_partial_norm: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decode::decode_vector;
+    use crate::codec::GradientCodec;
     use crate::heter_aware::heter_aware;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -174,7 +174,7 @@ mod tests {
         let approx = approximate_decode(&b, &survivors).unwrap();
         assert!(approx.is_exact(), "residual {}", approx.residual);
         // Agrees with the exact decoder up to fp noise: both satisfy aB=1.
-        let exact = decode_vector(&b, &survivors).unwrap();
+        let exact = b.decode_plan(&survivors).unwrap().to_dense();
         let via_exact = b.matrix().vecmat(&exact).unwrap();
         let via_approx = b.matrix().vecmat(&approx.vector).unwrap();
         for (x, y) in via_exact.iter().zip(&via_approx) {
@@ -191,7 +191,10 @@ mod tests {
         let mut last = -1.0;
         for s in sets {
             let r = approximate_decode(&b, s).unwrap().residual;
-            assert!(r >= last - 1e-9, "residual should not shrink: {r} after {last}");
+            assert!(
+                r >= last - 1e-9,
+                "residual should not shrink: {r} after {last}"
+            );
             last = r;
         }
         assert!(last > 0.5, "two survivors can't come close: {last}");
@@ -252,8 +255,9 @@ mod tests {
         for _ in 0..300 {
             // Exact partials: g_j = (θ − t)/k for each of the 7 partitions.
             let gfull = [theta[0] - target[0], theta[1] - target[1]];
-            let partials: Vec<Vec<f64>> =
-                (0..7).map(|_| vec![gfull[0] / 7.0, gfull[1] / 7.0]).collect();
+            let partials: Vec<Vec<f64>> = (0..7)
+                .map(|_| vec![gfull[0] / 7.0, gfull[1] / 7.0])
+                .collect();
             // ĝ = Σ_w a_w · (b_w · partials)
             let mut ghat = [0.0, 0.0];
             for &w in &survivors {
@@ -266,7 +270,10 @@ mod tests {
         }
         // ĝ = M·(θ−t) with M ≈ I (residual-bounded); fixpoint stays near t.
         let err = ((theta[0] - target[0]).powi(2) + (theta[1] - target[1]).powi(2)).sqrt();
-        assert!(err < 1.0, "approximate SGD drifted: {theta:?} vs {target:?}");
+        assert!(
+            err < 1.0,
+            "approximate SGD drifted: {theta:?} vs {target:?}"
+        );
     }
 
     #[test]

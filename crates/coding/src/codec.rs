@@ -1,0 +1,1082 @@
+//! The unified `GradientCodec` API: one trait for the paper's whole
+//! encode → collect → earliest-decodable-prefix cycle, with precompiled
+//! sparse plans on the per-iteration hot path.
+//!
+//! # Mapping to the paper (§III)
+//!
+//! | Type | Paper object |
+//! |------|--------------|
+//! | [`GradientCodec::encode`] | `g̃_w = b_w · [g_1 … g_k]ᵀ` (Eq. 1), restricted to `supp(b_w)` |
+//! | [`DecodePlan`] | one row `a_i` of the decoding matrix `A` (Eq. 2), stored sparsely |
+//! | [`GradientCodec::decode_plan`] | the realtime `O(mk²)` decode-vector solve of §III-B |
+//! | [`CodecSession`] | the master's earliest-decodable-prefix loop (`T(B, S)` of §III-C) |
+//! | [`CompiledCodec`]'s plan cache | §III-B's hybrid storage: "A could be partially stored … for regular stragglers", realtime solves otherwise |
+//!
+//! # Why compile?
+//!
+//! A [`CodingMatrix`] answers structural questions (`supp(b_w)`, loads) by
+//! scanning dense rows and solves every decode from scratch. Those costs
+//! sit on the *per-iteration* critical path of every trainer, simulator
+//! and experiment driver in this workspace. [`CompiledCodec`] pays them
+//! once:
+//!
+//! * per-worker supports and coefficients are flattened into CSR-style
+//!   arrays ([`CompiledCodec::support_of`] / [`CompiledCodec::coefficients_of`]
+//!   are `O(1)` slice lookups, no allocation);
+//! * decode plans are memoized in an LRU cache keyed by the sorted
+//!   survivor set, so a persistently slow VM costs one solve, ever;
+//! * [`CodecSession`] is reusable across iterations via
+//!   [`CodecSession::reset`] — basis/combination buffers are pooled, so
+//!   steady-state training allocates nothing to stream-decode a round.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hetgc_coding::{heter_aware, CompiledCodec, GradientCodec};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), hetgc_coding::CodingError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let b = heter_aware(&[1.0, 2.0, 3.0, 4.0, 4.0], 7, 1, &mut rng)?;
+//! let codec = CompiledCodec::new(b);
+//!
+//! // Worker 2 straggles: plan a decode over the other four (cached for
+//! // the next time the same survivor set shows up).
+//! let plan = codec.decode_plan(&[0, 1, 3, 4])?;
+//! assert!(plan.workers().iter().all(|&w| w != 2));
+//!
+//! // Stream a round: feed arrivals, decode at the earliest prefix.
+//! let mut session = codec.session();
+//! assert!(session.push(4)?.is_none());
+//! assert!(session.push(0)?.is_none());
+//! assert!(session.push(3)?.is_none());
+//! let plan = session.push(1)?.expect("m − s arrivals decode");
+//! assert_eq!(plan.total_workers(), 5);
+//! session.reset(); // next iteration, no reallocation
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use hetgc_linalg::{solve_any, vec_ops, DEFAULT_TOLERANCE};
+
+use crate::error::CodingError;
+use crate::strategy::CodingMatrix;
+
+/// Default number of survivor patterns a [`CompiledCodec`] remembers.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+// ---------------------------------------------------------------- plans
+
+/// A sparse decode vector: the non-zero entries of a row `a` of the
+/// decoding matrix `A` (Eq. 2), i.e. `g = Σ_w a_w · g̃_w` over
+/// [`DecodePlan::workers`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodePlan {
+    /// Workers with non-zero weight, ascending.
+    workers: Vec<usize>,
+    /// Weights aligned with `workers`.
+    coefficients: Vec<f64>,
+    /// Total worker count `m` (for densification).
+    total_workers: usize,
+}
+
+impl DecodePlan {
+    /// Builds a plan from a dense decode vector, dropping exact zeros.
+    pub fn from_dense(a: &[f64]) -> Self {
+        let mut workers = Vec::new();
+        let mut coefficients = Vec::new();
+        for (w, &coef) in a.iter().enumerate() {
+            if coef != 0.0 {
+                workers.push(w);
+                coefficients.push(coef);
+            }
+        }
+        DecodePlan {
+            workers,
+            coefficients,
+            total_workers: a.len(),
+        }
+    }
+
+    /// Workers whose coded gradients the plan consumes, ascending.
+    pub fn workers(&self) -> &[usize] {
+        &self.workers
+    }
+
+    /// The decode weight of each worker in [`DecodePlan::workers`].
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// `(worker, weight)` pairs in ascending worker order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.workers
+            .iter()
+            .copied()
+            .zip(self.coefficients.iter().copied())
+    }
+
+    /// Total worker count `m` of the code this plan belongs to.
+    pub fn total_workers(&self) -> usize {
+        self.total_workers
+    }
+
+    /// Number of workers with non-zero weight.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// `true` when no worker carries weight (never for a valid decode).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// The dense decode vector over all `m` workers.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut a = vec![0.0; self.total_workers];
+        for (w, coef) in self.iter() {
+            a[w] = coef;
+        }
+        a
+    }
+
+    /// Combines coded gradients: `g = Σ_w a_w · g̃_w`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::InvalidParameter`] when the plan is empty, a needed
+    /// coded gradient is missing, or dimensions disagree.
+    pub fn combine(&self, coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, CodingError> {
+        let mut out = Vec::new();
+        self.combine_into(coded, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`DecodePlan::combine`] into a caller-owned buffer (zeroed and
+    /// resized here), avoiding the per-iteration allocation.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DecodePlan::combine`].
+    pub fn combine_into(
+        &self,
+        coded: &HashMap<usize, Vec<f64>>,
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodingError> {
+        if self.is_empty() {
+            return Err(CodingError::InvalidParameter {
+                reason: "empty decode plan: no worker carries decode weight".into(),
+            });
+        }
+        let first = self.workers[0];
+        let dim = coded
+            .get(&first)
+            .ok_or_else(|| missing_worker(first))?
+            .len();
+        out.clear();
+        out.resize(dim, 0.0);
+        for (w, coef) in self.iter() {
+            let g = coded.get(&w).ok_or_else(|| missing_worker(w))?;
+            if g.len() != dim {
+                return Err(CodingError::InvalidParameter {
+                    reason: format!("worker {w} gradient dim {} != {}", g.len(), dim),
+                });
+            }
+            vec_ops::axpy(coef, g, out);
+        }
+        Ok(())
+    }
+}
+
+fn missing_worker(w: usize) -> CodingError {
+    CodingError::InvalidParameter {
+        reason: format!("decode plan needs worker {w} but its result is missing"),
+    }
+}
+
+// ---------------------------------------------------------------- trait
+
+/// The one way to encode and decode a gradient code.
+///
+/// Implemented by [`CompiledCodec`] (precompiled supports, cached plans —
+/// use this on training hot paths) and by [`CodingMatrix`] itself (an
+/// uncompiled slow path so ad-hoc analysis code can pass a raw strategy
+/// anywhere a codec is expected).
+pub trait GradientCodec {
+    /// Number of workers `m`.
+    fn workers(&self) -> usize;
+
+    /// Number of data partitions `k`.
+    fn partitions(&self) -> usize;
+
+    /// Designed straggler tolerance `s`.
+    fn stragglers(&self) -> usize;
+
+    /// `‖b_w‖₀`: how many partitions worker `w` computes.
+    fn load_of(&self, worker: usize) -> usize;
+
+    /// Encodes worker `w`'s result: `g̃_w = Σ_{j ∈ supp(b_w)} b_wj · g_j`.
+    ///
+    /// `partials[j]` is the partial gradient of partition `j`; partitions
+    /// outside `supp(b_w)` may be empty placeholders.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::InvalidParameter`] if a needed partial is missing or
+    /// dimensions disagree.
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Vec<f64>, CodingError>;
+
+    /// A decode plan supported on the given survivors (order-insensitive:
+    /// the survivor set is canonicalized before solving, so equal sets
+    /// yield identical plans).
+    ///
+    /// # Errors
+    ///
+    /// * [`CodingError::InvalidParameter`] on out-of-range or duplicate
+    ///   survivor indices.
+    /// * [`CodingError::NotDecodable`] if the survivors cannot span `1`.
+    fn decode_plan(&self, survivors: &[usize]) -> Result<DecodePlan, CodingError>;
+
+    /// A streaming decoder for one collect round. Reuse it across rounds
+    /// via [`CodecSession::reset`].
+    fn session(&self) -> CodecSession;
+}
+
+// ------------------------------------------------------------- sessions
+
+/// The dense rows of `B` shared (via `Arc`) between a codec and its
+/// sessions, so spawning a session copies nothing.
+#[derive(Debug)]
+struct RowStore {
+    rows: Vec<Vec<f64>>,
+    partitions: usize,
+}
+
+impl RowStore {
+    fn from_code(code: &CodingMatrix) -> Self {
+        RowStore {
+            rows: (0..code.workers()).map(|w| code.row(w).to_vec()).collect(),
+            partitions: code.partitions(),
+        }
+    }
+}
+
+/// A streaming decoder over one collect round: feed worker results in
+/// completion order; a [`DecodePlan`] pops out at the *earliest* decodable
+/// prefix.
+///
+/// Internally maintains a reduced row-echelon basis of the received rows
+/// together with the combinations that produced them, so each
+/// [`CodecSession::push`] costs `O(k·r)` (`r` = current rank). All
+/// working buffers are pooled: [`CodecSession::reset`] recycles them, so a
+/// session reused across training iterations reaches a steady state with
+/// **zero** per-round allocation in the elimination loop.
+#[derive(Debug, Clone)]
+pub struct CodecSession {
+    store: Arc<RowStore>,
+    /// RREF basis rows over partition space.
+    basis: Vec<Vec<f64>>,
+    /// `combos[i][j]`: coefficient of the j-th arrival in basis row i.
+    combos: Vec<Vec<f64>>,
+    /// Pivot column of each basis row.
+    pivots: Vec<usize>,
+    /// Arrival order of workers.
+    arrivals: Vec<usize>,
+    /// Workers already pushed (guards duplicates).
+    pushed: Vec<bool>,
+    /// Recycled row buffers (from previous rounds' bases).
+    spare_rows: Vec<Vec<f64>>,
+    /// Recycled combination buffers.
+    spare_combos: Vec<Vec<f64>>,
+    /// Scratch for the per-push decodability check.
+    scratch_target: Vec<f64>,
+    /// Scratch for the per-push combination accumulation.
+    scratch_combo: Vec<f64>,
+}
+
+impl CodecSession {
+    fn new(store: Arc<RowStore>) -> Self {
+        let m = store.rows.len();
+        CodecSession {
+            store,
+            basis: Vec::new(),
+            combos: Vec::new(),
+            pivots: Vec::new(),
+            arrivals: Vec::new(),
+            pushed: vec![false; m],
+            spare_rows: Vec::new(),
+            spare_combos: Vec::new(),
+            scratch_target: Vec::new(),
+            scratch_combo: Vec::new(),
+        }
+    }
+
+    /// Number of workers `m`.
+    pub fn workers(&self) -> usize {
+        self.pushed.len()
+    }
+
+    /// Number of partitions `k`.
+    pub fn partitions(&self) -> usize {
+        self.store.partitions
+    }
+
+    /// Results received so far this round.
+    pub fn received(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Current rank of the received rows.
+    pub fn rank(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Clears the round state while keeping every allocation for reuse —
+    /// the replacement for constructing a fresh per-iteration decoder.
+    pub fn reset(&mut self) {
+        self.spare_rows.append(&mut self.basis);
+        self.spare_combos.append(&mut self.combos);
+        self.pivots.clear();
+        self.arrivals.clear();
+        self.pushed.iter_mut().for_each(|p| *p = false);
+    }
+
+    fn take_row_buffer(&mut self, src: &[f64]) -> Vec<f64> {
+        match self.spare_rows.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.extend_from_slice(src);
+                buf
+            }
+            None => src.to_vec(),
+        }
+    }
+
+    fn take_combo_buffer(&mut self, len: usize) -> Vec<f64> {
+        match self.spare_combos.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Feeds the result of `worker`; returns a decode plan if the received
+    /// set is now decodable, `None` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`CodingError::InvalidParameter`] on out-of-range or duplicate
+    /// worker indices.
+    pub fn push(&mut self, worker: usize) -> Result<Option<DecodePlan>, CodingError> {
+        if worker >= self.pushed.len() {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("worker {worker} >= m={}", self.pushed.len()),
+            });
+        }
+        if self.pushed[worker] {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("worker {worker} already pushed"),
+            });
+        }
+        self.pushed[worker] = true;
+        self.arrivals.push(worker);
+        let arrival_idx = self.arrivals.len() - 1;
+
+        // Reduce the new row against the basis, tracking the combination.
+        let store = Arc::clone(&self.store);
+        let src_row = &store.rows[worker];
+        let mut row = self.take_row_buffer(src_row);
+        let mut combo = self.take_combo_buffer(self.arrivals.len());
+        combo[arrival_idx] = 1.0;
+        for combo_row in &mut self.combos {
+            combo_row.push(0.0); // widen existing combos to the new arrival
+        }
+        for (i, basis_row) in self.basis.iter().enumerate() {
+            let p = self.pivots[i];
+            let factor = row[p];
+            if factor != 0.0 {
+                vec_ops::axpy(-factor, basis_row, &mut row);
+                vec_ops::axpy(-factor, &self.combos[i], &mut combo);
+            }
+        }
+        // Numerical zero test relative to the source row's magnitude.
+        let scale = vec_ops::norm_inf(src_row).max(1.0);
+        if let Some(p) = pivot_of(&row, DEFAULT_TOLERANCE * scale) {
+            // Normalize and back-eliminate to keep the basis reduced. The
+            // new row is disjoint from `self.basis`/`self.combos`, so no
+            // copies are needed.
+            let inv = 1.0 / row[p];
+            vec_ops::scale(inv, &mut row);
+            vec_ops::scale(inv, &mut combo);
+            for i in 0..self.basis.len() {
+                let factor = self.basis[i][p];
+                if factor != 0.0 {
+                    vec_ops::axpy(-factor, &row, &mut self.basis[i]);
+                    vec_ops::axpy(-factor, &combo, &mut self.combos[i]);
+                }
+            }
+            self.basis.push(row);
+            self.combos.push(combo);
+            self.pivots.push(p);
+        } else {
+            // Dependent row: recycle the buffers immediately.
+            self.spare_rows.push(row);
+            self.spare_combos.push(combo);
+        }
+
+        // Decodability check through the pooled scratch buffers.
+        let mut target = std::mem::take(&mut self.scratch_target);
+        let mut acc = std::mem::take(&mut self.scratch_combo);
+        let plan = self.reduce_ones(&mut target, &mut acc).then(|| {
+            let mut a = vec![0.0; self.pushed.len()];
+            for (j, &w) in self.arrivals.iter().enumerate() {
+                a[w] += acc[j];
+            }
+            DecodePlan::from_dense(&a)
+        });
+        self.scratch_target = target;
+        self.scratch_combo = acc;
+        Ok(plan)
+    }
+
+    /// Attempts to decode with the results received so far.
+    pub fn try_decode(&self) -> Option<DecodePlan> {
+        self.try_decode_dense().map(|a| DecodePlan::from_dense(&a))
+    }
+
+    /// Reduces `1_{1×k}` against the basis into `target`, accumulating the
+    /// arrival combination in `combo`. Returns `true` when `1` is spanned.
+    fn reduce_ones(&self, target: &mut Vec<f64>, combo: &mut Vec<f64>) -> bool {
+        target.clear();
+        target.resize(self.store.partitions, 1.0);
+        combo.clear();
+        combo.resize(self.arrivals.len(), 0.0);
+        for (i, basis_row) in self.basis.iter().enumerate() {
+            let p = self.pivots[i];
+            let factor = target[p];
+            if factor != 0.0 {
+                vec_ops::axpy(-factor, basis_row, target);
+                vec_ops::axpy(factor, &self.combos[i], combo);
+            }
+        }
+        vec_ops::norm_inf(target) <= DEFAULT_TOLERANCE
+    }
+
+    /// Dense variant of [`CodecSession::try_decode`] (kept for the
+    /// deprecated `OnlineDecoder` shim, which promises a dense vector).
+    pub(crate) fn try_decode_dense(&self) -> Option<Vec<f64>> {
+        let mut target = Vec::new();
+        let mut combo = Vec::new();
+        if !self.reduce_ones(&mut target, &mut combo) {
+            return None;
+        }
+        let mut a = vec![0.0; self.pushed.len()];
+        for (j, &w) in self.arrivals.iter().enumerate() {
+            a[w] += combo[j];
+        }
+        Some(a)
+    }
+}
+
+fn pivot_of(row: &[f64], tol: f64) -> Option<usize> {
+    // Largest-magnitude entry as pivot for stability.
+    let (mut best, mut best_val) = (None, tol);
+    for (j, &v) in row.iter().enumerate() {
+        if v.abs() > best_val {
+            best = Some(j);
+            best_val = v.abs();
+        }
+    }
+    best
+}
+
+// ---------------------------------------------------- the compiled codec
+
+/// LRU cache of decode plans keyed by the sorted survivor set.
+#[derive(Debug, Clone)]
+struct PlanCache {
+    /// `(sorted survivors, plan)`, most recently used last.
+    entries: Vec<(Vec<usize>, DecodePlan)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    fn lookup(&mut self, key: &[usize]) -> Option<DecodePlan> {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
+            self.hits += 1;
+            let entry = self.entries.remove(pos);
+            self.entries.push(entry); // refresh LRU position
+            return Some(self.entries.last().expect("just pushed").1.clone());
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn insert(&mut self, key: Vec<usize>, plan: DecodePlan) {
+        // Concurrent misses on the same pattern may race to insert: the
+        // lock is released during the solve. Keep the cache duplicate-free
+        // by refreshing an existing entry instead of double-inserting.
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == self.capacity {
+            self.entries.remove(0); // evict least recently used
+        }
+        self.entries.push((key, plan));
+    }
+}
+
+/// A [`CodingMatrix`] compiled for the per-iteration hot path: CSR-style
+/// sparse per-worker supports/coefficients, an LRU decode-plan cache
+/// keyed by sorted survivor sets, and cheap [`CodecSession`] spawning
+/// (shared dense rows).
+///
+/// Build one per strategy (e.g. via `SchemeInstance::compile()` in the
+/// `hetgc` crate) and route every encode/decode through it.
+#[derive(Debug)]
+pub struct CompiledCodec {
+    code: CodingMatrix,
+    /// CSR row pointers: worker `w`'s terms live at `row_ptr[w]..row_ptr[w+1]`.
+    row_ptr: Vec<usize>,
+    /// Partition indices of all non-zero coefficients, worker-major.
+    support: Vec<usize>,
+    /// Coefficients aligned with `support`.
+    coeffs: Vec<f64>,
+    store: Arc<RowStore>,
+    cache: Mutex<PlanCache>,
+}
+
+impl Clone for CompiledCodec {
+    fn clone(&self) -> Self {
+        CompiledCodec {
+            code: self.code.clone(),
+            row_ptr: self.row_ptr.clone(),
+            support: self.support.clone(),
+            coeffs: self.coeffs.clone(),
+            store: Arc::clone(&self.store),
+            cache: Mutex::new(self.cache.lock().expect("cache poisoned").clone()),
+        }
+    }
+}
+
+impl CompiledCodec {
+    /// Compiles `code` with the default plan-cache capacity.
+    pub fn new(code: CodingMatrix) -> Self {
+        CompiledCodec::with_cache_capacity(code, DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// Compiles `code`, remembering up to `capacity` survivor patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn with_cache_capacity(code: CodingMatrix, capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        let m = code.workers();
+        let mut row_ptr = Vec::with_capacity(m + 1);
+        let mut support = Vec::new();
+        let mut coeffs = Vec::new();
+        row_ptr.push(0);
+        for w in 0..m {
+            for (j, &v) in code.row(w).iter().enumerate() {
+                if v != 0.0 {
+                    support.push(j);
+                    coeffs.push(v);
+                }
+            }
+            row_ptr.push(support.len());
+        }
+        let store = Arc::new(RowStore::from_code(&code));
+        CompiledCodec {
+            code,
+            row_ptr,
+            support,
+            coeffs,
+            store,
+            cache: Mutex::new(PlanCache {
+                entries: Vec::new(),
+                capacity,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The underlying strategy matrix.
+    pub fn code(&self) -> &CodingMatrix {
+        &self.code
+    }
+
+    /// `supp(b_w)` as a precompiled slice — no allocation, no scan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= m`.
+    pub fn support_of(&self, worker: usize) -> &[usize] {
+        &self.support[self.row_ptr[worker]..self.row_ptr[worker + 1]]
+    }
+
+    /// The non-zero coefficients of `b_w`, aligned with
+    /// [`CompiledCodec::support_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker >= m`.
+    pub fn coefficients_of(&self, worker: usize) -> &[f64] {
+        &self.coeffs[self.row_ptr[worker]..self.row_ptr[worker + 1]]
+    }
+
+    /// Plan-cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache.lock().expect("cache poisoned").hits
+    }
+
+    /// Plan-cache misses (realtime solves) so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache.lock().expect("cache poisoned").misses
+    }
+
+    /// Number of survivor patterns currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.lock().expect("cache poisoned").entries.len()
+    }
+
+    /// [`GradientCodec::decode_plan`] addressed by *stragglers* instead of
+    /// survivors (the paper's Eq. 2 indexing).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GradientCodec::decode_plan`].
+    pub fn decode_plan_for_stragglers(
+        &self,
+        stragglers: &[usize],
+    ) -> Result<DecodePlan, CodingError> {
+        let mut dead = stragglers.to_vec();
+        dead.sort_unstable();
+        dead.dedup();
+        let survivors: Vec<usize> = (0..self.workers())
+            .filter(|w| dead.binary_search(w).is_err())
+            .collect();
+        self.decode_plan(&survivors)
+    }
+
+    /// Encodes into a caller-owned buffer, the zero-allocation twin of
+    /// [`GradientCodec::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`GradientCodec::encode`].
+    pub fn encode_into(
+        &self,
+        worker: usize,
+        partials: &[Vec<f64>],
+        out: &mut Vec<f64>,
+    ) -> Result<(), CodingError> {
+        if partials.len() != self.partitions() {
+            return Err(CodingError::InvalidParameter {
+                reason: format!(
+                    "expected {} partials, got {}",
+                    self.partitions(),
+                    partials.len()
+                ),
+            });
+        }
+        let support = self.support_of(worker);
+        let coeffs = self.coefficients_of(worker);
+        let dim = support.first().map(|&j| partials[j].len()).unwrap_or(0);
+        out.clear();
+        out.resize(dim, 0.0);
+        for (&j, &coef) in support.iter().zip(coeffs) {
+            if partials[j].len() != dim {
+                return Err(CodingError::InvalidParameter {
+                    reason: format!(
+                        "partial {} has dim {}, expected {}",
+                        j,
+                        partials[j].len(),
+                        dim
+                    ),
+                });
+            }
+            vec_ops::axpy(coef, &partials[j], out);
+        }
+        Ok(())
+    }
+}
+
+impl GradientCodec for CompiledCodec {
+    fn workers(&self) -> usize {
+        self.code.workers()
+    }
+
+    fn partitions(&self) -> usize {
+        self.code.partitions()
+    }
+
+    fn stragglers(&self) -> usize {
+        self.code.stragglers()
+    }
+
+    fn load_of(&self, worker: usize) -> usize {
+        self.row_ptr[worker + 1] - self.row_ptr[worker]
+    }
+
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Vec<f64>, CodingError> {
+        let mut out = Vec::new();
+        self.encode_into(worker, partials, &mut out)?;
+        Ok(out)
+    }
+
+    fn decode_plan(&self, survivors: &[usize]) -> Result<DecodePlan, CodingError> {
+        let key = canonical_survivors(&self.code, survivors)?;
+        if let Some(plan) = self.cache.lock().expect("cache poisoned").lookup(&key) {
+            return Ok(plan);
+        }
+        let dense = solve_decode_dense(&self.code, &key)?;
+        let plan = DecodePlan::from_dense(&dense);
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, plan.clone());
+        Ok(plan)
+    }
+
+    fn session(&self) -> CodecSession {
+        CodecSession::new(Arc::clone(&self.store))
+    }
+}
+
+/// The uncompiled slow path: a raw [`CodingMatrix`] is itself a codec, so
+/// analysis code can call codec-shaped APIs without compiling. Each
+/// `decode_plan` re-solves and each `session` re-copies rows — compile
+/// with [`CompiledCodec::new`] for anything iterative.
+impl GradientCodec for CodingMatrix {
+    fn workers(&self) -> usize {
+        CodingMatrix::workers(self)
+    }
+
+    fn partitions(&self) -> usize {
+        CodingMatrix::partitions(self)
+    }
+
+    fn stragglers(&self) -> usize {
+        CodingMatrix::stragglers(self)
+    }
+
+    fn load_of(&self, worker: usize) -> usize {
+        CodingMatrix::load_of(self, worker)
+    }
+
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Vec<f64>, CodingError> {
+        CodingMatrix::encode(self, worker, partials)
+    }
+
+    fn decode_plan(&self, survivors: &[usize]) -> Result<DecodePlan, CodingError> {
+        let key = canonical_survivors(self, survivors)?;
+        Ok(DecodePlan::from_dense(&solve_decode_dense(self, &key)?))
+    }
+
+    fn session(&self) -> CodecSession {
+        CodecSession::new(Arc::new(RowStore::from_code(self)))
+    }
+}
+
+// ------------------------------------------------------------ internals
+
+/// Validates survivor indices and returns the sorted canonical set.
+pub(crate) fn canonical_survivors(
+    code: &CodingMatrix,
+    survivors: &[usize],
+) -> Result<Vec<usize>, CodingError> {
+    let m = code.workers();
+    let mut seen = vec![false; m];
+    for &w in survivors {
+        if w >= m {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("survivor index {w} >= m={m}"),
+            });
+        }
+        if seen[w] {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("duplicate survivor index {w}"),
+            });
+        }
+        seen[w] = true;
+    }
+    let mut key = survivors.to_vec();
+    key.sort_unstable();
+    Ok(key)
+}
+
+/// The §III-B realtime solve: a dense `a ∈ R^m` with `a·B = 1_{1×k}` and
+/// `supp(a) ⊆ survivors` (assumed validated).
+pub(crate) fn solve_decode_dense(
+    code: &CodingMatrix,
+    survivors: &[usize],
+) -> Result<Vec<f64>, CodingError> {
+    // Solve Mᵀ·x = 1ᵀ where M = B_survivors.
+    let rows = code.matrix().select_rows(survivors)?;
+    let ones = vec![1.0; code.partitions()];
+    let x = solve_any(&rows.transpose(), &ones, DEFAULT_TOLERANCE).ok_or_else(|| {
+        CodingError::NotDecodable {
+            survivors: survivors.to_vec(),
+        }
+    })?;
+    let mut a = vec![0.0; code.workers()];
+    for (&w, &coef) in survivors.iter().zip(&x) {
+        a[w] = coef;
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heter_aware::heter_aware;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn code() -> CodingMatrix {
+        let mut rng = StdRng::seed_from_u64(11);
+        heter_aware(&[1.0, 2.0, 3.0, 4.0, 4.0], 7, 1, &mut rng).unwrap()
+    }
+
+    fn check_decode(code: &CodingMatrix, plan: &DecodePlan) {
+        let prod = code.matrix().vecmat(&plan.to_dense()).unwrap();
+        for (j, v) in prod.iter().enumerate() {
+            assert!((v - 1.0).abs() < 1e-6, "aB[{j}] = {v}, want 1");
+        }
+    }
+
+    #[test]
+    fn compiled_supports_match_matrix() {
+        let b = code();
+        let codec = CompiledCodec::new(b.clone());
+        for w in 0..b.workers() {
+            assert_eq!(codec.support_of(w), b.support_of(w).as_slice());
+            assert_eq!(codec.load_of(w), b.load_of(w));
+            let coeffs: Vec<f64> = b.support_of(w).iter().map(|&j| b.row(w)[j]).collect();
+            assert_eq!(codec.coefficients_of(w), coeffs.as_slice());
+        }
+        assert_eq!(codec.workers(), 5);
+        assert_eq!(codec.partitions(), 7);
+        assert_eq!(codec.stragglers(), 1);
+    }
+
+    #[test]
+    fn compiled_encode_matches_matrix_encode() {
+        let b = code();
+        let codec = CompiledCodec::new(b.clone());
+        let partials: Vec<Vec<f64>> = (0..7)
+            .map(|j| vec![j as f64, 2.0 * j as f64 + 0.5])
+            .collect();
+        for w in 0..5 {
+            assert_eq!(
+                codec.encode(w, &partials).unwrap(),
+                b.encode(w, &partials).unwrap(),
+                "worker {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn encode_validates_inputs() {
+        let codec = CompiledCodec::new(code());
+        let partials = vec![vec![1.0]; 3]; // wrong count
+        assert!(codec.encode(0, &partials).is_err());
+        let mut partials = vec![vec![1.0, 2.0]; 7];
+        partials[6] = vec![1.0]; // dim mismatch on a used partition
+        let needs_6 = (0..5).find(|&w| codec.support_of(w).contains(&6)).unwrap();
+        assert!(codec.encode(needs_6, &partials).is_err());
+    }
+
+    #[test]
+    fn decode_plan_solves_and_caches() {
+        let b = code();
+        let codec = CompiledCodec::new(b.clone());
+        let plan1 = codec.decode_plan(&[0, 1, 3, 4]).unwrap();
+        check_decode(&b, &plan1);
+        assert_eq!((codec.cache_hits(), codec.cache_misses()), (0, 1));
+        // Same set, different order: cache hit, identical plan.
+        let plan2 = codec.decode_plan(&[4, 3, 1, 0]).unwrap();
+        assert_eq!(plan1, plan2);
+        assert_eq!((codec.cache_hits(), codec.cache_misses()), (1, 1));
+        assert_eq!(codec.cached_plans(), 1);
+    }
+
+    #[test]
+    fn decode_plan_matches_uncompiled_path() {
+        let b = code();
+        let codec = CompiledCodec::new(b.clone());
+        for straggler in 0..5 {
+            let survivors: Vec<usize> = (0..5).filter(|&w| w != straggler).collect();
+            let compiled = codec.decode_plan(&survivors).unwrap();
+            let uncompiled = b.decode_plan(&survivors).unwrap();
+            assert_eq!(compiled, uncompiled, "straggler {straggler}");
+            assert!(!compiled.workers().contains(&straggler));
+        }
+    }
+
+    #[test]
+    fn decode_plan_rejects_bad_survivors() {
+        let codec = CompiledCodec::new(code());
+        assert!(matches!(
+            codec.decode_plan(&[0, 9]),
+            Err(CodingError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            codec.decode_plan(&[0, 0]),
+            Err(CodingError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            codec.decode_plan(&[0, 1, 2]),
+            Err(CodingError::NotDecodable { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_cache_evicts_lru() {
+        let codec = CompiledCodec::with_cache_capacity(code(), 2);
+        let survivors = |dead: usize| -> Vec<usize> { (0..5).filter(|&w| w != dead).collect() };
+        codec.decode_plan(&survivors(0)).unwrap();
+        codec.decode_plan(&survivors(1)).unwrap();
+        codec.decode_plan(&survivors(0)).unwrap(); // refresh 0
+        codec.decode_plan(&survivors(2)).unwrap(); // evicts 1
+        assert_eq!(codec.cached_plans(), 2);
+        codec.decode_plan(&survivors(0)).unwrap(); // still cached
+        assert_eq!(codec.cache_hits(), 2);
+        codec.decode_plan(&survivors(1)).unwrap(); // miss: was evicted
+        assert_eq!(codec.cache_misses(), 4);
+    }
+
+    #[test]
+    fn decode_plan_for_stragglers_complements() {
+        let b = code();
+        let codec = CompiledCodec::new(b.clone());
+        let by_straggler = codec.decode_plan_for_stragglers(&[2]).unwrap();
+        let by_survivors = codec.decode_plan(&[0, 1, 3, 4]).unwrap();
+        assert_eq!(by_straggler, by_survivors);
+        // Unsorted, duplicated straggler list canonicalizes.
+        let messy = codec.decode_plan_for_stragglers(&[2, 2]).unwrap();
+        assert_eq!(messy, by_survivors);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_cache_capacity_panics() {
+        CompiledCodec::with_cache_capacity(code(), 0);
+    }
+
+    #[test]
+    fn session_decodes_at_earliest_prefix() {
+        let b = code();
+        let codec = CompiledCodec::new(b.clone());
+        let mut session = codec.session();
+        assert_eq!(session.push(3).unwrap(), None);
+        assert_eq!(session.push(4).unwrap(), None);
+        assert_eq!(session.push(0).unwrap(), None);
+        let plan = session.push(1).unwrap().expect("m−s workers must decode");
+        check_decode(&b, &plan);
+        assert!(!plan.workers().contains(&2));
+        assert_eq!(session.received(), 4);
+    }
+
+    #[test]
+    fn session_reset_reuses_buffers_and_agrees() {
+        let b = code();
+        let codec = CompiledCodec::new(b);
+        let mut session = codec.session();
+        let mut first_round = None;
+        for order in [[0usize, 1, 2, 3, 4], [4, 3, 2, 1, 0], [2, 0, 4, 1, 3]] {
+            session.reset();
+            let mut decoded = None;
+            for w in order {
+                if let Some(plan) = session.push(w).unwrap() {
+                    decoded = Some(plan);
+                    break;
+                }
+            }
+            let plan = decoded.expect("all five workers must decode");
+            check_decode(codec.code(), &plan);
+            // Identical arrival order ⇒ identical plan after reset.
+            if order == [0, 1, 2, 3, 4] {
+                first_round = Some(plan);
+            }
+        }
+        session.reset();
+        let mut replay = None;
+        for w in [0usize, 1, 2, 3, 4] {
+            if let Some(plan) = session.push(w).unwrap() {
+                replay = Some(plan);
+                break;
+            }
+        }
+        assert_eq!(replay, first_round);
+    }
+
+    #[test]
+    fn session_rejects_duplicates_and_out_of_range() {
+        let codec = CompiledCodec::new(code());
+        let mut session = codec.session();
+        session.push(1).unwrap();
+        assert!(session.push(1).is_err());
+        assert!(session.push(17).is_err());
+        session.reset();
+        session.push(1).unwrap(); // valid again after reset
+    }
+
+    #[test]
+    fn uncompiled_matrix_is_a_codec() {
+        let b = code();
+        let mut session = GradientCodec::session(&b);
+        for w in [0usize, 1, 3] {
+            assert!(session.push(w).unwrap().is_none());
+        }
+        let plan = session.push(4).unwrap().expect("4 workers decode");
+        check_decode(&b, &plan);
+    }
+
+    #[test]
+    fn plan_combine_weighted_sum() {
+        let mut coded = HashMap::new();
+        coded.insert(0, vec![1.0, 2.0]);
+        coded.insert(2, vec![10.0, 20.0]);
+        let plan = DecodePlan::from_dense(&[2.0, 0.0, 0.5]);
+        assert_eq!(plan.combine(&coded).unwrap(), vec![7.0, 14.0]);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.to_dense(), vec![2.0, 0.0, 0.5]);
+    }
+
+    #[test]
+    fn plan_combine_rejects_empty_and_missing() {
+        let empty = DecodePlan::from_dense(&[0.0, 0.0]);
+        assert!(empty.is_empty());
+        assert!(matches!(
+            empty.combine(&HashMap::new()),
+            Err(CodingError::InvalidParameter { .. })
+        ));
+        let plan = DecodePlan::from_dense(&[1.0, 1.0]);
+        let mut coded = HashMap::new();
+        coded.insert(0, vec![1.0]);
+        assert!(plan.combine(&coded).is_err()); // worker 1 missing
+        coded.insert(1, vec![1.0, 2.0]);
+        assert!(plan.combine(&coded).is_err()); // dim mismatch
+    }
+
+    #[test]
+    fn combine_into_reuses_buffer() {
+        let plan = DecodePlan::from_dense(&[1.0, 2.0]);
+        let mut coded = HashMap::new();
+        coded.insert(0, vec![1.0, 1.0]);
+        coded.insert(1, vec![2.0, 3.0]);
+        let mut out = vec![99.0; 7];
+        plan.combine_into(&coded, &mut out).unwrap();
+        assert_eq!(out, vec![5.0, 7.0]);
+    }
+}

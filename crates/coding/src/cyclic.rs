@@ -36,7 +36,9 @@ use crate::support::SupportMatrix;
 /// ```
 pub fn naive(workers: usize) -> Result<CodingMatrix, CodingError> {
     if workers == 0 {
-        return Err(CodingError::InvalidParameter { reason: "no workers".into() });
+        return Err(CodingError::InvalidParameter {
+            reason: "no workers".into(),
+        });
     }
     CodingMatrix::from_matrix(hetgc_linalg::Matrix::identity(workers), 0)
 }
@@ -49,7 +51,9 @@ pub fn naive(workers: usize) -> Result<CodingMatrix, CodingError> {
 /// [`CodingError::InvalidParameter`] if `s + 1 > m`.
 pub fn cyclic_support(workers: usize, stragglers: usize) -> Result<SupportMatrix, CodingError> {
     if workers == 0 {
-        return Err(CodingError::InvalidParameter { reason: "no workers".into() });
+        return Err(CodingError::InvalidParameter {
+            reason: "no workers".into(),
+        });
     }
     if stragglers + 1 > workers {
         return Err(CodingError::InvalidParameter {
@@ -138,8 +142,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         for (m, s) in [(4usize, 1usize), (5, 2), (6, 1), (7, 3)] {
             let b = cyclic(m, s, &mut rng).unwrap();
-            verify_condition_c1(&b)
-                .unwrap_or_else(|e| panic!("cyclic({m},{s}) violated C1: {e}"));
+            verify_condition_c1(&b).unwrap_or_else(|e| panic!("cyclic({m},{s}) violated C1: {e}"));
         }
     }
 

@@ -1,22 +1,19 @@
-//! Decoding: recovering `g = Σ g_i` from coded worker results.
+//! Legacy decoding entry points, kept as thin shims over the unified
+//! [`codec`](crate::codec) module.
 //!
-//! Three decoders cover the paper's use cases:
+//! New code should go through [`GradientCodec`](crate::GradientCodec):
 //!
-//! * [`decode_vector`] — one-shot: given a survivor set, find `a` with
-//!   `a·B = 1` supported on the survivors (the realtime
-//!   "solve in `O(mk²)`" path of §III-B).
-//! * [`OnlineDecoder`] — incremental: the master feeds results as they
-//!   arrive and decodes at the *earliest* decodable prefix. This is what
-//!   both the simulator and the threaded runtime use; it is also what makes
-//!   the group-based scheme shine (a complete group decodes early).
-//! * [`DecodingMatrix`] — offline: the full matrix `A` of Eq. 2 with one
-//!   decode row per straggler pattern, mirroring the paper's storage-cost
-//!   discussion.
+//! * [`decode_vector`] → [`GradientCodec::decode_plan`](crate::GradientCodec::decode_plan)
+//! * [`combine`] → [`DecodePlan::combine`](crate::DecodePlan::combine)
+//! * [`OnlineDecoder`] → [`CodecSession`](crate::CodecSession) (reusable across rounds)
+//! * [`DecodeCache`] → [`CompiledCodec`](crate::CompiledCodec)'s built-in plan cache
+//!
+//! [`DecodingMatrix`] — the fully-materialized `A` of Eq. 2 — remains a
+//! first-class analysis type here.
 
 use std::collections::HashMap;
 
-use hetgc_linalg::{solve_any, vec_ops, DEFAULT_TOLERANCE};
-
+use crate::codec::{canonical_survivors, solve_decode_dense, CodecSession, CompiledCodec};
 use crate::error::CodingError;
 use crate::strategy::{enumerate_subsets, CodingMatrix};
 
@@ -33,6 +30,7 @@ use crate::strategy::{enumerate_subsets, CodingMatrix};
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use hetgc_coding::{decode_vector, heter_aware};
 /// use rand::SeedableRng;
 ///
@@ -46,32 +44,13 @@ use crate::strategy::{enumerate_subsets, CodingMatrix};
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GradientCodec::decode_plan` on a `CompiledCodec` (or the `CodingMatrix` itself) instead"
+)]
 pub fn decode_vector(code: &CodingMatrix, survivors: &[usize]) -> Result<Vec<f64>, CodingError> {
-    let m = code.workers();
-    let mut seen = vec![false; m];
-    for &w in survivors {
-        if w >= m {
-            return Err(CodingError::InvalidParameter {
-                reason: format!("survivor index {w} >= m={m}"),
-            });
-        }
-        if seen[w] {
-            return Err(CodingError::InvalidParameter {
-                reason: format!("duplicate survivor index {w}"),
-            });
-        }
-        seen[w] = true;
-    }
-    // Solve Mᵀ·x = 1ᵀ where M = B_survivors.
-    let rows = code.matrix().select_rows(survivors)?;
-    let ones = vec![1.0; code.partitions()];
-    let x = solve_any(&rows.transpose(), &ones, DEFAULT_TOLERANCE)
-        .ok_or_else(|| CodingError::NotDecodable { survivors: survivors.to_vec() })?;
-    let mut a = vec![0.0; m];
-    for (&w, &coef) in survivors.iter().zip(&x) {
-        a[w] = coef;
-    }
-    Ok(a)
+    canonical_survivors(code, survivors)?;
+    solve_decode_dense(code, survivors)
 }
 
 /// Combines coded gradients with a decode vector:
@@ -81,9 +60,22 @@ pub fn decode_vector(code: &CodingMatrix, survivors: &[usize]) -> Result<Vec<f64
 ///
 /// # Errors
 ///
-/// [`CodingError::InvalidParameter`] if a needed coded gradient is missing
-/// or dimensions disagree.
+/// [`CodingError::InvalidParameter`] if `coded` is empty, the decode
+/// vector is all-zero (either would silently produce a zero-length
+/// "gradient"), a needed coded gradient is missing, or dimensions
+/// disagree.
+#[deprecated(since = "0.2.0", note = "use `DecodePlan::combine` instead")]
 pub fn combine(a: &[f64], coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, CodingError> {
+    if coded.is_empty() {
+        return Err(CodingError::InvalidParameter {
+            reason: "cannot combine an empty coded-gradient map".into(),
+        });
+    }
+    if a.iter().all(|&coef| coef == 0.0) {
+        return Err(CodingError::InvalidParameter {
+            reason: "all-zero decode vector: no worker carries decode weight".into(),
+        });
+    }
     let dim = coded.values().next().map(Vec::len).unwrap_or(0);
     let mut out = vec![0.0; dim];
     for (w, &coef) in a.iter().enumerate() {
@@ -98,7 +90,7 @@ pub fn combine(a: &[f64], coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, 
                 reason: format!("worker {w} gradient dim {} != {}", g.len(), dim),
             });
         }
-        vec_ops::axpy(coef, g, &mut out);
+        hetgc_linalg::vec_ops::axpy(coef, g, &mut out);
     }
     Ok(out)
 }
@@ -106,14 +98,13 @@ pub fn combine(a: &[f64], coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, 
 /// Incremental decoder: feed worker results in completion order; decode as
 /// soon as the received rows span `1_{1×k}`.
 ///
-/// Internally maintains a reduced row-echelon basis of the received rows of
-/// `B` together with the linear combinations that produced each basis row,
-/// so each [`OnlineDecoder::push`] costs `O(k·r)` (r = current rank) and
-/// decodability checks are `O(k·r)` — no re-solve from scratch per arrival.
+/// This shim constructs a fresh [`CodecSession`] per instance; prefer
+/// holding one session and calling [`CodecSession::reset`] between rounds.
 ///
 /// # Example
 ///
 /// ```
+/// # #![allow(deprecated)]
 /// use hetgc_coding::{heter_aware, OnlineDecoder};
 /// use rand::SeedableRng;
 ///
@@ -128,46 +119,32 @@ pub fn combine(a: &[f64], coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, 
 /// # Ok(())
 /// # }
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use `GradientCodec::session` (a reusable `CodecSession`) instead"
+)]
 #[derive(Debug, Clone)]
 pub struct OnlineDecoder {
-    /// Rows of B (cloned up-front; k·m doubles — small).
-    b_rows: Vec<Vec<f64>>,
-    k: usize,
-    /// RREF basis rows over partition space.
-    basis: Vec<Vec<f64>>,
-    /// `combo[i][j]`: coefficient of the j-th *arrived* worker in basis row i.
-    combos: Vec<Vec<f64>>,
-    /// Pivot column of each basis row.
-    pivots: Vec<usize>,
-    /// Arrival order of workers.
-    arrivals: Vec<usize>,
-    /// Workers already pushed (guards duplicates).
-    pushed: Vec<bool>,
+    session: CodecSession,
 }
 
+#[allow(deprecated)]
 impl OnlineDecoder {
     /// Creates a decoder for the given strategy.
     pub fn new(code: &CodingMatrix) -> Self {
-        let b_rows = (0..code.workers()).map(|w| code.row(w).to_vec()).collect();
         OnlineDecoder {
-            b_rows,
-            k: code.partitions(),
-            basis: Vec::new(),
-            combos: Vec::new(),
-            pivots: Vec::new(),
-            arrivals: Vec::new(),
-            pushed: vec![false; code.workers()],
+            session: crate::codec::GradientCodec::session(code),
         }
     }
 
     /// Number of results received so far.
     pub fn received(&self) -> usize {
-        self.arrivals.len()
+        self.session.received()
     }
 
     /// Current rank of the received rows.
     pub fn rank(&self) -> usize {
-        self.basis.len()
+        self.session.rank()
     }
 
     /// Feeds the result of `worker`; returns a decode vector over all `m`
@@ -178,90 +155,13 @@ impl OnlineDecoder {
     /// [`CodingError::InvalidParameter`] on out-of-range or duplicate
     /// worker indices.
     pub fn push(&mut self, worker: usize) -> Result<Option<Vec<f64>>, CodingError> {
-        if worker >= self.pushed.len() {
-            return Err(CodingError::InvalidParameter {
-                reason: format!("worker {worker} >= m={}", self.pushed.len()),
-            });
-        }
-        if self.pushed[worker] {
-            return Err(CodingError::InvalidParameter {
-                reason: format!("worker {worker} already pushed"),
-            });
-        }
-        self.pushed[worker] = true;
-        self.arrivals.push(worker);
-        let arrival_idx = self.arrivals.len() - 1;
-
-        // Reduce the new row against the basis, tracking the combination.
-        let mut row = self.b_rows[worker].clone();
-        let mut combo = vec![0.0; self.arrivals.len()];
-        combo[arrival_idx] = 1.0;
-        for combo_row in &mut self.combos {
-            combo_row.push(0.0); // widen existing combos to the new arrival
-        }
-        for (i, basis_row) in self.basis.iter().enumerate() {
-            let p = self.pivots[i];
-            let factor = row[p];
-            if factor != 0.0 {
-                vec_ops::axpy(-factor, basis_row, &mut row);
-                vec_ops::axpy(-factor, &self.combos[i], &mut combo);
-            }
-        }
-        // Numerical zero test relative to the source row's magnitude.
-        let scale = vec_ops::norm_inf(&self.b_rows[worker]).max(1.0);
-        if let Some(p) = pivot_of(&row, DEFAULT_TOLERANCE * scale) {
-            // Normalize and back-eliminate to keep the basis reduced.
-            let inv = 1.0 / row[p];
-            vec_ops::scale(inv, &mut row);
-            vec_ops::scale(inv, &mut combo);
-            for i in 0..self.basis.len() {
-                let factor = self.basis[i][p];
-                if factor != 0.0 {
-                    let (brow, bcombo) = (row.clone(), combo.clone());
-                    vec_ops::axpy(-factor, &brow, &mut self.basis[i]);
-                    vec_ops::axpy(-factor, &bcombo, &mut self.combos[i]);
-                }
-            }
-            self.basis.push(row);
-            self.combos.push(combo);
-            self.pivots.push(p);
-        }
-        Ok(self.try_decode())
+        Ok(self.session.push(worker)?.map(|plan| plan.to_dense()))
     }
 
     /// Attempts to decode with the results received so far.
     pub fn try_decode(&self) -> Option<Vec<f64>> {
-        let mut target = vec![1.0; self.k];
-        let mut combo = vec![0.0; self.arrivals.len()];
-        for (i, basis_row) in self.basis.iter().enumerate() {
-            let p = self.pivots[i];
-            let factor = target[p];
-            if factor != 0.0 {
-                vec_ops::axpy(-factor, basis_row, &mut target);
-                vec_ops::axpy(factor, &self.combos[i], &mut combo);
-            }
-        }
-        if vec_ops::norm_inf(&target) > DEFAULT_TOLERANCE {
-            return None;
-        }
-        let mut a = vec![0.0; self.pushed.len()];
-        for (j, &w) in self.arrivals.iter().enumerate() {
-            a[w] += combo[j];
-        }
-        Some(a)
+        self.session.try_decode_dense()
     }
-}
-
-fn pivot_of(row: &[f64], tol: f64) -> Option<usize> {
-    // Largest-magnitude entry as pivot for stability.
-    let (mut best, mut best_val) = (None, tol);
-    for (j, &v) in row.iter().enumerate() {
-        if v.abs() > best_val {
-            best = Some(j);
-            best_val = v.abs();
-        }
-    }
-    best
 }
 
 /// The offline decoding matrix `A ∈ R^{S×m}` of Eq. 2: one row per
@@ -269,7 +169,8 @@ fn pivot_of(row: &[f64], tol: f64) -> Option<usize> {
 ///
 /// The paper notes `A` can be partially stored for "regular" stragglers and
 /// solved in realtime otherwise; this type is the fully-materialized
-/// variant used for analysis and tests.
+/// variant used for analysis and tests. (The realtime/cached hybrid lives
+/// in [`CompiledCodec`].)
 #[derive(Debug, Clone)]
 pub struct DecodingMatrix {
     rows: Vec<(Vec<usize>, Vec<f64>)>,
@@ -290,9 +191,8 @@ impl DecodingMatrix {
         let mut rows = Vec::new();
         let mut scratch = Vec::new();
         enumerate_subsets(m, s, &mut scratch, &mut |stragglers| {
-            let survivors: Vec<usize> =
-                (0..m).filter(|w| !stragglers.contains(w)).collect();
-            let a = decode_vector(code, &survivors)?;
+            let survivors: Vec<usize> = (0..m).filter(|w| !stragglers.contains(w)).collect();
+            let a = solve_decode_dense(code, &survivors)?;
             rows.push((stragglers.to_vec(), a));
             Ok(())
         })?;
@@ -332,25 +232,20 @@ impl DecodingMatrix {
 }
 
 /// A decode-vector cache keyed by straggler pattern — the paper's hybrid
-/// storage strategy (§III-B): "the decoding matrix A could be partially
-/// stored specially for regular stragglers. As to decoding functions …
-/// designed for unregular stragglers, the decoding vectors aᵢ could \[be\]
-/// solved in realtime".
+/// storage strategy (§III-B).
 ///
-/// Repeated patterns (a persistently slow VM) hit the cache; novel
-/// patterns pay one `O(mk²)` solve and are remembered. A capacity bound
-/// evicts the least-recently-used pattern so the cache cannot grow beyond
-/// the "regular stragglers" working set.
+/// This shim wraps [`CompiledCodec`]'s survivor-keyed plan cache and
+/// preserves the old straggler-keyed, dense-vector API.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `CompiledCodec` — its decode-plan cache subsumes `DecodeCache`"
+)]
 #[derive(Debug, Clone)]
 pub struct DecodeCache {
-    code: CodingMatrix,
-    capacity: usize,
-    /// (pattern, decode row), most recently used last.
-    entries: Vec<(Vec<usize>, Vec<f64>)>,
-    hits: u64,
-    misses: u64,
+    codec: CompiledCodec,
 }
 
+#[allow(deprecated)]
 impl DecodeCache {
     /// A cache over `code` remembering up to `capacity` straggler patterns.
     ///
@@ -359,7 +254,9 @@ impl DecodeCache {
     /// Panics if `capacity == 0`.
     pub fn new(code: CodingMatrix, capacity: usize) -> Self {
         assert!(capacity > 0, "cache capacity must be positive");
-        DecodeCache { code, capacity, entries: Vec::new(), hits: 0, misses: 0 }
+        DecodeCache {
+            codec: CompiledCodec::with_cache_capacity(code, capacity),
+        }
     }
 
     /// The decode row for the given straggler pattern, cached or solved.
@@ -369,48 +266,35 @@ impl DecodeCache {
     /// [`CodingError::NotDecodable`] if the pattern exceeds the code's
     /// tolerance; [`CodingError::InvalidParameter`] on bad indices.
     pub fn decode_for(&mut self, stragglers: &[usize]) -> Result<Vec<f64>, CodingError> {
-        let mut key = stragglers.to_vec();
-        key.sort_unstable();
-        key.dedup();
-        if let Some(pos) = self.entries.iter().position(|(p, _)| *p == key) {
-            self.hits += 1;
-            let entry = self.entries.remove(pos);
-            self.entries.push(entry); // refresh LRU position
-            return Ok(self.entries.last().expect("just pushed").1.clone());
-        }
-        self.misses += 1;
-        let survivors: Vec<usize> =
-            (0..self.code.workers()).filter(|w| !key.contains(w)).collect();
-        let a = decode_vector(&self.code, &survivors)?;
-        if self.entries.len() == self.capacity {
-            self.entries.remove(0); // evict least recently used
-        }
-        self.entries.push((key, a.clone()));
-        Ok(a)
+        Ok(self
+            .codec
+            .decode_plan_for_stragglers(stragglers)?
+            .to_dense())
     }
 
     /// Cache hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits
+        self.codec.cache_hits()
     }
 
     /// Cache misses (realtime solves) so far.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.codec.cache_misses()
     }
 
     /// Number of cached patterns.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.codec.cached_plans()
     }
 
     /// Returns `true` if nothing is cached yet.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.codec.cached_plans() == 0
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::heter_aware::heter_aware;
@@ -483,6 +367,25 @@ mod tests {
     fn combine_missing_worker_errors() {
         let coded = HashMap::new();
         assert!(combine(&[1.0], &coded).is_err());
+    }
+
+    #[test]
+    fn combine_empty_map_errors() {
+        // Regression: an empty map used to yield a zero-length "gradient".
+        let coded = HashMap::new();
+        let err = combine(&[0.0, 0.0], &coded).unwrap_err();
+        assert!(matches!(err, CodingError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn combine_all_zero_vector_errors() {
+        // Regression: an all-zero decode vector used to yield a zero-length
+        // "gradient" even with results present.
+        let mut coded = HashMap::new();
+        coded.insert(0, vec![1.0, 2.0]);
+        let err = combine(&[0.0], &coded).unwrap_err();
+        assert!(matches!(err, CodingError::InvalidParameter { .. }));
+        assert!(err.to_string().contains("all-zero"), "{err}");
     }
 
     #[test]

@@ -81,7 +81,9 @@ impl Error for CodingError {}
 
 impl From<hetgc_linalg::LinalgError> for CodingError {
     fn from(e: hetgc_linalg::LinalgError) -> Self {
-        CodingError::Numerical { message: e.to_string() }
+        CodingError::Numerical {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -92,23 +94,58 @@ mod tests {
     #[test]
     fn display_variants() {
         let cases: Vec<(CodingError, &str)> = vec![
-            (CodingError::InvalidParameter { reason: "s >= m".into() }, "invalid parameter"),
             (
-                CodingError::InfeasibleAllocation { worker: 1, assigned: 9, partitions: 4 },
+                CodingError::InvalidParameter {
+                    reason: "s >= m".into(),
+                },
+                "invalid parameter",
+            ),
+            (
+                CodingError::InfeasibleAllocation {
+                    worker: 1,
+                    assigned: 9,
+                    partitions: 4,
+                },
                 "infeasible",
             ),
             (
-                CodingError::BadReplication { partition: 0, found: 1, required: 2 },
+                CodingError::BadReplication {
+                    partition: 0,
+                    found: 1,
+                    required: 2,
+                },
                 "replicated",
             ),
-            (CodingError::NotDecodable { survivors: vec![0, 1] }, "not decodable"),
-            (CodingError::Numerical { message: "x".into() }, "numerical"),
-            (CodingError::ConditionViolated { stragglers: vec![2] }, "C1"),
-            (CodingError::Divisibility { reason: "m % (s+1) != 0".into() }, "divisibility"),
+            (
+                CodingError::NotDecodable {
+                    survivors: vec![0, 1],
+                },
+                "not decodable",
+            ),
+            (
+                CodingError::Numerical {
+                    message: "x".into(),
+                },
+                "numerical",
+            ),
+            (
+                CodingError::ConditionViolated {
+                    stragglers: vec![2],
+                },
+                "C1",
+            ),
+            (
+                CodingError::Divisibility {
+                    reason: "m % (s+1) != 0".into(),
+                },
+                "divisibility",
+            ),
         ];
         for (err, needle) in cases {
             assert!(
-                err.to_string().to_lowercase().contains(&needle.to_lowercase()),
+                err.to_string()
+                    .to_lowercase()
+                    .contains(&needle.to_lowercase()),
                 "{err} should mention {needle}"
             );
         }

@@ -46,7 +46,9 @@ pub fn fractional_repetition(
     stragglers: usize,
 ) -> Result<CodingMatrix, CodingError> {
     if workers == 0 || partitions == 0 {
-        return Err(CodingError::InvalidParameter { reason: "empty cluster or dataset".into() });
+        return Err(CodingError::InvalidParameter {
+            reason: "empty cluster or dataset".into(),
+        });
     }
     if stragglers + 1 > workers {
         return Err(CodingError::InvalidParameter {

@@ -64,7 +64,9 @@ impl Group {
     /// Returns `true` if every worker of the group is in `survivors`
     /// (given as a boolean mask of length `m`).
     pub fn is_subset_of_mask(&self, survivors: &[bool]) -> bool {
-        self.workers.iter().all(|&w| survivors.get(w).copied().unwrap_or(false))
+        self.workers
+            .iter()
+            .all(|&w| survivors.get(w).copied().unwrap_or(false))
     }
 
     /// The indicator decode row `a_i = [1_G(W_1), …, 1_G(W_m)]` of Alg. 3.
@@ -98,7 +100,11 @@ pub struct GroupSearchConfig {
 
 impl Default for GroupSearchConfig {
     fn default() -> Self {
-        GroupSearchConfig { max_groups: 128, node_budget: 200_000, max_group_size: None }
+        GroupSearchConfig {
+            max_groups: 128,
+            node_budget: 200_000,
+            max_group_size: None,
+        }
     }
 }
 
@@ -198,7 +204,9 @@ fn dfs(
     }
     *nodes += 1;
     let Some(p) = lowest_set(uncovered) else {
-        out.push(Group { workers: chosen.clone() });
+        out.push(Group {
+            workers: chosen.clone(),
+        });
         return;
     };
     if let Some(max) = config.max_group_size {
@@ -374,8 +382,10 @@ pub fn group_based_from_support<R: Rng + ?Sized>(
                 ),
             });
         }
-        let sub_rows: Vec<Vec<usize>> =
-            others.iter().map(|&w| support.partitions_of(w).to_vec()).collect();
+        let sub_rows: Vec<Vec<usize>> = others
+            .iter()
+            .map(|&w| support.partitions_of(w).to_vec())
+            .collect();
         let sub_support = SupportMatrix::from_rows(sub_rows, k, s - p)?;
         let sub_code = heter_aware_from_support(&sub_support, rng)?;
         for (sub_idx, &w) in others.iter().enumerate() {
@@ -469,12 +479,9 @@ mod tests {
     #[test]
     fn example2_full_construction_matches_paper_structure() {
         let mut rng = StdRng::seed_from_u64(41);
-        let g = group_based_from_support(
-            &example2_support(),
-            GroupSearchConfig::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let g =
+            group_based_from_support(&example2_support(), GroupSearchConfig::default(), &mut rng)
+                .unwrap();
         let b = g.code();
         // Group workers (1,2,3,4 in 0-indexing) have all-one rows.
         for w in [1usize, 2, 3, 4] {
@@ -483,9 +490,9 @@ mod tests {
             }
         }
         // Non-group workers (0, 5, 6) have generic coefficients.
-        let generic = [0usize, 5, 6].iter().any(|&w| {
-            b.row(w).iter().any(|&x| x != 0.0 && (x - 1.0).abs() > 1e-9)
-        });
+        let generic = [0usize, 5, 6]
+            .iter()
+            .any(|&w| b.row(w).iter().any(|&x| x != 0.0 && (x - 1.0).abs() > 1e-9));
         assert!(generic);
         verify_condition_c1(b).unwrap();
     }
@@ -493,16 +500,15 @@ mod tests {
     #[test]
     fn example2_group_decodes_early() {
         let mut rng = StdRng::seed_from_u64(42);
-        let g = group_based_from_support(
-            &example2_support(),
-            GroupSearchConfig::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let g =
+            group_based_from_support(&example2_support(), GroupSearchConfig::default(), &mut rng)
+                .unwrap();
         // Group {2,3} alone decodes: 2 workers ≪ m−s = 4.
         assert_eq!(decodable_prefix_len(g.code(), &[2, 3]), Some(2));
         // Group-first decoding returns its indicator row.
-        let a = g.group_decode_vector(&[2, 3, 6]).expect("group {2,3} intact");
+        let a = g
+            .group_decode_vector(&[2, 3, 6])
+            .expect("group {2,3} intact");
         assert_eq!(a[2], 1.0);
         assert_eq!(a[3], 1.0);
         assert_eq!(a[6], 0.0);
@@ -514,16 +520,15 @@ mod tests {
     #[test]
     fn example2_fallback_when_groups_broken() {
         let mut rng = StdRng::seed_from_u64(43);
-        let g = group_based_from_support(
-            &example2_support(),
-            GroupSearchConfig::default(),
-            &mut rng,
-        )
-        .unwrap();
+        let g =
+            group_based_from_support(&example2_support(), GroupSearchConfig::default(), &mut rng)
+                .unwrap();
         // Stragglers {2, 4} break both groups ({2,3} and {1,4}).
         assert!(g.group_decode_vector(&[0, 1, 3, 5, 6]).is_none());
         // Generic decode still works (s = 3 tolerance, only 2 stragglers).
-        let a = crate::decode_vector(g.code(), &[0, 1, 3, 5, 6]).unwrap();
+        let a = crate::GradientCodec::decode_plan(g.code(), &[0, 1, 3, 5, 6])
+            .unwrap()
+            .to_dense();
         let prod = g.code().matrix().vecmat(&a).unwrap();
         assert!(prod.iter().all(|&x| (x - 1.0).abs() < 1e-6));
     }
@@ -543,8 +548,7 @@ mod tests {
         // {W0, W1, W4} = {0}∪{1,2}∪{3,4,5,6} and {W2, W3} = {3,4,5}∪{6,0,1,2}.
         let mut rng = StdRng::seed_from_u64(45);
         let g = group_based(&[1.0, 2.0, 3.0, 4.0, 4.0], 7, 1, &mut rng).unwrap();
-        let sets: Vec<Vec<usize>> =
-            g.groups().iter().map(|gr| gr.workers().to_vec()).collect();
+        let sets: Vec<Vec<usize>> = g.groups().iter().map(|gr| gr.workers().to_vec()).collect();
         assert!(sets.contains(&vec![0, 1, 4]), "{sets:?}");
         assert!(sets.contains(&vec![2, 3]), "{sets:?}");
         verify_condition_c1(g.code()).unwrap();
@@ -557,8 +561,7 @@ mod tests {
         let alloc = crate::Allocation::uniform(5, 5, 1).unwrap();
         let support = SupportMatrix::cyclic(&alloc).unwrap();
         let mut rng = StdRng::seed_from_u64(46);
-        let g =
-            group_based_from_support(&support, GroupSearchConfig::default(), &mut rng).unwrap();
+        let g = group_based_from_support(&support, GroupSearchConfig::default(), &mut rng).unwrap();
         assert!(g.groups().is_empty());
         verify_condition_c1(g.code()).unwrap();
         assert!(g.group_decode_vector(&[0, 1, 2, 3, 4]).is_none());
@@ -566,7 +569,9 @@ mod tests {
 
     #[test]
     fn group_api() {
-        let g = Group { workers: vec![1, 3] };
+        let g = Group {
+            workers: vec![1, 3],
+        };
         assert_eq!(g.len(), 2);
         assert!(!g.is_empty());
         assert!(g.contains(3));
@@ -578,7 +583,9 @@ mod tests {
 
     #[test]
     fn prune_keeps_singletons() {
-        let groups = vec![Group { workers: vec![0, 1] }];
+        let groups = vec![Group {
+            workers: vec![0, 1],
+        }];
         assert_eq!(prune_groups(groups).len(), 1);
         assert!(prune_groups(Vec::new()).is_empty());
     }
@@ -588,12 +595,18 @@ mod tests {
         let support = example2_support();
         let none = find_all_groups(
             &support,
-            GroupSearchConfig { max_groups: 0, ..GroupSearchConfig::default() },
+            GroupSearchConfig {
+                max_groups: 0,
+                ..GroupSearchConfig::default()
+            },
         );
         assert!(none.is_empty());
         let one = find_all_groups(
             &support,
-            GroupSearchConfig { max_groups: 1, ..GroupSearchConfig::default() },
+            GroupSearchConfig {
+                max_groups: 1,
+                ..GroupSearchConfig::default()
+            },
         );
         assert_eq!(one.len(), 1);
     }
@@ -603,7 +616,10 @@ mod tests {
         let support = example2_support();
         let small = find_all_groups(
             &support,
-            GroupSearchConfig { max_group_size: Some(2), ..GroupSearchConfig::default() },
+            GroupSearchConfig {
+                max_group_size: Some(2),
+                ..GroupSearchConfig::default()
+            },
         );
         // Only the 2-worker groups remain reachable.
         assert!(small.iter().all(|g| g.len() <= 2));
@@ -620,9 +636,8 @@ mod tests {
         ] {
             let mut rng = StdRng::seed_from_u64(seed);
             let g = group_based(&c, k, s, &mut rng).unwrap();
-            verify_condition_c1(g.code()).unwrap_or_else(|e| {
-                panic!("group_based({c:?}, k={k}, s={s}) violated C1: {e}")
-            });
+            verify_condition_c1(g.code())
+                .unwrap_or_else(|e| panic!("group_based({c:?}, k={k}, s={s}) violated C1: {e}"));
         }
     }
 

@@ -125,7 +125,7 @@ pub fn heter_aware_from_support<R: Rng + ?Sized>(
 /// // Every worker finishes in the same time (s+1)k/Σc = 1 under its own
 /// // throughput — the load-balancing invariant.
 /// for (w, &c) in [1.0, 2.0, 3.0, 4.0, 4.0].iter().enumerate() {
-///     assert!((b.computation_time(w, c) - 1.0).abs() < 1e-12);
+///     assert!((b.computation_time(w, c)? - 1.0).abs() < 1e-12);
 /// }
 /// # Ok(())
 /// # }
@@ -209,8 +209,7 @@ mod tests {
         for seed in 0..8 {
             let mut r = rng(seed);
             let b = heter_aware(&[1.0, 2.0, 2.0, 5.0], 10, 1, &mut r).unwrap();
-            verify_condition_c1(&b)
-                .unwrap_or_else(|e| panic!("seed {seed} violated C1: {e}"));
+            verify_condition_c1(&b).unwrap_or_else(|e| panic!("seed {seed} violated C1: {e}"));
         }
     }
 
@@ -236,8 +235,7 @@ mod tests {
     fn from_support_works_on_custom_support() {
         // Hand-built support with proper replication: 3 workers, 2
         // partitions, s=1 → each partition on 2 workers.
-        let support =
-            SupportMatrix::from_rows(vec![vec![0], vec![0, 1], vec![1]], 2, 1).unwrap();
+        let support = SupportMatrix::from_rows(vec![vec![0], vec![0, 1], vec![1]], 2, 1).unwrap();
         let mut r = rng(8);
         let b = heter_aware_from_support(&support, &mut r).unwrap();
         assert_eq!(b.load_of(1), 2);

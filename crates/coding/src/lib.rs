@@ -15,14 +15,15 @@
 //! * [`fractional_repetition`] — the repetition-code baseline (extension).
 //!
 //! plus the machinery they share: load-balanced allocation (Eq. 5,
-//! [`Allocation`]), cyclic supports (Eq. 6, [`SupportMatrix`]), decoders
-//! ([`decode_vector`], [`OnlineDecoder`], [`DecodingMatrix`]) and
-//! robustness verification ([`verify_condition_c1`]).
+//! [`Allocation`]), cyclic supports (Eq. 6, [`SupportMatrix`]), the
+//! unified [`GradientCodec`] API ([`CompiledCodec`], [`CodecSession`],
+//! [`DecodePlan`] — see the [`codec`] module) and robustness verification
+//! ([`verify_condition_c1`]).
 //!
 //! # Quick start
 //!
 //! ```
-//! use hetgc_coding::{decode_vector, heter_aware, OnlineDecoder};
+//! use hetgc_coding::{heter_aware, CompiledCodec, GradientCodec};
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), hetgc_coding::CodingError> {
@@ -30,11 +31,12 @@
 //! // one straggler over 7 data partitions (Example 1 of the paper).
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
 //! let b = heter_aware(&[1.0, 2.0, 3.0, 4.0, 4.0], 7, 1, &mut rng)?;
+//! let codec = CompiledCodec::new(b);
 //!
-//! // Worker 2 dies; the master decodes from the other four.
-//! let a = decode_vector(&b, &[0, 1, 3, 4])?;
+//! // Worker 2 dies; the master plans a decode over the other four.
+//! let plan = codec.decode_plan(&[0, 1, 3, 4])?;
 //! // a·B = 1 ⇒ Σ_w a_w·g̃_w = Σ_j g_j: the exact aggregated gradient.
-//! let recovered = b.matrix().vecmat(&a)?;
+//! let recovered = codec.code().matrix().vecmat(&plan.to_dense())?;
 //! assert!(recovered.iter().all(|&x| (x - 1.0).abs() < 1e-9));
 //! # Ok(())
 //! # }
@@ -45,6 +47,7 @@
 
 mod allocation;
 mod approx;
+pub mod codec;
 mod cyclic;
 mod decode;
 mod error;
@@ -57,13 +60,18 @@ mod verify;
 
 pub use allocation::{suggest_partition_count, Allocation};
 pub use approx::{approximate_decode, gradient_error_bound, under_replicated, ApproximateDecode};
+pub use codec::{
+    CodecSession, CompiledCodec, DecodePlan, GradientCodec, DEFAULT_PLAN_CACHE_CAPACITY,
+};
 pub use cyclic::{cyclic, cyclic_support, naive};
-pub use decode::{combine, decode_vector, DecodeCache, DecodingMatrix, OnlineDecoder};
+pub use decode::DecodingMatrix;
+#[allow(deprecated)]
+pub use decode::{combine, decode_vector, DecodeCache, OnlineDecoder};
 pub use error::CodingError;
 pub use fractional::fractional_repetition;
 pub use group::{
-    find_all_groups, group_based, group_based_from_support, prune_groups, Group,
-    GroupCodingMatrix, GroupSearchConfig,
+    find_all_groups, group_based, group_based_from_support, prune_groups, Group, GroupCodingMatrix,
+    GroupSearchConfig,
 };
 pub use heter_aware::{heter_aware, heter_aware_from_support};
 pub use strategy::CodingMatrix;

@@ -35,7 +35,9 @@ impl CodingMatrix {
     /// [`CodingError::InvalidParameter`] if `s >= m` or the matrix is empty.
     pub fn from_matrix(b: Matrix, stragglers: usize) -> Result<Self, CodingError> {
         if b.nrows() == 0 || b.ncols() == 0 {
-            return Err(CodingError::InvalidParameter { reason: "empty coding matrix".into() });
+            return Err(CodingError::InvalidParameter {
+                reason: "empty coding matrix".into(),
+            });
         }
         if stragglers >= b.nrows() {
             return Err(CodingError::InvalidParameter {
@@ -95,12 +97,23 @@ impl CodingMatrix {
     /// Computation time `t_w = ‖b_w‖₀ / c_w` of worker `w` (§III-C) under
     /// throughput `c_w` (partitions per unit time).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `w >= self.workers()` or `throughput <= 0`.
-    pub fn computation_time(&self, w: usize, throughput: f64) -> f64 {
-        assert!(throughput > 0.0, "throughput must be positive");
-        self.load_of(w) as f64 / throughput
+    /// [`CodingError::InvalidParameter`] if `w >= m` or `throughput` is
+    /// not positive and finite (matching the error discipline of the
+    /// sibling methods instead of panicking).
+    pub fn computation_time(&self, w: usize, throughput: f64) -> Result<f64, CodingError> {
+        if w >= self.workers() {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("worker {w} >= m={}", self.workers()),
+            });
+        }
+        if !(throughput.is_finite() && throughput > 0.0) {
+            return Err(CodingError::InvalidParameter {
+                reason: format!("throughput {throughput} must be positive and finite"),
+            });
+        }
+        Ok(self.load_of(w) as f64 / throughput)
     }
 
     /// Extracts the support structure (validating replication as `s+1`).
@@ -110,8 +123,7 @@ impl CodingMatrix {
     /// [`CodingError::BadReplication`] if the rows don't replicate every
     /// partition exactly `s+1` times (possible for hand-built matrices).
     pub fn to_support(&self) -> Result<SupportMatrix, CodingError> {
-        let rows: Vec<Vec<usize>> =
-            (0..self.workers()).map(|w| self.support_of(w)).collect();
+        let rows: Vec<Vec<usize>> = (0..self.workers()).map(|w| self.support_of(w)).collect();
         SupportMatrix::from_rows(rows, self.partitions(), self.stragglers)
     }
 
@@ -135,10 +147,7 @@ impl CodingMatrix {
             });
         }
         let support = self.support_of(w);
-        let dim = support
-            .first()
-            .map(|&j| partials[j].len())
-            .unwrap_or(0);
+        let dim = support.first().map(|&j| partials[j].len()).unwrap_or(0);
         let mut out = vec![0.0; dim];
         for &j in &support {
             if partials[j].len() != dim {
@@ -181,8 +190,9 @@ impl CodingMatrix {
                 reason: "throughputs must be positive and finite".into(),
             });
         }
-        let times: Vec<f64> =
-            (0..m).map(|w| self.computation_time(w, throughputs[w])).collect();
+        let times: Vec<f64> = (0..m)
+            .map(|w| self.computation_time(w, throughputs[w]))
+            .collect::<Result<_, _>>()?;
         let mut worst: f64 = 0.0;
         let mut found_any = false;
         let mut pattern = Vec::new();
@@ -196,7 +206,9 @@ impl CodingMatrix {
         };
         enumerate_subsets(m, self.stragglers, &mut pattern, &mut best_for_pattern)?;
         if !found_any {
-            return Err(CodingError::InvalidParameter { reason: "no straggler patterns".into() });
+            return Err(CodingError::InvalidParameter {
+                reason: "no straggler patterns".into(),
+            });
         }
         Ok(worst)
     }
@@ -215,8 +227,7 @@ impl CodingMatrix {
         stragglers: &[usize],
     ) -> Result<f64, CodingError> {
         let m = self.workers();
-        let mut order: Vec<usize> =
-            (0..m).filter(|w| !stragglers.contains(w)).collect();
+        let mut order: Vec<usize> = (0..m).filter(|w| !stragglers.contains(w)).collect();
         order.sort_by(|&a, &b| times[a].partial_cmp(&times[b]).expect("finite times"));
         let mut received: Vec<usize> = Vec::new();
         let ones = vec![1.0; self.partitions()];
@@ -314,14 +325,23 @@ mod tests {
     #[test]
     fn computation_time_scales_with_load() {
         let cm = simple_b();
-        assert_eq!(cm.computation_time(0, 2.0), 0.5);
-        assert_eq!(cm.computation_time(2, 2.0), 1.0);
+        assert_eq!(cm.computation_time(0, 2.0).unwrap(), 0.5);
+        assert_eq!(cm.computation_time(2, 2.0).unwrap(), 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn computation_time_rejects_zero_throughput() {
-        simple_b().computation_time(0, 0.0);
+    fn computation_time_rejects_bad_inputs() {
+        let cm = simple_b();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                cm.computation_time(0, bad),
+                Err(CodingError::InvalidParameter { .. })
+            ));
+        }
+        assert!(matches!(
+            cm.computation_time(99, 1.0),
+            Err(CodingError::InvalidParameter { .. })
+        ));
     }
 
     #[test]
@@ -353,7 +373,9 @@ mod tests {
         let cm = simple_b();
         // times: w0=1, w1=2, w2=3. After w0 (t=1): [1,0] doesn't span.
         // After w1 (t=2): rows {[1,0],[0,1]} span [1,1] → t=2.
-        let t = cm.completion_time_with_stragglers(&[1.0, 2.0, 3.0], &[]).unwrap();
+        let t = cm
+            .completion_time_with_stragglers(&[1.0, 2.0, 3.0], &[])
+            .unwrap();
         assert_eq!(t, 2.0);
     }
 
@@ -362,7 +384,9 @@ mod tests {
         let cm = simple_b();
         // Worker 1 is a straggler: must wait for w2 (t=3): rows {[1,0],[1,1]}
         // span [1,1] (subtract) → t=3.
-        let t = cm.completion_time_with_stragglers(&[1.0, 2.0, 3.0], &[1]).unwrap();
+        let t = cm
+            .completion_time_with_stragglers(&[1.0, 2.0, 3.0], &[1])
+            .unwrap();
         assert_eq!(t, 3.0);
     }
 
@@ -371,7 +395,9 @@ mod tests {
         // B = identity(2), s=1 designed but actually not robust.
         let b = Matrix::identity(2);
         let cm = CodingMatrix::from_matrix(b, 1).unwrap();
-        let err = cm.completion_time_with_stragglers(&[1.0, 2.0], &[0]).unwrap_err();
+        let err = cm
+            .completion_time_with_stragglers(&[1.0, 2.0], &[0])
+            .unwrap_err();
         assert!(matches!(err, CodingError::NotDecodable { .. }));
     }
 

@@ -61,7 +61,11 @@ impl SupportMatrix {
             rows.push(parts);
             offset += n;
         }
-        let support = SupportMatrix { rows, partitions: k, stragglers: alloc.stragglers() };
+        let support = SupportMatrix {
+            rows,
+            partitions: k,
+            stragglers: alloc.stragglers(),
+        };
         support.validate_replication()?;
         Ok(support)
     }
@@ -98,7 +102,11 @@ impl SupportMatrix {
         for row in &mut sorted_rows {
             row.sort_unstable();
         }
-        let support = SupportMatrix { rows: sorted_rows, partitions, stragglers };
+        let support = SupportMatrix {
+            rows: sorted_rows,
+            partitions,
+            stragglers,
+        };
         support.validate_replication()?;
         Ok(support)
     }
@@ -143,7 +151,9 @@ impl SupportMatrix {
     /// Panics if `p >= self.partitions()`.
     pub fn owners_of(&self, p: usize) -> Vec<usize> {
         assert!(p < self.partitions, "partition {p} out of range");
-        (0..self.workers()).filter(|&w| self.rows[w].binary_search(&p).is_ok()).collect()
+        (0..self.workers())
+            .filter(|&w| self.rows[w].binary_search(&p).is_ok())
+            .collect()
     }
 
     /// Returns `true` if worker `w` holds partition `p`.
@@ -166,7 +176,11 @@ impl SupportMatrix {
         }
         for (p, &found) in counts.iter().enumerate() {
             if found != required {
-                return Err(CodingError::BadReplication { partition: p, found, required });
+                return Err(CodingError::BadReplication {
+                    partition: p,
+                    found,
+                    required,
+                });
             }
         }
         Ok(())
@@ -179,7 +193,11 @@ impl fmt::Display for SupportMatrix {
         writeln!(f, "supp(B{}x{}):", self.workers(), self.partitions)?;
         for row in &self.rows {
             for p in 0..self.partitions {
-                let c = if row.binary_search(&p).is_ok() { "? " } else { "0 " };
+                let c = if row.binary_search(&p).is_ok() {
+                    "? "
+                } else {
+                    "0 "
+                };
                 write!(f, "{c}")?;
             }
             writeln!(f)?;
@@ -266,7 +284,14 @@ mod tests {
     fn from_rows_validates_replication() {
         // Partition 2 has no owner.
         let err = SupportMatrix::from_rows(vec![vec![0], vec![1]], 3, 0).unwrap_err();
-        assert!(matches!(err, CodingError::BadReplication { partition: 2, found: 0, required: 1 }));
+        assert!(matches!(
+            err,
+            CodingError::BadReplication {
+                partition: 2,
+                found: 0,
+                required: 1
+            }
+        ));
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub fn verify_condition_c1(code: &CodingMatrix) -> Result<(), CodingError> {
         if is_robust_to(code, stragglers) {
             Ok(())
         } else {
-            Err(CodingError::ConditionViolated { stragglers: stragglers.to_vec() })
+            Err(CodingError::ConditionViolated {
+                stragglers: stragglers.to_vec(),
+            })
         }
     })
 }

@@ -2,8 +2,8 @@
 //! paper's core claims, exercised over randomized cluster shapes.
 
 use hetgc_coding::{
-    cyclic, decode_vector, fractional_repetition, group_based, heter_aware, naive,
-    verify_condition_c1, Allocation, OnlineDecoder, SupportMatrix,
+    cyclic, fractional_repetition, group_based, heter_aware, naive, verify_condition_c1,
+    Allocation, CompiledCodec, GradientCodec, SupportMatrix,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -21,7 +21,11 @@ fn cluster() -> impl Strategy<Value = (Vec<f64>, usize, usize, u64)> {
             // clamping the largest speed.
             let sum: f64 = throughputs.iter().sum();
             let max = throughputs.iter().cloned().fold(0.0, f64::max);
-            let s = if max / sum > 1.0 / (s as f64 + 1.0) { 0 } else { s };
+            let s = if max / sum > 1.0 / (s as f64 + 1.0) {
+                0
+            } else {
+                s
+            };
             // k = Σ speeds keeps Eq.5 integral often; any k works thanks to
             // largest-remainder rounding. Cap for test speed.
             let k = (sum as usize).clamp(m, 24);
@@ -66,13 +70,14 @@ proptest! {
         let b = heter_aware(&c, k, s, &mut rng).unwrap();
         let m = c.len();
         // All single-straggler patterns plus the empty pattern.
+        let codec = CompiledCodec::new(b.clone());
         let survivors_all: Vec<usize> = (0..m).collect();
-        let a = decode_vector(&b, &survivors_all).unwrap();
+        let a = codec.decode_plan(&survivors_all).unwrap().to_dense();
         check_decode_row(&b, &a);
         if s >= 1 {
             for dead in 0..m {
                 let survivors: Vec<usize> = (0..m).filter(|&w| w != dead).collect();
-                let a = decode_vector(&b, &survivors).unwrap();
+                let a = codec.decode_plan(&survivors).unwrap().to_dense();
                 prop_assert_eq!(a[dead], 0.0);
                 check_decode_row(&b, &a);
             }
@@ -110,11 +115,11 @@ proptest! {
         prop_assert!(t_cyc >= bound - 1e-9, "cyclic {t_cyc} < bound {bound}");
     }
 
-    /// The online decoder agrees with the one-shot decoder: pushing workers
-    /// in any order decodes exactly when the prefix is decodable, and the
-    /// returned vector satisfies aB = 1.
+    /// The streaming session agrees with the one-shot decoder: pushing
+    /// workers in any order decodes exactly when the prefix is decodable,
+    /// and the returned plan satisfies aB = 1.
     #[test]
-    fn online_decoder_consistent((c, k, s, seed) in cluster()) {
+    fn codec_session_consistent((c, k, s, seed) in cluster()) {
         let mut rng = StdRng::seed_from_u64(seed);
         let b = heter_aware(&c, k, s, &mut rng).unwrap();
         let m = c.len();
@@ -123,11 +128,11 @@ proptest! {
         for i in (1..m).rev() {
             order.swap(i, (seed as usize + i * 7) % (i + 1));
         }
-        let mut dec = OnlineDecoder::new(&b);
+        let mut dec = GradientCodec::session(&b);
         let mut decoded_at = None;
         for (idx, &w) in order.iter().enumerate() {
-            if let Some(a) = dec.push(w).unwrap() {
-                check_decode_row(&b, &a);
+            if let Some(plan) = dec.push(w).unwrap() {
+                check_decode_row(&b, &plan.to_dense());
                 decoded_at = Some(idx + 1);
                 break;
             }
@@ -170,9 +175,9 @@ proptest! {
     fn naive_needs_everyone(m in 2usize..7) {
         let b = naive(m).unwrap();
         let all: Vec<usize> = (0..m).collect();
-        prop_assert!(decode_vector(&b, &all).is_ok());
+        prop_assert!(b.decode_plan(&all).is_ok());
         let partial: Vec<usize> = (0..m - 1).collect();
-        prop_assert!(decode_vector(&b, &partial).is_err());
+        prop_assert!(b.decode_plan(&partial).is_err());
     }
 
     /// Fractional repetition is robust whenever its divisibility

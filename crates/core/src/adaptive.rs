@@ -19,7 +19,8 @@
 //! limitation).
 
 use hetgc_cluster::{ClusterSpec, EwmaEstimator, StragglerModel, ThroughputEstimator};
-use hetgc_sim::{simulate_bsp_iteration, BspIterationConfig, NetworkModel, RunMetrics};
+use hetgc_coding::GradientCodec;
+use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics};
 use rand::Rng;
 
 use crate::scheme::{BoxError, SchemeBuilder, SchemeKind};
@@ -71,8 +72,7 @@ impl RateDrift {
                     .enumerate()
                     .map(|(w, &r)| {
                         let phase = iteration as f64 / period + w as f64 / m;
-                        r * (1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin())
-                            .max(0.05)
+                        r * (1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin()).max(0.05)
                     })
                     .collect()
             }
@@ -150,7 +150,11 @@ pub fn run_with_drift<R: Rng + ?Sized>(
     let base = cluster.throughputs();
     let m = cluster.len();
     let builder = SchemeBuilder::new(cluster, cfg.stragglers);
-    let mut scheme = builder.build(cfg.kind, rng)?;
+    let scheme = builder.build(cfg.kind, rng)?;
+    // Compile once per strategy; the session is recreated only on rebuild
+    // (a new code means new rows), never per iteration.
+    let mut codec = scheme.compile();
+    let mut session = codec.session();
     let mut estimator = EwmaEstimator::new(m, cfg.ewma_alpha);
     let mut metrics = RunMetrics::new();
     let mut rebuilds = 0;
@@ -158,14 +162,14 @@ pub fn run_with_drift<R: Rng + ?Sized>(
 
     for iter in 0..cfg.iterations {
         let rates = drift.rates_at(&base, iter);
-        let k = scheme.code.partitions();
+        let k = codec.partitions();
         let work_per_partition = cfg.samples as f64 / k as f64;
         let sim_cfg = BspIterationConfig::new(&rates)
             .work_per_partition(work_per_partition)
             .network(NetworkModel::lan())
             .compute_jitter(cfg.jitter);
         let events = cfg.straggler_model.sample_iteration(m, rng);
-        let outcome = simulate_bsp_iteration(&scheme.code, &sim_cfg, &events, rng)?;
+        let outcome = simulate_bsp_iteration_in(&codec, &sim_cfg, &events, rng, &mut session)?;
         metrics.record(&outcome);
 
         // Observe: each worker's measured rate this iteration (the master
@@ -173,7 +177,7 @@ pub fn run_with_drift<R: Rng + ?Sized>(
         // it would in production).
         for arr in &outcome.arrivals {
             if arr.compute_end.is_finite() {
-                let work = scheme.code.load_of(arr.worker) as f64 * work_per_partition;
+                let work = codec.load_of(arr.worker) as f64 * work_per_partition;
                 estimator.observe(arr.worker, work, arr.compute_end.max(1e-9));
             }
         }
@@ -186,7 +190,8 @@ pub fn run_with_drift<R: Rng + ?Sized>(
                     .build(cfg.kind, rng)
                 {
                     Ok(new_scheme) => {
-                        scheme = new_scheme;
+                        codec = new_scheme.compile();
+                        session = codec.session();
                         rebuilds += 1;
                     }
                     Err(_) => rebuild_failures += 1,
@@ -194,7 +199,11 @@ pub fn run_with_drift<R: Rng + ?Sized>(
             }
         }
     }
-    Ok(AdaptiveOutcome { metrics, rebuilds, rebuild_failures })
+    Ok(AdaptiveOutcome {
+        metrics,
+        rebuilds,
+        rebuild_failures,
+    })
 }
 
 /// Convenience: static (never re-estimates) vs adaptive under the same
@@ -209,7 +218,10 @@ pub fn compare_static_vs_adaptive<R: Rng + ?Sized>(
     cfg: &AdaptiveConfig,
     rng: &mut R,
 ) -> Result<(AdaptiveOutcome, AdaptiveOutcome), BoxError> {
-    let static_cfg = AdaptiveConfig { reestimate_every: 0, ..cfg.clone() };
+    let static_cfg = AdaptiveConfig {
+        reestimate_every: 0,
+        ..cfg.clone()
+    };
     let static_run = run_with_drift(cluster, drift, &static_cfg, rng)?;
     let adaptive_run = run_with_drift(cluster, drift, cfg, rng)?;
     Ok((static_run, adaptive_run))
@@ -233,7 +245,10 @@ mod tests {
 
     #[test]
     fn drift_step_change_applies_from_at() {
-        let d = RateDrift::StepChange { at: 5, factors: vec![0.5, 1.0] };
+        let d = RateDrift::StepChange {
+            at: 5,
+            factors: vec![0.5, 1.0],
+        };
         let base = [4.0, 4.0];
         assert_eq!(d.rates_at(&base, 4), vec![4.0, 4.0]);
         assert_eq!(d.rates_at(&base, 5), vec![2.0, 4.0]);
@@ -242,13 +257,19 @@ mod tests {
 
     #[test]
     fn drift_step_change_missing_factors_default_to_one() {
-        let d = RateDrift::StepChange { at: 0, factors: vec![0.5] };
+        let d = RateDrift::StepChange {
+            at: 0,
+            factors: vec![0.5],
+        };
         assert_eq!(d.rates_at(&[2.0, 2.0], 0), vec![1.0, 2.0]);
     }
 
     #[test]
     fn drift_wave_oscillates_but_stays_positive() {
-        let d = RateDrift::Wave { period: 10.0, amplitude: 0.9 };
+        let d = RateDrift::Wave {
+            period: 10.0,
+            amplitude: 0.9,
+        };
         let base = [1.0, 1.0, 1.0];
         for iter in 0..40 {
             for r in d.rates_at(&base, iter) {
@@ -265,9 +286,15 @@ mod tests {
         // TWO workers lose 70 % of their speed: with s = 1 the code can
         // only discard one of them, so the static allocation is forced to
         // wait for a slowed worker every iteration; rebalancing fixes it.
-        let drift =
-            RateDrift::StepChange { at: 15, factors: vec![1.0, 1.0, 0.3, 0.3] };
-        let cfg = AdaptiveConfig { iterations: 60, reestimate_every: 5, ..Default::default() };
+        let drift = RateDrift::StepChange {
+            at: 15,
+            factors: vec![1.0, 1.0, 0.3, 0.3],
+        };
+        let cfg = AdaptiveConfig {
+            iterations: 60,
+            reestimate_every: 5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(1);
         let (static_run, adaptive_run) =
             compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng).unwrap();
@@ -286,8 +313,15 @@ mod tests {
         let cluster = cluster();
         // A worker gets 3× faster (co-tenant left): the static allocation
         // leaves its new capacity idle; rebalancing exploits it.
-        let drift = RateDrift::StepChange { at: 10, factors: vec![3.0, 1.0, 1.0, 1.0] };
-        let cfg = AdaptiveConfig { iterations: 60, reestimate_every: 5, ..Default::default() };
+        let drift = RateDrift::StepChange {
+            at: 10,
+            factors: vec![3.0, 1.0, 1.0, 1.0],
+        };
+        let cfg = AdaptiveConfig {
+            iterations: 60,
+            reestimate_every: 5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let (static_run, adaptive_run) =
             compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng).unwrap();
@@ -307,8 +341,15 @@ mod tests {
         // straggler — while rebalancing drags it back onto the critical
         // path. Adaptive re-coding is NOT a universal win.
         let cluster = cluster();
-        let drift = RateDrift::StepChange { at: 15, factors: vec![1.0, 1.0, 1.0, 0.3] };
-        let cfg = AdaptiveConfig { iterations: 60, reestimate_every: 5, ..Default::default() };
+        let drift = RateDrift::StepChange {
+            at: 15,
+            factors: vec![1.0, 1.0, 1.0, 0.3],
+        };
+        let cfg = AdaptiveConfig {
+            iterations: 60,
+            reestimate_every: 5,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let (static_run, adaptive_run) =
             compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng).unwrap();
@@ -324,7 +365,10 @@ mod tests {
     #[test]
     fn adaptive_harmless_without_drift() {
         let cluster = cluster();
-        let cfg = AdaptiveConfig { iterations: 40, ..Default::default() };
+        let cfg = AdaptiveConfig {
+            iterations: 40,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(2);
         let (static_run, adaptive_run) =
             compare_static_vs_adaptive(&cluster, &RateDrift::None, &cfg, &mut rng).unwrap();
@@ -337,7 +381,10 @@ mod tests {
     #[test]
     fn group_based_also_adapts() {
         let cluster = cluster();
-        let drift = RateDrift::StepChange { at: 10, factors: vec![0.4, 1.0, 1.0, 1.0] };
+        let drift = RateDrift::StepChange {
+            at: 10,
+            factors: vec![0.4, 1.0, 1.0, 1.0],
+        };
         let cfg = AdaptiveConfig {
             kind: SchemeKind::GroupBased,
             iterations: 40,
@@ -354,11 +401,21 @@ mod tests {
         // An adversarial drift that makes one worker dominate: Eq. 5 may
         // become infeasible, but the run must keep going on the old code.
         let cluster = ClusterSpec::from_vcpu_rows("skew", &[(3, 2), (1, 4)], 10.0).unwrap();
-        let drift = RateDrift::StepChange { at: 2, factors: vec![0.05, 0.05, 0.05, 1.0] };
-        let cfg = AdaptiveConfig { iterations: 20, reestimate_every: 2, ..Default::default() };
+        let drift = RateDrift::StepChange {
+            at: 2,
+            factors: vec![0.05, 0.05, 0.05, 1.0],
+        };
+        let cfg = AdaptiveConfig {
+            iterations: 20,
+            reestimate_every: 2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(4);
         let out = run_with_drift(&cluster, &drift, &cfg, &mut rng).unwrap();
         assert_eq!(out.metrics.iterations(), 20);
-        assert!(out.rebuild_failures > 0, "expected infeasible rebuilds to be counted");
+        assert!(
+            out.rebuild_failures > 0,
+            "expected infeasible rebuilds to be counted"
+        );
     }
 }

@@ -62,7 +62,7 @@ pub fn speedup(slow: f64, fast: f64) -> Option<f64> {
 pub fn balance_ratio(code: &CodingMatrix, throughputs: &[f64]) -> f64 {
     let times: Vec<f64> = (0..code.workers())
         .filter(|&w| code.load_of(w) > 0)
-        .map(|w| code.computation_time(w, throughputs[w]))
+        .map(|w| code.load_of(w) as f64 / throughputs[w])
         .collect();
     let max = times.iter().cloned().fold(f64::MIN, f64::max);
     let min = times.iter().cloned().fold(f64::MAX, f64::min);
@@ -98,8 +98,7 @@ pub fn optimality_report(
         .iter()
         .map(|(label, code)| {
             let worst_case = worst_case_time(code, throughputs)?;
-            let bound =
-                theorem5_lower_bound(code.partitions(), code.stragglers(), throughputs);
+            let bound = theorem5_lower_bound(code.partitions(), code.stragglers(), throughputs);
             Ok(OptimalityRow {
                 scheme: label.clone(),
                 worst_case,
@@ -148,7 +147,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let b = cyclic(5, 1, &mut rng).unwrap();
         let ratio = optimality_ratio(&b, &C).unwrap();
-        assert!(ratio > 1.5, "cyclic should be well above the bound: {ratio}");
+        assert!(
+            ratio > 1.5,
+            "cyclic should be well above the bound: {ratio}"
+        );
         assert!(balance_ratio(&b, &C) > 1.5);
     }
 
@@ -171,11 +173,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let h = heter_aware(&C, 7, 1, &mut rng).unwrap();
         let c = cyclic(5, 1, &mut rng).unwrap();
-        let rows = optimality_report(
-            &[("heter".to_owned(), &h), ("cyclic".to_owned(), &c)],
-            &C,
-        )
-        .unwrap();
+        let rows =
+            optimality_report(&[("heter".to_owned(), &h), ("cyclic".to_owned(), &c)], &C).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows[0].ratio <= rows[1].ratio);
         assert!(rows.iter().all(|r| r.worst_case >= r.bound - 1e-9));

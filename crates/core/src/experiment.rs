@@ -3,8 +3,9 @@
 //! `hetgc-bench` binary; see EXPERIMENTS.md for the recorded outputs.
 
 use hetgc_cluster::{ClusterSpec, DelayDistribution, EstimationNoise, StragglerModel};
+use hetgc_coding::GradientCodec;
 use hetgc_ml::{synthetic, Mlp};
-use hetgc_sim::{simulate_bsp_iteration, BspIterationConfig, NetworkModel, RunMetrics};
+use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -30,7 +31,9 @@ pub fn run_timing<R: Rng + ?Sized>(
     iterations: usize,
     rng: &mut R,
 ) -> Result<RunMetrics, BoxError> {
-    let k = scheme.code.partitions();
+    let codec = scheme.compile();
+    let mut session = codec.session();
+    let k = codec.partitions();
     let cfg = BspIterationConfig::new(rates)
         .work_per_partition(samples as f64 / k as f64)
         .network(network)
@@ -38,8 +41,8 @@ pub fn run_timing<R: Rng + ?Sized>(
         .compute_jitter(jitter);
     let mut metrics = RunMetrics::new();
     for _ in 0..iterations {
-        let events = stragglers.sample_iteration(scheme.code.workers(), rng);
-        let outcome = simulate_bsp_iteration(&scheme.code, &cfg, &events, rng)?;
+        let events = stragglers.sample_iteration(codec.workers(), rng);
+        let outcome = simulate_bsp_iteration_in(&codec, &cfg, &events, rng, &mut session)?;
         metrics.record(&outcome);
         if outcome.completion.is_none() {
             // Deterministic failure models never recover; stop early.
@@ -120,7 +123,9 @@ pub fn fig2(cfg: &Fig2Config) -> Result<Vec<Fig2Row>, BoxError> {
         let model = if delay.is_infinite() {
             let mut idx: Vec<usize> = (0..cfg.cluster.len()).collect();
             idx.shuffle(&mut rng);
-            StragglerModel::Failures { workers: idx[..cfg.stragglers].to_vec() }
+            StragglerModel::Failures {
+                workers: idx[..cfg.stragglers].to_vec(),
+            }
         } else if delay == 0.0 {
             StragglerModel::None
         } else {
@@ -219,7 +224,10 @@ pub fn fig3(cfg: &Fig3Config) -> Result<Vec<Fig3Row>, BoxError> {
         let schemes = builder.build_paper_schemes(&mut rng)?;
         let model = StragglerModel::RandomChoice {
             count: cfg.stragglers,
-            delay: DelayDistribution::Uniform { low: 0.5, high: 3.0 },
+            delay: DelayDistribution::Uniform {
+                low: 0.5,
+                high: 3.0,
+            },
         };
         let mut avg_times = Vec::new();
         for scheme in &schemes {
@@ -236,7 +244,10 @@ pub fn fig3(cfg: &Fig3Config) -> Result<Vec<Fig3Row>, BoxError> {
             )?;
             avg_times.push((scheme.kind, metrics.avg_iteration_time()));
         }
-        rows.push(Fig3Row { cluster: cluster.name().to_owned(), avg_times });
+        rows.push(Fig3Row {
+            cluster: cluster.name().to_owned(),
+            avg_times,
+        });
     }
     Ok(rows)
 }
@@ -319,7 +330,10 @@ pub fn fig4(cfg: &Fig4Config) -> Result<Vec<LossCurve>, BoxError> {
         compute_jitter: cfg.jitter,
         stragglers: StragglerModel::RandomChoice {
             count: cfg.stragglers,
-            delay: DelayDistribution::Uniform { low: 0.2, high: 1.0 },
+            delay: DelayDistribution::Uniform {
+                low: 0.2,
+                high: 1.0,
+            },
         },
         eval_every: cfg.cluster.len(),
     };
@@ -409,7 +423,10 @@ pub fn fig5(cfg: &Fig5Config) -> Result<Vec<Fig5Row>, BoxError> {
     let schemes = builder.build_paper_schemes(&mut rng)?;
     let model = StragglerModel::RandomChoice {
         count: cfg.stragglers,
-        delay: DelayDistribution::Uniform { low: 1.0, high: 4.0 },
+        delay: DelayDistribution::Uniform {
+            low: 1.0,
+            high: 4.0,
+        },
     };
     let mut rows = Vec::new();
     for scheme in &schemes {
@@ -424,7 +441,10 @@ pub fn fig5(cfg: &Fig5Config) -> Result<Vec<Fig5Row>, BoxError> {
             cfg.iterations,
             &mut rng,
         )?;
-        rows.push(Fig5Row { scheme: scheme.kind, usage: metrics.resource_usage().ratio() });
+        rows.push(Fig5Row {
+            scheme: scheme.kind,
+            usage: metrics.resource_usage().ratio(),
+        });
     }
     Ok(rows)
 }
@@ -434,7 +454,9 @@ mod tests {
     use super::*;
 
     fn tiny_cluster() -> ClusterSpec {
-        ClusterSpec::from_vcpu_rows("tiny", &[(2, 1), (1, 2), (1, 4)], 2000.0).unwrap()
+        // Keep max(c)/Σc strictly below 1/(s+1) so estimation noise cannot
+        // push the Eq. 5 allocation into infeasibility.
+        ClusterSpec::from_vcpu_rows("tiny", &[(2, 1), (1, 2), (1, 3)], 2000.0).unwrap()
     }
 
     #[test]
@@ -455,11 +477,19 @@ mod tests {
         // Fault: naive cannot complete, coded schemes can.
         let fault = rows.last().unwrap();
         assert!(fault.delay.is_infinite());
-        let naive_time =
-            fault.avg_times.iter().find(|(k, _)| *k == SchemeKind::Naive).unwrap().1;
+        let naive_time = fault
+            .avg_times
+            .iter()
+            .find(|(k, _)| *k == SchemeKind::Naive)
+            .unwrap()
+            .1;
         assert!(naive_time.is_none(), "naive must fail under faults");
-        let heter_time =
-            fault.avg_times.iter().find(|(k, _)| *k == SchemeKind::HeterAware).unwrap().1;
+        let heter_time = fault
+            .avg_times
+            .iter()
+            .find(|(k, _)| *k == SchemeKind::HeterAware)
+            .unwrap()
+            .1;
         assert!(heter_time.is_some(), "heter-aware must survive faults");
     }
 
@@ -475,7 +505,13 @@ mod tests {
         };
         let rows = fig2(&cfg).unwrap();
         let naive_at = |i: usize| {
-            rows[i].avg_times.iter().find(|(k, _)| *k == SchemeKind::Naive).unwrap().1.unwrap()
+            rows[i]
+                .avg_times
+                .iter()
+                .find(|(k, _)| *k == SchemeKind::Naive)
+                .unwrap()
+                .1
+                .unwrap()
         };
         assert!(
             naive_at(1) > naive_at(0) + 4.0,
@@ -512,9 +548,7 @@ mod tests {
         let rows = fig3(&cfg).unwrap();
         assert_eq!(rows.len(), 1);
         let times = &rows[0].avg_times;
-        let get = |kind: SchemeKind| {
-            times.iter().find(|(k, _)| *k == kind).unwrap().1.unwrap()
-        };
+        let get = |kind: SchemeKind| times.iter().find(|(k, _)| *k == kind).unwrap().1.unwrap();
         assert!(get(SchemeKind::HeterAware) < get(SchemeKind::Cyclic));
         assert!(get(SchemeKind::GroupBased) < get(SchemeKind::Cyclic));
     }
@@ -533,7 +567,10 @@ mod tests {
         let curves = fig4(&cfg).unwrap();
         assert_eq!(curves.len(), 5);
         let labels: Vec<&str> = curves.iter().map(|c| c.label.as_str()).collect();
-        assert_eq!(labels, vec!["naive", "cyclic", "heter-aware", "group-based", "ssp"]);
+        assert_eq!(
+            labels,
+            vec!["naive", "cyclic", "heter-aware", "group-based", "ssp"]
+        );
         for c in &curves {
             assert!(!c.points.is_empty(), "{} empty", c.label);
         }
@@ -557,7 +594,11 @@ mod tests {
         let rows = fig5(&cfg).unwrap();
         assert_eq!(rows.len(), 4);
         let get = |kind: SchemeKind| {
-            rows.iter().find(|r| r.scheme == kind).unwrap().usage.unwrap()
+            rows.iter()
+                .find(|r| r.scheme == kind)
+                .unwrap()
+                .usage
+                .unwrap()
         };
         for kind in SchemeKind::PAPER {
             let u = get(kind);

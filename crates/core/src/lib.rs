@@ -57,18 +57,20 @@ pub use hetgc_cluster::{
     StragglerModel, WorkerId, WorkerSpec,
 };
 pub use hetgc_coding::{
-    approximate_decode, combine, cyclic, gradient_error_bound, decodable_prefix_len, decode_vector, fractional_repetition, group_based,
-    heter_aware, is_robust_to, naive, suggest_partition_count, verify_condition_c1,
-    under_replicated, verify_condition_c1_sampled, Allocation, ApproximateDecode,
-    CodingError, CodingMatrix, DecodeCache, DecodingMatrix, Group,
-    GroupCodingMatrix, GroupSearchConfig, OnlineDecoder, SupportMatrix,
+    approximate_decode, cyclic, decodable_prefix_len, fractional_repetition, gradient_error_bound,
+    group_based, heter_aware, is_robust_to, naive, suggest_partition_count, under_replicated,
+    verify_condition_c1, verify_condition_c1_sampled, Allocation, ApproximateDecode, CodecSession,
+    CodingError, CodingMatrix, CompiledCodec, DecodePlan, DecodingMatrix, GradientCodec, Group,
+    GroupCodingMatrix, GroupSearchConfig, SupportMatrix,
 };
+#[allow(deprecated)]
+pub use hetgc_coding::{combine, decode_vector, DecodeCache, OnlineDecoder};
 pub use hetgc_ml::{
     accuracy, synthetic, Adam, Classifier, Dataset, LinearRegression, Mlp, Model, Momentum,
     Optimizer, Sgd, SoftmaxRegression, Targets,
 };
 pub use hetgc_runtime::{RuntimeConfig, ThreadedTrainer, TrainingReport, WorkerBehavior};
 pub use hetgc_sim::{
-    simulate_bsp_iteration, BspIteration, BspIterationConfig, IterationTrace, NetworkModel,
-    RunMetrics, SspEngine, SspEvent,
+    simulate_bsp_iteration, simulate_bsp_iteration_in, BspIteration, BspIterationConfig,
+    IterationTrace, NetworkModel, RunMetrics, SspEngine, SspEvent,
 };

@@ -61,7 +61,13 @@ pub fn render_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
         }
     };
     let mut out = String::new();
-    out.push_str(&headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","));
+    out.push_str(
+        &headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| quote(c)).collect::<Vec<_>>().join(","));
@@ -140,7 +146,10 @@ mod tests {
     fn table_alignment() {
         let t = render_table(
             &["a", "bbbb"],
-            &[vec!["xx".into(), "y".into()], vec!["z".into(), "wwwww".into()]],
+            &[
+                vec!["xx".into(), "y".into()],
+                vec!["z".into(), "wwwww".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -6,7 +6,7 @@ use std::fmt;
 use hetgc_cluster::ClusterSpec;
 use hetgc_coding::{
     cyclic, fractional_repetition, group_based, heter_aware, naive, suggest_partition_count,
-    CodingError, CodingMatrix, Group,
+    CodingError, CodingMatrix, CompiledCodec, Group,
 };
 use rand::Rng;
 
@@ -28,8 +28,12 @@ pub enum SchemeKind {
 
 impl SchemeKind {
     /// The four schemes plotted in the paper's figures, in plot order.
-    pub const PAPER: [SchemeKind; 4] =
-        [SchemeKind::Naive, SchemeKind::Cyclic, SchemeKind::HeterAware, SchemeKind::GroupBased];
+    pub const PAPER: [SchemeKind; 4] = [
+        SchemeKind::Naive,
+        SchemeKind::Cyclic,
+        SchemeKind::HeterAware,
+        SchemeKind::GroupBased,
+    ];
 
     /// All implemented schemes.
     pub const ALL: [SchemeKind; 5] = [
@@ -87,6 +91,24 @@ impl SchemeInstance {
     pub fn stragglers(&self) -> usize {
         self.code.stragglers()
     }
+
+    /// Compiles the strategy into a [`CompiledCodec`]: precomputed sparse
+    /// supports for encoding plus an LRU decode-plan cache. Every trainer,
+    /// simulator and experiment driver in this workspace routes its
+    /// per-iteration encode/decode through the result.
+    pub fn compile(&self) -> CompiledCodec {
+        CompiledCodec::new(self.code.clone())
+    }
+
+    /// [`SchemeInstance::compile`] with an explicit decode-plan cache
+    /// capacity (the number of distinct straggler patterns remembered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache_capacity == 0`.
+    pub fn compile_with_cache(&self, cache_capacity: usize) -> CompiledCodec {
+        CompiledCodec::with_cache_capacity(self.code.clone(), cache_capacity)
+    }
 }
 
 /// Builds [`SchemeInstance`]s for a cluster.
@@ -123,7 +145,12 @@ pub struct SchemeBuilder<'a> {
 impl<'a> SchemeBuilder<'a> {
     /// A builder for `cluster` tolerating `stragglers` stragglers.
     pub fn new(cluster: &'a ClusterSpec, stragglers: usize) -> Self {
-        SchemeBuilder { cluster, stragglers, estimates: None, partitions: None }
+        SchemeBuilder {
+            cluster,
+            stragglers,
+            estimates: None,
+            partitions: None,
+        }
     }
 
     /// Uses the given throughput estimates instead of ground truth
@@ -143,7 +170,9 @@ impl<'a> SchemeBuilder<'a> {
 
     /// The estimates in effect (explicit or ground truth).
     pub fn effective_estimates(&self) -> Vec<f64> {
-        self.estimates.clone().unwrap_or_else(|| self.cluster.throughputs())
+        self.estimates
+            .clone()
+            .unwrap_or_else(|| self.cluster.throughputs())
     }
 
     /// The partition count the heterogeneity-aware schemes will use.
@@ -176,7 +205,10 @@ impl<'a> SchemeBuilder<'a> {
             }
             SchemeKind::HeterAware => {
                 let k = self.effective_partitions();
-                (heter_aware(&estimates, k, self.stragglers, rng)?, Vec::new())
+                (
+                    heter_aware(&estimates, k, self.stragglers, rng)?,
+                    Vec::new(),
+                )
             }
             SchemeKind::GroupBased => {
                 let k = self.effective_partitions();
@@ -185,7 +217,12 @@ impl<'a> SchemeBuilder<'a> {
                 (g.into_code(), groups)
             }
         };
-        Ok(SchemeInstance { kind, code, groups, estimates })
+        Ok(SchemeInstance {
+            kind,
+            code,
+            groups,
+            estimates,
+        })
     }
 
     /// Constructs all four paper schemes with one call.
@@ -197,7 +234,10 @@ impl<'a> SchemeBuilder<'a> {
         &self,
         rng: &mut R,
     ) -> Result<Vec<SchemeInstance>, CodingError> {
-        SchemeKind::PAPER.iter().map(|&k| self.build(k, rng)).collect()
+        SchemeKind::PAPER
+            .iter()
+            .map(|&k| self.build(k, rng))
+            .collect()
     }
 }
 
@@ -232,10 +272,13 @@ mod tests {
         let scheme = b.build(SchemeKind::HeterAware, &mut rng(1)).unwrap();
         // The smallest integral k is 12, making n_i = vcpus/2 exactly.
         assert_eq!(scheme.partitions(), 12);
-        let vcpus: Vec<usize> =
-            cluster.workers().iter().map(|w| w.vcpus() as usize).collect();
-        for w in 0..8 {
-            assert_eq!(scheme.code.load_of(w), vcpus[w] / 2, "worker {w}");
+        let vcpus: Vec<usize> = cluster
+            .workers()
+            .iter()
+            .map(|w| w.vcpus() as usize)
+            .collect();
+        for (w, &v) in vcpus.iter().enumerate() {
+            assert_eq!(scheme.code.load_of(w), v / 2, "worker {w}");
         }
         verify_condition_c1(&scheme.code).unwrap();
     }
@@ -243,8 +286,9 @@ mod tests {
     #[test]
     fn naive_ignores_s() {
         let cluster = ClusterSpec::cluster_a();
-        let scheme =
-            SchemeBuilder::new(&cluster, 2).build(SchemeKind::Naive, &mut rng(2)).unwrap();
+        let scheme = SchemeBuilder::new(&cluster, 2)
+            .build(SchemeKind::Naive, &mut rng(2))
+            .unwrap();
         assert_eq!(scheme.stragglers(), 0);
         assert_eq!(scheme.partitions(), 8);
     }
@@ -252,8 +296,9 @@ mod tests {
     #[test]
     fn cyclic_uniform_loads() {
         let cluster = ClusterSpec::cluster_a();
-        let scheme =
-            SchemeBuilder::new(&cluster, 2).build(SchemeKind::Cyclic, &mut rng(3)).unwrap();
+        let scheme = SchemeBuilder::new(&cluster, 2)
+            .build(SchemeKind::Cyclic, &mut rng(3))
+            .unwrap();
         for w in 0..8 {
             assert_eq!(scheme.code.load_of(w), 3);
         }
@@ -262,9 +307,13 @@ mod tests {
     #[test]
     fn group_based_has_groups_on_cluster_a() {
         let cluster = ClusterSpec::cluster_a();
-        let scheme =
-            SchemeBuilder::new(&cluster, 1).build(SchemeKind::GroupBased, &mut rng(4)).unwrap();
-        assert!(!scheme.groups.is_empty(), "Cluster-A cyclic allocation admits groups");
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(SchemeKind::GroupBased, &mut rng(4))
+            .unwrap();
+        assert!(
+            !scheme.groups.is_empty(),
+            "Cluster-A cyclic allocation admits groups"
+        );
         verify_condition_c1(&scheme.code).unwrap();
     }
 
@@ -298,8 +347,9 @@ mod tests {
     #[test]
     fn build_paper_schemes_builds_four() {
         let cluster = ClusterSpec::cluster_a();
-        let schemes =
-            SchemeBuilder::new(&cluster, 1).build_paper_schemes(&mut rng(8)).unwrap();
+        let schemes = SchemeBuilder::new(&cluster, 1)
+            .build_paper_schemes(&mut rng(8))
+            .unwrap();
         assert_eq!(schemes.len(), 4);
         let kinds: Vec<SchemeKind> = schemes.iter().map(|s| s.kind).collect();
         assert_eq!(kinds, SchemeKind::PAPER.to_vec());

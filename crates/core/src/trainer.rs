@@ -9,8 +9,11 @@
 //! step, not assumed. Only the *clock* is simulated.
 
 use hetgc_cluster::{PartitionAssignment, StragglerModel};
+use hetgc_coding::GradientCodec;
 use hetgc_ml::{partial_gradients, Dataset, Model};
-use hetgc_sim::{simulate_bsp_iteration, BspIterationConfig, NetworkModel, RunMetrics, SspEngine};
+use hetgc_sim::{
+    simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics, SspEngine,
+};
 use rand::Rng;
 
 use crate::scheme::{BoxError, SchemeInstance};
@@ -69,7 +72,10 @@ impl LossCurve {
     /// First simulated time at which the loss drops to `target`, or
     /// `None` if it never does.
     pub fn time_to_loss(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|&&(_, l)| l <= target).map(|&(t, _)| t)
+        self.points
+            .iter()
+            .find(|&&(_, l)| l <= target)
+            .map(|&(t, _)| t)
     }
 
     /// Total simulated duration covered by the curve.
@@ -110,8 +116,13 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
     cfg: &SimTrainConfig,
     rng: &mut R,
 ) -> Result<BspTrainOutcome, BoxError> {
-    let m = scheme.code.workers();
-    let k = scheme.code.partitions();
+    // Compile once: sparse per-worker supports for encoding, cached decode
+    // plans, and one streaming session reused (reset, not reallocated)
+    // across all iterations.
+    let codec = scheme.compile();
+    let mut session = codec.session();
+    let m = codec.workers();
+    let k = codec.partitions();
     if rates.len() != m {
         return Err(format!("rates len {} != m={m}", rates.len()).into());
     }
@@ -122,7 +133,10 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
 
     let mut params = model.init_params(rng);
     let mut metrics = RunMetrics::new();
-    let mut curve = LossCurve { label: scheme.kind.name().to_owned(), points: Vec::new() };
+    let mut curve = LossCurve {
+        label: scheme.kind.name().to_owned(),
+        points: Vec::new(),
+    };
     let mut clock = 0.0;
     let mut stalled = false;
 
@@ -133,7 +147,7 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
             .network(cfg.network)
             .payload_bytes(cfg.payload_bytes)
             .compute_jitter(cfg.compute_jitter);
-        let outcome = simulate_bsp_iteration(&scheme.code, &sim_cfg, &events, rng)?;
+        let outcome = simulate_bsp_iteration_in(&codec, &sim_cfg, &events, rng, &mut session)?;
         let Some(iter_time) = outcome.completion else {
             metrics.record(&outcome);
             stalled = true;
@@ -142,12 +156,13 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
         metrics.record(&outcome);
         clock += iter_time;
 
-        // Real coded gradient computation: partials → encode per decoding
-        // worker → combine with the decode vector.
+        // Real coded gradient computation: partials → sparse encode per
+        // decoding worker → combine with the decode vector.
         let partials = partial_gradients(model, &params, data, &ranges);
         let mut gradient = vec![0.0; model.num_params()];
+        let mut coded = Vec::new();
         for &w in &outcome.decode_workers {
-            let coded = scheme.code.encode(w, &partials)?;
+            codec.encode_into(w, &partials, &mut coded)?;
             let coef = outcome.decode_vector[w];
             for (g, c) in gradient.iter_mut().zip(&coded) {
                 *g += coef * c;
@@ -173,7 +188,12 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
         curve.points.push((clock, loss));
     }
 
-    Ok(BspTrainOutcome { curve, metrics, params, stalled })
+    Ok(BspTrainOutcome {
+        curve,
+        metrics,
+        params,
+        stalled,
+    })
 }
 
 /// Runs SSP (stale synchronous parallel) SGD over a simulated cluster —
@@ -214,11 +234,16 @@ pub fn train_ssp_sim<M: Model + ?Sized, R: Rng>(
     let mut params = model.init_params(rng);
     // Per-worker stale snapshots: what the worker is computing on.
     let mut snapshots: Vec<Vec<f64>> = vec![params.clone(); m];
-    let mut curve = LossCurve { label: "ssp".to_owned(), points: Vec::new() };
+    let mut curve = LossCurve {
+        label: "ssp".to_owned(),
+        points: Vec::new(),
+    };
 
     let total_updates = cfg.iterations * m;
     for step in 1..=total_updates {
-        let Some(event) = engine.next_event() else { break };
+        let Some(event) = engine.next_event() else {
+            break;
+        };
         let w = event.worker;
         let (lo, hi) = assignment.range(w).expect("w < m");
         let grad = model.gradient(&snapshots[w], data, (lo, hi));
@@ -286,18 +311,26 @@ mod tests {
         let rates = cluster.throughputs();
         let data = synthetic::linear_regression(80, 3, 0.01, &mut rng(42));
         let model = LinearRegression::new(3);
-        let cfg = SimTrainConfig { iterations: 15, ..SimTrainConfig::default() };
+        let cfg = SimTrainConfig {
+            iterations: 15,
+            ..SimTrainConfig::default()
+        };
 
         let mut build_rng = rng(7);
-        let naive =
-            SchemeBuilder::new(&cluster, 1).build(SchemeKind::Naive, &mut build_rng).unwrap();
-        let heter =
-            SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut build_rng).unwrap();
+        let naive = SchemeBuilder::new(&cluster, 1)
+            .build(SchemeKind::Naive, &mut build_rng)
+            .unwrap();
+        let heter = SchemeBuilder::new(&cluster, 1)
+            .build(SchemeKind::HeterAware, &mut build_rng)
+            .unwrap();
 
         let out_a = train_bsp_sim(&naive, &model, &data, &rates, &cfg, &mut rng(5)).unwrap();
         let out_b = train_bsp_sim(&heter, &model, &data, &rates, &cfg, &mut rng(5)).unwrap();
         for ((_, la), (_, lb)) in out_a.curve.points.iter().zip(&out_b.curve.points) {
-            assert!((la - lb).abs() < 1e-9, "loss trajectories must match: {la} vs {lb}");
+            assert!(
+                (la - lb).abs() < 1e-9,
+                "loss trajectories must match: {la} vs {lb}"
+            );
         }
         // Heter-aware is faster per iteration on this heterogeneous cluster.
         assert!(out_b.curve.duration() < out_a.curve.duration());
@@ -314,8 +347,9 @@ mod tests {
             stragglers: StragglerModel::Failures { workers: vec![0] },
             ..SimTrainConfig::default()
         };
-        let scheme =
-            SchemeBuilder::new(&cluster, 1).build(SchemeKind::Naive, &mut rng(3)).unwrap();
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(SchemeKind::Naive, &mut rng(3))
+            .unwrap();
         let out = train_bsp_sim(&scheme, &model, &data, &rates, &cfg, &mut rng(4)).unwrap();
         assert!(out.stalled);
         assert!(out.curve.points.is_empty());
@@ -333,8 +367,9 @@ mod tests {
             stragglers: StragglerModel::Failures { workers: vec![0] },
             ..SimTrainConfig::default()
         };
-        let scheme =
-            SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng(6)).unwrap();
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(SchemeKind::HeterAware, &mut rng(6))
+            .unwrap();
         let out = train_bsp_sim(&scheme, &model, &data, &rates, &cfg, &mut rng(7)).unwrap();
         assert!(!out.stalled);
         assert_eq!(out.curve.points.len(), 10);
@@ -357,7 +392,10 @@ mod tests {
         assert!(!curve.points.is_empty());
         let first = curve.points[0].1;
         let last = curve.final_loss().unwrap();
-        assert!(last < first, "SSP should still make progress: {first} → {last}");
+        assert!(
+            last < first,
+            "SSP should still make progress: {first} → {last}"
+        );
     }
 
     #[test]
@@ -370,7 +408,10 @@ mod tests {
         assert_eq!(c.time_to_loss(0.5), Some(2.0));
         assert_eq!(c.time_to_loss(0.1), None);
         assert_eq!(c.duration(), 3.0);
-        let empty = LossCurve { label: "e".into(), points: vec![] };
+        let empty = LossCurve {
+            label: "e".into(),
+            points: vec![],
+        };
         assert_eq!(empty.final_loss(), None);
         assert_eq!(empty.duration(), 0.0);
     }
@@ -380,8 +421,9 @@ mod tests {
         let cluster = small_cluster();
         let data = synthetic::linear_regression(40, 2, 0.01, &mut rng(9));
         let model = LinearRegression::new(2);
-        let scheme =
-            SchemeBuilder::new(&cluster, 1).build(SchemeKind::Naive, &mut rng(10)).unwrap();
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(SchemeKind::Naive, &mut rng(10))
+            .unwrap();
         let cfg = SimTrainConfig::default();
         assert!(train_bsp_sim(&scheme, &model, &data, &[1.0], &cfg, &mut rng(11)).is_err());
     }

@@ -68,13 +68,21 @@ impl fmt::Display for LinalgError {
                 left.0, left.1, right.0, right.1
             ),
             LinalgError::NotSquare { op, shape } => {
-                write!(f, "{op} requires a square matrix, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "{op} requires a square matrix, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::Singular { pivot } => {
                 write!(f, "matrix is singular (pivot magnitude {pivot:.3e})")
             }
             LinalgError::Empty { op } => write!(f, "{op} requires a non-empty matrix"),
-            LinalgError::RaggedRows { expected, found, row } => write!(
+            LinalgError::RaggedRows {
+                expected,
+                found,
+                row,
+            } => write!(
                 f,
                 "ragged row data: row {row} has length {found}, expected {expected}"
             ),
@@ -93,13 +101,20 @@ mod tests {
 
     #[test]
     fn display_shape_mismatch() {
-        let e = LinalgError::ShapeMismatch { op: "mul", left: (2, 3), right: (4, 5) };
+        let e = LinalgError::ShapeMismatch {
+            op: "mul",
+            left: (2, 3),
+            right: (4, 5),
+        };
         assert_eq!(e.to_string(), "shape mismatch in mul: 2x3 vs 4x5");
     }
 
     #[test]
     fn display_not_square() {
-        let e = LinalgError::NotSquare { op: "inverse", shape: (2, 3) };
+        let e = LinalgError::NotSquare {
+            op: "inverse",
+            shape: (2, 3),
+        };
         assert!(e.to_string().contains("square"));
         assert!(e.to_string().contains("2x3"));
     }
@@ -118,13 +133,21 @@ mod tests {
 
     #[test]
     fn display_ragged() {
-        let e = LinalgError::RaggedRows { expected: 3, found: 2, row: 1 };
+        let e = LinalgError::RaggedRows {
+            expected: 3,
+            found: 2,
+            row: 1,
+        };
         assert!(e.to_string().contains("row 1"));
     }
 
     #[test]
     fn display_index() {
-        let e = LinalgError::IndexOutOfBounds { index: 9, bound: 4, axis: "row" };
+        let e = LinalgError::IndexOutOfBounds {
+            index: 9,
+            bound: 4,
+            axis: "row",
+        };
         assert!(e.to_string().contains("9"));
         assert!(e.to_string().contains("4"));
     }

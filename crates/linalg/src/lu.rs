@@ -54,7 +54,10 @@ impl Lu {
     /// [`LinalgError::NotSquare`] or [`LinalgError::Empty`].
     pub(crate) fn new(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::NotSquare { op: "lu", shape: a.shape() });
+            return Err(LinalgError::NotSquare {
+                op: "lu",
+                shape: a.shape(),
+            });
         }
         let n = a.nrows();
         if n == 0 {
@@ -102,7 +105,12 @@ impl Lu {
             }
         }
 
-        Ok(Lu { lu, perm, perm_sign, min_pivot })
+        Ok(Lu {
+            lu,
+            perm,
+            perm_sign,
+            min_pivot,
+        })
     }
 
     /// Dimension of the factored matrix.
@@ -131,7 +139,9 @@ impl Lu {
             });
         }
         if self.is_singular() {
-            return Err(LinalgError::Singular { pivot: self.min_pivot });
+            return Err(LinalgError::Singular {
+                pivot: self.min_pivot,
+            });
         }
         // Forward substitution with permuted b (L has unit diagonal).
         let mut y = vec![0.0; n];
@@ -225,7 +235,10 @@ mod tests {
         let a = mat(&[&[1.0, 2.0], &[2.0, 4.0]]);
         let lu = a.lu().unwrap();
         assert!(lu.is_singular());
-        assert!(matches!(lu.solve(&[1.0, 1.0]), Err(LinalgError::Singular { .. })));
+        assert!(matches!(
+            lu.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
         assert!(matches!(lu.inverse(), Err(LinalgError::Singular { .. })));
         assert!(lu.determinant().abs() < 1e-9);
     }
@@ -250,7 +263,10 @@ mod tests {
     #[test]
     fn non_square_rejected() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(a.lu(), Err(LinalgError::NotSquare { op: "lu", .. })));
+        assert!(matches!(
+            a.lu(),
+            Err(LinalgError::NotSquare { op: "lu", .. })
+        ));
     }
 
     #[test]
@@ -263,7 +279,10 @@ mod tests {
     fn solve_wrong_rhs_len() {
         let a = Matrix::identity(2);
         let lu = a.lu().unwrap();
-        assert!(matches!(lu.solve(&[1.0]), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -272,7 +291,9 @@ mod tests {
         // needed in unit tests.
         let mut state = 0x2545F4914F6CDD1Du64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64) / (u32::MAX as f64) + 0.01
         };
         for n in [2usize, 5, 9, 16] {
@@ -280,8 +301,11 @@ mod tests {
             let b: Vec<f64> = (0..n).map(|_| next()).collect();
             let x = a.solve(&b).unwrap();
             let ax = a.matvec(&x).unwrap();
-            let residual: f64 =
-                ax.iter().zip(&b).map(|(p, q)| (p - q).abs()).fold(0.0, f64::max);
+            let residual: f64 = ax
+                .iter()
+                .zip(&b)
+                .map(|(p, q)| (p - q).abs())
+                .fold(0.0, f64::max);
             assert!(residual < 1e-8, "n={n} residual={residual}");
         }
     }

@@ -42,7 +42,11 @@ impl Matrix {
     /// assert_eq!(z[(1, 2)], 0.0);
     /// ```
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with ones.
@@ -50,7 +54,11 @@ impl Matrix {
     /// The all-ones row vector `1_{1×k}` is central to gradient coding: a
     /// decode vector `a` is valid exactly when `aB = 1_{1×k}`.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![1.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -76,14 +84,22 @@ impl Matrix {
         let cols = rows[0].len();
         for (i, r) in rows.iter().enumerate() {
             if r.len() != cols {
-                return Err(LinalgError::RaggedRows { expected: cols, found: r.len(), row: i });
+                return Err(LinalgError::RaggedRows {
+                    expected: cols,
+                    found: r.len(),
+                    row: i,
+                });
             }
         }
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
             data.extend_from_slice(r);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Creates a matrix from a flat row-major vector.
@@ -120,12 +136,20 @@ impl Matrix {
 
     /// Creates a 1-row matrix from a slice.
     pub fn row_vector(v: &[f64]) -> Self {
-        Matrix { rows: 1, cols: v.len(), data: v.to_vec() }
+        Matrix {
+            rows: 1,
+            cols: v.len(),
+            data: v.to_vec(),
+        }
     }
 
     /// Creates a 1-column matrix from a slice.
     pub fn col_vector(v: &[f64]) -> Self {
-        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+        Matrix {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -164,7 +188,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.nrows()`.
     pub fn row(&self, i: usize) -> &[f64] {
-        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -174,7 +202,11 @@ impl Matrix {
     ///
     /// Panics if `i >= self.nrows()`.
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        assert!(i < self.rows, "row index {i} out of bounds ({} rows)", self.rows);
+        assert!(
+            i < self.rows,
+            "row index {i} out of bounds ({} rows)",
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -184,8 +216,14 @@ impl Matrix {
     ///
     /// Panics if `j >= self.ncols()`.
     pub fn col(&self, j: usize) -> Vec<f64> {
-        assert!(j < self.cols, "col index {j} out of bounds ({} cols)", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        assert!(
+            j < self.cols,
+            "col index {j} out of bounds ({} cols)",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Iterates over the rows as slices.
@@ -308,7 +346,11 @@ impl Matrix {
             }
             data.extend_from_slice(self.row(r));
         }
-        Ok(Matrix { rows: rows.len(), cols: self.cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Extracts the submatrix formed by the given columns (in order).
@@ -332,7 +374,11 @@ impl Matrix {
                 data.push(self.data[i * self.cols + c]);
             }
         }
-        Ok(Matrix { rows: self.rows, cols: cols.len(), data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: cols.len(),
+            data,
+        })
     }
 
     /// Stacks `self` on top of `other`.
@@ -350,7 +396,11 @@ impl Matrix {
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Ok(Matrix { rows: self.rows + other.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Frobenius norm `sqrt(Σ a_ij²)`.
@@ -369,7 +419,11 @@ impl Matrix {
     /// erroring, which keeps assertions in tests terse.
     pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
         self.shape() == other.shape()
-            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 
     /// LU decomposition with partial pivoting.
@@ -450,14 +504,24 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds for {}x{}", self.rows, self.cols);
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -499,7 +563,12 @@ impl Add for &Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -513,11 +582,20 @@ impl Sub for &Matrix {
     ///
     /// Panics on shape mismatch.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }
@@ -571,7 +649,10 @@ mod tests {
 
     #[test]
     fn from_rows_rejects_empty() {
-        assert!(matches!(Matrix::from_rows(&[]), Err(LinalgError::Empty { .. })));
+        assert!(matches!(
+            Matrix::from_rows(&[]),
+            Err(LinalgError::Empty { .. })
+        ));
     }
 
     #[test]
@@ -601,7 +682,10 @@ mod tests {
     fn matmul_shape_error() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { op: "matmul", .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { op: "matmul", .. })
+        ));
     }
 
     #[test]

@@ -173,7 +173,12 @@ impl Qr {
                 right: (b.len(), 1),
             });
         }
-        Ok(ax.iter().zip(b).map(|(p, q)| (p - q) * (p - q)).sum::<f64>().sqrt())
+        Ok(ax
+            .iter()
+            .zip(b)
+            .map(|(p, q)| (p - q) * (p - q))
+            .sum::<f64>()
+            .sqrt())
     }
 }
 

@@ -336,7 +336,10 @@ mod tests {
     #[test]
     fn solve_any_zero_system() {
         let a = Matrix::zeros(2, 3);
-        assert_eq!(solve_any(&a, &[0.0, 0.0], DEFAULT_TOLERANCE).unwrap(), vec![0.0; 3]);
+        assert_eq!(
+            solve_any(&a, &[0.0, 0.0], DEFAULT_TOLERANCE).unwrap(),
+            vec![0.0; 3]
+        );
         assert!(solve_any(&a, &[1.0, 0.0], DEFAULT_TOLERANCE).is_none());
     }
 

@@ -16,7 +16,13 @@
 /// assert_eq!(hetgc_linalg::vec_ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
@@ -26,7 +32,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(x.len(), y.len(), "axpy: length mismatch {} vs {}", x.len(), y.len());
+    assert_eq!(
+        x.len(),
+        y.len(),
+        "axpy: length mismatch {} vs {}",
+        x.len(),
+        y.len()
+    );
     if alpha == 0.0 {
         return;
     }
@@ -60,7 +72,11 @@ pub fn l0_norm(x: &[f64]) -> usize {
 
 /// Indices of non-zero entries — `supp(b)` in the paper's notation.
 pub fn support(x: &[f64]) -> Vec<usize> {
-    x.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(i, _)| i).collect()
+    x.iter()
+        .enumerate()
+        .filter(|(_, &v)| v != 0.0)
+        .map(|(i, _)| i)
+        .collect()
 }
 
 /// Componentwise sum of many equal-length vectors.
@@ -71,7 +87,9 @@ pub fn support(x: &[f64]) -> Vec<usize> {
 ///
 /// Panics if the vectors have different lengths.
 pub fn sum_all(vs: &[Vec<f64>]) -> Vec<f64> {
-    let Some(first) = vs.first() else { return Vec::new() };
+    let Some(first) = vs.first() else {
+        return Vec::new();
+    };
     let mut acc = vec![0.0; first.len()];
     for v in vs {
         axpy(1.0, v, &mut acc);
@@ -86,7 +104,10 @@ pub fn sum_all(vs: &[Vec<f64>]) -> Vec<f64> {
 /// Panics if the slices have different lengths.
 pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
-    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -66,7 +66,11 @@ impl Dataset {
         assert_eq!(x.len() % dim, 0, "features not a multiple of dim");
         let n = x.len() / dim;
         assert_eq!(n, targets.len(), "feature/target sample count mismatch");
-        if let Targets::Classes { labels, num_classes } = &targets {
+        if let Targets::Classes {
+            labels,
+            num_classes,
+        } = &targets
+        {
             assert!(
                 labels.iter().all(|&l| l < *num_classes),
                 "class label out of range"
@@ -143,7 +147,11 @@ mod tests {
     use super::*;
 
     fn reg2() -> Dataset {
-        Dataset::new(vec![1.0, 2.0, 3.0, 4.0], Targets::Regression(vec![5.0, 6.0]), 2)
+        Dataset::new(
+            vec![1.0, 2.0, 3.0, 4.0],
+            Targets::Regression(vec![5.0, 6.0]),
+            2,
+        )
     }
 
     #[test]
@@ -161,7 +169,10 @@ mod tests {
     fn classification_dataset() {
         let d = Dataset::new(
             vec![0.0, 1.0, 2.0],
-            Targets::Classes { labels: vec![0, 2, 1], num_classes: 3 },
+            Targets::Classes {
+                labels: vec![0, 2, 1],
+                num_classes: 3,
+            },
             1,
         );
         assert_eq!(d.class_of(1), 2);
@@ -185,7 +196,10 @@ mod tests {
     fn bad_label_rejected() {
         Dataset::new(
             vec![1.0],
-            Targets::Classes { labels: vec![5], num_classes: 3 },
+            Targets::Classes {
+                labels: vec![5],
+                num_classes: 3,
+            },
             1,
         );
     }
@@ -195,7 +209,10 @@ mod tests {
     fn regression_target_on_classes_panics() {
         let d = Dataset::new(
             vec![1.0],
-            Targets::Classes { labels: vec![0], num_classes: 1 },
+            Targets::Classes {
+                labels: vec![0],
+                num_classes: 1,
+            },
             1,
         );
         d.regression_target(0);

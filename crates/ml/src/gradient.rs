@@ -25,7 +25,10 @@ pub fn partial_gradients<M: Model + ?Sized>(
     data: &Dataset,
     ranges: &[(usize, usize)],
 ) -> Vec<Vec<f64>> {
-    ranges.iter().map(|&r| model.gradient(params, data, r)).collect()
+    ranges
+        .iter()
+        .map(|&r| model.gradient(params, data, r))
+        .collect()
 }
 
 /// Sums gradients component-wise. Returns an empty vector for no inputs.

@@ -68,7 +68,11 @@ impl SoftmaxRegression {
     fn check(&self, params: &[f64], data: &Dataset, (lo, hi): (usize, usize)) {
         assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
-        assert_eq!(data.num_classes(), Some(self.classes), "class count mismatch");
+        assert_eq!(
+            data.num_classes(),
+            Some(self.classes),
+            "class count mismatch"
+        );
         assert!(lo <= hi && hi <= data.len(), "bad range [{lo}, {hi})");
     }
 }
@@ -129,7 +133,10 @@ mod tests {
     fn tiny() -> Dataset {
         Dataset::new(
             vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0],
-            Targets::Classes { labels: vec![0, 1, 2], num_classes: 3 },
+            Targets::Classes {
+                labels: vec![0, 1, 2],
+                num_classes: 3,
+            },
             2,
         )
     }
@@ -187,7 +194,10 @@ mod tests {
         }
         let final_loss = m.loss(&params, &d, (0, d.len())) / n;
         assert!(final_loss < initial / 4.0, "{initial} → {final_loss}");
-        assert!(final_loss < 0.3, "blobs should be nearly separable: {final_loss}");
+        assert!(
+            final_loss < 0.3,
+            "blobs should be nearly separable: {final_loss}"
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ impl Mlp {
     pub fn new(dim: usize, hidden: usize, classes: usize) -> Self {
         assert!(dim > 0 && hidden > 0, "sizes must be positive");
         assert!(classes >= 2, "need at least two classes");
-        Mlp { dim, hidden, classes }
+        Mlp {
+            dim,
+            hidden,
+            classes,
+        }
     }
 
     /// The input dimension.
@@ -97,7 +101,11 @@ impl Mlp {
     fn check(&self, params: &[f64], data: &Dataset, (lo, hi): (usize, usize)) {
         assert_eq!(params.len(), self.num_params(), "parameter count mismatch");
         assert_eq!(data.dim(), self.dim, "dataset dimension mismatch");
-        assert_eq!(data.num_classes(), Some(self.classes), "class count mismatch");
+        assert_eq!(
+            data.num_classes(),
+            Some(self.classes),
+            "class count mismatch"
+        );
         assert!(lo <= hi && hi <= data.len(), "bad range [{lo}, {hi})");
     }
 }
@@ -187,7 +195,10 @@ mod tests {
     fn tiny() -> Dataset {
         Dataset::new(
             vec![1.0, 0.5, -0.5, 1.0, 0.0, -1.0, 0.7, 0.7],
-            Targets::Classes { labels: vec![0, 1, 1, 0], num_classes: 2 },
+            Targets::Classes {
+                labels: vec![0, 1, 1, 0],
+                num_classes: 2,
+            },
             2,
         )
     }

@@ -79,11 +79,15 @@ mod tests {
         }
 
         fn loss(&self, params: &[f64], data: &Dataset, (lo, hi): (usize, usize)) -> f64 {
-            (lo..hi).map(|i| (params[0] - data.regression_target(i)).powi(2)).sum()
+            (lo..hi)
+                .map(|i| (params[0] - data.regression_target(i)).powi(2))
+                .sum()
         }
 
         fn gradient(&self, params: &[f64], data: &Dataset, (lo, hi): (usize, usize)) -> Vec<f64> {
-            vec![(lo..hi).map(|i| 2.0 * (params[0] - data.regression_target(i))).sum()]
+            vec![(lo..hi)
+                .map(|i| 2.0 * (params[0] - data.regression_target(i)))
+                .sum()]
         }
 
         fn init_params(&self, rng: &mut dyn rand::RngCore) -> Vec<f64> {
@@ -92,7 +96,11 @@ mod tests {
     }
 
     fn data() -> Dataset {
-        Dataset::new(vec![0.0; 4], Targets::Regression(vec![1.0, 2.0, 3.0, 4.0]), 1)
+        Dataset::new(
+            vec![0.0; 4],
+            Targets::Regression(vec![1.0, 2.0, 3.0, 4.0]),
+            1,
+        )
     }
 
     #[test]

@@ -78,7 +78,11 @@ impl Momentum {
     pub fn new(lr: f64, beta: f64) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta), "momentum must be in [0, 1)");
-        Momentum { lr, beta, velocity: Vec::new() }
+        Momentum {
+            lr,
+            beta,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -88,7 +92,11 @@ impl Optimizer for Momentum {
         if self.velocity.is_empty() {
             self.velocity = vec![0.0; params.len()];
         }
-        assert_eq!(self.velocity.len(), params.len(), "parameter length changed");
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter length changed"
+        );
         for ((p, g), v) in params.iter_mut().zip(grad).zip(&mut self.velocity) {
             *v = self.beta * *v + g;
             *p -= self.lr * *v;
@@ -129,9 +137,20 @@ impl Adam {
     /// Panics on out-of-range hyper-parameters.
     pub fn with_betas(lr: f64, beta1: f64, beta2: f64, eps: f64) -> Self {
         assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2), "betas in [0,1)");
+        assert!(
+            (0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2),
+            "betas in [0,1)"
+        );
         assert!(eps > 0.0, "eps must be positive");
-        Adam { lr, beta1, beta2, eps, m: Vec::new(), v: Vec::new(), t: 0 }
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
     }
 }
 

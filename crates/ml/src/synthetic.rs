@@ -79,7 +79,14 @@ pub fn gaussian_blobs<R: Rng + ?Sized>(
         }
         labels.push(c);
     }
-    Dataset::new(x, Targets::Classes { labels, num_classes: classes }, dim)
+    Dataset::new(
+        x,
+        Targets::Classes {
+            labels,
+            num_classes: classes,
+        },
+        dim,
+    )
 }
 
 /// CIFAR-like image classification data: class templates with localized
@@ -98,7 +105,13 @@ pub fn image_like<R: Rng + ?Sized>(n: usize, dim: usize, classes: usize, rng: &m
     let templates: Vec<Vec<f64>> = (0..classes)
         .map(|_| {
             (0..dim)
-                .map(|_| if rng.gen_bool(0.2) { rng.gen_range(0.5..1.5) } else { 0.0 })
+                .map(|_| {
+                    if rng.gen_bool(0.2) {
+                        rng.gen_range(0.5..1.5)
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();
@@ -112,7 +125,14 @@ pub fn image_like<R: Rng + ?Sized>(n: usize, dim: usize, classes: usize, rng: &m
         }
         labels.push(c);
     }
-    Dataset::new(x, Targets::Classes { labels, num_classes: classes }, dim)
+    Dataset::new(
+        x,
+        Targets::Classes {
+            labels,
+            num_classes: classes,
+        },
+        dim,
+    )
 }
 
 #[cfg(test)]
@@ -141,8 +161,10 @@ mod tests {
         // variance of targets is driven by w*, not degenerate.
         let d = linear_regression(100, 2, 0.0, &mut rng());
         let mean: f64 = (0..100).map(|i| d.regression_target(i)).sum::<f64>() / 100.0;
-        let var: f64 =
-            (0..100).map(|i| (d.regression_target(i) - mean).powi(2)).sum::<f64>() / 100.0;
+        let var: f64 = (0..100)
+            .map(|i| (d.regression_target(i) - mean).powi(2))
+            .sum::<f64>()
+            / 100.0;
         assert!(var > 0.01, "targets degenerate: var {var}");
     }
 

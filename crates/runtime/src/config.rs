@@ -37,7 +37,10 @@ impl WorkerBehavior {
     ///
     /// Panics if `rate` is not positive and finite.
     pub fn with_throttle(mut self, rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "throttle rate must be positive");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "throttle rate must be positive"
+        );
         self.throttle_samples_per_sec = Some(rate);
         self
     }
@@ -129,8 +132,8 @@ mod tests {
 
     #[test]
     fn config_defaults_and_growth() {
-        let cfg = RuntimeConfig::nominal(2)
-            .set_behavior(4, WorkerBehavior::nominal().failing_from(1));
+        let cfg =
+            RuntimeConfig::nominal(2).set_behavior(4, WorkerBehavior::nominal().failing_from(1));
         assert_eq!(cfg.behaviors.len(), 5);
         assert!(cfg.behavior_of(1).responds_at(9));
         assert!(!cfg.behavior_of(4).responds_at(1));

@@ -33,7 +33,10 @@ impl fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RuntimeError::InvalidConfig { reason } => write!(f, "invalid runtime config: {reason}"),
-            RuntimeError::Undecodable { iteration, received } => write!(
+            RuntimeError::Undecodable {
+                iteration,
+                received,
+            } => write!(
                 f,
                 "iteration {iteration} undecodable after {received} results (too many stragglers)"
             ),
@@ -47,7 +50,9 @@ impl Error for RuntimeError {}
 
 impl From<hetgc_coding::CodingError> for RuntimeError {
     fn from(e: hetgc_coding::CodingError) -> Self {
-        RuntimeError::Coding { message: e.to_string() }
+        RuntimeError::Coding {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -57,12 +62,23 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(RuntimeError::InvalidConfig { reason: "x".into() }.to_string().contains("invalid"));
-        assert!(RuntimeError::Undecodable { iteration: 3, received: 2 }
+        assert!(RuntimeError::InvalidConfig { reason: "x".into() }
             .to_string()
-            .contains("iteration 3"));
-        assert!(RuntimeError::WorkerLost { worker: 1 }.to_string().contains("worker 1"));
-        assert!(RuntimeError::Coding { message: "m".into() }.to_string().contains("coding"));
+            .contains("invalid"));
+        assert!(RuntimeError::Undecodable {
+            iteration: 3,
+            received: 2
+        }
+        .to_string()
+        .contains("iteration 3"));
+        assert!(RuntimeError::WorkerLost { worker: 1 }
+            .to_string()
+            .contains("worker 1"));
+        assert!(RuntimeError::Coding {
+            message: "m".into()
+        }
+        .to_string()
+        .contains("coding"));
     }
 
     #[test]

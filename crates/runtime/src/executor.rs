@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgc_cluster::PartitionAssignment;
-use hetgc_coding::{CodingMatrix, OnlineDecoder};
+use hetgc_coding::{CodingMatrix, CompiledCodec, GradientCodec};
 use hetgc_ml::{Dataset, Model, Optimizer};
 use rand::RngCore;
 
@@ -35,7 +35,10 @@ impl TrainingReport {
         if self.iteration_times.is_empty() {
             return 0.0;
         }
-        self.iteration_times.iter().map(Duration::as_secs_f64).sum::<f64>()
+        self.iteration_times
+            .iter()
+            .map(Duration::as_secs_f64)
+            .sum::<f64>()
             / self.iteration_times.len() as f64
     }
 }
@@ -48,7 +51,7 @@ impl TrainingReport {
 /// [`run`]: ThreadedTrainer::run
 #[derive(Debug)]
 pub struct ThreadedTrainer<M, O> {
-    code: CodingMatrix,
+    codec: CompiledCodec,
     model: Arc<M>,
     data: Arc<Dataset>,
     optimizer: O,
@@ -74,12 +77,13 @@ where
         optimizer: O,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
-        let assignment =
-            PartitionAssignment::even(data.len(), code.partitions()).map_err(|e| {
-                RuntimeError::InvalidConfig { reason: format!("partitioning failed: {e}") }
-            })?;
+        let assignment = PartitionAssignment::even(data.len(), code.partitions()).map_err(|e| {
+            RuntimeError::InvalidConfig {
+                reason: format!("partitioning failed: {e}"),
+            }
+        })?;
         Ok(ThreadedTrainer {
-            code,
+            codec: CompiledCodec::new(code),
             model: Arc::new(model),
             data: Arc::new(data),
             optimizer,
@@ -90,7 +94,7 @@ where
 
     /// Number of workers.
     pub fn workers(&self) -> usize {
-        self.code.workers()
+        self.codec.workers()
     }
 
     /// Trains for `iterations` rounds, returning the loss/timing report.
@@ -100,8 +104,12 @@ where
     /// * [`RuntimeError::Undecodable`] if an iteration cannot decode within
     ///   the configured timeout (too many failed workers for `s`).
     /// * [`RuntimeError::WorkerLost`] if a worker thread panics.
-    pub fn run(mut self, iterations: usize, rng: &mut dyn RngCore) -> Result<TrainingReport, RuntimeError> {
-        let m = self.code.workers();
+    pub fn run(
+        mut self,
+        iterations: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<TrainingReport, RuntimeError> {
+        let m = self.codec.workers();
         let (from_tx, from_rx) = unbounded::<FromWorker>();
         let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(m);
         let mut handles = Vec::with_capacity(m);
@@ -109,13 +117,14 @@ where
         for w in 0..m {
             let (to_tx, to_rx) = unbounded::<ToWorker>();
             to_workers.push(to_tx);
-            let support = self.code.support_of(w);
+            // The codec's precompiled CSR row is exactly the worker's
+            // marching orders: which partitions, with which coefficients.
+            let support = self.codec.support_of(w);
             let ranges: Vec<(usize, usize)> = support
                 .iter()
                 .map(|&p| self.assignment.range(p).expect("support within k"))
                 .collect();
-            let coefficients: Vec<f64> =
-                support.iter().map(|&p| self.code.row(w)[p]).collect();
+            let coefficients: Vec<f64> = self.codec.coefficients_of(w).to_vec();
             let ctx = WorkerContext {
                 index: w,
                 model: Arc::clone(&self.model),
@@ -154,22 +163,30 @@ where
         let mut iteration_times = Vec::with_capacity(iterations);
         let mut results_used = Vec::with_capacity(iterations);
 
+        // One streaming session for the whole run: reset per iteration,
+        // elimination buffers reused.
+        let mut session = self.codec.session();
         for iter in 1..=iterations {
             let started = Instant::now();
             let shared = Arc::new(params.clone());
             for (w, tx) in to_workers.iter().enumerate() {
-                tx.send(ToWorker::Round { iteration: iter, params: Arc::clone(&shared) })
-                    .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
+                tx.send(ToWorker::Round {
+                    iteration: iter,
+                    params: Arc::clone(&shared),
+                })
+                .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
             }
 
-            let mut decoder = OnlineDecoder::new(&self.code);
+            session.reset();
             let mut received: HashMap<usize, Vec<f64>> = HashMap::new();
-            let decode_vec = loop {
+            let plan = loop {
                 let msg = match self.config.iteration_timeout {
-                    Some(t) => from_rx.recv_timeout(t).map_err(|_| RuntimeError::Undecodable {
-                        iteration: iter,
-                        received: received.len(),
-                    })?,
+                    Some(t) => from_rx
+                        .recv_timeout(t)
+                        .map_err(|_| RuntimeError::Undecodable {
+                            iteration: iter,
+                            received: received.len(),
+                        })?,
                     None => from_rx.recv().map_err(|_| RuntimeError::Undecodable {
                         iteration: iter,
                         received: received.len(),
@@ -180,19 +197,16 @@ where
                 }
                 let worker = msg.worker;
                 received.insert(worker, msg.coded);
-                if let Some(a) = decoder.push(worker)? {
-                    break a;
+                if let Some(plan) = session.push(worker)? {
+                    break plan;
                 }
             };
 
             // g = Σ a_w · g̃_w, normalized to a mean gradient.
             let mut gradient = vec![0.0; self.model.num_params()];
             let mut used = 0;
-            for (w, coded) in &received {
-                let coef = decode_vec[*w];
-                if coef == 0.0 {
-                    continue;
-                }
+            for (w, coef) in plan.iter() {
+                let coded = &received[&w];
                 used += 1;
                 for (g, c) in gradient.iter_mut().zip(coded) {
                     *g += coef * c;
@@ -208,7 +222,12 @@ where
             results_used.push(used);
         }
 
-        Ok(TrainingReport { losses, iteration_times, results_used, params })
+        Ok(TrainingReport {
+            losses,
+            iteration_times,
+            results_used,
+            params,
+        })
     }
 }
 
@@ -241,7 +260,11 @@ mod tests {
         assert_eq!(trainer.workers(), 3);
         let report = trainer.run(25, &mut rng).unwrap();
         assert_eq!(report.losses.len(), 25);
-        assert!(report.losses[24] < report.losses[0] * 0.5, "{:?}", report.losses);
+        assert!(
+            report.losses[24] < report.losses[0] * 0.5,
+            "{:?}",
+            report.losses
+        );
         assert!(report.avg_iteration_seconds() >= 0.0);
     }
 
@@ -292,8 +315,8 @@ mod tests {
     fn survives_worker_failure() {
         let mut rng = StdRng::seed_from_u64(3);
         let code = heter_aware(&[1.0, 1.0, 1.0, 1.0], 4, 1, &mut rng).unwrap();
-        let config = RuntimeConfig::nominal(4)
-            .set_behavior(2, WorkerBehavior::nominal().failing_from(3));
+        let config =
+            RuntimeConfig::nominal(4).set_behavior(2, WorkerBehavior::nominal().failing_from(3));
         let trainer = ThreadedTrainer::new(
             code,
             LinearRegression::new(3),
@@ -324,7 +347,10 @@ mod tests {
         )
         .unwrap();
         let err = trainer.run(3, &mut rng).unwrap_err();
-        assert!(matches!(err, RuntimeError::Undecodable { iteration: 1, .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::Undecodable { iteration: 1, .. }
+        ));
     }
 
     #[test]
@@ -347,7 +373,11 @@ mod tests {
         let report = trainer.run(3, &mut rng).unwrap();
         // 3 iterations × 400 ms would be 1.2 s if we waited; decoding from
         // the other 3 workers should finish far sooner.
-        assert!(started.elapsed() < Duration::from_millis(900), "{:?}", started.elapsed());
+        assert!(
+            started.elapsed() < Duration::from_millis(900),
+            "{:?}",
+            started.elapsed()
+        );
         assert_eq!(report.losses.len(), 3);
     }
 

@@ -8,10 +8,12 @@
 //! at a configured iteration.
 //!
 //! This is the piece that demonstrates the schemes end-to-end outside of
-//! simulated time: the master decodes with `hetgc_coding::OnlineDecoder`
-//! at the earliest decodable set of arrivals, applies the exact aggregated
-//! gradient, and keeps iterating even while injected workers are dead —
-//! the paper's fault-tolerance claim made concrete.
+//! simulated time: the master compiles its strategy into a
+//! `hetgc_coding::CompiledCodec`, streams arrivals through one reusable
+//! `CodecSession` (reset per round) to decode at the earliest decodable
+//! set, applies the exact aggregated gradient, and keeps iterating even
+//! while injected workers are dead — the paper's fault-tolerance claim
+//! made concrete.
 //!
 //! ```
 //! use hetgc_coding::heter_aware;

@@ -41,8 +41,15 @@ mod tests {
     #[test]
     fn round_shares_params() {
         let params = Arc::new(vec![1.0, 2.0]);
-        let msg = ToWorker::Round { iteration: 1, params: Arc::clone(&params) };
-        if let ToWorker::Round { params: p, iteration } = msg {
+        let msg = ToWorker::Round {
+            iteration: 1,
+            params: Arc::clone(&params),
+        };
+        if let ToWorker::Round {
+            params: p,
+            iteration,
+        } = msg
+        {
             assert_eq!(iteration, 1);
             assert_eq!(*p, vec![1.0, 2.0]);
             assert_eq!(Arc::strong_count(&params), 2);
@@ -53,7 +60,12 @@ mod tests {
 
     #[test]
     fn from_worker_fields() {
-        let m = FromWorker { worker: 2, iteration: 5, coded: vec![0.5], compute_seconds: 0.1 };
+        let m = FromWorker {
+            worker: 2,
+            iteration: 5,
+            coded: vec![0.5],
+            compute_seconds: 0.1,
+        };
         assert_eq!(m.worker, 2);
         assert_eq!(m.iteration, 5);
         assert_eq!(m.coded, vec![0.5]);

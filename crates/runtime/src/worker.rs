@@ -92,7 +92,11 @@ mod tests {
     fn spawn_worker(
         behavior: WorkerBehavior,
         coef: f64,
-    ) -> (Sender<ToWorker>, Receiver<FromWorker>, std::thread::JoinHandle<()>) {
+    ) -> (
+        Sender<ToWorker>,
+        Receiver<FromWorker>,
+        std::thread::JoinHandle<()>,
+    ) {
         let mut rng = StdRng::seed_from_u64(3);
         let data = Arc::new(synthetic::linear_regression(10, 2, 0.0, &mut rng));
         let model = Arc::new(LinearRegression::new(2));
@@ -116,7 +120,11 @@ mod tests {
     fn worker_computes_encoded_gradient() {
         let (tx, rx, handle) = spawn_worker(WorkerBehavior::nominal(), 2.0);
         let params = Arc::new(vec![0.1, -0.2, 0.05]);
-        tx.send(ToWorker::Round { iteration: 1, params: Arc::clone(&params) }).unwrap();
+        tx.send(ToWorker::Round {
+            iteration: 1,
+            params: Arc::clone(&params),
+        })
+        .unwrap();
         let reply = rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(reply.worker, 0);
         assert_eq!(reply.iteration, 1);
@@ -137,9 +145,17 @@ mod tests {
     fn failed_worker_stays_silent() {
         let (tx, rx, handle) = spawn_worker(WorkerBehavior::nominal().failing_from(2), 1.0);
         let params = Arc::new(vec![0.0; 3]);
-        tx.send(ToWorker::Round { iteration: 1, params: Arc::clone(&params) }).unwrap();
+        tx.send(ToWorker::Round {
+            iteration: 1,
+            params: Arc::clone(&params),
+        })
+        .unwrap();
         assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
-        tx.send(ToWorker::Round { iteration: 2, params }).unwrap();
+        tx.send(ToWorker::Round {
+            iteration: 2,
+            params,
+        })
+        .unwrap();
         assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
         tx.send(ToWorker::Shutdown).unwrap();
         handle.join().unwrap();
@@ -155,12 +171,19 @@ mod tests {
     #[test]
     fn throttle_stretches_iteration() {
         // 10 samples at 50 samples/sec → ≥ 200 ms.
-        let (tx, rx, handle) =
-            spawn_worker(WorkerBehavior::nominal().with_throttle(50.0), 1.0);
+        let (tx, rx, handle) = spawn_worker(WorkerBehavior::nominal().with_throttle(50.0), 1.0);
         let start = Instant::now();
-        tx.send(ToWorker::Round { iteration: 1, params: Arc::new(vec![0.0; 3]) }).unwrap();
+        tx.send(ToWorker::Round {
+            iteration: 1,
+            params: Arc::new(vec![0.0; 3]),
+        })
+        .unwrap();
         let _ = rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert!(start.elapsed() >= Duration::from_millis(180), "{:?}", start.elapsed());
+        assert!(
+            start.elapsed() >= Duration::from_millis(180),
+            "{:?}",
+            start.elapsed()
+        );
         tx.send(ToWorker::Shutdown).unwrap();
         handle.join().unwrap();
     }

@@ -11,12 +11,17 @@
 //! = arrival    result lands at the master
 //! ```
 //!
-//! The master feeds arrivals into an `OnlineDecoder` and finishes at the
+//! The master feeds arrivals into a `CodecSession` and finishes at the
 //! earliest decodable prefix — which is what makes the group-based scheme
 //! profitable: an intact group decodes long before `m−s` generic rows do.
+//!
+//! Everything is parameterized over [`hetgc_coding::GradientCodec`]: pass
+//! a `CompiledCodec` (and reuse one session across iterations via
+//! [`simulate_bsp_iteration_in`]) on hot paths, or a raw `CodingMatrix`
+//! for one-off analysis.
 
 use hetgc_cluster::StragglerEvent;
-use hetgc_coding::{CodingMatrix, OnlineDecoder};
+use hetgc_coding::{CodecSession, GradientCodec};
 use rand::Rng;
 
 use crate::error::SimError;
@@ -149,19 +154,42 @@ impl BspIteration {
     }
 }
 
-/// Simulates one BSP iteration of `code` under the given straggler events.
+/// Simulates one BSP iteration of `codec` under the given straggler
+/// events, spawning a fresh decode session.
+///
+/// When simulating many iterations of the same codec, hold one session
+/// and call [`simulate_bsp_iteration_in`] instead: the session's
+/// elimination buffers are then reused round over round.
 ///
 /// # Errors
 ///
 /// [`SimError::InvalidConfig`] when `rates`/`events` lengths disagree with
 /// the code's worker count or contain non-positive rates.
-pub fn simulate_bsp_iteration<R: Rng + ?Sized>(
-    code: &CodingMatrix,
+pub fn simulate_bsp_iteration<C: GradientCodec + ?Sized, R: Rng + ?Sized>(
+    codec: &C,
     cfg: &BspIterationConfig<'_>,
     events: &[StragglerEvent],
     rng: &mut R,
 ) -> Result<BspIteration, SimError> {
-    let m = code.workers();
+    let mut session = codec.session();
+    simulate_bsp_iteration_in(codec, cfg, events, rng, &mut session)
+}
+
+/// [`simulate_bsp_iteration`] decoding through a caller-owned session
+/// (reset here before use), the zero-allocation steady-state path.
+///
+/// # Errors
+///
+/// [`SimError::InvalidConfig`] under the same conditions as
+/// [`simulate_bsp_iteration`].
+pub fn simulate_bsp_iteration_in<C: GradientCodec + ?Sized, R: Rng + ?Sized>(
+    codec: &C,
+    cfg: &BspIterationConfig<'_>,
+    events: &[StragglerEvent],
+    rng: &mut R,
+    session: &mut CodecSession,
+) -> Result<BspIteration, SimError> {
+    let m = codec.workers();
     if cfg.rates.len() != m {
         return Err(SimError::InvalidConfig {
             reason: format!("rates len {} != m={m}", cfg.rates.len()),
@@ -173,17 +201,23 @@ pub fn simulate_bsp_iteration<R: Rng + ?Sized>(
         });
     }
     if cfg.rates.iter().any(|&r| !(r.is_finite() && r > 0.0)) {
-        return Err(SimError::InvalidConfig { reason: "rates must be positive".into() });
+        return Err(SimError::InvalidConfig {
+            reason: "rates must be positive".into(),
+        });
     }
     let work_ok = cfg.work_per_partition > 0.0; // false for NaN too
     if !work_ok {
-        return Err(SimError::InvalidConfig { reason: "work_per_partition must be positive".into() });
+        return Err(SimError::InvalidConfig {
+            reason: "work_per_partition must be positive".into(),
+        });
     }
 
-    let comm = cfg.network.transfer_time(cfg.payload_bytes / cfg.overlap_chunks as f64);
+    let comm = cfg
+        .network
+        .transfer_time(cfg.payload_bytes / cfg.overlap_chunks as f64);
     let mut arrivals: Vec<Arrival> = (0..m)
         .map(|w| {
-            let base = code.load_of(w) as f64 * cfg.work_per_partition / cfg.rates[w];
+            let base = codec.load_of(w) as f64 * cfg.work_per_partition / cfg.rates[w];
             let jitter = if cfg.compute_jitter > 0.0 {
                 (1.0 + cfg.compute_jitter * standard_normal(rng)).max(0.05)
             } else {
@@ -191,22 +225,30 @@ pub fn simulate_bsp_iteration<R: Rng + ?Sized>(
             };
             let delay = events[w].extra_delay();
             let compute_end = cfg.broadcast_time + base * jitter + delay;
-            let arrive = if compute_end.is_finite() { compute_end + comm } else { f64::INFINITY };
-            Arrival { worker: w, compute_end, arrive }
+            let arrive = if compute_end.is_finite() {
+                compute_end + comm
+            } else {
+                f64::INFINITY
+            };
+            Arrival {
+                worker: w,
+                compute_end,
+                arrive,
+            }
         })
         .collect();
     arrivals.sort_by(|a, b| a.arrive.partial_cmp(&b.arrive).expect("no NaN times"));
 
-    let mut decoder = OnlineDecoder::new(code);
+    session.reset();
     let mut completion = None;
     let mut decode_vector = Vec::new();
     for arr in &arrivals {
         if !arr.arrive.is_finite() {
             break; // failures never arrive
         }
-        if let Some(a) = decoder.push(arr.worker)? {
+        if let Some(plan) = session.push(arr.worker)? {
             completion = Some(arr.arrive);
-            decode_vector = a;
+            decode_vector = plan.to_dense();
             break;
         }
     }
@@ -222,7 +264,13 @@ pub fn simulate_bsp_iteration<R: Rng + ?Sized>(
         .map(|(w, _)| w)
         .collect();
 
-    Ok(BspIteration { completion, arrivals, decode_workers, decode_vector, busy })
+    Ok(BspIteration {
+        completion,
+        arrivals,
+        decode_workers,
+        decode_vector,
+        busy,
+    })
 }
 
 /// Useful compute time per worker, capped at iteration completion.
@@ -244,7 +292,7 @@ fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetgc_coding::{cyclic, heter_aware, naive};
+    use hetgc_coding::{cyclic, heter_aware, naive, CodingMatrix, CompiledCodec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -266,8 +314,7 @@ mod tests {
     fn noiseless_heter_aware_completes_at_optimum() {
         let code = heter_code(1);
         let cfg = BspIterationConfig::new(&RATES).network(NetworkModel::instantaneous());
-        let out =
-            simulate_bsp_iteration(&code, &cfg, &no_events(5), &mut rng(2)).unwrap();
+        let out = simulate_bsp_iteration(&code, &cfg, &no_events(5), &mut rng(2)).unwrap();
         // All workers finish at exactly (s+1)k/Σc = 1.0; master decodes at
         // the (m−s)-th arrival = 1.0.
         let t = out.completion.unwrap();
@@ -355,10 +402,31 @@ mod tests {
     }
 
     #[test]
+    fn compiled_codec_with_reused_session_matches_fresh_runs() {
+        let code = heter_code(33);
+        let codec = CompiledCodec::new(code.clone());
+        let cfg = BspIterationConfig::new(&RATES).network(NetworkModel::instantaneous());
+        let mut session = codec.session();
+        for seed in 40..44 {
+            let mut events = no_events(5);
+            events[(seed % 5) as usize] = StragglerEvent::Delayed(2.0);
+            let fresh = simulate_bsp_iteration(&code, &cfg, &events, &mut rng(seed)).unwrap();
+            let reused =
+                simulate_bsp_iteration_in(&codec, &cfg, &events, &mut rng(seed), &mut session)
+                    .unwrap();
+            assert_eq!(fresh.completion, reused.completion);
+            assert_eq!(fresh.decode_vector, reused.decode_vector);
+            assert_eq!(fresh.decode_workers, reused.decode_workers);
+        }
+    }
+
+    #[test]
     fn network_adds_latency() {
         let code = heter_code(13);
         let slow_net = NetworkModel::new(0.5, 1e9);
-        let cfg = BspIterationConfig::new(&RATES).network(slow_net).payload_bytes(0.0);
+        let cfg = BspIterationConfig::new(&RATES)
+            .network(slow_net)
+            .payload_bytes(0.0);
         let out = simulate_bsp_iteration(&code, &cfg, &no_events(5), &mut rng(14)).unwrap();
         let t = out.completion.unwrap();
         assert!((t - 1.5).abs() < 1e-9, "compute 1.0 + latency 0.5, got {t}");
@@ -436,8 +504,10 @@ mod tests {
     fn overlap_hides_communication() {
         let code = heter_code(29);
         let slow_net = NetworkModel::new(0.0, 1000.0); // 1 KB/s
-        // 4000-byte payload → 4 s exposed without overlap.
-        let plain = BspIterationConfig::new(&RATES).network(slow_net).payload_bytes(4000.0);
+                                                       // 4000-byte payload → 4 s exposed without overlap.
+        let plain = BspIterationConfig::new(&RATES)
+            .network(slow_net)
+            .payload_bytes(4000.0);
         let t_plain = simulate_bsp_iteration(&code, &plain, &no_events(5), &mut rng(30))
             .unwrap()
             .completion

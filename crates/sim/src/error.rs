@@ -29,7 +29,9 @@ impl Error for SimError {}
 
 impl From<hetgc_coding::CodingError> for SimError {
     fn from(e: hetgc_coding::CodingError) -> Self {
-        SimError::Coding { message: e.to_string() }
+        SimError::Coding {
+            message: e.to_string(),
+        }
     }
 }
 
@@ -41,7 +43,9 @@ mod tests {
     fn display() {
         let e = SimError::InvalidConfig { reason: "x".into() };
         assert!(e.to_string().contains("invalid"));
-        let c = SimError::Coding { message: "y".into() };
+        let c = SimError::Coding {
+            message: "y".into(),
+        };
         assert!(c.to_string().contains("coding"));
     }
 

@@ -8,9 +8,10 @@
 //! * [`simulate_bsp_iteration`] — one BSP round: workers compute their
 //!   coded load (heterogeneous rates × multiplicative jitter × injected
 //!   straggler delay), results travel through a [`NetworkModel`], and the
-//!   master decodes at the **earliest decodable prefix** using
-//!   `hetgc_coding::OnlineDecoder`. Returns per-worker timings for the
-//!   Fig. 5 resource-usage metric.
+//!   master decodes at the **earliest decodable prefix** through any
+//!   `hetgc_coding::GradientCodec` (pass a `CompiledCodec` plus a reused
+//!   session via [`simulate_bsp_iteration_in`] on hot paths). Returns
+//!   per-worker timings for the Fig. 5 resource-usage metric.
 //! * [`SspEngine`] — a stale-synchronous-parallel engine (bounded
 //!   staleness) producing the asynchronous update schedule that Fig. 4
 //!   compares against.
@@ -46,7 +47,9 @@ mod queue;
 mod ssp;
 mod trace;
 
-pub use bsp::{simulate_bsp_iteration, Arrival, BspIteration, BspIterationConfig};
+pub use bsp::{
+    simulate_bsp_iteration, simulate_bsp_iteration_in, Arrival, BspIteration, BspIterationConfig,
+};
 pub use error::SimError;
 pub use metrics::{ResourceUsage, RunMetrics};
 pub use network::NetworkModel;

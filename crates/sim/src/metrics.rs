@@ -106,7 +106,10 @@ impl RunMetrics {
 
     /// Resource usage over the whole run (Fig. 5).
     pub fn resource_usage(&self) -> ResourceUsage {
-        ResourceUsage { compute_seconds: self.compute_seconds, total_seconds: self.total_seconds }
+        ResourceUsage {
+            compute_seconds: self.compute_seconds,
+            total_seconds: self.total_seconds,
+        }
     }
 
     /// Total wall-clock time of all completed iterations.
@@ -156,7 +159,11 @@ mod tests {
         use crate::bsp::{Arrival, BspIteration};
         let it = BspIteration {
             completion: Some(2.0),
-            arrivals: vec![Arrival { worker: 0, compute_end: 2.0, arrive: 2.0 }],
+            arrivals: vec![Arrival {
+                worker: 0,
+                compute_end: 2.0,
+                arrive: 2.0,
+            }],
             decode_workers: vec![0],
             decode_vector: vec![1.0],
             busy: vec![2.0, 1.0],

@@ -36,15 +36,24 @@ impl NetworkModel {
     ///
     /// Panics if `latency < 0` or `bandwidth <= 0`.
     pub fn new(latency: f64, bandwidth: f64) -> Self {
-        assert!(latency >= 0.0 && latency.is_finite(), "latency must be non-negative");
-        assert!(bandwidth > 0.0 && bandwidth.is_finite(), "bandwidth must be positive");
+        assert!(
+            latency >= 0.0 && latency.is_finite(),
+            "latency must be non-negative"
+        );
+        assert!(
+            bandwidth > 0.0 && bandwidth.is_finite(),
+            "bandwidth must be positive"
+        );
         NetworkModel { latency, bandwidth }
     }
 
     /// An instantaneous network (pure computation studies): zero latency,
     /// infinite bandwidth, so [`NetworkModel::transfer_time`] is exactly 0.
     pub fn instantaneous() -> Self {
-        NetworkModel { latency: 0.0, bandwidth: f64::INFINITY }
+        NetworkModel {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+        }
     }
 
     /// A LAN-ish default: 0.5 ms latency, 1 Gbit/s ≈ 1.25e8 B/s — in the

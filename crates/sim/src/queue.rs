@@ -61,7 +61,10 @@ impl<T> Ord for Entry<T> {
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` at `time`.
@@ -73,7 +76,11 @@ impl<T> EventQueue<T> {
     /// violation later).
     pub fn push(&mut self, time: f64, payload: T) {
         assert!(!time.is_nan(), "event time must not be NaN");
-        self.heap.push(Entry { time, seq: self.seq, payload });
+        self.heap.push(Entry {
+            time,
+            seq: self.seq,
+            payload,
+        });
         self.seq += 1;
     }
 

@@ -72,7 +72,9 @@ impl SspEngine {
     /// non-positive/non-finite time.
     pub fn new(iter_times: Vec<f64>, staleness: usize) -> Result<Self, SimError> {
         if iter_times.is_empty() {
-            return Err(SimError::InvalidConfig { reason: "no workers".into() });
+            return Err(SimError::InvalidConfig {
+                reason: "no workers".into(),
+            });
         }
         if iter_times.iter().any(|&t| !(t.is_finite() && t > 0.0)) {
             return Err(SimError::InvalidConfig {
@@ -118,7 +120,11 @@ impl SspEngine {
         let (time, worker) = self.queue.pop()?;
         self.now = time;
         self.completed[worker] += 1;
-        let event = SspEvent { time, worker, iteration: self.completed[worker] };
+        let event = SspEvent {
+            time,
+            worker,
+            iteration: self.completed[worker],
+        };
 
         // Can this worker start its next iteration, or is it gated?
         let min_completed = *self.completed.iter().min().expect("non-empty");
@@ -181,7 +187,12 @@ mod tests {
             assert!(ev.iteration <= slow.len() + 3 + 1, "runaway fast worker");
         }
         // Fast is throttled to ~1 iteration per slow iteration + slack.
-        assert!(fast.len() <= slow.len() + 3, "fast {} slow {}", fast.len(), slow.len());
+        assert!(
+            fast.len() <= slow.len() + 3,
+            "fast {} slow {}",
+            fast.len(),
+            slow.len()
+        );
     }
 
     #[test]

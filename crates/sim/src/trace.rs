@@ -125,7 +125,10 @@ mod tests {
         let it = iteration(None);
         let trace = IterationTrace::new(&it).render();
         for w in 0..5 {
-            assert!(trace.contains(&format!("W{w}")), "missing W{w} in:\n{trace}");
+            assert!(
+                trace.contains(&format!("W{w}")),
+                "missing W{w} in:\n{trace}"
+            );
         }
         assert!(trace.contains("DECODE"));
         assert!(trace.contains("round starts"));
@@ -145,8 +148,11 @@ mod tests {
         let g = IterationTrace::new(&it).gantt(20);
         assert_eq!(g.lines().count(), 5);
         for line in g.lines() {
-            let bar: String =
-                line.chars().skip_while(|&c| c != '|').take_while(|&c| c != ' ').collect();
+            let bar: String = line
+                .chars()
+                .skip_while(|&c| c != '|')
+                .take_while(|&c| c != ' ')
+                .collect();
             assert!(bar.len() <= 22 + 1, "bar too wide: {line}");
         }
     }

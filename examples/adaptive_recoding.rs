@@ -13,22 +13,30 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
-    let cluster =
-        ClusterSpec::from_vcpu_rows("demo", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0)?;
+    let cluster = ClusterSpec::from_vcpu_rows("demo", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0)?;
     println!(
         "4-worker cluster ({} units/s total); at iteration 15, workers 2 and 3\n\
          lose 70% of their speed (a noisy neighbour arrives).\n",
         cluster.total_throughput()
     );
 
-    let drift = RateDrift::StepChange { at: 15, factors: vec![1.0, 1.0, 0.3, 0.3] };
-    let cfg = AdaptiveConfig { iterations: 60, reestimate_every: 5, ..Default::default() };
+    let drift = RateDrift::StepChange {
+        at: 15,
+        factors: vec![1.0, 1.0, 0.3, 0.3],
+    };
+    let cfg = AdaptiveConfig {
+        iterations: 60,
+        reestimate_every: 5,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(11);
-    let (static_run, adaptive_run) =
-        compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng)?;
+    let (static_run, adaptive_run) = compare_static_vs_adaptive(&cluster, &drift, &cfg, &mut rng)?;
 
     let ts = static_run.metrics.avg_iteration_time().unwrap_or(f64::NAN);
-    let ta = adaptive_run.metrics.avg_iteration_time().unwrap_or(f64::NAN);
+    let ta = adaptive_run
+        .metrics
+        .avg_iteration_time()
+        .unwrap_or(f64::NAN);
     println!("static  (code built once):        {ts:.3} s/iter");
     println!(
         "adaptive (re-coded every {} iters): {ta:.3} s/iter  ({:.2}x, {} rebuilds)",

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         "Cluster-A, s = 1, no injected stragglers; sweeping throughput-estimation noise.\n\
          avg iteration time (s):\n"
     );
-    println!("{:>8}  {:>12}  {:>12}", "noise", "heter-aware", "group-based");
+    println!(
+        "{:>8}  {:>12}  {:>12}",
+        "noise", "heter-aware", "group-based"
+    );
 
     for sigma in [0.0, 0.05, 0.10, 0.20, 0.40] {
         let mut rng = StdRng::seed_from_u64(100 + (sigma * 100.0) as u64);

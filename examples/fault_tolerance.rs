@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     // Two workers die: the 12-vCPU node and an 8-vCPU node (the worst case
     // for schemes that leaned on fast machines).
-    let faults = StragglerModel::Failures { workers: vec![7, 4] };
+    let faults = StragglerModel::Failures {
+        workers: vec![7, 4],
+    };
     let cfg = SimTrainConfig {
         iterations: 25,
         learning_rate: 0.3,
@@ -32,9 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         ..SimTrainConfig::default()
     };
 
-    println!(
-        "Cluster-A with workers 4 and 7 dead (s = 2 designed tolerance):\n"
-    );
+    println!("Cluster-A with workers 4 and 7 dead (s = 2 designed tolerance):\n");
     for kind in SchemeKind::PAPER {
         let scheme = SchemeBuilder::new(&cluster, 2).build(kind, &mut rng)?;
         let out = train_bsp_sim(&scheme, &model, &data, &rates, &cfg, &mut rng)?;

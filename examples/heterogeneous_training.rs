@@ -40,8 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     }
 
     println!("\nloss vs simulated time (darker = higher loss):");
-    let series: Vec<(String, Vec<(f64, f64)>)> =
-        curves.iter().map(|c| (c.label.clone(), c.points.clone())).collect();
+    let series: Vec<(String, Vec<(f64, f64)>)> = curves
+        .iter()
+        .map(|c| (c.label.clone(), c.points.clone()))
+        .collect();
     println!("{}", render_curves(&series, 60));
 
     // Headline numbers: wall-clock speedup of the heterogeneity-aware

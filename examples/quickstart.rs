@@ -1,12 +1,12 @@
-//! Quickstart: build the paper's Example 1 cluster, construct every coding
-//! scheme, and watch the master decode the exact aggregated gradient while
-//! a worker straggles.
+//! Quickstart: build the paper's Example 1 cluster, compile the coding
+//! scheme into a `GradientCodec`, and watch the master decode the exact
+//! aggregated gradient while a worker straggles.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use hetgc::{decode_vector, heter_aware, naive, verify_condition_c1, OnlineDecoder};
+use hetgc::{heter_aware, naive, verify_condition_c1, CompiledCodec, GradientCodec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,58 +19,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let code = heter_aware(&throughputs, k, s, &mut rng)?;
     println!("heter-aware coding matrix: {code}");
+
+    // Compile once: sparse supports, coefficient slices, decode-plan cache.
+    let codec = CompiledCodec::new(code);
     println!("worker loads n_i (proportional to c_i): {:?}", {
-        let loads: Vec<usize> = (0..5).map(|w| code.load_of(w)).collect();
+        let loads: Vec<usize> = (0..5).map(|w| codec.load_of(w)).collect();
         loads
     });
 
     // Every worker finishes its local batch in the same time — the
     // load-balancing invariant that removes consistent stragglers.
     for (w, &c) in throughputs.iter().enumerate() {
-        println!("  worker {w}: t = ‖b‖₀/c = {:.3}s", code.computation_time(w, c));
+        println!(
+            "  worker {w}: t = ‖b‖₀/c = {:.3}s  (supp = {:?})",
+            codec.code().computation_time(w, c)?,
+            codec.support_of(w),
+        );
     }
 
     // Robustness: Condition C1 holds for every straggler pattern.
-    verify_condition_c1(&code)?;
+    verify_condition_c1(codec.code())?;
     println!("Condition C1 verified: robust to any {s} straggler(s)");
 
     // Simulate a round where worker 2 never responds. Partial gradients
     // here are tiny 2-d vectors; the j-th partial is [j, 2j].
-    let partials: Vec<Vec<f64>> =
-        (0..k).map(|j| vec![j as f64, 2.0 * j as f64]).collect();
+    let partials: Vec<Vec<f64>> = (0..k).map(|j| vec![j as f64, 2.0 * j as f64]).collect();
     let expected: Vec<f64> = vec![
         partials.iter().map(|g| g[0]).sum(),
         partials.iter().map(|g| g[1]).sum(),
     ];
 
     let survivors = [0usize, 1, 3, 4];
-    let a = decode_vector(&code, &survivors)?;
-    let mut decoded = vec![0.0; 2];
+    let plan = codec.decode_plan(&survivors)?;
+    let mut coded = std::collections::HashMap::new();
     for &w in &survivors {
-        let coded = code.encode(w, &partials)?;
-        for (d, c) in decoded.iter_mut().zip(&coded) {
-            *d += a[w] * c;
-        }
+        coded.insert(w, codec.encode(w, &partials)?);
     }
+    let decoded = plan.combine(&coded)?;
     println!("decoded Σg with worker 2 dead: {decoded:?} (expected {expected:?})");
     assert!(decoded
         .iter()
         .zip(&expected)
         .all(|(d, e)| (d - e).abs() < 1e-9));
 
-    // The online decoder shows *when* the master can stop waiting: after
-    // m − s = 4 results, whatever their order.
-    let mut dec = OnlineDecoder::new(&code);
+    // A second decode over the same survivor set hits the plan cache — the
+    // paper's "regular stragglers" fast path.
+    let _ = codec.decode_plan(&[4, 3, 1, 0])?;
+    println!(
+        "plan cache after a repeat pattern: {} hit(s), {} miss(es)",
+        codec.cache_hits(),
+        codec.cache_misses()
+    );
+
+    // The streaming session shows *when* the master can stop waiting:
+    // after m − s = 4 results, whatever their order. Reset it to reuse
+    // the same buffers next round.
+    let mut session = codec.session();
     for (arrived, w) in [4usize, 3, 1, 0].into_iter().enumerate() {
-        match dec.push(w)? {
+        match session.push(w)? {
             Some(_) => println!("decodable after {} arrivals", arrived + 1),
             None => println!("after {} arrival(s): still waiting", arrived + 1),
         }
     }
+    session.reset();
 
     // Contrast with the naive scheme: it needs *everyone*.
-    let naive_code = naive(5)?;
-    assert!(decode_vector(&naive_code, &survivors).is_err());
+    let naive_codec = CompiledCodec::new(naive(5)?);
+    assert!(naive_codec.decode_plan(&survivors).is_err());
     println!("naive scheme cannot decode without worker 2 — coding pays for itself");
     Ok(())
 }

@@ -28,7 +28,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = RuntimeConfig::nominal(4)
         .set_behavior(
             0,
-            WorkerBehavior::nominal().with_throttle(base_rate).failing_from(6),
+            WorkerBehavior::nominal()
+                .with_throttle(base_rate)
+                .failing_from(6),
         )
         .set_behavior(
             1,

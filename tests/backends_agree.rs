@@ -6,8 +6,8 @@
 use std::time::Duration;
 
 use hetgc::{
-    train_bsp_sim, ClusterSpec, LinearRegression, Model, RuntimeConfig, SchemeBuilder,
-    SchemeKind, Sgd, SimTrainConfig, ThreadedTrainer, WorkerBehavior,
+    train_bsp_sim, ClusterSpec, LinearRegression, Model, RuntimeConfig, SchemeBuilder, SchemeKind,
+    Sgd, SimTrainConfig, ThreadedTrainer, WorkerBehavior,
 };
 use hetgc_ml::synthetic;
 use rand::rngs::StdRng;
@@ -30,13 +30,24 @@ fn simulated_and_threaded_trajectories_match() {
     let model = LinearRegression::new(4);
 
     let mut build_rng = StdRng::seed_from_u64(12);
-    let scheme =
-        SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut build_rng).unwrap();
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut build_rng)
+        .unwrap();
 
-    let sim_cfg = SimTrainConfig { iterations: 12, learning_rate: 0.2, ..Default::default() };
-    let sim =
-        train_bsp_sim(&scheme, &model, &data, &rates, &sim_cfg, &mut StdRng::seed_from_u64(77))
-            .unwrap();
+    let sim_cfg = SimTrainConfig {
+        iterations: 12,
+        learning_rate: 0.2,
+        ..Default::default()
+    };
+    let sim = train_bsp_sim(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &sim_cfg,
+        &mut StdRng::seed_from_u64(77),
+    )
+    .unwrap();
 
     let trainer = ThreadedTrainer::new(
         scheme.code.clone(),
@@ -76,13 +87,14 @@ fn both_backends_agree_on_fault_behaviour() {
         stragglers: hetgc::StragglerModel::Failures { workers: vec![1] },
         ..Default::default()
     };
-    let heter =
-        SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng).unwrap();
-    let naive = SchemeBuilder::new(&cluster, 1).build(SchemeKind::Naive, &mut rng).unwrap();
-    let sim_heter =
-        train_bsp_sim(&heter, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
-    let sim_naive =
-        train_bsp_sim(&naive, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
+    let heter = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut rng)
+        .unwrap();
+    let naive = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::Naive, &mut rng)
+        .unwrap();
+    let sim_heter = train_bsp_sim(&heter, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
+    let sim_naive = train_bsp_sim(&naive, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
     assert!(!sim_heter.stalled);
     assert!(sim_naive.stalled);
 
@@ -99,7 +111,10 @@ fn both_backends_agree_on_fault_behaviour() {
     )
     .unwrap()
     .run(5, &mut rng);
-    assert!(heter_run.is_ok(), "threaded heter-aware must survive the fault");
+    assert!(
+        heter_run.is_ok(),
+        "threaded heter-aware must survive the fault"
+    );
 
     let naive_run = ThreadedTrainer::new(
         naive.code.clone(),
@@ -110,7 +125,10 @@ fn both_backends_agree_on_fault_behaviour() {
     )
     .unwrap()
     .run(5, &mut rng);
-    assert!(naive_run.is_err(), "threaded naive must time out under the fault");
+    assert!(
+        naive_run.is_err(),
+        "threaded naive must time out under the fault"
+    );
 }
 
 /// Loss parity with single-node SGD: the whole distributed apparatus (in
@@ -139,9 +157,19 @@ fn distributed_equals_single_node_sgd() {
     }
 
     let mut rng = StdRng::seed_from_u64(32);
-    for kind in [SchemeKind::Cyclic, SchemeKind::HeterAware, SchemeKind::GroupBased] {
-        let scheme = SchemeBuilder::new(&cluster, 1).build(kind, &mut rng).unwrap();
-        let cfg = SimTrainConfig { iterations: 8, learning_rate: 0.15, ..Default::default() };
+    for kind in [
+        SchemeKind::Cyclic,
+        SchemeKind::HeterAware,
+        SchemeKind::GroupBased,
+    ] {
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(kind, &mut rng)
+            .unwrap();
+        let cfg = SimTrainConfig {
+            iterations: 8,
+            learning_rate: 0.15,
+            ..Default::default()
+        };
         let out = train_bsp_sim(
             &scheme,
             &model,

@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use hetgc::{
-    combine, decode_vector, ClusterSpec, Mlp, Model, SchemeBuilder, SchemeKind,
+    ClusterSpec, DecodePlan, GradientCodec, Mlp, Model, SchemeBuilder, SchemeKind,
     SoftmaxRegression,
 };
 use hetgc_cluster::PartitionAssignment;
@@ -24,23 +24,30 @@ fn decoded_gradient_exact_for_all_single_straggler_patterns() {
     let params = model.init_params(&mut rng);
     let direct = model.gradient(&params, &data, (0, data.len()));
 
-    for kind in [SchemeKind::Cyclic, SchemeKind::HeterAware, SchemeKind::GroupBased] {
-        let scheme = SchemeBuilder::new(&cluster, 1).build(kind, &mut rng).unwrap();
-        let k = scheme.code.partitions();
+    for kind in [
+        SchemeKind::Cyclic,
+        SchemeKind::HeterAware,
+        SchemeKind::GroupBased,
+    ] {
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(kind, &mut rng)
+            .unwrap();
+        let codec = scheme.compile();
+        let k = codec.partitions();
         let assignment = PartitionAssignment::even(data.len(), k).unwrap();
         let ranges: Vec<(usize, usize)> = assignment.iter().collect();
         let partials = partial_gradients(&model, &params, &data, &ranges);
 
         for straggler in 0..cluster.len() {
-            let survivors: Vec<usize> =
-                (0..cluster.len()).filter(|&w| w != straggler).collect();
-            let a = decode_vector(&scheme.code, &survivors)
+            let survivors: Vec<usize> = (0..cluster.len()).filter(|&w| w != straggler).collect();
+            let plan = codec
+                .decode_plan(&survivors)
                 .unwrap_or_else(|e| panic!("{kind}: pattern {straggler}: {e}"));
             let mut coded = HashMap::new();
             for &w in &survivors {
-                coded.insert(w, scheme.code.encode(w, &partials).unwrap());
+                coded.insert(w, codec.encode(w, &partials).unwrap());
             }
-            let decoded = combine(&a, &coded).unwrap();
+            let decoded = plan.combine(&coded).unwrap();
             let err = decoded
                 .iter()
                 .zip(&direct)
@@ -61,26 +68,25 @@ fn decoded_gradient_exact_with_two_stragglers_mlp() {
     let params = model.init_params(&mut rng);
     let direct = model.gradient(&params, &data, (0, data.len()));
 
-    let scheme =
-        SchemeBuilder::new(&cluster, 2).build(SchemeKind::HeterAware, &mut rng).unwrap();
-    let assignment =
-        PartitionAssignment::even(data.len(), scheme.code.partitions()).unwrap();
+    let scheme = SchemeBuilder::new(&cluster, 2)
+        .build(SchemeKind::HeterAware, &mut rng)
+        .unwrap();
+    let codec = scheme.compile();
+    let assignment = PartitionAssignment::even(data.len(), codec.partitions()).unwrap();
     let ranges: Vec<(usize, usize)> = assignment.iter().collect();
     let partials = partial_gradients(&model, &params, &data, &ranges);
 
-    // Random double-straggler patterns.
+    // Random double-straggler patterns (repeats exercise the plan cache).
     let mut workers: Vec<usize> = (0..cluster.len()).collect();
     for _ in 0..12 {
         workers.shuffle(&mut rng);
         let dead = &workers[..2];
-        let survivors: Vec<usize> =
-            (0..cluster.len()).filter(|w| !dead.contains(w)).collect();
-        let a = decode_vector(&scheme.code, &survivors).unwrap();
+        let plan = codec.decode_plan_for_stragglers(dead).unwrap();
         let mut coded = HashMap::new();
-        for &w in &survivors {
-            coded.insert(w, scheme.code.encode(w, &partials).unwrap());
+        for &w in plan.workers() {
+            coded.insert(w, codec.encode(w, &partials).unwrap());
         }
-        let decoded = combine(&a, &coded).unwrap();
+        let decoded = plan.combine(&coded).unwrap();
         let err = decoded
             .iter()
             .zip(&direct)
@@ -112,11 +118,12 @@ fn group_decode_agrees_with_generic_decode() {
     let group = &g.groups()[0];
     let survivors: Vec<usize> = group.workers().to_vec();
     let a = g.group_decode_vector(&survivors).expect("group intact");
+    let plan = DecodePlan::from_dense(&a);
     let mut coded = HashMap::new();
     for &w in &survivors {
         coded.insert(w, g.code().encode(w, &partials).unwrap());
     }
-    let decoded = combine(&a, &coded).unwrap();
+    let decoded = plan.combine(&coded).unwrap();
     for (x, y) in decoded.iter().zip(&direct) {
         assert!((x - y).abs() < 1e-8, "{x} vs {y}");
     }
@@ -128,7 +135,11 @@ fn group_decode_agrees_with_generic_decode() {
 fn all_clusters_all_schemes_robust() {
     let mut rng = StdRng::seed_from_u64(4);
     for cluster in ClusterSpec::table2() {
-        for kind in [SchemeKind::Cyclic, SchemeKind::HeterAware, SchemeKind::GroupBased] {
+        for kind in [
+            SchemeKind::Cyclic,
+            SchemeKind::HeterAware,
+            SchemeKind::GroupBased,
+        ] {
             let scheme = SchemeBuilder::new(&cluster, 1)
                 .build(kind, &mut rng)
                 .unwrap_or_else(|e| panic!("{} {kind}: {e}", cluster.name()));

@@ -6,8 +6,8 @@
 use hetgc::adaptive::{run_with_drift, AdaptiveConfig, RateDrift};
 use hetgc::{
     approximate_decode, gradient_error_bound, simulate_bsp_iteration, under_replicated,
-    BspIterationConfig, ClusterSpec, DecodeCache, IterationTrace, NetworkModel, SchemeBuilder,
-    SchemeKind, StragglerEvent,
+    BspIterationConfig, ClusterSpec, IterationTrace, NetworkModel, SchemeBuilder, SchemeKind,
+    StragglerEvent,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +19,9 @@ fn overlap_improves_but_preserves_decoding() {
     let cluster = ClusterSpec::cluster_a();
     let rates = cluster.throughputs();
     let mut rng = StdRng::seed_from_u64(1);
-    let scheme = SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng).unwrap();
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut rng)
+        .unwrap();
     let events = vec![StragglerEvent::Normal; cluster.len()];
 
     let base = BspIterationConfig::new(&rates)
@@ -33,9 +35,11 @@ fn overlap_improves_but_preserves_decoding() {
     let overlapped =
         simulate_bsp_iteration(&scheme.code, &overlapped_cfg, &events, &mut rng).unwrap();
 
-    let (t_plain, t_over) =
-        (plain.completion.unwrap(), overlapped.completion.unwrap());
-    assert!(t_over < t_plain, "overlap must shorten the round: {t_over} vs {t_plain}");
+    let (t_plain, t_over) = (plain.completion.unwrap(), overlapped.completion.unwrap());
+    assert!(
+        t_over < t_plain,
+        "overlap must shorten the round: {t_over} vs {t_plain}"
+    );
     assert!(
         overlapped.resource_usage().unwrap() > plain.resource_usage().unwrap(),
         "overlap must raise usage"
@@ -50,29 +54,38 @@ fn overlap_improves_but_preserves_decoding() {
 /// The adaptive loop, the decode cache and tracing compose on one cluster.
 #[test]
 fn adaptive_run_with_cache_and_trace() {
-    let cluster = ClusterSpec::from_vcpu_rows("x", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0)
-        .unwrap();
-    let drift = RateDrift::Wave { period: 8.0, amplitude: 0.3 };
-    let cfg = AdaptiveConfig { iterations: 24, reestimate_every: 6, ..Default::default() };
+    let cluster =
+        ClusterSpec::from_vcpu_rows("x", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0).unwrap();
+    let drift = RateDrift::Wave {
+        period: 8.0,
+        amplitude: 0.3,
+    };
+    let cfg = AdaptiveConfig {
+        iterations: 24,
+        reestimate_every: 6,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(2);
     let out = run_with_drift(&cluster, &drift, &cfg, &mut rng).unwrap();
     assert_eq!(out.metrics.iterations(), 24);
     assert!(out.rebuilds >= 3);
 
-    // Decode cache over the same cluster's scheme: repeated patterns hit.
-    let scheme = SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng).unwrap();
-    let mut cache = DecodeCache::new(scheme.code.clone(), 8);
+    // The compiled codec's plan cache: repeated patterns hit.
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut rng)
+        .unwrap();
+    let codec = scheme.compile_with_cache(8);
     for _ in 0..5 {
-        cache.decode_for(&[1]).unwrap();
+        codec.decode_plan_for_stragglers(&[1]).unwrap();
     }
-    assert_eq!(cache.hits(), 4);
-    assert_eq!(cache.misses(), 1);
+    assert_eq!(codec.cache_hits(), 4);
+    assert_eq!(codec.cache_misses(), 1);
 
     // Tracing renders a complete round.
     let rates = cluster.throughputs();
     let cfg2 = BspIterationConfig::new(&rates);
     let events = vec![StragglerEvent::Normal; 4];
-    let it = simulate_bsp_iteration(&scheme.code, &cfg2, &events, &mut rng).unwrap();
+    let it = simulate_bsp_iteration(&codec, &cfg2, &events, &mut rng).unwrap();
     let text = IterationTrace::new(&it).render();
     assert!(text.contains("DECODE"));
     let gantt = IterationTrace::new(&it).gantt(24);
@@ -93,15 +106,14 @@ fn approximate_decoding_error_bound_holds() {
     let data = synthetic::linear_regression(70, 3, 0.1, &mut rng);
     let model = LinearRegression::new(3);
     let params = model.init_params(&mut rng);
-    let ranges: Vec<(usize, usize)> =
-        PartitionAssignment::even(70, 7).unwrap().iter().collect();
+    let ranges: Vec<(usize, usize)> = PartitionAssignment::even(70, 7).unwrap().iter().collect();
     let partials = partial_gradients(&model, &params, &data, &ranges);
     let direct = model.gradient(&params, &data, (0, 70));
 
     // Two stragglers (one past tolerance): approximate decode.
     let survivors = [1usize, 3, 4];
     let approx = approximate_decode(&code, &survivors).unwrap();
-    let mut ghat = vec![0.0; 4];
+    let mut ghat = [0.0; 4];
     for &w in &survivors {
         let coded = code.encode(w, &partials).unwrap();
         for (g, c) in ghat.iter_mut().zip(&coded) {

@@ -15,7 +15,9 @@ fn theorem5_holds_on_cluster_a() {
     let c = cluster.throughputs();
     let mut rng = StdRng::seed_from_u64(1);
     for s in [1usize, 2] {
-        let scheme = SchemeBuilder::new(&cluster, s).build(SchemeKind::HeterAware, &mut rng).unwrap();
+        let scheme = SchemeBuilder::new(&cluster, s)
+            .build(SchemeKind::HeterAware, &mut rng)
+            .unwrap();
         let ratio = optimality_ratio(&scheme.code, &c).unwrap();
         assert!((ratio - 1.0).abs() < 1e-9, "s={s}: ratio {ratio}");
     }
@@ -33,9 +35,16 @@ fn fault_case_speedup_approx_3x() {
         ..Fig2Config::default()
     };
     let rows = fig2(&cfg).unwrap();
-    let fault = rows.iter().find(|r| r.delay.is_infinite()).expect("fault row");
+    let fault = rows
+        .iter()
+        .find(|r| r.delay.is_infinite())
+        .expect("fault row");
     let get = |kind: SchemeKind| {
-        fault.avg_times.iter().find(|(k, _)| *k == kind).and_then(|(_, t)| *t)
+        fault
+            .avg_times
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .and_then(|(_, t)| *t)
     };
     let cyclic = get(SchemeKind::Cyclic).expect("cyclic survives faults");
     let heter = get(SchemeKind::HeterAware).expect("heter survives faults");
@@ -44,7 +53,10 @@ fn fault_case_speedup_approx_3x() {
         speedup > 2.5,
         "expected ≈3x speedup of heter-aware over cyclic at fault, got {speedup:.2}x"
     );
-    assert!(get(SchemeKind::Naive).is_none(), "naive must fail under faults");
+    assert!(
+        get(SchemeKind::Naive).is_none(),
+        "naive must fail under faults"
+    );
 }
 
 /// Fig. 2's delay insensitivity: heter-aware and group-based average
@@ -60,7 +72,13 @@ fn coded_schemes_are_delay_insensitive() {
     };
     let rows = fig2(&cfg).unwrap();
     let get = |row: usize, kind: SchemeKind| {
-        rows[row].avg_times.iter().find(|(k, _)| *k == kind).unwrap().1.unwrap()
+        rows[row]
+            .avg_times
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .unwrap()
+            .1
+            .unwrap()
     };
     for kind in [SchemeKind::HeterAware, SchemeKind::GroupBased] {
         let (t0, t10) = (get(0, kind), get(1, kind));
@@ -70,7 +88,10 @@ fn coded_schemes_are_delay_insensitive() {
         );
     }
     let (n0, n10) = (get(0, SchemeKind::Naive), get(1, SchemeKind::Naive));
-    assert!(n10 > n0 + 4.0, "naive must absorb the delay: {n0:.2} → {n10:.2}");
+    assert!(
+        n10 > n0 + 4.0,
+        "naive must absorb the delay: {n0:.2} → {n10:.2}"
+    );
 }
 
 /// §VI-A-2: "traditional cyclic coding scheme even makes performance worse
@@ -82,8 +103,12 @@ fn cyclic_worse_than_naive_without_stragglers() {
     let cluster = ClusterSpec::cluster_b();
     let c = cluster.throughputs();
     let mut rng = StdRng::seed_from_u64(3);
-    let cyclic = SchemeBuilder::new(&cluster, 1).build(SchemeKind::Cyclic, &mut rng).unwrap();
-    let naive = SchemeBuilder::new(&cluster, 1).build(SchemeKind::Naive, &mut rng).unwrap();
+    let cyclic = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::Cyclic, &mut rng)
+        .unwrap();
+    let naive = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::Naive, &mut rng)
+        .unwrap();
     // Deterministic completion-time comparison at equal dataset size:
     // per-partition work = N/k differs per scheme, so compare normalized
     // worst-case times × (N/k).
@@ -100,10 +125,17 @@ fn cyclic_worse_than_naive_without_stragglers() {
 /// resource usage.
 #[test]
 fn resource_usage_ordering_matches_fig5() {
-    let cfg = Fig5Config { iterations: 20, ..Fig5Config::default() };
+    let cfg = Fig5Config {
+        iterations: 20,
+        ..Fig5Config::default()
+    };
     let rows = fig5(&cfg).unwrap();
     let get = |kind: SchemeKind| {
-        rows.iter().find(|r| r.scheme == kind).unwrap().usage.unwrap()
+        rows.iter()
+            .find(|r| r.scheme == kind)
+            .unwrap()
+            .usage
+            .unwrap()
     };
     assert!(get(SchemeKind::Naive) < get(SchemeKind::Cyclic));
     assert!(get(SchemeKind::Cyclic) < get(SchemeKind::HeterAware));
@@ -125,7 +157,10 @@ fn group_based_decodes_from_fewer_workers() {
     let order: Vec<usize> = group.groups()[0].workers().to_vec();
     let group_prefix = hetgc::decodable_prefix_len(group.code(), &order).unwrap();
     assert!(group_prefix <= order.len());
-    assert!(group_prefix < 5, "group decode should beat m−s = 5, got {group_prefix}");
+    assert!(
+        group_prefix < 5,
+        "group decode should beat m−s = 5, got {group_prefix}"
+    );
 
     // On a *heterogeneous* allocation with distinct replica sets, Alg. 1
     // needs exactly m − s workers (Example 1 of the paper). (Homogeneous

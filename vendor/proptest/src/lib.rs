@@ -1,0 +1,513 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements exactly the authoring surface the workspace's property tests
+//! use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`prop::collection::vec`], [`any`], [`Just`], the
+//! `proptest!` macro (both the item form and the inline closure form),
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, and
+//! [`test_runner::ProptestConfig`]. Failing cases are reported with the
+//! failure message; there is **no shrinking** — cases are deterministic
+//! per test (the RNG is seeded from the test's module path and name), so a
+//! failure reproduces by rerunning the same test.
+
+pub mod test_runner {
+    //! Runner configuration and case outcomes.
+
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Runner knobs (only `cases` is honoured).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed — the test fails with this message.
+        Fail(String),
+        /// A `prop_assume!` rejected the inputs — the case is skipped.
+        Reject(String),
+    }
+
+    /// The deterministic RNG driving strategy generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Seeds from an arbitrary label (typically the test path) so each
+        /// test draws an independent, reproducible stream.
+        pub fn deterministic(label: &str) -> Self {
+            let mut h = DefaultHasher::new();
+            label.hash(&mut h);
+            TestRng(StdRng::seed_from_u64(h.finish()))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.0.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            self.0.fill_bytes(dest)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::Rng;
+
+    use crate::test_runner::TestRng;
+
+    /// Generates values of an associated type from a [`TestRng`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Derives a new strategy from each generated value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! range_inclusive_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+
+    /// Reference-style strategies (`&strategy` generates like the base),
+    /// letting helpers pass strategies by reference.
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support for a few primitive types.
+
+    use rand::{Rng, RngCore};
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The full-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use rand::Rng;
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Length specification for [`vec`]: a fixed size or a range.
+        #[derive(Debug, Clone)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize, // exclusive
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n + 1 }
+            }
+        }
+
+        impl From<core::ops::Range<usize>> for SizeRange {
+            fn from(r: core::ops::Range<usize>) -> Self {
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end,
+                }
+            }
+        }
+
+        impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end() + 1,
+                }
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = if self.size.lo + 1 >= self.size.hi {
+                    self.size.lo
+                } else {
+                    rng.gen_range(self.size.lo..self.size.hi)
+                };
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        /// A `Vec` whose elements come from `elem` and whose length comes
+        /// from `size` (a fixed `usize` or a `Range<usize>`).
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                elem,
+                size: size.into(),
+            }
+        }
+    }
+}
+
+pub use prop::collection;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) so the runner can report it.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case (skipped, not failed) when the assumption does
+/// not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_owned(),
+            ));
+        }
+    };
+}
+
+/// The test-declaration macro. Supports the item form
+/// (`proptest! { #![proptest_config(...)] #[test] fn name(x in strat) {..} }`)
+/// and the inline closure form (`proptest!(|(pat in strat)| { .. })`).
+#[macro_export]
+macro_rules! proptest {
+    (|($($pat:pat in $strat:expr),+ $(,)?)| $body:block) => {{
+        let config = $crate::test_runner::ProptestConfig::default();
+        let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+            module_path!(),
+            "::<closure>:",
+            line!()
+        ));
+        $crate::__proptest_run_cases!(config, rng, ($($pat in $strat),+) $body);
+    }};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands the item form.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(),
+                "::",
+                stringify!($name)
+            ));
+            $crate::__proptest_run_cases!(config, rng, ($($pat in $strat),+) $body);
+        }
+    )*};
+}
+
+/// Implementation detail of [`proptest!`]: the case loop shared by both
+/// forms.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run_cases {
+    ($config:expr, $rng:expr, ($($pat:pat in $strat:expr),+) $body:block) => {{
+        let mut executed: u32 = 0;
+        let mut attempts: u32 = 0;
+        let max_attempts = $config.cases.saturating_mul(32).max(1024);
+        while executed < $config.cases {
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "proptest: gave up after {attempts} attempts ({executed} cases passed); \
+                 too many prop_assume! rejections"
+            );
+            $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);)+
+            let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+            match outcome {
+                ::core::result::Result::Ok(()) => executed += 1,
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed (case {executed}): {msg}");
+                }
+            }
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (usize, Vec<f64>)> {
+        (1usize..5).prop_flat_map(|n| (Just(n), prop::collection::vec(-1.0f64..1.0, n)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in -2.0f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y = {y}");
+        }
+
+        #[test]
+        fn flat_map_sizes_agree((n, v) in pair()) {
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn assume_skips(v in prop::collection::vec(0u32..4, 1..4)) {
+            prop_assume!(!v.is_empty());
+            prop_assert!(v.iter().all(|&x| x < 4));
+        }
+
+        #[test]
+        fn any_u64_composes_with_map(x in any::<u64>().prop_map(|v| v % 7)) {
+            prop_assert!(x < 7);
+        }
+    }
+
+    #[test]
+    fn closure_form_runs() {
+        let strat = (1usize..4, 1usize..4);
+        proptest!(|((a, b) in strat)| {
+            prop_assert!(a * b <= 9);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic() {
+        proptest!(|(x in 0usize..10)| {
+            prop_assert!(x > 100, "x = {x}");
+        });
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline `serde` shim. The workspace derives `Serialize`/`Deserialize`
+//! purely as API surface (no serializer is ever wired up, avoiding the
+//! external dependency), so this crate re-exports no-op derives plus
+//! marker traits under the same names.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op derive macros backing the offline `serde` shim: the workspace
+//! only uses `#[derive(Serialize, Deserialize)]` as metadata (nothing is
+//! ever serialized through serde at runtime), so the derives expand to
+//! nothing and the attribute remains valid.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts the standard `#[serde(...)]` attribute.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts the standard `#[serde(...)]` attribute.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
