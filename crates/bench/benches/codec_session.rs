@@ -11,7 +11,10 @@
 #![allow(deprecated)] // the point of this bench is to measure the old path
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hetgc::{heter_aware, ClusterSpec, CodingMatrix, CompiledCodec, GradientCodec, OnlineDecoder};
+use hetgc::{
+    group_based, heter_aware, ClusterSpec, CodingMatrix, CompiledCodec, GradientCodec, GroupCodec,
+    OnlineDecoder,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -67,9 +70,60 @@ fn bench_reused_session(c: &mut Criterion) {
     group.finish();
 }
 
+/// The group fast path: a homogeneous cluster whose group-based code has
+/// intact groups, arrivals ordered so one group completes first. The
+/// generic session pays a row elimination plus a spanning check per push
+/// and a densification at decode; the group session counts arrivals and
+/// clones a precompiled indicator plan.
+fn bench_group_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec_session/group_fast_path");
+    for m in [8usize, 16, 32] {
+        let mut rng = StdRng::seed_from_u64(9);
+        let strategy = group_based(&vec![1.0; m], m, 1, &mut rng).expect("construct");
+        assert!(!strategy.groups().is_empty(), "m={m} must admit groups");
+        // Arrival order: the smallest group's workers first, then the rest.
+        let codec = GroupCodec::new(strategy.clone()).expect("compile");
+        let first_group = codec.groups()[0].workers().to_vec();
+        let mut order = first_group.clone();
+        order.extend((0..m).filter(|w| !first_group.contains(w)));
+
+        let generic = CompiledCodec::new(strategy.code().clone());
+        group.bench_with_input(
+            BenchmarkId::new("generic_session", m),
+            &generic,
+            |b, codec| {
+                let mut session = codec.session();
+                b.iter(|| {
+                    session.reset();
+                    for &w in &order {
+                        if session.push(w).expect("valid push").is_some() {
+                            return;
+                        }
+                    }
+                    panic!("never decoded");
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("group_session", m), &codec, |b, codec| {
+            let mut session = codec.session();
+            b.iter(|| {
+                session.reset();
+                for &w in &order {
+                    if session.push(w).expect("valid push").is_some() {
+                        return;
+                    }
+                }
+                panic!("never decoded");
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fresh_decoder_per_iteration,
-    bench_reused_session
+    bench_reused_session,
+    bench_group_fast_path
 );
 criterion_main!(benches);

@@ -8,8 +8,10 @@
 //!
 //! * [`approximate_decode`] — for *any* survivor set, the least-squares
 //!   decode row `a = argmin ‖aᵀB_I − 1‖₂` (ridge-stabilized), plus the
-//!   residual norm that bounds the gradient error:
-//!   `‖ĝ − g‖ ≤ ‖aᵀB_I − 1‖₂ · max_j ‖g_j‖`.
+//!   residual norm that bounds the gradient error (Cauchy–Schwarz over
+//!   partitions): `‖ĝ − g‖ ≤ ‖aᵀB_I − 1‖₂ · ‖(‖g_1‖, …, ‖g_k‖)‖₂`
+//!   ([`gradient_error_bound_l2`]), itself at most
+//!   `residual · √k · max_j ‖g_j‖`.
 //! * [`under_replicated`] — heterogeneity-aware codes with replication
 //!   `r < s+1`: `r−1` stragglers are decoded exactly, further stragglers
 //!   approximately. Storage/compute drop by the factor `(s+1)/r`.
@@ -147,10 +149,25 @@ pub fn under_replicated<R: Rng + ?Sized>(
     heter_aware_from_support(&support, rng)
 }
 
-/// The worst-case gradient-error bound of an approximate decode:
-/// `‖ĝ − g‖₂ ≤ residual · max_j ‖g_j‖₂` (Cauchy–Schwarz over partitions).
+/// A per-partition gradient-error scale for an approximate decode:
+/// `residual · max_j ‖g_j‖₂`. This is the right *order of magnitude* for
+/// the error (and exact when a single `e_j` dominates), but **not** a
+/// worst-case bound — the measured error can exceed it by up to `√k`.
+#[deprecated(
+    since = "0.2.0",
+    note = "not a rigorous bound (can under-report by √k); use gradient_error_bound_l2"
+)]
 pub fn gradient_error_bound(residual: f64, max_partial_norm: f64) -> f64 {
     residual * max_partial_norm
+}
+
+/// The rigorous worst-case gradient-error bound of an approximate decode.
+///
+/// With `e = aᵀB_I − 1` the decode error is `ĝ − g = Σ_j e_j g_j`, so by
+/// Cauchy–Schwarz over partitions
+/// `‖ĝ − g‖₂ ≤ ‖e‖₂ · ‖(‖g_1‖₂, …, ‖g_k‖₂)‖₂ = residual · √(Σ_j ‖g_j‖²)`.
+pub fn gradient_error_bound_l2(residual: f64, partial_norms: &[f64]) -> f64 {
+    residual * partial_norms.iter().map(|n| n * n).sum::<f64>().sqrt()
 }
 
 #[cfg(test)]
@@ -277,8 +294,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn error_bound_formula() {
         assert_eq!(gradient_error_bound(0.5, 4.0), 2.0);
         assert_eq!(gradient_error_bound(0.0, 100.0), 0.0);
+        assert_eq!(gradient_error_bound_l2(2.0, &[3.0, 4.0]), 10.0);
     }
 }

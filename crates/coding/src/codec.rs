@@ -73,6 +73,11 @@ pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
 /// A sparse decode vector: the non-zero entries of a row `a` of the
 /// decoding matrix `A` (Eq. 2), i.e. `g = Σ_w a_w · g̃_w` over
 /// [`DecodePlan::workers`].
+///
+/// Exact plans (`a·B = 1` to numerical precision) carry a
+/// [`DecodePlan::residual`] of zero; approximate plans (produced by the
+/// `ApproxCodec` backend past the straggler budget) record
+/// `‖aᵀB_I − 1‖₂`, which bounds the gradient error.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DecodePlan {
     /// Workers with non-zero weight, ascending.
@@ -81,11 +86,20 @@ pub struct DecodePlan {
     coefficients: Vec<f64>,
     /// Total worker count `m` (for densification).
     total_workers: usize,
+    /// `‖aᵀB_I − 1‖₂` of the plan: `0.0` for exact decodes.
+    residual: f64,
 }
 
 impl DecodePlan {
-    /// Builds a plan from a dense decode vector, dropping exact zeros.
+    /// Builds an exact plan from a dense decode vector, dropping exact
+    /// zeros.
     pub fn from_dense(a: &[f64]) -> Self {
+        DecodePlan::from_dense_with_residual(a, 0.0)
+    }
+
+    /// Builds a plan from a dense decode vector together with its decode
+    /// residual `‖aᵀB_I − 1‖₂` (pass `0.0` for exact decodes).
+    pub fn from_dense_with_residual(a: &[f64], residual: f64) -> Self {
         let mut workers = Vec::new();
         let mut coefficients = Vec::new();
         for (w, &coef) in a.iter().enumerate() {
@@ -98,7 +112,26 @@ impl DecodePlan {
             workers,
             coefficients,
             total_workers: a.len(),
+            residual,
         }
+    }
+
+    /// The decode residual `‖aᵀB_I − 1‖₂`: zero for exact plans, positive
+    /// for approximate ones. The rigorous gradient-error bound is
+    /// `residual · ‖(‖g_1‖, …, ‖g_k‖)‖₂` — pass it with the per-partition
+    /// gradient norms to `gradient_error_bound_l2`.
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Whether this plan decodes the exact aggregated gradient (residual
+    /// below the standard `1e-6` tolerance). Note this is a *numerical*
+    /// classification: a plan produced by the approximate fallback can
+    /// carry a negligible-but-positive residual and still be "exact" here,
+    /// while the `approx_iterations` counters in the trainers count every
+    /// fallback-decoded round regardless.
+    pub fn is_exact(&self) -> bool {
+        self.residual < 1e-6
     }
 
     /// Workers whose coded gradients the plan consumes, ascending.
@@ -243,6 +276,23 @@ pub trait GradientCodec {
     /// A streaming decoder for one collect round. Reuse it across rounds
     /// via [`CodecSession::reset`].
     fn session(&self) -> CodecSession;
+
+    /// A best-effort plan for a survivor set that **cannot** decode
+    /// exactly — the `>s`-straggler escape hatch.
+    ///
+    /// Exact backends return `None` (the default): an undecodable round
+    /// stays undecodable. The `ApproxCodec` backend overrides this with
+    /// the ridge-stabilized least-squares row of `approximate_decode`,
+    /// whose [`DecodePlan::residual`] reports the decode error bound.
+    /// Callers invoke it once no exact decode exists for the workers they
+    /// are still willing to wait for — the BSP simulator after *all*
+    /// reachable workers have reported, the threaded runtime at its
+    /// iteration timeout (or when every worker hung up), where `survivors`
+    /// may be only the subset that reported in time. Implementations must
+    /// not assume `survivors` is the complete live-worker set.
+    fn fallback_plan(&self, _survivors: &[usize]) -> Option<DecodePlan> {
+        None
+    }
 }
 
 // ------------------------------------------------------------- sessions
@@ -250,7 +300,7 @@ pub trait GradientCodec {
 /// The dense rows of `B` shared (via `Arc`) between a codec and its
 /// sessions, so spawning a session copies nothing.
 #[derive(Debug)]
-struct RowStore {
+pub(crate) struct RowStore {
     rows: Vec<Vec<f64>>,
     partitions: usize,
 }
@@ -295,6 +345,10 @@ pub struct CodecSession {
     scratch_target: Vec<f64>,
     /// Scratch for the per-push combination accumulation.
     scratch_combo: Vec<f64>,
+    /// Group fast path (set only for `GroupCodec` sessions): once a
+    /// tracked group is fully intact, [`CodecSession::push`] returns its
+    /// precompiled indicator plan and skips the elimination entirely.
+    groups: Option<crate::codec_group::GroupTracker>,
 }
 
 impl CodecSession {
@@ -311,7 +365,19 @@ impl CodecSession {
             spare_combos: Vec::new(),
             scratch_target: Vec::new(),
             scratch_combo: Vec::new(),
+            groups: None,
         }
+    }
+
+    /// A session that additionally watches the given groups: the
+    /// `GroupCodec` fast path. See [`crate::GroupCodec`].
+    pub(crate) fn with_groups(
+        store: Arc<RowStore>,
+        tracker: crate::codec_group::GroupTracker,
+    ) -> Self {
+        let mut session = CodecSession::new(store);
+        session.groups = Some(tracker);
+        session
     }
 
     /// Number of workers `m`.
@@ -342,6 +408,9 @@ impl CodecSession {
         self.pivots.clear();
         self.arrivals.clear();
         self.pushed.iter_mut().for_each(|p| *p = false);
+        if let Some(tracker) = &mut self.groups {
+            tracker.reset();
+        }
     }
 
     fn take_row_buffer(&mut self, src: &[f64]) -> Vec<f64> {
@@ -387,6 +456,18 @@ impl CodecSession {
         self.pushed[worker] = true;
         self.arrivals.push(worker);
         let arrival_idx = self.arrivals.len() - 1;
+
+        // Group fast path: when a tracked group is fully intact the round
+        // decodes via its precompiled indicator row — no elimination, no
+        // spanning check. Once intact, a group stays intact for the rest
+        // of the round, so the (frozen) elimination state is never
+        // consulted again before `reset`.
+        if let Some(tracker) = &mut self.groups {
+            tracker.arrive(worker);
+            if let Some(plan) = tracker.intact_plan() {
+                return Ok(Some(plan.clone()));
+            }
+        }
 
         // Reduce the new row against the basis, tracking the combination.
         let store = Arc::clone(&self.store);
@@ -447,6 +528,9 @@ impl CodecSession {
 
     /// Attempts to decode with the results received so far.
     pub fn try_decode(&self) -> Option<DecodePlan> {
+        if let Some(plan) = self.groups.as_ref().and_then(|t| t.intact_plan()) {
+            return Some(plan.clone());
+        }
         self.try_decode_dense().map(|a| DecodePlan::from_dense(&a))
     }
 
@@ -498,9 +582,11 @@ fn pivot_of(row: &[f64], tol: f64) -> Option<usize> {
 
 // ---------------------------------------------------- the compiled codec
 
-/// LRU cache of decode plans keyed by the sorted survivor set.
+/// LRU cache of decode plans keyed by the sorted survivor set. Shared
+/// with the sibling backends (the approximate backend memoizes its
+/// least-squares plans the same way).
 #[derive(Debug, Clone)]
-struct PlanCache {
+pub(crate) struct PlanCache {
     /// `(sorted survivors, plan)`, most recently used last.
     entries: Vec<(Vec<usize>, DecodePlan)>,
     capacity: usize,
@@ -509,7 +595,17 @@ struct PlanCache {
 }
 
 impl PlanCache {
-    fn lookup(&mut self, key: &[usize]) -> Option<DecodePlan> {
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache capacity must be positive");
+        PlanCache {
+            entries: Vec::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub(crate) fn lookup(&mut self, key: &[usize]) -> Option<DecodePlan> {
         if let Some(pos) = self.entries.iter().position(|(k, _)| k == key) {
             self.hits += 1;
             let entry = self.entries.remove(pos);
@@ -520,7 +616,7 @@ impl PlanCache {
         None
     }
 
-    fn insert(&mut self, key: Vec<usize>, plan: DecodePlan) {
+    pub(crate) fn insert(&mut self, key: Vec<usize>, plan: DecodePlan) {
         // Concurrent misses on the same pattern may race to insert: the
         // lock is released during the solve. Keep the cache duplicate-free
         // by refreshing an existing entry instead of double-inserting.
@@ -578,7 +674,7 @@ impl CompiledCodec {
     ///
     /// Panics if `capacity == 0`.
     pub fn with_cache_capacity(code: CodingMatrix, capacity: usize) -> Self {
-        assert!(capacity > 0, "plan cache capacity must be positive");
+        let cache = PlanCache::new(capacity);
         let m = code.workers();
         let mut row_ptr = Vec::with_capacity(m + 1);
         let mut support = Vec::new();
@@ -600,18 +696,19 @@ impl CompiledCodec {
             support,
             coeffs,
             store,
-            cache: Mutex::new(PlanCache {
-                entries: Vec::new(),
-                capacity,
-                hits: 0,
-                misses: 0,
-            }),
+            cache: Mutex::new(cache),
         }
     }
 
     /// The underlying strategy matrix.
     pub fn code(&self) -> &CodingMatrix {
         &self.code
+    }
+
+    /// The shared dense-row store (for sibling backends spawning their own
+    /// sessions over the same matrix).
+    pub(crate) fn row_store(&self) -> Arc<RowStore> {
+        Arc::clone(&self.store)
     }
 
     /// `supp(b_w)` as a precompiled slice — no allocation, no scan.
@@ -735,6 +832,19 @@ impl GradientCodec for CompiledCodec {
 
     fn decode_plan(&self, survivors: &[usize]) -> Result<DecodePlan, CodingError> {
         let key = canonical_survivors(&self.code, survivors)?;
+        self.decode_plan_canonical(key)
+    }
+
+    fn session(&self) -> CodecSession {
+        CodecSession::new(Arc::clone(&self.store))
+    }
+}
+
+impl CompiledCodec {
+    /// [`GradientCodec::decode_plan`] over an already-validated, sorted,
+    /// deduplicated survivor key — the cache-keyed inner path, shared with
+    /// sibling backends that canonicalize once themselves.
+    pub(crate) fn decode_plan_canonical(&self, key: Vec<usize>) -> Result<DecodePlan, CodingError> {
         if let Some(plan) = self.cache.lock().expect("cache poisoned").lookup(&key) {
             return Ok(plan);
         }
@@ -745,10 +855,6 @@ impl GradientCodec for CompiledCodec {
             .expect("cache poisoned")
             .insert(key, plan.clone());
         Ok(plan)
-    }
-
-    fn session(&self) -> CodecSession {
-        CodecSession::new(Arc::clone(&self.store))
     }
 }
 

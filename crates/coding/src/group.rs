@@ -40,6 +40,16 @@ pub struct Group {
 }
 
 impl Group {
+    /// Builds a group from explicit worker indices (sorted and
+    /// deduplicated here). Useful for reconstructing groups from
+    /// serialized metadata or in tests; the search functions below produce
+    /// groups directly.
+    pub fn from_workers(mut workers: Vec<usize>) -> Self {
+        workers.sort_unstable();
+        workers.dedup();
+        Group { workers }
+    }
+
     /// The sorted worker indices in this group.
     pub fn workers(&self) -> &[usize] {
         &self.workers
@@ -302,6 +312,17 @@ impl GroupCodingMatrix {
     /// The pruned, pairwise-disjoint groups (`P` of them).
     pub fn groups(&self) -> &[Group] {
         &self.groups
+    }
+
+    /// Compiles into the group-aware [`crate::GroupCodec`] backend:
+    /// precompiled indicator decode plans plus group-tracking sessions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation of [`crate::GroupCodec::from_parts`]
+    /// (never fails for a matrix built by Alg. 3).
+    pub fn compile(&self) -> Result<crate::GroupCodec, CodingError> {
+        crate::GroupCodec::from_parts(self.code.clone(), self.groups.clone())
     }
 
     /// Group-first decoding: returns the indicator decode row of the first

@@ -17,7 +17,10 @@
 //! plus the machinery they share: load-balanced allocation (Eq. 5,
 //! [`Allocation`]), cyclic supports (Eq. 6, [`SupportMatrix`]), the
 //! unified [`GradientCodec`] API ([`CompiledCodec`], [`CodecSession`],
-//! [`DecodePlan`] — see the [`codec`] module) and robustness verification
+//! [`DecodePlan`] — see the [`codec`] module) with its three backends
+//! ([`CompiledCodec`] exact, [`GroupCodec`] intact-group fast path,
+//! [`ApproxCodec`] bounded-error past the straggler budget — select via
+//! [`CodecBackend`] / [`AnyCodec`]) and robustness verification
 //! ([`verify_condition_c1`]).
 //!
 //! # Quick start
@@ -47,7 +50,10 @@
 
 mod allocation;
 mod approx;
+mod backend;
 pub mod codec;
+mod codec_approx;
+mod codec_group;
 mod cyclic;
 mod decode;
 mod error;
@@ -59,10 +65,17 @@ mod support;
 mod verify;
 
 pub use allocation::{suggest_partition_count, Allocation};
-pub use approx::{approximate_decode, gradient_error_bound, under_replicated, ApproximateDecode};
+#[allow(deprecated)]
+pub use approx::gradient_error_bound;
+pub use approx::{
+    approximate_decode, gradient_error_bound_l2, under_replicated, ApproximateDecode,
+};
+pub use backend::{AnyCodec, CodecBackend};
 pub use codec::{
     CodecSession, CompiledCodec, DecodePlan, GradientCodec, DEFAULT_PLAN_CACHE_CAPACITY,
 };
+pub use codec_approx::{ApproxCodec, DEFAULT_MAX_RESIDUAL_FRACTION};
+pub use codec_group::GroupCodec;
 pub use cyclic::{cyclic, cyclic_support, naive};
 pub use decode::DecodingMatrix;
 #[allow(deprecated)]

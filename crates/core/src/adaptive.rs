@@ -19,7 +19,7 @@
 //! limitation).
 
 use hetgc_cluster::{ClusterSpec, EwmaEstimator, StragglerModel, ThroughputEstimator};
-use hetgc_coding::GradientCodec;
+use hetgc_coding::{CodecBackend, GradientCodec};
 use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics};
 use rand::Rng;
 
@@ -101,6 +101,10 @@ pub struct AdaptiveConfig {
     pub jitter: f64,
     /// Transient straggler injection.
     pub straggler_model: StragglerModel,
+    /// Codec backend for decoding ([`CodecBackend::Auto`]: group-aware
+    /// for group-based schemes, exact otherwise). Rebuilt strategies are
+    /// recompiled into the same backend.
+    pub backend: CodecBackend,
 }
 
 impl Default for AdaptiveConfig {
@@ -115,6 +119,7 @@ impl Default for AdaptiveConfig {
             ewma_alpha: 0.4,
             jitter: 0.03,
             straggler_model: StragglerModel::None,
+            backend: CodecBackend::Auto,
         }
     }
 }
@@ -151,9 +156,10 @@ pub fn run_with_drift<R: Rng + ?Sized>(
     let m = cluster.len();
     let builder = SchemeBuilder::new(cluster, cfg.stragglers);
     let scheme = builder.build(cfg.kind, rng)?;
-    // Compile once per strategy; the session is recreated only on rebuild
-    // (a new code means new rows), never per iteration.
-    let mut codec = scheme.compile();
+    // Compile once per strategy into the configured backend; the session
+    // is recreated only on rebuild (a new code means new rows), never per
+    // iteration.
+    let mut codec = scheme.compile_backend(cfg.backend)?;
     let mut session = codec.session();
     let mut estimator = EwmaEstimator::new(m, cfg.ewma_alpha);
     let mut metrics = RunMetrics::new();
@@ -189,11 +195,14 @@ pub fn run_with_drift<R: Rng + ?Sized>(
                     .estimates(estimates)
                     .build(cfg.kind, rng)
                 {
-                    Ok(new_scheme) => {
-                        codec = new_scheme.compile();
-                        session = codec.session();
-                        rebuilds += 1;
-                    }
+                    Ok(new_scheme) => match new_scheme.compile_backend(cfg.backend) {
+                        Ok(new_codec) => {
+                            codec = new_codec;
+                            session = codec.session();
+                            rebuilds += 1;
+                        }
+                        Err(_) => rebuild_failures += 1,
+                    },
                     Err(_) => rebuild_failures += 1,
                 }
             }

@@ -336,6 +336,7 @@ pub fn fig4(cfg: &Fig4Config) -> Result<Vec<LossCurve>, BoxError> {
             },
         },
         eval_every: cfg.cluster.len(),
+        backend: hetgc_coding::CodecBackend::Auto,
     };
 
     let mut curves = Vec::new();

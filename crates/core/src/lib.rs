@@ -57,14 +57,15 @@ pub use hetgc_cluster::{
     StragglerModel, WorkerId, WorkerSpec,
 };
 pub use hetgc_coding::{
-    approximate_decode, cyclic, decodable_prefix_len, fractional_repetition, gradient_error_bound,
-    group_based, heter_aware, is_robust_to, naive, suggest_partition_count, under_replicated,
-    verify_condition_c1, verify_condition_c1_sampled, Allocation, ApproximateDecode, CodecSession,
-    CodingError, CodingMatrix, CompiledCodec, DecodePlan, DecodingMatrix, GradientCodec, Group,
+    approximate_decode, cyclic, decodable_prefix_len, fractional_repetition,
+    gradient_error_bound_l2, group_based, heter_aware, is_robust_to, naive,
+    suggest_partition_count, under_replicated, verify_condition_c1, verify_condition_c1_sampled,
+    Allocation, AnyCodec, ApproxCodec, ApproximateDecode, CodecBackend, CodecSession, CodingError,
+    CodingMatrix, CompiledCodec, DecodePlan, DecodingMatrix, GradientCodec, Group, GroupCodec,
     GroupCodingMatrix, GroupSearchConfig, SupportMatrix,
 };
 #[allow(deprecated)]
-pub use hetgc_coding::{combine, decode_vector, DecodeCache, OnlineDecoder};
+pub use hetgc_coding::{combine, decode_vector, gradient_error_bound, DecodeCache, OnlineDecoder};
 pub use hetgc_ml::{
     accuracy, synthetic, Adam, Classifier, Dataset, LinearRegression, Mlp, Model, Momentum,
     Optimizer, Sgd, SoftmaxRegression, Targets,

@@ -6,7 +6,8 @@ use std::fmt;
 use hetgc_cluster::ClusterSpec;
 use hetgc_coding::{
     cyclic, fractional_repetition, group_based, heter_aware, naive, suggest_partition_count,
-    CodingError, CodingMatrix, CompiledCodec, Group,
+    AnyCodec, ApproxCodec, CodecBackend, CodingError, CodingMatrix, CompiledCodec, Group,
+    GroupCodec,
 };
 use rand::Rng;
 
@@ -108,6 +109,48 @@ impl SchemeInstance {
     /// Panics if `cache_capacity == 0`.
     pub fn compile_with_cache(&self, cache_capacity: usize) -> CompiledCodec {
         CompiledCodec::with_cache_capacity(self.code.clone(), cache_capacity)
+    }
+
+    /// The backend [`CodecBackend::Auto`] resolves to for this scheme:
+    /// the group-aware codec when the scheme carries groups (Algs. 2–3),
+    /// the generic exact codec otherwise.
+    pub fn default_backend(&self) -> CodecBackend {
+        if self.groups.is_empty() {
+            CodecBackend::Exact
+        } else {
+            CodecBackend::Group
+        }
+    }
+
+    /// Compiles the strategy into the requested [`CodecBackend`]:
+    ///
+    /// * [`CodecBackend::Exact`] — [`CompiledCodec`] (same as
+    ///   [`SchemeInstance::compile`]);
+    /// * [`CodecBackend::Group`] — [`GroupCodec`] over this scheme's
+    ///   pruned groups (legal for group-less schemes too: it then behaves
+    ///   exactly like the generic backend);
+    /// * [`CodecBackend::Approx`] — [`ApproxCodec`], which keeps decoding
+    ///   (with a reported residual) when more than `s` workers straggle;
+    /// * [`CodecBackend::Auto`] — [`SchemeInstance::default_backend`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GroupCodec::from_parts`] validation (never fails for
+    /// groups produced by [`SchemeBuilder`]).
+    pub fn compile_backend(&self, backend: CodecBackend) -> Result<AnyCodec, CodingError> {
+        let backend = match backend {
+            CodecBackend::Auto => self.default_backend(),
+            other => other,
+        };
+        Ok(match backend {
+            CodecBackend::Exact => AnyCodec::Exact(self.compile()),
+            CodecBackend::Group => AnyCodec::Group(GroupCodec::from_parts(
+                self.code.clone(),
+                self.groups.clone(),
+            )?),
+            CodecBackend::Approx => AnyCodec::Approx(ApproxCodec::new(self.code.clone())),
+            CodecBackend::Auto => unreachable!("Auto resolved above"),
+        })
     }
 }
 

@@ -1,6 +1,9 @@
-//! Runtime configuration: per-worker behaviour injection.
+//! Runtime configuration: per-worker behaviour injection and codec
+//! backend selection.
 
 use std::time::Duration;
+
+use hetgc_coding::CodecBackend;
 
 /// Behaviour of one worker, used to emulate heterogeneity and stragglers on
 /// real threads.
@@ -67,6 +70,24 @@ pub struct RuntimeConfig {
     /// declaring it undecodable. `None` waits forever (safe only when at
     /// most `s` workers can be missing).
     pub iteration_timeout: Option<Duration>,
+    /// Which codec backend the master decodes with.
+    ///
+    /// * [`CodecBackend::Auto`] — group-aware decoding when the matrix's
+    ///   support structure admits valid groups, the generic exact codec
+    ///   otherwise.
+    /// * [`CodecBackend::Exact`] — the generic compiled codec.
+    /// * [`CodecBackend::Group`] — group-aware decoding; the groups are
+    ///   re-derived from the matrix's support structure (Alg. 2 +
+    ///   pruning), so an intact group completes an iteration without
+    ///   waiting for `m−s` results.
+    /// * [`CodecBackend::Approx`] — when an iteration times out (or every
+    ///   worker disconnects) the master decodes *approximately* from
+    ///   whatever arrived (bounded-error least squares) instead of
+    ///   failing, surviving `>s` lost workers. With no
+    ///   [`RuntimeConfig::iteration_timeout`] and at least one live (but
+    ///   straggling) worker, the master keeps waiting and the fallback
+    ///   never triggers.
+    pub backend: CodecBackend,
 }
 
 impl RuntimeConfig {
@@ -75,6 +96,7 @@ impl RuntimeConfig {
         RuntimeConfig {
             behaviors: vec![WorkerBehavior::nominal(); workers],
             iteration_timeout: None,
+            backend: CodecBackend::Auto,
         }
     }
 
@@ -95,6 +117,12 @@ impl RuntimeConfig {
     /// Sets the per-iteration decode timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.iteration_timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the codec backend the master decodes with.
+    pub fn with_backend(mut self, backend: CodecBackend) -> Self {
+        self.backend = backend;
         self
     }
 }

@@ -7,7 +7,9 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgc_cluster::PartitionAssignment;
-use hetgc_coding::{CodingMatrix, CompiledCodec, GradientCodec};
+use hetgc_coding::{
+    AnyCodec, ApproxCodec, CodecBackend, CodingMatrix, CompiledCodec, GradientCodec, GroupCodec,
+};
 use hetgc_ml::{Dataset, Model, Optimizer};
 use rand::RngCore;
 
@@ -27,6 +29,11 @@ pub struct TrainingReport {
     pub results_used: Vec<usize>,
     /// Final parameters.
     pub params: Vec<f64>,
+    /// Iterations decoded through the approximate timeout fallback —
+    /// always 0 for exact backends. Counts every fallback-decoded round
+    /// (any positive residual, however numerically small), matching the
+    /// simulator's `BspIteration::is_approximate`.
+    pub approx_iterations: usize,
 }
 
 impl TrainingReport {
@@ -51,7 +58,7 @@ impl TrainingReport {
 /// [`run`]: ThreadedTrainer::run
 #[derive(Debug)]
 pub struct ThreadedTrainer<M, O> {
-    codec: CompiledCodec,
+    codec: AnyCodec,
     model: Arc<M>,
     data: Arc<Dataset>,
     optimizer: O,
@@ -64,12 +71,15 @@ where
     M: Model + Send + Sync + 'static,
     O: Optimizer,
 {
-    /// Creates a trainer for `code` over `data`.
+    /// Creates a trainer for `code` over `data`, compiling the matrix into
+    /// the backend named by [`RuntimeConfig::backend`] (see its docs for
+    /// the decode behaviour of each).
     ///
     /// # Errors
     ///
     /// [`RuntimeError::InvalidConfig`] when the dataset has fewer samples
-    /// than partitions.
+    /// than partitions, or when the requested backend cannot be built
+    /// from this matrix.
     pub fn new(
         code: CodingMatrix,
         model: M,
@@ -82,8 +92,24 @@ where
                 reason: format!("partitioning failed: {e}"),
             }
         })?;
+        let codec = match config.backend {
+            // Auto: derive groups from the support structure; when the
+            // matrix admits none (or can't be analysed) the group codec
+            // is pure overhead, so degrade to the plain exact backend.
+            CodecBackend::Auto => match GroupCodec::from_code(code.clone()) {
+                Ok(grouped) if !grouped.groups().is_empty() => AnyCodec::Group(grouped),
+                _ => AnyCodec::Exact(CompiledCodec::new(code)),
+            },
+            CodecBackend::Exact => AnyCodec::Exact(CompiledCodec::new(code)),
+            CodecBackend::Group => AnyCodec::Group(GroupCodec::from_code(code).map_err(|e| {
+                RuntimeError::InvalidConfig {
+                    reason: format!("group backend construction failed: {e}"),
+                }
+            })?),
+            CodecBackend::Approx => AnyCodec::Approx(ApproxCodec::new(code)),
+        };
         Ok(ThreadedTrainer {
-            codec: CompiledCodec::new(code),
+            codec,
             model: Arc::new(model),
             data: Arc::new(data),
             optimizer,
@@ -119,12 +145,12 @@ where
             to_workers.push(to_tx);
             // The codec's precompiled CSR row is exactly the worker's
             // marching orders: which partitions, with which coefficients.
-            let support = self.codec.support_of(w);
+            let support = self.codec.as_compiled().support_of(w);
             let ranges: Vec<(usize, usize)> = support
                 .iter()
                 .map(|&p| self.assignment.range(p).expect("support within k"))
                 .collect();
-            let coefficients: Vec<f64> = self.codec.coefficients_of(w).to_vec();
+            let coefficients: Vec<f64> = self.codec.as_compiled().coefficients_of(w).to_vec();
             let ctx = WorkerContext {
                 index: w,
                 model: Arc::clone(&self.model),
@@ -162,6 +188,7 @@ where
         let mut losses = Vec::with_capacity(iterations);
         let mut iteration_times = Vec::with_capacity(iterations);
         let mut results_used = Vec::with_capacity(iterations);
+        let mut approx_iterations = 0;
 
         // One streaming session for the whole run: reset per iteration,
         // elimination buffers reused.
@@ -180,17 +207,27 @@ where
             session.reset();
             let mut received: HashMap<usize, Vec<f64>> = HashMap::new();
             let plan = loop {
-                let msg = match self.config.iteration_timeout {
-                    Some(t) => from_rx
-                        .recv_timeout(t)
-                        .map_err(|_| RuntimeError::Undecodable {
+                let recv_result = match self.config.iteration_timeout {
+                    Some(t) => from_rx.recv_timeout(t).map_err(|_| ()),
+                    None => from_rx.recv().map_err(|_| ()),
+                };
+                let msg = match recv_result {
+                    Ok(msg) => msg,
+                    Err(()) => {
+                        // Timed out (or every worker hung up) without an
+                        // exact decode. The approximate backend can still
+                        // rescue the round from whatever arrived; exact
+                        // backends declare it undecodable.
+                        let mut survivors: Vec<usize> = received.keys().copied().collect();
+                        survivors.sort_unstable();
+                        if let Some(plan) = self.codec.fallback_plan(&survivors) {
+                            break plan;
+                        }
+                        return Err(RuntimeError::Undecodable {
                             iteration: iter,
                             received: received.len(),
-                        })?,
-                    None => from_rx.recv().map_err(|_| RuntimeError::Undecodable {
-                        iteration: iter,
-                        received: received.len(),
-                    })?,
+                        });
+                    }
                 };
                 if msg.iteration != iter {
                     continue; // stale result from a previous round
@@ -201,6 +238,12 @@ where
                     break plan;
                 }
             };
+            // Same rule as the simulator's `BspIteration::is_approximate`:
+            // session plans always carry residual 0.0, so any positive
+            // residual means the timeout fallback decoded the round.
+            if plan.residual() > 0.0 {
+                approx_iterations += 1;
+            }
 
             // g = Σ a_w · g̃_w, normalized to a mean gradient.
             let mut gradient = vec![0.0; self.model.num_params()];
@@ -227,6 +270,7 @@ where
             iteration_times,
             results_used,
             params,
+            approx_iterations,
         })
     }
 }
@@ -396,6 +440,79 @@ mod tests {
         .unwrap();
         let report = trainer.run(40, &mut rng).unwrap();
         assert!(report.losses[39] < report.losses[0], "{:?}", report.losses);
+    }
+
+    #[test]
+    fn approx_backend_survives_beyond_straggler_budget() {
+        // TWO workers fail with s = 1: the exact backend must time out,
+        // the approximate backend keeps training on bounded-error decodes.
+        let mut rng = StdRng::seed_from_u64(9);
+        let code = heter_aware(&[1.0; 5], 5, 1, &mut rng).unwrap();
+        let faulty = |backend| {
+            RuntimeConfig::nominal(5)
+                .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
+                .set_behavior(3, WorkerBehavior::nominal().failing_from(1))
+                .with_timeout(Duration::from_millis(250))
+                .with_backend(backend)
+        };
+
+        let exact = ThreadedTrainer::new(
+            code.clone(),
+            LinearRegression::new(3),
+            quick_data(9),
+            Sgd::new(0.05),
+            faulty(hetgc_coding::CodecBackend::Exact),
+        )
+        .unwrap()
+        .run(3, &mut StdRng::seed_from_u64(10));
+        assert!(matches!(exact, Err(RuntimeError::Undecodable { .. })));
+
+        let approx = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            quick_data(9),
+            Sgd::new(0.05),
+            faulty(hetgc_coding::CodecBackend::Approx),
+        )
+        .unwrap()
+        .run(3, &mut StdRng::seed_from_u64(10))
+        .unwrap();
+        assert_eq!(approx.losses.len(), 3);
+        assert_eq!(approx.approx_iterations, 3);
+        assert!(approx.results_used.iter().all(|&u| u <= 3));
+    }
+
+    #[test]
+    fn group_backend_trains_and_matches_exact_losses() {
+        // Same matrix, same seed: group decoding changes which plan is
+        // used (indicator rows), not the decoded gradient — trajectories
+        // must agree to fp accuracy.
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = hetgc_coding::group_based(&[1.0; 4], 4, 1, &mut rng).unwrap();
+        let data = quick_data(11);
+        let run = |backend| {
+            ThreadedTrainer::new(
+                g.code().clone(),
+                LinearRegression::new(3),
+                data.clone(),
+                Sgd::new(0.1),
+                RuntimeConfig::nominal(4).with_backend(backend),
+            )
+            .unwrap()
+            .run(8, &mut StdRng::seed_from_u64(12))
+            .unwrap()
+        };
+        let grouped = run(hetgc_coding::CodecBackend::Group);
+        let exact = run(hetgc_coding::CodecBackend::Exact);
+        // Auto resolves to the group backend for a matrix with groups.
+        let auto = run(hetgc_coding::CodecBackend::Auto);
+        assert_eq!(grouped.approx_iterations, 0);
+        for (a, b) in grouped.losses.iter().zip(&exact.losses) {
+            assert!((a - b).abs() < 1e-8, "group {a} vs exact {b}");
+        }
+        for (a, b) in auto.losses.iter().zip(&exact.losses) {
+            assert!((a - b).abs() < 1e-8, "auto {a} vs exact {b}");
+        }
     }
 
     #[test]

@@ -135,6 +135,10 @@ pub struct BspIteration {
     /// The decode vector over all workers (empty when `completion` is
     /// `None`).
     pub decode_vector: Vec<f64>,
+    /// The decode residual `‖aᵀB_I − 1‖₂` of the round: `0.0` for exact
+    /// decodes, positive when the codec's approximate fallback was used
+    /// (only `ApproxCodec`-backed rounds with `>s` stragglers).
+    pub decode_residual: f64,
     /// Per-worker *useful compute* seconds, capped at the completion time
     /// (workers are cancelled when the master moves on) — the numerator of
     /// the paper's resource-usage metric (Fig. 5).
@@ -142,6 +146,14 @@ pub struct BspIteration {
 }
 
 impl BspIteration {
+    /// Whether the round decoded through the approximate fallback rather
+    /// than an exact plan. This is a *provenance* flag (any positive
+    /// residual counts, however tiny) — contrast with
+    /// `DecodePlan::is_exact`, which classifies the residual numerically
+    /// against a `1e-6` tolerance.
+    pub fn is_approximate(&self) -> bool {
+        self.decode_residual > 0.0
+    }
     /// Resource usage of this iteration:
     /// `Σ_w busy_w / (m × completion)` (Fig. 5's metric). Returns `None`
     /// for incomplete rounds.
@@ -242,6 +254,7 @@ pub fn simulate_bsp_iteration_in<C: GradientCodec + ?Sized, R: Rng + ?Sized>(
     session.reset();
     let mut completion = None;
     let mut decode_vector = Vec::new();
+    let mut decode_residual = 0.0;
     for arr in &arrivals {
         if !arr.arrive.is_finite() {
             break; // failures never arrive
@@ -250,6 +263,22 @@ pub fn simulate_bsp_iteration_in<C: GradientCodec + ?Sized, R: Rng + ?Sized>(
             completion = Some(arr.arrive);
             decode_vector = plan.to_dense();
             break;
+        }
+    }
+    // Every reachable worker reported and no exact decode exists: give the
+    // codec's approximate fallback (if any — `ApproxCodec`) a chance to
+    // rescue the round with a bounded-error plan. The round then completes
+    // at the last finite arrival, since the master had to wait for
+    // everyone before concluding exact decoding was impossible.
+    if completion.is_none() {
+        let finite: Vec<&Arrival> = arrivals.iter().filter(|a| a.arrive.is_finite()).collect();
+        if let Some(last) = finite.last() {
+            let survivors: Vec<usize> = finite.iter().map(|a| a.worker).collect();
+            if let Some(plan) = codec.fallback_plan(&survivors) {
+                completion = Some(last.arrive);
+                decode_residual = plan.residual();
+                decode_vector = plan.to_dense();
+            }
         }
     }
 
@@ -269,6 +298,7 @@ pub fn simulate_bsp_iteration_in<C: GradientCodec + ?Sized, R: Rng + ?Sized>(
         arrivals,
         decode_workers,
         decode_vector,
+        decode_residual,
         busy,
     })
 }
@@ -529,6 +559,80 @@ mod tests {
     #[should_panic(expected = "at least one chunk")]
     fn zero_chunks_rejected() {
         let _ = BspIterationConfig::new(&RATES).overlap_chunks(0);
+    }
+
+    #[test]
+    fn group_codec_decodes_from_intact_group_before_m_minus_s() {
+        use hetgc_coding::{group_based, GroupCodec};
+        // Homogeneous 6-worker cluster, s = 1 → two 3-worker groups
+        // {0,4,5} and {1,2,3}. Make group {1,2,3} fast and everyone else
+        // slow: the master decodes the moment that group is intact — 3
+        // survivors, fewer than m − s = 5.
+        let g = group_based(&[1.0; 6], 6, 1, &mut rng(50)).unwrap();
+        assert!(g
+            .groups()
+            .iter()
+            .any(|gr| gr.workers() == [1usize, 2, 3].as_slice()));
+        let codec = GroupCodec::new(g).unwrap();
+        let rates = [1.0, 10.0, 10.0, 10.0, 1.0, 1.0];
+        let cfg = BspIterationConfig::new(&rates).network(NetworkModel::instantaneous());
+        let out = simulate_bsp_iteration(&codec, &cfg, &no_events(6), &mut rng(51)).unwrap();
+        let t = out.completion.unwrap();
+        // Fast group finishes at 2/10 = 0.2; the slow workers need 2.0.
+        assert!((t - 0.2).abs() < 1e-9, "t = {t}");
+        assert_eq!(out.decode_workers, vec![1, 2, 3], "indicator of {{1,2,3}}");
+        assert!(out.decode_workers.len() < 6 - 1);
+        assert_eq!(out.decode_residual, 0.0);
+    }
+
+    #[test]
+    fn approx_codec_completes_beyond_straggler_budget() {
+        use hetgc_coding::ApproxCodec;
+        // Two failures exceed s = 1: the exact backend never completes,
+        // the approximate backend decodes (with a reported residual) at
+        // the last surviving arrival.
+        let code = heter_code(52);
+        let cfg = BspIterationConfig::new(&RATES).network(NetworkModel::instantaneous());
+        let mut events = no_events(5);
+        events[2] = StragglerEvent::Failed;
+        events[4] = StragglerEvent::Failed;
+
+        let exact = simulate_bsp_iteration(&code, &cfg, &events, &mut rng(53)).unwrap();
+        assert!(exact.completion.is_none(), "exact must reject >s failures");
+
+        let codec = ApproxCodec::new(code.clone()).with_max_residual(3.0);
+        let out = simulate_bsp_iteration(&codec, &cfg, &events, &mut rng(53)).unwrap();
+        let t = out.completion.unwrap();
+        assert!(t.is_finite());
+        assert!(out.is_approximate());
+        assert!(out.decode_residual > 0.0);
+        assert!(out.decode_workers.iter().all(|w| ![2, 4].contains(w)));
+        // Completion waits for every survivor (the master must exhaust
+        // exact decoding first).
+        let last_survivor = out
+            .arrivals
+            .iter()
+            .rev()
+            .find(|a| a.arrive.is_finite())
+            .unwrap();
+        assert_eq!(t, last_survivor.arrive);
+    }
+
+    #[test]
+    fn approx_fallback_respects_residual_budget() {
+        use hetgc_coding::ApproxCodec;
+        let code = heter_code(54);
+        let cfg = BspIterationConfig::new(&RATES).network(NetworkModel::instantaneous());
+        // Kill everyone but the slowest worker: the surviving row cannot
+        // approximate the full gradient within a tight budget.
+        let mut events = no_events(5);
+        for e in events.iter_mut().skip(1) {
+            *e = StragglerEvent::Failed;
+        }
+        let codec = ApproxCodec::new(code).with_max_residual(0.1);
+        let out = simulate_bsp_iteration(&codec, &cfg, &events, &mut rng(55)).unwrap();
+        assert!(out.completion.is_none(), "budget must reject the round");
+        assert!(!out.is_approximate());
     }
 
     #[test]

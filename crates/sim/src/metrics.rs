@@ -166,6 +166,7 @@ mod tests {
             }],
             decode_workers: vec![0],
             decode_vector: vec![1.0],
+            decode_residual: 0.0,
             busy: vec![2.0, 1.0],
         };
         let mut m = RunMetrics::new();
@@ -178,6 +179,7 @@ mod tests {
             arrivals: vec![],
             decode_workers: vec![],
             decode_vector: vec![],
+            decode_residual: 0.0,
             busy: vec![0.0, 0.0],
         };
         m.record(&failed);

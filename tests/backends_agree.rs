@@ -6,8 +6,8 @@
 use std::time::Duration;
 
 use hetgc::{
-    train_bsp_sim, ClusterSpec, LinearRegression, Model, RuntimeConfig, SchemeBuilder, SchemeKind,
-    Sgd, SimTrainConfig, ThreadedTrainer, WorkerBehavior,
+    train_bsp_sim, ClusterSpec, CodecBackend, LinearRegression, Model, RuntimeConfig,
+    SchemeBuilder, SchemeKind, Sgd, SimTrainConfig, ThreadedTrainer, WorkerBehavior,
 };
 use hetgc_ml::synthetic;
 use rand::rngs::StdRng;
@@ -186,4 +186,115 @@ fn distributed_equals_single_node_sgd() {
             );
         }
     }
+}
+
+/// All codec backends agree on training: for a group-based scheme the
+/// group-aware, generic-exact and approximate backends (all decoding
+/// exactly within the straggler budget) must produce the same loss
+/// trajectory to floating-point accuracy.
+#[test]
+fn codec_backends_share_training_trajectory() {
+    // 4 equal workers: the group-based construction yields two 2-worker
+    // groups, so the group fast path actually fires every iteration.
+    let cluster = ClusterSpec::from_vcpu_rows("btest", &[(4, 2)], 100.0).unwrap();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(80, 3, 0.02, &mut StdRng::seed_from_u64(41));
+    let model = LinearRegression::new(3);
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::GroupBased, &mut StdRng::seed_from_u64(42))
+        .unwrap();
+    assert!(!scheme.groups.is_empty(), "cluster must admit groups");
+
+    let run = |backend| {
+        let cfg = SimTrainConfig {
+            iterations: 12,
+            learning_rate: 0.2,
+            backend,
+            ..Default::default()
+        };
+        train_bsp_sim(
+            &scheme,
+            &model,
+            &data,
+            &rates,
+            &cfg,
+            &mut StdRng::seed_from_u64(77),
+        )
+        .unwrap()
+    };
+    let exact = run(CodecBackend::Exact);
+    let grouped = run(CodecBackend::Group);
+    let auto = run(CodecBackend::Auto);
+    let approx = run(CodecBackend::Approx);
+
+    assert_eq!(exact.curve.points.len(), 12);
+    for other in [&grouped, &auto, &approx] {
+        assert_eq!(other.curve.points.len(), 12);
+        assert_eq!(other.approx_iterations, 0, "all decodes are exact here");
+        for ((_, a), (_, b)) in other.curve.points.iter().zip(&exact.curve.points) {
+            assert!((a - b).abs() < 1e-8, "trajectories diverged: {a} vs {b}");
+        }
+    }
+    // Auto resolves to the group backend for a group-based scheme, and the
+    // indicator fast path must match the generic plan *bitwise* here or to
+    // fp accuracy at worst (checked above at 1e-8 on the losses).
+    assert_eq!(scheme.default_backend(), CodecBackend::Group);
+}
+
+/// The acceptance scenario of the `>s` straggler path: with two failed
+/// workers and s = 1, every exact backend stalls, while the approximate
+/// backend finishes the run on bounded-error gradients — and still makes
+/// optimization progress.
+#[test]
+fn approx_backend_trains_where_exact_backends_stall() {
+    let cluster = ClusterSpec::from_vcpu_rows("atest", &[(5, 2)], 100.0).unwrap();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(100, 3, 0.02, &mut StdRng::seed_from_u64(51));
+    let model = LinearRegression::new(3);
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut StdRng::seed_from_u64(52))
+        .unwrap();
+    let cfg_for = |backend| SimTrainConfig {
+        iterations: 30,
+        learning_rate: 0.2,
+        stragglers: hetgc::StragglerModel::Failures {
+            workers: vec![0, 2],
+        },
+        backend,
+        ..Default::default()
+    };
+
+    let exact = train_bsp_sim(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &cfg_for(CodecBackend::Exact),
+        &mut StdRng::seed_from_u64(53),
+    )
+    .unwrap();
+    assert!(exact.stalled, "two failures must stall the exact backend");
+    assert!(exact.curve.points.is_empty());
+
+    let approx = train_bsp_sim(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &cfg_for(CodecBackend::Approx),
+        &mut StdRng::seed_from_u64(53),
+    )
+    .unwrap();
+    assert!(!approx.stalled, "approx backend must complete the run");
+    assert_eq!(approx.curve.points.len(), 30);
+    assert_eq!(
+        approx.approx_iterations, 30,
+        "every round used the fallback"
+    );
+    let first = approx.curve.points[0].1;
+    let last = approx.curve.final_loss().unwrap();
+    assert!(
+        last < first,
+        "approximate gradients must still reduce the loss: {first} → {last}"
+    );
 }

@@ -5,7 +5,7 @@
 
 use hetgc::adaptive::{run_with_drift, AdaptiveConfig, RateDrift};
 use hetgc::{
-    approximate_decode, gradient_error_bound, simulate_bsp_iteration, under_replicated,
+    approximate_decode, gradient_error_bound_l2, simulate_bsp_iteration, under_replicated,
     BspIterationConfig, ClusterSpec, IterationTrace, NetworkModel, SchemeBuilder, SchemeKind,
     StragglerEvent,
 };
@@ -126,13 +126,12 @@ fn approximate_decoding_error_bound_holds() {
         .map(|(a, b)| (a - b) * (a - b))
         .sum::<f64>()
         .sqrt();
-    let max_partial = partials
+    let partial_norms: Vec<f64> = partials
         .iter()
         .map(|g| g.iter().map(|x| x * x).sum::<f64>().sqrt())
-        .fold(0.0_f64, f64::max);
-    // The certified bound: ‖ĝ − g‖ ≤ residual · √k · max‖g_j‖ is loose;
-    // the per-coordinate Cauchy–Schwarz bound uses the residual directly.
-    let bound = gradient_error_bound(approx.residual, max_partial) * (7.0_f64).sqrt();
+        .collect();
+    // The rigorous Cauchy–Schwarz bound over partitions.
+    let bound = gradient_error_bound_l2(approx.residual, &partial_norms);
     assert!(err <= bound + 1e-9, "err {err} exceeds bound {bound}");
     assert!(err > 0.0, "approximate decode should not be exact here");
 }
