@@ -5,8 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hetgc::{
-    simulate_bsp_iteration, BspIterationConfig, ClusterSpec, NetworkModel, SchemeBuilder,
-    SchemeKind, StragglerModel,
+    simulate_bsp_iteration, synthetic, BspIterationConfig, ClusterSpec, EscalationPolicy,
+    LinearRegression, NetworkModel, SchemeBuilder, SchemeKind, Sgd, SimBspEngine, SimTrainConfig,
+    StragglerModel, TrainDriver,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -57,5 +58,56 @@ fn bench_ssp_events(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bsp_iteration, bench_ssp_events);
+/// Full unified-loop rounds (driver + SimBspEngine, real SGD on a small
+/// linear model): the per-round overhead of the `TrainDriver` abstraction
+/// on top of the raw simulator, and the source of the JSON trajectories
+/// captured across PRs via `TrainOutcome::to_json`.
+fn bench_train_driver_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/train_driver_10_rounds");
+    let cluster = ClusterSpec::cluster_a();
+    let rates = cluster.throughputs();
+    for kind in [SchemeKind::HeterAware, SchemeKind::GroupBased] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .build(kind, &mut rng)
+            .expect("scheme");
+        let data = synthetic::linear_regression(96, 4, 0.02, &mut rng);
+        let model = LinearRegression::new(4);
+        let cfg = SimTrainConfig {
+            iterations: 10,
+            learning_rate: 0.2,
+            compute_jitter: 0.05,
+            ..SimTrainConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &scheme,
+            |b, scheme| {
+                b.iter(|| {
+                    let mut engine = SimBspEngine::new(
+                        scheme,
+                        &model,
+                        &data,
+                        &rates,
+                        &cfg,
+                        EscalationPolicy::follow_backend(),
+                    )
+                    .expect("engine");
+                    let mut run_rng = StdRng::seed_from_u64(8);
+                    TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate))
+                        .run(&mut engine, cfg.iterations, &mut run_rng)
+                        .expect("run")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bsp_iteration,
+    bench_ssp_events,
+    bench_train_driver_rounds
+);
 criterion_main!(benches);

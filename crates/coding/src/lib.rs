@@ -57,6 +57,7 @@ mod codec_group;
 mod cyclic;
 mod decode;
 mod error;
+mod escalation;
 mod fractional;
 mod group;
 mod heter_aware;
@@ -81,6 +82,7 @@ pub use decode::DecodingMatrix;
 #[allow(deprecated)]
 pub use decode::{combine, decode_vector, DecodeCache, OnlineDecoder};
 pub use error::CodingError;
+pub use escalation::{EscalatingCodec, EscalationPolicy};
 pub use fractional::fractional_repetition;
 pub use group::{
     find_all_groups, group_based, group_based_from_support, prune_groups, Group, GroupCodingMatrix,

@@ -19,10 +19,12 @@
 //! limitation).
 
 use hetgc_cluster::{ClusterSpec, EwmaEstimator, StragglerModel, ThroughputEstimator};
-use hetgc_coding::{CodecBackend, GradientCodec};
+use hetgc_coding::{AnyCodec, CodecBackend, CodecSession, GradientCodec};
 use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
+use crate::driver::drive_timing;
+use crate::engine::{EngineRound, RoundEngine};
 use crate::scheme::{BoxError, SchemeBuilder, SchemeKind};
 
 /// How the cluster's true worker rates evolve over a run.
@@ -136,7 +138,133 @@ pub struct AdaptiveOutcome {
     pub rebuild_failures: usize,
 }
 
-/// Runs one policy over a drifting cluster.
+/// The adaptive-recoding [`RoundEngine`]: each round simulates one BSP
+/// iteration at the drifted rates, feeds the EWMA estimator, and
+/// periodically rebuilds the coding strategy from fresh estimates. A
+/// timing-only engine — the unified [`drive_timing`] loop aggregates its
+/// rounds into the run's [`RunMetrics`].
+struct DriftEngine<'a> {
+    cluster: &'a ClusterSpec,
+    drift: &'a RateDrift,
+    cfg: &'a AdaptiveConfig,
+    base: Vec<f64>,
+    codec: AnyCodec,
+    session: CodecSession,
+    estimator: EwmaEstimator,
+    rebuilds: usize,
+    rebuild_failures: usize,
+}
+
+impl<'a> DriftEngine<'a> {
+    fn new<R: Rng + ?Sized>(
+        cluster: &'a ClusterSpec,
+        drift: &'a RateDrift,
+        cfg: &'a AdaptiveConfig,
+        rng: &mut R,
+    ) -> Result<Self, BoxError> {
+        let scheme = SchemeBuilder::new(cluster, cfg.stragglers).build(cfg.kind, rng)?;
+        // Compile once per strategy into the configured backend; the
+        // session is recreated only on rebuild (a new code means new
+        // rows), never per iteration.
+        let codec = scheme.compile_backend(cfg.backend)?;
+        let session = codec.session();
+        Ok(DriftEngine {
+            cluster,
+            drift,
+            cfg,
+            base: cluster.throughputs(),
+            estimator: EwmaEstimator::new(cluster.len(), cfg.ewma_alpha),
+            codec,
+            session,
+            rebuilds: 0,
+            rebuild_failures: 0,
+        })
+    }
+}
+
+impl RoundEngine for DriftEngine<'_> {
+    fn workers(&self) -> usize {
+        self.codec.workers()
+    }
+
+    fn partitions(&self) -> usize {
+        self.codec.partitions()
+    }
+
+    fn label(&self) -> &str {
+        self.cfg.kind.name()
+    }
+
+    fn round(
+        &mut self,
+        round: usize,
+        _params: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> Result<EngineRound, BoxError> {
+        let iter = round - 1; // drift schedules are 0-based
+        let m = self.cluster.len();
+        let rates = self.drift.rates_at(&self.base, iter);
+        let k = self.codec.partitions();
+        let work_per_partition = self.cfg.samples as f64 / k as f64;
+        let sim_cfg = BspIterationConfig::new(&rates)
+            .work_per_partition(work_per_partition)
+            .network(NetworkModel::lan())
+            .compute_jitter(self.cfg.jitter);
+        let events = self.cfg.straggler_model.sample_iteration(m, rng);
+        let outcome =
+            simulate_bsp_iteration_in(&self.codec, &sim_cfg, &events, rng, &mut self.session)?;
+
+        // Observe: each worker's measured rate this iteration (the master
+        // sees compute duration; injected delay contaminates it exactly as
+        // it would in production).
+        for arr in &outcome.arrivals {
+            if arr.compute_end.is_finite() {
+                let work = self.codec.load_of(arr.worker) as f64 * work_per_partition;
+                self.estimator
+                    .observe(arr.worker, work, arr.compute_end.max(1e-9));
+            }
+        }
+
+        // Periodic re-coding from fresh estimates.
+        if self.cfg.reestimate_every > 0 && (iter + 1).is_multiple_of(self.cfg.reestimate_every) {
+            if let Ok(estimates) = self.estimator.estimates() {
+                match SchemeBuilder::new(self.cluster, self.cfg.stragglers)
+                    .estimates(estimates)
+                    .build(self.cfg.kind, rng)
+                {
+                    Ok(new_scheme) => match new_scheme.compile_backend(self.cfg.backend) {
+                        Ok(new_codec) => {
+                            self.codec = new_codec;
+                            self.session = self.codec.session();
+                            self.rebuilds += 1;
+                        }
+                        Err(_) => self.rebuild_failures += 1,
+                    },
+                    Err(_) => self.rebuild_failures += 1,
+                }
+            }
+        }
+
+        let Some(t) = outcome.completion else {
+            // Keep running on the current code: transient failures are
+            // recorded, not fatal.
+            return Ok(EngineRound::failed(false));
+        };
+        Ok(EngineRound {
+            elapsed: Some(t),
+            at: None,
+            gradient: None,
+            residual: outcome.decode_residual,
+            error_bound: None,
+            results_used: outcome.decode_workers.len(),
+            busy: outcome.busy,
+            stop: false,
+        })
+    }
+}
+
+/// Runs one policy over a drifting cluster through the unified
+/// [`drive_timing`] loop.
 ///
 /// `reestimate_every = 0` gives the static baseline: the scheme is built
 /// once from the *pre-drift* rates and never touched again.
@@ -146,72 +274,18 @@ pub struct AdaptiveOutcome {
 /// Propagates scheme-construction and simulator errors. A failed *rebuild*
 /// is not an error — the run keeps the previous strategy and counts it in
 /// [`AdaptiveOutcome::rebuild_failures`].
-pub fn run_with_drift<R: Rng + ?Sized>(
+pub fn run_with_drift<R: Rng>(
     cluster: &ClusterSpec,
     drift: &RateDrift,
     cfg: &AdaptiveConfig,
     rng: &mut R,
 ) -> Result<AdaptiveOutcome, BoxError> {
-    let base = cluster.throughputs();
-    let m = cluster.len();
-    let builder = SchemeBuilder::new(cluster, cfg.stragglers);
-    let scheme = builder.build(cfg.kind, rng)?;
-    // Compile once per strategy into the configured backend; the session
-    // is recreated only on rebuild (a new code means new rows), never per
-    // iteration.
-    let mut codec = scheme.compile_backend(cfg.backend)?;
-    let mut session = codec.session();
-    let mut estimator = EwmaEstimator::new(m, cfg.ewma_alpha);
-    let mut metrics = RunMetrics::new();
-    let mut rebuilds = 0;
-    let mut rebuild_failures = 0;
-
-    for iter in 0..cfg.iterations {
-        let rates = drift.rates_at(&base, iter);
-        let k = codec.partitions();
-        let work_per_partition = cfg.samples as f64 / k as f64;
-        let sim_cfg = BspIterationConfig::new(&rates)
-            .work_per_partition(work_per_partition)
-            .network(NetworkModel::lan())
-            .compute_jitter(cfg.jitter);
-        let events = cfg.straggler_model.sample_iteration(m, rng);
-        let outcome = simulate_bsp_iteration_in(&codec, &sim_cfg, &events, rng, &mut session)?;
-        metrics.record(&outcome);
-
-        // Observe: each worker's measured rate this iteration (the master
-        // sees compute duration; injected delay contaminates it exactly as
-        // it would in production).
-        for arr in &outcome.arrivals {
-            if arr.compute_end.is_finite() {
-                let work = codec.load_of(arr.worker) as f64 * work_per_partition;
-                estimator.observe(arr.worker, work, arr.compute_end.max(1e-9));
-            }
-        }
-
-        // Periodic re-coding from fresh estimates.
-        if cfg.reestimate_every > 0 && (iter + 1) % cfg.reestimate_every == 0 {
-            if let Ok(estimates) = estimator.estimates() {
-                match SchemeBuilder::new(cluster, cfg.stragglers)
-                    .estimates(estimates)
-                    .build(cfg.kind, rng)
-                {
-                    Ok(new_scheme) => match new_scheme.compile_backend(cfg.backend) {
-                        Ok(new_codec) => {
-                            codec = new_codec;
-                            session = codec.session();
-                            rebuilds += 1;
-                        }
-                        Err(_) => rebuild_failures += 1,
-                    },
-                    Err(_) => rebuild_failures += 1,
-                }
-            }
-        }
-    }
+    let mut engine = DriftEngine::new(cluster, drift, cfg, rng)?;
+    let outcome = drive_timing(&mut engine, cfg.iterations, rng)?;
     Ok(AdaptiveOutcome {
-        metrics,
-        rebuilds,
-        rebuild_failures,
+        metrics: outcome.metrics,
+        rebuilds: engine.rebuilds,
+        rebuild_failures: engine.rebuild_failures,
     })
 }
 
@@ -221,7 +295,7 @@ pub fn run_with_drift<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Propagates [`run_with_drift`] errors from either run.
-pub fn compare_static_vs_adaptive<R: Rng + ?Sized>(
+pub fn compare_static_vs_adaptive<R: Rng>(
     cluster: &ClusterSpec,
     drift: &RateDrift,
     cfg: &AdaptiveConfig,

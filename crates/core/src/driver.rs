@@ -1,0 +1,525 @@
+//! The one training loop: a [`TrainDriver`] owns the model, optimizer,
+//! loss evaluation and reporting; a [`RoundEngine`] supplies collect
+//! rounds. Every execution style in the workspace — the discrete-event
+//! BSP simulator, the SSP event stream, the real threaded runtime —
+//! flows through [`TrainDriver::run`] and emits the same
+//! [`TrainOutcome`] / [`RoundRecord`] report.
+//!
+//! Timing-only sweeps (the Figs. 2/3/5 harnesses, the adaptive-recoding
+//! comparison) share the loop through [`drive_timing`]: same records,
+//! same [`RunMetrics`] accumulation, no model.
+
+use hetgc_ml::{Dataset, Model, Optimizer};
+use hetgc_sim::RunMetrics;
+use rand::RngCore;
+
+use crate::engine::{residual_step_scale, EngineRound, RoundEngine};
+use crate::scheme::BoxError;
+use crate::trainer::LossCurve;
+
+/// Knobs of the unified loop (everything engine-independent).
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Evaluate the training loss every this many rounds (the last round
+    /// is always evaluated; `0` is treated as `1`). BSP-style engines
+    /// conventionally use `1`; per-event SSP runs use a larger stride.
+    pub eval_every: usize,
+    /// Residual-aware step scaling: shrink the effective step on
+    /// approximate rounds by [`residual_step_scale`] — exact rounds are
+    /// untouched by construction. Disable to reproduce the legacy
+    /// full-step-on-approximate-rounds behaviour.
+    pub residual_step_scaling: bool,
+}
+
+impl Default for DriverConfig {
+    /// Evaluate every round, scale steps on approximate rounds.
+    fn default() -> Self {
+        DriverConfig {
+            eval_every: 1,
+            residual_step_scaling: true,
+        }
+    }
+}
+
+/// One round of the unified loop, as recorded in [`TrainOutcome`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// 1-based round number.
+    pub round: usize,
+    /// Clock at round completion (simulated or wall-clock seconds).
+    pub time: f64,
+    /// This round's duration.
+    pub elapsed: f64,
+    /// Mean training loss after the step, when this round was evaluated.
+    pub loss: Option<f64>,
+    /// Decode residual (0 = exact).
+    pub residual: f64,
+    /// The learning-rate multiplier applied ([`residual_step_scale`]);
+    /// exactly 1 on exact rounds.
+    pub step_scale: f64,
+    /// Worker results that carried decode weight.
+    pub results_used: usize,
+}
+
+/// The unified training report every engine produces.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Engine label (scheme name, "ssp", "threaded", …).
+    pub label: String,
+    /// One record per *completed* round, in order.
+    pub records: Vec<RoundRecord>,
+    /// Timing metrics over the run — averages, quantiles and resource
+    /// usage all come from this one accumulator, shared with the figure
+    /// harnesses.
+    pub metrics: RunMetrics,
+    /// Loss over time (only evaluated rounds contribute points).
+    pub curve: LossCurve,
+    /// Final parameters (empty for timing-only runs).
+    pub params: Vec<f64>,
+    /// `true` when the run ended on a round that could not complete.
+    pub stalled: bool,
+    /// Rounds decoded through an approximate fallback (any positive
+    /// residual).
+    pub approx_rounds: usize,
+}
+
+impl TrainOutcome {
+    /// The last recorded loss, if any round was evaluated.
+    pub fn final_loss(&self) -> Option<f64> {
+        self.curve.final_loss()
+    }
+
+    /// Completed rounds.
+    pub fn rounds(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Serializes the outcome as a self-contained JSON object — the
+    /// cross-PR format for captured bench/figure trajectories. Non-finite
+    /// floats become `null` (JSON has no `inf`/`NaN`).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"label\":{},\"stalled\":{},\"approx_rounds\":{},\"rounds\":{},\
+             \"failed_rounds\":{},\"avg_round_seconds\":{},\"total_seconds\":{},\
+             \"final_loss\":{},\"records\":[",
+            json_str(&self.label),
+            self.stalled,
+            self.approx_rounds,
+            self.records.len(),
+            self.metrics.failed_iterations(),
+            json_f64_opt(self.metrics.avg_iteration_time()),
+            json_f64(self.metrics.total_time()),
+            json_f64_opt(self.final_loss()),
+        );
+        for (i, r) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"round\":{},\"time\":{},\"elapsed\":{},\"loss\":{},\
+                 \"residual\":{},\"step_scale\":{},\"results_used\":{}}}",
+                r.round,
+                json_f64(r.time),
+                json_f64(r.elapsed),
+                json_f64_opt(r.loss),
+                json_f64(r.residual),
+                json_f64(r.step_scale),
+                r.results_used,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; that is still valid
+        // JSON, so keep it.
+        s
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_f64_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_owned(), json_f64)
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Shared per-round bookkeeping of the training and timing loops: the
+/// ONE place where engine rounds become records, metrics and curve
+/// points.
+struct RoundLog {
+    label: String,
+    records: Vec<RoundRecord>,
+    metrics: RunMetrics,
+    points: Vec<(f64, f64)>,
+    clock: f64,
+    approx_rounds: usize,
+    stalled: bool,
+}
+
+impl RoundLog {
+    fn new(label: String) -> Self {
+        RoundLog {
+            label,
+            records: Vec::new(),
+            metrics: RunMetrics::new(),
+            points: Vec::new(),
+            clock: 0.0,
+            approx_rounds: 0,
+            stalled: false,
+        }
+    }
+
+    fn failed_round(&mut self) {
+        self.metrics.record_failure();
+        self.stalled = true;
+    }
+
+    fn completed_round(
+        &mut self,
+        round: usize,
+        er: &EngineRound,
+        elapsed: f64,
+        loss: Option<f64>,
+        step_scale: f64,
+        workers: usize,
+    ) {
+        self.stalled = false;
+        self.clock = er.at.unwrap_or(self.clock + elapsed);
+        let (busy, counted) = if er.busy.is_empty() {
+            (0.0, workers)
+        } else {
+            (er.busy.iter().sum(), er.busy.len())
+        };
+        self.metrics.record_time(elapsed, busy, counted);
+        if er.residual > 0.0 {
+            self.approx_rounds += 1;
+        }
+        if let Some(l) = loss {
+            self.points.push((self.clock, l));
+        }
+        self.records.push(RoundRecord {
+            round,
+            time: self.clock,
+            elapsed,
+            loss,
+            residual: er.residual,
+            step_scale,
+            results_used: er.results_used,
+        });
+    }
+
+    fn finish(self, params: Vec<f64>) -> TrainOutcome {
+        TrainOutcome {
+            curve: LossCurve {
+                label: self.label.clone(),
+                points: self.points,
+            },
+            label: self.label,
+            records: self.records,
+            metrics: self.metrics,
+            params,
+            stalled: self.stalled,
+            approx_rounds: self.approx_rounds,
+        }
+    }
+}
+
+/// The unified round loop: initialize → (round → scale → step → evaluate
+/// → record)* → report. One driver serves the simulated BSP engine, the
+/// SSP event stream and the threaded runtime.
+///
+/// # Example
+///
+/// ```
+/// use hetgc::{
+///     synthetic, ClusterSpec, DriverConfig, EscalationPolicy, LinearRegression, SchemeBuilder,
+///     SchemeKind, Sgd, SimBspEngine, SimTrainConfig, TrainDriver,
+/// };
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+/// let cluster = ClusterSpec::cluster_a();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let data = synthetic::linear_regression(96, 3, 0.01, &mut rng);
+/// let model = LinearRegression::new(3);
+/// let scheme = SchemeBuilder::new(&cluster, 1).build(SchemeKind::HeterAware, &mut rng)?;
+///
+/// let cfg = SimTrainConfig::default();
+/// let mut engine = SimBspEngine::new(
+///     &scheme,
+///     &model,
+///     &data,
+///     &cluster.throughputs(),
+///     &cfg,
+///     EscalationPolicy::follow_backend(),
+/// )?;
+/// let out = TrainDriver::new(&model, &data, Sgd::new(0.2))
+///     .with_config(DriverConfig::default())
+///     .run(&mut engine, 20, &mut rng)?;
+/// assert_eq!(out.rounds(), 20);
+/// assert!(out.final_loss().unwrap() < out.records[0].loss.unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TrainDriver<'a, M: Model + ?Sized, O: Optimizer> {
+    model: &'a M,
+    data: &'a Dataset,
+    optimizer: O,
+    cfg: DriverConfig,
+}
+
+impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
+    /// A driver training `model` on `data` with `optimizer` and default
+    /// [`DriverConfig`].
+    pub fn new(model: &'a M, data: &'a Dataset, optimizer: O) -> Self {
+        TrainDriver {
+            model,
+            data,
+            optimizer,
+            cfg: DriverConfig::default(),
+        }
+    }
+
+    /// Replaces the loop configuration.
+    pub fn with_config(mut self, cfg: DriverConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Runs `rounds` collect rounds of `engine`, stepping the optimizer
+    /// on each decoded gradient (scaled on approximate rounds when
+    /// [`DriverConfig::residual_step_scaling`] is on).
+    ///
+    /// A round the engine reports as failed is recorded in
+    /// [`RunMetrics::failed_iterations`]; when the engine also asks to
+    /// stop, the outcome is flagged [`TrainOutcome::stalled`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors (configuration, infrastructure, and — for
+    /// the threaded engine — undecodable rounds).
+    pub fn run<E: RoundEngine + ?Sized>(
+        mut self,
+        engine: &mut E,
+        rounds: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<TrainOutcome, BoxError> {
+        let n = self.data.len() as f64;
+        let mut params = self.model.init_params(rng);
+        let mut log = RoundLog::new(engine.label().to_owned());
+        let eval_every = self.cfg.eval_every.max(1);
+
+        for round in 1..=rounds {
+            let er = engine.round(round, &params, rng)?;
+            let Some(elapsed) = er.elapsed else {
+                log.failed_round();
+                if er.stop {
+                    break;
+                }
+                continue;
+            };
+            let mut step_scale = 1.0;
+            if let Some(gradient) = er.gradient.as_ref() {
+                if self.cfg.residual_step_scaling {
+                    let norm = gradient.iter().map(|x| x * x).sum::<f64>().sqrt();
+                    step_scale =
+                        residual_step_scale(er.residual, er.error_bound, norm, engine.partitions());
+                }
+                let step: Vec<f64> = gradient.iter().map(|x| step_scale * x / n).collect();
+                self.optimizer.step(&mut params, &step);
+                engine.after_step(&params);
+            }
+            let loss = (round % eval_every == 0 || round == rounds)
+                .then(|| self.model.loss(&params, self.data, (0, self.data.len())) / n);
+            log.completed_round(round, &er, elapsed, loss, step_scale, engine.workers());
+            if er.stop {
+                break;
+            }
+        }
+        Ok(log.finish(params))
+    }
+}
+
+/// The timing-only flavour of the loop: same engine contract, same
+/// records and [`RunMetrics`], but no model, no optimizer, no loss —
+/// engines are expected to return `gradient: None`. This is what the
+/// Figs. 2/3/5 harnesses and the adaptive-recoding comparison run on.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn drive_timing<E: RoundEngine + ?Sized>(
+    engine: &mut E,
+    rounds: usize,
+    rng: &mut dyn RngCore,
+) -> Result<TrainOutcome, BoxError> {
+    let mut log = RoundLog::new(engine.label().to_owned());
+    for round in 1..=rounds {
+        let er = engine.round(round, &[], rng)?;
+        let Some(elapsed) = er.elapsed else {
+            log.failed_round();
+            if er.stop {
+                break;
+            }
+            continue;
+        };
+        log.completed_round(round, &er, elapsed, None, 1.0, engine.workers());
+        if er.stop {
+            break;
+        }
+    }
+    Ok(log.finish(Vec::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FixedEngine {
+        rounds: Vec<EngineRound>,
+        next: usize,
+    }
+
+    impl FixedEngine {
+        fn new(rounds: Vec<EngineRound>) -> Self {
+            FixedEngine { rounds, next: 0 }
+        }
+    }
+
+    impl RoundEngine for FixedEngine {
+        fn workers(&self) -> usize {
+            3
+        }
+        fn partitions(&self) -> usize {
+            4
+        }
+        fn label(&self) -> &str {
+            "fixed"
+        }
+        fn round(
+            &mut self,
+            _round: usize,
+            _params: &[f64],
+            _rng: &mut dyn RngCore,
+        ) -> Result<EngineRound, BoxError> {
+            let r = self.rounds[self.next].clone();
+            self.next += 1;
+            Ok(r)
+        }
+    }
+
+    fn ok_round(elapsed: f64, residual: f64) -> EngineRound {
+        EngineRound {
+            elapsed: Some(elapsed),
+            at: None,
+            gradient: None,
+            residual,
+            error_bound: None,
+            results_used: 2,
+            busy: vec![elapsed; 3],
+            stop: false,
+        }
+    }
+
+    #[test]
+    fn timing_loop_records_and_aggregates() {
+        let mut engine = FixedEngine::new(vec![
+            ok_round(1.0, 0.0),
+            ok_round(3.0, 0.5),
+            EngineRound::failed(false),
+            ok_round(2.0, 0.0),
+        ]);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let out = drive_timing(&mut engine, 4, &mut rng).unwrap();
+        assert_eq!(out.label, "fixed");
+        assert_eq!(out.rounds(), 3);
+        assert_eq!(out.approx_rounds, 1);
+        assert_eq!(out.metrics.iterations(), 3);
+        assert_eq!(out.metrics.failed_iterations(), 1);
+        assert_eq!(out.metrics.avg_iteration_time().unwrap(), 2.0);
+        // The clock accumulates elapsed times.
+        assert_eq!(out.records.last().unwrap().time, 6.0);
+        assert!(!out.stalled, "run recovered after the failed round");
+        // Full busy occupancy: usage ratio 1.
+        assert_eq!(out.metrics.resource_usage().ratio().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn stop_on_failure_marks_stalled() {
+        let mut engine = FixedEngine::new(vec![ok_round(1.0, 0.0), EngineRound::failed(true)]);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let out = drive_timing(&mut engine, 5, &mut rng).unwrap();
+        assert!(out.stalled);
+        assert_eq!(out.rounds(), 1);
+        assert_eq!(out.metrics.failed_iterations(), 1);
+    }
+
+    #[test]
+    fn absolute_timestamps_override_the_accumulated_clock() {
+        let mut with_at = ok_round(0.5, 0.0);
+        with_at.at = Some(10.25);
+        let mut engine = FixedEngine::new(vec![ok_round(1.0, 0.0), with_at]);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let out = drive_timing(&mut engine, 2, &mut rng).unwrap();
+        assert_eq!(out.records[1].time, 10.25);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut engine = FixedEngine::new(vec![ok_round(1.0, 0.0), ok_round(2.0, 0.25)]);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let out = drive_timing(&mut engine, 2, &mut rng).unwrap();
+        let json = out.to_json();
+        assert!(json.starts_with("{\"label\":\"fixed\""));
+        assert!(json.contains("\"approx_rounds\":1"));
+        assert!(json.contains("\"rounds\":2"));
+        assert!(json.contains("\"records\":[{\"round\":1"));
+        assert!(json.contains("\"residual\":0.25"));
+        assert!(json.contains("\"loss\":null"));
+        assert!(json.ends_with("]}"));
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_and_nulls() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+        assert_eq!(json_f64_opt(None), "null");
+    }
+}

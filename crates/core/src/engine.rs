@@ -1,0 +1,748 @@
+//! The engines behind the unified training loop: each [`RoundEngine`]
+//! implementation produces one *collect round* — arrivals, a decoded (or
+//! escalated) gradient, and the round's clock — while [`TrainDriver`]
+//! owns everything the rounds have in common: the model, the optimizer,
+//! loss evaluation, metrics and the unified [`TrainOutcome`] report.
+//!
+//! Three engines cover the workspace's execution styles:
+//!
+//! * [`SimBspEngine`] — the discrete-event BSP simulator with real SGD
+//!   (the paper's Figs. 2–5 machinery), escalation ladder included;
+//! * [`SimSspEngine`] — the event-driven SSP scheduler, in two flavours:
+//!   the classic uncoded per-worker-update baseline
+//!   ([`SimSspEngine::shard`], the paper's Fig. 4 SSP curve) and — new —
+//!   coded bounded-asynchrony rounds with real codec decoding
+//!   ([`SimSspEngine::coded`]), where an intact group or an approximate
+//!   fallback completes a round before every worker reports;
+//! * [`ThreadedEngine`] — the real multi-threaded runtime, one OS thread
+//!   per worker, driven through `hetgc_runtime::ThreadedCluster`.
+//!
+//! All three hand the *same* decision to the *same* code when an exact
+//! decode does not materialize: the
+//! [`hetgc_coding::EscalationPolicy`] ladder (Exact → Group → Approx)
+//! compiled into an [`EscalatingCodec`].
+//!
+//! [`TrainDriver`]: crate::TrainDriver
+//! [`TrainOutcome`]: crate::TrainOutcome
+
+use std::sync::Arc;
+
+use hetgc_cluster::{PartitionAssignment, StragglerModel};
+use hetgc_coding::{
+    gradient_error_bound_l2, CodecSession, CodingMatrix, EscalatingCodec, EscalationPolicy,
+    GradientCodec,
+};
+use hetgc_ml::{partial_gradients, Dataset, Model};
+use hetgc_runtime::{RuntimeConfig, RuntimeError, ThreadedCluster};
+use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, SspEngine};
+use rand::RngCore;
+
+use crate::scheme::{BoxError, SchemeInstance};
+use crate::trainer::SimTrainConfig;
+
+/// What one engine round hands back to the driver.
+#[derive(Debug, Clone)]
+pub struct EngineRound {
+    /// Seconds this round took (simulated or wall-clock); `None` when the
+    /// round could not complete (undecodable and the ladder declined).
+    pub elapsed: Option<f64>,
+    /// Absolute completion time, for engines whose clock is not the sum
+    /// of round durations (the SSP event stream). `None` lets the driver
+    /// accumulate `elapsed`.
+    pub at: Option<f64>,
+    /// The decoded aggregated gradient over the *whole* dataset,
+    /// un-normalized (the driver divides by the sample count). `None`
+    /// for timing-only engines — the driver then skips the optimizer.
+    pub gradient: Option<Vec<f64>>,
+    /// Decode residual `‖aᵀB_I − 1‖₂`: 0 for exact rounds.
+    pub residual: f64,
+    /// Absolute gradient-error bound
+    /// ([`gradient_error_bound_l2`]) when the engine could compute it
+    /// (it needs the per-partition gradient norms); `None` otherwise —
+    /// the driver then falls back to a residual-only estimate.
+    pub error_bound: Option<f64>,
+    /// Worker results that carried decode weight.
+    pub results_used: usize,
+    /// Per-worker useful-compute seconds (empty when unknown).
+    pub busy: Vec<f64>,
+    /// `true` asks the driver to end the run after this round (a stalled
+    /// BSP run, a deterministic-failure timing sweep).
+    pub stop: bool,
+}
+
+impl EngineRound {
+    /// A round that never completed.
+    pub fn failed(stop: bool) -> Self {
+        EngineRound {
+            elapsed: None,
+            at: None,
+            gradient: None,
+            residual: 0.0,
+            error_bound: None,
+            results_used: 0,
+            busy: Vec::new(),
+            stop,
+        }
+    }
+
+    /// Whether the round decoded through an approximate fallback.
+    pub fn is_approximate(&self) -> bool {
+        self.residual > 0.0
+    }
+}
+
+/// One collect-round producer: the pluggable half of the unified training
+/// loop. Implementations own their execution substrate (simulator event
+/// queues, worker threads, codec sessions); the driver owns the model,
+/// optimizer and reporting.
+pub trait RoundEngine {
+    /// Number of workers in the engine's cluster.
+    fn workers(&self) -> usize;
+
+    /// Number of data partitions the engine's code splits the dataset
+    /// into (used by the driver's residual-aware step scaling).
+    fn partitions(&self) -> usize;
+
+    /// Label for the outcome's loss curve (scheme name, "ssp", …).
+    fn label(&self) -> &str;
+
+    /// Executes collect round `round` (1-based, strictly increasing) at
+    /// the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Configuration and infrastructure errors only — an *undecodable*
+    /// round is not an error; report it via [`EngineRound::failed`]
+    /// (except in the threaded runtime, whose contract is to error).
+    fn round(
+        &mut self,
+        round: usize,
+        params: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> Result<EngineRound, BoxError>;
+
+    /// Observes the parameters after the driver's optimizer step —
+    /// engines with stale-parameter semantics (SSP) snapshot them here.
+    fn after_step(&mut self, _params: &[f64]) {}
+}
+
+/// The learning-rate multiplier for a round with the given decode
+/// residual: exactly `1.0` on exact rounds, `1/(1+ρ) ∈ (0, 1)` on
+/// approximate rounds — the step shrinks with the relative gradient
+/// error, never to zero and never below the trust the bound justifies.
+///
+/// `ρ` is the relative gradient-error bound: `error_bound / ‖g‖` when the
+/// engine computed the rigorous bound
+/// ([`gradient_error_bound_l2`] over the per-partition gradient norms)
+/// and the decoded gradient is non-zero, else the dimensionless
+/// `residual / √k` — the fraction of the all-ones decode target the plan
+/// leaves unexplained (`‖1‖₂ = √k`).
+pub fn residual_step_scale(
+    residual: f64,
+    error_bound: Option<f64>,
+    gradient_norm: f64,
+    partitions: usize,
+) -> f64 {
+    if residual <= 0.0 {
+        return 1.0;
+    }
+    let relative = match error_bound {
+        Some(bound) if gradient_norm > 0.0 && bound.is_finite() => bound / gradient_norm,
+        _ => residual / (partitions.max(1) as f64).sqrt(),
+    };
+    1.0 / (1.0 + relative.max(0.0))
+}
+
+/// The master-side coded gradient of one simulated round, shared by the
+/// BSP and coded-SSP engines: partials → sparse encode per plan worker →
+/// combine with the plan's decode weights — plus the rigorous
+/// [`gradient_error_bound_l2`] for approximate plans.
+///
+/// In debug builds, exact plans are verified against the direct
+/// full-batch gradient (approximate rounds legitimately deviate, bounded
+/// by `residual · ‖(‖g_j‖)_j‖₂`).
+fn gradient_from_plan<M: Model + ?Sized>(
+    codec: &EscalatingCodec,
+    plan: &hetgc_coding::DecodePlan,
+    model: &M,
+    params: &[f64],
+    data: &Dataset,
+    ranges: &[(usize, usize)],
+    coded: &mut Vec<f64>,
+) -> Result<(Vec<f64>, Option<f64>), BoxError> {
+    let partials = partial_gradients(model, params, data, ranges);
+    let mut gradient = vec![0.0; model.num_params()];
+    for (w, coef) in plan.iter() {
+        codec.encode_into(w, &partials, coded)?;
+        for (g, c) in gradient.iter_mut().zip(coded.iter()) {
+            *g += coef * c;
+        }
+    }
+    let approximate = plan.residual() > 0.0;
+    debug_assert!(
+        approximate || {
+            let direct = model.gradient(params, data, (0, data.len()));
+            gradient
+                .iter()
+                .zip(&direct)
+                .all(|(a, b)| (a - b).abs() <= 1e-6 * (1.0 + b.abs()))
+        },
+        "decoded gradient deviates from direct full-batch gradient"
+    );
+    let error_bound = approximate.then(|| {
+        let norms: Vec<f64> = partials
+            .iter()
+            .map(|g| g.iter().map(|x| x * x).sum::<f64>().sqrt())
+            .collect();
+        gradient_error_bound_l2(plan.residual(), &norms)
+    });
+    Ok((gradient, error_bound))
+}
+
+// ------------------------------------------------------------- BSP (sim)
+
+/// The discrete-event BSP engine: every round samples straggler events,
+/// simulates arrivals, decodes at the earliest decodable prefix (with the
+/// escalation ladder at the policy deadline or round end) and computes
+/// the real coded gradient the way the master would — partials, sparse
+/// encode per surviving worker, combination with the decode plan.
+#[derive(Debug)]
+pub struct SimBspEngine<'a, M: Model + ?Sized> {
+    codec: EscalatingCodec,
+    session: CodecSession,
+    model: &'a M,
+    data: &'a Dataset,
+    rates: Vec<f64>,
+    ranges: Vec<(usize, usize)>,
+    work_per_partition: f64,
+    network: NetworkModel,
+    payload_bytes: f64,
+    compute_jitter: f64,
+    stragglers: StragglerModel,
+    fallback_deadline: Option<f64>,
+    label: String,
+    coded: Vec<f64>,
+}
+
+impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
+    /// An engine for `scheme` over the given cluster rates, with the
+    /// simulation knobs of `cfg` and the escalation `policy` wired onto
+    /// the configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Configuration mismatches (rates length, partitioning) and backend
+    /// compilation failures.
+    pub fn new(
+        scheme: &SchemeInstance,
+        model: &'a M,
+        data: &'a Dataset,
+        rates: &[f64],
+        cfg: &SimTrainConfig,
+        policy: EscalationPolicy,
+    ) -> Result<Self, BoxError> {
+        let base = scheme.compile_backend(cfg.backend)?;
+        let fallback_deadline = policy.deadline().map(|d| d.as_secs_f64());
+        let codec = EscalatingCodec::new(base, policy);
+        let m = codec.workers();
+        let k = codec.partitions();
+        if rates.len() != m {
+            return Err(format!("rates len {} != m={m}", rates.len()).into());
+        }
+        let assignment = PartitionAssignment::even(data.len(), k)?;
+        let ranges: Vec<(usize, usize)> = assignment.iter().collect();
+        let session = codec.session();
+        Ok(SimBspEngine {
+            codec,
+            session,
+            model,
+            data,
+            rates: rates.to_vec(),
+            ranges,
+            work_per_partition: data.len() as f64 / k as f64,
+            network: cfg.network,
+            payload_bytes: cfg.payload_bytes,
+            compute_jitter: cfg.compute_jitter,
+            stragglers: cfg.stragglers.clone(),
+            fallback_deadline,
+            label: scheme.kind.name().to_owned(),
+            coded: Vec::new(),
+        })
+    }
+
+    /// The escalation-wrapped codec this engine decodes with.
+    pub fn codec(&self) -> &EscalatingCodec {
+        &self.codec
+    }
+}
+
+impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
+    fn workers(&self) -> usize {
+        self.codec.workers()
+    }
+
+    fn partitions(&self) -> usize {
+        self.codec.partitions()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        params: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> Result<EngineRound, BoxError> {
+        let m = self.codec.workers();
+        let events = self.stragglers.sample_iteration(m, rng);
+        let mut sim_cfg = BspIterationConfig::new(&self.rates)
+            .work_per_partition(self.work_per_partition)
+            .network(self.network)
+            .payload_bytes(self.payload_bytes)
+            .compute_jitter(self.compute_jitter);
+        if let Some(deadline) = self.fallback_deadline {
+            sim_cfg = sim_cfg.fallback_deadline(deadline);
+        }
+        let outcome =
+            simulate_bsp_iteration_in(&self.codec, &sim_cfg, &events, rng, &mut self.session)?;
+        let Some(iter_time) = outcome.completion else {
+            // A stalled round ends the run: nothing will change next time.
+            return Ok(EngineRound::failed(true));
+        };
+
+        // Real coded gradient computation through the shared helper.
+        let (gradient, error_bound) = gradient_from_plan(
+            &self.codec,
+            &outcome.decode_plan(),
+            self.model,
+            params,
+            self.data,
+            &self.ranges,
+            &mut self.coded,
+        )?;
+
+        Ok(EngineRound {
+            elapsed: Some(iter_time),
+            at: None,
+            gradient: Some(gradient),
+            residual: outcome.decode_residual,
+            error_bound,
+            results_used: outcome.decode_workers.len(),
+            busy: outcome.busy,
+            stop: false,
+        })
+    }
+}
+
+// ------------------------------------------------------------- SSP (sim)
+
+// One engine holds exactly one mode for a whole run; the size skew
+// between variants is irrelevant next to the model/dataset it borrows.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum SspMode {
+    /// The classic uncoded SSP baseline: each event applies one worker's
+    /// shard gradient computed on the parameters that worker last saw.
+    Shard {
+        ranges: Vec<(usize, usize)>,
+        snapshots: Vec<Vec<f64>>,
+        last_worker: Option<usize>,
+    },
+    /// Coded bounded-asynchrony rounds: events stream into a codec
+    /// session; the round completes at the earliest decodable arrival set
+    /// (or escalates once every live worker has reported).
+    Coded {
+        codec: EscalatingCodec,
+        session: CodecSession,
+        ranges: Vec<(usize, usize)>,
+        live: Vec<usize>,
+        reported: Vec<bool>,
+        coded: Vec<f64>,
+    },
+}
+
+/// The event-driven SSP engine (Ho et al., the paper's \[17\]) as a
+/// [`RoundEngine`]. See [`SimSspEngine::shard`] for the paper's uncoded
+/// baseline and [`SimSspEngine::coded`] for the coded variant with real
+/// codec decoding — including approximate escalation, which lets an SSP
+/// run complete where exact-only decoding stalls on dead workers.
+#[derive(Debug)]
+pub struct SimSspEngine<'a, M: Model + ?Sized> {
+    engine: SspEngine,
+    model: &'a M,
+    data: &'a Dataset,
+    label: String,
+    last_time: f64,
+    mode: SspMode,
+}
+
+impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
+    /// The uncoded SSP baseline of Fig. 4: worker `w` owns the `w`-th of
+    /// `m` even shards, computes its shard gradient on the parameters it
+    /// saw when it last reported (true staleness dynamics), and every
+    /// update event is one driver round. Drive it for
+    /// `iterations × m` rounds to match the sample throughput of a BSP
+    /// run of `iterations` rounds.
+    ///
+    /// # Errors
+    ///
+    /// Configuration mismatches (no workers, partitioning).
+    pub fn shard(
+        model: &'a M,
+        data: &'a Dataset,
+        rates: &[f64],
+        staleness: usize,
+        cfg: &SimTrainConfig,
+    ) -> Result<Self, BoxError> {
+        let m = rates.len();
+        if m == 0 {
+            return Err("no workers".into());
+        }
+        let assignment = PartitionAssignment::even(data.len(), m)?;
+        let comm = cfg.network.transfer_time(cfg.payload_bytes);
+        let iter_times: Vec<f64> = (0..m)
+            .map(|w| {
+                let (lo, hi) = assignment.range(w).expect("w < m");
+                (hi - lo) as f64 / rates[w] + comm
+            })
+            .collect();
+        let engine = SspEngine::new(iter_times, staleness)?;
+        let ranges: Vec<(usize, usize)> = assignment.iter().collect();
+        Ok(SimSspEngine {
+            engine,
+            model,
+            data,
+            label: "ssp".to_owned(),
+            last_time: 0.0,
+            mode: SspMode::Shard {
+                ranges,
+                snapshots: Vec::new(),
+                last_worker: None,
+            },
+        })
+    }
+
+    /// Coded SSP: workers hold the scheme's coded partitions and report
+    /// asynchronously under the staleness gate; the master streams
+    /// arrivals into a codec session and completes a round at the
+    /// *earliest decodable* arrival set — an intact group decodes long
+    /// before every worker reports, and once every live worker has
+    /// reported without an exact decode the escalation `policy` ladder is
+    /// consulted (this is what lets a run with `failed` workers beyond
+    /// the straggler budget keep training where exact-only decoding
+    /// stalls).
+    ///
+    /// The round's gradient is computed at the round's parameters
+    /// (bounded-asynchrony collect semantics); staleness shapes *timing*,
+    /// not the gradient math.
+    ///
+    /// # Errors
+    ///
+    /// Configuration mismatches (rates length, partitioning, every
+    /// worker failed) and backend compilation failures.
+    #[allow(clippy::too_many_arguments)] // a flat knob list mirrors the sim configs
+    pub fn coded(
+        scheme: &SchemeInstance,
+        model: &'a M,
+        data: &'a Dataset,
+        rates: &[f64],
+        staleness: usize,
+        cfg: &SimTrainConfig,
+        policy: EscalationPolicy,
+        failed: &[usize],
+    ) -> Result<Self, BoxError> {
+        let base = scheme.compile_backend(cfg.backend)?;
+        let codec = EscalatingCodec::new(base, policy);
+        let m = codec.workers();
+        let k = codec.partitions();
+        if rates.len() != m {
+            return Err(format!("rates len {} != m={m}", rates.len()).into());
+        }
+        let assignment = PartitionAssignment::even(data.len(), k)?;
+        let ranges: Vec<(usize, usize)> = assignment.iter().collect();
+        let work_per_partition = data.len() as f64 / k as f64;
+        let comm = cfg.network.transfer_time(cfg.payload_bytes);
+        let live: Vec<usize> = (0..m).filter(|w| !failed.contains(w)).collect();
+        if live.is_empty() {
+            return Err("every worker failed".into());
+        }
+        let iter_times: Vec<f64> = live
+            .iter()
+            .map(|&w| codec.load_of(w) as f64 * work_per_partition / rates[w] + comm)
+            .collect();
+        let engine = SspEngine::new(iter_times, staleness)?;
+        let session = codec.session();
+        Ok(SimSspEngine {
+            engine,
+            model,
+            data,
+            label: "ssp-coded".to_owned(),
+            last_time: 0.0,
+            mode: SspMode::Coded {
+                codec,
+                session,
+                ranges,
+                live,
+                reported: vec![false; m],
+                coded: Vec::new(),
+            },
+        })
+    }
+
+    /// The underlying scheduler's per-worker progress counters.
+    pub fn progress(&self) -> &[usize] {
+        self.engine.progress()
+    }
+}
+
+impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
+    fn workers(&self) -> usize {
+        match &self.mode {
+            SspMode::Shard { ranges, .. } => ranges.len(),
+            SspMode::Coded { codec, .. } => codec.workers(),
+        }
+    }
+
+    fn partitions(&self) -> usize {
+        match &self.mode {
+            SspMode::Shard { ranges, .. } => ranges.len(),
+            SspMode::Coded { codec, .. } => codec.partitions(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        params: &[f64],
+        _rng: &mut dyn RngCore,
+    ) -> Result<EngineRound, BoxError> {
+        match &mut self.mode {
+            SspMode::Shard {
+                ranges,
+                snapshots,
+                last_worker,
+            } => {
+                if snapshots.is_empty() {
+                    // First round: every worker starts from the initial
+                    // parameters.
+                    *snapshots = vec![params.to_vec(); ranges.len()];
+                }
+                let Some(event) = self.engine.next_event() else {
+                    return Ok(EngineRound::failed(true));
+                };
+                let w = event.worker;
+                let (lo, hi) = ranges[w];
+                let gradient = self.model.gradient(&snapshots[w], self.data, (lo, hi));
+                *last_worker = Some(w);
+                let elapsed = event.time - self.last_time;
+                self.last_time = event.time;
+                Ok(EngineRound {
+                    elapsed: Some(elapsed),
+                    at: Some(event.time),
+                    gradient: Some(gradient),
+                    residual: 0.0,
+                    error_bound: None,
+                    results_used: 1,
+                    busy: Vec::new(),
+                    stop: false,
+                })
+            }
+            SspMode::Coded {
+                codec,
+                session,
+                ranges,
+                live,
+                reported,
+                coded,
+            } => {
+                let live_count = live.len();
+                let mut reported_count = 0;
+                let (plan, at) = loop {
+                    let Some(event) = self.engine.next_event() else {
+                        return Ok(EngineRound::failed(true));
+                    };
+                    let w = live[event.worker];
+                    if reported[w] {
+                        continue; // already contributed to this round
+                    }
+                    reported[w] = true;
+                    reported_count += 1;
+                    if let Some(plan) = session.push(w)? {
+                        break (plan, event.time);
+                    }
+                    if reported_count == live_count {
+                        // Every live worker has reported and no exact
+                        // decode exists: the shared escalation ladder is
+                        // the round's last chance.
+                        let survivors: Vec<usize> =
+                            (0..codec.workers()).filter(|&x| reported[x]).collect();
+                        match codec.fallback_plan(&survivors) {
+                            Some(plan) => break (plan, event.time),
+                            None => {
+                                session.reset();
+                                reported.iter_mut().for_each(|r| *r = false);
+                                return Ok(EngineRound::failed(true));
+                            }
+                        }
+                    }
+                };
+
+                let (gradient, error_bound) =
+                    gradient_from_plan(codec, &plan, self.model, params, self.data, ranges, coded)?;
+                let elapsed = at - self.last_time;
+                self.last_time = at;
+                session.reset();
+                reported.iter_mut().for_each(|r| *r = false);
+                Ok(EngineRound {
+                    elapsed: Some(elapsed),
+                    at: Some(at),
+                    gradient: Some(gradient),
+                    residual: plan.residual(),
+                    error_bound,
+                    results_used: plan.len(),
+                    busy: Vec::new(),
+                    stop: false,
+                })
+            }
+        }
+    }
+
+    fn after_step(&mut self, params: &[f64]) {
+        if let SspMode::Shard {
+            snapshots,
+            last_worker,
+            ..
+        } = &mut self.mode
+        {
+            if let Some(w) = last_worker.take() {
+                // The worker immediately begins its next iteration on the
+                // params it now observes.
+                snapshots[w] = params.to_vec();
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- threaded
+
+/// The real multi-threaded runtime as a [`RoundEngine`]: each round
+/// broadcasts the parameters to one OS thread per worker, collects coded
+/// results over channels, and decodes (or escalates) through the same
+/// ladder as the simulated engines.
+///
+/// Unlike the simulated engines, an undecodable round is an **error**
+/// (`RuntimeError::Undecodable`), matching the runtime's contract.
+#[derive(Debug)]
+pub struct ThreadedEngine<M> {
+    cluster: ThreadedCluster<M>,
+    label: String,
+}
+
+impl<M> ThreadedEngine<M>
+where
+    M: Model + Send + Sync + 'static,
+{
+    /// Spawns the worker threads (see `ThreadedCluster::start`).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] on partitioning/backend problems.
+    pub fn new(
+        code: CodingMatrix,
+        model: Arc<M>,
+        data: Arc<Dataset>,
+        config: &RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        Ok(ThreadedEngine {
+            cluster: ThreadedCluster::start(code, model, data, config)?,
+            label: "threaded".to_owned(),
+        })
+    }
+
+    /// Overrides the curve label (default `"threaded"`).
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The underlying cluster.
+    pub fn cluster(&self) -> &ThreadedCluster<M> {
+        &self.cluster
+    }
+}
+
+impl<M> RoundEngine for ThreadedEngine<M>
+where
+    M: Model + Send + Sync + 'static,
+{
+    fn workers(&self) -> usize {
+        self.cluster.workers()
+    }
+
+    fn partitions(&self) -> usize {
+        self.cluster.partitions()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn round(
+        &mut self,
+        round: usize,
+        params: &[f64],
+        _rng: &mut dyn RngCore,
+    ) -> Result<EngineRound, BoxError> {
+        let r = self.cluster.round(round, params)?;
+        Ok(EngineRound {
+            elapsed: Some(r.elapsed.as_secs_f64()),
+            at: None,
+            gradient: Some(r.gradient),
+            residual: r.residual,
+            // The master only sees coded results; per-partition norms are
+            // unavailable, so the driver scales by residual/√k.
+            error_bound: None,
+            results_used: r.results_used,
+            busy: r.busy,
+            stop: false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_scale_exact_rounds_untouched() {
+        assert_eq!(residual_step_scale(0.0, None, 1.0, 7), 1.0);
+        assert_eq!(residual_step_scale(0.0, Some(5.0), 1.0, 7), 1.0);
+        assert_eq!(residual_step_scale(-1.0, None, 1.0, 7), 1.0);
+    }
+
+    #[test]
+    fn step_scale_shrinks_with_the_bound() {
+        // Relative bound 1 → halve the step.
+        let s = residual_step_scale(0.5, Some(2.0), 2.0, 7);
+        assert!((s - 0.5).abs() < 1e-12);
+        // Tighter bound → larger step, still < 1.
+        let s2 = residual_step_scale(0.5, Some(0.2), 2.0, 7);
+        assert!(s2 > s && s2 < 1.0);
+    }
+
+    #[test]
+    fn step_scale_residual_only_fallback() {
+        // No bound available: ρ = residual/√k.
+        let s = residual_step_scale(2.0, None, 123.0, 4);
+        assert!((s - 1.0 / (1.0 + 2.0 / 2.0)).abs() < 1e-12);
+        // Zero-norm gradients fall back the same way.
+        let z = residual_step_scale(2.0, Some(1.0), 0.0, 4);
+        assert_eq!(z, s);
+    }
+}

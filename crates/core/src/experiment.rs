@@ -3,24 +3,86 @@
 //! `hetgc-bench` binary; see EXPERIMENTS.md for the recorded outputs.
 
 use hetgc_cluster::{ClusterSpec, DelayDistribution, EstimationNoise, StragglerModel};
-use hetgc_coding::GradientCodec;
-use hetgc_ml::{synthetic, Mlp};
+use hetgc_coding::{CodecSession, CompiledCodec, EscalationPolicy, GradientCodec};
+use hetgc_ml::{synthetic, Mlp, Sgd};
 use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
+use crate::driver::{drive_timing, DriverConfig, TrainDriver};
+use crate::engine::{EngineRound, RoundEngine, SimBspEngine, SimSspEngine};
 use crate::scheme::{BoxError, SchemeBuilder, SchemeInstance, SchemeKind};
-use crate::trainer::{train_bsp_sim, train_ssp_sim, LossCurve, SimTrainConfig};
+use crate::trainer::{LossCurve, SimTrainConfig};
 
-/// Timing-only run of one scheme: `iterations` simulated BSP rounds, no
-/// gradient math (Figs. 2, 3, 5 measure time, not loss).
+/// The timing-only [`RoundEngine`] behind [`run_timing`]: simulated BSP
+/// rounds with no gradient math (Figs. 2, 3, 5 measure time, not loss).
+struct TimingEngine<'a> {
+    codec: CompiledCodec,
+    session: CodecSession,
+    rates: &'a [f64],
+    work_per_partition: f64,
+    network: NetworkModel,
+    payload_bytes: f64,
+    jitter: f64,
+    stragglers: &'a StragglerModel,
+    label: String,
+}
+
+impl RoundEngine for TimingEngine<'_> {
+    fn workers(&self) -> usize {
+        self.codec.workers()
+    }
+
+    fn partitions(&self) -> usize {
+        self.codec.partitions()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        _params: &[f64],
+        rng: &mut dyn RngCore,
+    ) -> Result<EngineRound, BoxError> {
+        let cfg = BspIterationConfig::new(self.rates)
+            .work_per_partition(self.work_per_partition)
+            .network(self.network)
+            .payload_bytes(self.payload_bytes)
+            .compute_jitter(self.jitter);
+        let events = self.stragglers.sample_iteration(self.codec.workers(), rng);
+        let outcome =
+            simulate_bsp_iteration_in(&self.codec, &cfg, &events, rng, &mut self.session)?;
+        let Some(t) = outcome.completion else {
+            // Deterministic failure models never recover; stop early.
+            let stop = matches!(self.stragglers, StragglerModel::Failures { .. });
+            return Ok(EngineRound::failed(stop));
+        };
+        Ok(EngineRound {
+            elapsed: Some(t),
+            at: None,
+            gradient: None,
+            residual: outcome.decode_residual,
+            error_bound: None,
+            results_used: outcome.decode_workers.len(),
+            busy: outcome.busy,
+            stop: false,
+        })
+    }
+}
+
+/// Timing-only run of one scheme: `iterations` simulated BSP rounds
+/// through the unified [`drive_timing`] loop, no gradient math (Figs. 2,
+/// 3, 5 measure time, not loss).
 ///
 /// # Errors
 ///
 /// Propagates simulator configuration errors.
 #[allow(clippy::too_many_arguments)] // a flat knob list mirrors the figure configs
-pub fn run_timing<R: Rng + ?Sized>(
+pub fn run_timing<R: Rng>(
     scheme: &SchemeInstance,
     rates: &[f64],
     samples: usize,
@@ -32,26 +94,20 @@ pub fn run_timing<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<RunMetrics, BoxError> {
     let codec = scheme.compile();
-    let mut session = codec.session();
+    let session = codec.session();
     let k = codec.partitions();
-    let cfg = BspIterationConfig::new(rates)
-        .work_per_partition(samples as f64 / k as f64)
-        .network(network)
-        .payload_bytes(payload_bytes)
-        .compute_jitter(jitter);
-    let mut metrics = RunMetrics::new();
-    for _ in 0..iterations {
-        let events = stragglers.sample_iteration(codec.workers(), rng);
-        let outcome = simulate_bsp_iteration_in(&codec, &cfg, &events, rng, &mut session)?;
-        metrics.record(&outcome);
-        if outcome.completion.is_none() {
-            // Deterministic failure models never recover; stop early.
-            if matches!(stragglers, StragglerModel::Failures { .. }) {
-                break;
-            }
-        }
-    }
-    Ok(metrics)
+    let mut engine = TimingEngine {
+        codec,
+        session,
+        rates,
+        work_per_partition: samples as f64 / k as f64,
+        network,
+        payload_bytes,
+        jitter,
+        stragglers,
+        label: scheme.kind.name().to_owned(),
+    };
+    Ok(drive_timing(&mut engine, iterations, rng)?.metrics)
 }
 
 // ---------------------------------------------------------------- Fig. 2
@@ -306,7 +362,8 @@ impl Default for Fig4Config {
 }
 
 /// Runs Fig. 4: loss-vs-simulated-time curves for the four BSP schemes and
-/// SSP on the same dataset and model.
+/// SSP on the same dataset and model, all through the unified
+/// [`TrainDriver`] loop.
 ///
 /// # Errors
 ///
@@ -345,18 +402,30 @@ pub fn fig4(cfg: &Fig4Config) -> Result<Vec<LossCurve>, BoxError> {
         // trajectories coincide and only the time axis differs (the paper's
         // Fig. 4 premise).
         let mut train_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF);
-        let out = train_bsp_sim(scheme, &model, &data, &rates, &train_cfg, &mut train_rng)?;
+        let mut engine = SimBspEngine::new(
+            scheme,
+            &model,
+            &data,
+            &rates,
+            &train_cfg,
+            EscalationPolicy::follow_backend(),
+        )?;
+        let out = TrainDriver::new(&model, &data, Sgd::new(train_cfg.learning_rate)).run(
+            &mut engine,
+            train_cfg.iterations,
+            &mut train_rng,
+        )?;
         curves.push(out.curve);
     }
     let mut ssp_rng = StdRng::seed_from_u64(cfg.seed ^ 0xBEEF);
-    curves.push(train_ssp_sim(
-        &model,
-        &data,
-        &rates,
-        cfg.ssp_staleness,
-        &train_cfg,
-        &mut ssp_rng,
-    )?);
+    let mut ssp = SimSspEngine::shard(&model, &data, &rates, cfg.ssp_staleness, &train_cfg)?;
+    let out = TrainDriver::new(&model, &data, Sgd::new(train_cfg.learning_rate))
+        .with_config(DriverConfig {
+            eval_every: train_cfg.eval_every,
+            ..DriverConfig::default()
+        })
+        .run(&mut ssp, train_cfg.iterations * rates.len(), &mut ssp_rng)?;
+    curves.push(out.curve);
     Ok(curves)
 }
 

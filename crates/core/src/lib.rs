@@ -12,8 +12,15 @@
 //!
 //! * [`SchemeKind`] / [`SchemeBuilder`] — one entry point constructing any
 //!   scheme for a [`ClusterSpec`], with optional estimation noise.
-//! * [`train_bsp_sim`] / [`train_ssp_sim`] — simulated-time distributed
-//!   SGD producing the loss-vs-time curves of Fig. 4.
+//! * [`TrainDriver`] + [`RoundEngine`] — **the** training loop: one
+//!   round-driver serving the simulated BSP engine ([`SimBspEngine`]),
+//!   the SSP event stream ([`SimSspEngine`], uncoded baseline or coded
+//!   rounds), and the real threaded runtime ([`ThreadedEngine`]), all
+//!   emitting one unified [`TrainOutcome`] / [`RoundRecord`] report with
+//!   per-round backend escalation ([`EscalationPolicy`]) and
+//!   residual-aware step scaling built in.
+//! * [`train_bsp_sim`] / [`train_ssp_sim`] — the legacy simulated-time
+//!   entry points (deprecated thin wrappers over the driver).
 //! * [`experiment`] — runners regenerating every figure of the paper
 //!   (Figs. 2, 3, 4, 5 and the Table II inventory).
 //! * [`analysis`] — optimality checks against Theorem 5.
@@ -42,13 +49,21 @@
 
 pub mod adaptive;
 pub mod analysis;
+mod driver;
+mod engine;
 pub mod experiment;
 pub mod report;
 mod scheme;
 mod trainer;
 
+pub use driver::{drive_timing, DriverConfig, RoundRecord, TrainDriver, TrainOutcome};
+pub use engine::{
+    residual_step_scale, EngineRound, RoundEngine, SimBspEngine, SimSspEngine, ThreadedEngine,
+};
 pub use scheme::{SchemeBuilder, SchemeInstance, SchemeKind};
-pub use trainer::{train_bsp_sim, train_ssp_sim, BspTrainOutcome, LossCurve, SimTrainConfig};
+#[allow(deprecated)]
+pub use trainer::{train_bsp_sim, train_ssp_sim};
+pub use trainer::{BspTrainOutcome, LossCurve, SimTrainConfig};
 
 // Re-export the sub-crates under stable names so downstream users need a
 // single dependency.
@@ -61,8 +76,8 @@ pub use hetgc_coding::{
     gradient_error_bound_l2, group_based, heter_aware, is_robust_to, naive,
     suggest_partition_count, under_replicated, verify_condition_c1, verify_condition_c1_sampled,
     Allocation, AnyCodec, ApproxCodec, ApproximateDecode, CodecBackend, CodecSession, CodingError,
-    CodingMatrix, CompiledCodec, DecodePlan, DecodingMatrix, GradientCodec, Group, GroupCodec,
-    GroupCodingMatrix, GroupSearchConfig, SupportMatrix,
+    CodingMatrix, CompiledCodec, DecodePlan, DecodingMatrix, EscalatingCodec, EscalationPolicy,
+    GradientCodec, Group, GroupCodec, GroupCodingMatrix, GroupSearchConfig, SupportMatrix,
 };
 #[allow(deprecated)]
 pub use hetgc_coding::{combine, decode_vector, gradient_error_bound, DecodeCache, OnlineDecoder};
@@ -70,7 +85,10 @@ pub use hetgc_ml::{
     accuracy, synthetic, Adam, Classifier, Dataset, LinearRegression, Mlp, Model, Momentum,
     Optimizer, Sgd, SoftmaxRegression, Targets,
 };
-pub use hetgc_runtime::{RuntimeConfig, ThreadedTrainer, TrainingReport, WorkerBehavior};
+pub use hetgc_runtime::{
+    ClusterRound, RuntimeConfig, RuntimeError, ThreadedCluster, ThreadedTrainer, TrainingReport,
+    WorkerBehavior,
+};
 pub use hetgc_sim::{
     simulate_bsp_iteration, simulate_bsp_iteration_in, BspIteration, BspIterationConfig,
     IterationTrace, NetworkModel, RunMetrics, SspEngine, SspEvent,

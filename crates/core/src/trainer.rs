@@ -1,21 +1,28 @@
-//! Simulated-time distributed training: BSP (coded) and SSP (asynchronous)
-//! trainers producing the loss-vs-wall-clock curves of the paper's Fig. 4.
+//! Simulated-time distributed training: the legacy BSP (coded) and SSP
+//! (asynchronous) entry points producing the loss-vs-wall-clock curves of
+//! the paper's Fig. 4.
 //!
-//! The BSP trainer runs *real* SGD: every iteration computes the exact
-//! per-partition gradients, encodes them with the scheme's rows, decodes
-//! at the simulator-chosen survivor set, and verifies against the direct
-//! full-batch gradient — so the accuracy-preservation claim of the paper
-//! (§II: coding keeps BSP statistical efficiency) is checked on every
-//! step, not assumed. Only the *clock* is simulated.
+//! Both functions are now thin wrappers over the unified round loop —
+//! [`TrainDriver`](crate::TrainDriver) driving a
+//! [`SimBspEngine`](crate::SimBspEngine) /
+//! [`SimSspEngine`](crate::SimSspEngine) — kept (deprecated) for callers
+//! of the original API; `tests/engine_equivalence.rs` pins their
+//! trajectories to the new API's. The BSP path still runs *real* SGD:
+//! every iteration computes the exact per-partition gradients, encodes
+//! them with the scheme's rows, decodes at the simulator-chosen survivor
+//! set, and verifies against the direct full-batch gradient — so the
+//! accuracy-preservation claim of the paper (§II: coding keeps BSP
+//! statistical efficiency) is checked on every step, not assumed. Only
+//! the *clock* is simulated.
 
-use hetgc_cluster::{PartitionAssignment, StragglerModel};
-use hetgc_coding::{CodecBackend, GradientCodec};
-use hetgc_ml::{partial_gradients, Dataset, Model};
-use hetgc_sim::{
-    simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics, SspEngine,
-};
+use hetgc_cluster::StragglerModel;
+use hetgc_coding::{CodecBackend, EscalationPolicy};
+use hetgc_ml::{Dataset, Model, Sgd};
+use hetgc_sim::{NetworkModel, RunMetrics};
 use rand::Rng;
 
+use crate::driver::{DriverConfig, TrainDriver};
+use crate::engine::{SimBspEngine, SimSspEngine};
 use crate::scheme::{BoxError, SchemeInstance};
 
 /// Shared knobs of the simulated trainers.
@@ -113,12 +120,22 @@ pub struct BspTrainOutcome {
 ///
 /// `rates[w]` is worker `w`'s true throughput in samples/second.
 ///
+/// Deprecated: this is a thin wrapper over the unified loop — build a
+/// [`SimBspEngine`] and drive it through [`TrainDriver`] for the full
+/// [`TrainOutcome`](crate::TrainOutcome) report, per-round escalation and
+/// residual-aware step scaling. The wrapper disables step scaling to
+/// preserve the legacy full-step behaviour on approximate rounds.
+///
 /// # Errors
 ///
 /// Fails on configuration mismatches (rates length, partitioning) and
 /// propagates simulator errors. An *undecodable iteration* is not an
 /// error: training stops and the outcome is flagged
 /// [`BspTrainOutcome::stalled`].
+#[deprecated(
+    since = "0.2.0",
+    note = "drive a SimBspEngine through TrainDriver instead"
+)]
 pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
     scheme: &SchemeInstance,
     model: &M,
@@ -127,91 +144,26 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
     cfg: &SimTrainConfig,
     rng: &mut R,
 ) -> Result<BspTrainOutcome, BoxError> {
-    // Compile once into the configured backend: sparse per-worker supports
-    // for encoding, cached decode plans, and one streaming session reused
-    // (reset, not reallocated) across all iterations.
-    let codec = scheme.compile_backend(cfg.backend)?;
-    let mut session = codec.session();
-    let m = codec.workers();
-    let k = codec.partitions();
-    if rates.len() != m {
-        return Err(format!("rates len {} != m={m}", rates.len()).into());
-    }
-    let assignment = PartitionAssignment::even(data.len(), k)?;
-    let ranges: Vec<(usize, usize)> = assignment.iter().collect();
-    let n = data.len() as f64;
-    let work_per_partition = n / k as f64;
-
-    let mut params = model.init_params(rng);
-    let mut metrics = RunMetrics::new();
-    let mut curve = LossCurve {
-        label: scheme.kind.name().to_owned(),
-        points: Vec::new(),
-    };
-    let mut clock = 0.0;
-    let mut stalled = false;
-    let mut approx_iterations = 0;
-
-    for _ in 0..cfg.iterations {
-        let events = cfg.stragglers.sample_iteration(m, rng);
-        let sim_cfg = BspIterationConfig::new(rates)
-            .work_per_partition(work_per_partition)
-            .network(cfg.network)
-            .payload_bytes(cfg.payload_bytes)
-            .compute_jitter(cfg.compute_jitter);
-        let outcome = simulate_bsp_iteration_in(&codec, &sim_cfg, &events, rng, &mut session)?;
-        let Some(iter_time) = outcome.completion else {
-            metrics.record(&outcome);
-            stalled = true;
-            break;
-        };
-        metrics.record(&outcome);
-        clock += iter_time;
-        if outcome.is_approximate() {
-            approx_iterations += 1;
-        }
-
-        // Real coded gradient computation: partials → sparse encode per
-        // decoding worker → combine with the decode vector.
-        let partials = partial_gradients(model, &params, data, &ranges);
-        let mut gradient = vec![0.0; model.num_params()];
-        let mut coded = Vec::new();
-        for &w in &outcome.decode_workers {
-            codec.encode_into(w, &partials, &mut coded)?;
-            let coef = outcome.decode_vector[w];
-            for (g, c) in gradient.iter_mut().zip(&coded) {
-                *g += coef * c;
-            }
-        }
-        // Approximate rounds legitimately deviate from the direct gradient
-        // (bounded by residual · ‖(‖g_j‖)_j‖₂); only exact rounds must
-        // reproduce it.
-        debug_assert!(
-            outcome.is_approximate() || {
-                let direct = model.gradient(&params, data, (0, data.len()));
-                gradient
-                    .iter()
-                    .zip(&direct)
-                    .all(|(a, b)| (a - b).abs() <= 1e-6 * (1.0 + b.abs()))
-            },
-            "decoded gradient deviates from direct full-batch gradient"
-        );
-        for g in &mut gradient {
-            *g /= n;
-        }
-        for (p, g) in params.iter_mut().zip(&gradient) {
-            *p -= cfg.learning_rate * g;
-        }
-        let loss = model.loss(&params, data, (0, data.len())) / n;
-        curve.points.push((clock, loss));
-    }
-
+    let mut engine = SimBspEngine::new(
+        scheme,
+        model,
+        data,
+        rates,
+        cfg,
+        EscalationPolicy::follow_backend(),
+    )?;
+    let out = TrainDriver::new(model, data, Sgd::new(cfg.learning_rate))
+        .with_config(DriverConfig {
+            eval_every: 1,
+            residual_step_scaling: false,
+        })
+        .run(&mut engine, cfg.iterations, rng)?;
     Ok(BspTrainOutcome {
-        curve,
-        metrics,
-        params,
-        stalled,
-        approx_iterations,
+        curve: out.curve,
+        metrics: out.metrics,
+        params: out.params,
+        stalled: out.stalled,
+        approx_iterations: out.approx_rounds,
     })
 }
 
@@ -224,9 +176,17 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
 /// lasts `cfg.iterations × m` update events so the *sample throughput*
 /// matches a BSP run of `cfg.iterations` iterations.
 ///
+/// Deprecated: this is a thin wrapper over the unified loop — build a
+/// [`SimSspEngine::shard`] and drive it through [`TrainDriver`]
+/// (`SimSspEngine::coded` adds real codec decoding to SSP).
+///
 /// # Errors
 ///
 /// Fails on configuration mismatches; propagates engine errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "drive a SimSspEngine through TrainDriver instead"
+)]
 pub fn train_ssp_sim<M: Model + ?Sized, R: Rng>(
     model: &M,
     data: &Dataset,
@@ -235,52 +195,18 @@ pub fn train_ssp_sim<M: Model + ?Sized, R: Rng>(
     cfg: &SimTrainConfig,
     rng: &mut R,
 ) -> Result<LossCurve, BoxError> {
-    let m = rates.len();
-    if m == 0 {
-        return Err("no workers".into());
-    }
-    let assignment = PartitionAssignment::even(data.len(), m)?;
-    let comm = cfg.network.transfer_time(cfg.payload_bytes);
-    let iter_times: Vec<f64> = (0..m)
-        .map(|w| {
-            let (lo, hi) = assignment.range(w).expect("w < m");
-            (hi - lo) as f64 / rates[w] + comm
+    let mut engine = SimSspEngine::shard(model, data, rates, staleness, cfg)?;
+    let out = TrainDriver::new(model, data, Sgd::new(cfg.learning_rate))
+        .with_config(DriverConfig {
+            eval_every: cfg.eval_every,
+            residual_step_scaling: false,
         })
-        .collect();
-    let mut engine = SspEngine::new(iter_times, staleness)?;
-
-    let n = data.len() as f64;
-    let mut params = model.init_params(rng);
-    // Per-worker stale snapshots: what the worker is computing on.
-    let mut snapshots: Vec<Vec<f64>> = vec![params.clone(); m];
-    let mut curve = LossCurve {
-        label: "ssp".to_owned(),
-        points: Vec::new(),
-    };
-
-    let total_updates = cfg.iterations * m;
-    for step in 1..=total_updates {
-        let Some(event) = engine.next_event() else {
-            break;
-        };
-        let w = event.worker;
-        let (lo, hi) = assignment.range(w).expect("w < m");
-        let grad = model.gradient(&snapshots[w], data, (lo, hi));
-        for (p, g) in params.iter_mut().zip(&grad) {
-            *p -= cfg.learning_rate * g / n;
-        }
-        // The worker immediately begins its next iteration on the params
-        // it now observes.
-        snapshots[w] = params.clone();
-        if step % cfg.eval_every.max(1) == 0 || step == total_updates {
-            let loss = model.loss(&params, data, (0, data.len())) / n;
-            curve.points.push((event.time, loss));
-        }
-    }
-    Ok(curve)
+        .run(&mut engine, cfg.iterations * rates.len(), rng)?;
+    Ok(out.curve)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrappers on purpose
 mod tests {
     use super::*;
     use crate::scheme::{SchemeBuilder, SchemeKind};

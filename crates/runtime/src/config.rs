@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use hetgc_coding::CodecBackend;
+use hetgc_coding::{CodecBackend, EscalationPolicy};
 
 /// Behaviour of one worker, used to emulate heterogeneity and stragglers on
 /// real threads.
@@ -88,6 +88,14 @@ pub struct RuntimeConfig {
     ///   straggling) worker, the master keeps waiting and the fallback
     ///   never triggers.
     pub backend: CodecBackend,
+    /// Per-round escalation policy. `None` (the default) follows the
+    /// configured backend — exactly the pre-policy behaviour: only an
+    /// approximate backend rescues a timed-out round. Set an explicit
+    /// policy to escalate an exact or group backend to approximate
+    /// decoding inside a round ([`hetgc_coding::CodecBackend::Approx`]
+    /// ceiling), cap the accepted residual, or carry the escalation
+    /// deadline here instead of [`RuntimeConfig::iteration_timeout`].
+    pub escalation: Option<EscalationPolicy>,
 }
 
 impl RuntimeConfig {
@@ -97,6 +105,7 @@ impl RuntimeConfig {
             behaviors: vec![WorkerBehavior::nominal(); workers],
             iteration_timeout: None,
             backend: CodecBackend::Auto,
+            escalation: None,
         }
     }
 
@@ -124,6 +133,29 @@ impl RuntimeConfig {
     pub fn with_backend(mut self, backend: CodecBackend) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// Sets an explicit per-round escalation policy (see
+    /// [`RuntimeConfig::escalation`]).
+    pub fn with_escalation(mut self, policy: EscalationPolicy) -> Self {
+        self.escalation = Some(policy);
+        self
+    }
+
+    /// The escalation policy in force: the explicit one, or the
+    /// backend-following default.
+    pub fn effective_escalation(&self) -> EscalationPolicy {
+        self.escalation.clone().unwrap_or_default()
+    }
+
+    /// How long the master waits for results in one round before
+    /// escalating: the policy's deadline when set, otherwise
+    /// [`RuntimeConfig::iteration_timeout`].
+    pub fn effective_timeout(&self) -> Option<Duration> {
+        self.escalation
+            .as_ref()
+            .and_then(EscalationPolicy::deadline)
+            .or(self.iteration_timeout)
     }
 }
 

@@ -1,5 +1,21 @@
 //! The master: broadcast → collect → decode at the earliest decodable set
 //! → optimize, iterated.
+//!
+//! Two layers:
+//!
+//! * [`ThreadedCluster`] — the collect-round engine: owns the worker
+//!   threads, channels and one reusable decode session, and exposes
+//!   [`ThreadedCluster::round`] (broadcast params, gather results, decode
+//!   or escalate, combine the gradient). This is what the unified
+//!   `hetgc::TrainDriver` loop drives through its `ThreadedEngine`.
+//! * [`ThreadedTrainer`] — the legacy all-in-one trainer, now a thin
+//!   (deprecated) wrapper looping [`ThreadedCluster::round`] with an
+//!   optimizer.
+//!
+//! The timeout → approximate fallback decision is **not** implemented
+//! here: the cluster holds an `hetgc_coding::EscalatingCodec`, so the
+//! escalation code is the same one the discrete-event simulator consults
+//! at its round end — one ladder, two execution paths.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -8,9 +24,11 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgc_cluster::PartitionAssignment;
 use hetgc_coding::{
-    AnyCodec, ApproxCodec, CodecBackend, CodingMatrix, CompiledCodec, GradientCodec, GroupCodec,
+    AnyCodec, ApproxCodec, CodecBackend, CodecSession, CodingMatrix, CompiledCodec,
+    EscalatingCodec, GradientCodec, GroupCodec,
 };
 use hetgc_ml::{Dataset, Model, Optimizer};
+use hetgc_sim::RunMetrics;
 use rand::RngCore;
 
 use crate::config::RuntimeConfig;
@@ -34,36 +52,346 @@ pub struct TrainingReport {
     /// (any positive residual, however numerically small), matching the
     /// simulator's `BspIteration::is_approximate`.
     pub approx_iterations: usize,
+    /// Timing metrics over the run — the same accumulator the simulated
+    /// trainers use, so averages and quantiles come from one code path.
+    pub metrics: RunMetrics,
 }
 
 impl TrainingReport {
-    /// Mean iteration wall time in seconds.
+    /// Mean iteration wall time in seconds (0 when nothing ran).
     pub fn avg_iteration_seconds(&self) -> f64 {
-        if self.iteration_times.is_empty() {
-            return 0.0;
+        self.metrics.avg_iteration_time().unwrap_or(0.0)
+    }
+}
+
+/// One completed collect round of a [`ThreadedCluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterRound {
+    /// The decoded aggregated gradient `Σ_w a_w · g̃_w`, un-normalized
+    /// (the caller divides by the dataset size).
+    pub gradient: Vec<f64>,
+    /// Decode residual of the round: `0.0` for exact decodes, positive
+    /// when the escalation ladder's approximate stage rescued it.
+    pub residual: f64,
+    /// How many worker results carried decode weight.
+    pub results_used: usize,
+    /// Wall-clock duration of the round (broadcast → decoded gradient).
+    pub elapsed: Duration,
+    /// Per-worker compute seconds reported this round (0 for workers
+    /// whose result never arrived).
+    pub busy: Vec<f64>,
+}
+
+/// A running coded worker pool: one OS thread per worker, channels to the
+/// master, and a reusable decode session. Spawned by
+/// [`ThreadedCluster::start`]; each [`ThreadedCluster::round`] runs one
+/// broadcast → collect → decode/escalate → combine cycle. Threads are
+/// shut down and joined on drop (or explicitly via
+/// [`ThreadedCluster::shutdown`]).
+#[derive(Debug)]
+pub struct ThreadedCluster<M> {
+    codec: EscalatingCodec,
+    model: Arc<M>,
+    data: Arc<Dataset>,
+    timeout: Option<Duration>,
+    to_workers: Vec<Sender<ToWorker>>,
+    from_rx: Option<Receiver<FromWorker>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    session: CodecSession,
+    received: HashMap<usize, Vec<f64>>,
+    compute_seconds: Vec<f64>,
+    /// Internal round tag, strictly increasing across [`ThreadedCluster::round`]
+    /// calls — workers echo it back, so stale results from ANY earlier
+    /// round (including a previous driver run over the same cluster) are
+    /// filtered out regardless of the caller's numbering.
+    round_seq: usize,
+}
+
+/// Compiles `code` into the backend named by `config.backend`, then wires
+/// the escalation policy on top.
+fn build_codec(
+    code: CodingMatrix,
+    config: &RuntimeConfig,
+) -> Result<EscalatingCodec, RuntimeError> {
+    let base = match config.backend {
+        // Auto: derive groups from the support structure; when the
+        // matrix admits none (or can't be analysed) the group codec
+        // is pure overhead, so degrade to the plain exact backend.
+        CodecBackend::Auto => match GroupCodec::from_code(code.clone()) {
+            Ok(grouped) if !grouped.groups().is_empty() => AnyCodec::Group(grouped),
+            _ => AnyCodec::Exact(CompiledCodec::new(code)),
+        },
+        CodecBackend::Exact => AnyCodec::Exact(CompiledCodec::new(code)),
+        CodecBackend::Group => AnyCodec::Group(GroupCodec::from_code(code).map_err(|e| {
+            RuntimeError::InvalidConfig {
+                reason: format!("group backend construction failed: {e}"),
+            }
+        })?),
+        CodecBackend::Approx => AnyCodec::Approx(ApproxCodec::new(code)),
+    };
+    Ok(EscalatingCodec::new(base, config.effective_escalation()))
+}
+
+impl<M> ThreadedCluster<M>
+where
+    M: Model + Send + Sync + 'static,
+{
+    /// Spawns the worker threads for `code` over `data`, compiling the
+    /// matrix into the backend named by [`RuntimeConfig::backend`] and
+    /// wiring [`RuntimeConfig::escalation`] on top.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] when the dataset has fewer samples
+    /// than partitions, or when the requested backend cannot be built
+    /// from this matrix.
+    pub fn start(
+        code: CodingMatrix,
+        model: Arc<M>,
+        data: Arc<Dataset>,
+        config: &RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let codec = build_codec(code, config)?;
+        Self::with_codec(codec, model, data, config)
+    }
+
+    /// [`ThreadedCluster::start`] over an already-compiled codec (spares
+    /// callers that validated the backend at construction — e.g. the
+    /// legacy [`ThreadedTrainer`] — a second compilation).
+    fn with_codec(
+        codec: EscalatingCodec,
+        model: Arc<M>,
+        data: Arc<Dataset>,
+        config: &RuntimeConfig,
+    ) -> Result<Self, RuntimeError> {
+        let assignment =
+            PartitionAssignment::even(data.len(), codec.partitions()).map_err(|e| {
+                RuntimeError::InvalidConfig {
+                    reason: format!("partitioning failed: {e}"),
+                }
+            })?;
+        let m = codec.workers();
+        let (from_tx, from_rx) = unbounded::<FromWorker>();
+        let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(m);
+        let mut handles = Vec::with_capacity(m);
+        for w in 0..m {
+            let (to_tx, to_rx) = unbounded::<ToWorker>();
+            to_workers.push(to_tx);
+            // The codec's precompiled CSR row is exactly the worker's
+            // marching orders: which partitions, with which coefficients.
+            let compiled = codec.base().as_compiled();
+            let ranges: Vec<(usize, usize)> = compiled
+                .support_of(w)
+                .iter()
+                .map(|&p| assignment.range(p).expect("support within k"))
+                .collect();
+            let coefficients: Vec<f64> = compiled.coefficients_of(w).to_vec();
+            let ctx = WorkerContext {
+                index: w,
+                model: Arc::clone(&model),
+                data: Arc::clone(&data),
+                ranges,
+                coefficients,
+                behavior: config.behavior_of(w),
+                inbox: to_rx,
+                outbox: from_tx.clone(),
+            };
+            handles.push(std::thread::spawn(move || worker_main(ctx)));
         }
-        self.iteration_times
-            .iter()
-            .map(Duration::as_secs_f64)
-            .sum::<f64>()
-            / self.iteration_times.len() as f64
+        drop(from_tx); // master keeps only the receiver
+
+        let session = codec.session();
+        Ok(ThreadedCluster {
+            codec,
+            model,
+            data,
+            timeout: config.effective_timeout(),
+            to_workers,
+            from_rx: Some(from_rx),
+            handles,
+            session,
+            received: HashMap::new(),
+            compute_seconds: vec![0.0; m],
+            round_seq: 0,
+        })
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.codec.workers()
+    }
+
+    /// Number of data partitions.
+    pub fn partitions(&self) -> usize {
+        self.codec.partitions()
+    }
+
+    /// The escalation-wrapped codec the master decodes with.
+    pub fn codec(&self) -> &EscalatingCodec {
+        &self.codec
+    }
+
+    /// The model the workers compute gradients of.
+    pub fn model(&self) -> &Arc<M> {
+        &self.model
+    }
+
+    /// The training data.
+    pub fn data(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    /// Runs one collect round: broadcasts `params`, streams results into
+    /// the decode session, escalates through the policy ladder at the
+    /// deadline, and combines the decoded gradient.
+    ///
+    /// Rounds are tagged with an internal strictly-increasing sequence
+    /// (which is also what workers' fail-stop behaviours count), so stale
+    /// results from any earlier round — including a previous driver run
+    /// over the same cluster — can never contaminate this one. The
+    /// caller's `iteration` (1-based) is used for error reporting.
+    ///
+    /// The deadline (`EscalationPolicy::with_deadline`, or the legacy
+    /// [`RuntimeConfig::iteration_timeout`]) is measured from the start
+    /// of the round, matching the simulator's `fallback_deadline`. One
+    /// substrate difference remains by design: wall-clock masters cannot
+    /// tell a straggler from a dead worker, so when the ladder declines
+    /// at the deadline the round errors instead of waiting forever.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Undecodable`] when the round cannot decode
+    ///   within the deadline and the escalation ladder declines.
+    /// * [`RuntimeError::WorkerLost`] when a worker thread is gone.
+    pub fn round(
+        &mut self,
+        iteration: usize,
+        params: &[f64],
+    ) -> Result<ClusterRound, RuntimeError> {
+        let started = Instant::now();
+        self.round_seq += 1;
+        let tag = self.round_seq;
+        let shared = Arc::new(params.to_vec());
+        for (w, tx) in self.to_workers.iter().enumerate() {
+            tx.send(ToWorker::Round {
+                iteration: tag,
+                params: Arc::clone(&shared),
+            })
+            .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
+        }
+
+        self.session.reset();
+        self.received.clear();
+        self.compute_seconds.iter_mut().for_each(|c| *c = 0.0);
+        let from_rx = self.from_rx.as_ref().expect("receiver lives until drop");
+        let plan = loop {
+            // The deadline is round-relative: stale or slow arrivals never
+            // extend the window.
+            let recv_result = match self.timeout {
+                Some(t) => match t.checked_sub(started.elapsed()) {
+                    Some(remaining) => from_rx.recv_timeout(remaining).map_err(|_| ()),
+                    None => Err(()), // deadline already passed
+                },
+                None => from_rx.recv().map_err(|_| ()),
+            };
+            let msg = match recv_result {
+                Ok(msg) => msg,
+                Err(()) => {
+                    // Deadline reached (or every worker hung up) without
+                    // an exact decode. Results already sitting in the
+                    // channel arrived in time — drain them first (an
+                    // exact decode may be waiting in the queue), then
+                    // hand the survivor set to the shared escalation
+                    // ladder. Exact ceilings decline and the round
+                    // surfaces as undecodable.
+                    let mut drained = None;
+                    while let Ok(msg) = from_rx.try_recv() {
+                        if msg.iteration != tag {
+                            continue;
+                        }
+                        let worker = msg.worker;
+                        self.compute_seconds[worker] = msg.compute_seconds;
+                        self.received.insert(worker, msg.coded);
+                        if let Some(plan) = self.session.push(worker)? {
+                            drained = Some(plan);
+                            break;
+                        }
+                    }
+                    if let Some(plan) = drained {
+                        break plan;
+                    }
+                    let mut survivors: Vec<usize> = self.received.keys().copied().collect();
+                    survivors.sort_unstable();
+                    if let Some(plan) = self.codec.fallback_plan(&survivors) {
+                        break plan;
+                    }
+                    return Err(RuntimeError::Undecodable {
+                        iteration,
+                        received: self.received.len(),
+                    });
+                }
+            };
+            if msg.iteration != tag {
+                continue; // stale result from an earlier round
+            }
+            let worker = msg.worker;
+            self.compute_seconds[worker] = msg.compute_seconds;
+            self.received.insert(worker, msg.coded);
+            if let Some(plan) = self.session.push(worker)? {
+                break plan;
+            }
+        };
+
+        // g = Σ a_w · g̃_w (un-normalized).
+        let mut gradient = vec![0.0; self.model.num_params()];
+        let mut used = 0;
+        for (w, coef) in plan.iter() {
+            let coded = &self.received[&w];
+            used += 1;
+            for (g, c) in gradient.iter_mut().zip(coded) {
+                *g += coef * c;
+            }
+        }
+        Ok(ClusterRound {
+            gradient,
+            residual: plan.residual(),
+            results_used: used,
+            elapsed: started.elapsed(),
+            busy: self.compute_seconds.clone(),
+        })
+    }
+
+    /// Shuts the worker threads down and joins them. Equivalent to
+    /// dropping the cluster, but explicit.
+    pub fn shutdown(self) {}
+}
+
+impl<M> Drop for ThreadedCluster<M> {
+    fn drop(&mut self) {
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        // Drop the receiver first so blocked workers see the hang-up.
+        self.from_rx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
     }
 }
 
 /// A coded distributed trainer running each worker on its own OS thread.
 ///
-/// Construction wires up channels and partition assignments; [`run`]
-/// spawns the threads, trains, and joins them.
+/// Construction validates partitioning and backend selection; [`run`]
+/// spawns a [`ThreadedCluster`], trains, and joins the threads.
 ///
 /// [`run`]: ThreadedTrainer::run
 #[derive(Debug)]
 pub struct ThreadedTrainer<M, O> {
-    codec: AnyCodec,
+    codec: EscalatingCodec,
     model: Arc<M>,
     data: Arc<Dataset>,
     optimizer: O,
     config: RuntimeConfig,
-    assignment: PartitionAssignment,
 }
 
 impl<M, O> ThreadedTrainer<M, O>
@@ -87,34 +415,19 @@ where
         optimizer: O,
         config: RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
-        let assignment = PartitionAssignment::even(data.len(), code.partitions()).map_err(|e| {
+        PartitionAssignment::even(data.len(), code.partitions()).map_err(|e| {
             RuntimeError::InvalidConfig {
                 reason: format!("partitioning failed: {e}"),
             }
         })?;
-        let codec = match config.backend {
-            // Auto: derive groups from the support structure; when the
-            // matrix admits none (or can't be analysed) the group codec
-            // is pure overhead, so degrade to the plain exact backend.
-            CodecBackend::Auto => match GroupCodec::from_code(code.clone()) {
-                Ok(grouped) if !grouped.groups().is_empty() => AnyCodec::Group(grouped),
-                _ => AnyCodec::Exact(CompiledCodec::new(code)),
-            },
-            CodecBackend::Exact => AnyCodec::Exact(CompiledCodec::new(code)),
-            CodecBackend::Group => AnyCodec::Group(GroupCodec::from_code(code).map_err(|e| {
-                RuntimeError::InvalidConfig {
-                    reason: format!("group backend construction failed: {e}"),
-                }
-            })?),
-            CodecBackend::Approx => AnyCodec::Approx(ApproxCodec::new(code)),
-        };
+        // Compile the backend once; `run` hands it to the cluster as-is.
+        let codec = build_codec(code, &config)?;
         Ok(ThreadedTrainer {
             codec,
             model: Arc::new(model),
             data: Arc::new(data),
             optimizer,
             config,
-            assignment,
         })
     }
 
@@ -125,144 +438,58 @@ where
 
     /// Trains for `iterations` rounds, returning the loss/timing report.
     ///
+    /// Deprecated: this is now a thin loop over
+    /// [`ThreadedCluster::round`]; drive a `hetgc::ThreadedEngine` through
+    /// `hetgc::TrainDriver` instead for the unified `TrainOutcome` report,
+    /// per-round records and residual-aware step scaling.
+    ///
     /// # Errors
     ///
     /// * [`RuntimeError::Undecodable`] if an iteration cannot decode within
     ///   the configured timeout (too many failed workers for `s`).
     /// * [`RuntimeError::WorkerLost`] if a worker thread panics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "drive a ThreadedEngine through hetgc::TrainDriver instead"
+    )]
     pub fn run(
         mut self,
         iterations: usize,
         rng: &mut dyn RngCore,
     ) -> Result<TrainingReport, RuntimeError> {
-        let m = self.codec.workers();
-        let (from_tx, from_rx) = unbounded::<FromWorker>();
-        let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(m);
-        let mut handles = Vec::with_capacity(m);
-
-        for w in 0..m {
-            let (to_tx, to_rx) = unbounded::<ToWorker>();
-            to_workers.push(to_tx);
-            // The codec's precompiled CSR row is exactly the worker's
-            // marching orders: which partitions, with which coefficients.
-            let support = self.codec.as_compiled().support_of(w);
-            let ranges: Vec<(usize, usize)> = support
-                .iter()
-                .map(|&p| self.assignment.range(p).expect("support within k"))
-                .collect();
-            let coefficients: Vec<f64> = self.codec.as_compiled().coefficients_of(w).to_vec();
-            let ctx = WorkerContext {
-                index: w,
-                model: Arc::clone(&self.model),
-                data: Arc::clone(&self.data),
-                ranges,
-                coefficients,
-                behavior: self.config.behavior_of(w),
-                inbox: to_rx,
-                outbox: from_tx.clone(),
-            };
-            handles.push(std::thread::spawn(move || worker_main(ctx)));
-        }
-        drop(from_tx); // master keeps only the receiver
-
-        let result = self.training_loop(iterations, &to_workers, &from_rx, rng);
-
-        for tx in &to_workers {
-            let _ = tx.send(ToWorker::Shutdown);
-        }
-        for h in handles {
-            let _ = h.join();
-        }
-        result
-    }
-
-    fn training_loop(
-        &mut self,
-        iterations: usize,
-        to_workers: &[Sender<ToWorker>],
-        from_rx: &Receiver<FromWorker>,
-        rng: &mut dyn RngCore,
-    ) -> Result<TrainingReport, RuntimeError> {
+        let mut cluster = ThreadedCluster::with_codec(
+            self.codec,
+            Arc::clone(&self.model),
+            Arc::clone(&self.data),
+            &self.config,
+        )?;
         let n = self.data.len() as f64;
+        let workers = cluster.workers();
         let mut params = self.model.init_params(rng);
         let mut losses = Vec::with_capacity(iterations);
         let mut iteration_times = Vec::with_capacity(iterations);
         let mut results_used = Vec::with_capacity(iterations);
+        let mut metrics = RunMetrics::new();
         let mut approx_iterations = 0;
 
-        // One streaming session for the whole run: reset per iteration,
-        // elimination buffers reused.
-        let mut session = self.codec.session();
         for iter in 1..=iterations {
-            let started = Instant::now();
-            let shared = Arc::new(params.clone());
-            for (w, tx) in to_workers.iter().enumerate() {
-                tx.send(ToWorker::Round {
-                    iteration: iter,
-                    params: Arc::clone(&shared),
-                })
-                .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
-            }
-
-            session.reset();
-            let mut received: HashMap<usize, Vec<f64>> = HashMap::new();
-            let plan = loop {
-                let recv_result = match self.config.iteration_timeout {
-                    Some(t) => from_rx.recv_timeout(t).map_err(|_| ()),
-                    None => from_rx.recv().map_err(|_| ()),
-                };
-                let msg = match recv_result {
-                    Ok(msg) => msg,
-                    Err(()) => {
-                        // Timed out (or every worker hung up) without an
-                        // exact decode. The approximate backend can still
-                        // rescue the round from whatever arrived; exact
-                        // backends declare it undecodable.
-                        let mut survivors: Vec<usize> = received.keys().copied().collect();
-                        survivors.sort_unstable();
-                        if let Some(plan) = self.codec.fallback_plan(&survivors) {
-                            break plan;
-                        }
-                        return Err(RuntimeError::Undecodable {
-                            iteration: iter,
-                            received: received.len(),
-                        });
-                    }
-                };
-                if msg.iteration != iter {
-                    continue; // stale result from a previous round
-                }
-                let worker = msg.worker;
-                received.insert(worker, msg.coded);
-                if let Some(plan) = session.push(worker)? {
-                    break plan;
-                }
-            };
-            // Same rule as the simulator's `BspIteration::is_approximate`:
-            // session plans always carry residual 0.0, so any positive
-            // residual means the timeout fallback decoded the round.
-            if plan.residual() > 0.0 {
+            let round = cluster.round(iter, &params)?;
+            if round.residual > 0.0 {
                 approx_iterations += 1;
             }
-
-            // g = Σ a_w · g̃_w, normalized to a mean gradient.
-            let mut gradient = vec![0.0; self.model.num_params()];
-            let mut used = 0;
-            for (w, coef) in plan.iter() {
-                let coded = &received[&w];
-                used += 1;
-                for (g, c) in gradient.iter_mut().zip(coded) {
-                    *g += coef * c;
-                }
-            }
+            let mut gradient = round.gradient;
             for g in &mut gradient {
                 *g /= n;
             }
             self.optimizer.step(&mut params, &gradient);
-
             losses.push(self.model.loss(&params, &self.data, (0, self.data.len())) / n);
-            iteration_times.push(started.elapsed());
-            results_used.push(used);
+            metrics.record_time(
+                round.elapsed.as_secs_f64(),
+                round.busy.iter().sum(),
+                workers,
+            );
+            iteration_times.push(round.elapsed);
+            results_used.push(round.results_used);
         }
 
         Ok(TrainingReport {
@@ -271,15 +498,17 @@ where
             results_used,
             params,
             approx_iterations,
+            metrics,
         })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrapper on purpose
 mod tests {
     use super::*;
     use crate::config::WorkerBehavior;
-    use hetgc_coding::{heter_aware, naive};
+    use hetgc_coding::{heter_aware, naive, EscalationPolicy};
     use hetgc_ml::{synthetic, LinearRegression, Sgd, SoftmaxRegression};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -310,6 +539,110 @@ mod tests {
             report.losses
         );
         assert!(report.avg_iteration_seconds() >= 0.0);
+        // The unified metrics path agrees with the raw durations.
+        assert_eq!(report.metrics.iterations(), 25);
+        let raw_avg = report
+            .iteration_times
+            .iter()
+            .map(Duration::as_secs_f64)
+            .sum::<f64>()
+            / 25.0;
+        assert!((report.avg_iteration_seconds() - raw_avg).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cluster_round_api_decodes_and_reports_busy() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let code = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng).unwrap();
+        let model = Arc::new(LinearRegression::new(3));
+        let data = Arc::new(quick_data(2));
+        let mut cluster = ThreadedCluster::start(
+            code,
+            Arc::clone(&model),
+            Arc::clone(&data),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(cluster.workers(), 3);
+        let params = model.init_params(&mut rng);
+        let n = data.len();
+        let round = cluster.round(1, &params).unwrap();
+        assert_eq!(round.residual, 0.0);
+        assert!(round.results_used >= 2);
+        // The decoded (un-normalized) gradient is the exact batch gradient.
+        let direct = model.gradient(&params, &data, (0, n));
+        for (g, d) in round.gradient.iter().zip(&direct) {
+            assert!((g - d).abs() < 1e-6 * (1.0 + d.abs()), "{g} vs {d}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_rounds_are_internally_sequenced_across_runs() {
+        // Restarting the caller's round numbering on a reused cluster must
+        // NOT let a previous run's results leak in: rounds are tagged by
+        // an internal strictly-increasing sequence, so every decode still
+        // recovers the exact batch gradient at the *current* parameters.
+        let mut rng = StdRng::seed_from_u64(21);
+        let code = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng).unwrap();
+        let model = Arc::new(LinearRegression::new(3));
+        let data = Arc::new(quick_data(21));
+        let mut cluster = ThreadedCluster::start(
+            code,
+            Arc::clone(&model),
+            Arc::clone(&data),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        let n = data.len();
+        for run in 0..2 {
+            // Each "run" restarts at iteration 1 with different params.
+            let params = vec![0.1 * (run + 1) as f64; model.num_params()];
+            for iteration in 1..=2 {
+                let round = cluster.round(iteration, &params).unwrap();
+                let direct = model.gradient(&params, &data, (0, n));
+                for (g, d) in round.gradient.iter().zip(&direct) {
+                    assert!(
+                        (g - d).abs() < 1e-6 * (1.0 + d.abs()),
+                        "run {run} iter {iteration}: {g} vs {d}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_is_round_relative() {
+        // Worker 0 replies ~120 ms into every round; with a 400 ms ROUND
+        // deadline the master still gets all results well before the
+        // deadline, but the window must not be re-armed per message: three
+        // rounds finish far sooner than 3 × (results + 400 ms idle).
+        let mut rng = StdRng::seed_from_u64(22);
+        let code = heter_aware(&[1.0; 4], 4, 1, &mut rng).unwrap();
+        let config = RuntimeConfig::nominal(4)
+            .set_behavior(
+                0,
+                WorkerBehavior::nominal().with_delay(Duration::from_millis(500)),
+            )
+            .with_timeout(Duration::from_millis(400));
+        // Worker 0 is slower than the deadline: each round must complete
+        // from the other three (exact decode) without waiting 500 ms.
+        let trainer = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            quick_data(22),
+            Sgd::new(0.1),
+            config,
+        )
+        .unwrap();
+        let started = Instant::now();
+        let report = trainer.run(3, &mut rng).unwrap();
+        assert_eq!(report.losses.len(), 3);
+        assert!(
+            started.elapsed() < Duration::from_millis(1200),
+            "{:?}",
+            started.elapsed()
+        );
     }
 
     #[test]
@@ -480,6 +813,35 @@ mod tests {
         assert_eq!(approx.losses.len(), 3);
         assert_eq!(approx.approx_iterations, 3);
         assert!(approx.results_used.iter().all(|&u| u <= 3));
+    }
+
+    #[test]
+    fn escalation_policy_rescues_an_exact_backend() {
+        // Same >s fault as above, but the backend stays Exact and the
+        // POLICY escalates: the shared ladder rescues the round where the
+        // plain exact backend times out.
+        let mut rng = StdRng::seed_from_u64(12);
+        let code = heter_aware(&[1.0; 5], 5, 1, &mut rng).unwrap();
+        let config = RuntimeConfig::nominal(5)
+            .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
+            .set_behavior(3, WorkerBehavior::nominal().failing_from(1))
+            .with_backend(hetgc_coding::CodecBackend::Exact)
+            .with_escalation(
+                EscalationPolicy::escalate_to(hetgc_coding::CodecBackend::Approx)
+                    .with_deadline(Duration::from_millis(250)),
+            );
+        let report = ThreadedTrainer::new(
+            code,
+            LinearRegression::new(3),
+            quick_data(12),
+            Sgd::new(0.05),
+            config,
+        )
+        .unwrap()
+        .run(3, &mut StdRng::seed_from_u64(13))
+        .unwrap();
+        assert_eq!(report.losses.len(), 3);
+        assert_eq!(report.approx_iterations, 3);
     }
 
     #[test]

@@ -16,25 +16,27 @@
 //! made concrete.
 //!
 //! ```
+//! use std::sync::Arc;
+//!
 //! use hetgc_coding::heter_aware;
-//! use hetgc_ml::{synthetic, LinearRegression, Sgd};
-//! use hetgc_runtime::{RuntimeConfig, ThreadedTrainer};
+//! use hetgc_ml::{synthetic, LinearRegression, Model};
+//! use hetgc_runtime::{RuntimeConfig, ThreadedCluster};
 //! use rand::SeedableRng;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-//! let data = synthetic::linear_regression(120, 4, 0.05, &mut rng);
+//! let data = Arc::new(synthetic::linear_regression(120, 4, 0.05, &mut rng));
 //! let code = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng)?;
-//! let trainer = ThreadedTrainer::new(
-//!     code,
-//!     LinearRegression::new(4),
-//!     data,
-//!     Sgd::new(0.2),
-//!     RuntimeConfig::default(),
-//! )?;
-//! let report = trainer.run(20, &mut rng)?;
-//! assert_eq!(report.losses.len(), 20);
-//! assert!(report.losses.last().unwrap() < &report.losses[0]);
+//! let model = Arc::new(LinearRegression::new(4));
+//!
+//! // One collect round: broadcast → gather → decode → combined gradient.
+//! // (`hetgc::TrainDriver` loops this for you via `ThreadedEngine`.)
+//! let mut cluster =
+//!     ThreadedCluster::start(code, Arc::clone(&model), Arc::clone(&data), &RuntimeConfig::default())?;
+//! let params = model.init_params(&mut rng);
+//! let round = cluster.round(1, &params)?;
+//! assert_eq!(round.gradient.len(), model.num_params());
+//! assert_eq!(round.residual, 0.0, "exact decode within the budget");
 //! # Ok(())
 //! # }
 //! ```
@@ -50,5 +52,5 @@ mod worker;
 
 pub use config::{RuntimeConfig, WorkerBehavior};
 pub use error::RuntimeError;
-pub use executor::{ThreadedTrainer, TrainingReport};
+pub use executor::{ClusterRound, ThreadedCluster, ThreadedTrainer, TrainingReport};
 pub use message::{FromWorker, ToWorker};

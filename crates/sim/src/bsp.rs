@@ -21,7 +21,7 @@
 //! for one-off analysis.
 
 use hetgc_cluster::StragglerEvent;
-use hetgc_coding::{CodecSession, GradientCodec};
+use hetgc_coding::{CodecSession, DecodePlan, GradientCodec};
 use rand::Rng;
 
 use crate::error::SimError;
@@ -38,6 +38,7 @@ pub struct BspIterationConfig<'a> {
     broadcast_time: f64,
     compute_jitter: f64,
     overlap_chunks: usize,
+    fallback_deadline: Option<f64>,
 }
 
 impl<'a> BspIterationConfig<'a> {
@@ -54,6 +55,7 @@ impl<'a> BspIterationConfig<'a> {
             broadcast_time: 0.0,
             compute_jitter: 0.0,
             overlap_chunks: 1,
+            fallback_deadline: None,
         }
     }
 
@@ -109,6 +111,28 @@ impl<'a> BspIterationConfig<'a> {
         self.overlap_chunks = chunks;
         self
     }
+
+    /// Sets the escalation deadline (simulated seconds): if no exact
+    /// decode exists by this time, the master tries the codec's
+    /// [`GradientCodec::fallback_plan`] over the workers that arrived so
+    /// far and — when the fallback accepts — completes the round *at the
+    /// deadline* instead of waiting for every reachable worker. Codecs
+    /// without a fallback keep waiting (the deadline changes nothing).
+    ///
+    /// This is the simulator's side of `EscalationPolicy::with_deadline`;
+    /// the default (`None`) preserves the wait-for-everyone behaviour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is not positive and finite.
+    pub fn fallback_deadline(mut self, deadline: f64) -> Self {
+        assert!(
+            deadline.is_finite() && deadline > 0.0,
+            "fallback deadline must be positive and finite"
+        );
+        self.fallback_deadline = Some(deadline);
+        self
+    }
 }
 
 /// One worker's timing inside an iteration.
@@ -153,6 +177,15 @@ impl BspIteration {
     /// against a `1e-6` tolerance.
     pub fn is_approximate(&self) -> bool {
         self.decode_residual > 0.0
+    }
+
+    /// The round's decode plan: the sparse view of
+    /// [`BspIteration::decode_vector`] with the decode residual attached.
+    /// Empty when the round never completed. Prefer this over the raw
+    /// dense fields — plan accessors (`iter`, `workers`, `residual`) are
+    /// the supported API.
+    pub fn decode_plan(&self) -> DecodePlan {
+        DecodePlan::from_dense_with_residual(&self.decode_vector, self.decode_residual)
     }
     /// Resource usage of this iteration:
     /// `Σ_w busy_w / (m × completion)` (Fig. 5's metric). Returns `None`
@@ -255,10 +288,28 @@ pub fn simulate_bsp_iteration_in<C: GradientCodec + ?Sized, R: Rng + ?Sized>(
     let mut completion = None;
     let mut decode_vector = Vec::new();
     let mut decode_residual = 0.0;
+    let mut pushed: Vec<usize> = Vec::new();
+    let mut deadline_tried = false;
     for arr in &arrivals {
         if !arr.arrive.is_finite() {
             break; // failures never arrive
         }
+        // Escalation deadline: the master stops waiting for an exact
+        // decode and consults the codec's fallback over what has arrived.
+        // If the fallback declines (exact backend, or over budget), the
+        // master has no choice but to keep waiting.
+        if let Some(deadline) = cfg.fallback_deadline {
+            if !deadline_tried && arr.arrive > deadline {
+                deadline_tried = true;
+                if let Some(plan) = codec.fallback_plan(&pushed) {
+                    completion = Some(deadline);
+                    decode_residual = plan.residual();
+                    decode_vector = plan.to_dense();
+                    break;
+                }
+            }
+        }
+        pushed.push(arr.worker);
         if let Some(plan) = session.push(arr.worker)? {
             completion = Some(arr.arrive);
             decode_vector = plan.to_dense();
@@ -267,15 +318,21 @@ pub fn simulate_bsp_iteration_in<C: GradientCodec + ?Sized, R: Rng + ?Sized>(
     }
     // Every reachable worker reported and no exact decode exists: give the
     // codec's approximate fallback (if any — `ApproxCodec`) a chance to
-    // rescue the round with a bounded-error plan. The round then completes
-    // at the last finite arrival, since the master had to wait for
-    // everyone before concluding exact decoding was impossible.
+    // rescue the round with a bounded-error plan. The round completes at
+    // the escalation deadline when one is configured and not yet reached
+    // (a wall-clock master cannot know the missing workers are dead, so
+    // it waits out the deadline — matching the threaded runtime), and at
+    // the last finite arrival otherwise (the master had to wait for
+    // everyone before concluding exact decoding was impossible).
     if completion.is_none() {
         let finite: Vec<&Arrival> = arrivals.iter().filter(|a| a.arrive.is_finite()).collect();
         if let Some(last) = finite.last() {
             let survivors: Vec<usize> = finite.iter().map(|a| a.worker).collect();
             if let Some(plan) = codec.fallback_plan(&survivors) {
-                completion = Some(last.arrive);
+                completion = Some(match cfg.fallback_deadline {
+                    Some(deadline) if last.arrive <= deadline => deadline,
+                    _ => last.arrive,
+                });
                 decode_residual = plan.residual();
                 decode_vector = plan.to_dense();
             }
@@ -633,6 +690,103 @@ mod tests {
         let out = simulate_bsp_iteration(&codec, &cfg, &events, &mut rng(55)).unwrap();
         assert!(out.completion.is_none(), "budget must reject the round");
         assert!(!out.is_approximate());
+    }
+
+    #[test]
+    fn fallback_deadline_escalates_instead_of_waiting() {
+        use hetgc_coding::ApproxCodec;
+        // Worker 0 is delayed by 100 s. The exact decode needs m − s = 4
+        // arrivals... kill another worker so exact decoding is impossible
+        // and the master would otherwise wait for the delayed worker
+        // (the last reachable one) before falling back.
+        let code = heter_code(60);
+        let mut events = no_events(5);
+        events[0] = StragglerEvent::Delayed(100.0);
+        events[2] = StragglerEvent::Failed;
+
+        let codec = ApproxCodec::new(code).with_max_residual(3.0);
+        let waits = BspIterationConfig::new(&RATES).network(NetworkModel::instantaneous());
+        let out = simulate_bsp_iteration(&codec, &waits, &events, &mut rng(61)).unwrap();
+        // Without a deadline the approximate fallback fires only after the
+        // delayed straggler reports.
+        assert!(out.completion.unwrap() > 100.0);
+
+        let impatient = BspIterationConfig::new(&RATES)
+            .network(NetworkModel::instantaneous())
+            .fallback_deadline(5.0);
+        let out = simulate_bsp_iteration(&codec, &impatient, &events, &mut rng(61)).unwrap();
+        assert_eq!(out.completion, Some(5.0), "escalates at the deadline");
+        assert!(out.is_approximate());
+        assert!(!out.decode_workers.contains(&0), "straggler not waited for");
+        // Busy time is capped at the (deadline) completion.
+        assert!(out.busy.iter().all(|&b| b <= 5.0 + 1e-9));
+
+        // An exact codec ignores the deadline: it has no fallback, so the
+        // master keeps waiting for the delayed straggler (worker 2 is
+        // dead, making worker 0 necessary for the exact decode).
+        let exact = simulate_bsp_iteration(
+            &CompiledCodec::new(heter_code(60)),
+            &impatient,
+            &events,
+            &mut rng(61),
+        )
+        .unwrap();
+        assert!(exact.completion.unwrap() > 100.0);
+    }
+
+    #[test]
+    fn fallback_deadline_sets_completion_when_stragglers_are_failures() {
+        use hetgc_coding::ApproxCodec;
+        // Two FAILURES (not delays) with s = 1: survivors all arrive by
+        // t = 1, but a master with a 5 s deadline cannot know the missing
+        // workers are dead — it waits out the deadline, then escalates.
+        // Completion must be the deadline, matching the threaded runtime.
+        let code = heter_code(70);
+        let mut events = no_events(5);
+        events[2] = StragglerEvent::Failed;
+        events[4] = StragglerEvent::Failed;
+        let codec = ApproxCodec::new(code).with_max_residual(3.0);
+
+        let cfg = BspIterationConfig::new(&RATES)
+            .network(NetworkModel::instantaneous())
+            .fallback_deadline(5.0);
+        let out = simulate_bsp_iteration(&codec, &cfg, &events, &mut rng(71)).unwrap();
+        assert_eq!(
+            out.completion,
+            Some(5.0),
+            "escalation fires at the deadline"
+        );
+        assert!(out.is_approximate());
+
+        // Without a deadline the round completes at the last finite
+        // arrival (the master waited for every reachable worker).
+        let patient = BspIterationConfig::new(&RATES).network(NetworkModel::instantaneous());
+        let out = simulate_bsp_iteration(&codec, &patient, &events, &mut rng(71)).unwrap();
+        let last = out
+            .arrivals
+            .iter()
+            .rev()
+            .find(|a| a.arrive.is_finite())
+            .unwrap()
+            .arrive;
+        assert_eq!(out.completion, Some(last));
+    }
+
+    #[test]
+    fn decode_plan_accessor_matches_dense_fields() {
+        let code = heter_code(62);
+        let cfg = BspIterationConfig::new(&RATES).network(NetworkModel::instantaneous());
+        let out = simulate_bsp_iteration(&code, &cfg, &no_events(5), &mut rng(63)).unwrap();
+        let plan = out.decode_plan();
+        assert_eq!(plan.to_dense(), out.decode_vector);
+        assert_eq!(plan.workers(), out.decode_workers.as_slice());
+        assert_eq!(plan.residual(), out.decode_residual);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn non_positive_deadline_rejected() {
+        let _ = BspIterationConfig::new(&RATES).fallback_deadline(0.0);
     }
 
     #[test]

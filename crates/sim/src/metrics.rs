@@ -74,6 +74,13 @@ impl RunMetrics {
         self.total_seconds += t * workers as f64;
     }
 
+    /// Records an iteration that never completed (undecodable round) —
+    /// the raw-numbers counterpart of feeding [`RunMetrics::record`] an
+    /// outcome with no completion.
+    pub fn record_failure(&mut self) {
+        self.failed_iterations += 1;
+    }
+
     /// Number of completed iterations.
     pub fn iterations(&self) -> usize {
         self.times.len()

@@ -1,15 +1,17 @@
 //! Fault tolerance: run simulated distributed training on Cluster-A while
 //! workers die mid-run, and show that (a) coded schemes keep training with
 //! the exact gradient and (b) the naive scheme stalls — the paper's
-//! "delay = ∞" case of Fig. 2.
+//! "delay = ∞" case of Fig. 2. Then push past the design budget and let
+//! the per-round escalation ladder rescue the run with bounded-error
+//! decodes and residual-scaled steps.
 //!
 //! ```text
 //! cargo run --release --example fault_tolerance
 //! ```
 
 use hetgc::{
-    train_bsp_sim, ClusterSpec, CodecBackend, LinearRegression, SchemeBuilder, SchemeKind,
-    SimTrainConfig, StragglerModel,
+    ClusterSpec, CodecBackend, EscalationPolicy, LinearRegression, SchemeBuilder, SchemeKind, Sgd,
+    SimBspEngine, SimTrainConfig, StragglerModel, TrainDriver,
 };
 use hetgc_ml::synthetic;
 use rand::rngs::StdRng;
@@ -37,19 +39,31 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     println!("Cluster-A with workers 4 and 7 dead (s = 2 designed tolerance):\n");
     for kind in SchemeKind::PAPER {
         let scheme = SchemeBuilder::new(&cluster, 2).build(kind, &mut rng)?;
-        let out = train_bsp_sim(&scheme, &model, &data, &rates, &cfg, &mut rng)?;
+        let mut engine = SimBspEngine::new(
+            &scheme,
+            &model,
+            &data,
+            &rates,
+            &cfg,
+            EscalationPolicy::follow_backend(),
+        )?;
+        let out = TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate)).run(
+            &mut engine,
+            cfg.iterations,
+            &mut rng,
+        )?;
         if out.stalled {
             println!(
                 "{:>12}: STALLED after {} iteration(s) — cannot tolerate faults",
                 kind.name(),
-                out.curve.points.len()
+                out.rounds()
             );
         } else {
             println!(
                 "{:>12}: finished 25 iterations in {:.1} simulated s, final loss {:.4}",
                 kind.name(),
                 out.curve.duration(),
-                out.curve.final_loss().unwrap_or(f64::NAN)
+                out.final_loss().unwrap_or(f64::NAN)
             );
         }
     }
@@ -62,41 +76,53 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     );
 
     // Past the design budget: THREE workers die with s = 2. Exact decoding
-    // is impossible — but the approximate backend keeps training on
-    // bounded-error least-squares decodes.
+    // is impossible — but the escalation ladder keeps training on
+    // bounded-error least-squares decodes, shrinking the step by the
+    // decode residual's error bound.
     println!("\nCluster-A with workers 4, 6 and 7 dead (one beyond the s = 2 budget —\nevery replica of some partitions is gone, so no exact decode exists):\n");
     let overload = StragglerModel::Failures {
         workers: vec![7, 6, 4],
     };
     let scheme = SchemeBuilder::new(&cluster, 2).build(SchemeKind::HeterAware, &mut rng)?;
-    for backend in [CodecBackend::Exact, CodecBackend::Approx] {
+    for (label, policy) in [
+        ("exact-only", EscalationPolicy::exact_only()),
+        (
+            "escalated",
+            EscalationPolicy::escalate_to(CodecBackend::Approx),
+        ),
+    ] {
         let cfg = SimTrainConfig {
             iterations: 25,
             learning_rate: 0.3,
             stragglers: overload.clone(),
-            backend,
             ..SimTrainConfig::default()
         };
-        let out = train_bsp_sim(&scheme, &model, &data, &rates, &cfg, &mut rng)?;
+        let mut engine = SimBspEngine::new(&scheme, &model, &data, &rates, &cfg, policy)?;
+        let out = TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate)).run(
+            &mut engine,
+            cfg.iterations,
+            &mut rng,
+        )?;
         if out.stalled {
-            println!(
-                "{:>12}: STALLED — {} stragglers exceed s = 2",
-                backend.name(),
-                3
-            );
+            println!("{label:>12}: STALLED — 3 stragglers exceed s = 2");
         } else {
+            let scale = out
+                .records
+                .first()
+                .map(|r| r.step_scale)
+                .unwrap_or(f64::NAN);
             println!(
-                "{:>12}: finished 25 iterations ({} approximate), final loss {:.4}",
-                backend.name(),
-                out.approx_iterations,
-                out.curve.final_loss().unwrap_or(f64::NAN)
+                "{label:>12}: finished 25 iterations ({} approximate, step scaled ×{:.3}), final loss {:.4}",
+                out.approx_rounds,
+                scale,
+                out.final_loss().unwrap_or(f64::NAN)
             );
         }
     }
     println!(
-        "\nThe approximate backend trades a bounded gradient error (reported as the\n\
-         decode residual) for liveness: training continues where every exact\n\
-         scheme gives up."
+        "\nThe escalation ladder trades a bounded gradient error (reported as the\n\
+         decode residual, with the learning rate shrunk by the error bound) for\n\
+         liveness: training continues where every exact scheme gives up."
     );
     Ok(())
 }

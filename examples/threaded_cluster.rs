@@ -1,24 +1,28 @@
 //! Real threads, real wall-clock: run coded distributed SGD on actual OS
-//! threads (one per worker) with rate throttling emulating a 4-node
-//! heterogeneous cluster, inject a straggler *and* a mid-run fault, and
-//! measure wall time.
+//! threads (one per worker) through the unified `TrainDriver` loop, with
+//! rate throttling emulating a 4-node heterogeneous cluster, an injected
+//! straggler *and* a mid-run fault, and per-round records to show what
+//! the master decided.
 //!
 //! ```text
 //! cargo run --release --example threaded_cluster
 //! ```
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use hetgc::{
-    heter_aware, naive, LinearRegression, RuntimeConfig, Sgd, ThreadedTrainer, WorkerBehavior,
+    heter_aware, naive, LinearRegression, RuntimeConfig, Sgd, ThreadedEngine, TrainDriver,
+    WorkerBehavior,
 };
 use hetgc_ml::synthetic;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let mut rng = StdRng::seed_from_u64(3);
-    let data = synthetic::linear_regression(400, 6, 0.02, &mut rng);
+    let data = Arc::new(synthetic::linear_regression(400, 6, 0.02, &mut rng));
+    let model = Arc::new(LinearRegression::new(6));
 
     // Four workers emulating 1×/1×/2×/4× machines via sample-rate
     // throttling, worker 1 with an extra 80 ms delay per round, and
@@ -44,38 +48,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let code = heter_aware(&throughputs, 8, 1, &mut rng)?;
     println!("running 12 iterations of coded SGD on 4 real threads…");
-    let trainer = ThreadedTrainer::new(
-        code,
-        LinearRegression::new(6),
-        data.clone(),
-        Sgd::new(0.3),
-        config.clone(),
-    )?;
+    let mut engine = ThreadedEngine::new(code, Arc::clone(&model), Arc::clone(&data), &config)?
+        .with_label("heter-aware");
     let started = std::time::Instant::now();
-    let report = trainer.run(12, &mut rng)?;
+    let out = TrainDriver::new(&*model, &data, Sgd::new(0.3)).run(&mut engine, 12, &mut rng)?;
     println!(
         "heter-aware: {:.2}s wall, avg {:.0} ms/iter, loss {:.5} → {:.5}",
         started.elapsed().as_secs_f64(),
-        1000.0 * report.avg_iteration_seconds(),
-        report.losses.first().unwrap(),
-        report.losses.last().unwrap(),
+        1000.0 * out.metrics.avg_iteration_time().unwrap_or(0.0),
+        out.records.first().and_then(|r| r.loss).unwrap_or(f64::NAN),
+        out.final_loss().unwrap_or(f64::NAN),
     );
     println!(
         "results used per iteration (worker 0 dies at iter 6): {:?}",
-        report.results_used
+        out.records
+            .iter()
+            .map(|r| r.results_used)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "captured trajectory (JSON, first 120 chars): {}…",
+        &out.to_json()[..120]
     );
 
     // The naive scheme under the same behaviours: it must wait for the
     // delayed worker every round and *cannot* survive the fault.
     println!("\nsame cluster, naive scheme…");
-    let trainer = ThreadedTrainer::new(
-        naive(4)?,
-        LinearRegression::new(6),
-        data,
-        Sgd::new(0.3),
-        config,
-    )?;
-    match trainer.run(12, &mut rng) {
+    let mut engine =
+        ThreadedEngine::new(naive(4)?, Arc::clone(&model), Arc::clone(&data), &config)?
+            .with_label("naive");
+    match TrainDriver::new(&*model, &data, Sgd::new(0.3)).run(&mut engine, 12, &mut rng) {
         Ok(_) => println!("unexpected: naive survived"),
         Err(e) => println!("naive failed as expected: {e}"),
     }

@@ -1,15 +1,17 @@
 //! The two execution backends — the discrete-event simulator and the real
-//! threaded runtime — must tell the same story: identical parameter
-//! trajectories (decoding is exact in both) and consistent ordering of
-//! scheme completion behaviour.
+//! threaded runtime — must tell the same story through the ONE unified
+//! `TrainDriver` loop: identical parameter trajectories (decoding is
+//! exact in both) and consistent ordering of scheme completion behaviour.
 
+use std::sync::Arc;
 use std::time::Duration;
 
 use hetgc::{
-    train_bsp_sim, ClusterSpec, CodecBackend, LinearRegression, Model, RuntimeConfig,
-    SchemeBuilder, SchemeKind, Sgd, SimTrainConfig, ThreadedTrainer, WorkerBehavior,
+    ClusterSpec, CodecBackend, DriverConfig, EscalationPolicy, LinearRegression, Model,
+    RuntimeConfig, SchemeBuilder, SchemeInstance, SchemeKind, Sgd, SimBspEngine, SimTrainConfig,
+    ThreadedEngine, TrainDriver, TrainOutcome, WorkerBehavior,
 };
-use hetgc_ml::synthetic;
+use hetgc_ml::{synthetic, Dataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,9 +21,35 @@ fn cluster() -> ClusterSpec {
     ClusterSpec::from_vcpu_rows("itest", &[(1, 1), (1, 2), (1, 3)], 100.0).unwrap()
 }
 
+fn run_bsp(
+    scheme: &SchemeInstance,
+    model: &LinearRegression,
+    data: &Dataset,
+    rates: &[f64],
+    cfg: &SimTrainConfig,
+    seed: u64,
+) -> TrainOutcome {
+    let mut engine = SimBspEngine::new(
+        scheme,
+        model,
+        data,
+        rates,
+        cfg,
+        EscalationPolicy::follow_backend(),
+    )
+    .unwrap();
+    TrainDriver::new(model, data, Sgd::new(cfg.learning_rate))
+        .run(
+            &mut engine,
+            cfg.iterations,
+            &mut StdRng::seed_from_u64(seed),
+        )
+        .unwrap()
+}
+
 /// Simulated BSP training and threaded training produce the same losses:
-/// both decode the exact batch gradient, so with identical initialization
-/// the trajectories coincide.
+/// both decode the exact batch gradient through the same driver loop, so
+/// with identical initialization the trajectories coincide.
 #[test]
 fn simulated_and_threaded_trajectories_match() {
     let cluster = cluster();
@@ -39,32 +67,32 @@ fn simulated_and_threaded_trajectories_match() {
         learning_rate: 0.2,
         ..Default::default()
     };
-    let sim = train_bsp_sim(
-        &scheme,
-        &model,
-        &data,
-        &rates,
-        &sim_cfg,
-        &mut StdRng::seed_from_u64(77),
-    )
-    .unwrap();
+    let sim = run_bsp(&scheme, &model, &data, &rates, &sim_cfg, 77);
 
-    let trainer = ThreadedTrainer::new(
+    let shared_model = Arc::new(LinearRegression::new(4));
+    let shared_data = Arc::new(data.clone());
+    let mut threaded_engine = ThreadedEngine::new(
         scheme.code.clone(),
-        LinearRegression::new(4),
-        data.clone(),
-        Sgd::new(0.2),
-        RuntimeConfig::default(),
+        Arc::clone(&shared_model),
+        Arc::clone(&shared_data),
+        &RuntimeConfig::default(),
     )
     .unwrap();
-    let threaded = trainer.run(12, &mut StdRng::seed_from_u64(77)).unwrap();
+    let threaded = TrainDriver::new(&*shared_model, &shared_data, Sgd::new(0.2))
+        .run(&mut threaded_engine, 12, &mut StdRng::seed_from_u64(77))
+        .unwrap();
 
-    assert_eq!(sim.curve.points.len(), threaded.losses.len());
-    for ((_, sim_loss), thr_loss) in sim.curve.points.iter().zip(&threaded.losses) {
+    assert_eq!(sim.rounds(), threaded.rounds());
+    assert_eq!(sim.approx_rounds, 0);
+    assert_eq!(threaded.approx_rounds, 0);
+    for (a, b) in sim.records.iter().zip(&threaded.records) {
+        let (sim_loss, thr_loss) = (a.loss.unwrap(), b.loss.unwrap());
         assert!(
             (sim_loss - thr_loss).abs() < 1e-8,
             "trajectories diverged: {sim_loss} vs {thr_loss}"
         );
+        assert_eq!(a.step_scale, 1.0, "exact rounds take the full step");
+        assert_eq!(b.step_scale, 1.0);
     }
     for (p, q) in sim.params.iter().zip(&threaded.params) {
         assert!((p - q).abs() < 1e-8);
@@ -93,40 +121,39 @@ fn both_backends_agree_on_fault_behaviour() {
     let naive = SchemeBuilder::new(&cluster, 1)
         .build(SchemeKind::Naive, &mut rng)
         .unwrap();
-    let sim_heter = train_bsp_sim(&heter, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
-    let sim_naive = train_bsp_sim(&naive, &model, &data, &rates, &sim_cfg, &mut rng).unwrap();
+    let sim_heter = run_bsp(&heter, &model, &data, &rates, &sim_cfg, 23);
+    let sim_naive = run_bsp(&naive, &model, &data, &rates, &sim_cfg, 24);
     assert!(!sim_heter.stalled);
     assert!(sim_naive.stalled);
+    assert_eq!(sim_naive.metrics.failed_iterations(), 1);
 
-    // Threaded verdicts under the same fault.
+    // Threaded verdicts under the same fault: the driver surfaces the
+    // runtime's undecodable-round error.
     let failing = RuntimeConfig::nominal(3)
         .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
         .with_timeout(Duration::from_millis(300));
-    let heter_run = ThreadedTrainer::new(
-        heter.code.clone(),
-        LinearRegression::new(3),
-        data.clone(),
-        Sgd::new(0.1),
-        failing.clone(),
-    )
-    .unwrap()
-    .run(5, &mut rng);
+    let shared_data = Arc::new(data);
+    let run_threaded = |scheme: &SchemeInstance| {
+        let shared_model = Arc::new(LinearRegression::new(3));
+        let mut engine = ThreadedEngine::new(
+            scheme.code.clone(),
+            Arc::clone(&shared_model),
+            Arc::clone(&shared_data),
+            &failing,
+        )
+        .unwrap();
+        TrainDriver::new(&*shared_model, &shared_data, Sgd::new(0.1)).run(
+            &mut engine,
+            5,
+            &mut StdRng::seed_from_u64(25),
+        )
+    };
     assert!(
-        heter_run.is_ok(),
+        run_threaded(&heter).is_ok(),
         "threaded heter-aware must survive the fault"
     );
-
-    let naive_run = ThreadedTrainer::new(
-        naive.code.clone(),
-        LinearRegression::new(3),
-        data,
-        Sgd::new(0.1),
-        failing,
-    )
-    .unwrap()
-    .run(5, &mut rng);
     assert!(
-        naive_run.is_err(),
+        run_threaded(&naive).is_err(),
         "threaded naive must time out under the fault"
     );
 }
@@ -170,16 +197,9 @@ fn distributed_equals_single_node_sgd() {
             learning_rate: 0.15,
             ..Default::default()
         };
-        let out = train_bsp_sim(
-            &scheme,
-            &model,
-            &data,
-            &rates,
-            &cfg,
-            &mut StdRng::seed_from_u64(99),
-        )
-        .unwrap();
-        for ((_, loss), expected) in out.curve.points.iter().zip(&reference) {
+        let out = run_bsp(&scheme, &model, &data, &rates, &cfg, 99);
+        for (record, expected) in out.records.iter().zip(&reference) {
+            let loss = record.loss.unwrap();
             assert!(
                 (loss - expected).abs() < 1e-8,
                 "{kind}: distributed {loss} vs single-node {expected}"
@@ -212,27 +232,23 @@ fn codec_backends_share_training_trajectory() {
             backend,
             ..Default::default()
         };
-        train_bsp_sim(
-            &scheme,
-            &model,
-            &data,
-            &rates,
-            &cfg,
-            &mut StdRng::seed_from_u64(77),
-        )
-        .unwrap()
+        run_bsp(&scheme, &model, &data, &rates, &cfg, 77)
     };
     let exact = run(CodecBackend::Exact);
     let grouped = run(CodecBackend::Group);
     let auto = run(CodecBackend::Auto);
     let approx = run(CodecBackend::Approx);
 
-    assert_eq!(exact.curve.points.len(), 12);
+    assert_eq!(exact.rounds(), 12);
     for other in [&grouped, &auto, &approx] {
-        assert_eq!(other.curve.points.len(), 12);
-        assert_eq!(other.approx_iterations, 0, "all decodes are exact here");
-        for ((_, a), (_, b)) in other.curve.points.iter().zip(&exact.curve.points) {
-            assert!((a - b).abs() < 1e-8, "trajectories diverged: {a} vs {b}");
+        assert_eq!(other.rounds(), 12);
+        assert_eq!(other.approx_rounds, 0, "all decodes are exact here");
+        for (a, b) in other.records.iter().zip(&exact.records) {
+            let (la, lb) = (a.loss.unwrap(), b.loss.unwrap());
+            assert!(
+                (la - lb).abs() < 1e-8,
+                "trajectories diverged: {la} vs {lb}"
+            );
         }
     }
     // Auto resolves to the group backend for a group-based scheme, and the
@@ -244,7 +260,8 @@ fn codec_backends_share_training_trajectory() {
 /// The acceptance scenario of the `>s` straggler path: with two failed
 /// workers and s = 1, every exact backend stalls, while the approximate
 /// backend finishes the run on bounded-error gradients — and still makes
-/// optimization progress.
+/// optimization progress, with the driver's residual-aware step scaling
+/// shrinking (but never zeroing) the steps.
 #[test]
 fn approx_backend_trains_where_exact_backends_stall() {
     let cluster = ClusterSpec::from_vcpu_rows("atest", &[(5, 2)], 100.0).unwrap();
@@ -264,37 +281,83 @@ fn approx_backend_trains_where_exact_backends_stall() {
         ..Default::default()
     };
 
-    let exact = train_bsp_sim(
+    let exact = run_bsp(
         &scheme,
         &model,
         &data,
         &rates,
         &cfg_for(CodecBackend::Exact),
-        &mut StdRng::seed_from_u64(53),
-    )
-    .unwrap();
+        53,
+    );
     assert!(exact.stalled, "two failures must stall the exact backend");
     assert!(exact.curve.points.is_empty());
 
-    let approx = train_bsp_sim(
+    let approx = run_bsp(
         &scheme,
         &model,
         &data,
         &rates,
         &cfg_for(CodecBackend::Approx),
-        &mut StdRng::seed_from_u64(53),
-    )
-    .unwrap();
-    assert!(!approx.stalled, "approx backend must complete the run");
-    assert_eq!(approx.curve.points.len(), 30);
-    assert_eq!(
-        approx.approx_iterations, 30,
-        "every round used the fallback"
+        53,
     );
+    assert!(!approx.stalled, "approx backend must complete the run");
+    assert_eq!(approx.rounds(), 30);
+    assert_eq!(approx.approx_rounds, 30, "every round used the fallback");
+    for r in &approx.records {
+        assert!(r.residual > 0.0);
+        assert!(
+            r.step_scale > 0.0 && r.step_scale < 1.0,
+            "approximate rounds must shrink (not zero) the step: {}",
+            r.step_scale
+        );
+    }
     let first = approx.curve.points[0].1;
-    let last = approx.curve.final_loss().unwrap();
+    let last = approx.final_loss().unwrap();
     assert!(
         last < first,
         "approximate gradients must still reduce the loss: {first} → {last}"
     );
+}
+
+/// Per-round escalation, simulated path: an EXACT backend with an
+/// Approx-ceiling policy completes the same `>s`-failure run the plain
+/// exact backend stalls on — the policy, not the backend, supplies the
+/// ladder.
+#[test]
+fn escalation_policy_rescues_exact_backend_in_simulation() {
+    let cluster = ClusterSpec::from_vcpu_rows("etest", &[(5, 2)], 100.0).unwrap();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(100, 3, 0.02, &mut StdRng::seed_from_u64(61));
+    let model = LinearRegression::new(3);
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut StdRng::seed_from_u64(62))
+        .unwrap();
+    let cfg = SimTrainConfig {
+        iterations: 20,
+        learning_rate: 0.2,
+        stragglers: hetgc::StragglerModel::Failures {
+            workers: vec![0, 2],
+        },
+        backend: CodecBackend::Exact,
+        ..Default::default()
+    };
+
+    let run = |policy: EscalationPolicy| {
+        let mut engine = SimBspEngine::new(&scheme, &model, &data, &rates, &cfg, policy).unwrap();
+        TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate))
+            .with_config(DriverConfig::default())
+            .run(&mut engine, cfg.iterations, &mut StdRng::seed_from_u64(63))
+            .unwrap()
+    };
+
+    let exact_only = run(EscalationPolicy::follow_backend());
+    assert!(exact_only.stalled, "exact backend alone must stall");
+
+    let escalated = run(EscalationPolicy::escalate_to(CodecBackend::Approx));
+    assert!(!escalated.stalled);
+    assert_eq!(escalated.rounds(), 20);
+    assert_eq!(escalated.approx_rounds, 20);
+    let first = escalated.curve.points[0].1;
+    let last = escalated.final_loss().unwrap();
+    assert!(last < first, "escalated run must train: {first} → {last}");
 }

@@ -1,0 +1,351 @@
+//! The acceptance contract of the `TrainDriver` redesign: the deprecated
+//! entry points (`train_bsp_sim`, `train_ssp_sim`,
+//! `ThreadedTrainer::run`) are thin wrappers over the unified loop and
+//! must produce trajectories identical to driving the engines directly —
+//! and the new coded-SSP engine must complete with approximate decoding
+//! where exact-only decoding stalls.
+
+#![allow(deprecated)] // this file exists to pin the deprecated wrappers
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hetgc::{
+    train_bsp_sim, train_ssp_sim, ClusterSpec, CodecBackend, DriverConfig, EscalationPolicy,
+    LinearRegression, RuntimeConfig, SchemeBuilder, SchemeKind, Sgd, SimBspEngine, SimSspEngine,
+    SimTrainConfig, StragglerModel, ThreadedEngine, ThreadedTrainer, TrainDriver, WorkerBehavior,
+};
+use hetgc_ml::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn cluster() -> ClusterSpec {
+    ClusterSpec::from_vcpu_rows("eq", &[(1, 1), (1, 2), (1, 3), (1, 4)], 50.0).unwrap()
+}
+
+/// `train_bsp_sim` ≡ `TrainDriver` + `SimBspEngine`, bitwise: same rng
+/// stream, same arithmetic, same curve — including the simulated time
+/// axis and the metrics.
+#[test]
+fn bsp_wrapper_matches_driver_bitwise() {
+    let cluster = cluster();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(80, 3, 0.01, &mut StdRng::seed_from_u64(1));
+    let model = LinearRegression::new(3);
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut StdRng::seed_from_u64(2))
+        .unwrap();
+    let cfg = SimTrainConfig {
+        iterations: 25,
+        learning_rate: 0.2,
+        compute_jitter: 0.05,
+        stragglers: StragglerModel::RandomChoice {
+            count: 1,
+            delay: hetgc::DelayDistribution::Constant(1.0),
+        },
+        ..Default::default()
+    };
+
+    let legacy = train_bsp_sim(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &cfg,
+        &mut StdRng::seed_from_u64(3),
+    )
+    .unwrap();
+
+    let mut engine = SimBspEngine::new(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &cfg,
+        EscalationPolicy::follow_backend(),
+    )
+    .unwrap();
+    let new = TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate))
+        .with_config(DriverConfig {
+            eval_every: 1,
+            residual_step_scaling: false,
+        })
+        .run(&mut engine, cfg.iterations, &mut StdRng::seed_from_u64(3))
+        .unwrap();
+
+    assert_eq!(legacy.curve.points.len(), new.curve.points.len());
+    for ((t1, l1), (t2, l2)) in legacy.curve.points.iter().zip(&new.curve.points) {
+        assert_eq!(t1, t2, "time axes must be identical");
+        assert_eq!(l1, l2, "losses must be identical");
+    }
+    assert_eq!(legacy.params, new.params);
+    assert_eq!(legacy.stalled, new.stalled);
+    assert_eq!(legacy.approx_iterations, new.approx_rounds);
+    assert_eq!(
+        legacy.metrics.avg_iteration_time(),
+        new.metrics.avg_iteration_time()
+    );
+    assert_eq!(
+        legacy.metrics.resource_usage().ratio(),
+        new.metrics.resource_usage().ratio()
+    );
+}
+
+/// The stalled path agrees too: naive + fault stalls identically.
+#[test]
+fn bsp_wrapper_matches_driver_on_stall() {
+    let cluster = cluster();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(40, 2, 0.01, &mut StdRng::seed_from_u64(4));
+    let model = LinearRegression::new(2);
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::Naive, &mut StdRng::seed_from_u64(5))
+        .unwrap();
+    let cfg = SimTrainConfig {
+        iterations: 10,
+        stragglers: StragglerModel::Failures { workers: vec![0] },
+        ..Default::default()
+    };
+
+    let legacy = train_bsp_sim(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &cfg,
+        &mut StdRng::seed_from_u64(6),
+    )
+    .unwrap();
+    let mut engine = SimBspEngine::new(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &cfg,
+        EscalationPolicy::follow_backend(),
+    )
+    .unwrap();
+    let new = TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate))
+        .run(&mut engine, cfg.iterations, &mut StdRng::seed_from_u64(6))
+        .unwrap();
+    assert!(legacy.stalled && new.stalled);
+    assert!(legacy.curve.points.is_empty() && new.curve.points.is_empty());
+    assert_eq!(legacy.metrics.failed_iterations(), 1);
+    assert_eq!(new.metrics.failed_iterations(), 1);
+    assert_eq!(legacy.params, new.params);
+}
+
+/// `train_ssp_sim` ≡ `TrainDriver` + `SimSspEngine::shard`, bitwise.
+#[test]
+fn ssp_wrapper_matches_driver_bitwise() {
+    let cluster = cluster();
+    let rates = cluster.throughputs();
+    let data = synthetic::gaussian_blobs(60, 2, 3, 5.0, &mut StdRng::seed_from_u64(7));
+    let model = hetgc::SoftmaxRegression::new(2, 3);
+    let cfg = SimTrainConfig {
+        iterations: 20,
+        learning_rate: 0.3,
+        eval_every: 4,
+        ..Default::default()
+    };
+
+    let legacy = train_ssp_sim(
+        &model,
+        &data,
+        &rates,
+        3,
+        &cfg,
+        &mut StdRng::seed_from_u64(8),
+    )
+    .unwrap();
+
+    let mut engine = SimSspEngine::shard(&model, &data, &rates, 3, &cfg).unwrap();
+    let new = TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate))
+        .with_config(DriverConfig {
+            eval_every: cfg.eval_every,
+            residual_step_scaling: false,
+        })
+        .run(
+            &mut engine,
+            cfg.iterations * rates.len(),
+            &mut StdRng::seed_from_u64(8),
+        )
+        .unwrap();
+
+    assert_eq!(legacy.points.len(), new.curve.points.len());
+    for ((t1, l1), (t2, l2)) in legacy.points.iter().zip(&new.curve.points) {
+        assert_eq!(t1, t2, "event times must be identical");
+        assert_eq!(l1, l2, "losses must be identical");
+    }
+}
+
+/// `ThreadedTrainer::run` ≡ `TrainDriver` + `ThreadedEngine`: decoding is
+/// exact in both, so with the same init seed the loss trajectories agree
+/// to fp accuracy (thread arrival order may pick different — equally
+/// exact — decode plans).
+#[test]
+fn threaded_wrapper_matches_driver() {
+    let data = synthetic::linear_regression(60, 3, 0.01, &mut StdRng::seed_from_u64(9));
+    let code = hetgc::heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut StdRng::seed_from_u64(10)).unwrap();
+
+    let legacy = ThreadedTrainer::new(
+        code.clone(),
+        LinearRegression::new(3),
+        data.clone(),
+        Sgd::new(0.2),
+        RuntimeConfig::default(),
+    )
+    .unwrap()
+    .run(10, &mut StdRng::seed_from_u64(11))
+    .unwrap();
+
+    let model = Arc::new(LinearRegression::new(3));
+    let shared = Arc::new(data);
+    let mut engine = ThreadedEngine::new(
+        code,
+        Arc::clone(&model),
+        Arc::clone(&shared),
+        &RuntimeConfig::default(),
+    )
+    .unwrap();
+    let new = TrainDriver::new(&*model, &shared, Sgd::new(0.2))
+        .run(&mut engine, 10, &mut StdRng::seed_from_u64(11))
+        .unwrap();
+
+    assert_eq!(legacy.losses.len(), new.rounds());
+    for (l, r) in legacy.losses.iter().zip(&new.records) {
+        let nl = r.loss.unwrap();
+        assert!((l - nl).abs() < 1e-8, "threaded diverged: {l} vs {nl}");
+    }
+    for (p, q) in legacy.params.iter().zip(&new.params) {
+        assert!((p - q).abs() < 1e-8);
+    }
+}
+
+/// The deprecated threaded wrapper and the driver agree on *failure*
+/// semantics as well: an undecodable round errors out of both paths.
+#[test]
+fn threaded_wrapper_and_driver_agree_on_timeout() {
+    let data = synthetic::linear_regression(40, 2, 0.01, &mut StdRng::seed_from_u64(12));
+    let code = hetgc::naive(3).unwrap();
+    let config = RuntimeConfig::nominal(3)
+        .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
+        .with_timeout(Duration::from_millis(250));
+
+    let legacy = ThreadedTrainer::new(
+        code.clone(),
+        LinearRegression::new(2),
+        data.clone(),
+        Sgd::new(0.1),
+        config.clone(),
+    )
+    .unwrap()
+    .run(3, &mut StdRng::seed_from_u64(13));
+    assert!(legacy.is_err());
+
+    let model = Arc::new(LinearRegression::new(2));
+    let shared = Arc::new(data);
+    let mut engine =
+        ThreadedEngine::new(code, Arc::clone(&model), Arc::clone(&shared), &config).unwrap();
+    let new = TrainDriver::new(&*model, &shared, Sgd::new(0.1)).run(
+        &mut engine,
+        3,
+        &mut StdRng::seed_from_u64(13),
+    );
+    assert!(new.is_err());
+}
+
+/// The coded-SSP acceptance scenario: with two dead workers and s = 1,
+/// exact-only SSP decoding stalls (every live worker reports, no decode
+/// exists), while the Approx-ceiling escalation completes the run on
+/// bounded-error rounds — and still reduces the loss.
+#[test]
+fn coded_ssp_completes_with_approx_where_exact_stalls() {
+    let cluster = ClusterSpec::from_vcpu_rows("sspx", &[(5, 2)], 100.0).unwrap();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(100, 3, 0.02, &mut StdRng::seed_from_u64(14));
+    let model = LinearRegression::new(3);
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::HeterAware, &mut StdRng::seed_from_u64(15))
+        .unwrap();
+    let cfg = SimTrainConfig {
+        learning_rate: 0.2,
+        backend: CodecBackend::Exact,
+        ..Default::default()
+    };
+    let dead = [0usize, 2];
+
+    let run = |policy: EscalationPolicy| {
+        let mut engine =
+            SimSspEngine::coded(&scheme, &model, &data, &rates, 2, &cfg, policy, &dead).unwrap();
+        TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate))
+            .run(&mut engine, 15, &mut StdRng::seed_from_u64(16))
+            .unwrap()
+    };
+
+    let exact = run(EscalationPolicy::exact_only());
+    assert!(exact.stalled, "exact-only coded SSP must stall");
+    assert_eq!(exact.rounds(), 0);
+
+    let approx = run(EscalationPolicy::escalate_to(CodecBackend::Approx));
+    assert!(!approx.stalled, "escalated coded SSP must complete");
+    assert_eq!(approx.rounds(), 15);
+    assert_eq!(approx.approx_rounds, 15);
+    let first = approx.records[0].loss.unwrap();
+    let last = approx.final_loss().unwrap();
+    assert!(last < first, "coded SSP must train: {first} → {last}");
+    // Round completion times are the SSP event stream's, strictly
+    // increasing.
+    for pair in approx.records.windows(2) {
+        assert!(pair[0].time < pair[1].time);
+    }
+}
+
+/// Coded SSP with an intact-group fast path: a group codec completes
+/// rounds from an intact group long before every worker reports.
+#[test]
+fn coded_ssp_group_rounds_use_fewer_reports() {
+    let cluster = ClusterSpec::from_vcpu_rows("sspg", &[(6, 2)], 100.0).unwrap();
+    let rates = cluster.throughputs();
+    let data = synthetic::linear_regression(90, 3, 0.02, &mut StdRng::seed_from_u64(17));
+    let model = LinearRegression::new(3);
+    let scheme = SchemeBuilder::new(&cluster, 1)
+        .build(SchemeKind::GroupBased, &mut StdRng::seed_from_u64(18))
+        .unwrap();
+    assert!(!scheme.groups.is_empty());
+    let cfg = SimTrainConfig {
+        learning_rate: 0.2,
+        backend: CodecBackend::Group,
+        ..Default::default()
+    };
+    let mut engine = SimSspEngine::coded(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        2,
+        &cfg,
+        EscalationPolicy::follow_backend(),
+        &[],
+    )
+    .unwrap();
+    let out = TrainDriver::new(&model, &data, Sgd::new(cfg.learning_rate))
+        .run(&mut engine, 10, &mut StdRng::seed_from_u64(19))
+        .unwrap();
+    assert_eq!(out.rounds(), 10);
+    assert_eq!(out.approx_rounds, 0, "group decodes are exact");
+    let smallest_group = scheme
+        .groups
+        .iter()
+        .map(|g| g.workers().len())
+        .min()
+        .unwrap();
+    assert!(
+        out.records.iter().any(|r| r.results_used <= smallest_group),
+        "at least one round should decode from an intact group: {:?}",
+        out.records
+            .iter()
+            .map(|r| r.results_used)
+            .collect::<Vec<_>>()
+    );
+}

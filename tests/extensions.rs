@@ -5,9 +5,9 @@
 
 use hetgc::adaptive::{run_with_drift, AdaptiveConfig, RateDrift};
 use hetgc::{
-    approximate_decode, gradient_error_bound_l2, simulate_bsp_iteration, under_replicated,
-    BspIterationConfig, ClusterSpec, IterationTrace, NetworkModel, SchemeBuilder, SchemeKind,
-    StragglerEvent,
+    gradient_error_bound_l2, simulate_bsp_iteration, under_replicated, ApproxCodec,
+    BspIterationConfig, ClusterSpec, GradientCodec, IterationTrace, NetworkModel, SchemeBuilder,
+    SchemeKind, StragglerEvent,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,9 +44,12 @@ fn overlap_improves_but_preserves_decoding() {
         overlapped.resource_usage().unwrap() > plain.resource_usage().unwrap(),
         "overlap must raise usage"
     );
-    // Decoding itself is untouched: both rounds produce valid decode rows.
+    // Decoding itself is untouched: both rounds produce valid exact decode
+    // plans (read through the supported `DecodePlan` accessors).
     for out in [&plain, &overlapped] {
-        let prod = scheme.code.matrix().vecmat(&out.decode_vector).unwrap();
+        let plan = out.decode_plan();
+        assert!(plan.is_exact());
+        let prod = scheme.code.matrix().vecmat(&plan.to_dense()).unwrap();
         assert!(prod.iter().all(|&x| (x - 1.0).abs() < 1e-6));
     }
 }
@@ -110,14 +113,18 @@ fn approximate_decoding_error_bound_holds() {
     let partials = partial_gradients(&model, &params, &data, &ranges);
     let direct = model.gradient(&params, &data, (0, 70));
 
-    // Two stragglers (one past tolerance): approximate decode.
+    // Two stragglers (one past tolerance): approximate decode through the
+    // codec backend, consumed via `DecodePlan` accessors.
     let survivors = [1usize, 3, 4];
-    let approx = approximate_decode(&code, &survivors).unwrap();
+    let codec = ApproxCodec::new(code).with_max_residual(3.0);
+    let plan = codec.approximate_plan(&survivors).unwrap();
+    assert!(!plan.is_exact());
+    assert!(plan.workers().iter().all(|w| survivors.contains(w)));
     let mut ghat = [0.0; 4];
-    for &w in &survivors {
-        let coded = code.encode(w, &partials).unwrap();
+    for (w, coef) in plan.iter() {
+        let coded = codec.encode(w, &partials).unwrap();
         for (g, c) in ghat.iter_mut().zip(&coded) {
-            *g += approx.vector[w] * c;
+            *g += coef * c;
         }
     }
     let err: f64 = ghat
@@ -131,7 +138,7 @@ fn approximate_decoding_error_bound_holds() {
         .map(|g| g.iter().map(|x| x * x).sum::<f64>().sqrt())
         .collect();
     // The rigorous Cauchy–Schwarz bound over partitions.
-    let bound = gradient_error_bound_l2(approx.residual, &partial_norms);
+    let bound = gradient_error_bound_l2(plan.residual(), &partial_norms);
     assert!(err <= bound + 1e-9, "err {err} exceeds bound {bound}");
     assert!(err > 0.0, "approximate decode should not be exact here");
 }
