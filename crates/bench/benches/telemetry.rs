@@ -1,0 +1,64 @@
+//! Cost of the adaptation loop's hot path: a mid-run re-code — rebuild
+//! the scheme from fresh estimates (Eq. 5 → Eq. 6 → Alg. 1), recompile
+//! the codec backend, re-partition, re-create the session — measured
+//! per engine swap on Cluster-A-sized clusters and up.
+//!
+//! The claim this bench pins: re-coding stays **microseconds-scale per
+//! round** against simulated/wall-clock round times of tens of
+//! milliseconds to seconds, so the `RecodeController` can fire whenever
+//! drift is confirmed without the rebuild itself ever appearing on the
+//! critical path.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgc::{
+    synthetic, ClusterSpec, EscalationPolicy, LinearRegression, RoundEngine, SchemeKind,
+    SimBspEngine, SimTrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Cluster-A's throughput shape (Table II), extended cyclically.
+fn throughputs(m: usize) -> Vec<f64> {
+    let base = ClusterSpec::cluster_a().throughputs();
+    (0..m).map(|i| base[i % base.len()]).collect()
+}
+
+fn bench_recode_hot_swap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry/recode_hot_swap");
+    for m in [8usize, 16, 32] {
+        let rates = throughputs(m);
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = synthetic::linear_regression(12 * m, 3, 0.01, &mut rng);
+        let model = LinearRegression::new(3);
+        let scheme =
+            hetgc::scheme_from_estimates(SchemeKind::HeterAware, &rates, 1, None, &mut rng)
+                .expect("scheme");
+        let cfg = SimTrainConfig::default();
+        let mut engine = SimBspEngine::new(
+            &scheme,
+            &model,
+            &data,
+            &rates,
+            &cfg,
+            EscalationPolicy::follow_backend(),
+        )
+        .expect("engine");
+        // Fresh estimates a drifted cluster would produce: two workers at
+        // 30 % speed.
+        let mut estimates = rates.clone();
+        estimates[1] *= 0.3;
+        estimates[2] *= 0.3;
+        group.bench_with_input(BenchmarkId::from_parameter(m), &estimates, |b, est| {
+            b.iter(|| {
+                let applied = engine
+                    .recode(black_box(est), &mut rng)
+                    .expect("recode never errors on feasible estimates");
+                assert!(applied, "rebuild must be feasible");
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recode_hot_swap);
+criterion_main!(benches);

@@ -15,8 +15,9 @@
 //! cargo run --release -p hetgc-bench --bin ablation
 //! ```
 
-use hetgc::adaptive::{compare_static_vs_adaptive, AdaptiveConfig, RateDrift};
+use hetgc::adaptive::{compare_static_vs_adaptive, AdaptiveConfig};
 use hetgc::report::{fmt_percent, render_table};
+use hetgc::RateDrift;
 use hetgc::{
     approximate_decode, simulate_bsp_iteration, under_replicated, BspIterationConfig, ClusterSpec,
     NetworkModel, RunMetrics, SchemeBuilder, SchemeKind, StragglerModel,

@@ -136,6 +136,13 @@ impl EscalationPolicy {
         self
     }
 
+    /// Replaces the deadline in place (`None` clears it) — the hook the
+    /// adaptive `DeadlineController` uses to feed a *learned* deadline
+    /// into the policy each round instead of a static knob.
+    pub fn update_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
     /// The configured ceiling.
     pub fn ceiling(&self) -> CodecBackend {
         self.ceiling
@@ -408,6 +415,16 @@ mod tests {
         assert_eq!(p.ceiling(), CodecBackend::Approx);
         assert_eq!(p.max_residual(), Some(1.5));
         assert_eq!(p.deadline(), Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn update_deadline_replaces_and_clears() {
+        let mut p = EscalationPolicy::default();
+        assert_eq!(p.deadline(), None);
+        p.update_deadline(Some(Duration::from_millis(125)));
+        assert_eq!(p.deadline(), Some(Duration::from_millis(125)));
+        p.update_deadline(None);
+        assert_eq!(p.deadline(), None);
     }
 
     #[test]

@@ -5,82 +5,50 @@
 //! estimation *noise*. Neither handles estimation *drift* — a co-tenant VM
 //! landing on a worker halfway through training permanently changes its
 //! `c_i`, re-introducing exactly the consistent stragglers the allocation
-//! was supposed to remove. This module closes the loop:
+//! was supposed to remove. The `hetgc-telemetry` subsystem closes the
+//! loop:
 //!
-//! 1. observe per-worker compute times each iteration,
-//! 2. feed an EWMA estimator ([`hetgc_cluster::EwmaEstimator`]),
-//! 3. every `reestimate_every` iterations, rebuild the coding strategy
-//!    from the fresh estimates (Eq. 5 → Eq. 6 → Alg. 1/3).
+//! 1. every round's per-worker observations feed a `TelemetryHub`
+//!    (EWMA estimator + arrival-history quantiles),
+//! 2. a `DriftDetector` (CUSUM step detection + slow-drift EWMA
+//!    divergence) flags when the live rates leave the allocation's noise
+//!    envelope,
+//! 3. on confirmed drift, the engine rebuilds the coding strategy from
+//!    the fresh estimates (Eq. 5 → Eq. 6 → Alg. 1/3) and hot-swaps it.
+//!
+//! This module is the *timing-only comparison harness* over that
+//! subsystem: [`run_with_drift`] / [`compare_static_vs_adaptive`] drive a
+//! simulated drifting cluster through the unified
+//! [`drive_timing_with`] loop with [`DriverConfig::adaptation`] wired to
+//! an [`AdaptiveConfig`]. (For adaptation composed with *real SGD
+//! training*, put an `AdaptationConfig` on the driver and a `RateDrift`
+//! on `SimBspEngine::with_drift` — see `tests/adaptation.rs` and the
+//! `telemetry_adaptation` example.)
 //!
 //! Rebuild cost is the Alg. 1 construction — microseconds (see the
-//! `construction` Criterion bench) against iteration times of seconds, so
-//! re-coding "for free" is realistic; the data movement a new allocation
-//! implies is the real-world cost and is *not* modelled (documented
-//! limitation).
+//! `telemetry/recode_hot_swap` Criterion bench) against iteration times
+//! of seconds, so re-coding "for free" is realistic; the data movement a
+//! new allocation implies is the real-world cost and is *not* modelled
+//! (documented limitation).
 
-use hetgc_cluster::{ClusterSpec, EwmaEstimator, StragglerModel, ThroughputEstimator};
-use hetgc_coding::{AnyCodec, CodecBackend, CodecSession, GradientCodec};
+use hetgc_cluster::{ClusterSpec, StragglerModel};
+use hetgc_coding::{CodecBackend, CodecSession, CodingError, GradientCodec};
 use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RunMetrics};
+use hetgc_telemetry::{AdaptationConfig, RecodeConfig, RoundSample};
 use rand::{Rng, RngCore};
 
-use crate::driver::drive_timing;
-use crate::engine::{EngineRound, RoundEngine};
-use crate::scheme::{BoxError, SchemeBuilder, SchemeKind};
+use crate::driver::{drive_timing_with, DriverConfig};
+use crate::engine::{bsp_samples, EngineRound, RoundEngine};
+use crate::scheme::{scheme_from_estimates, BoxError, SchemeBuilder, SchemeKind};
 
-/// How the cluster's true worker rates evolve over a run.
-#[derive(Debug, Clone, PartialEq)]
-pub enum RateDrift {
-    /// Speeds never change (the paper's setting).
-    None,
-    /// At iteration `at` (0-based), worker `w`'s rate is multiplied by
-    /// `factors[w]` permanently — a co-tenant arriving or a thermal
-    /// throttle engaging.
-    StepChange {
-        /// Iteration at which the change takes effect.
-        at: usize,
-        /// Per-worker multipliers (missing entries = 1.0).
-        factors: Vec<f64>,
-    },
-    /// Smooth sinusoidal fluctuation: worker `w`'s rate is scaled by
-    /// `1 + amplitude·sin(2π·(iter/period + w/m))` (phase-shifted per
-    /// worker so the cluster never slows down uniformly).
-    Wave {
-        /// Period in iterations.
-        period: f64,
-        /// Relative amplitude in `[0, 1)`.
-        amplitude: f64,
-    },
-}
-
-impl RateDrift {
-    /// The true rates at a given iteration.
-    pub fn rates_at(&self, base: &[f64], iteration: usize) -> Vec<f64> {
-        match self {
-            RateDrift::None => base.to_vec(),
-            RateDrift::StepChange { at, factors } => base
-                .iter()
-                .enumerate()
-                .map(|(w, &r)| {
-                    if iteration >= *at {
-                        r * factors.get(w).copied().unwrap_or(1.0)
-                    } else {
-                        r
-                    }
-                })
-                .collect(),
-            RateDrift::Wave { period, amplitude } => {
-                let m = base.len() as f64;
-                base.iter()
-                    .enumerate()
-                    .map(|(w, &r)| {
-                        let phase = iteration as f64 / period + w as f64 / m;
-                        r * (1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin()).max(0.05)
-                    })
-                    .collect()
-            }
-        }
-    }
-}
+/// Moved to [`hetgc_sim::RateDrift`] so the simulation-layer engines can
+/// consume it without a layering cycle; this alias keeps old import
+/// paths compiling.
+#[deprecated(
+    since = "0.2.0",
+    note = "moved to hetgc_sim::RateDrift (re-exported as hetgc::RateDrift)"
+)]
+pub type RateDrift = hetgc_sim::RateDrift;
 
 /// Configuration of an adaptive-vs-static comparison run.
 #[derive(Debug, Clone)]
@@ -93,9 +61,11 @@ pub struct AdaptiveConfig {
     pub iterations: usize,
     /// Dataset size in work units.
     pub samples: usize,
-    /// Rebuild the code from fresh estimates every this many iterations
-    /// (0 disables re-estimation — the static baseline does this
-    /// implicitly).
+    /// Re-code cadence: the minimum rounds between rebuild attempts once
+    /// the drift detector confirms (0 disables adaptation entirely — the
+    /// static baseline). Before the telemetry subsystem this was a fixed
+    /// rebuild-every-N schedule; the detector now decides *whether*, this
+    /// knob only paces *how often*.
     pub reestimate_every: usize,
     /// EWMA smoothing factor for the throughput tracker.
     pub ewma_alpha: f64,
@@ -110,7 +80,8 @@ pub struct AdaptiveConfig {
 }
 
 impl Default for AdaptiveConfig {
-    /// Heter-aware, s = 1, 60 iterations, re-estimate every 5, α = 0.4.
+    /// Heter-aware, s = 1, 60 iterations, ≥5 rounds between re-codes,
+    /// α = 0.4.
     fn default() -> Self {
         AdaptiveConfig {
             kind: SchemeKind::HeterAware,
@@ -126,6 +97,24 @@ impl Default for AdaptiveConfig {
     }
 }
 
+impl AdaptiveConfig {
+    /// The telemetry pipeline this comparison harness runs
+    /// (`None` when `reestimate_every == 0`: the static baseline).
+    /// Deadline learning is off — the harness compares *re-coding*, so
+    /// both runs keep the wait-for-everyone master.
+    pub fn adaptation(&self) -> Option<AdaptationConfig> {
+        (self.reestimate_every > 0).then(|| AdaptationConfig {
+            ewma_alpha: self.ewma_alpha,
+            learn_deadline: false,
+            recode: RecodeConfig {
+                confirm_rounds: 2,
+                cooldown_rounds: self.reestimate_every,
+            },
+            ..AdaptationConfig::default()
+        })
+    }
+}
+
 /// Outcome of one policy (static or adaptive) under drift.
 #[derive(Debug, Clone)]
 pub struct AdaptiveOutcome {
@@ -138,27 +127,25 @@ pub struct AdaptiveOutcome {
     pub rebuild_failures: usize,
 }
 
-/// The adaptive-recoding [`RoundEngine`]: each round simulates one BSP
-/// iteration at the drifted rates, feeds the EWMA estimator, and
-/// periodically rebuilds the coding strategy from fresh estimates. A
-/// timing-only engine — the unified [`drive_timing`] loop aggregates its
-/// rounds into the run's [`RunMetrics`].
+/// The timing-only drifting-cluster [`RoundEngine`]: each round simulates
+/// one BSP iteration at the drifted rates and emits the per-worker
+/// [`RoundSample`]s the adaptation pipeline ingests; on confirmed drift
+/// the driver calls back into [`RoundEngine::recode`], which rebuilds the
+/// strategy from the fresh estimates and hot-swaps codec and session.
 struct DriftEngine<'a> {
-    cluster: &'a ClusterSpec,
-    drift: &'a RateDrift,
+    drift: &'a hetgc_sim::RateDrift,
     cfg: &'a AdaptiveConfig,
     base: Vec<f64>,
-    codec: AnyCodec,
+    codec: hetgc_coding::AnyCodec,
     session: CodecSession,
-    estimator: EwmaEstimator,
-    rebuilds: usize,
-    rebuild_failures: usize,
+    label: String,
+    recodes: usize,
 }
 
 impl<'a> DriftEngine<'a> {
     fn new<R: Rng + ?Sized>(
-        cluster: &'a ClusterSpec,
-        drift: &'a RateDrift,
+        cluster: &ClusterSpec,
+        drift: &'a hetgc_sim::RateDrift,
         cfg: &'a AdaptiveConfig,
         rng: &mut R,
     ) -> Result<Self, BoxError> {
@@ -169,16 +156,23 @@ impl<'a> DriftEngine<'a> {
         let codec = scheme.compile_backend(cfg.backend)?;
         let session = codec.session();
         Ok(DriftEngine {
-            cluster,
             drift,
             cfg,
             base: cluster.throughputs(),
-            estimator: EwmaEstimator::new(cluster.len(), cfg.ewma_alpha),
             codec,
             session,
-            rebuilds: 0,
-            rebuild_failures: 0,
+            label: cfg.kind.name().to_owned(),
+            recodes: 0,
         })
+    }
+
+    fn rebuild(&mut self, estimates: &[f64], rng: &mut dyn RngCore) -> Result<(), CodingError> {
+        let scheme =
+            scheme_from_estimates(self.cfg.kind, estimates, self.cfg.stragglers, None, rng)?;
+        let codec = scheme.compile_backend(self.cfg.backend)?;
+        self.session = codec.session();
+        self.codec = codec;
+        Ok(())
     }
 }
 
@@ -192,7 +186,7 @@ impl RoundEngine for DriftEngine<'_> {
     }
 
     fn label(&self) -> &str {
-        self.cfg.kind.name()
+        &self.label
     }
 
     fn round(
@@ -202,7 +196,7 @@ impl RoundEngine for DriftEngine<'_> {
         rng: &mut dyn RngCore,
     ) -> Result<EngineRound, BoxError> {
         let iter = round - 1; // drift schedules are 0-based
-        let m = self.cluster.len();
+        let m = self.base.len();
         let rates = self.drift.rates_at(&self.base, iter);
         let k = self.codec.partitions();
         let work_per_partition = self.cfg.samples as f64 / k as f64;
@@ -214,42 +208,14 @@ impl RoundEngine for DriftEngine<'_> {
         let outcome =
             simulate_bsp_iteration_in(&self.codec, &sim_cfg, &events, rng, &mut self.session)?;
 
-        // Observe: each worker's measured rate this iteration (the master
-        // sees compute duration; injected delay contaminates it exactly as
-        // it would in production).
-        for arr in &outcome.arrivals {
-            if arr.compute_end.is_finite() {
-                let work = self.codec.load_of(arr.worker) as f64 * work_per_partition;
-                self.estimator
-                    .observe(arr.worker, work, arr.compute_end.max(1e-9));
-            }
-        }
-
-        // Periodic re-coding from fresh estimates.
-        if self.cfg.reestimate_every > 0 && (iter + 1).is_multiple_of(self.cfg.reestimate_every) {
-            if let Ok(estimates) = self.estimator.estimates() {
-                match SchemeBuilder::new(self.cluster, self.cfg.stragglers)
-                    .estimates(estimates)
-                    .build(self.cfg.kind, rng)
-                {
-                    Ok(new_scheme) => match new_scheme.compile_backend(self.cfg.backend) {
-                        Ok(new_codec) => {
-                            self.codec = new_codec;
-                            self.session = self.codec.session();
-                            self.rebuilds += 1;
-                        }
-                        Err(_) => self.rebuild_failures += 1,
-                    },
-                    Err(_) => self.rebuild_failures += 1,
-                }
-            }
-        }
-
         let Some(t) = outcome.completion else {
             // Keep running on the current code: transient failures are
             // recorded, not fatal.
             return Ok(EngineRound::failed(false));
         };
+        // The master sees compute durations; injected delay contaminates
+        // them exactly as it would in production.
+        let samples: Vec<RoundSample> = bsp_samples(&self.codec, &outcome, work_per_partition, t);
         Ok(EngineRound {
             elapsed: Some(t),
             at: None,
@@ -258,13 +224,32 @@ impl RoundEngine for DriftEngine<'_> {
             error_bound: None,
             results_used: outcome.decode_workers.len(),
             busy: outcome.busy,
+            samples,
             stop: false,
         })
+    }
+
+    fn supports_recode(&self) -> bool {
+        true
+    }
+
+    fn recode(&mut self, estimates: &[f64], rng: &mut dyn RngCore) -> Result<bool, BoxError> {
+        match self.rebuild(estimates, rng) {
+            Ok(()) => {
+                self.recodes += 1;
+                Ok(true)
+            }
+            Err(_) => Ok(false), // infeasible estimates: keep the old code
+        }
+    }
+
+    fn initial_estimates(&self) -> Option<Vec<f64>> {
+        Some(self.base.clone())
     }
 }
 
 /// Runs one policy over a drifting cluster through the unified
-/// [`drive_timing`] loop.
+/// [`drive_timing_with`] loop.
 ///
 /// `reestimate_every = 0` gives the static baseline: the scheme is built
 /// once from the *pre-drift* rates and never touched again.
@@ -276,16 +261,21 @@ impl RoundEngine for DriftEngine<'_> {
 /// [`AdaptiveOutcome::rebuild_failures`].
 pub fn run_with_drift<R: Rng>(
     cluster: &ClusterSpec,
-    drift: &RateDrift,
+    drift: &hetgc_sim::RateDrift,
     cfg: &AdaptiveConfig,
     rng: &mut R,
 ) -> Result<AdaptiveOutcome, BoxError> {
     let mut engine = DriftEngine::new(cluster, drift, cfg, rng)?;
-    let outcome = drive_timing(&mut engine, cfg.iterations, rng)?;
+    let driver_cfg = DriverConfig {
+        adaptation: cfg.adaptation(),
+        ..DriverConfig::default()
+    };
+    let outcome = drive_timing_with(&mut engine, cfg.iterations, rng, &driver_cfg)?;
+    let report = outcome.adaptation.unwrap_or_default();
     Ok(AdaptiveOutcome {
         metrics: outcome.metrics,
-        rebuilds: engine.rebuilds,
-        rebuild_failures: engine.rebuild_failures,
+        rebuilds: report.recodes(),
+        rebuild_failures: report.recode_failures,
     })
 }
 
@@ -297,7 +287,7 @@ pub fn run_with_drift<R: Rng>(
 /// Propagates [`run_with_drift`] errors from either run.
 pub fn compare_static_vs_adaptive<R: Rng>(
     cluster: &ClusterSpec,
-    drift: &RateDrift,
+    drift: &hetgc_sim::RateDrift,
     cfg: &AdaptiveConfig,
     rng: &mut R,
 ) -> Result<(AdaptiveOutcome, AdaptiveOutcome), BoxError> {
@@ -313,54 +303,12 @@ pub fn compare_static_vs_adaptive<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hetgc_sim::RateDrift;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn cluster() -> ClusterSpec {
         ClusterSpec::from_vcpu_rows("drifty", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0).unwrap()
-    }
-
-    #[test]
-    fn drift_none_is_identity() {
-        let base = [1.0, 2.0];
-        assert_eq!(RateDrift::None.rates_at(&base, 10), base.to_vec());
-    }
-
-    #[test]
-    fn drift_step_change_applies_from_at() {
-        let d = RateDrift::StepChange {
-            at: 5,
-            factors: vec![0.5, 1.0],
-        };
-        let base = [4.0, 4.0];
-        assert_eq!(d.rates_at(&base, 4), vec![4.0, 4.0]);
-        assert_eq!(d.rates_at(&base, 5), vec![2.0, 4.0]);
-        assert_eq!(d.rates_at(&base, 50), vec![2.0, 4.0]);
-    }
-
-    #[test]
-    fn drift_step_change_missing_factors_default_to_one() {
-        let d = RateDrift::StepChange {
-            at: 0,
-            factors: vec![0.5],
-        };
-        assert_eq!(d.rates_at(&[2.0, 2.0], 0), vec![1.0, 2.0]);
-    }
-
-    #[test]
-    fn drift_wave_oscillates_but_stays_positive() {
-        let d = RateDrift::Wave {
-            period: 10.0,
-            amplitude: 0.9,
-        };
-        let base = [1.0, 1.0, 1.0];
-        for iter in 0..40 {
-            for r in d.rates_at(&base, iter) {
-                assert!(r > 0.0);
-            }
-        }
-        // Not constant.
-        assert_ne!(d.rates_at(&base, 0), d.rates_at(&base, 3));
     }
 
     #[test]
@@ -457,7 +405,9 @@ mod tests {
             compare_static_vs_adaptive(&cluster, &RateDrift::None, &cfg, &mut rng).unwrap();
         let t_static = static_run.metrics.avg_iteration_time().unwrap();
         let t_adaptive = adaptive_run.metrics.avg_iteration_time().unwrap();
-        // Within a few percent of each other (jitter noise only).
+        // The detector stays quiet under jitter-only noise, so no rebuild
+        // ever fires and the runs differ only by their random draws.
+        assert_eq!(adaptive_run.rebuilds, 0, "no drift, no re-code");
         assert!((t_adaptive - t_static).abs() / t_static < 0.10);
     }
 
@@ -500,5 +450,17 @@ mod tests {
             out.rebuild_failures > 0,
             "expected infeasible rebuilds to be counted"
         );
+    }
+
+    #[test]
+    fn static_baseline_has_no_adaptation() {
+        let cfg = AdaptiveConfig {
+            reestimate_every: 0,
+            ..Default::default()
+        };
+        assert!(cfg.adaptation().is_none());
+        let adaptive = AdaptiveConfig::default().adaptation().unwrap();
+        assert!(!adaptive.learn_deadline);
+        assert_eq!(adaptive.recode.cooldown_rounds, 5);
     }
 }

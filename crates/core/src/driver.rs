@@ -8,9 +8,18 @@
 //! Timing-only sweeps (the Figs. 2/3/5 harnesses, the adaptive-recoding
 //! comparison) share the loop through [`drive_timing`]: same records,
 //! same [`RunMetrics`] accumulation, no model.
+//!
+//! With [`DriverConfig::adaptation`] set, the loop closes the
+//! heterogeneity feedback loop each round: engine telemetry
+//! ([`EngineRound::samples`]) flows into an `hetgc_telemetry::Adaptation`
+//! pipeline, and its decisions flow back — a learned escalation deadline
+//! via [`RoundEngine::set_deadline`], a code rebuilt from fresh
+//! estimates via [`RoundEngine::recode`]. The run's adaptation history is
+//! reported in [`TrainOutcome::adaptation`].
 
 use hetgc_ml::{Dataset, Model, Optimizer};
 use hetgc_sim::RunMetrics;
+use hetgc_telemetry::{Adaptation, AdaptationConfig};
 use rand::RngCore;
 
 use crate::engine::{residual_step_scale, EngineRound, RoundEngine};
@@ -29,15 +38,100 @@ pub struct DriverConfig {
     /// untouched by construction. Disable to reproduce the legacy
     /// full-step-on-approximate-rounds behaviour.
     pub residual_step_scaling: bool,
+    /// The adaptation loop (learned escalation deadline + drift-triggered
+    /// re-coding). `None` — the default — runs the engine exactly as
+    /// configured, bit for bit.
+    pub adaptation: Option<AdaptationConfig>,
 }
 
 impl Default for DriverConfig {
-    /// Evaluate every round, scale steps on approximate rounds.
+    /// Evaluate every round, scale steps on approximate rounds, no
+    /// adaptation.
     fn default() -> Self {
         DriverConfig {
             eval_every: 1,
             residual_step_scaling: true,
+            adaptation: None,
         }
+    }
+}
+
+/// What the adaptation loop did over one run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptationReport {
+    /// Rounds (1-based) after which a rebuilt code was installed.
+    pub recode_rounds: Vec<usize>,
+    /// Re-code attempts the rebuild declined (infeasible estimates) —
+    /// the run kept the previous code.
+    pub recode_failures: usize,
+    /// Rounds on which a drift detector newly flagged a worker.
+    pub drift_rounds: Vec<usize>,
+    /// The escalation deadline in force at the end of the run, if one
+    /// was learned.
+    pub learned_deadline: Option<f64>,
+    /// How many times the learned deadline changed (and was pushed into
+    /// the engine).
+    pub deadline_updates: usize,
+}
+
+impl AdaptationReport {
+    /// Successful re-codes.
+    pub fn recodes(&self) -> usize {
+        self.recode_rounds.len()
+    }
+}
+
+/// The driver-side adaptation loop: telemetry in, engine hooks out.
+struct AdaptationState {
+    pipeline: Adaptation,
+    /// Fallback estimates for workers the telemetry has not observed.
+    fallback: Vec<f64>,
+    report: AdaptationReport,
+}
+
+impl AdaptationState {
+    fn new<E: RoundEngine + ?Sized>(engine: &E, cfg: &AdaptationConfig) -> Self {
+        AdaptationState {
+            pipeline: Adaptation::new(engine.workers(), cfg.clone()),
+            fallback: engine.initial_estimates().unwrap_or_default(),
+            report: AdaptationReport::default(),
+        }
+    }
+
+    /// Feeds one completed round through the pipeline and applies its
+    /// decisions to the engine.
+    fn after_round<E: RoundEngine + ?Sized>(
+        &mut self,
+        round: usize,
+        er: &EngineRound,
+        elapsed: f64,
+        engine: &mut E,
+        rng: &mut dyn RngCore,
+    ) -> Result<(), BoxError> {
+        let decision = self
+            .pipeline
+            .observe_round(elapsed, er.residual, &er.samples);
+        if !decision.drift_events.is_empty() {
+            self.report.drift_rounds.push(round);
+        }
+        if let Some(deadline) = decision.deadline {
+            if self.report.learned_deadline != Some(deadline) {
+                self.report.learned_deadline = Some(deadline);
+                self.report.deadline_updates += 1;
+                engine.set_deadline(deadline);
+            }
+        }
+        if decision.recode && engine.supports_recode() {
+            let estimates = self.pipeline.estimates_or(&self.fallback);
+            if engine.recode(&estimates, rng)? {
+                self.report.recode_rounds.push(round);
+                self.pipeline.recode_applied();
+            } else {
+                self.report.recode_failures += 1;
+                self.pipeline.recode_rejected();
+            }
+        }
+        Ok(())
     }
 }
 
@@ -61,6 +155,71 @@ pub struct RoundRecord {
     pub results_used: usize,
 }
 
+impl RoundRecord {
+    /// Serializes the record as one self-contained JSON object — the
+    /// line format of the streaming JSONL sink
+    /// (`hetgc::report::JsonlRecordSink`) and the element format of
+    /// [`TrainOutcome::to_json`]'s `records` array. Non-finite floats
+    /// become `null`.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"round\":{},\"time\":{},\"elapsed\":{},\"loss\":{},\
+             \"residual\":{},\"step_scale\":{},\"results_used\":{}}}",
+            self.round,
+            json_f64(self.time),
+            json_f64(self.elapsed),
+            json_f64_opt(self.loss),
+            json_f64(self.residual),
+            json_f64(self.step_scale),
+            self.results_used,
+        );
+        out
+    }
+
+    /// Parses one [`RoundRecord::to_json`] line back — the read half of
+    /// the JSONL round-trip.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or malformed field.
+    pub fn from_json(line: &str) -> Result<Self, String> {
+        fn field<'s>(s: &'s str, key: &str) -> Result<&'s str, String> {
+            let pat = format!("\"{key}\":");
+            let start = s
+                .find(&pat)
+                .ok_or_else(|| format!("missing field {key:?} in {s:?}"))?
+                + pat.len();
+            let rest = &s[start..];
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Ok(rest[..end].trim())
+        }
+        fn num(s: &str, key: &str) -> Result<f64, String> {
+            let raw = field(s, key)?;
+            raw.parse::<f64>()
+                .map_err(|e| format!("field {key:?} = {raw:?}: {e}"))
+        }
+        let loss = match field(line, "loss")? {
+            "null" => None,
+            raw => Some(
+                raw.parse::<f64>()
+                    .map_err(|e| format!("field \"loss\" = {raw:?}: {e}"))?,
+            ),
+        };
+        Ok(RoundRecord {
+            round: num(line, "round")? as usize,
+            time: num(line, "time")?,
+            elapsed: num(line, "elapsed")?,
+            loss,
+            residual: num(line, "residual")?,
+            step_scale: num(line, "step_scale")?,
+            results_used: num(line, "results_used")? as usize,
+        })
+    }
+}
+
 /// The unified training report every engine produces.
 #[derive(Debug, Clone)]
 pub struct TrainOutcome {
@@ -81,6 +240,9 @@ pub struct TrainOutcome {
     /// Rounds decoded through an approximate fallback (any positive
     /// residual).
     pub approx_rounds: usize,
+    /// What the adaptation loop did, when [`DriverConfig::adaptation`]
+    /// was enabled; `None` for plain runs.
+    pub adaptation: Option<AdaptationReport>,
 }
 
 impl TrainOutcome {
@@ -104,7 +266,7 @@ impl TrainOutcome {
             out,
             "{{\"label\":{},\"stalled\":{},\"approx_rounds\":{},\"rounds\":{},\
              \"failed_rounds\":{},\"avg_round_seconds\":{},\"total_seconds\":{},\
-             \"final_loss\":{},\"records\":[",
+             \"final_loss\":{},",
             json_str(&self.label),
             self.stalled,
             self.approx_rounds,
@@ -114,22 +276,26 @@ impl TrainOutcome {
             json_f64(self.metrics.total_time()),
             json_f64_opt(self.final_loss()),
         );
+        if let Some(a) = &self.adaptation {
+            let _ = write!(
+                out,
+                "\"adaptation\":{{\"recodes\":{},\"recode_rounds\":{:?},\
+                 \"recode_failures\":{},\"drift_rounds\":{:?},\
+                 \"learned_deadline\":{},\"deadline_updates\":{}}},",
+                a.recodes(),
+                a.recode_rounds,
+                a.recode_failures,
+                a.drift_rounds,
+                json_f64_opt(a.learned_deadline),
+                a.deadline_updates,
+            );
+        }
+        out.push_str("\"records\":[");
         for (i, r) in self.records.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(
-                out,
-                "{{\"round\":{},\"time\":{},\"elapsed\":{},\"loss\":{},\
-                 \"residual\":{},\"step_scale\":{},\"results_used\":{}}}",
-                r.round,
-                json_f64(r.time),
-                json_f64(r.elapsed),
-                json_f64_opt(r.loss),
-                json_f64(r.residual),
-                json_f64(r.step_scale),
-                r.results_used,
-            );
+            out.push_str(&r.to_json());
         }
         out.push_str("]}");
         out
@@ -236,7 +402,7 @@ impl RoundLog {
         });
     }
 
-    fn finish(self, params: Vec<f64>) -> TrainOutcome {
+    fn finish(self, params: Vec<f64>, adaptation: Option<AdaptationState>) -> TrainOutcome {
         TrainOutcome {
             curve: LossCurve {
                 label: self.label.clone(),
@@ -248,6 +414,7 @@ impl RoundLog {
             params,
             stalled: self.stalled,
             approx_rounds: self.approx_rounds,
+            adaptation: adaptation.map(|a| a.report),
         }
     }
 }
@@ -289,12 +456,22 @@ impl RoundLog {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug)]
 pub struct TrainDriver<'a, M: Model + ?Sized, O: Optimizer> {
     model: &'a M,
     data: &'a Dataset,
     optimizer: O,
     cfg: DriverConfig,
+    record_writer: Option<&'a mut dyn std::io::Write>,
+}
+
+impl<M: Model + ?Sized, O: Optimizer + std::fmt::Debug> std::fmt::Debug for TrainDriver<'_, M, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainDriver")
+            .field("optimizer", &self.optimizer)
+            .field("cfg", &self.cfg)
+            .field("streams_records", &self.record_writer.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
@@ -306,12 +483,23 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
             data,
             optimizer,
             cfg: DriverConfig::default(),
+            record_writer: None,
         }
     }
 
     /// Replaces the loop configuration.
     pub fn with_config(mut self, cfg: DriverConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Streams every completed [`RoundRecord`] to `writer` as one JSON
+    /// line ([`RoundRecord::to_json`] + `\n`) the moment the round
+    /// completes — long runs persist their history without holding it
+    /// hostage to the final report. `hetgc::report::parse_round_records`
+    /// reads the stream back.
+    pub fn with_record_writer(mut self, writer: &'a mut dyn std::io::Write) -> Self {
+        self.record_writer = Some(writer);
         self
     }
 
@@ -326,7 +514,8 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
     /// # Errors
     ///
     /// Propagates engine errors (configuration, infrastructure, and — for
-    /// the threaded engine — undecodable rounds).
+    /// the threaded engine — undecodable rounds), and write errors of the
+    /// streaming record writer.
     pub fn run<E: RoundEngine + ?Sized>(
         mut self,
         engine: &mut E,
@@ -337,6 +526,11 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
         let mut params = self.model.init_params(rng);
         let mut log = RoundLog::new(engine.label().to_owned());
         let eval_every = self.cfg.eval_every.max(1);
+        let mut adaptation = self
+            .cfg
+            .adaptation
+            .as_ref()
+            .map(|cfg| AdaptationState::new(engine, cfg));
 
         for round in 1..=rounds {
             let er = engine.round(round, &params, rng)?;
@@ -361,11 +555,18 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
             let loss = (round % eval_every == 0 || round == rounds)
                 .then(|| self.model.loss(&params, self.data, (0, self.data.len())) / n);
             log.completed_round(round, &er, elapsed, loss, step_scale, engine.workers());
+            if let Some(writer) = self.record_writer.as_deref_mut() {
+                let record = log.records.last().expect("round just recorded");
+                writeln!(writer, "{}", record.to_json())?;
+            }
+            if let Some(ad) = adaptation.as_mut() {
+                ad.after_round(round, &er, elapsed, engine, rng)?;
+            }
             if er.stop {
                 break;
             }
         }
-        Ok(log.finish(params))
+        Ok(log.finish(params, adaptation))
     }
 }
 
@@ -373,6 +574,9 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
 /// records and [`RunMetrics`], but no model, no optimizer, no loss —
 /// engines are expected to return `gradient: None`. This is what the
 /// Figs. 2/3/5 harnesses and the adaptive-recoding comparison run on.
+///
+/// Equivalent to [`drive_timing_with`] under the default
+/// [`DriverConfig`] (no adaptation).
 ///
 /// # Errors
 ///
@@ -382,7 +586,28 @@ pub fn drive_timing<E: RoundEngine + ?Sized>(
     rounds: usize,
     rng: &mut dyn RngCore,
 ) -> Result<TrainOutcome, BoxError> {
+    drive_timing_with(engine, rounds, rng, &DriverConfig::default())
+}
+
+/// [`drive_timing`] with an explicit [`DriverConfig`]: the timing loop
+/// honours [`DriverConfig::adaptation`] exactly like [`TrainDriver::run`]
+/// does — this is what the adaptive re-coding comparison
+/// (`hetgc::adaptive`) runs on.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn drive_timing_with<E: RoundEngine + ?Sized>(
+    engine: &mut E,
+    rounds: usize,
+    rng: &mut dyn RngCore,
+    cfg: &DriverConfig,
+) -> Result<TrainOutcome, BoxError> {
     let mut log = RoundLog::new(engine.label().to_owned());
+    let mut adaptation = cfg
+        .adaptation
+        .as_ref()
+        .map(|cfg| AdaptationState::new(engine, cfg));
     for round in 1..=rounds {
         let er = engine.round(round, &[], rng)?;
         let Some(elapsed) = er.elapsed else {
@@ -393,11 +618,14 @@ pub fn drive_timing<E: RoundEngine + ?Sized>(
             continue;
         };
         log.completed_round(round, &er, elapsed, None, 1.0, engine.workers());
+        if let Some(ad) = adaptation.as_mut() {
+            ad.after_round(round, &er, elapsed, engine, rng)?;
+        }
         if er.stop {
             break;
         }
     }
-    Ok(log.finish(Vec::new()))
+    Ok(log.finish(Vec::new(), adaptation))
 }
 
 #[cfg(test)]
@@ -446,6 +674,7 @@ mod tests {
             error_bound: None,
             results_used: 2,
             busy: vec![elapsed; 3],
+            samples: Vec::new(),
             stop: false,
         }
     }
@@ -521,5 +750,76 @@ mod tests {
         assert_eq!(json_f64(f64::INFINITY), "null");
         assert_eq!(json_f64(1.5), "1.5");
         assert_eq!(json_f64_opt(None), "null");
+    }
+
+    #[test]
+    fn round_record_json_round_trips() {
+        let records = [
+            RoundRecord {
+                round: 3,
+                time: 6.25,
+                elapsed: 2.125,
+                loss: Some(0.004_375),
+                residual: 0.25,
+                step_scale: 0.875,
+                results_used: 4,
+            },
+            RoundRecord {
+                round: 4,
+                time: 7.0,
+                elapsed: 0.75,
+                loss: None,
+                residual: 0.0,
+                step_scale: 1.0,
+                results_used: 3,
+            },
+        ];
+        for r in &records {
+            let parsed = RoundRecord::from_json(&r.to_json()).unwrap();
+            assert_eq!(&parsed, r);
+        }
+        assert!(RoundRecord::from_json("{\"round\":1}").is_err());
+        assert!(RoundRecord::from_json("{\"round\":x,\"time\":1,\"elapsed\":1,\"loss\":null,\"residual\":0,\"step_scale\":1,\"results_used\":1}").is_err());
+    }
+
+    #[test]
+    fn adaptation_report_serialized_when_present() {
+        let mut engine = FixedEngine::new(vec![ok_round(1.0, 0.0)]);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let mut out = drive_timing(&mut engine, 1, &mut rng).unwrap();
+        assert!(out.adaptation.is_none(), "no adaptation configured");
+        assert!(!out.to_json().contains("\"adaptation\""));
+        out.adaptation = Some(AdaptationReport {
+            recode_rounds: vec![7, 12],
+            recode_failures: 1,
+            drift_rounds: vec![5],
+            learned_deadline: Some(1.84),
+            deadline_updates: 3,
+        });
+        let json = out.to_json();
+        assert!(json.contains("\"adaptation\":{\"recodes\":2"), "{json}");
+        assert!(json.contains("\"learned_deadline\":1.84"));
+        assert!(json.ends_with("]}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn timing_loop_with_adaptation_reports() {
+        // A fixed engine never drifts and does not support re-coding: the
+        // loop must still run, learn a deadline, and report zero recodes.
+        let mut engine = FixedEngine::new(vec![ok_round(1.0, 0.0); 12]);
+        let mut rng = rand::rngs::mock::StepRng::new(0, 1);
+        let cfg = DriverConfig {
+            adaptation: Some(AdaptationConfig::default()),
+            ..DriverConfig::default()
+        };
+        let out = drive_timing_with(&mut engine, 12, &mut rng, &cfg).unwrap();
+        let report = out.adaptation.expect("adaptation was on");
+        assert_eq!(report.recodes(), 0);
+        assert_eq!(report.recode_failures, 0);
+        // Constant 1.0s rounds: learned deadline = 1.0 × margin (1.25).
+        let d = report.learned_deadline.expect("past warmup");
+        assert!((d - 1.25).abs() < 1e-9, "{d}");
+        assert_eq!(report.deadline_updates, 1);
     }
 }

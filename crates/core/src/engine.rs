@@ -34,10 +34,13 @@ use hetgc_coding::{
 };
 use hetgc_ml::{partial_gradients, Dataset, Model};
 use hetgc_runtime::{RuntimeConfig, RuntimeError, ThreadedCluster};
-use hetgc_sim::{simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, SspEngine};
+use hetgc_sim::{
+    simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RateDrift, SspEngine,
+};
+use hetgc_telemetry::RoundSample;
 use rand::RngCore;
 
-use crate::scheme::{BoxError, SchemeInstance};
+use crate::scheme::{scheme_from_estimates, BoxError, SchemeInstance, SchemeKind};
 use crate::trainer::SimTrainConfig;
 
 /// What one engine round hands back to the driver.
@@ -65,6 +68,11 @@ pub struct EngineRound {
     pub results_used: usize,
     /// Per-worker useful-compute seconds (empty when unknown).
     pub busy: Vec<f64>,
+    /// Per-worker telemetry observations of this round (compute time,
+    /// arrival time, work units, straggled/failed) — what the adaptation
+    /// loop's `TelemetryHub` ingests. Empty when the engine has nothing
+    /// to report (e.g. a failed round).
+    pub samples: Vec<RoundSample>,
     /// `true` asks the driver to end the run after this round (a stalled
     /// BSP run, a deterministic-failure timing sweep).
     pub stop: bool,
@@ -81,6 +89,7 @@ impl EngineRound {
             error_bound: None,
             results_used: 0,
             busy: Vec::new(),
+            samples: Vec::new(),
             stop,
         }
     }
@@ -124,6 +133,38 @@ pub trait RoundEngine {
     /// Observes the parameters after the driver's optimizer step —
     /// engines with stale-parameter semantics (SSP) snapshot them here.
     fn after_step(&mut self, _params: &[f64]) {}
+
+    /// Installs a learned escalation deadline (seconds from round start —
+    /// simulated or wall-clock, matching the engine's substrate). Engines
+    /// whose escalation ladder cannot fire ignore the call; the default
+    /// does nothing.
+    fn set_deadline(&mut self, _deadline: f64) {}
+
+    /// Whether [`RoundEngine::recode`] can install a rebuilt code.
+    fn supports_recode(&self) -> bool {
+        false
+    }
+
+    /// Rebuilds the coding strategy from fresh throughput estimates
+    /// (Eq. 5 → Eq. 6 → Alg. 1/3) and hot-swaps it in before the next
+    /// round. Returns `Ok(true)` when the new code was installed,
+    /// `Ok(false)` when the rebuild was declined (infeasible estimates,
+    /// unsupported engine) — the round loop keeps the old code either
+    /// way.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only (e.g. respawning a worker pool).
+    fn recode(&mut self, _estimates: &[f64], _rng: &mut dyn RngCore) -> Result<bool, BoxError> {
+        Ok(false)
+    }
+
+    /// The throughput estimates the engine's current code was built from,
+    /// used as the fallback for workers the telemetry has not observed
+    /// yet. `None` when unknown (the threaded runtime).
+    fn initial_estimates(&self) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 /// The learning-rate multiplier for a round with the given decode
@@ -206,6 +247,14 @@ fn gradient_from_plan<M: Model + ?Sized>(
 /// escalation ladder at the policy deadline or round end) and computes
 /// the real coded gradient the way the master would — partials, sparse
 /// encode per surviving worker, combination with the decode plan.
+///
+/// The adaptation hooks are fully wired: every round emits
+/// [`RoundSample`]s, [`SimBspEngine::with_drift`] injects a
+/// [`RateDrift`] schedule so drifting clusters compose with real SGD
+/// training, [`RoundEngine::set_deadline`] feeds a learned escalation
+/// deadline into the simulated master, and [`RoundEngine::recode`]
+/// rebuilds the scheme from fresh estimates and hot-swaps codec, session
+/// and partition ranges between rounds.
 #[derive(Debug)]
 pub struct SimBspEngine<'a, M: Model + ?Sized> {
     codec: EscalatingCodec,
@@ -213,6 +262,7 @@ pub struct SimBspEngine<'a, M: Model + ?Sized> {
     model: &'a M,
     data: &'a Dataset,
     rates: Vec<f64>,
+    drift: Option<RateDrift>,
     ranges: Vec<(usize, usize)>,
     work_per_partition: f64,
     network: NetworkModel,
@@ -222,6 +272,13 @@ pub struct SimBspEngine<'a, M: Model + ?Sized> {
     fallback_deadline: Option<f64>,
     label: String,
     coded: Vec<f64>,
+    // Re-code inputs: what the scheme was built as, so a rebuild from
+    // fresh estimates reconstructs the same kind of code.
+    kind: SchemeKind,
+    straggler_budget: usize,
+    backend: hetgc_coding::CodecBackend,
+    policy: EscalationPolicy,
+    recodes: usize,
 }
 
 impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
@@ -243,7 +300,7 @@ impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
     ) -> Result<Self, BoxError> {
         let base = scheme.compile_backend(cfg.backend)?;
         let fallback_deadline = policy.deadline().map(|d| d.as_secs_f64());
-        let codec = EscalatingCodec::new(base, policy);
+        let codec = EscalatingCodec::new(base, policy.clone());
         let m = codec.workers();
         let k = codec.partitions();
         if rates.len() != m {
@@ -258,6 +315,7 @@ impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
             model,
             data,
             rates: rates.to_vec(),
+            drift: None,
             ranges,
             work_per_partition: data.len() as f64 / k as f64,
             network: cfg.network,
@@ -267,12 +325,31 @@ impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
             fallback_deadline,
             label: scheme.kind.name().to_owned(),
             coded: Vec::new(),
+            kind: scheme.kind,
+            straggler_budget: scheme.stragglers(),
+            backend: cfg.backend,
+            policy,
+            recodes: 0,
         })
+    }
+
+    /// Evolves the cluster's *true* rates over the run: round `t` (1-based
+    /// driver rounds, 0-based drift iterations) simulates at
+    /// `drift.rates_at(rates, t − 1)`. [`RateDrift::None`] is bitwise
+    /// identical to no drift at all.
+    pub fn with_drift(mut self, drift: RateDrift) -> Self {
+        self.drift = (!drift.is_static()).then_some(drift);
+        self
     }
 
     /// The escalation-wrapped codec this engine decodes with.
     pub fn codec(&self) -> &EscalatingCodec {
         &self.codec
+    }
+
+    /// How many times [`RoundEngine::recode`] installed a rebuilt code.
+    pub fn recodes(&self) -> usize {
+        self.recodes
     }
 }
 
@@ -291,13 +368,18 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
 
     fn round(
         &mut self,
-        _round: usize,
+        round: usize,
         params: &[f64],
         rng: &mut dyn RngCore,
     ) -> Result<EngineRound, BoxError> {
         let m = self.codec.workers();
         let events = self.stragglers.sample_iteration(m, rng);
-        let mut sim_cfg = BspIterationConfig::new(&self.rates)
+        let drifted = self
+            .drift
+            .as_ref()
+            .map(|d| d.rates_at(&self.rates, round.saturating_sub(1)));
+        let rates = drifted.as_deref().unwrap_or(&self.rates);
+        let mut sim_cfg = BspIterationConfig::new(rates)
             .work_per_partition(self.work_per_partition)
             .network(self.network)
             .payload_bytes(self.payload_bytes)
@@ -311,6 +393,8 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             // A stalled round ends the run: nothing will change next time.
             return Ok(EngineRound::failed(true));
         };
+
+        let samples = bsp_samples(&self.codec, &outcome, self.work_per_partition, iter_time);
 
         // Real coded gradient computation through the shared helper.
         let (gradient, error_bound) = gradient_from_plan(
@@ -331,9 +415,79 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             error_bound,
             results_used: outcome.decode_workers.len(),
             busy: outcome.busy,
+            samples,
             stop: false,
         })
     }
+
+    fn set_deadline(&mut self, deadline: f64) {
+        if deadline.is_finite() && deadline > 0.0 {
+            self.fallback_deadline = Some(deadline);
+            self.policy
+                .update_deadline(Some(std::time::Duration::from_secs_f64(deadline)));
+        }
+    }
+
+    fn supports_recode(&self) -> bool {
+        true
+    }
+
+    fn recode(&mut self, estimates: &[f64], rng: &mut dyn RngCore) -> Result<bool, BoxError> {
+        let Ok(scheme) =
+            scheme_from_estimates(self.kind, estimates, self.straggler_budget, None, rng)
+        else {
+            return Ok(false); // infeasible estimates: keep the old code
+        };
+        let Ok(base) = scheme.compile_backend(self.backend) else {
+            return Ok(false);
+        };
+        let codec = EscalatingCodec::new(base, self.policy.clone());
+        let k = codec.partitions();
+        let Ok(assignment) = PartitionAssignment::even(self.data.len(), k) else {
+            // Noisy estimates can push the suggested k past the dataset
+            // size; an unpartitionable rebuild is declined, not fatal.
+            return Ok(false);
+        };
+        self.ranges = assignment.iter().collect();
+        self.work_per_partition = self.data.len() as f64 / k as f64;
+        self.session = codec.session();
+        self.codec = codec;
+        self.recodes += 1;
+        Ok(true)
+    }
+
+    fn initial_estimates(&self) -> Option<Vec<f64>> {
+        Some(self.rates.clone())
+    }
+}
+
+/// Per-worker telemetry of one simulated BSP round, shared by the
+/// training and timing engines: compute/arrival times straight from the
+/// simulator's [`hetgc_sim::Arrival`]s, work units from the codec's
+/// loads.
+pub(crate) fn bsp_samples<C: GradientCodec + ?Sized>(
+    codec: &C,
+    outcome: &hetgc_sim::BspIteration,
+    work_per_partition: f64,
+    completion: f64,
+) -> Vec<RoundSample> {
+    outcome
+        .arrivals
+        .iter()
+        .map(|arr| {
+            let work = codec.load_of(arr.worker) as f64 * work_per_partition;
+            if arr.arrive.is_finite() {
+                let s = RoundSample::completed(arr.worker, work, arr.compute_end, arr.arrive);
+                if arr.arrive > completion {
+                    s.late()
+                } else {
+                    s
+                }
+            } else {
+                RoundSample::failed(arr.worker, work)
+            }
+        })
+        .collect()
 }
 
 // ------------------------------------------------------------- SSP (sim)
@@ -349,6 +503,9 @@ enum SspMode {
         ranges: Vec<(usize, usize)>,
         snapshots: Vec<Vec<f64>>,
         last_worker: Option<usize>,
+        /// Per-worker iteration times (compute + comm), the telemetry
+        /// view of one shard pass.
+        iter_times: Vec<f64>,
     },
     /// Coded bounded-asynchrony rounds: events stream into a codec
     /// session; the round completes at the earliest decodable arrival set
@@ -360,6 +517,9 @@ enum SspMode {
         live: Vec<usize>,
         reported: Vec<bool>,
         coded: Vec<f64>,
+        /// Iteration time per *live* worker (aligned with `live`).
+        iter_times: Vec<f64>,
+        work_per_partition: f64,
     },
 }
 
@@ -408,7 +568,7 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
                 (hi - lo) as f64 / rates[w] + comm
             })
             .collect();
-        let engine = SspEngine::new(iter_times, staleness)?;
+        let engine = SspEngine::new(iter_times.clone(), staleness)?;
         let ranges: Vec<(usize, usize)> = assignment.iter().collect();
         Ok(SimSspEngine {
             engine,
@@ -420,6 +580,7 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
                 ranges,
                 snapshots: Vec::new(),
                 last_worker: None,
+                iter_times,
             },
         })
     }
@@ -472,7 +633,7 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
             .iter()
             .map(|&w| codec.load_of(w) as f64 * work_per_partition / rates[w] + comm)
             .collect();
-        let engine = SspEngine::new(iter_times, staleness)?;
+        let engine = SspEngine::new(iter_times.clone(), staleness)?;
         let session = codec.session();
         Ok(SimSspEngine {
             engine,
@@ -487,6 +648,8 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
                 live,
                 reported: vec![false; m],
                 coded: Vec::new(),
+                iter_times,
+                work_per_partition,
             },
         })
     }
@@ -527,6 +690,7 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 ranges,
                 snapshots,
                 last_worker,
+                iter_times,
             } => {
                 if snapshots.is_empty() {
                     // First round: every worker starts from the initial
@@ -542,6 +706,12 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 *last_worker = Some(w);
                 let elapsed = event.time - self.last_time;
                 self.last_time = event.time;
+                let samples = vec![RoundSample::completed(
+                    w,
+                    (hi - lo) as f64,
+                    iter_times[w],
+                    elapsed,
+                )];
                 Ok(EngineRound {
                     elapsed: Some(elapsed),
                     at: Some(event.time),
@@ -550,6 +720,7 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     error_bound: None,
                     results_used: 1,
                     busy: Vec::new(),
+                    samples,
                     stop: false,
                 })
             }
@@ -560,7 +731,11 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 live,
                 reported,
                 coded,
+                iter_times,
+                work_per_partition,
             } => {
+                let round_start = self.last_time;
+                let mut samples: Vec<RoundSample> = Vec::with_capacity(live.len());
                 let live_count = live.len();
                 let mut reported_count = 0;
                 let (plan, at) = loop {
@@ -573,6 +748,12 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     }
                     reported[w] = true;
                     reported_count += 1;
+                    samples.push(RoundSample::completed(
+                        w,
+                        codec.load_of(w) as f64 * *work_per_partition,
+                        iter_times[event.worker],
+                        event.time - round_start,
+                    ));
                     if let Some(plan) = session.push(w)? {
                         break (plan, event.time);
                     }
@@ -607,6 +788,7 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     error_bound,
                     results_used: plan.len(),
                     busy: Vec::new(),
+                    samples,
                     stop: false,
                 })
             }
@@ -636,12 +818,22 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
 /// results over channels, and decodes (or escalates) through the same
 /// ladder as the simulated engines.
 ///
+/// Telemetry comes from real wall-clock timings: each round's
+/// [`RoundSample`]s carry the per-worker compute durations the workers
+/// reported. With [`ThreadedEngine::with_recoding`], confirmed drift
+/// rebuilds the scheme from fresh estimates and hot-swaps the worker
+/// pool (`ThreadedCluster::recode`) between rounds; a learned deadline
+/// ([`RoundEngine::set_deadline`]) becomes the cluster's round timeout
+/// whenever the escalation ladder can actually fire.
+///
 /// Unlike the simulated engines, an undecodable round is an **error**
 /// (`RuntimeError::Undecodable`), matching the runtime's contract.
 #[derive(Debug)]
 pub struct ThreadedEngine<M> {
     cluster: ThreadedCluster<M>,
     label: String,
+    recode_spec: Option<(SchemeKind, usize)>,
+    recodes: usize,
 }
 
 impl<M> ThreadedEngine<M>
@@ -662,6 +854,8 @@ where
         Ok(ThreadedEngine {
             cluster: ThreadedCluster::start(code, model, data, config)?,
             label: "threaded".to_owned(),
+            recode_spec: None,
+            recodes: 0,
         })
     }
 
@@ -671,9 +865,22 @@ where
         self
     }
 
+    /// Enables live re-coding: on [`RoundEngine::recode`] the engine
+    /// rebuilds a `kind` scheme tolerating `stragglers` stragglers from
+    /// the fresh estimates and respawns the worker pool around it.
+    pub fn with_recoding(mut self, kind: SchemeKind, stragglers: usize) -> Self {
+        self.recode_spec = Some((kind, stragglers));
+        self
+    }
+
     /// The underlying cluster.
     pub fn cluster(&self) -> &ThreadedCluster<M> {
         &self.cluster
+    }
+
+    /// How many times [`RoundEngine::recode`] installed a rebuilt code.
+    pub fn recodes(&self) -> usize {
+        self.recodes
     }
 }
 
@@ -700,8 +907,36 @@ where
         _rng: &mut dyn RngCore,
     ) -> Result<EngineRound, BoxError> {
         let r = self.cluster.round(round, params)?;
+        // Real wall-clock telemetry: work units are the samples each
+        // worker owns; a worker with zero reported compute never replied
+        // in time this round.
+        let k = self.cluster.partitions();
+        let samples_per_partition = self.cluster.data().len() as f64 / k as f64;
+        let elapsed = r.elapsed.as_secs_f64();
+        let codec = self.cluster.codec();
+        let samples = r
+            .busy
+            .iter()
+            .enumerate()
+            .map(|(w, &compute)| {
+                let work = codec.load_of(w) as f64 * samples_per_partition;
+                if compute > 0.0 {
+                    // Arrival ≈ compute end: channel latency is the only
+                    // gap the master cannot observe.
+                    RoundSample::completed(w, work, compute, compute)
+                } else if r.late_busy.get(w).copied().unwrap_or(0.0) > 0.0 {
+                    // A consistent straggler whose replies land after
+                    // each decode: no gradient weight, but its timing is
+                    // exactly the observation drift detection needs.
+                    let late = r.late_busy[w];
+                    RoundSample::completed(w, work, late, late).late()
+                } else {
+                    RoundSample::failed(w, work)
+                }
+            })
+            .collect();
         Ok(EngineRound {
-            elapsed: Some(r.elapsed.as_secs_f64()),
+            elapsed: Some(elapsed),
             at: None,
             gradient: Some(r.gradient),
             residual: r.residual,
@@ -710,8 +945,43 @@ where
             error_bound: None,
             results_used: r.results_used,
             busy: r.busy,
+            samples,
             stop: false,
         })
+    }
+
+    fn set_deadline(&mut self, deadline: f64) {
+        // A timeout the ladder cannot act on would turn slow rounds into
+        // hard `Undecodable` errors; only install it when escalation can
+        // actually rescue the round.
+        if deadline.is_finite() && deadline > 0.0 && self.cluster.codec().can_escalate() {
+            self.cluster
+                .set_timeout(std::time::Duration::from_secs_f64(deadline));
+        }
+    }
+
+    fn supports_recode(&self) -> bool {
+        self.recode_spec.is_some()
+    }
+
+    fn recode(&mut self, estimates: &[f64], rng: &mut dyn RngCore) -> Result<bool, BoxError> {
+        let Some((kind, stragglers)) = self.recode_spec else {
+            return Ok(false);
+        };
+        let Ok(scheme) = scheme_from_estimates(kind, estimates, stragglers, None, rng) else {
+            return Ok(false); // infeasible estimates: keep the old code
+        };
+        match self.cluster.recode(scheme.code) {
+            Ok(()) => {
+                self.recodes += 1;
+                Ok(true)
+            }
+            // An unbuildable/unpartitionable rebuild declines (the old
+            // pool keeps running, by `ThreadedCluster::recode`'s
+            // contract); only infrastructure failures abort the run.
+            Err(RuntimeError::InvalidConfig { .. }) => Ok(false),
+            Err(e) => Err(e.into()),
+        }
     }
 }
 
@@ -734,6 +1004,48 @@ mod tests {
         // Tighter bound → larger step, still < 1.
         let s2 = residual_step_scale(0.5, Some(0.2), 2.0, 7);
         assert!(s2 > s && s2 < 1.0);
+    }
+
+    #[test]
+    fn recode_declines_when_partitioning_is_infeasible() {
+        // Noisy live estimates make suggest_partition_count fall through
+        // to 6m = 24 partitions, more than the 20-sample dataset can
+        // hold: the rebuild must DECLINE (Ok(false)), never abort the
+        // run, and the engine must keep working on the old code.
+        use crate::scheme::SchemeBuilder;
+        use crate::trainer::SimTrainConfig;
+        use hetgc_cluster::ClusterSpec;
+        use hetgc_ml::{synthetic, LinearRegression};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let cluster =
+            ClusterSpec::from_vcpu_rows("tiny", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = synthetic::linear_regression(20, 3, 0.01, &mut rng);
+        let model = LinearRegression::new(3);
+        let scheme = SchemeBuilder::new(&cluster, 1)
+            .partitions(14) // loads [4, 6, 8, 10]: integral and ≤ 20 samples
+            .build(crate::scheme::SchemeKind::HeterAware, &mut rng)
+            .unwrap();
+        let cfg = SimTrainConfig::default();
+        let mut engine = SimBspEngine::new(
+            &scheme,
+            &model,
+            &data,
+            &cluster.throughputs(),
+            &cfg,
+            EscalationPolicy::follow_backend(),
+        )
+        .unwrap();
+        let noisy = [20.37, 29.11, 41.83, 50.2];
+        let applied = engine.recode(&noisy, &mut rng).expect("decline, not abort");
+        assert!(!applied, "unpartitionable rebuild must be declined");
+        assert_eq!(engine.recodes(), 0);
+        // The old code still runs rounds.
+        let params = model.init_params(&mut rng);
+        let er = engine.round(1, &params, &mut rng).unwrap();
+        assert!(er.elapsed.is_some());
     }
 
     #[test]

@@ -61,6 +61,7 @@ impl RoundEngine for TimingEngine<'_> {
             let stop = matches!(self.stragglers, StragglerModel::Failures { .. });
             return Ok(EngineRound::failed(stop));
         };
+        let samples = crate::engine::bsp_samples(&self.codec, &outcome, self.work_per_partition, t);
         Ok(EngineRound {
             elapsed: Some(t),
             at: None,
@@ -69,6 +70,7 @@ impl RoundEngine for TimingEngine<'_> {
             error_bound: None,
             results_used: outcome.decode_workers.len(),
             busy: outcome.busy,
+            samples,
             stop: false,
         })
     }

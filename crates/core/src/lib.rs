@@ -19,6 +19,11 @@
 //!   emitting one unified [`TrainOutcome`] / [`RoundRecord`] report with
 //!   per-round backend escalation ([`EscalationPolicy`]) and
 //!   residual-aware step scaling built in.
+//! * [`DriverConfig::adaptation`] + `hetgc_telemetry` — the
+//!   observation-and-adaptation loop: per-round [`RoundSample`] telemetry
+//!   feeds drift detection, a learned escalation deadline
+//!   ([`RoundEngine::set_deadline`]) and live re-coding
+//!   ([`RoundEngine::recode`]) on every engine.
 //! * [`train_bsp_sim`] / [`train_ssp_sim`] — the legacy simulated-time
 //!   entry points (deprecated thin wrappers over the driver).
 //! * [`experiment`] — runners regenerating every figure of the paper
@@ -56,11 +61,15 @@ pub mod report;
 mod scheme;
 mod trainer;
 
-pub use driver::{drive_timing, DriverConfig, RoundRecord, TrainDriver, TrainOutcome};
+pub use driver::{
+    drive_timing, drive_timing_with, AdaptationReport, DriverConfig, RoundRecord, TrainDriver,
+    TrainOutcome,
+};
 pub use engine::{
     residual_step_scale, EngineRound, RoundEngine, SimBspEngine, SimSspEngine, ThreadedEngine,
 };
-pub use scheme::{SchemeBuilder, SchemeInstance, SchemeKind};
+pub use report::{parse_round_records, JsonlRecordSink};
+pub use scheme::{scheme_from_estimates, SchemeBuilder, SchemeInstance, SchemeKind};
 #[allow(deprecated)]
 pub use trainer::{train_bsp_sim, train_ssp_sim};
 pub use trainer::{BspTrainOutcome, LossCurve, SimTrainConfig};
@@ -91,5 +100,10 @@ pub use hetgc_runtime::{
 };
 pub use hetgc_sim::{
     simulate_bsp_iteration, simulate_bsp_iteration_in, BspIteration, BspIterationConfig,
-    IterationTrace, NetworkModel, RunMetrics, SspEngine, SspEvent,
+    IterationTrace, NetworkModel, RateDrift, RunMetrics, SspEngine, SspEvent,
+};
+pub use hetgc_telemetry::{
+    Adaptation, AdaptationConfig, AdaptationDecision, DeadlineConfig, DeadlineController,
+    DriftConfig, DriftDetector, DriftEvent, DriftKind, QuantileWindow, RecodeConfig,
+    RecodeController, RoundSample, TelemetryHub,
 };

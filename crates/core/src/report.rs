@@ -1,8 +1,80 @@
-//! Plain-text table / CSV rendering for the bench binaries.
+//! Plain-text table / CSV rendering for the bench binaries, plus the
+//! streaming JSONL sink for long training runs.
 //!
 //! Nothing here knows about schemes or figures — it renders generic rows,
 //! so the same code path serves Table II, the Fig. 2/3 sweeps and the
 //! optimality report.
+
+use std::io;
+
+use crate::driver::RoundRecord;
+
+/// Streams [`RoundRecord`]s to a writer as JSON Lines — one
+/// [`RoundRecord::to_json`] object per line, appended (and flushed on
+/// demand) as rounds complete, so a long run's history survives a crash
+/// without buffering the whole [`crate::TrainOutcome`] in memory.
+///
+/// `TrainDriver::with_record_writer` wires this format directly into the
+/// training loop; the sink is the standalone half for callers that
+/// append records themselves. [`parse_round_records`] reads a stream
+/// back.
+#[derive(Debug)]
+pub struct JsonlRecordSink<W: io::Write> {
+    writer: W,
+    records: usize,
+}
+
+impl<W: io::Write> JsonlRecordSink<W> {
+    /// A sink appending to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlRecordSink { writer, records: 0 }
+    }
+
+    /// Appends one record as a JSON line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn append(&mut self, record: &RoundRecord) -> io::Result<()> {
+        writeln!(self.writer, "{}", record.to_json())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flushes the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates writer errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> usize {
+        self.records
+    }
+
+    /// Unwraps the underlying writer.
+    pub fn into_inner(self) -> W {
+        self.writer
+    }
+}
+
+/// Parses a JSONL stream of round records (the format
+/// [`JsonlRecordSink`] and `TrainDriver::with_record_writer` produce)
+/// back into [`RoundRecord`]s. Blank lines are skipped.
+///
+/// # Errors
+///
+/// The first malformed line, with its 1-based line number.
+pub fn parse_round_records(text: &str) -> Result<Vec<RoundRecord>, String> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| RoundRecord::from_json(line).map_err(|e| format!("line {}: {e}", i + 1)))
+        .collect()
+}
 
 /// Renders an aligned plain-text table.
 ///
@@ -192,5 +264,34 @@ mod tests {
         assert!(render_curves(&[], 10).is_empty());
         let flat = vec![("z".to_owned(), vec![(0.0, 0.0)])];
         assert!(render_curves(&flat, 10).is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips() {
+        let records: Vec<RoundRecord> = (1..=3)
+            .map(|i| RoundRecord {
+                round: i,
+                time: i as f64 * 1.5,
+                elapsed: 1.5,
+                loss: (i % 2 == 0).then(|| 0.125 / i as f64),
+                residual: 0.0,
+                step_scale: 1.0,
+                results_used: 4,
+            })
+            .collect();
+        let mut sink = JsonlRecordSink::new(Vec::<u8>::new());
+        for r in &records {
+            sink.append(r).unwrap();
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.records(), 3);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let parsed = parse_round_records(&text).unwrap();
+        assert_eq!(parsed, records);
+        // Blank lines are tolerated, garbage is not.
+        assert_eq!(parse_round_records("\n").unwrap(), vec![]);
+        let err = parse_round_records("not json\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
     }
 }

@@ -238,34 +238,13 @@ impl<'a> SchemeBuilder<'a> {
         kind: SchemeKind,
         rng: &mut R,
     ) -> Result<SchemeInstance, CodingError> {
-        let m = self.cluster.len();
-        let estimates = self.effective_estimates();
-        let (code, groups) = match kind {
-            SchemeKind::Naive => (naive(m)?, Vec::new()),
-            SchemeKind::Cyclic => (cyclic(m, self.stragglers, rng)?, Vec::new()),
-            SchemeKind::FractionalRepetition => {
-                (fractional_repetition(m, m, self.stragglers)?, Vec::new())
-            }
-            SchemeKind::HeterAware => {
-                let k = self.effective_partitions();
-                (
-                    heter_aware(&estimates, k, self.stragglers, rng)?,
-                    Vec::new(),
-                )
-            }
-            SchemeKind::GroupBased => {
-                let k = self.effective_partitions();
-                let g = group_based(&estimates, k, self.stragglers, rng)?;
-                let groups = g.groups().to_vec();
-                (g.into_code(), groups)
-            }
-        };
-        Ok(SchemeInstance {
+        scheme_from_estimates(
             kind,
-            code,
-            groups,
-            estimates,
-        })
+            &self.effective_estimates(),
+            self.stragglers,
+            self.partitions,
+            rng,
+        )
     }
 
     /// Constructs all four paper schemes with one call.
@@ -282,6 +261,53 @@ impl<'a> SchemeBuilder<'a> {
             .map(|&k| self.build(k, rng))
             .collect()
     }
+}
+
+/// Builds a scheme of `kind` directly from throughput estimates — the
+/// re-coding path: the adaptive loop's fresh estimates stand in for a
+/// `ClusterSpec` (whose ground-truth rates the live run cannot see).
+/// `partitions` overrides the suggested `k` for the
+/// heterogeneity-aware schemes; `None` re-derives it from the estimates
+/// the way [`SchemeBuilder::effective_partitions`] would.
+///
+/// This is Eq. 5 → Eq. 6 → Alg. 1 (or Algs. 2–3) evaluated at the
+/// estimates: exactly what [`SchemeBuilder::build`] does, minus the
+/// cluster.
+///
+/// # Errors
+///
+/// Propagates [`CodingError`] from the underlying constructions (e.g. an
+/// infeasible heterogeneous allocation when one estimate dominates).
+pub fn scheme_from_estimates<R: Rng + ?Sized>(
+    kind: SchemeKind,
+    estimates: &[f64],
+    stragglers: usize,
+    partitions: Option<usize>,
+    rng: &mut R,
+) -> Result<SchemeInstance, CodingError> {
+    let m = estimates.len();
+    let hetero_k =
+        || partitions.unwrap_or_else(|| suggest_partition_count(estimates, stragglers, m, 6 * m));
+    let (code, groups) = match kind {
+        SchemeKind::Naive => (naive(m)?, Vec::new()),
+        SchemeKind::Cyclic => (cyclic(m, stragglers, rng)?, Vec::new()),
+        SchemeKind::FractionalRepetition => (fractional_repetition(m, m, stragglers)?, Vec::new()),
+        SchemeKind::HeterAware => (
+            heter_aware(estimates, hetero_k(), stragglers, rng)?,
+            Vec::new(),
+        ),
+        SchemeKind::GroupBased => {
+            let g = group_based(estimates, hetero_k(), stragglers, rng)?;
+            let groups = g.groups().to_vec();
+            (g.into_code(), groups)
+        }
+    };
+    Ok(SchemeInstance {
+        kind,
+        code,
+        groups,
+        estimates: estimates.to_vec(),
+    })
 }
 
 /// Boxed error alias used by the experiment layer.
@@ -396,6 +422,20 @@ mod tests {
         assert_eq!(schemes.len(), 4);
         let kinds: Vec<SchemeKind> = schemes.iter().map(|s| s.kind).collect();
         assert_eq!(kinds, SchemeKind::PAPER.to_vec());
+    }
+
+    #[test]
+    fn scheme_from_estimates_matches_builder() {
+        let cluster = ClusterSpec::cluster_a();
+        for kind in SchemeKind::PAPER {
+            let via_builder = SchemeBuilder::new(&cluster, 1)
+                .build(kind, &mut rng(10))
+                .unwrap();
+            let direct =
+                scheme_from_estimates(kind, &cluster.throughputs(), 1, None, &mut rng(10)).unwrap();
+            assert_eq!(via_builder.code, direct.code, "{kind}");
+            assert_eq!(via_builder.groups.len(), direct.groups.len());
+        }
     }
 
     #[test]

@@ -156,6 +156,7 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
         .with_config(DriverConfig {
             eval_every: 1,
             residual_step_scaling: false,
+            adaptation: None,
         })
         .run(&mut engine, cfg.iterations, rng)?;
     Ok(BspTrainOutcome {
@@ -200,6 +201,7 @@ pub fn train_ssp_sim<M: Model + ?Sized, R: Rng>(
         .with_config(DriverConfig {
             eval_every: cfg.eval_every,
             residual_step_scaling: false,
+            adaptation: None,
         })
         .run(&mut engine, cfg.iterations * rates.len(), rng)?;
     Ok(out.curve)

@@ -17,6 +17,11 @@ pub struct WorkerBehavior {
     /// `samples / rate` seconds — turning a fast local thread into a slow
     /// "2-vCPU VM". `None` runs at native speed.
     pub throttle_samples_per_sec: Option<f64>,
+    /// A mid-run throughput *step change*: from iteration `at` (1-based)
+    /// on, the throttle becomes `rate` samples/second — the real-thread
+    /// analogue of `hetgc_sim::RateDrift::StepChange` (a co-tenant
+    /// landing on the VM partway through training).
+    pub throttle_step: Option<(usize, f64)>,
     /// Fail-stop: from this iteration on (1-based), the worker stops
     /// responding entirely — the paper's fault case.
     pub fail_from_iteration: Option<usize>,
@@ -54,9 +59,34 @@ impl WorkerBehavior {
         self
     }
 
+    /// Changes the throttle to `rate` samples/second from iteration
+    /// `at` (1-based) onward — drifting-cluster emulation on real
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn with_throttle_step(mut self, at: usize, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "throttle rate must be positive"
+        );
+        self.throttle_step = Some((at, rate));
+        self
+    }
+
     /// Whether the worker responds at iteration `iter` (1-based).
     pub fn responds_at(&self, iter: usize) -> bool {
         self.fail_from_iteration.is_none_or(|f| iter < f)
+    }
+
+    /// The throttle in force at iteration `iter` (1-based): the stepped
+    /// rate once `throttle_step` has kicked in, the base throttle before.
+    pub fn throttle_at(&self, iter: usize) -> Option<f64> {
+        match self.throttle_step {
+            Some((at, rate)) if iter >= at => Some(rate),
+            _ => self.throttle_samples_per_sec,
+        }
     }
 }
 
@@ -182,6 +212,26 @@ mod tests {
         assert!(b.responds_at(2));
         assert!(!b.responds_at(3));
         assert!(!b.responds_at(4));
+    }
+
+    #[test]
+    fn throttle_step_switches_at_iteration() {
+        let b = WorkerBehavior::nominal()
+            .with_throttle(100.0)
+            .with_throttle_step(5, 25.0);
+        assert_eq!(b.throttle_at(4), Some(100.0));
+        assert_eq!(b.throttle_at(5), Some(25.0));
+        assert_eq!(b.throttle_at(50), Some(25.0));
+        // Without a step the base throttle holds forever.
+        let plain = WorkerBehavior::nominal().with_throttle(10.0);
+        assert_eq!(plain.throttle_at(1_000), Some(10.0));
+        assert_eq!(WorkerBehavior::nominal().throttle_at(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throttle_step_rejected() {
+        WorkerBehavior::nominal().with_throttle_step(1, 0.0);
     }
 
     #[test]

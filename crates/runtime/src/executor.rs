@@ -80,6 +80,13 @@ pub struct ClusterRound {
     /// Per-worker compute seconds reported this round (0 for workers
     /// whose result never arrived).
     pub busy: Vec<f64>,
+    /// Per-worker compute seconds of *late* results — replies from an
+    /// earlier round that reached the master only after it had decoded
+    /// (0 when none). Late results carry no gradient weight, but their
+    /// timings are real observations: without them a consistent
+    /// within-budget straggler would be invisible to throughput
+    /// telemetry. Each late timing is reported exactly once.
+    pub late_busy: Vec<f64>,
 }
 
 /// A running coded worker pool: one OS thread per worker, channels to the
@@ -93,6 +100,7 @@ pub struct ThreadedCluster<M> {
     codec: EscalatingCodec,
     model: Arc<M>,
     data: Arc<Dataset>,
+    config: RuntimeConfig,
     timeout: Option<Duration>,
     to_workers: Vec<Sender<ToWorker>>,
     from_rx: Option<Receiver<FromWorker>>,
@@ -100,11 +108,70 @@ pub struct ThreadedCluster<M> {
     session: CodecSession,
     received: HashMap<usize, Vec<f64>>,
     compute_seconds: Vec<f64>,
+    /// Compute seconds from stale (previous-round) replies observed
+    /// while waiting on the current round, per worker — surfaced once
+    /// through [`ClusterRound::late_busy`].
+    late_compute_seconds: Vec<f64>,
     /// Internal round tag, strictly increasing across [`ThreadedCluster::round`]
     /// calls — workers echo it back, so stale results from ANY earlier
     /// round (including a previous driver run over the same cluster) are
     /// filtered out regardless of the caller's numbering.
     round_seq: usize,
+}
+
+/// Spawns one worker thread per codec row, returning the channel ends
+/// and join handles — shared by [`ThreadedCluster::start`] and the
+/// live-re-code respawn path.
+type WorkerPool = (
+    Vec<Sender<ToWorker>>,
+    Receiver<FromWorker>,
+    Vec<std::thread::JoinHandle<()>>,
+);
+
+fn spawn_workers<M>(
+    codec: &EscalatingCodec,
+    model: &Arc<M>,
+    data: &Arc<Dataset>,
+    config: &RuntimeConfig,
+) -> Result<WorkerPool, RuntimeError>
+where
+    M: Model + Send + Sync + 'static,
+{
+    let assignment = PartitionAssignment::even(data.len(), codec.partitions()).map_err(|e| {
+        RuntimeError::InvalidConfig {
+            reason: format!("partitioning failed: {e}"),
+        }
+    })?;
+    let m = codec.workers();
+    let (from_tx, from_rx) = unbounded::<FromWorker>();
+    let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(m);
+    let mut handles = Vec::with_capacity(m);
+    for w in 0..m {
+        let (to_tx, to_rx) = unbounded::<ToWorker>();
+        to_workers.push(to_tx);
+        // The codec's precompiled CSR row is exactly the worker's
+        // marching orders: which partitions, with which coefficients.
+        let compiled = codec.base().as_compiled();
+        let ranges: Vec<(usize, usize)> = compiled
+            .support_of(w)
+            .iter()
+            .map(|&p| assignment.range(p).expect("support within k"))
+            .collect();
+        let coefficients: Vec<f64> = compiled.coefficients_of(w).to_vec();
+        let ctx = WorkerContext {
+            index: w,
+            model: Arc::clone(model),
+            data: Arc::clone(data),
+            ranges,
+            coefficients,
+            behavior: config.behavior_of(w),
+            inbox: to_rx,
+            outbox: from_tx.clone(),
+        };
+        handles.push(std::thread::spawn(move || worker_main(ctx)));
+    }
+    drop(from_tx); // master keeps only the receiver
+    Ok((to_workers, from_rx, handles))
 }
 
 /// Compiles `code` into the backend named by `config.backend`, then wires
@@ -164,47 +231,14 @@ where
         data: Arc<Dataset>,
         config: &RuntimeConfig,
     ) -> Result<Self, RuntimeError> {
-        let assignment =
-            PartitionAssignment::even(data.len(), codec.partitions()).map_err(|e| {
-                RuntimeError::InvalidConfig {
-                    reason: format!("partitioning failed: {e}"),
-                }
-            })?;
+        let (to_workers, from_rx, handles) = spawn_workers(&codec, &model, &data, config)?;
         let m = codec.workers();
-        let (from_tx, from_rx) = unbounded::<FromWorker>();
-        let mut to_workers: Vec<Sender<ToWorker>> = Vec::with_capacity(m);
-        let mut handles = Vec::with_capacity(m);
-        for w in 0..m {
-            let (to_tx, to_rx) = unbounded::<ToWorker>();
-            to_workers.push(to_tx);
-            // The codec's precompiled CSR row is exactly the worker's
-            // marching orders: which partitions, with which coefficients.
-            let compiled = codec.base().as_compiled();
-            let ranges: Vec<(usize, usize)> = compiled
-                .support_of(w)
-                .iter()
-                .map(|&p| assignment.range(p).expect("support within k"))
-                .collect();
-            let coefficients: Vec<f64> = compiled.coefficients_of(w).to_vec();
-            let ctx = WorkerContext {
-                index: w,
-                model: Arc::clone(&model),
-                data: Arc::clone(&data),
-                ranges,
-                coefficients,
-                behavior: config.behavior_of(w),
-                inbox: to_rx,
-                outbox: from_tx.clone(),
-            };
-            handles.push(std::thread::spawn(move || worker_main(ctx)));
-        }
-        drop(from_tx); // master keeps only the receiver
-
         let session = codec.session();
         Ok(ThreadedCluster {
             codec,
             model,
             data,
+            config: config.clone(),
             timeout: config.effective_timeout(),
             to_workers,
             from_rx: Some(from_rx),
@@ -212,6 +246,7 @@ where
             session,
             received: HashMap::new(),
             compute_seconds: vec![0.0; m],
+            late_compute_seconds: vec![0.0; m],
             round_seq: 0,
         })
     }
@@ -239,6 +274,53 @@ where
     /// The training data.
     pub fn data(&self) -> &Arc<Dataset> {
         &self.data
+    }
+
+    /// Replaces the round deadline in place — the hook a learned
+    /// escalation deadline feeds, superseding whatever the configuration
+    /// carried.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = Some(timeout);
+    }
+
+    /// Hot-swaps a rebuilt coding strategy into the running cluster: the
+    /// new matrix is compiled into the configured backend + escalation
+    /// policy, the old worker threads are shut down and joined, and a
+    /// fresh pool is spawned around the new partition assignment — all
+    /// between rounds, preserving the internal round sequencing (workers'
+    /// fail-stop/throttle-step schedules keep counting where they were).
+    ///
+    /// This is the threaded half of adaptive re-coding: the data movement
+    /// a new allocation implies is local (the dataset is shared memory),
+    /// so the dominant cost is thread respawn — microseconds to
+    /// milliseconds against round times of tens of milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] when the new matrix cannot be
+    /// compiled or partitioned; the old pool keeps running in that case.
+    pub fn recode(&mut self, code: CodingMatrix) -> Result<(), RuntimeError> {
+        let codec = build_codec(code, &self.config)?;
+        // Validate the new partitioning BEFORE tearing the old pool down.
+        let (to_workers, from_rx, handles) =
+            spawn_workers(&codec, &self.model, &self.data, &self.config)?;
+        // Retire the old pool.
+        for tx in &self.to_workers {
+            let _ = tx.send(ToWorker::Shutdown);
+        }
+        self.from_rx = None; // old workers see the hang-up
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.to_workers = to_workers;
+        self.from_rx = Some(from_rx);
+        self.handles = handles;
+        self.session = codec.session();
+        self.compute_seconds = vec![0.0; codec.workers()];
+        self.late_compute_seconds = vec![0.0; codec.workers()];
+        self.received.clear();
+        self.codec = codec;
+        Ok(())
     }
 
     /// Runs one collect round: broadcasts `params`, streams results into
@@ -307,6 +389,10 @@ where
                     let mut drained = None;
                     while let Ok(msg) = from_rx.try_recv() {
                         if msg.iteration != tag {
+                            // A late reply to an earlier round: no
+                            // gradient weight, but the timing is a real
+                            // throughput observation.
+                            self.late_compute_seconds[msg.worker] = msg.compute_seconds;
                             continue;
                         }
                         let worker = msg.worker;
@@ -332,7 +418,10 @@ where
                 }
             };
             if msg.iteration != tag {
-                continue; // stale result from an earlier round
+                // Stale result from an earlier round: keep its timing
+                // for telemetry, discard its payload.
+                self.late_compute_seconds[msg.worker] = msg.compute_seconds;
+                continue;
             }
             let worker = msg.worker;
             self.compute_seconds[worker] = msg.compute_seconds;
@@ -352,12 +441,22 @@ where
                 *g += coef * c;
             }
         }
+        // Late timings are reported exactly once, and only for workers
+        // that did not also reply in time this round.
+        let mut late_busy = vec![0.0; self.late_compute_seconds.len()];
+        for (w, late) in self.late_compute_seconds.iter_mut().enumerate() {
+            if self.compute_seconds[w] == 0.0 {
+                late_busy[w] = *late;
+            }
+            *late = 0.0;
+        }
         Ok(ClusterRound {
             gradient,
             residual: plan.residual(),
             results_used: used,
             elapsed: started.elapsed(),
             busy: self.compute_seconds.clone(),
+            late_busy,
         })
     }
 
@@ -609,6 +708,100 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn recode_hot_swaps_the_pool_mid_run() {
+        // Decode correctness must survive a live re-code, including a
+        // partition-count change (4 → 6) and continued round sequencing.
+        let mut rng = StdRng::seed_from_u64(31);
+        let code = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng).unwrap();
+        let model = Arc::new(LinearRegression::new(3));
+        let data = Arc::new(quick_data(31));
+        let mut cluster = ThreadedCluster::start(
+            code,
+            Arc::clone(&model),
+            Arc::clone(&data),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        let params = model.init_params(&mut rng);
+        let n = data.len();
+        let direct = model.gradient(&params, &data, (0, n));
+        let before = cluster.round(1, &params).unwrap();
+        for (g, d) in before.gradient.iter().zip(&direct) {
+            assert!((g - d).abs() < 1e-6 * (1.0 + d.abs()));
+        }
+
+        // Rebuild for a "drifted" cluster: worker 2 now slow.
+        let new_code = heter_aware(&[2.0, 2.0, 1.0], 6, 1, &mut rng).unwrap();
+        cluster.recode(new_code).unwrap();
+        assert_eq!(cluster.partitions(), 6);
+        let after = cluster.round(2, &params).unwrap();
+        assert_eq!(after.residual, 0.0);
+        for (g, d) in after.gradient.iter().zip(&direct) {
+            assert!(
+                (g - d).abs() < 1e-6 * (1.0 + d.abs()),
+                "decode wrong after recode: {g} vs {d}"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn late_replies_surface_their_timings_once() {
+        // Worker 0's replies always land after the decode (the other
+        // three form an exact decode immediately): its round-t timing
+        // must surface through round t+1's `late_busy` — and only once.
+        let mut rng = StdRng::seed_from_u64(33);
+        let code = heter_aware(&[1.0; 4], 4, 1, &mut rng).unwrap();
+        let model = Arc::new(LinearRegression::new(3));
+        let data = Arc::new(quick_data(33));
+        let config = RuntimeConfig::nominal(4).set_behavior(
+            0,
+            WorkerBehavior::nominal().with_delay(Duration::from_millis(250)),
+        );
+        let mut cluster =
+            ThreadedCluster::start(code, Arc::clone(&model), Arc::clone(&data), &config).unwrap();
+        let params = model.init_params(&mut rng);
+        let r1 = cluster.round(1, &params).unwrap();
+        assert_eq!(r1.busy[0], 0.0, "straggler missed the decode");
+        assert_eq!(r1.late_busy, vec![0.0; 4], "nothing late yet");
+        // Let worker 0's round-1 reply land in the channel.
+        std::thread::sleep(Duration::from_millis(350));
+        let r2 = cluster.round(2, &params).unwrap();
+        assert!(
+            r2.late_busy[0] >= 0.25,
+            "round-1 timing must surface late: {:?}",
+            r2.late_busy
+        );
+        assert!(r2.late_busy[1..].iter().all(|&b| b == 0.0));
+    }
+
+    #[test]
+    fn set_timeout_overrides_config() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let code = heter_aware(&[1.0; 4], 4, 1, &mut rng).unwrap();
+        let model = Arc::new(LinearRegression::new(3));
+        let data = Arc::new(quick_data(32));
+        // Worker 0 sleeps 500 ms; without a timeout the exact decode from
+        // the other three returns quickly anyway, but with a learned
+        // 200 ms deadline installed the round must ALSO complete fast —
+        // and never error (3 results ≥ m − s).
+        let config = RuntimeConfig::nominal(4).set_behavior(
+            0,
+            WorkerBehavior::nominal().with_delay(Duration::from_millis(500)),
+        );
+        let mut cluster =
+            ThreadedCluster::start(code, Arc::clone(&model), Arc::clone(&data), &config).unwrap();
+        cluster.set_timeout(Duration::from_millis(200));
+        let params = model.init_params(&mut rng);
+        let started = Instant::now();
+        let round = cluster.round(1, &params).unwrap();
+        // Auto backend may decode from an intact group (2 workers).
+        assert!(round.results_used >= 2);
+        assert_eq!(round.residual, 0.0, "exact decode, no escalation");
+        assert!(started.elapsed() < Duration::from_millis(450));
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub struct FromWorker {
     pub iteration: usize,
     /// The coded gradient `g̃_w = Σ_j b_wj·g_j`.
     pub coded: Vec<f64>,
-    /// Pure compute time (excluding injected delay), for resource metrics.
+    /// Effective compute duration from round receipt to reply — native
+    /// gradient time stretched by throttle emulation and injected delay.
+    /// This is what a master can actually observe, so resource metrics
+    /// and throughput telemetry both see the worker's *emulated* speed.
     pub compute_seconds: f64,
 }
 

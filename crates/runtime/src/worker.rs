@@ -59,8 +59,10 @@ pub(crate) fn worker_main<M: Model>(ctx: WorkerContext<M>) {
         }
         let compute = started.elapsed();
         // Throttle: stretch the iteration so that samples/elapsed matches
-        // the configured rate — this *is* the heterogeneity emulation.
-        if let Some(rate) = ctx.behavior.throttle_samples_per_sec {
+        // the configured rate — this *is* the heterogeneity emulation
+        // (with `throttle_step`, the rate in force depends on the
+        // iteration: a drifting VM).
+        if let Some(rate) = ctx.behavior.throttle_at(iteration) {
             let target = Duration::from_secs_f64(samples as f64 / rate);
             if target > compute {
                 std::thread::sleep(target - compute);
@@ -73,7 +75,11 @@ pub(crate) fn worker_main<M: Model>(ctx: WorkerContext<M>) {
             worker: ctx.index,
             iteration,
             coded,
-            compute_seconds: compute.as_secs_f64(),
+            // The *effective* compute duration — native gradient time
+            // stretched by throttling and injected delay — so the
+            // master's telemetry observes the worker's emulated speed,
+            // exactly what a real master would measure.
+            compute_seconds: started.elapsed().as_secs_f64(),
         };
         if ctx.outbox.send(reply).is_err() {
             return; // master gone

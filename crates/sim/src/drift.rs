@@ -1,0 +1,124 @@
+//! How a cluster's *true* worker rates evolve over a simulated run.
+//!
+//! The paper estimates throughputs once (§III-C) and §V hedges against
+//! estimation *noise*; neither handles *drift* — a co-tenant VM landing on
+//! a worker halfway through training permanently changes its `c_i`,
+//! re-introducing exactly the consistent stragglers the allocation was
+//! supposed to remove. [`RateDrift`] is the simulator-side model of that
+//! drift: any engine that simulates rounds at "the true rates of
+//! iteration t" (the BSP training engine, the timing-only adaptive
+//! harness) evaluates [`RateDrift::rates_at`] each round.
+//!
+//! This type used to live in `hetgc::adaptive`; it moved down into the
+//! simulation layer so the BSP *training* engine can consume it without a
+//! layering cycle (core → sim, never sim → core).
+
+/// How the cluster's true worker rates evolve over a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RateDrift {
+    /// Speeds never change (the paper's setting).
+    None,
+    /// At iteration `at` (0-based), worker `w`'s rate is multiplied by
+    /// `factors[w]` permanently — a co-tenant arriving or a thermal
+    /// throttle engaging.
+    StepChange {
+        /// Iteration at which the change takes effect.
+        at: usize,
+        /// Per-worker multipliers (missing entries = 1.0).
+        factors: Vec<f64>,
+    },
+    /// Smooth sinusoidal fluctuation: worker `w`'s rate is scaled by
+    /// `1 + amplitude·sin(2π·(iter/period + w/m))` (phase-shifted per
+    /// worker so the cluster never slows down uniformly).
+    Wave {
+        /// Period in iterations.
+        period: f64,
+        /// Relative amplitude in `[0, 1)`.
+        amplitude: f64,
+    },
+}
+
+impl RateDrift {
+    /// The true rates at a given iteration.
+    pub fn rates_at(&self, base: &[f64], iteration: usize) -> Vec<f64> {
+        match self {
+            RateDrift::None => base.to_vec(),
+            RateDrift::StepChange { at, factors } => base
+                .iter()
+                .enumerate()
+                .map(|(w, &r)| {
+                    if iteration >= *at {
+                        r * factors.get(w).copied().unwrap_or(1.0)
+                    } else {
+                        r
+                    }
+                })
+                .collect(),
+            RateDrift::Wave { period, amplitude } => {
+                let m = base.len() as f64;
+                base.iter()
+                    .enumerate()
+                    .map(|(w, &r)| {
+                        let phase = iteration as f64 / period + w as f64 / m;
+                        r * (1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin()).max(0.05)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Whether the schedule ever changes the rates.
+    pub fn is_static(&self) -> bool {
+        matches!(self, RateDrift::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drift_none_is_identity() {
+        let base = [1.0, 2.0];
+        assert_eq!(RateDrift::None.rates_at(&base, 10), base.to_vec());
+        assert!(RateDrift::None.is_static());
+    }
+
+    #[test]
+    fn drift_step_change_applies_from_at() {
+        let d = RateDrift::StepChange {
+            at: 5,
+            factors: vec![0.5, 1.0],
+        };
+        let base = [4.0, 4.0];
+        assert_eq!(d.rates_at(&base, 4), vec![4.0, 4.0]);
+        assert_eq!(d.rates_at(&base, 5), vec![2.0, 4.0]);
+        assert_eq!(d.rates_at(&base, 50), vec![2.0, 4.0]);
+        assert!(!d.is_static());
+    }
+
+    #[test]
+    fn drift_step_change_missing_factors_default_to_one() {
+        let d = RateDrift::StepChange {
+            at: 0,
+            factors: vec![0.5],
+        };
+        assert_eq!(d.rates_at(&[2.0, 2.0], 0), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn drift_wave_oscillates_but_stays_positive() {
+        let d = RateDrift::Wave {
+            period: 10.0,
+            amplitude: 0.9,
+        };
+        let base = [1.0, 1.0, 1.0];
+        for iter in 0..40 {
+            for r in d.rates_at(&base, iter) {
+                assert!(r > 0.0);
+            }
+        }
+        // Not constant.
+        assert_ne!(d.rates_at(&base, 0), d.rates_at(&base, 3));
+    }
+}

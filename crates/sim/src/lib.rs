@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 mod bsp;
+mod drift;
 mod error;
 mod metrics;
 mod network;
@@ -50,6 +51,7 @@ mod trace;
 pub use bsp::{
     simulate_bsp_iteration, simulate_bsp_iteration_in, Arrival, BspIteration, BspIterationConfig,
 };
+pub use drift::RateDrift;
 pub use error::SimError;
 pub use metrics::{ResourceUsage, RunMetrics};
 pub use network::NetworkModel;

@@ -12,6 +12,12 @@
 //! ...
 //! t=2.003  decode! workers {0,1,3} carry weight
 //! ```
+//!
+//! The adaptive telemetry loop annotates the same timeline with its own
+//! decisions: [`IterationTrace::with_deadline`] marks where a learned
+//! escalation deadline fired (`t=1.840 deadline fires (p90 est.) → Group
+//! plan`) and [`IterationTrace::with_note`] records free-form events such
+//! as a mid-run re-code.
 
 use std::fmt::Write as _;
 
@@ -21,12 +27,36 @@ use crate::bsp::BspIteration;
 #[derive(Debug, Clone)]
 pub struct IterationTrace<'a> {
     iteration: &'a BspIteration,
+    /// Extra timeline annotations `(time, line)` merged chronologically
+    /// into the rendered event list.
+    notes: Vec<(f64, String)>,
 }
 
 impl<'a> IterationTrace<'a> {
     /// Wraps an iteration outcome for rendering.
     pub fn new(iteration: &'a BspIteration) -> Self {
-        IterationTrace { iteration }
+        IterationTrace {
+            iteration,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Annotates the escalation decision of this round: the (learned)
+    /// deadline fired at `at`, with `source` naming where the deadline
+    /// came from (e.g. `"p90 est."`) and `outcome` the plan the ladder
+    /// settled on (e.g. `"Group plan"`, `"Approx plan (ρ=0.31)"`).
+    ///
+    /// Renders as `t=1.840 deadline fires (p90 est.) → Group plan`.
+    pub fn with_deadline(self, at: f64, source: &str, outcome: &str) -> Self {
+        self.with_note(at, format!("deadline fires ({source}) → {outcome}"))
+    }
+
+    /// Adds a free-form annotation at time `at` — the hook the adaptive
+    /// loop uses to mark re-code events on the timeline
+    /// (`t=0.000 re-code: new allocation installed`).
+    pub fn with_note(mut self, at: f64, note: impl Into<String>) -> Self {
+        self.notes.push((at, note.into()));
+        self
     }
 
     /// Renders the chronological event list.
@@ -34,26 +64,40 @@ impl<'a> IterationTrace<'a> {
         let mut out = String::new();
         let _ = writeln!(out, "t=0.000    round starts (broadcast done)");
         let completion = self.iteration.completion;
+        // Chronological merge of worker events and annotations.
+        let mut events: Vec<(f64, String)> = Vec::new();
         for arr in &self.iteration.arrivals {
             if !arr.compute_end.is_finite() {
-                let _ = writeln!(out, "t=∞        W{} never responds (failed)", arr.worker);
-                continue;
+                continue; // failures render last, at t=∞
             }
-            let _ = writeln!(
-                out,
-                "t={:<8.3} W{} compute done",
-                arr.compute_end, arr.worker
-            );
+            events.push((
+                arr.compute_end,
+                format!("t={:<8.3} W{} compute done", arr.compute_end, arr.worker),
+            ));
             let marker = match completion {
                 Some(t) if (arr.arrive - t).abs() < 1e-12 => "  ← decode fires here",
                 Some(t) if arr.arrive > t => "  (late: result unused)",
                 _ => "",
             };
-            let _ = writeln!(
-                out,
-                "t={:<8.3} W{} arrives at master{}",
-                arr.arrive, arr.worker, marker
-            );
+            events.push((
+                arr.arrive,
+                format!(
+                    "t={:<8.3} W{} arrives at master{}",
+                    arr.arrive, arr.worker, marker
+                ),
+            ));
+        }
+        for (at, note) in &self.notes {
+            events.push((*at, format!("t={at:<8.3} {note}")));
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite event times"));
+        for (_, line) in &events {
+            let _ = writeln!(out, "{line}");
+        }
+        for arr in &self.iteration.arrivals {
+            if !arr.compute_end.is_finite() {
+                let _ = writeln!(out, "t=∞        W{} never responds (failed)", arr.worker);
+            }
         }
         match completion {
             Some(t) => {
@@ -175,5 +219,44 @@ mod tests {
     fn gantt_zero_width_empty() {
         let it = iteration(None);
         assert!(IterationTrace::new(&it).gantt(0).is_empty());
+    }
+
+    #[test]
+    fn deadline_annotation_renders_inline_and_in_time_order() {
+        let it = iteration(None);
+        let trace = IterationTrace::new(&it)
+            .with_deadline(1.84, "p90 est.", "Group plan")
+            .render();
+        assert!(
+            trace.contains("deadline fires (p90 est.) → Group plan"),
+            "{trace}"
+        );
+        // The annotation lands between the events that bracket t=1.84.
+        let deadline_pos = trace.find("deadline fires").unwrap();
+        for line in trace.lines() {
+            if line.contains("DECODE") {
+                continue; // the decode summary always renders last
+            }
+            if let Some(t) = line
+                .strip_prefix("t=")
+                .and_then(|rest| rest.split_whitespace().next())
+                .and_then(|t| t.parse::<f64>().ok())
+            {
+                let pos = trace.find(line).unwrap();
+                if t < 1.84 - 1e-9 {
+                    assert!(pos < deadline_pos, "event at t={t} after the deadline line");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recode_note_renders() {
+        let it = iteration(Some(2));
+        let trace = IterationTrace::new(&it)
+            .with_note(0.0, "re-code: new allocation installed (drift on W2)")
+            .render();
+        assert!(trace.contains("re-code: new allocation installed"));
+        assert!(trace.contains("W2 never responds"));
     }
 }

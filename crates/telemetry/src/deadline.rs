@@ -1,0 +1,188 @@
+//! Learning the escalation deadline from arrival history.
+
+use crate::quantile::QuantileWindow;
+
+/// Tuning of the learned escalation deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlineConfig {
+    /// The quantile of recent round-completion times the deadline
+    /// targets (0.9 = "escalate once a round runs longer than 90 % of
+    /// recent rounds did").
+    pub target_quantile: f64,
+    /// Safety margin multiplied onto the quantile so ordinary rounds
+    /// still complete exactly.
+    pub margin: f64,
+    /// Rounds observed before a deadline is proposed at all.
+    pub warmup_rounds: usize,
+    /// Sliding-window size (rounds) of the underlying quantile sketch.
+    pub window: usize,
+}
+
+impl Default for DeadlineConfig {
+    /// p90 of the last 64 rounds × 1.25, after 8 warm-up rounds.
+    fn default() -> Self {
+        DeadlineConfig {
+            target_quantile: 0.9,
+            margin: 1.25,
+            warmup_rounds: 8,
+            window: 64,
+        }
+    }
+}
+
+impl DeadlineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target_quantile` is outside `[0, 1]` or `margin` is
+    /// not positive (`window` is validated by the sketch it sizes).
+    pub(crate) fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.target_quantile),
+            "target_quantile must be in [0, 1]"
+        );
+        assert!(
+            self.margin.is_finite() && self.margin > 0.0,
+            "margin must be positive"
+        );
+    }
+
+    /// The ONE deadline formula — `quantile × margin` once past warm-up —
+    /// shared by [`DeadlineController`] and any caller that already holds
+    /// a round-time quantile (the assembled `Adaptation` pipeline reads
+    /// its `TelemetryHub`'s window instead of keeping a duplicate).
+    pub fn learned(&self, round_quantile: Option<f64>, rounds_observed: usize) -> Option<f64> {
+        if rounds_observed < self.warmup_rounds {
+            return None;
+        }
+        round_quantile.map(|q| q * self.margin)
+    }
+}
+
+/// Learns the escalation deadline as a target quantile of observed
+/// round-completion times — replacing the static
+/// `EscalationPolicy::with_deadline` knob with a value that tracks what
+/// the cluster actually does. Feed every completed round's duration in;
+/// read [`DeadlineController::deadline`] out each round.
+#[derive(Debug, Clone)]
+pub struct DeadlineController {
+    cfg: DeadlineConfig,
+    window: QuantileWindow,
+    rounds: usize,
+}
+
+impl DeadlineController {
+    /// A controller with no observations yet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `target_quantile` is outside `[0, 1]`, `margin` is not
+    /// positive, or `window` is zero.
+    pub fn new(cfg: DeadlineConfig) -> Self {
+        cfg.validate();
+        let window = QuantileWindow::new(cfg.window);
+        DeadlineController {
+            cfg,
+            window,
+            rounds: 0,
+        }
+    }
+
+    /// Records one completed round's duration.
+    pub fn observe(&mut self, round_seconds: f64) {
+        if round_seconds.is_finite() && round_seconds > 0.0 {
+            self.rounds += 1;
+            self.window.push(round_seconds);
+        }
+    }
+
+    /// The learned deadline — `quantile(target) × margin` over the recent
+    /// window — or `None` during warm-up.
+    pub fn deadline(&self) -> Option<f64> {
+        self.cfg
+            .learned(self.window.quantile(self.cfg.target_quantile), self.rounds)
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &DeadlineConfig {
+        &self.cfg
+    }
+
+    /// Rounds observed so far.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_withholds_the_deadline() {
+        let mut c = DeadlineController::new(DeadlineConfig::default());
+        for _ in 0..7 {
+            c.observe(1.0);
+        }
+        assert_eq!(c.deadline(), None);
+        c.observe(1.0);
+        assert_eq!(c.deadline(), Some(1.25));
+    }
+
+    #[test]
+    fn deadline_tracks_the_target_quantile() {
+        let cfg = DeadlineConfig {
+            target_quantile: 0.5,
+            margin: 1.0,
+            warmup_rounds: 1,
+            window: 101,
+        };
+        let mut c = DeadlineController::new(cfg);
+        for i in 0..101 {
+            c.observe(1.0 + i as f64); // 1..=101
+        }
+        assert_eq!(c.deadline(), Some(51.0));
+        assert_eq!(c.rounds(), 101);
+    }
+
+    #[test]
+    fn window_forgets_old_regimes() {
+        let cfg = DeadlineConfig {
+            target_quantile: 1.0,
+            margin: 1.0,
+            warmup_rounds: 1,
+            window: 4,
+        };
+        let mut c = DeadlineController::new(cfg);
+        for _ in 0..4 {
+            c.observe(10.0);
+        }
+        assert_eq!(c.deadline(), Some(10.0));
+        for _ in 0..4 {
+            c.observe(2.0);
+        }
+        assert_eq!(c.deadline(), Some(2.0), "old regime evicted");
+    }
+
+    #[test]
+    fn invalid_observations_ignored() {
+        let mut c = DeadlineController::new(DeadlineConfig {
+            warmup_rounds: 1,
+            ..DeadlineConfig::default()
+        });
+        c.observe(f64::INFINITY);
+        c.observe(-1.0);
+        assert_eq!(c.deadline(), None);
+        assert_eq!(c.config().warmup_rounds, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "target_quantile")]
+    fn bad_quantile_rejected() {
+        DeadlineController::new(DeadlineConfig {
+            target_quantile: 1.5,
+            ..DeadlineConfig::default()
+        });
+    }
+}

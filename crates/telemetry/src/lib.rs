@@ -1,0 +1,64 @@
+//! # hetgc-telemetry
+//!
+//! The observation-and-adaptation subsystem that closes the
+//! heterogeneity loop: the paper's schemes allocate work from throughput
+//! estimates sampled *once* (§III-C) and hedge against noise (§V); this
+//! crate feeds what a training run actually *observes* back into the
+//! allocation, the escalation deadline and the codec.
+//!
+//! The feedback loop, per collect round:
+//!
+//! ```text
+//!             ┌────────────────────────────────────────────────┐
+//!             │                 RoundEngine                    │
+//!   rounds ──▶│  (sim-BSP, coded-SSP, threaded runtime)        │──▶ RoundSample*
+//!             └────────────────────────────────────────────────┘        │
+//!        ▲ set_deadline / recode                                        ▼
+//!        │                                                    ┌──────────────────┐
+//!   ┌──────────────┐   estimates   ┌───────────────┐  rates   │   TelemetryHub   │
+//!   │ TrainDriver  │◀──────────────│ DriftDetector │◀─────────│ (EWMA estimator, │
+//!   │ (acts on the │               │ (CUSUM + EWMA │          │ quantile window) │
+//!   │  decision)   │◀─ deadline ───│  divergence)  │          └──────────────────┘
+//!   └──────────────┘               └───────────────┘   ▲ round times     │
+//!        ▲                                 │           └──────────────────┘
+//!        └──── AdaptationDecision ◀── RecodeController + DeadlineController
+//! ```
+//!
+//! * [`RoundSample`] — one worker's compute/arrival observation.
+//! * [`TelemetryHub`] — ingestion: pluggable
+//!   [`hetgc_cluster::ThroughputEstimator`] (EWMA by default) plus a
+//!   windowed quantile sketch of round times ([`QuantileWindow`]).
+//! * [`DriftDetector`] — per-worker CUSUM step detection and slow-drift
+//!   EWMA divergence against the allocation's noise envelope.
+//! * [`DeadlineController`] — learns the escalation deadline as a target
+//!   quantile of observed round-completion times, replacing the static
+//!   `EscalationPolicy::with_deadline` knob.
+//! * [`RecodeController`] — debounces confirmed drift into re-code
+//!   triggers with a cooldown; the consuming engine owns the actual
+//!   Eq. 5 → Eq. 6 → Alg. 1/3 rebuild and codec hot-swap.
+//! * [`Adaptation`] / [`AdaptationConfig`] — the assembled pipeline a
+//!   training driver runs each round.
+//!
+//! This crate sits *below* the training stack on purpose: it knows
+//! workers, rates and rounds — not schemes, codecs or engines — so every
+//! execution path (simulated BSP, coded SSP, the threaded runtime) can
+//! feed it without layering cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptation;
+mod deadline;
+mod drift;
+mod hub;
+mod quantile;
+mod recode;
+mod sample;
+
+pub use adaptation::{Adaptation, AdaptationConfig, AdaptationDecision};
+pub use deadline::{DeadlineConfig, DeadlineController};
+pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftKind};
+pub use hub::TelemetryHub;
+pub use quantile::QuantileWindow;
+pub use recode::{RecodeConfig, RecodeController};
+pub use sample::RoundSample;

@@ -1,0 +1,101 @@
+//! Property-based tests of the adaptation controllers: the deadline
+//! learner converges to its target quantile on stationary arrivals, and
+//! the drift detector separates real rate steps from
+//! estimation-noise-level jitter.
+
+use hetgc_cluster::EstimationNoise;
+use hetgc_sim::RateDrift;
+use hetgc_telemetry::{DeadlineConfig, DeadlineController, DriftConfig, DriftDetector};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn stationary_times() -> impl Strategy<Value = (Vec<f64>, u64)> {
+    // 120 iid round times: base in [0.5, 4), relative spread up to 30 %.
+    (0.5f64..4.0, 0.0f64..0.3, any::<u64>()).prop_flat_map(|(base, spread, seed)| {
+        (
+            prop::collection::vec(0.0f64..1.0, 120).prop_map(move |us| {
+                us.iter()
+                    .map(|u| base * (1.0 + spread * (u - 0.5)))
+                    .collect()
+            }),
+            Just(seed),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// On stationary arrivals the learned deadline converges to the
+    /// empirical target quantile (× margin) of the recent window.
+    #[test]
+    fn deadline_converges_to_target_quantile((times, _seed) in stationary_times()) {
+        let cfg = DeadlineConfig {
+            target_quantile: 0.9,
+            margin: 1.0,
+            warmup_rounds: 8,
+            window: 64,
+        };
+        let mut ctl = DeadlineController::new(cfg);
+        for &t in &times {
+            ctl.observe(t);
+        }
+        let learned = ctl.deadline().expect("past warmup");
+        // Empirical nearest-rank p90 of the last 64 observations.
+        let mut window: Vec<f64> = times[times.len() - 64..].to_vec();
+        window.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected = window[(0.9 * 63.0_f64).round() as usize];
+        prop_assert!(
+            (learned - expected).abs() <= 1e-9,
+            "learned {learned} vs empirical p90 {expected}"
+        );
+        // A deadline the margin keeps above the typical round.
+        let median = window[31];
+        prop_assert!(learned >= median, "p90 below the median?");
+    }
+
+    /// A `RateDrift::StepChange` beyond the noise envelope fires the
+    /// detector on every affected worker, and never on the steady ones.
+    #[test]
+    fn detector_fires_on_step_change(
+        (m, factor, seed) in (2usize..6, 0.15f64..0.5, any::<u64>())
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0f64..8.0)).collect();
+        let slowed = 0; // worker 0 takes the co-tenant
+        let mut factors = vec![1.0; m];
+        factors[slowed] = factor;
+        let drift = RateDrift::StepChange { at: 20, factors };
+        let mut det = DriftDetector::new(m, DriftConfig::default());
+        let mut fired: Vec<usize> = Vec::new();
+        for iter in 0..60 {
+            for (w, &r) in drift.rates_at(&base, iter).iter().enumerate() {
+                if let Some(event) = det.observe(w, r) {
+                    prop_assert!(iter >= 20, "fired before the step at iter {iter}");
+                    fired.push(event.worker);
+                }
+            }
+        }
+        prop_assert_eq!(fired, vec![slowed]);
+        prop_assert!(det.drifting());
+    }
+
+    /// Estimation-noise-level jitter (the §V setting the group-based
+    /// scheme hedges against) stays inside the detector's dead-band.
+    #[test]
+    fn detector_quiet_under_estimation_noise(
+        (m, sigma, seed) in (2usize..6, 0.0f64..0.05, any::<u64>())
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base: Vec<f64> = (0..m).map(|_| rng.gen_range(1.0f64..8.0)).collect();
+        let noise = EstimationNoise::new(sigma);
+        let mut det = DriftDetector::new(m, DriftConfig::default());
+        for _ in 0..80 {
+            for (w, &r) in noise.apply(&base, &mut rng).iter().enumerate() {
+                prop_assert_eq!(det.observe(w, r), None, "false positive at σ={}", sigma);
+            }
+        }
+        prop_assert!(!det.drifting());
+    }
+}

@@ -7,8 +7,9 @@
 //! cargo run --release --example adaptive_recoding
 //! ```
 
-use hetgc::adaptive::{compare_static_vs_adaptive, AdaptiveConfig, RateDrift};
+use hetgc::adaptive::{compare_static_vs_adaptive, AdaptiveConfig};
 use hetgc::ClusterSpec;
+use hetgc::RateDrift;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

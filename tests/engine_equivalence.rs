@@ -69,6 +69,7 @@ fn bsp_wrapper_matches_driver_bitwise() {
         .with_config(DriverConfig {
             eval_every: 1,
             residual_step_scaling: false,
+            adaptation: None,
         })
         .run(&mut engine, cfg.iterations, &mut StdRng::seed_from_u64(3))
         .unwrap();
@@ -164,6 +165,7 @@ fn ssp_wrapper_matches_driver_bitwise() {
         .with_config(DriverConfig {
             eval_every: cfg.eval_every,
             residual_step_scaling: false,
+            adaptation: None,
         })
         .run(
             &mut engine,

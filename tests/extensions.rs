@@ -3,7 +3,8 @@
 //! cache and iteration tracing — exercised together through the public
 //! API.
 
-use hetgc::adaptive::{run_with_drift, AdaptiveConfig, RateDrift};
+use hetgc::adaptive::{run_with_drift, AdaptiveConfig};
+use hetgc::RateDrift;
 use hetgc::{
     gradient_error_bound_l2, simulate_bsp_iteration, under_replicated, ApproxCodec,
     BspIterationConfig, ClusterSpec, GradientCodec, IterationTrace, NetworkModel, SchemeBuilder,
@@ -59,9 +60,11 @@ fn overlap_improves_but_preserves_decoding() {
 fn adaptive_run_with_cache_and_trace() {
     let cluster =
         ClusterSpec::from_vcpu_rows("x", &[(1, 2), (1, 3), (1, 4), (1, 5)], 10.0).unwrap();
-    let drift = RateDrift::Wave {
-        period: 8.0,
-        amplitude: 0.3,
+    // A clear step change fires the drift detector and re-codes; a wave
+    // inside the noise envelope must keep running without thrashing.
+    let drift = RateDrift::StepChange {
+        at: 6,
+        factors: vec![1.0, 0.3, 0.3, 1.0],
     };
     let cfg = AdaptiveConfig {
         iterations: 24,
@@ -71,7 +74,13 @@ fn adaptive_run_with_cache_and_trace() {
     let mut rng = StdRng::seed_from_u64(2);
     let out = run_with_drift(&cluster, &drift, &cfg, &mut rng).unwrap();
     assert_eq!(out.metrics.iterations(), 24);
-    assert!(out.rebuilds >= 3);
+    assert!(out.rebuilds >= 1, "step drift must trigger a re-code");
+    let wave = RateDrift::Wave {
+        period: 8.0,
+        amplitude: 0.3,
+    };
+    let wave_out = run_with_drift(&cluster, &wave, &cfg, &mut rng).unwrap();
+    assert_eq!(wave_out.metrics.iterations(), 24);
 
     // The compiled codec's plan cache: repeated patterns hit.
     let scheme = SchemeBuilder::new(&cluster, 1)
