@@ -14,6 +14,7 @@
 //! value consumers hold so one code path serves all three without
 //! generics or boxing.
 
+use crate::block::GradientBlock;
 use crate::codec::{CodecSession, CompiledCodec, DecodePlan, GradientCodec};
 use crate::codec_approx::ApproxCodec;
 use crate::codec_group::GroupCodec;
@@ -84,20 +85,6 @@ impl AnyCodec {
             AnyCodec::Approx(c) => c.inner(),
         }
     }
-
-    /// [`CompiledCodec::encode_into`] on the shared CSR rows.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`GradientCodec::encode`].
-    pub fn encode_into(
-        &self,
-        worker: usize,
-        partials: &[Vec<f64>],
-        out: &mut Vec<f64>,
-    ) -> Result<(), CodingError> {
-        self.as_compiled().encode_into(worker, partials, out)
-    }
 }
 
 impl From<CompiledCodec> for AnyCodec {
@@ -137,6 +124,15 @@ impl GradientCodec for AnyCodec {
 
     fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Vec<f64>, CodingError> {
         self.as_compiled().encode(worker, partials)
+    }
+
+    fn encode_into(
+        &self,
+        worker: usize,
+        partials: &GradientBlock,
+        out: &mut [f64],
+    ) -> Result<(), CodingError> {
+        self.as_compiled().encode_into(worker, partials, out)
     }
 
     fn decode_plan(&self, survivors: &[usize]) -> Result<DecodePlan, CodingError> {

@@ -134,8 +134,26 @@ impl ApproxCodec {
     /// [`CodingError::InvalidParameter`] on bad survivor indices;
     /// [`CodingError::Numerical`] if the SPD solve fails.
     pub fn approximate_plan(&self, survivors: &[usize]) -> Result<DecodePlan, CodingError> {
-        let key = canonical_survivors(self.inner.code(), survivors)?;
-        self.approximate_plan_canonical(key)
+        // Borrowed-key cache probe: the steady-state `>s` regime repeats
+        // the same survivor set every round and pays zero allocations on
+        // the hit; only a miss clones the key for the insert.
+        let probed = self
+            .approx_cache
+            .lock()
+            .expect("cache poisoned")
+            .probe(survivors, self.inner.workers())?;
+        match probed {
+            Ok(plan) => Ok(plan),
+            Err(key) => {
+                let approx = approximate_decode(self.inner.code(), &key)?;
+                let plan = DecodePlan::from_dense_with_residual(&approx.vector, approx.residual);
+                self.approx_cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(key, plan.clone());
+                Ok(plan)
+            }
+        }
     }
 
     /// [`ApproxCodec::approximate_plan`] over an already-canonical key.
@@ -155,20 +173,6 @@ impl ApproxCodec {
             .expect("cache poisoned")
             .insert(key, plan.clone());
         Ok(plan)
-    }
-
-    /// [`CompiledCodec::encode_into`], delegated for hot-path callers.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`GradientCodec::encode`].
-    pub fn encode_into(
-        &self,
-        worker: usize,
-        partials: &[Vec<f64>],
-        out: &mut Vec<f64>,
-    ) -> Result<(), CodingError> {
-        self.inner.encode_into(worker, partials, out)
     }
 }
 
@@ -191,6 +195,15 @@ impl GradientCodec for ApproxCodec {
 
     fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Vec<f64>, CodingError> {
         self.inner.encode(worker, partials)
+    }
+
+    fn encode_into(
+        &self,
+        worker: usize,
+        partials: &crate::GradientBlock,
+        out: &mut [f64],
+    ) -> Result<(), CodingError> {
+        self.inner.encode_into(worker, partials, out)
     }
 
     /// Exact when possible (bitwise-identical to [`CompiledCodec`],

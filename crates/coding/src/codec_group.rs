@@ -252,21 +252,6 @@ impl GroupCodec {
         }
         self.groups.iter().position(|g| g.is_subset_of_mask(&mask))
     }
-
-    /// [`GroupCodec::from_parts`]'s encode-into twin of
-    /// [`CompiledCodec::encode_into`], delegated for hot-path callers.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`GradientCodec::encode`].
-    pub fn encode_into(
-        &self,
-        worker: usize,
-        partials: &[Vec<f64>],
-        out: &mut Vec<f64>,
-    ) -> Result<(), CodingError> {
-        self.inner.encode_into(worker, partials, out)
-    }
 }
 
 impl GradientCodec for GroupCodec {
@@ -288,6 +273,15 @@ impl GradientCodec for GroupCodec {
 
     fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Vec<f64>, CodingError> {
         self.inner.encode(worker, partials)
+    }
+
+    fn encode_into(
+        &self,
+        worker: usize,
+        partials: &crate::GradientBlock,
+        out: &mut [f64],
+    ) -> Result<(), CodingError> {
+        self.inner.encode_into(worker, partials, out)
     }
 
     /// Intact-group survivor sets — including *strict supersets* of a

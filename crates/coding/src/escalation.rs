@@ -233,20 +233,6 @@ impl EscalatingCodec {
             || (self.policy.allows_approx_for(self.base.backend())
                 && matches!(self.base, AnyCodec::Approx(_)))
     }
-
-    /// [`AnyCodec::encode_into`], delegated for hot-path callers.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`GradientCodec::encode`].
-    pub fn encode_into(
-        &self,
-        worker: usize,
-        partials: &[Vec<f64>],
-        out: &mut Vec<f64>,
-    ) -> Result<(), CodingError> {
-        self.base.encode_into(worker, partials, out)
-    }
 }
 
 impl GradientCodec for EscalatingCodec {
@@ -268,6 +254,15 @@ impl GradientCodec for EscalatingCodec {
 
     fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Vec<f64>, CodingError> {
         self.base.encode(worker, partials)
+    }
+
+    fn encode_into(
+        &self,
+        worker: usize,
+        partials: &crate::GradientBlock,
+        out: &mut [f64],
+    ) -> Result<(), CodingError> {
+        self.base.encode_into(worker, partials, out)
     }
 
     fn decode_plan(&self, survivors: &[usize]) -> Result<DecodePlan, CodingError> {

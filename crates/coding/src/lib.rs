@@ -51,6 +51,7 @@
 mod allocation;
 mod approx;
 mod backend;
+mod block;
 pub mod codec;
 mod codec_approx;
 mod codec_group;
@@ -72,6 +73,7 @@ pub use approx::{
     approximate_decode, gradient_error_bound_l2, under_replicated, ApproximateDecode,
 };
 pub use backend::{AnyCodec, CodecBackend};
+pub use block::{BufferPool, GradientBlock};
 pub use codec::{
     CodecSession, CompiledCodec, DecodePlan, GradientCodec, DEFAULT_PLAN_CACHE_CAPACITY,
 };

@@ -465,3 +465,63 @@ fn group_and_approx_invariants_exhaustive() {
         }
     }
 }
+
+// ------------------------------------------------------------ data plane
+
+proptest! {
+    /// The ownership rule of the data plane's scratch pool: whatever
+    /// garbage a round writes into a buffer, recycling it and checking it
+    /// out again hands back a fully-zeroed `dim`-length vector — stale
+    /// gradient data can never leak across rounds (or workers).
+    #[test]
+    fn buffer_pool_never_leaks_stale_data(
+        dim in 1usize..48,
+        ops in prop::collection::vec((any::<bool>(), -100.0f64..100.0), 1..64),
+    ) {
+        let mut pool = hetgc_coding::BufferPool::new(dim);
+        let mut held: Vec<Vec<f64>> = Vec::new();
+        for (recycle, garbage) in ops {
+            if recycle && !held.is_empty() {
+                pool.recycle(held.pop().unwrap());
+            } else {
+                let mut buf = pool.checkout();
+                prop_assert_eq!(buf.len(), dim);
+                prop_assert!(buf.iter().all(|&x| x == 0.0),
+                    "checked-out buffer carries stale data");
+                buf.iter_mut().for_each(|x| *x = garbage); // dirty it
+                held.push(buf);
+            }
+        }
+        // Conservation: every buffer in existence was allocated by a miss,
+        // and every miss allocated exactly `dim` f64s.
+        prop_assert_eq!((pool.available() + held.len()) as u64, pool.misses());
+        prop_assert_eq!(pool.alloc_bytes(), pool.misses() * (dim as u64) * 8);
+    }
+
+    /// `GradientBlock` is an exact flat image of the legacy row layout:
+    /// `from_rows` → `row`/`to_rows` round-trips bitwise, and `row_mut`
+    /// writes land where `row` reads them.
+    #[test]
+    fn gradient_block_round_trips_rows(
+        rows in prop::collection::vec(prop::collection::vec(-100.0f64..100.0, 5), 1..10),
+    ) {
+        let mut block = hetgc_coding::GradientBlock::from_rows(&rows).unwrap();
+        prop_assert_eq!(block.rows(), rows.len());
+        prop_assert_eq!(block.dim(), 5);
+        for (j, row) in rows.iter().enumerate() {
+            prop_assert_eq!(block.row(j), row.as_slice());
+        }
+        prop_assert_eq!(&block.to_rows(), &rows);
+        // A mutated row reads back exactly; neighbours are untouched.
+        let j = rows.len() / 2;
+        block.row_mut(j).iter_mut().for_each(|x| *x = -*x);
+        for (i, row) in rows.iter().enumerate() {
+            if i == j {
+                let negated: Vec<f64> = row.iter().map(|x| -x).collect();
+                prop_assert_eq!(block.row(i), negated.as_slice());
+            } else {
+                prop_assert_eq!(block.row(i), row.as_slice());
+            }
+        }
+    }
+}

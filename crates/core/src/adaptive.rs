@@ -225,6 +225,8 @@ impl RoundEngine for DriftEngine<'_> {
             results_used: outcome.decode_workers.len(),
             busy: outcome.busy,
             samples,
+            alloc_bytes: 0,
+            pool_hits: 0,
             stop: false,
         })
     }

@@ -82,7 +82,7 @@ impl AdaptationReport {
 }
 
 /// The driver-side adaptation loop: telemetry in, engine hooks out.
-struct AdaptationState {
+pub(crate) struct AdaptationState {
     pipeline: Adaptation,
     /// Fallback estimates for workers the telemetry has not observed.
     fallback: Vec<f64>,
@@ -153,6 +153,13 @@ pub struct RoundRecord {
     pub step_scale: f64,
     /// Worker results that carried decode weight.
     pub results_used: usize,
+    /// Data-plane bytes allocated this round (coded payloads in the
+    /// threaded runtime, codec-pool misses in the simulators): the JSONL
+    /// stream's view of buffer-reuse health — steady-state rounds on the
+    /// pooled path report the payload bill only, with zero pool misses.
+    pub alloc_bytes: u64,
+    /// Data-plane buffer-pool hits this round (recycled buffers).
+    pub pool_hits: u64,
 }
 
 impl RoundRecord {
@@ -167,7 +174,8 @@ impl RoundRecord {
         let _ = write!(
             out,
             "{{\"round\":{},\"time\":{},\"elapsed\":{},\"loss\":{},\
-             \"residual\":{},\"step_scale\":{},\"results_used\":{}}}",
+             \"residual\":{},\"step_scale\":{},\"results_used\":{},\
+             \"alloc_bytes\":{},\"pool_hits\":{}}}",
             self.round,
             json_f64(self.time),
             json_f64(self.elapsed),
@@ -175,6 +183,8 @@ impl RoundRecord {
             json_f64(self.residual),
             json_f64(self.step_scale),
             self.results_used,
+            self.alloc_bytes,
+            self.pool_hits,
         );
         out
     }
@@ -208,6 +218,16 @@ impl RoundRecord {
                     .map_err(|e| format!("field \"loss\" = {raw:?}: {e}"))?,
             ),
         };
+        // The data-plane counters joined the format in a later PR: treat
+        // them as 0 when absent so pre-existing JSONL streams still parse.
+        let counter = |key: &str| -> Result<u64, String> {
+            match field(line, key) {
+                Ok(raw) => raw
+                    .parse::<u64>()
+                    .map_err(|e| format!("field {key:?} = {raw:?}: {e}")),
+                Err(_) => Ok(0),
+            }
+        };
         Ok(RoundRecord {
             round: num(line, "round")? as usize,
             time: num(line, "time")?,
@@ -216,6 +236,8 @@ impl RoundRecord {
             residual: num(line, "residual")?,
             step_scale: num(line, "step_scale")?,
             results_used: num(line, "results_used")? as usize,
+            alloc_bytes: counter("alloc_bytes")?,
+            pool_hits: counter("pool_hits")?,
         })
     }
 }
@@ -337,12 +359,12 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Shared per-round bookkeeping of the training and timing loops: the
-/// ONE place where engine rounds become records, metrics and curve
-/// points.
-struct RoundLog {
+/// Shared per-round bookkeeping of the training, timing and pipelined
+/// loops: the ONE place where engine rounds become records, metrics and
+/// curve points.
+pub(crate) struct RoundLog {
     label: String,
-    records: Vec<RoundRecord>,
+    pub(crate) records: Vec<RoundRecord>,
     metrics: RunMetrics,
     points: Vec<(f64, f64)>,
     clock: f64,
@@ -351,7 +373,7 @@ struct RoundLog {
 }
 
 impl RoundLog {
-    fn new(label: String) -> Self {
+    pub(crate) fn new(label: String) -> Self {
         RoundLog {
             label,
             records: Vec::new(),
@@ -363,12 +385,12 @@ impl RoundLog {
         }
     }
 
-    fn failed_round(&mut self) {
+    pub(crate) fn failed_round(&mut self) {
         self.metrics.record_failure();
         self.stalled = true;
     }
 
-    fn completed_round(
+    pub(crate) fn completed_round(
         &mut self,
         round: usize,
         er: &EngineRound,
@@ -399,10 +421,16 @@ impl RoundLog {
             residual: er.residual,
             step_scale,
             results_used: er.results_used,
+            alloc_bytes: er.alloc_bytes,
+            pool_hits: er.pool_hits,
         });
     }
 
-    fn finish(self, params: Vec<f64>, adaptation: Option<AdaptationState>) -> TrainOutcome {
+    pub(crate) fn finish(
+        self,
+        params: Vec<f64>,
+        adaptation: Option<AdaptationState>,
+    ) -> TrainOutcome {
         TrainOutcome {
             curve: LossCurve {
                 label: self.label.clone(),
@@ -675,6 +703,8 @@ mod tests {
             results_used: 2,
             busy: vec![elapsed; 3],
             samples: Vec::new(),
+            alloc_bytes: 96,
+            pool_hits: 4,
             stop: false,
         }
     }
@@ -763,6 +793,8 @@ mod tests {
                 residual: 0.25,
                 step_scale: 0.875,
                 results_used: 4,
+                alloc_bytes: 1024,
+                pool_hits: 7,
             },
             RoundRecord {
                 round: 4,
@@ -772,6 +804,8 @@ mod tests {
                 residual: 0.0,
                 step_scale: 1.0,
                 results_used: 3,
+                alloc_bytes: 0,
+                pool_hits: 0,
             },
         ];
         for r in &records {
@@ -780,6 +814,13 @@ mod tests {
         }
         assert!(RoundRecord::from_json("{\"round\":1}").is_err());
         assert!(RoundRecord::from_json("{\"round\":x,\"time\":1,\"elapsed\":1,\"loss\":null,\"residual\":0,\"step_scale\":1,\"results_used\":1}").is_err());
+        // Records written before the data-plane counters existed still
+        // parse, with the counters defaulting to zero.
+        let legacy = "{\"round\":2,\"time\":1.5,\"elapsed\":0.5,\"loss\":null,\
+                      \"residual\":0,\"step_scale\":1,\"results_used\":3}";
+        let parsed = RoundRecord::from_json(legacy).unwrap();
+        assert_eq!((parsed.alloc_bytes, parsed.pool_hits), (0, 0));
+        assert_eq!(parsed.round, 2);
     }
 
     #[test]

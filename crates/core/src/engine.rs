@@ -30,9 +30,9 @@ use std::sync::Arc;
 use hetgc_cluster::{PartitionAssignment, StragglerModel};
 use hetgc_coding::{
     gradient_error_bound_l2, CodecSession, CodingMatrix, EscalatingCodec, EscalationPolicy,
-    GradientCodec,
+    GradientBlock, GradientCodec,
 };
-use hetgc_ml::{partial_gradients, Dataset, Model};
+use hetgc_ml::{partial_gradients_into, Dataset, Model};
 use hetgc_runtime::{RuntimeConfig, RuntimeError, ThreadedCluster};
 use hetgc_sim::{
     simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RateDrift, SspEngine,
@@ -73,6 +73,12 @@ pub struct EngineRound {
     /// loop's `TelemetryHub` ingests. Empty when the engine has nothing
     /// to report (e.g. a failed round).
     pub samples: Vec<RoundSample>,
+    /// Data-plane bytes allocated this round (coded payload `Arc`s in the
+    /// threaded runtime, codec-session pool misses in the simulators);
+    /// `0` in steady state on the pooled path.
+    pub alloc_bytes: u64,
+    /// Buffer-pool hits this round (recycled data-plane buffers).
+    pub pool_hits: u64,
     /// `true` asks the driver to end the run after this round (a stalled
     /// BSP run, a deterministic-failure timing sweep).
     pub stop: bool,
@@ -90,6 +96,8 @@ impl EngineRound {
             results_used: 0,
             busy: Vec::new(),
             samples: Vec::new(),
+            alloc_bytes: 0,
+            pool_hits: 0,
             stop,
         }
     }
@@ -167,6 +175,36 @@ pub trait RoundEngine {
     }
 }
 
+/// A [`RoundEngine`] whose round can be split into a non-blocking
+/// dispatch (workers start computing) and a blocking collect (the master
+/// gathers, decodes and combines) — the contract `PipelinedDriver` uses
+/// to double-buffer rounds: while the workers fill round `t+1`'s gradient
+/// block, the master is still decoding round `t`'s and running the
+/// optimizer/loss work that a sequential driver would put on the critical
+/// path.
+///
+/// Implemented by [`ThreadedEngine`] (real threads genuinely overlap);
+/// the discrete-event simulators have no wall-clock to overlap and do not
+/// implement it.
+pub trait PipelinedEngine: RoundEngine {
+    /// Starts collect round `round` at the given parameters without
+    /// waiting for results.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only (a round already in flight, lost
+    /// workers).
+    fn dispatch(&mut self, round: usize, params: &[f64]) -> Result<(), BoxError>;
+
+    /// Completes the round started by the last
+    /// [`PipelinedEngine::dispatch`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RoundEngine::round`].
+    fn collect(&mut self, round: usize) -> Result<EngineRound, BoxError>;
+}
+
 /// The learning-rate multiplier for a round with the given decode
 /// residual: exactly `1.0` on exact rounds, `1/(1+ρ) ∈ (0, 1)` on
 /// approximate rounds — the step shrinks with the relative gradient
@@ -195,13 +233,17 @@ pub fn residual_step_scale(
 }
 
 /// The master-side coded gradient of one simulated round, shared by the
-/// BSP and coded-SSP engines: partials → sparse encode per plan worker →
-/// combine with the plan's decode weights — plus the rigorous
-/// [`gradient_error_bound_l2`] for approximate plans.
+/// BSP and coded-SSP engines, on the pooled data plane: partials written
+/// into the engine's reusable [`GradientBlock`] → sparse `encode_into`
+/// per plan worker (into the reusable `coded` scratch) → accumulate with
+/// the plan's decode weights — plus the rigorous
+/// [`gradient_error_bound_l2`] for approximate plans. The only per-round
+/// allocation left is the outgoing gradient vector itself.
 ///
 /// In debug builds, exact plans are verified against the direct
 /// full-batch gradient (approximate rounds legitimately deviate, bounded
 /// by `residual · ‖(‖g_j‖)_j‖₂`).
+#[allow(clippy::too_many_arguments)] // a flat list mirrors the round state
 fn gradient_from_plan<M: Model + ?Sized>(
     codec: &EscalatingCodec,
     plan: &hetgc_coding::DecodePlan,
@@ -209,12 +251,16 @@ fn gradient_from_plan<M: Model + ?Sized>(
     params: &[f64],
     data: &Dataset,
     ranges: &[(usize, usize)],
+    partials: &mut GradientBlock,
     coded: &mut Vec<f64>,
 ) -> Result<(Vec<f64>, Option<f64>), BoxError> {
-    let partials = partial_gradients(model, params, data, ranges);
-    let mut gradient = vec![0.0; model.num_params()];
+    partial_gradients_into(model, params, data, ranges, partials);
+    let d = model.num_params();
+    coded.clear();
+    coded.resize(d, 0.0);
+    let mut gradient = vec![0.0; d];
     for (w, coef) in plan.iter() {
-        codec.encode_into(w, &partials, coded)?;
+        codec.encode_into(w, partials, coded)?;
         for (g, c) in gradient.iter_mut().zip(coded.iter()) {
             *g += coef * c;
         }
@@ -231,9 +277,8 @@ fn gradient_from_plan<M: Model + ?Sized>(
         "decoded gradient deviates from direct full-batch gradient"
     );
     let error_bound = approximate.then(|| {
-        let norms: Vec<f64> = partials
-            .iter()
-            .map(|g| g.iter().map(|x| x * x).sum::<f64>().sqrt())
+        let norms: Vec<f64> = (0..partials.rows())
+            .map(|j| partials.row(j).iter().map(|x| x * x).sum::<f64>().sqrt())
             .collect();
         gradient_error_bound_l2(plan.residual(), &norms)
     });
@@ -272,6 +317,11 @@ pub struct SimBspEngine<'a, M: Model + ?Sized> {
     fallback_deadline: Option<f64>,
     label: String,
     coded: Vec<f64>,
+    /// Reusable k × d partial-gradient block (the pooled data plane).
+    partials: GradientBlock,
+    /// Session-pool counters at the end of the previous round, for
+    /// per-round `pool_hits` / `alloc_bytes` deltas.
+    pool_mark: (u64, u64),
     // Re-code inputs: what the scheme was built as, so a rebuild from
     // fresh estimates reconstructs the same kind of code.
     kind: SchemeKind,
@@ -325,6 +375,8 @@ impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
             fallback_deadline,
             label: scheme.kind.name().to_owned(),
             coded: Vec::new(),
+            partials: GradientBlock::new(0, 0),
+            pool_mark: (0, 0),
             kind: scheme.kind,
             straggler_budget: scheme.stragglers(),
             backend: cfg.backend,
@@ -404,8 +456,10 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             params,
             self.data,
             &self.ranges,
+            &mut self.partials,
             &mut self.coded,
         )?;
+        let (pool_hits, alloc_bytes) = pool_delta(&self.session, &mut self.pool_mark);
 
         Ok(EngineRound {
             elapsed: Some(iter_time),
@@ -416,6 +470,8 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             results_used: outcome.decode_workers.len(),
             busy: outcome.busy,
             samples,
+            alloc_bytes,
+            pool_hits,
             stop: false,
         })
     }
@@ -451,6 +507,7 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
         self.ranges = assignment.iter().collect();
         self.work_per_partition = self.data.len() as f64 / k as f64;
         self.session = codec.session();
+        self.pool_mark = (0, 0); // fresh session, fresh pool counters
         self.codec = codec;
         self.recodes += 1;
         Ok(true)
@@ -459,6 +516,16 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
     fn initial_estimates(&self) -> Option<Vec<f64>> {
         Some(self.rates.clone())
     }
+}
+
+/// Per-round delta of a session pool's `(hits, alloc_bytes)` counters —
+/// the engines report data-plane behaviour per round, the pool counts
+/// cumulatively.
+fn pool_delta(session: &CodecSession, mark: &mut (u64, u64)) -> (u64, u64) {
+    let now = (session.pool().hits(), session.pool().alloc_bytes());
+    let delta = (now.0 - mark.0, now.1 - mark.1);
+    *mark = now;
+    delta
 }
 
 /// Per-worker telemetry of one simulated BSP round, shared by the
@@ -517,6 +584,8 @@ enum SspMode {
         live: Vec<usize>,
         reported: Vec<bool>,
         coded: Vec<f64>,
+        partials: GradientBlock,
+        pool_mark: (u64, u64),
         /// Iteration time per *live* worker (aligned with `live`).
         iter_times: Vec<f64>,
         work_per_partition: f64,
@@ -648,6 +717,8 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
                 live,
                 reported: vec![false; m],
                 coded: Vec::new(),
+                partials: GradientBlock::new(0, 0),
+                pool_mark: (0, 0),
                 iter_times,
                 work_per_partition,
             },
@@ -721,6 +792,8 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     results_used: 1,
                     busy: Vec::new(),
                     samples,
+                    alloc_bytes: 0,
+                    pool_hits: 0,
                     stop: false,
                 })
             }
@@ -731,6 +804,8 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 live,
                 reported,
                 coded,
+                partials,
+                pool_mark,
                 iter_times,
                 work_per_partition,
             } => {
@@ -774,12 +849,14 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     }
                 };
 
-                let (gradient, error_bound) =
-                    gradient_from_plan(codec, &plan, self.model, params, self.data, ranges, coded)?;
+                let (gradient, error_bound) = gradient_from_plan(
+                    codec, &plan, self.model, params, self.data, ranges, partials, coded,
+                )?;
                 let elapsed = at - self.last_time;
                 self.last_time = at;
                 session.reset();
                 reported.iter_mut().for_each(|r| *r = false);
+                let (pool_hits, alloc_bytes) = pool_delta(session, pool_mark);
                 Ok(EngineRound {
                     elapsed: Some(elapsed),
                     at: Some(at),
@@ -789,6 +866,8 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     results_used: plan.len(),
                     busy: Vec::new(),
                     samples,
+                    alloc_bytes,
+                    pool_hits,
                     stop: false,
                 })
             }
@@ -882,31 +961,12 @@ where
     pub fn recodes(&self) -> usize {
         self.recodes
     }
-}
 
-impl<M> RoundEngine for ThreadedEngine<M>
-where
-    M: Model + Send + Sync + 'static,
-{
-    fn workers(&self) -> usize {
-        self.cluster.workers()
-    }
-
-    fn partitions(&self) -> usize {
-        self.cluster.partitions()
-    }
-
-    fn label(&self) -> &str {
-        &self.label
-    }
-
-    fn round(
-        &mut self,
-        round: usize,
-        params: &[f64],
-        _rng: &mut dyn RngCore,
-    ) -> Result<EngineRound, BoxError> {
-        let r = self.cluster.round(round, params)?;
+    /// Converts a completed [`hetgc_runtime::ClusterRound`] into the
+    /// driver's [`EngineRound`] — shared by the sequential
+    /// [`RoundEngine::round`] and the split
+    /// [`PipelinedEngine::collect`] paths.
+    fn engine_round(&self, r: hetgc_runtime::ClusterRound) -> EngineRound {
         // Real wall-clock telemetry: work units are the samples each
         // worker owns; a worker with zero reported compute never replied
         // in time this round.
@@ -935,7 +995,7 @@ where
                 }
             })
             .collect();
-        Ok(EngineRound {
+        EngineRound {
             elapsed: Some(elapsed),
             at: None,
             gradient: Some(r.gradient),
@@ -946,8 +1006,37 @@ where
             results_used: r.results_used,
             busy: r.busy,
             samples,
+            alloc_bytes: r.alloc_bytes,
+            pool_hits: r.pool_hits,
             stop: false,
-        })
+        }
+    }
+}
+
+impl<M> RoundEngine for ThreadedEngine<M>
+where
+    M: Model + Send + Sync + 'static,
+{
+    fn workers(&self) -> usize {
+        self.cluster.workers()
+    }
+
+    fn partitions(&self) -> usize {
+        self.cluster.partitions()
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn round(
+        &mut self,
+        round: usize,
+        params: &[f64],
+        _rng: &mut dyn RngCore,
+    ) -> Result<EngineRound, BoxError> {
+        let r = self.cluster.round(round, params)?;
+        Ok(self.engine_round(r))
     }
 
     fn set_deadline(&mut self, deadline: f64) {
@@ -982,6 +1071,20 @@ where
             Err(RuntimeError::InvalidConfig { .. }) => Ok(false),
             Err(e) => Err(e.into()),
         }
+    }
+}
+
+impl<M> PipelinedEngine for ThreadedEngine<M>
+where
+    M: Model + Send + Sync + 'static,
+{
+    fn dispatch(&mut self, _round: usize, params: &[f64]) -> Result<(), BoxError> {
+        self.cluster.dispatch(params).map_err(Into::into)
+    }
+
+    fn collect(&mut self, round: usize) -> Result<EngineRound, BoxError> {
+        let r = self.cluster.collect(round)?;
+        Ok(self.engine_round(r))
     }
 }
 

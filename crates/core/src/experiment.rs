@@ -71,6 +71,8 @@ impl RoundEngine for TimingEngine<'_> {
             results_used: outcome.decode_workers.len(),
             busy: outcome.busy,
             samples,
+            alloc_bytes: 0,
+            pool_hits: 0,
             stop: false,
         })
     }

@@ -57,6 +57,7 @@ pub mod analysis;
 mod driver;
 mod engine;
 pub mod experiment;
+mod pipeline;
 pub mod report;
 mod scheme;
 mod trainer;
@@ -66,8 +67,10 @@ pub use driver::{
     TrainOutcome,
 };
 pub use engine::{
-    residual_step_scale, EngineRound, RoundEngine, SimBspEngine, SimSspEngine, ThreadedEngine,
+    residual_step_scale, EngineRound, PipelinedEngine, RoundEngine, SimBspEngine, SimSspEngine,
+    ThreadedEngine,
 };
+pub use pipeline::PipelinedDriver;
 pub use report::{parse_round_records, JsonlRecordSink};
 pub use scheme::{scheme_from_estimates, SchemeBuilder, SchemeInstance, SchemeKind};
 #[allow(deprecated)]
@@ -84,15 +87,16 @@ pub use hetgc_coding::{
     approximate_decode, cyclic, decodable_prefix_len, fractional_repetition,
     gradient_error_bound_l2, group_based, heter_aware, is_robust_to, naive,
     suggest_partition_count, under_replicated, verify_condition_c1, verify_condition_c1_sampled,
-    Allocation, AnyCodec, ApproxCodec, ApproximateDecode, CodecBackend, CodecSession, CodingError,
-    CodingMatrix, CompiledCodec, DecodePlan, DecodingMatrix, EscalatingCodec, EscalationPolicy,
-    GradientCodec, Group, GroupCodec, GroupCodingMatrix, GroupSearchConfig, SupportMatrix,
+    Allocation, AnyCodec, ApproxCodec, ApproximateDecode, BufferPool, CodecBackend, CodecSession,
+    CodingError, CodingMatrix, CompiledCodec, DecodePlan, DecodingMatrix, EscalatingCodec,
+    EscalationPolicy, GradientBlock, GradientCodec, Group, GroupCodec, GroupCodingMatrix,
+    GroupSearchConfig, SupportMatrix,
 };
 #[allow(deprecated)]
 pub use hetgc_coding::{combine, decode_vector, gradient_error_bound, DecodeCache, OnlineDecoder};
 pub use hetgc_ml::{
-    accuracy, synthetic, Adam, Classifier, Dataset, LinearRegression, Mlp, Model, Momentum,
-    Optimizer, Sgd, SoftmaxRegression, Targets,
+    accuracy, partial_gradients, partial_gradients_into, synthetic, Adam, Classifier, Dataset,
+    LinearRegression, Mlp, Model, Momentum, Optimizer, Sgd, SoftmaxRegression, Targets,
 };
 pub use hetgc_runtime::{
     ClusterRound, RuntimeConfig, RuntimeError, ThreadedCluster, ThreadedTrainer, TrainingReport,

@@ -277,6 +277,8 @@ mod tests {
                 residual: 0.0,
                 step_scale: 1.0,
                 results_used: 4,
+                alloc_bytes: 256 * i as u64,
+                pool_hits: i as u64,
             })
             .collect();
         let mut sink = JsonlRecordSink::new(Vec::<u8>::new());

@@ -7,8 +7,32 @@
 //! `g_j` from contiguous sample ranges; by the additivity contract of
 //! [`Model`], `Σ_j g_j` equals the full-dataset gradient exactly.
 
+use hetgc_coding::GradientBlock;
+
 use crate::dataset::Dataset;
 use crate::model::Model;
+
+/// Computes the partial gradient for each `[lo, hi)` range in `ranges`
+/// into a caller-provided [`GradientBlock`] — row `j` receives the
+/// gradient of `ranges[j]`, written in place via [`Model::gradient_into`].
+/// The block is reshaped to `ranges.len() × num_params` (reusing its
+/// allocation), so a block held across rounds makes the whole
+/// partial-gradient pass allocation-free.
+pub fn partial_gradients_into<M: Model + ?Sized>(
+    model: &M,
+    params: &[f64],
+    data: &Dataset,
+    ranges: &[(usize, usize)],
+    block: &mut GradientBlock,
+) {
+    let d = model.num_params();
+    if block.rows() != ranges.len() || block.dim() != d {
+        block.reset(ranges.len(), d);
+    }
+    for (j, &range) in ranges.iter().enumerate() {
+        model.gradient_into(params, data, range, block.row_mut(j));
+    }
+}
 
 /// Computes the partial gradient for each `[lo, hi)` range in `ranges`.
 ///
@@ -83,6 +107,27 @@ mod tests {
         let partials = partial_gradients(&model, &params, &data, &[(3, 7)]);
         assert_eq!(partials.len(), 1);
         assert_eq!(partials[0].len(), 3);
+    }
+
+    #[test]
+    fn partials_into_matches_allocating_path_bitwise() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let data = synthetic::linear_regression(24, 3, 0.1, &mut rng);
+        let model = LinearRegression::new(3);
+        let params = model.init_params(&mut rng);
+        let ranges = [(0usize, 7usize), (7, 15), (15, 24)];
+        let legacy = partial_gradients(&model, &params, &data, &ranges);
+        let mut block = GradientBlock::new(0, 0);
+        partial_gradients_into(&model, &params, &data, &ranges, &mut block);
+        assert_eq!((block.rows(), block.dim()), (3, 4));
+        for (j, row) in legacy.iter().enumerate() {
+            assert_eq!(block.row(j), row.as_slice(), "partition {j}");
+        }
+        // A dirty block of the right shape is fully overwritten, not
+        // accumulated into.
+        block.row_mut(1)[0] = f64::NAN;
+        partial_gradients_into(&model, &params, &data, &ranges, &mut block);
+        assert_eq!(block.row(1), legacy[1].as_slice());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod synthetic;
 
 pub use classify::{accuracy, Classifier};
 pub use dataset::{Dataset, Targets};
-pub use gradient::{partial_gradients, sum_gradients};
+pub use gradient::{partial_gradients, partial_gradients_into, sum_gradients};
 pub use linear::LinearRegression;
 pub use loss::{cross_entropy_from_logits, log_sum_exp, softmax_in_place};
 pub use mlp::Mlp;

@@ -72,17 +72,29 @@ impl Model for LinearRegression {
     }
 
     fn gradient(&self, params: &[f64], data: &Dataset, range: (usize, usize)) -> Vec<f64> {
-        self.check(params, data, range);
         let mut grad = vec![0.0; self.num_params()];
+        self.gradient_into(params, data, range, &mut grad);
+        grad
+    }
+
+    fn gradient_into(
+        &self,
+        params: &[f64],
+        data: &Dataset,
+        range: (usize, usize),
+        out: &mut [f64],
+    ) {
+        self.check(params, data, range);
+        assert_eq!(out.len(), self.num_params(), "gradient buffer length");
+        out.fill(0.0);
         for i in range.0..range.1 {
             let x = data.features_of(i);
             let r = self.predict(params, x) - data.regression_target(i);
-            for (gj, xj) in grad[..self.dim].iter_mut().zip(x) {
+            for (gj, xj) in out[..self.dim].iter_mut().zip(x) {
                 *gj += r * xj;
             }
-            grad[self.dim] += r;
+            out[self.dim] += r;
         }
-        grad
     }
 
     fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64> {
@@ -161,6 +173,17 @@ mod tests {
         }
         let loss = m.loss(&params, &d, (0, d.len())) / n;
         assert!(loss < 1e-4, "final loss {loss}");
+    }
+
+    #[test]
+    fn gradient_into_overwrites_and_matches() {
+        let d = tiny();
+        let m = LinearRegression::new(2);
+        let params = [0.3, -0.7, 0.1];
+        let g = m.gradient(&params, &d, (0, 3));
+        let mut out = vec![f64::NAN; 3]; // dirty buffer must be overwritten
+        m.gradient_into(&params, &d, (0, 3), &mut out);
+        assert_eq!(out, g);
     }
 
     #[test]

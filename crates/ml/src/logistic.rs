@@ -94,8 +94,21 @@ impl Model for SoftmaxRegression {
     }
 
     fn gradient(&self, params: &[f64], data: &Dataset, range: (usize, usize)) -> Vec<f64> {
-        self.check(params, data, range);
         let mut grad = vec![0.0; self.num_params()];
+        self.gradient_into(params, data, range, &mut grad);
+        grad
+    }
+
+    fn gradient_into(
+        &self,
+        params: &[f64],
+        data: &Dataset,
+        range: (usize, usize),
+        out: &mut [f64],
+    ) {
+        self.check(params, data, range);
+        assert_eq!(out.len(), self.num_params(), "gradient buffer length");
+        out.fill(0.0);
         let bias_base = self.classes * self.dim;
         let mut probs = Vec::with_capacity(self.classes);
         for i in range.0..range.1 {
@@ -106,14 +119,13 @@ impl Model for SoftmaxRegression {
             for c in 0..self.classes {
                 // ∂CE/∂z_c = p_c − 1{c = label}
                 let delta = probs[c] - f64::from(u8::from(c == label));
-                let gw = &mut grad[c * self.dim..(c + 1) * self.dim];
+                let gw = &mut out[c * self.dim..(c + 1) * self.dim];
                 for (gj, xj) in gw.iter_mut().zip(x) {
                     *gj += delta * xj;
                 }
-                grad[bias_base + c] += delta;
+                out[bias_base + c] += delta;
             }
         }
-        grad
     }
 
     fn init_params(&self, rng: &mut dyn RngCore) -> Vec<f64> {

@@ -32,6 +32,29 @@ pub trait Model {
     /// Same conditions as [`Model::loss`].
     fn gradient(&self, params: &[f64], data: &Dataset, range: (usize, usize)) -> Vec<f64>;
 
+    /// [`Model::gradient`] into a caller-provided buffer (a
+    /// `GradientBlock` row or a pooled scratch vector), fully overwriting
+    /// `out` — the zero-copy data-plane entry point. The default routes
+    /// through the allocating [`Model::gradient`]; models whose gradient
+    /// is a streaming accumulation (e.g. `LinearRegression`,
+    /// `SoftmaxRegression`) override it to write in place.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Model::loss`], plus `out.len() !=
+    /// num_params()`.
+    fn gradient_into(
+        &self,
+        params: &[f64],
+        data: &Dataset,
+        range: (usize, usize),
+        out: &mut [f64],
+    ) {
+        let g = self.gradient(params, data, range);
+        assert_eq!(out.len(), g.len(), "gradient buffer length mismatch");
+        out.copy_from_slice(&g);
+    }
+
     /// Fresh parameters (small random values; exact scheme per model).
     fn init_params(&self, rng: &mut dyn rand::RngCore) -> Vec<f64>;
 }

@@ -17,14 +17,13 @@
 //! escalation code is the same one the discrete-event simulator consults
 //! at its round end — one ladder, two execution paths.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgc_cluster::PartitionAssignment;
 use hetgc_coding::{
-    AnyCodec, ApproxCodec, CodecBackend, CodecSession, CodingMatrix, CompiledCodec,
+    AnyCodec, ApproxCodec, CodecBackend, CodecSession, CodingMatrix, CompiledCodec, DecodePlan,
     EscalatingCodec, GradientCodec, GroupCodec,
 };
 use hetgc_ml::{Dataset, Model, Optimizer};
@@ -87,6 +86,13 @@ pub struct ClusterRound {
     /// within-budget straggler would be invisible to throughput
     /// telemetry. Each late timing is reported exactly once.
     pub late_busy: Vec<f64>,
+    /// Bytes of coded-gradient payload allocated for this round (one
+    /// `Arc<[f64]>` per reply the master consumed — the data plane's only
+    /// steady-state allocation). Surfaced as `RoundRecord.alloc_bytes`.
+    pub alloc_bytes: u64,
+    /// Decode-session buffer-pool hits this round (recycled elimination
+    /// buffers). Surfaced as `RoundRecord.pool_hits`.
+    pub pool_hits: u64,
 }
 
 /// A running coded worker pool: one OS thread per worker, channels to the
@@ -106,7 +112,15 @@ pub struct ThreadedCluster<M> {
     from_rx: Option<Receiver<FromWorker>>,
     handles: Vec<std::thread::JoinHandle<()>>,
     session: CodecSession,
-    received: HashMap<usize, Vec<f64>>,
+    /// The master's per-worker recycle ring: one arrival slot per worker,
+    /// reused round over round. An arriving payload *moves* into its slot
+    /// (no clone); the previous round's payloads are released when the
+    /// next collect rearms the slots.
+    received: Vec<Option<Arc<[f64]>>>,
+    /// The dispatched-but-not-yet-collected round (tag + dispatch time),
+    /// for the split [`ThreadedCluster::dispatch`] /
+    /// [`ThreadedCluster::collect`] cycle.
+    inflight: Option<(usize, Instant)>,
     compute_seconds: Vec<f64>,
     /// Compute seconds from stale (previous-round) replies observed
     /// while waiting on the current round, per worker — surfaced once
@@ -244,7 +258,8 @@ where
             from_rx: Some(from_rx),
             handles,
             session,
-            received: HashMap::new(),
+            received: vec![None; m],
+            inflight: None,
             compute_seconds: vec![0.0; m],
             late_compute_seconds: vec![0.0; m],
             round_seq: 0,
@@ -318,7 +333,8 @@ where
         self.session = codec.session();
         self.compute_seconds = vec![0.0; codec.workers()];
         self.late_compute_seconds = vec![0.0; codec.workers()];
-        self.received.clear();
+        self.received = vec![None; codec.workers()];
+        self.inflight = None;
         self.codec = codec;
         Ok(())
     }
@@ -350,7 +366,29 @@ where
         iteration: usize,
         params: &[f64],
     ) -> Result<ClusterRound, RuntimeError> {
-        let started = Instant::now();
+        self.dispatch(params)?;
+        self.collect(iteration)
+    }
+
+    /// Broadcasts `params` to the workers and returns immediately — the
+    /// first half of the split round cycle. Workers begin computing while
+    /// the master is free to do other work (decode bookkeeping, the
+    /// optimizer step, loss evaluation); [`ThreadedCluster::collect`]
+    /// finishes the round. This is what `PipelinedDriver` builds on: while
+    /// the workers fill round `t+1`'s gradient block, the master is still
+    /// consuming round `t`'s.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::InvalidConfig`] when a round is already in
+    ///   flight (collect it first).
+    /// * [`RuntimeError::WorkerLost`] when a worker thread is gone.
+    pub fn dispatch(&mut self, params: &[f64]) -> Result<(), RuntimeError> {
+        if self.inflight.is_some() {
+            return Err(RuntimeError::InvalidConfig {
+                reason: "dispatch while a round is in flight (collect it first)".into(),
+            });
+        }
         self.round_seq += 1;
         let tag = self.round_seq;
         let shared = Arc::new(params.to_vec());
@@ -361,14 +399,53 @@ where
             })
             .map_err(|_| RuntimeError::WorkerLost { worker: w })?;
         }
+        self.inflight = Some((tag, Instant::now()));
+        Ok(())
+    }
+
+    /// Collects the round started by the last [`ThreadedCluster::dispatch`]:
+    /// streams results into the decode session, escalates through the
+    /// policy ladder at the deadline (measured from the dispatch), and
+    /// combines the decoded gradient. `iteration` is the caller's 1-based
+    /// round number, used for error reporting only.
+    ///
+    /// Deadline semantics under pipelining: the escalation window runs
+    /// from the *dispatch* — the moment the workers started computing —
+    /// not from when the master begins collecting. A master that arrives
+    /// late (e.g. after the overlapped step/loss work of a pipelined
+    /// round) first drains every reply already queued in the channel, so
+    /// workers keep their full window regardless of master-side delay;
+    /// only escalation itself fires "late", at collect entry instead of
+    /// exactly at the deadline. Size the timeout to the worker window, as
+    /// with the sequential round.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::InvalidConfig`] when no round is in flight.
+    /// * [`RuntimeError::Undecodable`] / [`RuntimeError::WorkerLost`] as
+    ///   for [`ThreadedCluster::round`].
+    pub fn collect(&mut self, iteration: usize) -> Result<ClusterRound, RuntimeError> {
+        let (tag, started) = self
+            .inflight
+            .take()
+            .ok_or_else(|| RuntimeError::InvalidConfig {
+                reason: "collect without a dispatched round".into(),
+            })?;
 
         self.session.reset();
-        self.received.clear();
+        let pool_hits_before = self.session.pool().hits();
+        // Rearm the per-worker slots: releasing the previous round's
+        // payloads here is the ring's recycle point.
+        self.received.iter_mut().for_each(|slot| *slot = None);
         self.compute_seconds.iter_mut().for_each(|c| *c = 0.0);
         let from_rx = self.from_rx.as_ref().expect("receiver lives until drop");
-        let plan = loop {
-            // The deadline is round-relative: stale or slow arrivals never
-            // extend the window.
+        // `None` = the session decoded (the plan is borrowed from its
+        // reusable slot); `Some` = the escalation ladder produced an owned
+        // fallback plan.
+        let mut fallback: Option<DecodePlan> = None;
+        loop {
+            // The deadline is round-relative (measured from the dispatch):
+            // stale or slow arrivals never extend the window.
             let recv_result = match self.timeout {
                 Some(t) => match t.checked_sub(started.elapsed()) {
                     Some(remaining) => from_rx.recv_timeout(remaining).map_err(|_| ()),
@@ -386,7 +463,7 @@ where
                     // hand the survivor set to the shared escalation
                     // ladder. Exact ceilings decline and the round
                     // surfaces as undecodable.
-                    let mut drained = None;
+                    let mut drained = false;
                     while let Ok(msg) = from_rx.try_recv() {
                         if msg.iteration != tag {
                             // A late reply to an earlier round: no
@@ -397,23 +474,28 @@ where
                         }
                         let worker = msg.worker;
                         self.compute_seconds[worker] = msg.compute_seconds;
-                        self.received.insert(worker, msg.coded);
-                        if let Some(plan) = self.session.push(worker)? {
-                            drained = Some(plan);
+                        self.received[worker] = Some(msg.coded);
+                        if self.session.push_arrival(worker)? {
+                            drained = true;
                             break;
                         }
                     }
-                    if let Some(plan) = drained {
-                        break plan;
+                    if drained {
+                        break;
                     }
-                    let mut survivors: Vec<usize> = self.received.keys().copied().collect();
-                    survivors.sort_unstable();
+                    let survivors: Vec<usize> = self
+                        .received
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(w, slot)| slot.is_some().then_some(w))
+                        .collect();
                     if let Some(plan) = self.codec.fallback_plan(&survivors) {
-                        break plan;
+                        fallback = Some(plan);
+                        break;
                     }
                     return Err(RuntimeError::Undecodable {
                         iteration,
-                        received: self.received.len(),
+                        received: survivors.len(),
                     });
                 }
             };
@@ -425,22 +507,33 @@ where
             }
             let worker = msg.worker;
             self.compute_seconds[worker] = msg.compute_seconds;
-            self.received.insert(worker, msg.coded);
-            if let Some(plan) = self.session.push(worker)? {
-                break plan;
-            }
-        };
-
-        // g = Σ a_w · g̃_w (un-normalized).
-        let mut gradient = vec![0.0; self.model.num_params()];
-        let mut used = 0;
-        for (w, coef) in plan.iter() {
-            let coded = &self.received[&w];
-            used += 1;
-            for (g, c) in gradient.iter_mut().zip(coded) {
-                *g += coef * c;
+            self.received[worker] = Some(msg.coded);
+            if self.session.push_arrival(worker)? {
+                break;
             }
         }
+        let plan = match fallback.as_ref() {
+            Some(plan) => plan,
+            None => self
+                .session
+                .decoded_plan()
+                .expect("collect loop broke on a decode"),
+        };
+
+        // g = Σ a_w · g̃_w (un-normalized), applied straight over the
+        // per-worker arrival slots — no clone of any coded payload.
+        let mut gradient = vec![0.0; self.model.num_params()];
+        plan.apply_into(|w| self.received[w].as_deref(), &mut gradient)?;
+        let used = plan.len();
+        let residual = plan.residual();
+        // Every consumed reply cost exactly one worker-side payload
+        // allocation: that is the round's data-plane allocation bill.
+        let alloc_bytes = self
+            .received
+            .iter()
+            .flatten()
+            .map(|coded| std::mem::size_of_val(&coded[..]) as u64)
+            .sum();
         // Late timings are reported exactly once, and only for workers
         // that did not also reply in time this round.
         let mut late_busy = vec![0.0; self.late_compute_seconds.len()];
@@ -452,11 +545,13 @@ where
         }
         Ok(ClusterRound {
             gradient,
-            residual: plan.residual(),
+            residual,
             results_used: used,
             elapsed: started.elapsed(),
             busy: self.compute_seconds.clone(),
             late_busy,
+            alloc_bytes,
+            pool_hits: self.session.pool().hits() - pool_hits_before,
         })
     }
 
@@ -711,6 +806,54 @@ mod tests {
     }
 
     #[test]
+    fn dispatch_collect_split_matches_round_and_guards_misuse() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let code = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng).unwrap();
+        let model = Arc::new(LinearRegression::new(3));
+        let data = Arc::new(quick_data(40));
+        let mut cluster = ThreadedCluster::start(
+            code,
+            Arc::clone(&model),
+            Arc::clone(&data),
+            &RuntimeConfig::default(),
+        )
+        .unwrap();
+        let params = model.init_params(&mut rng);
+        let n = data.len();
+
+        // Collect before any dispatch is a caller bug.
+        assert!(matches!(
+            cluster.collect(1),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+
+        cluster.dispatch(&params).unwrap();
+        // Double-dispatch would overlap two rounds in one buffer.
+        assert!(matches!(
+            cluster.dispatch(&params),
+            Err(RuntimeError::InvalidConfig { .. })
+        ));
+        // The master is free to do unrelated work here (the pipelined
+        // overlap window) — the collect still decodes the exact gradient.
+        let round = cluster.collect(1).unwrap();
+        let direct = model.gradient(&params, &data, (0, n));
+        for (g, d) in round.gradient.iter().zip(&direct) {
+            assert!((g - d).abs() < 1e-6 * (1.0 + d.abs()), "{g} vs {d}");
+        }
+        // Each consumed reply accounts one payload allocation.
+        assert_eq!(
+            round.alloc_bytes,
+            (round.busy.iter().filter(|&&b| b > 0.0).count()
+                * model.num_params()
+                * std::mem::size_of::<f64>()) as u64
+        );
+        // The split cycle is repeatable.
+        cluster.dispatch(&params).unwrap();
+        let again = cluster.collect(2).unwrap();
+        assert_eq!(again.residual, 0.0);
+    }
+
+    #[test]
     fn recode_hot_swaps_the_pool_mid_run() {
         // Decode correctness must survive a live re-code, including a
         // partition-count change (4 → 6) and continued round sequencing.
@@ -775,7 +918,15 @@ mod tests {
             "round-1 timing must surface late: {:?}",
             r2.late_busy
         );
-        assert!(r2.late_busy[1..].iter().all(|&b| b == 0.0));
+        // A fast worker whose round-1 reply was not needed for the decode
+        // (this code can decode from 2 arrivals) may legitimately surface
+        // a late timing too — but only its real, millisecond-scale
+        // compute, never the straggler's injected 250 ms delay.
+        assert!(
+            r2.late_busy[1..].iter().all(|&b| b < 0.05),
+            "{:?}",
+            r2.late_busy
+        );
     }
 
     #[test]

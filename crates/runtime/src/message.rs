@@ -28,8 +28,12 @@ pub struct FromWorker {
     pub worker: usize,
     /// Which iteration this result belongs to (stale results are dropped).
     pub iteration: usize,
-    /// The coded gradient `g̃_w = Σ_j b_wj·g_j`.
-    pub coded: Vec<f64>,
+    /// The coded gradient `g̃_w = Σ_j b_wj·g_j`, shared rather than owned:
+    /// the worker allocates it exactly once per round (freezing its
+    /// reusable scratch buffer into the `Arc`) and the master moves the
+    /// handle into its per-worker arrival slot — no master-side clone, no
+    /// second copy anywhere on the wire.
+    pub coded: Arc<[f64]>,
     /// Effective compute duration from round receipt to reply — native
     /// gradient time stretched by throttle emulation and injected delay.
     /// This is what a master can actually observe, so resource metrics
@@ -66,12 +70,16 @@ mod tests {
         let m = FromWorker {
             worker: 2,
             iteration: 5,
-            coded: vec![0.5],
+            coded: Arc::from([0.5].as_slice()),
             compute_seconds: 0.1,
         };
         assert_eq!(m.worker, 2);
         assert_eq!(m.iteration, 5);
-        assert_eq!(m.coded, vec![0.5]);
+        assert_eq!(&m.coded[..], &[0.5]);
+        // Cloning the message shares the payload, it does not copy it.
+        let copy = m.clone();
+        assert_eq!(Arc::strong_count(&m.coded), 2);
+        assert_eq!(&copy.coded[..], &[0.5]);
     }
 
     #[test]

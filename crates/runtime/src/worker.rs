@@ -30,6 +30,12 @@ pub(crate) struct WorkerContext<M> {
 /// [`ToWorker::Shutdown`].
 pub(crate) fn worker_main<M: Model>(ctx: WorkerContext<M>) {
     let samples: usize = ctx.ranges.iter().map(|(lo, hi)| hi - lo).sum();
+    // Reusable compute buffers: the per-partition gradient lands in
+    // `partial` (via `gradient_into`, no allocation) and accumulates into
+    // `coded`. The only data-plane allocation a worker performs per round
+    // is freezing `coded` into the `Arc<[f64]>` reply payload.
+    let mut coded: Vec<f64> = Vec::new();
+    let mut partial: Vec<f64> = Vec::new();
     while let Ok(mut msg) = ctx.inbox.recv() {
         // Fast-forward to the newest pending message: a worker that fell
         // behind (delayed, throttled) joins the *current* round instead of
@@ -50,10 +56,14 @@ pub(crate) fn worker_main<M: Model>(ctx: WorkerContext<M>) {
             continue;
         }
         let started = Instant::now();
-        let mut coded = vec![0.0; ctx.model.num_params()];
+        coded.clear();
+        coded.resize(ctx.model.num_params(), 0.0);
+        partial.clear();
+        partial.resize(ctx.model.num_params(), 0.0);
         for (&range, &coef) in ctx.ranges.iter().zip(&ctx.coefficients) {
-            let g = ctx.model.gradient(&params, &ctx.data, range);
-            for (c, gi) in coded.iter_mut().zip(&g) {
+            ctx.model
+                .gradient_into(&params, &ctx.data, range, &mut partial);
+            for (c, gi) in coded.iter_mut().zip(&partial) {
                 *c += coef * gi;
             }
         }
@@ -74,7 +84,9 @@ pub(crate) fn worker_main<M: Model>(ctx: WorkerContext<M>) {
         let reply = FromWorker {
             worker: ctx.index,
             iteration,
-            coded,
+            // The round's one data-plane allocation: freeze the scratch
+            // into a shared payload (the scratch itself is reused).
+            coded: Arc::from(coded.as_slice()),
             // The *effective* compute duration — native gradient time
             // stretched by throttling and injected delay — so the
             // master's telemetry observes the worker's emulated speed,

@@ -6,7 +6,10 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use hetgc::{heter_aware, naive, verify_condition_c1, CompiledCodec, GradientCodec};
+use hetgc::{
+    heter_aware, naive, verify_condition_c1, BufferPool, CompiledCodec, GradientBlock,
+    GradientCodec,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -42,25 +45,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Condition C1 verified: robust to any {s} straggler(s)");
 
     // Simulate a round where worker 2 never responds. Partial gradients
-    // here are tiny 2-d vectors; the j-th partial is [j, 2j].
-    let partials: Vec<Vec<f64>> = (0..k).map(|j| vec![j as f64, 2.0 * j as f64]).collect();
+    // here are tiny 2-d vectors held in one flat k × 2 `GradientBlock`
+    // (the zero-copy data plane); the j-th partial is [j, 2j].
+    let mut partials = GradientBlock::new(k, 2);
+    for j in 0..k {
+        partials
+            .row_mut(j)
+            .copy_from_slice(&[j as f64, 2.0 * j as f64]);
+    }
     let expected: Vec<f64> = vec![
-        partials.iter().map(|g| g[0]).sum(),
-        partials.iter().map(|g| g[1]).sum(),
+        (0..k).map(|j| partials.row(j)[0]).sum(),
+        (0..k).map(|j| partials.row(j)[1]).sum(),
     ];
 
     let survivors = [0usize, 1, 3, 4];
     let plan = codec.decode_plan(&survivors)?;
-    let mut coded = std::collections::HashMap::new();
+    // Each worker encodes straight into its row of the master's arrival
+    // block, and the decode applies straight over those rows; the output
+    // buffer comes from a pool so a real master recycles it round after
+    // round — held across rounds, none of this allocates.
+    let mut arrivals = GradientBlock::new(5, 2);
     for &w in &survivors {
-        coded.insert(w, codec.encode(w, &partials)?);
+        codec.encode_into(w, &partials, arrivals.row_mut(w))?;
     }
-    let decoded = plan.combine(&coded)?;
+    let mut pool = BufferPool::new(2);
+    let mut decoded = pool.checkout();
+    plan.apply_block_into(&arrivals, &mut decoded)?;
     println!("decoded Σg with worker 2 dead: {decoded:?} (expected {expected:?})");
     assert!(decoded
         .iter()
         .zip(&expected)
         .all(|(d, e)| (d - e).abs() < 1e-9));
+    pool.recycle(decoded); // next round's checkout reuses the buffer
 
     // A second decode over the same survivor set hits the plan cache — the
     // paper's "regular stragglers" fast path.

@@ -1,14 +1,12 @@
 //! Cross-crate integration: the full encode → straggle → decode → SGD
 //! pipeline recovers exact gradients across schemes, models and backends.
 
-use std::collections::HashMap;
-
 use hetgc::{
-    ClusterSpec, DecodePlan, GradientCodec, Mlp, Model, SchemeBuilder, SchemeKind,
+    ClusterSpec, DecodePlan, GradientBlock, GradientCodec, Mlp, Model, SchemeBuilder, SchemeKind,
     SoftmaxRegression,
 };
 use hetgc_cluster::PartitionAssignment;
-use hetgc_ml::{partial_gradients, synthetic};
+use hetgc_ml::{partial_gradients_into, synthetic};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -36,18 +34,22 @@ fn decoded_gradient_exact_for_all_single_straggler_patterns() {
         let k = codec.partitions();
         let assignment = PartitionAssignment::even(data.len(), k).unwrap();
         let ranges: Vec<(usize, usize)> = assignment.iter().collect();
-        let partials = partial_gradients(&model, &params, &data, &ranges);
+        let mut partials = GradientBlock::new(0, 0);
+        partial_gradients_into(&model, &params, &data, &ranges, &mut partials);
 
+        let mut arrivals = GradientBlock::new(cluster.len(), model.num_params());
+        let mut decoded = vec![0.0; model.num_params()];
         for straggler in 0..cluster.len() {
             let survivors: Vec<usize> = (0..cluster.len()).filter(|&w| w != straggler).collect();
             let plan = codec
                 .decode_plan(&survivors)
                 .unwrap_or_else(|e| panic!("{kind}: pattern {straggler}: {e}"));
-            let mut coded = HashMap::new();
             for &w in &survivors {
-                coded.insert(w, codec.encode(w, &partials).unwrap());
+                codec
+                    .encode_into(w, &partials, arrivals.row_mut(w))
+                    .unwrap();
             }
-            let decoded = plan.combine(&coded).unwrap();
+            plan.apply_block_into(&arrivals, &mut decoded).unwrap();
             let err = decoded
                 .iter()
                 .zip(&direct)
@@ -74,19 +76,23 @@ fn decoded_gradient_exact_with_two_stragglers_mlp() {
     let codec = scheme.compile();
     let assignment = PartitionAssignment::even(data.len(), codec.partitions()).unwrap();
     let ranges: Vec<(usize, usize)> = assignment.iter().collect();
-    let partials = partial_gradients(&model, &params, &data, &ranges);
+    let mut partials = GradientBlock::new(0, 0);
+    partial_gradients_into(&model, &params, &data, &ranges, &mut partials);
 
     // Random double-straggler patterns (repeats exercise the plan cache).
     let mut workers: Vec<usize> = (0..cluster.len()).collect();
+    let mut arrivals = GradientBlock::new(cluster.len(), model.num_params());
+    let mut decoded = vec![0.0; model.num_params()];
     for _ in 0..12 {
         workers.shuffle(&mut rng);
         let dead = &workers[..2];
         let plan = codec.decode_plan_for_stragglers(dead).unwrap();
-        let mut coded = HashMap::new();
         for &w in plan.workers() {
-            coded.insert(w, codec.encode(w, &partials).unwrap());
+            codec
+                .encode_into(w, &partials, arrivals.row_mut(w))
+                .unwrap();
         }
-        let decoded = plan.combine(&coded).unwrap();
+        plan.apply_block_into(&arrivals, &mut decoded).unwrap();
         let err = decoded
             .iter()
             .zip(&direct)
@@ -113,17 +119,21 @@ fn group_decode_agrees_with_generic_decode() {
 
     let assignment = PartitionAssignment::even(40, 4).unwrap();
     let ranges: Vec<(usize, usize)> = assignment.iter().collect();
-    let partials = partial_gradients(&model, &params, &data, &ranges);
+    let mut partials = GradientBlock::new(0, 0);
+    partial_gradients_into(&model, &params, &data, &ranges, &mut partials);
 
     let group = &g.groups()[0];
     let survivors: Vec<usize> = group.workers().to_vec();
     let a = g.group_decode_vector(&survivors).expect("group intact");
     let plan = DecodePlan::from_dense(&a);
-    let mut coded = HashMap::new();
+    let mut arrivals = GradientBlock::new(4, model.num_params());
     for &w in &survivors {
-        coded.insert(w, g.code().encode(w, &partials).unwrap());
+        g.code()
+            .encode_into(w, &partials, arrivals.row_mut(w))
+            .unwrap();
     }
-    let decoded = plan.combine(&coded).unwrap();
+    let mut decoded = vec![0.0; model.num_params()];
+    plan.apply_block_into(&arrivals, &mut decoded).unwrap();
     for (x, y) in decoded.iter().zip(&direct) {
         assert!((x - y).abs() < 1e-8, "{x} vs {y}");
     }
