@@ -2,7 +2,7 @@
 //!
 //! * `data_plane/encode`  — allocating `encode` vs pooled `encode_into`
 //!   over a flat `GradientBlock`;
-//! * `data_plane/decode`  — allocating `DecodePlan::combine` (HashMap of
+//! * `data_plane/decode`  — allocating `DecodePlan::apply_into` (HashMap of
 //!   owned vectors) vs `apply_into` straight over the arrival block;
 //! * `data_plane/round`   — a full master collect round: legacy `push`
 //!   (fresh plan per round) vs zero-alloc `push_arrival`/`decoded_plan`;
@@ -85,7 +85,12 @@ fn bench_decode(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("data_plane/decode");
     group.bench_function("allocating", |b| {
-        b.iter(|| black_box(plan.combine(&coded).unwrap()))
+        b.iter(|| {
+            let mut fresh = vec![0.0; DIM];
+            plan.apply_into(|w| coded.get(&w).map(Vec::as_slice), &mut fresh)
+                .unwrap();
+            black_box(fresh[0])
+        })
     });
     group.bench_function("pooled", |b| {
         b.iter(|| {

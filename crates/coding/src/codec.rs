@@ -57,7 +57,6 @@
 //! # }
 //! ```
 
-use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use hetgc_linalg::{solve_any, vec_ops, DEFAULT_TOLERANCE};
@@ -243,53 +242,6 @@ impl DecodePlan {
         out: &mut [f64],
     ) -> Result<(), CodingError> {
         self.apply_into(|w| (w < arrivals.rows()).then(|| arrivals.row(w)), out)
-    }
-
-    /// Combines coded gradients: `g = Σ_w a_w · g̃_w`.
-    ///
-    /// # Errors
-    ///
-    /// [`CodingError::InvalidParameter`] when the plan is empty, a needed
-    /// coded gradient is missing, or dimensions disagree.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use DecodePlan::apply_into with a pooled buffer instead"
-    )]
-    pub fn combine(&self, coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, CodingError> {
-        let mut out = Vec::new();
-        #[allow(deprecated)]
-        self.combine_into(coded, &mut out)?;
-        Ok(out)
-    }
-
-    /// [`DecodePlan::combine`] into a caller-owned buffer (zeroed and
-    /// resized here), avoiding the per-iteration allocation.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`DecodePlan::combine`].
-    #[deprecated(
-        since = "0.3.0",
-        note = "use DecodePlan::apply_into with a pooled buffer instead"
-    )]
-    pub fn combine_into(
-        &self,
-        coded: &HashMap<usize, Vec<f64>>,
-        out: &mut Vec<f64>,
-    ) -> Result<(), CodingError> {
-        if self.is_empty() {
-            return Err(CodingError::InvalidParameter {
-                reason: "empty decode plan: no worker carries decode weight".into(),
-            });
-        }
-        let first = self.workers[0];
-        let dim = coded
-            .get(&first)
-            .ok_or_else(|| missing_worker(first))?
-            .len();
-        out.clear();
-        out.resize(dim, 0.0);
-        self.apply_into(|w| coded.get(&w).map(Vec::as_slice), out)
     }
 
     /// Refills the plan in place from a dense decode vector (capacity
@@ -1223,6 +1175,7 @@ mod tests {
     use crate::heter_aware::heter_aware;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashMap;
 
     fn code() -> CodingMatrix {
         let mut rng = StdRng::seed_from_u64(11);
@@ -1425,48 +1378,7 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn plan_combine_weighted_sum() {
-        let mut coded = HashMap::new();
-        coded.insert(0, vec![1.0, 2.0]);
-        coded.insert(2, vec![10.0, 20.0]);
-        let plan = DecodePlan::from_dense(&[2.0, 0.0, 0.5]);
-        assert_eq!(plan.combine(&coded).unwrap(), vec![7.0, 14.0]);
-        assert_eq!(plan.len(), 2);
-        assert_eq!(plan.to_dense(), vec![2.0, 0.0, 0.5]);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn plan_combine_rejects_empty_and_missing() {
-        let empty = DecodePlan::from_dense(&[0.0, 0.0]);
-        assert!(empty.is_empty());
-        assert!(matches!(
-            empty.combine(&HashMap::new()),
-            Err(CodingError::InvalidParameter { .. })
-        ));
-        let plan = DecodePlan::from_dense(&[1.0, 1.0]);
-        let mut coded = HashMap::new();
-        coded.insert(0, vec![1.0]);
-        assert!(plan.combine(&coded).is_err()); // worker 1 missing
-        coded.insert(1, vec![1.0, 2.0]);
-        assert!(plan.combine(&coded).is_err()); // dim mismatch
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn combine_into_reuses_buffer() {
-        let plan = DecodePlan::from_dense(&[1.0, 2.0]);
-        let mut coded = HashMap::new();
-        coded.insert(0, vec![1.0, 1.0]);
-        coded.insert(1, vec![2.0, 3.0]);
-        let mut out = vec![99.0; 7];
-        plan.combine_into(&coded, &mut out).unwrap();
-        assert_eq!(out, vec![5.0, 7.0]);
-    }
-
-    #[test]
-    fn apply_into_matches_combine_bitwise() {
+    fn apply_into_weighted_sum_over_sparse_plan() {
         let mut coded = HashMap::new();
         coded.insert(0, vec![1.0, 2.0]);
         coded.insert(2, vec![10.0, 20.0]);
@@ -1474,9 +1386,9 @@ mod tests {
         let mut out = vec![f64::NAN; 2]; // fully overwritten
         plan.apply_into(|w| coded.get(&w).map(Vec::as_slice), &mut out)
             .unwrap();
-        #[allow(deprecated)]
-        let legacy = plan.combine(&coded).unwrap();
-        assert_eq!(out, legacy);
+        assert_eq!(out, vec![7.0, 14.0]);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.to_dense(), vec![2.0, 0.0, 0.5]);
     }
 
     #[test]

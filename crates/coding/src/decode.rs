@@ -4,14 +4,11 @@
 //! New code should go through [`GradientCodec`](crate::GradientCodec):
 //!
 //! * [`decode_vector`] → [`GradientCodec::decode_plan`](crate::GradientCodec::decode_plan)
-//! * [`combine`] → [`DecodePlan::combine`](crate::DecodePlan::combine)
 //! * [`OnlineDecoder`] → [`CodecSession`](crate::CodecSession) (reusable across rounds)
 //! * [`DecodeCache`] → [`CompiledCodec`](crate::CompiledCodec)'s built-in plan cache
 //!
 //! [`DecodingMatrix`] — the fully-materialized `A` of Eq. 2 — remains a
 //! first-class analysis type here.
-
-use std::collections::HashMap;
 
 use crate::codec::{canonical_survivors, solve_decode_dense, CodecSession, CompiledCodec};
 use crate::error::CodingError;
@@ -51,48 +48,6 @@ use crate::strategy::{enumerate_subsets, CodingMatrix};
 pub fn decode_vector(code: &CodingMatrix, survivors: &[usize]) -> Result<Vec<f64>, CodingError> {
     canonical_survivors(code, survivors)?;
     solve_decode_dense(code, survivors)
-}
-
-/// Combines coded gradients with a decode vector:
-/// `g = Σ_w a_w · g̃_w` over the workers with non-zero weight.
-///
-/// `coded` maps worker index → its coded gradient `g̃_w`.
-///
-/// # Errors
-///
-/// [`CodingError::InvalidParameter`] if `coded` is empty, the decode
-/// vector is all-zero (either would silently produce a zero-length
-/// "gradient"), a needed coded gradient is missing, or dimensions
-/// disagree.
-#[deprecated(since = "0.2.0", note = "use `DecodePlan::combine` instead")]
-pub fn combine(a: &[f64], coded: &HashMap<usize, Vec<f64>>) -> Result<Vec<f64>, CodingError> {
-    if coded.is_empty() {
-        return Err(CodingError::InvalidParameter {
-            reason: "cannot combine an empty coded-gradient map".into(),
-        });
-    }
-    if a.iter().all(|&coef| coef == 0.0) {
-        return Err(CodingError::InvalidParameter {
-            reason: "all-zero decode vector: no worker carries decode weight".into(),
-        });
-    }
-    let dim = coded.values().next().map(Vec::len).unwrap_or(0);
-    let mut out = vec![0.0; dim];
-    for (w, &coef) in a.iter().enumerate() {
-        if coef == 0.0 {
-            continue;
-        }
-        let g = coded.get(&w).ok_or_else(|| CodingError::InvalidParameter {
-            reason: format!("decode vector needs worker {w} but its result is missing"),
-        })?;
-        if g.len() != dim {
-            return Err(CodingError::InvalidParameter {
-                reason: format!("worker {w} gradient dim {} != {}", g.len(), dim),
-            });
-        }
-        hetgc_linalg::vec_ops::axpy(coef, g, &mut out);
-    }
-    Ok(out)
 }
 
 /// Incremental decoder: feed worker results in completion order; decode as
@@ -352,48 +307,6 @@ mod tests {
         // all 7 partitions (loads 1+2+3 = 6 < 7).
         let err = decode_vector(&b, &[0, 1, 2]).unwrap_err();
         assert!(matches!(err, CodingError::NotDecodable { .. }));
-    }
-
-    #[test]
-    fn combine_weighted_sum() {
-        let mut coded = HashMap::new();
-        coded.insert(0, vec![1.0, 2.0]);
-        coded.insert(2, vec![10.0, 20.0]);
-        let g = combine(&[2.0, 0.0, 0.5], &coded).unwrap();
-        assert_eq!(g, vec![7.0, 14.0]);
-    }
-
-    #[test]
-    fn combine_missing_worker_errors() {
-        let coded = HashMap::new();
-        assert!(combine(&[1.0], &coded).is_err());
-    }
-
-    #[test]
-    fn combine_empty_map_errors() {
-        // Regression: an empty map used to yield a zero-length "gradient".
-        let coded = HashMap::new();
-        let err = combine(&[0.0, 0.0], &coded).unwrap_err();
-        assert!(matches!(err, CodingError::InvalidParameter { .. }));
-    }
-
-    #[test]
-    fn combine_all_zero_vector_errors() {
-        // Regression: an all-zero decode vector used to yield a zero-length
-        // "gradient" even with results present.
-        let mut coded = HashMap::new();
-        coded.insert(0, vec![1.0, 2.0]);
-        let err = combine(&[0.0], &coded).unwrap_err();
-        assert!(matches!(err, CodingError::InvalidParameter { .. }));
-        assert!(err.to_string().contains("all-zero"), "{err}");
-    }
-
-    #[test]
-    fn combine_dim_mismatch_errors() {
-        let mut coded = HashMap::new();
-        coded.insert(0, vec![1.0, 2.0]);
-        coded.insert(1, vec![1.0]);
-        assert!(combine(&[1.0, 1.0], &coded).is_err());
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub use codec_group::GroupCodec;
 pub use cyclic::{cyclic, cyclic_support, naive};
 pub use decode::DecodingMatrix;
 #[allow(deprecated)]
-pub use decode::{combine, decode_vector, DecodeCache, OnlineDecoder};
+pub use decode::{decode_vector, DecodeCache, OnlineDecoder};
 pub use error::CodingError;
 pub use escalation::{EscalatingCodec, EscalationPolicy};
 pub use fractional::fractional_repetition;

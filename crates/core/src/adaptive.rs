@@ -227,6 +227,8 @@ impl RoundEngine for DriftEngine<'_> {
             samples,
             alloc_bytes: 0,
             pool_hits: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
             stop: false,
         })
     }

@@ -160,6 +160,11 @@ pub struct RoundRecord {
     pub alloc_bytes: u64,
     /// Data-plane buffer-pool hits this round (recycled buffers).
     pub pool_hits: u64,
+    /// Wire bytes the master sent this round — real traffic on a socket
+    /// engine, `0` for the in-process (sim/threaded) engines.
+    pub bytes_sent: u64,
+    /// Wire bytes the master received this round (`0` in-process).
+    pub bytes_received: u64,
 }
 
 impl RoundRecord {
@@ -175,7 +180,8 @@ impl RoundRecord {
             out,
             "{{\"round\":{},\"time\":{},\"elapsed\":{},\"loss\":{},\
              \"residual\":{},\"step_scale\":{},\"results_used\":{},\
-             \"alloc_bytes\":{},\"pool_hits\":{}}}",
+             \"alloc_bytes\":{},\"pool_hits\":{},\
+             \"bytes_sent\":{},\"bytes_received\":{}}}",
             self.round,
             json_f64(self.time),
             json_f64(self.elapsed),
@@ -185,6 +191,8 @@ impl RoundRecord {
             self.results_used,
             self.alloc_bytes,
             self.pool_hits,
+            self.bytes_sent,
+            self.bytes_received,
         );
         out
     }
@@ -238,6 +246,8 @@ impl RoundRecord {
             results_used: num(line, "results_used")? as usize,
             alloc_bytes: counter("alloc_bytes")?,
             pool_hits: counter("pool_hits")?,
+            bytes_sent: counter("bytes_sent")?,
+            bytes_received: counter("bytes_received")?,
         })
     }
 }
@@ -423,6 +433,8 @@ impl RoundLog {
             results_used: er.results_used,
             alloc_bytes: er.alloc_bytes,
             pool_hits: er.pool_hits,
+            bytes_sent: er.bytes_sent,
+            bytes_received: er.bytes_received,
         });
     }
 
@@ -705,6 +717,8 @@ mod tests {
             samples: Vec::new(),
             alloc_bytes: 96,
             pool_hits: 4,
+            bytes_sent: 0,
+            bytes_received: 0,
             stop: false,
         }
     }
@@ -795,6 +809,8 @@ mod tests {
                 results_used: 4,
                 alloc_bytes: 1024,
                 pool_hits: 7,
+                bytes_sent: 2048,
+                bytes_received: 512,
             },
             RoundRecord {
                 round: 4,
@@ -806,6 +822,8 @@ mod tests {
                 results_used: 3,
                 alloc_bytes: 0,
                 pool_hits: 0,
+                bytes_sent: 0,
+                bytes_received: 0,
             },
         ];
         for r in &records {
@@ -820,7 +838,16 @@ mod tests {
                       \"residual\":0,\"step_scale\":1,\"results_used\":3}";
         let parsed = RoundRecord::from_json(legacy).unwrap();
         assert_eq!((parsed.alloc_bytes, parsed.pool_hits), (0, 0));
+        assert_eq!((parsed.bytes_sent, parsed.bytes_received), (0, 0));
         assert_eq!(parsed.round, 2);
+        // A stream with the data-plane counters but not the wire counters
+        // (the PR-5 ⟶ PR-6 window) parses the same way.
+        let pr5 = "{\"round\":2,\"time\":1.5,\"elapsed\":0.5,\"loss\":null,\
+                   \"residual\":0,\"step_scale\":1,\"results_used\":3,\
+                   \"alloc_bytes\":96,\"pool_hits\":4}";
+        let parsed = RoundRecord::from_json(pr5).unwrap();
+        assert_eq!((parsed.alloc_bytes, parsed.pool_hits), (96, 4));
+        assert_eq!((parsed.bytes_sent, parsed.bytes_received), (0, 0));
     }
 
     #[test]

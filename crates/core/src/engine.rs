@@ -79,6 +79,14 @@ pub struct EngineRound {
     pub alloc_bytes: u64,
     /// Buffer-pool hits this round (recycled data-plane buffers).
     pub pool_hits: u64,
+    /// Wire bytes the master sent this round (parameter broadcasts and
+    /// control frames). `0` for in-process engines — the simulators and
+    /// the threaded runtime move `Arc`s, not bytes; only a socket data
+    /// plane reports real traffic.
+    pub bytes_sent: u64,
+    /// Wire bytes the master received this round (coded-gradient frames).
+    /// `0` for in-process engines, as with [`EngineRound::bytes_sent`].
+    pub bytes_received: u64,
     /// `true` asks the driver to end the run after this round (a stalled
     /// BSP run, a deterministic-failure timing sweep).
     pub stop: bool,
@@ -98,6 +106,8 @@ impl EngineRound {
             samples: Vec::new(),
             alloc_bytes: 0,
             pool_hits: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
             stop,
         }
     }
@@ -472,6 +482,8 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             samples,
             alloc_bytes,
             pool_hits,
+            bytes_sent: 0,
+            bytes_received: 0,
             stop: false,
         })
     }
@@ -794,6 +806,8 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     samples,
                     alloc_bytes: 0,
                     pool_hits: 0,
+                    bytes_sent: 0,
+                    bytes_received: 0,
                     stop: false,
                 })
             }
@@ -868,6 +882,8 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     samples,
                     alloc_bytes,
                     pool_hits,
+                    bytes_sent: 0,
+                    bytes_received: 0,
                     stop: false,
                 })
             }
@@ -1008,6 +1024,8 @@ where
             samples,
             alloc_bytes: r.alloc_bytes,
             pool_hits: r.pool_hits,
+            bytes_sent: 0,
+            bytes_received: 0,
             stop: false,
         }
     }

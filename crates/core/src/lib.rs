@@ -93,14 +93,13 @@ pub use hetgc_coding::{
     GroupSearchConfig, SupportMatrix,
 };
 #[allow(deprecated)]
-pub use hetgc_coding::{combine, decode_vector, gradient_error_bound, DecodeCache, OnlineDecoder};
+pub use hetgc_coding::{decode_vector, gradient_error_bound, DecodeCache, OnlineDecoder};
 pub use hetgc_ml::{
     accuracy, partial_gradients, partial_gradients_into, synthetic, Adam, Classifier, Dataset,
     LinearRegression, Mlp, Model, Momentum, Optimizer, Sgd, SoftmaxRegression, Targets,
 };
 pub use hetgc_runtime::{
-    ClusterRound, RuntimeConfig, RuntimeError, ThreadedCluster, ThreadedTrainer, TrainingReport,
-    WorkerBehavior,
+    ClusterRound, RuntimeConfig, RuntimeError, ThreadedCluster, WorkerBehavior,
 };
 pub use hetgc_sim::{
     simulate_bsp_iteration, simulate_bsp_iteration_in, BspIteration, BspIterationConfig,

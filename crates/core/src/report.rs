@@ -279,6 +279,8 @@ mod tests {
                 results_used: 4,
                 alloc_bytes: 256 * i as u64,
                 pool_hits: i as u64,
+                bytes_sent: 1024 * i as u64,
+                bytes_received: 512 * i as u64,
             })
             .collect();
         let mut sink = JsonlRecordSink::new(Vec::<u8>::new());

@@ -41,8 +41,11 @@ fn partials(k: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
 }
 
 fn combine(plan: &DecodePlan, coded: &HashMap<usize, Vec<f64>>) -> Vec<f64> {
-    #[allow(deprecated)] // the differential harness pins the legacy path
-    plan.combine(coded).expect("plan workers all received")
+    let dim = coded.values().next().map(Vec::len).unwrap_or(0);
+    let mut out = vec![0.0; dim];
+    plan.apply_into(|w| coded.get(&w).map(Vec::as_slice), &mut out)
+        .expect("plan workers all received");
+    out
 }
 
 /// One full differential check of every backend over one cluster shape.

@@ -1,7 +1,7 @@
 //! Equivalence property: the compiled codec path (`CompiledCodec` →
-//! `decode_plan` → `DecodePlan::combine`) returns **bitwise-identical**
-//! gradients to the legacy free-function path (`decode_vector` +
-//! `combine`) across random clusters, every scheme in `SchemeKind::ALL`,
+//! `decode_plan` → `DecodePlan::apply_into`) returns **bitwise-identical**
+//! gradients to the legacy solver path (`decode_vector`, applied with the
+//! same arithmetic) across random clusters, every scheme in `SchemeKind::ALL`,
 //! random straggler patterns, and repeated decodes (plan-cache hits must
 //! reproduce the miss-path solve exactly).
 //!
@@ -13,7 +13,23 @@
 
 use std::collections::HashMap;
 
-use hetgc::{combine, decode_vector, ClusterSpec, GradientCodec, SchemeBuilder, SchemeKind};
+use hetgc::{decode_vector, ClusterSpec, DecodePlan, GradientCodec, SchemeBuilder, SchemeKind};
+
+/// `out = Σ_w a[w] · coded[w]` in ascending worker order — the retired
+/// free-function `combine`'s exact arithmetic (zero-fill, then one
+/// `axpy` per nonzero coefficient), so the legacy solver side of the
+/// equivalence is unchanged.
+fn combine(
+    a: &[f64],
+    coded: &std::collections::HashMap<usize, Vec<f64>>,
+) -> Result<Vec<f64>, String> {
+    let dim = coded.values().next().map(Vec::len).unwrap_or(0);
+    let mut out = vec![0.0; dim];
+    DecodePlan::from_dense(a)
+        .apply_into(|w| coded.get(&w).map(Vec::as_slice), &mut out)
+        .map_err(|e| e.to_string())?;
+    Ok(out)
+}
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -97,7 +113,10 @@ proptest! {
                 prop_assert_eq!(&plan_fresh, &plan_cached,
                     "{} cache hit diverged from miss", kind);
 
-                let via_codec = plan_fresh.combine(&coded).unwrap();
+                let mut via_codec = vec![0.0; legacy.len()];
+                plan_fresh
+                    .apply_into(|w| coded.get(&w).map(Vec::as_slice), &mut via_codec)
+                    .unwrap();
                 prop_assert_eq!(&legacy, &via_codec,
                     "{} decode mismatch, {} stragglers", kind, pattern_size);
             }

@@ -1,8 +1,9 @@
 //! Data-plane equivalence property: the pooled zero-copy entry points
 //! (`Model::gradient_into` → `GradientBlock` → `encode_into` →
-//! `DecodePlan::apply_into`) are **bitwise-identical** to the allocating
-//! path (`partial_gradients` → `encode` → `combine`) across random
-//! clusters, every scheme in `SchemeKind::ALL` and every codec backend.
+//! `DecodePlan::apply_block_into`) are **bitwise-identical** to the
+//! allocating path (`partial_gradients` → `encode` → fresh-`Vec`
+//! `apply_into`) across random clusters, every scheme in
+//! `SchemeKind::ALL` and every codec backend.
 //!
 //! Bitwise equality (not approximate) is the point: the data plane is a
 //! *storage* refactoring — flat blocks and reused buffers instead of
@@ -82,7 +83,7 @@ fn check_case(vcpus: &[u32], s: usize, seed: u64) -> Result<(), String> {
                 }
             }
 
-            // Decoding: apply_into == combine, bitwise, over a random
+            // Decoding: block == per-`Vec` apply, bitwise, over a random
             // survivable pattern (and the full set).
             let dead = rng.gen_range(0..m);
             let patterns: [Vec<usize>; 2] =
@@ -96,7 +97,9 @@ fn check_case(vcpus: &[u32], s: usize, seed: u64) -> Result<(), String> {
                     .iter()
                     .map(|&w| (w, arrivals.row(w).to_vec()))
                     .collect();
-                let allocating = plan.combine(&coded).map_err(|e| e.to_string())?;
+                let mut allocating = vec![0.0; dim];
+                plan.apply_into(|w| coded.get(&w).map(Vec::as_slice), &mut allocating)
+                    .map_err(|e| e.to_string())?;
                 let mut pooled = vec![f64::NAN; dim];
                 plan.apply_block_into(&arrivals, &mut pooled)
                     .map_err(|e| e.to_string())?;

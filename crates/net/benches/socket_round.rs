@@ -1,0 +1,70 @@
+//! Threaded vs socket round latency: the same collect round (4 workers,
+//! heterogeneity-aware code, one straggler budget) executed over
+//! in-process channels and over loopback TCP to real `hetgc-worker`
+//! processes. The gap is the data plane's true cost: framing,
+//! serialization, kernel round trips.
+//!
+//! The CI `bench-smoke` job runs this with `--test` on every PR.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetgc::{heter_aware, synthetic, LinearRegression, Model, RuntimeConfig};
+use hetgc_net::{ModelSpec, SocketCluster, SocketListener, WorkerFleet};
+use hetgc_runtime::ThreadedCluster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 16;
+const SAMPLES: usize = 240;
+const WORKERS: usize = 4;
+
+fn bench_round(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(17);
+    let data = Arc::new(synthetic::linear_regression(SAMPLES, DIM, 0.01, &mut rng));
+    let model = Arc::new(LinearRegression::new(DIM));
+    let code = heter_aware(&[1.0; WORKERS], WORKERS, 1, &mut rng).unwrap();
+    let config = RuntimeConfig::nominal(WORKERS);
+    let params = vec![0.1; model.num_params()];
+
+    let mut group = c.benchmark_group("socket_round");
+    group.sample_size(10);
+
+    let mut threaded =
+        ThreadedCluster::start(code.clone(), Arc::clone(&model), Arc::clone(&data), &config)
+            .unwrap();
+    let mut iteration = 0usize;
+    group.bench_function("threaded", |b| {
+        b.iter(|| {
+            iteration += 1;
+            let round = threaded.round(iteration, &params).unwrap();
+            black_box(round.results_used)
+        })
+    });
+    drop(threaded);
+
+    let listener = SocketListener::bind().unwrap();
+    let addr = listener.addr().to_string();
+    let _fleet = WorkerFleet::spawn(env!("CARGO_BIN_EXE_hetgc-worker"), &addr, WORKERS).unwrap();
+    let mut socket = SocketCluster::start(
+        listener,
+        code,
+        Arc::clone(&model),
+        ModelSpec::Linear { dim: DIM as u32 },
+        Arc::clone(&data),
+        &config,
+    )
+    .unwrap();
+    let mut iteration = 0usize;
+    group.bench_function("socket", |b| {
+        b.iter(|| {
+            iteration += 1;
+            let round = socket.round(iteration, &params).unwrap();
+            black_box(round.results_used)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_round);
+criterion_main!(benches);

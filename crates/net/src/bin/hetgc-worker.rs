@@ -1,0 +1,22 @@
+//! Standalone socket worker: `hetgc-worker <master-addr>`.
+//!
+//! Connects to a `SocketCluster` master, handshakes, and serves coded
+//! gradient rounds until told to shut down. One process per coding-matrix
+//! row; the master assigns the row at accept time.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(addr) = args.next() else {
+        eprintln!("usage: hetgc-worker <master-addr>");
+        return ExitCode::FAILURE;
+    };
+    match hetgc_net::run_worker(addr.as_str()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hetgc-worker: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

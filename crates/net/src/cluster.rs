@@ -1,0 +1,734 @@
+//! The socket master: [`SocketCluster`] is `ThreadedCluster`'s shape —
+//! dispatch / collect / decode-or-escalate / recode — executed over real
+//! TCP connections to `hetgc-worker` processes instead of channels to
+//! threads.
+//!
+//! One reader thread per worker link reassembles chunked gradient frames
+//! and forwards completed replies into a single crossbeam channel, so the
+//! master's collect loop is line-for-line the threaded one: a
+//! `recv_timeout` race between arrivals and the escalation deadline, with
+//! stale-round replies demoted to late-timing telemetry. The differences
+//! are exactly the ones a real network forces: a dead peer is detected
+//! (broken write / EOF) rather than impossible, a round's traffic is
+//! metered in real bytes, and re-coding talks to the *surviving*
+//! connections instead of respawning threads.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hetgc_cluster::PartitionAssignment;
+use hetgc_coding::{CodingMatrix, DecodePlan, EscalatingCodec, GradientCodec};
+use hetgc_ml::{Dataset, Model};
+use hetgc_runtime::{build_codec, RuntimeConfig};
+
+use crate::conn::Connection;
+use crate::error::NetError;
+use crate::frame::{Frame, VERSION};
+use crate::spec::{BehaviorSpec, DatasetSpec, Handshake, ModelSpec};
+
+/// Default gradient chunk granularity: 8192 `f64`s = 64 KiB of payload
+/// per [`Frame::GradientChunk`] — large enough to amortize framing,
+/// small enough that transfer overlaps the worker's ongoing serialization
+/// and no frame approaches the protocol cap.
+pub const DEFAULT_CHUNK_LEN: usize = 8192;
+
+/// How long [`SocketCluster::start`] waits for all workers to connect.
+const ACCEPT_DEADLINE: Duration = Duration::from_secs(30);
+
+/// One completed collect round of a [`SocketCluster`] — the threaded
+/// `ClusterRound` plus real network observations.
+#[derive(Debug, Clone)]
+pub struct SocketRound {
+    /// The decoded aggregated gradient `Σ_w a_w · g̃_w`, un-normalized.
+    pub gradient: Vec<f64>,
+    /// Decode residual (0.0 exact, positive when escalation rescued it).
+    pub residual: f64,
+    /// How many worker results carried decode weight.
+    pub results_used: usize,
+    /// Wall-clock duration of the round (dispatch → decoded gradient).
+    pub elapsed: Duration,
+    /// Per-worker (logical row) compute seconds reported this round.
+    pub busy: Vec<f64>,
+    /// Per-worker compute seconds of late (previous-round) replies,
+    /// reported exactly once — same contract as the threaded cluster.
+    pub late_busy: Vec<f64>,
+    /// Per-worker arrival offset in seconds from the dispatch — a *real*
+    /// master-side observation (the threaded runtime can only approximate
+    /// arrival by compute end). `0.0` for workers that never replied.
+    pub arrivals: Vec<f64>,
+    /// Bytes of reassembled coded-gradient payload this round consumed.
+    pub alloc_bytes: u64,
+    /// Decode-session buffer-pool hits this round.
+    pub pool_hits: u64,
+    /// Real bytes written to worker sockets during this round.
+    pub bytes_sent: u64,
+    /// Real bytes read from worker sockets during this round.
+    pub bytes_received: u64,
+}
+
+/// A completed worker reply, reassembled by a reader thread.
+#[derive(Debug)]
+struct Reply {
+    worker: usize,
+    seq: u64,
+    coded: Vec<f64>,
+    compute_seconds: f64,
+    /// When the final frame of the reply hit the master.
+    arrived: Instant,
+}
+
+/// A bound-but-not-yet-accepting master endpoint: bind first, learn the
+/// port, hand the address to the worker processes, then accept.
+#[derive(Debug)]
+pub struct SocketListener {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl SocketListener {
+    /// Binds an ephemeral loopback port.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind() -> Result<Self, NetError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        Ok(SocketListener { listener, addr })
+    }
+
+    /// The address workers should connect to (`hetgc-worker <addr>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+/// A running socket worker pool: the master ends of `m` TCP links, one
+/// reader thread per link, and the same escalation-wrapped decode state
+/// the threaded cluster keeps. Built by [`SocketCluster::start`] after
+/// the worker processes have been pointed at a [`SocketListener`].
+///
+/// Logical coding-matrix rows and physical connections start out
+/// identical; [`SocketCluster::recode`] may shrink the logical side to
+/// the surviving connections, with `row_of` carrying the mapping.
+#[derive(Debug)]
+pub struct SocketCluster<M> {
+    codec: EscalatingCodec,
+    model: Arc<M>,
+    data: Arc<Dataset>,
+    config: RuntimeConfig,
+    timeout: Option<Duration>,
+    /// Writer side of each physical link, in accept order.
+    conns: Vec<Connection>,
+    /// Liveness per physical link — cleared by its reader thread on
+    /// EOF/error, or by the master on a failed write.
+    alive: Vec<Arc<AtomicBool>>,
+    /// Logical row → physical connection index (identity at start).
+    row_of: Vec<usize>,
+    reply_rx: Receiver<Reply>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    session: hetgc_coding::CodecSession,
+    /// Per-logical-row arrival slots, reused round over round.
+    received: Vec<Option<Vec<f64>>>,
+    inflight: Option<(u64, Instant)>,
+    compute_seconds: Vec<f64>,
+    late_compute_seconds: Vec<f64>,
+    arrival_seconds: Vec<f64>,
+    round_seq: u64,
+    chunk_len: usize,
+    /// Aggregate real traffic across every link (writers + readers).
+    sent_total: Arc<AtomicU64>,
+    received_total: Arc<AtomicU64>,
+    /// Traffic totals snapshotted at the last dispatch, for per-round
+    /// deltas.
+    bytes_mark: (u64, u64),
+}
+
+impl<M> SocketCluster<M>
+where
+    M: Model + Send + Sync + 'static,
+{
+    /// Accepts `code.workers()` worker connections on `listener`,
+    /// handshakes each (shipping `spec`, the dataset, the behaviour
+    /// schedule and its codec row), and spawns one reader thread per
+    /// link. Workers are assigned logical rows in accept order.
+    ///
+    /// `model` must be the model `spec` describes — the master uses it
+    /// for decode sizing, the workers rebuild their own from the spec.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] on codec/partitioning/spec problems,
+    /// [`NetError::Handshake`] when workers fail to connect (30 s accept
+    /// deadline) or speak a different protocol version.
+    pub fn start(
+        listener: SocketListener,
+        code: CodingMatrix,
+        model: Arc<M>,
+        spec: ModelSpec,
+        data: Arc<Dataset>,
+        config: &RuntimeConfig,
+    ) -> Result<Self, NetError> {
+        Self::start_with(listener, code, model, spec, data, config, DEFAULT_CHUNK_LEN)
+    }
+
+    /// [`SocketCluster::start`] with an explicit gradient chunk length
+    /// (in `f64`s per [`Frame::GradientChunk`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`SocketCluster::start`].
+    pub fn start_with(
+        listener: SocketListener,
+        code: CodingMatrix,
+        model: Arc<M>,
+        spec: ModelSpec,
+        data: Arc<Dataset>,
+        config: &RuntimeConfig,
+        chunk_len: usize,
+    ) -> Result<Self, NetError> {
+        let codec = build_codec(code, config)?;
+        if spec.build().num_params() != model.num_params() {
+            return Err(NetError::InvalidConfig {
+                reason: "model spec does not match the master's model".into(),
+            });
+        }
+        let m = codec.workers();
+        let chunk_len = chunk_len.max(1);
+        let assignment = even_assignment(data.len(), codec.partitions())?;
+        let dataset_spec = DatasetSpec::from_dataset(&data);
+        let sent_total = Arc::new(AtomicU64::new(0));
+        let received_total = Arc::new(AtomicU64::new(0));
+        let (reply_tx, reply_rx) = unbounded::<Reply>();
+
+        let mut conns = Vec::with_capacity(m);
+        let mut alive = Vec::with_capacity(m);
+        let mut handles = Vec::with_capacity(m);
+        listener.listener.set_nonblocking(true)?;
+        let accept_started = Instant::now();
+        for row in 0..m {
+            let stream = accept_one(&listener.listener, accept_started)?;
+            let mut conn = Connection::with_counters(
+                stream,
+                Arc::clone(&sent_total),
+                Arc::clone(&received_total),
+            );
+            match conn.recv_deadline(Some(
+                ACCEPT_DEADLINE.saturating_sub(accept_started.elapsed()),
+            )) {
+                Ok(Frame::Hello { version }) if version == VERSION => {}
+                Ok(Frame::Hello { version }) => {
+                    return Err(NetError::Handshake(format!(
+                        "worker speaks protocol v{version}, master v{VERSION}"
+                    )))
+                }
+                Ok(other) => {
+                    return Err(NetError::Handshake(format!(
+                        "expected hello, got {other:?}"
+                    )))
+                }
+                Err(e) => return Err(NetError::Handshake(format!("hello not received: {e}"))),
+            }
+            let (ranges, coefficients) = row_assignment(&codec, &assignment, row)?;
+            conn.send(&Frame::Handshake(Handshake {
+                worker: row as u32,
+                num_params: model.num_params() as u32,
+                chunk_len: chunk_len as u32,
+                ranges,
+                coefficients,
+                behavior: BehaviorSpec::from(&config.behavior_of(row)),
+                model: spec,
+                dataset: dataset_spec.clone(),
+            }))?;
+            let live = Arc::new(AtomicBool::new(true));
+            let reader = Connection::with_counters(
+                conn.stream().try_clone()?,
+                Arc::default(), // readers never send
+                Arc::clone(&received_total),
+            );
+            handles.push(spawn_reader(
+                reader,
+                model.num_params(),
+                reply_tx.clone(),
+                Arc::clone(&live),
+            ));
+            alive.push(live);
+            conns.push(conn);
+        }
+        drop(reply_tx); // master keeps only the receiver
+        let session = codec.session();
+        Ok(SocketCluster {
+            model,
+            data,
+            config: config.clone(),
+            timeout: config.effective_timeout(),
+            conns,
+            alive,
+            row_of: (0..m).collect(),
+            reply_rx,
+            handles,
+            session,
+            received: vec![None; m],
+            inflight: None,
+            compute_seconds: vec![0.0; m],
+            late_compute_seconds: vec![0.0; m],
+            arrival_seconds: vec![0.0; m],
+            round_seq: 0,
+            chunk_len,
+            sent_total,
+            received_total,
+            bytes_mark: (0, 0),
+            codec,
+        })
+    }
+
+    /// Number of (logical) workers in the current code.
+    pub fn workers(&self) -> usize {
+        self.codec.workers()
+    }
+
+    /// Number of data partitions.
+    pub fn partitions(&self) -> usize {
+        self.codec.partitions()
+    }
+
+    /// The escalation-wrapped codec the master decodes with.
+    pub fn codec(&self) -> &EscalatingCodec {
+        &self.codec
+    }
+
+    /// The model the workers compute gradients of.
+    pub fn model(&self) -> &Arc<M> {
+        &self.model
+    }
+
+    /// The training data.
+    pub fn data(&self) -> &Arc<Dataset> {
+        &self.data
+    }
+
+    /// Replaces the round deadline in place (learned-deadline hook).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = Some(timeout);
+    }
+
+    /// The gradient chunk granularity the workers were handshaken with
+    /// (`f64`s per [`Frame::GradientChunk`]).
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
+    /// Logical rows whose physical connection is still live.
+    pub fn live_rows(&self) -> Vec<usize> {
+        (0..self.codec.workers())
+            .filter(|&j| self.alive[self.row_of[j]].load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total real bytes written to worker sockets since start.
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent_total.load(Ordering::Relaxed)
+    }
+
+    /// Total real bytes read from worker sockets since start.
+    pub fn bytes_received(&self) -> u64 {
+        self.received_total.load(Ordering::Relaxed)
+    }
+
+    /// Runs one collect round: broadcast, gather, decode or escalate.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SocketCluster::dispatch`] and [`SocketCluster::collect`].
+    pub fn round(&mut self, iteration: usize, params: &[f64]) -> Result<SocketRound, NetError> {
+        self.dispatch(params)?;
+        self.collect(iteration)
+    }
+
+    /// Broadcasts `params` to every live worker and returns immediately —
+    /// the first half of the split round cycle, encoded once and fanned
+    /// out byte-identically to each link.
+    ///
+    /// Unlike the threaded dispatch, a failed send is **not** fatal: a
+    /// real network must survive peer loss, so the link is marked dead
+    /// (its worker simply never replies and the escalation ladder absorbs
+    /// it) and the round proceeds. Only a fully dead fleet errors.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::InvalidConfig`] when a round is already in flight.
+    /// * [`NetError::WorkerLost`] when no live connection remains.
+    pub fn dispatch(&mut self, params: &[f64]) -> Result<(), NetError> {
+        if self.inflight.is_some() {
+            return Err(NetError::InvalidConfig {
+                reason: "dispatch while a round is in flight (collect it first)".into(),
+            });
+        }
+        self.round_seq += 1;
+        let seq = self.round_seq;
+        let encoded = Frame::Round {
+            seq,
+            params: params.to_vec(),
+        }
+        .encode();
+        self.bytes_mark = (
+            self.sent_total.load(Ordering::Relaxed),
+            self.received_total.load(Ordering::Relaxed),
+        );
+        let mut live = 0usize;
+        let mut first_dead = 0usize;
+        for j in 0..self.codec.workers() {
+            let c = self.row_of[j];
+            if !self.alive[c].load(Ordering::Relaxed) {
+                first_dead = c;
+                continue;
+            }
+            match self.conns[c].send_encoded(&encoded) {
+                Ok(()) => live += 1,
+                Err(_) => {
+                    // Broken pipe: the peer is gone. Demote the link and
+                    // let the escalation ladder handle the missing reply.
+                    self.alive[c].store(false, Ordering::Relaxed);
+                    first_dead = c;
+                }
+            }
+        }
+        if live == 0 {
+            return Err(NetError::WorkerLost { worker: first_dead });
+        }
+        self.inflight = Some((seq, Instant::now()));
+        Ok(())
+    }
+
+    /// Collects the round started by the last [`SocketCluster::dispatch`]
+    /// — the threaded collect loop verbatim, fed by the reader threads'
+    /// shared reply channel. The escalation deadline runs from the
+    /// dispatch; stale replies are demoted to late-timing telemetry; at
+    /// the deadline the queue is drained (an exact decode may already be
+    /// waiting) before the survivor set goes to the escalation ladder.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::InvalidConfig`] when no round is in flight.
+    /// * [`NetError::Undecodable`] when the round cannot decode within
+    ///   the deadline and the ladder declines.
+    pub fn collect(&mut self, iteration: usize) -> Result<SocketRound, NetError> {
+        let (tag, started) = self
+            .inflight
+            .take()
+            .ok_or_else(|| NetError::InvalidConfig {
+                reason: "collect without a dispatched round".into(),
+            })?;
+
+        self.session.reset();
+        let pool_hits_before = self.session.pool().hits();
+        self.received.iter_mut().for_each(|slot| *slot = None);
+        self.compute_seconds.iter_mut().for_each(|c| *c = 0.0);
+        self.arrival_seconds.iter_mut().for_each(|a| *a = 0.0);
+        let mut fallback: Option<DecodePlan> = None;
+        loop {
+            let recv_result = match self.timeout {
+                Some(t) => match t.checked_sub(started.elapsed()) {
+                    Some(remaining) => self.reply_rx.recv_timeout(remaining).map_err(|_| ()),
+                    None => Err(()), // deadline already passed
+                },
+                None => self.reply_rx.recv().map_err(|_| ()),
+            };
+            let reply = match recv_result {
+                Ok(reply) => reply,
+                Err(()) => {
+                    // Deadline reached (or every reader thread exited)
+                    // without an exact decode: drain the queue first,
+                    // then consult the escalation ladder.
+                    let mut drained = false;
+                    while let Ok(reply) = self.reply_rx.try_recv() {
+                        if self.absorb(tag, started, reply)? {
+                            drained = true;
+                            break;
+                        }
+                    }
+                    if drained {
+                        break;
+                    }
+                    let survivors: Vec<usize> = self
+                        .received
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(w, slot)| slot.is_some().then_some(w))
+                        .collect();
+                    if let Some(plan) = self.codec.fallback_plan(&survivors) {
+                        fallback = Some(plan);
+                        break;
+                    }
+                    return Err(NetError::Undecodable {
+                        iteration,
+                        received: survivors.len(),
+                    });
+                }
+            };
+            if self.absorb(tag, started, reply)? {
+                break;
+            }
+        }
+        let plan = match fallback.as_ref() {
+            Some(plan) => plan,
+            None => self
+                .session
+                .decoded_plan()
+                .expect("collect loop broke on a decode"),
+        };
+
+        let mut gradient = vec![0.0; self.model.num_params()];
+        plan.apply_into(|w| self.received[w].as_deref(), &mut gradient)?;
+        let used = plan.len();
+        let residual = plan.residual();
+        let alloc_bytes = self
+            .received
+            .iter()
+            .flatten()
+            .map(|coded| std::mem::size_of_val(&coded[..]) as u64)
+            .sum();
+        let mut late_busy = vec![0.0; self.late_compute_seconds.len()];
+        for (w, late) in self.late_compute_seconds.iter_mut().enumerate() {
+            if self.compute_seconds[w] == 0.0 {
+                late_busy[w] = *late;
+            }
+            *late = 0.0;
+        }
+        Ok(SocketRound {
+            gradient,
+            residual,
+            results_used: used,
+            elapsed: started.elapsed(),
+            busy: self.compute_seconds.clone(),
+            late_busy,
+            arrivals: self.arrival_seconds.clone(),
+            alloc_bytes,
+            pool_hits: self.session.pool().hits() - pool_hits_before,
+            bytes_sent: self.sent_total.load(Ordering::Relaxed) - self.bytes_mark.0,
+            bytes_received: self.received_total.load(Ordering::Relaxed) - self.bytes_mark.1,
+        })
+    }
+
+    /// Feeds one reply into the round state; `Ok(true)` when it completed
+    /// an exact decode. Stale-round replies become late-timing telemetry
+    /// (out-of-range rows from a pre-recode regime are dropped).
+    fn absorb(&mut self, tag: u64, started: Instant, reply: Reply) -> Result<bool, NetError> {
+        let worker = reply.worker;
+        if reply.seq != tag {
+            if let Some(slot) = self.late_compute_seconds.get_mut(worker) {
+                *slot = reply.compute_seconds;
+            }
+            return Ok(false);
+        }
+        if worker >= self.received.len() {
+            return Ok(false);
+        }
+        self.compute_seconds[worker] = reply.compute_seconds;
+        self.arrival_seconds[worker] = reply
+            .arrived
+            .saturating_duration_since(started)
+            .as_secs_f64();
+        self.received[worker] = Some(reply.coded);
+        Ok(self.session.push_arrival(worker)?)
+    }
+
+    /// Hot-swaps a rebuilt coding strategy onto the **surviving**
+    /// connections: the new matrix (which must have exactly one row per
+    /// live link) is compiled into the configured backend + escalation
+    /// policy, and each survivor receives a [`Frame::Recode`] carrying
+    /// its new row, sample ranges and coefficients. TCP ordering makes an
+    /// acknowledgement unnecessary: a worker applies the recode before
+    /// any round dispatched after it, and replies to older rounds are
+    /// already filtered by sequence number.
+    ///
+    /// Unlike the threaded hot-swap, nothing is respawned — the processes
+    /// keep their dataset and behaviour; only row/shard/coefficients
+    /// change. Behaviour schedules therefore stay pinned to the physical
+    /// process, not the logical row.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::InvalidConfig`] when the matrix does not match the
+    /// live-connection count or cannot be compiled/partitioned — the old
+    /// regime keeps running in that case. A send failure to a survivor
+    /// surfaces as [`NetError::WorkerLost`].
+    pub fn recode(&mut self, code: CodingMatrix) -> Result<(), NetError> {
+        if self.inflight.is_some() {
+            return Err(NetError::InvalidConfig {
+                reason: "recode while a round is in flight (collect it first)".into(),
+            });
+        }
+        let live: Vec<usize> = (0..self.alive.len())
+            .filter(|&c| self.alive[c].load(Ordering::Relaxed))
+            .collect();
+        if code.workers() != live.len() {
+            return Err(NetError::InvalidConfig {
+                reason: format!(
+                    "recode matrix has {} rows but {} live connections",
+                    code.workers(),
+                    live.len()
+                ),
+            });
+        }
+        let codec = build_codec(code, &self.config)?;
+        let assignment = even_assignment(self.data.len(), codec.partitions())?;
+        for (j, &c) in live.iter().enumerate() {
+            let (ranges, coefficients) = row_assignment(&codec, &assignment, j)?;
+            let frame = Frame::Recode {
+                row: j as u32,
+                ranges,
+                coefficients,
+            };
+            if self.conns[c].send(&frame).is_err() {
+                self.alive[c].store(false, Ordering::Relaxed);
+                return Err(NetError::WorkerLost { worker: c });
+            }
+        }
+        let m = codec.workers();
+        self.session = codec.session();
+        self.received = vec![None; m];
+        self.compute_seconds = vec![0.0; m];
+        self.late_compute_seconds = vec![0.0; m];
+        self.arrival_seconds = vec![0.0; m];
+        self.row_of = live;
+        self.codec = codec;
+        Ok(())
+    }
+
+    /// Shuts the worker processes down (best-effort `Shutdown` frames),
+    /// closes the links and joins the reader threads. Equivalent to
+    /// dropping the cluster, but explicit.
+    pub fn shutdown(self) {}
+}
+
+impl<M> Drop for SocketCluster<M> {
+    fn drop(&mut self) {
+        let goodbye = Frame::Shutdown.encode();
+        for conn in &mut self.conns {
+            let _ = conn.send_encoded(&goodbye);
+            // Closing our end unblocks the reader thread on the cloned fd.
+            let _ = conn.stream().shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// `PartitionAssignment::even` with the runtime's error shape.
+fn even_assignment(samples: usize, partitions: usize) -> Result<PartitionAssignment, NetError> {
+    PartitionAssignment::even(samples, partitions).map_err(|e| NetError::InvalidConfig {
+        reason: format!("partitioning failed: {e}"),
+    })
+}
+
+/// A row's marching orders in wire form: sample ranges (from the codec's
+/// precompiled CSR support) and the aligned coefficients.
+type RowAssignment = (Vec<(u32, u32)>, Vec<f64>);
+
+fn row_assignment(
+    codec: &EscalatingCodec,
+    assignment: &PartitionAssignment,
+    row: usize,
+) -> Result<RowAssignment, NetError> {
+    let compiled = codec.base().as_compiled();
+    let mut ranges = Vec::new();
+    for &p in compiled.support_of(row) {
+        let (lo, hi) = assignment.range(p).map_err(|e| NetError::InvalidConfig {
+            reason: format!("partition {p} outside the assignment: {e}"),
+        })?;
+        ranges.push((lo as u32, hi as u32));
+    }
+    Ok((ranges, compiled.coefficients_of(row).to_vec()))
+}
+
+/// Polls a nonblocking accept until a connection arrives or the accept
+/// deadline (measured from `started`) passes.
+fn accept_one(listener: &TcpListener, started: Instant) -> Result<TcpStream, NetError> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => return Ok(stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if started.elapsed() > ACCEPT_DEADLINE {
+                    return Err(NetError::Handshake(
+                        "timed out waiting for workers to connect".into(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+}
+
+/// Spawns the reader thread for one link: reassembles
+/// [`Frame::GradientChunk`]s into a gradient buffer and forwards each
+/// [`Frame::RoundDone`] as a completed [`Reply`]. Exits (marking the link
+/// dead) on EOF, transport error or protocol violation.
+fn spawn_reader(
+    mut conn: Connection,
+    num_params: usize,
+    replies: Sender<Reply>,
+    alive: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        // The in-progress reassembly: (seq, row, buffer).
+        let mut pending: Option<(u64, u32, Vec<f64>)> = None;
+        // EOF, broken link or garbage ends the loop: the peer is gone.
+        while let Ok(frame) = conn.recv() {
+            match frame {
+                Frame::GradientChunk {
+                    seq,
+                    worker,
+                    offset,
+                    total,
+                    data,
+                } => {
+                    if total as usize != num_params {
+                        continue; // wrong regime/corrupt: drop
+                    }
+                    let resumes = matches!(&pending, Some((s, w, _)) if *s == seq && *w == worker);
+                    if !resumes {
+                        pending = Some((seq, worker, vec![0.0; num_params]));
+                    }
+                    let (_, _, buf) = pending.as_mut().expect("set above");
+                    let offset = offset as usize;
+                    if offset + data.len() <= buf.len() {
+                        buf[offset..offset + data.len()].copy_from_slice(&data);
+                    }
+                }
+                Frame::RoundDone {
+                    seq,
+                    worker,
+                    compute_seconds,
+                } => {
+                    let coded = match pending.take() {
+                        Some((s, w, buf)) if s == seq && w == worker => buf,
+                        other => {
+                            pending = other; // chunks belong elsewhere: keep them
+                            continue; // no payload for this round: drop the reply
+                        }
+                    };
+                    let reply = Reply {
+                        worker: worker as usize,
+                        seq,
+                        coded,
+                        compute_seconds,
+                        arrived: Instant::now(),
+                    };
+                    if replies.send(reply).is_err() {
+                        break; // master gone
+                    }
+                }
+                Frame::Shutdown => break,
+                _ => {} // masters ignore control frames meant for workers
+            }
+        }
+        alive.store(false, Ordering::Relaxed);
+    })
+}

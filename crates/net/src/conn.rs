@@ -1,0 +1,186 @@
+//! Blocking framed transport over `std::net::TcpStream` — no external
+//! dependencies, no async runtime.
+//!
+//! A [`Connection`] owns a persistent accumulation buffer, so a read
+//! that returns mid-frame (short read, timeout, nonblocking probe) never
+//! corrupts framing: the partial bytes stay buffered and the next
+//! receive resumes exactly where the stream left off. Byte counters are
+//! shared `AtomicU64`s so a master can aggregate real traffic across
+//! every worker connection (and its reader threads) into per-round
+//! `bytes_sent`/`bytes_received` telemetry.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::NetError;
+use crate::frame::Frame;
+
+/// A framed, counted, blocking connection.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    /// Bytes received but not yet consumed as complete frames.
+    pending: Vec<u8>,
+    sent: Arc<AtomicU64>,
+    received: Arc<AtomicU64>,
+}
+
+impl Connection {
+    /// Wraps an accepted/connected stream with fresh byte counters.
+    pub fn new(stream: TcpStream) -> Self {
+        Self::with_counters(stream, Arc::default(), Arc::default())
+    }
+
+    /// Wraps a stream, accounting traffic into the given shared counters
+    /// — how a master aggregates all worker links into one pair of
+    /// totals.
+    pub fn with_counters(
+        stream: TcpStream,
+        sent: Arc<AtomicU64>,
+        received: Arc<AtomicU64>,
+    ) -> Self {
+        // Frames are already batched writes; Nagle only adds latency to
+        // the round trip. Best-effort: some platforms may refuse.
+        let _ = stream.set_nodelay(true);
+        Connection {
+            stream,
+            pending: Vec::new(),
+            sent,
+            received,
+        }
+    }
+
+    /// Connects to `addr` with fresh counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        Ok(Self::new(TcpStream::connect(addr)?))
+    }
+
+    /// The underlying stream (for `try_clone`, shutdown, timeouts).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Total bytes written so far (into the shared counter).
+    pub fn bytes_sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes read so far (into the shared counter).
+    pub fn bytes_received(&self) -> u64 {
+        self.received.load(Ordering::Relaxed)
+    }
+
+    /// Encodes and writes one frame.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures (a dead peer surfaces here as
+    /// [`NetError::Io`]).
+    pub fn send(&mut self, frame: &Frame) -> Result<(), NetError> {
+        self.send_encoded(&frame.encode())
+    }
+
+    /// Writes pre-encoded frame bytes — lets a master encode a broadcast
+    /// once and fan the same bytes out to every worker.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Connection::send`].
+    pub fn send_encoded(&mut self, bytes: &[u8]) -> Result<(), NetError> {
+        self.stream.write_all(bytes)?;
+        self.sent.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Receives one frame, blocking until it is complete.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Closed`] on EOF, [`NetError::Wire`] on protocol
+    /// violations, [`NetError::Io`] on transport failures.
+    pub fn recv(&mut self) -> Result<Frame, NetError> {
+        self.recv_deadline(None)
+    }
+
+    /// Receives one frame, giving up [`NetError::Timeout`] once
+    /// `deadline` (a remaining duration from now) has passed. Partial
+    /// bytes read before the timeout stay buffered — the frame is
+    /// finished by a later receive, never corrupted.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Connection::recv`], plus [`NetError::Timeout`].
+    pub fn recv_deadline(&mut self, deadline: Option<Duration>) -> Result<Frame, NetError> {
+        let started = Instant::now();
+        loop {
+            if let Some((frame, consumed)) = Frame::decode_prefix(&self.pending)? {
+                self.pending.drain(..consumed);
+                return Ok(frame);
+            }
+            let remaining = match deadline {
+                Some(d) => match d.checked_sub(started.elapsed()) {
+                    Some(r) if !r.is_zero() => Some(r),
+                    _ => return Err(NetError::Timeout),
+                },
+                None => None,
+            };
+            self.stream.set_read_timeout(remaining)?;
+            let mut buf = [0u8; 64 * 1024];
+            match self.stream.read(&mut buf) {
+                Ok(0) => return Err(NetError::Closed),
+                Ok(n) => {
+                    self.received.fetch_add(n as u64, Ordering::Relaxed);
+                    self.pending.extend_from_slice(&buf[..n]);
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(NetError::Timeout)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    /// Nonblocking probe: returns a complete frame if one is available
+    /// (buffered or readable right now), `None` otherwise. Used by the
+    /// worker's fast-forward drain — catch up to the newest round instead
+    /// of replaying rounds the master already decoded without it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Connection::recv`]; `None` is *not* an error.
+    pub fn try_recv(&mut self) -> Result<Option<Frame>, NetError> {
+        if let Some((frame, consumed)) = Frame::decode_prefix(&self.pending)? {
+            self.pending.drain(..consumed);
+            return Ok(Some(frame));
+        }
+        self.stream.set_nonblocking(true)?;
+        let result = loop {
+            let mut buf = [0u8; 64 * 1024];
+            match self.stream.read(&mut buf) {
+                Ok(0) => break Err(NetError::Closed),
+                Ok(n) => {
+                    self.received.fetch_add(n as u64, Ordering::Relaxed);
+                    self.pending.extend_from_slice(&buf[..n]);
+                    if let Some((frame, consumed)) = Frame::decode_prefix(&self.pending)? {
+                        self.pending.drain(..consumed);
+                        break Ok(Some(frame));
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break Ok(None),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => break Err(NetError::Io(e)),
+            }
+        };
+        // Restore blocking mode even on error paths.
+        self.stream.set_nonblocking(false)?;
+        result
+    }
+}

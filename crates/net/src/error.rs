@@ -1,0 +1,177 @@
+//! Error taxonomy of the TCP data plane.
+//!
+//! Two layers: [`WireError`] is the pure protocol layer (a malformed byte
+//! sequence — no I/O involved), [`NetError`] wraps it together with
+//! transport failures and the master-side round outcomes that mirror
+//! `hetgc_runtime::RuntimeError`'s contract (`Undecodable`,
+//! `WorkerLost`), so `SocketCluster` rounds surface exactly the error
+//! shapes `ThreadedCluster` rounds do.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// A malformed frame. Decoding never panics and never allocates more
+/// than the declared (and bounded) frame length — every bad input maps
+/// to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the declared frame does.
+    Truncated,
+    /// The frame header declares a length above
+    /// [`crate::frame::MAX_FRAME_LEN`]; rejected *before* any allocation.
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// A `Hello` carried the wrong protocol magic (not a hetgc peer).
+    BadMagic {
+        /// The magic actually received.
+        got: u32,
+    },
+    /// The frame tag byte names no known frame type.
+    UnknownTag {
+        /// The offending tag.
+        tag: u8,
+    },
+    /// The payload contradicts itself (inner length prefixes overrun the
+    /// frame, trailing garbage, an impossible enum discriminant, …).
+    Corrupt {
+        /// What was being decoded when the contradiction surfaced.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::Oversized { declared } => {
+                write!(f, "declared frame length {declared} exceeds the cap")
+            }
+            WireError::BadMagic { got } => write!(f, "bad protocol magic {got:#010x}"),
+            WireError::UnknownTag { tag } => write!(f, "unknown frame tag {tag:#04x}"),
+            WireError::Corrupt { what } => write!(f, "corrupt frame payload: {what}"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+/// Errors of the socket master, worker loop, and transport.
+#[derive(Debug)]
+pub enum NetError {
+    /// A peer sent a malformed frame.
+    Wire(WireError),
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// A blocking receive hit its deadline without a complete frame.
+    Timeout,
+    /// The peer closed the connection.
+    Closed,
+    /// The handshake phase failed (wrong first frame, accept timeout, …).
+    Handshake(String),
+    /// Configuration inconsistent with the coding matrix, dataset or
+    /// cluster membership — mirrors `RuntimeError::InvalidConfig`.
+    InvalidConfig {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A round could not be decoded within the deadline and the
+    /// escalation ladder declined — mirrors `RuntimeError::Undecodable`.
+    Undecodable {
+        /// The 1-based round that failed.
+        iteration: usize,
+        /// How many results arrived before the master gave up.
+        received: usize,
+    },
+    /// Every worker connection is gone.
+    WorkerLost {
+        /// A worker whose connection closed (the first observed).
+        worker: usize,
+    },
+    /// The coding layer failed (propagated message).
+    Coding {
+        /// Underlying message.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            NetError::Io(e) => write!(f, "socket error: {e}"),
+            NetError::Timeout => write!(f, "receive deadline passed"),
+            NetError::Closed => write!(f, "connection closed by peer"),
+            NetError::Handshake(reason) => write!(f, "handshake failed: {reason}"),
+            NetError::InvalidConfig { reason } => write!(f, "invalid net config: {reason}"),
+            NetError::Undecodable {
+                iteration,
+                received,
+            } => write!(
+                f,
+                "round {iteration} undecodable after {received} results (too many stragglers)"
+            ),
+            NetError::WorkerLost { worker } => write!(f, "worker {worker} connection lost"),
+            NetError::Coding { message } => write!(f, "coding failure: {message}"),
+        }
+    }
+}
+
+impl NetError {
+    /// Whether this error means the peer is simply gone (as opposed to a
+    /// protocol violation or a local failure).
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, NetError::Closed | NetError::Io(_))
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+impl From<hetgc_coding::CodingError> for NetError {
+    fn from(e: hetgc_coding::CodingError) -> Self {
+        NetError::Coding {
+            message: e.to_string(),
+        }
+    }
+}
+
+impl From<hetgc_runtime::RuntimeError> for NetError {
+    fn from(e: hetgc_runtime::RuntimeError) -> Self {
+        match e {
+            hetgc_runtime::RuntimeError::InvalidConfig { reason } => {
+                NetError::InvalidConfig { reason }
+            }
+            hetgc_runtime::RuntimeError::Undecodable {
+                iteration,
+                received,
+            } => NetError::Undecodable {
+                iteration,
+                received,
+            },
+            hetgc_runtime::RuntimeError::WorkerLost { worker } => NetError::WorkerLost { worker },
+            hetgc_runtime::RuntimeError::Coding { message } => NetError::Coding { message },
+        }
+    }
+}
+
+impl Error for NetError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetError::Wire(e) => Some(e),
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}

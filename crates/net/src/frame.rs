@@ -1,0 +1,540 @@
+//! The framed wire protocol: compact length-prefixed binary frames.
+//!
+//! Every frame is `[len: u32][tag: u8][payload: len bytes]`, all integers
+//! and floats little-endian. `len` counts the payload only (the tag byte
+//! is outside it) and is capped at [`MAX_FRAME_LEN`] — a reader rejects
+//! an oversized header *before* allocating anything, so a corrupt or
+//! hostile length prefix cannot balloon memory. Inner length prefixes
+//! (vector counts) are validated against the bytes actually remaining in
+//! the payload the same way.
+//!
+//! | frame           | tag  | payload |
+//! |-----------------|------|---------|
+//! | `Hello`         | 0x01 | magic `u32` (`0x48_47_43_31`, "HGC1"), version `u16` |
+//! | `Handshake`     | 0x02 | worker `u32`, num_params `u32`, chunk_len `u32`, ranges `vec<(u32,u32)>`, coefficients `vec<f64>`, behavior, model spec, dataset |
+//! | `Round`         | 0x03 | seq `u64`, params `vec<f64>` |
+//! | `GradientChunk` | 0x04 | seq `u64`, worker `u32`, offset `u32`, total `u32`, data `vec<f64>` |
+//! | `RoundDone`     | 0x05 | seq `u64`, worker `u32`, compute_seconds `f64` |
+//! | `Recode`        | 0x06 | row `u32`, ranges `vec<(u32,u32)>`, coefficients `vec<f64>` |
+//! | `Shutdown`      | 0x07 | *(empty)* |
+//!
+//! `vec<T>` is a `u32` element count followed by the elements. Optional
+//! values are a presence byte (0/1) followed by the value when present.
+
+use crate::error::WireError;
+use crate::spec::{BehaviorSpec, DatasetSpec, Handshake, ModelSpec, TargetsSpec};
+
+/// Protocol magic carried by [`Frame::Hello`]: `"HGC1"` as a big-endian
+/// byte string, stored little-endian like every other integer.
+pub const MAGIC: u32 = 0x4847_4331;
+
+/// Protocol version carried by [`Frame::Hello`]. Bump on any layout
+/// change; the master rejects mismatched workers at the handshake.
+pub const VERSION: u16 = 1;
+
+/// Hard cap on a frame's payload length (64 MiB). A header declaring
+/// more is [`WireError::Oversized`] — checked before any allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead preceding every payload: the `u32` length
+/// prefix plus the tag byte.
+pub const HEADER_LEN: usize = 5;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_HANDSHAKE: u8 = 0x02;
+const TAG_ROUND: u8 = 0x03;
+const TAG_GRADIENT_CHUNK: u8 = 0x04;
+const TAG_ROUND_DONE: u8 = 0x05;
+const TAG_RECODE: u8 = 0x06;
+const TAG_SHUTDOWN: u8 = 0x07;
+
+/// One protocol frame. See the module docs for the wire layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Worker → master, first frame on a fresh connection: identifies the
+    /// peer as a hetgc worker speaking this protocol version.
+    Hello {
+        /// Protocol version the worker speaks ([`VERSION`]).
+        version: u16,
+    },
+    /// Master → worker reply to `Hello`: the worker's complete marching
+    /// orders — logical row, shard assignment, codec row, behaviour,
+    /// model and training data.
+    Handshake(Handshake),
+    /// Master → workers: start collect round `seq` on these parameters.
+    Round {
+        /// Strictly increasing round sequence number (also what
+        /// fail-stop/throttle-step behaviours count).
+        seq: u64,
+        /// Current model parameters.
+        params: Vec<f64>,
+    },
+    /// Worker → master: one chunk of the round's coded gradient. Chunks
+    /// arrive in offset order on a TCP stream; splitting the payload
+    /// bounds frame size and lets the worker serialize chunk `i+1` while
+    /// chunk `i` is already in flight (transfer overlaps encode).
+    GradientChunk {
+        /// The round this chunk belongs to.
+        seq: u64,
+        /// The sender's current logical row.
+        worker: u32,
+        /// Starting coordinate of `data` within the gradient vector.
+        offset: u32,
+        /// Total gradient dimension (the master sizes its reassembly
+        /// buffer from the handshake; this is cross-checked).
+        total: u32,
+        /// The chunk's coordinates.
+        data: Vec<f64>,
+    },
+    /// Worker → master: the round's gradient is fully streamed.
+    RoundDone {
+        /// The completed round.
+        seq: u64,
+        /// The sender's current logical row.
+        worker: u32,
+        /// Effective compute duration (native gradient time stretched by
+        /// throttle emulation and injected delay), the worker-side
+        /// telemetry observation.
+        compute_seconds: f64,
+    },
+    /// Master → worker control frame: a live re-code. The worker becomes
+    /// logical row `row` of the rebuilt code and adopts the new shard
+    /// ranges and coefficients from the next `Round` on. Membership is
+    /// preserved — the connection, behaviour schedule and round sequence
+    /// all continue.
+    Recode {
+        /// The worker's new logical row.
+        row: u32,
+        /// New sample ranges, one per owned partition.
+        ranges: Vec<(u32, u32)>,
+        /// The non-zero entries of the new `b_row`, aligned with `ranges`.
+        coefficients: Vec<f64>,
+    },
+    /// Master → worker: terminate cleanly.
+    Shutdown,
+}
+
+impl Frame {
+    /// Encodes the frame as `[len][tag][payload]` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![0u8; HEADER_LEN]; // length + tag backfilled
+        match self {
+            Frame::Hello { version } => {
+                out[4] = TAG_HELLO;
+                put_u32(&mut out, MAGIC);
+                put_u16(&mut out, *version);
+            }
+            Frame::Handshake(h) => {
+                out[4] = TAG_HANDSHAKE;
+                put_handshake(&mut out, h);
+            }
+            Frame::Round { seq, params } => {
+                out[4] = TAG_ROUND;
+                put_u64(&mut out, *seq);
+                put_f64_vec(&mut out, params);
+            }
+            Frame::GradientChunk {
+                seq,
+                worker,
+                offset,
+                total,
+                data,
+            } => {
+                out[4] = TAG_GRADIENT_CHUNK;
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, *worker);
+                put_u32(&mut out, *offset);
+                put_u32(&mut out, *total);
+                put_f64_vec(&mut out, data);
+            }
+            Frame::RoundDone {
+                seq,
+                worker,
+                compute_seconds,
+            } => {
+                out[4] = TAG_ROUND_DONE;
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, *worker);
+                put_f64(&mut out, *compute_seconds);
+            }
+            Frame::Recode {
+                row,
+                ranges,
+                coefficients,
+            } => {
+                out[4] = TAG_RECODE;
+                put_u32(&mut out, *row);
+                put_range_vec(&mut out, ranges);
+                put_f64_vec(&mut out, coefficients);
+            }
+            Frame::Shutdown => out[4] = TAG_SHUTDOWN,
+        }
+        let len = (out.len() - HEADER_LEN) as u32;
+        debug_assert!(len <= MAX_FRAME_LEN, "encoder produced an oversized frame");
+        out[..4].copy_from_slice(&len.to_le_bytes());
+        out
+    }
+
+    /// Decodes one complete frame from the *front* of `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when `buf` ends before the declared frame
+    /// does; the other variants as documented on [`WireError`]. Trailing
+    /// bytes after the frame are fine (use [`Frame::decode_prefix`] to
+    /// learn how many were consumed).
+    pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        Self::decode_prefix(buf)?
+            .map(|(frame, _)| frame)
+            .ok_or(WireError::Truncated)
+    }
+
+    /// Streaming decode: tries to decode one frame from the front of
+    /// `buf`, returning `Ok(None)` when more bytes are needed (an
+    /// incomplete frame is not an error for a live stream — the
+    /// connection layer keeps reading) and `Ok(Some((frame, consumed)))`
+    /// on success.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Frame::decode`], except that truncation maps to
+    /// `Ok(None)`. An [`WireError::Oversized`] header is reported
+    /// immediately — waiting for more bytes could never make it valid.
+    pub fn decode_prefix(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+        if buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized {
+                declared: u64::from(len),
+            });
+        }
+        let tag = buf[4];
+        let end = HEADER_LEN + len as usize;
+        if buf.len() < end {
+            return Ok(None);
+        }
+        let mut r = Reader {
+            buf: &buf[HEADER_LEN..end],
+            pos: 0,
+        };
+        let frame = match tag {
+            TAG_HELLO => {
+                let magic = r.u32()?;
+                if magic != MAGIC {
+                    return Err(WireError::BadMagic { got: magic });
+                }
+                Frame::Hello { version: r.u16()? }
+            }
+            TAG_HANDSHAKE => Frame::Handshake(get_handshake(&mut r)?),
+            TAG_ROUND => Frame::Round {
+                seq: r.u64()?,
+                params: r.f64_vec()?,
+            },
+            TAG_GRADIENT_CHUNK => Frame::GradientChunk {
+                seq: r.u64()?,
+                worker: r.u32()?,
+                offset: r.u32()?,
+                total: r.u32()?,
+                data: r.f64_vec()?,
+            },
+            TAG_ROUND_DONE => Frame::RoundDone {
+                seq: r.u64()?,
+                worker: r.u32()?,
+                compute_seconds: r.f64()?,
+            },
+            TAG_RECODE => Frame::Recode {
+                row: r.u32()?,
+                ranges: r.range_vec()?,
+                coefficients: r.f64_vec()?,
+            },
+            TAG_SHUTDOWN => Frame::Shutdown,
+            tag => return Err(WireError::UnknownTag { tag }),
+        };
+        if r.pos != r.buf.len() {
+            return Err(WireError::Corrupt {
+                what: "trailing bytes after the frame payload",
+            });
+        }
+        Ok(Some((frame, end)))
+    }
+}
+
+// ------------------------------------------------------------ writing
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64_vec(out: &mut Vec<u8>, v: &[f64]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_f64(out, x);
+    }
+}
+
+fn put_u32_vec(out: &mut Vec<u8>, v: &[u32]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u32(out, x);
+    }
+}
+
+fn put_range_vec(out: &mut Vec<u8>, v: &[(u32, u32)]) {
+    put_u32(out, v.len() as u32);
+    for &(lo, hi) in v {
+        put_u32(out, lo);
+        put_u32(out, hi);
+    }
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            put_f64(out, x);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_handshake(out: &mut Vec<u8>, h: &Handshake) {
+    put_u32(out, h.worker);
+    put_u32(out, h.num_params);
+    put_u32(out, h.chunk_len);
+    put_range_vec(out, &h.ranges);
+    put_f64_vec(out, &h.coefficients);
+    // Behaviour.
+    put_u64(out, h.behavior.extra_delay_micros);
+    put_opt_f64(out, h.behavior.throttle);
+    match h.behavior.throttle_step {
+        Some((at, rate)) => {
+            out.push(1);
+            put_u64(out, at);
+            put_f64(out, rate);
+        }
+        None => out.push(0),
+    }
+    put_opt_u64(out, h.behavior.fail_from);
+    // Model.
+    match h.model {
+        ModelSpec::Linear { dim } => {
+            out.push(0);
+            put_u32(out, dim);
+        }
+        ModelSpec::Softmax { dim, classes } => {
+            out.push(1);
+            put_u32(out, dim);
+            put_u32(out, classes);
+        }
+    }
+    // Dataset.
+    put_u32(out, h.dataset.dim);
+    put_f64_vec(out, &h.dataset.x);
+    match &h.dataset.targets {
+        TargetsSpec::Regression(y) => {
+            out.push(0);
+            put_f64_vec(out, y);
+        }
+        TargetsSpec::Classes {
+            labels,
+            num_classes,
+        } => {
+            out.push(1);
+            put_u32_vec(out, labels);
+            put_u32(out, *num_classes);
+        }
+    }
+}
+
+// ------------------------------------------------------------ reading
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Corrupt {
+            what: "length overflow",
+        })?;
+        if end > self.buf.len() {
+            return Err(WireError::Corrupt {
+                what: "inner field overruns the frame payload",
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads an element count and validates it against the bytes actually
+    /// remaining (`elem_size` each) *before* allocating — a corrupt count
+    /// can never over-allocate.
+    fn count(&mut self, elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let need = n.checked_mul(elem_size).ok_or(WireError::Corrupt {
+            what: "element count overflow",
+        })?;
+        if need > self.buf.len() - self.pos {
+            return Err(WireError::Corrupt {
+                what: "element count exceeds the frame payload",
+            });
+        }
+        Ok(n)
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.count(8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+
+    fn u32_vec(&mut self) -> Result<Vec<u32>, WireError> {
+        let n = self.count(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.u32()?);
+        }
+        Ok(v)
+    }
+
+    fn range_vec(&mut self) -> Result<Vec<(u32, u32)>, WireError> {
+        let n = self.count(8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push((self.u32()?, self.u32()?));
+        }
+        Ok(v)
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            _ => Err(WireError::Corrupt {
+                what: "presence byte must be 0 or 1",
+            }),
+        }
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            _ => Err(WireError::Corrupt {
+                what: "presence byte must be 0 or 1",
+            }),
+        }
+    }
+}
+
+fn get_handshake(r: &mut Reader<'_>) -> Result<Handshake, WireError> {
+    let worker = r.u32()?;
+    let num_params = r.u32()?;
+    let chunk_len = r.u32()?;
+    let ranges = r.range_vec()?;
+    let coefficients = r.f64_vec()?;
+    let behavior = BehaviorSpec {
+        extra_delay_micros: r.u64()?,
+        throttle: r.opt_f64()?,
+        throttle_step: match r.u8()? {
+            0 => None,
+            1 => Some((r.u64()?, r.f64()?)),
+            _ => {
+                return Err(WireError::Corrupt {
+                    what: "presence byte must be 0 or 1",
+                })
+            }
+        },
+        fail_from: r.opt_u64()?,
+    };
+    let model = match r.u8()? {
+        0 => ModelSpec::Linear { dim: r.u32()? },
+        1 => ModelSpec::Softmax {
+            dim: r.u32()?,
+            classes: r.u32()?,
+        },
+        _ => {
+            return Err(WireError::Corrupt {
+                what: "unknown model discriminant",
+            })
+        }
+    };
+    let dim = r.u32()?;
+    let x = r.f64_vec()?;
+    let targets = match r.u8()? {
+        0 => TargetsSpec::Regression(r.f64_vec()?),
+        1 => TargetsSpec::Classes {
+            labels: r.u32_vec()?,
+            num_classes: r.u32()?,
+        },
+        _ => {
+            return Err(WireError::Corrupt {
+                what: "unknown targets discriminant",
+            })
+        }
+    };
+    Ok(Handshake {
+        worker,
+        num_params,
+        chunk_len,
+        ranges,
+        coefficients,
+        behavior,
+        model,
+        dataset: DatasetSpec { x, targets, dim },
+    })
+}

@@ -1,0 +1,72 @@
+//! Worker-process lifecycle for tests, benches and fault drills: spawn a
+//! fleet of `hetgc-worker` binaries against a master address, kill
+//! individual members mid-run to inject faults, and reap everything on
+//! drop.
+
+use std::process::{Child, Command, Stdio};
+
+/// A set of spawned worker processes tied to one master.
+///
+/// Dropping the fleet kills and reaps every still-running child, so a
+/// panicking test cannot leak orphan workers.
+#[derive(Debug, Default)]
+pub struct WorkerFleet {
+    children: Vec<Option<Child>>,
+}
+
+impl WorkerFleet {
+    /// Spawns `count` copies of the worker binary at `bin`, each told to
+    /// connect to `addr`. In tests and benches of this crate, pass
+    /// `env!("CARGO_BIN_EXE_hetgc-worker")`.
+    ///
+    /// Worker stdout is discarded; stderr is inherited so worker-side
+    /// errors surface in test output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures (missing binary, resource limits).
+    pub fn spawn(bin: &str, addr: &str, count: usize) -> std::io::Result<Self> {
+        let mut children = Vec::with_capacity(count);
+        for _ in 0..count {
+            let child = Command::new(bin)
+                .arg(addr)
+                .stdout(Stdio::null())
+                .stderr(Stdio::inherit())
+                .spawn()?;
+            children.push(Some(child));
+        }
+        Ok(WorkerFleet { children })
+    }
+
+    /// Number of workers originally spawned.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Fault injection: kill worker `i` (spawn order) with SIGKILL — a
+    /// fail-stop crash, no goodbye frame. Idempotent; reaps the child so
+    /// it does not linger as a zombie.
+    pub fn kill(&mut self, i: usize) {
+        if let Some(child) = self.children.get_mut(i).and_then(Option::take) {
+            reap(child);
+        }
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().filter_map(Option::take) {
+            reap(child);
+        }
+    }
+}
+
+fn reap(mut child: Child) {
+    let _ = child.kill();
+    let _ = child.wait();
+}

@@ -1,0 +1,217 @@
+//! The socket worker: the process-boundary counterpart of
+//! `hetgc_runtime`'s worker thread. Connects, handshakes, then loops:
+//! newest round → coded gradient → chunked streaming reply.
+//!
+//! The compute path is kept operation-for-operation identical to the
+//! in-process worker thread (reusable `coded`/`partial` scratch, one
+//! `gradient_into` per owned partition, `coded += coef · partial`), so a
+//! socket run decodes to **bitwise** the same gradients as a threaded
+//! run — the loopback equivalence tests pin exactly that.
+
+use std::net::ToSocketAddrs;
+use std::time::{Duration, Instant};
+
+use hetgc_ml::{Dataset, Model};
+use hetgc_runtime::WorkerBehavior;
+
+use crate::conn::Connection;
+use crate::error::NetError;
+use crate::frame::{Frame, VERSION};
+use crate::spec::{AnyModel, Handshake};
+
+/// Mutable per-worker state the master can rewrite mid-run via
+/// [`Frame::Recode`].
+struct Assignment {
+    row: u32,
+    ranges: Vec<(usize, usize)>,
+    coefficients: Vec<f64>,
+}
+
+/// Runs the worker protocol over a fresh connection to `addr`: sends
+/// `Hello`, applies the returned [`Handshake`], then serves rounds until
+/// `Shutdown` (clean `Ok`) or the master hangs up (also a clean `Ok` —
+/// masters may exit abruptly).
+///
+/// # Errors
+///
+/// Protocol violations, handshake inconsistencies and transport failures
+/// other than a plain disconnect.
+pub fn run_worker<A: ToSocketAddrs>(addr: A) -> Result<(), NetError> {
+    let mut conn = Connection::connect(addr)?;
+    conn.send(&Frame::Hello { version: VERSION })?;
+    let handshake = match conn.recv()? {
+        Frame::Handshake(h) => h,
+        other => {
+            return Err(NetError::Handshake(format!(
+                "expected a handshake, got {other:?}"
+            )))
+        }
+    };
+    serve(conn, handshake)
+}
+
+/// The round loop over an already-handshaken connection.
+fn serve(mut conn: Connection, handshake: Handshake) -> Result<(), NetError> {
+    let Handshake {
+        worker,
+        num_params,
+        chunk_len,
+        ranges,
+        coefficients,
+        behavior,
+        model,
+        dataset,
+    } = handshake;
+    let model = model.build();
+    if model.num_params() != num_params as usize {
+        return Err(NetError::Handshake(format!(
+            "model has {} params, handshake says {num_params}",
+            model.num_params()
+        )));
+    }
+    let data = dataset.into_dataset().map_err(NetError::Handshake)?;
+    let behavior = behavior.to_behavior();
+    let chunk_len = (chunk_len as usize).max(1);
+    let mut assignment = Assignment {
+        row: worker,
+        ranges: to_usize_ranges(&ranges),
+        coefficients,
+    };
+
+    // Reusable compute buffers, as in the threaded worker: the only
+    // per-round allocations are the outgoing frame encodings.
+    let mut coded: Vec<f64> = Vec::new();
+    let mut partial: Vec<f64> = Vec::new();
+    loop {
+        let mut frame = match conn.recv() {
+            Ok(f) => f,
+            Err(NetError::Closed) => return Ok(()), // master gone: clean exit
+            Err(e) => return Err(e),
+        };
+        // Fast-forward to the newest pending round, applying control
+        // frames (recode, shutdown) strictly in arrival order — TCP
+        // guarantees a recode is seen before any round encoded with it.
+        let mut current: Option<(u64, Vec<f64>)> = None;
+        loop {
+            match frame {
+                Frame::Shutdown => return Ok(()),
+                Frame::Recode {
+                    row,
+                    ranges,
+                    coefficients,
+                } => {
+                    assignment = Assignment {
+                        row,
+                        ranges: to_usize_ranges(&ranges),
+                        coefficients,
+                    };
+                }
+                Frame::Round { seq, params } => current = Some((seq, params)),
+                // Anything else is not ours to receive; tolerate it so a
+                // newer master can extend the protocol.
+                _ => {}
+            }
+            match conn.try_recv() {
+                Ok(Some(next)) => frame = next,
+                Ok(None) => break,
+                Err(NetError::Closed) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+        let Some((seq, params)) = current else {
+            continue;
+        };
+        if !behavior.responds_at(seq as usize) {
+            // Fail-stop emulation: keep draining frames, never reply.
+            continue;
+        }
+        let started = Instant::now();
+        compute_coded(
+            &model,
+            &data,
+            &assignment,
+            &params,
+            &mut coded,
+            &mut partial,
+        );
+        throttle(&behavior, &assignment, seq, started);
+        stream_reply(&mut conn, &assignment, seq, &coded, chunk_len, started)?;
+    }
+}
+
+fn to_usize_ranges(ranges: &[(u32, u32)]) -> Vec<(usize, usize)> {
+    ranges
+        .iter()
+        .map(|&(lo, hi)| (lo as usize, hi as usize))
+        .collect()
+}
+
+/// `coded = Σ_p coef_p · ∇L(params; partition p)` — the identical
+/// accumulation (and operation order) the in-process worker performs.
+fn compute_coded(
+    model: &AnyModel,
+    data: &Dataset,
+    assignment: &Assignment,
+    params: &[f64],
+    coded: &mut Vec<f64>,
+    partial: &mut Vec<f64>,
+) {
+    coded.clear();
+    coded.resize(model.num_params(), 0.0);
+    partial.clear();
+    partial.resize(model.num_params(), 0.0);
+    for (&range, &coef) in assignment.ranges.iter().zip(&assignment.coefficients) {
+        model.gradient_into(params, data, range, partial);
+        for (c, gi) in coded.iter_mut().zip(partial.iter()) {
+            *c += coef * gi;
+        }
+    }
+}
+
+/// Heterogeneity emulation: stretch the iteration to the configured
+/// samples/second rate, then add the injected delay — so the master's
+/// telemetry observes the worker's *emulated* speed over a real link.
+fn throttle(behavior: &WorkerBehavior, assignment: &Assignment, seq: u64, started: Instant) {
+    if let Some(rate) = behavior.throttle_at(seq as usize) {
+        let samples: usize = assignment.ranges.iter().map(|(lo, hi)| hi - lo).sum();
+        let target = Duration::from_secs_f64(samples as f64 / rate);
+        let compute = started.elapsed();
+        if target > compute {
+            std::thread::sleep(target - compute);
+        }
+    }
+    if !behavior.extra_delay.is_zero() {
+        std::thread::sleep(behavior.extra_delay);
+    }
+}
+
+/// Streams the coded gradient as [`Frame::GradientChunk`]s followed by
+/// [`Frame::RoundDone`]. Chunking bounds frame size and overlaps wire
+/// transfer with serialization: chunk `i` is in the kernel's send buffer
+/// while chunk `i+1` is still being encoded.
+fn stream_reply(
+    conn: &mut Connection,
+    assignment: &Assignment,
+    seq: u64,
+    coded: &[f64],
+    chunk_len: usize,
+    started: Instant,
+) -> Result<(), NetError> {
+    let total = coded.len() as u32;
+    for (i, chunk) in coded.chunks(chunk_len).enumerate() {
+        conn.send(&Frame::GradientChunk {
+            seq,
+            worker: assignment.row,
+            offset: (i * chunk_len) as u32,
+            total,
+            data: chunk.to_vec(),
+        })?;
+    }
+    conn.send(&Frame::RoundDone {
+        seq,
+        worker: assignment.row,
+        // Effective duration including throttle/delay sleeps — the
+        // emulated speed, exactly what the threaded worker reports.
+        compute_seconds: started.elapsed().as_secs_f64(),
+    })
+}

@@ -1,0 +1,189 @@
+//! End-to-end loopback: `TrainDriver` and `PipelinedDriver` over a
+//! [`SocketCluster`] of four real `hetgc-worker` *processes* on
+//! 127.0.0.1.
+//!
+//! The strongest claim is bitwise: under `naive(4)` every decode needs
+//! all four arrivals, so the decode plan is arrival-order-independent,
+//! and the worker compute is operation-for-operation the threaded
+//! worker's — the socket trajectory must therefore equal the threaded
+//! trajectory to the last bit, same seeds, across a process boundary and
+//! a TCP stream. Transport is additionally verified by the per-round
+//! byte counters: every socket round moves real traffic both ways.
+
+use std::sync::Arc;
+
+use hetgc::{
+    naive, synthetic, LinearRegression, Model, PipelinedDriver, RuntimeConfig, Sgd, ThreadedEngine,
+    TrainDriver, TrainOutcome,
+};
+use hetgc_net::{ModelSpec, SocketCluster, SocketEngine, SocketListener, WorkerFleet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 6;
+const SAMPLES: usize = 120;
+const WORKERS: usize = 4;
+const ROUNDS: usize = 8;
+const SEED: u64 = 7;
+
+fn fixture() -> (Arc<LinearRegression>, Arc<hetgc::Dataset>) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let data = synthetic::linear_regression(SAMPLES, DIM, 0.05, &mut rng);
+    (Arc::new(LinearRegression::new(DIM)), Arc::new(data))
+}
+
+/// Spawns the fleet, starts the cluster, wraps it as an engine.
+fn socket_engine(
+    model: &Arc<LinearRegression>,
+    data: &Arc<hetgc::Dataset>,
+    config: &RuntimeConfig,
+) -> (SocketEngine<LinearRegression>, WorkerFleet) {
+    let listener = SocketListener::bind().expect("bind loopback");
+    let addr = listener.addr().to_string();
+    let fleet = WorkerFleet::spawn(env!("CARGO_BIN_EXE_hetgc-worker"), &addr, WORKERS)
+        .expect("spawn workers");
+    let cluster = SocketCluster::start(
+        listener,
+        naive(WORKERS).expect("naive code"),
+        Arc::clone(model),
+        ModelSpec::Linear { dim: DIM as u32 },
+        Arc::clone(data),
+        config,
+    )
+    .expect("socket cluster start");
+    (SocketEngine::new(cluster), fleet)
+}
+
+fn run_threaded(
+    model: &Arc<LinearRegression>,
+    data: &Arc<hetgc::Dataset>,
+    config: &RuntimeConfig,
+    pipelined: bool,
+) -> TrainOutcome {
+    let mut engine = ThreadedEngine::new(
+        naive(WORKERS).expect("naive code"),
+        Arc::clone(model),
+        Arc::clone(data),
+        config,
+    )
+    .expect("threaded engine");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    if pipelined {
+        PipelinedDriver::new(model.as_ref(), data.as_ref(), Sgd::new(0.1))
+            .run(&mut engine, ROUNDS, &mut rng)
+            .expect("threaded pipelined run")
+    } else {
+        TrainDriver::new(model.as_ref(), data.as_ref(), Sgd::new(0.1))
+            .run(&mut engine, ROUNDS, &mut rng)
+            .expect("threaded run")
+    }
+}
+
+fn run_socket(
+    model: &Arc<LinearRegression>,
+    data: &Arc<hetgc::Dataset>,
+    config: &RuntimeConfig,
+    pipelined: bool,
+) -> TrainOutcome {
+    let (mut engine, _fleet) = socket_engine(model, data, config);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    if pipelined {
+        PipelinedDriver::new(model.as_ref(), data.as_ref(), Sgd::new(0.1))
+            .run(&mut engine, ROUNDS, &mut rng)
+            .expect("socket pipelined run")
+    } else {
+        TrainDriver::new(model.as_ref(), data.as_ref(), Sgd::new(0.1))
+            .run(&mut engine, ROUNDS, &mut rng)
+            .expect("socket run")
+    }
+}
+
+/// Bitwise equality of the full trajectory: params, per-round losses,
+/// residuals and decode weights.
+fn assert_trajectories_match(socket: &TrainOutcome, threaded: &TrainOutcome) {
+    assert_eq!(socket.rounds(), threaded.rounds());
+    assert_eq!(
+        socket.params, threaded.params,
+        "socket and threaded parameter trajectories diverged"
+    );
+    for (s, t) in socket.records.iter().zip(&threaded.records) {
+        assert_eq!(s.loss, t.loss, "round {} loss diverged", s.round);
+        assert_eq!(s.residual, t.residual, "round {} residual", s.round);
+        assert_eq!(
+            s.results_used, t.results_used,
+            "round {} decode weight",
+            s.round
+        );
+    }
+}
+
+/// Every socket round must have moved real traffic in both directions.
+fn assert_real_traffic(outcome: &TrainOutcome) {
+    for r in &outcome.records {
+        assert!(r.bytes_sent > 0, "round {} reported no bytes sent", r.round);
+        assert!(
+            r.bytes_received > 0,
+            "round {} reported no bytes received",
+            r.round
+        );
+    }
+}
+
+#[test]
+fn train_driver_over_sockets_matches_threaded_bitwise() {
+    let (model, data) = fixture();
+    let config = RuntimeConfig::nominal(WORKERS);
+    let threaded = run_threaded(&model, &data, &config, false);
+    let socket = run_socket(&model, &data, &config, false);
+
+    assert_trajectories_match(&socket, &threaded);
+    assert_real_traffic(&socket);
+    // The in-process engine reports no wire traffic, by contract.
+    assert!(threaded.records.iter().all(|r| r.bytes_sent == 0));
+
+    // Convergence, not just agreement: the loss fell.
+    let first = socket.records.first().and_then(|r| r.loss).unwrap();
+    let last = socket.final_loss().unwrap();
+    assert!(
+        last < first,
+        "no convergence over sockets: {first} → {last}"
+    );
+}
+
+#[test]
+fn pipelined_driver_over_sockets_matches_threaded_bitwise() {
+    let (model, data) = fixture();
+    let config = RuntimeConfig::nominal(WORKERS);
+    let threaded = run_threaded(&model, &data, &config, true);
+    let socket = run_socket(&model, &data, &config, true);
+
+    assert_trajectories_match(&socket, &threaded);
+    assert_real_traffic(&socket);
+    let first = socket.records.first().and_then(|r| r.loss).unwrap();
+    let last = socket.final_loss().unwrap();
+    assert!(
+        last < first,
+        "no pipelined convergence over sockets: {first} → {last}"
+    );
+}
+
+#[test]
+fn socket_round_reports_real_arrival_telemetry() {
+    // Drive the cluster directly: each completed round carries samples
+    // with measured arrival offsets for every worker.
+    let (model, data) = fixture();
+    let config = RuntimeConfig::nominal(WORKERS);
+    let (mut engine, _fleet) = socket_engine(&model, &data, &config);
+
+    use hetgc::RoundEngine;
+    let params = vec![0.0; model.num_params()];
+    let mut rng = StdRng::seed_from_u64(3);
+    let round = engine.round(1, &params, &mut rng).expect("round");
+    assert_eq!(round.samples.len(), WORKERS);
+    for s in &round.samples {
+        assert!(!s.failed, "worker {} failed on loopback", s.worker);
+        let arrival = s.arrival_seconds.expect("completed sample has arrival");
+        assert!(arrival > 0.0, "worker {} arrival not measured", s.worker);
+    }
+    assert!(round.bytes_sent > 0 && round.bytes_received > 0);
+}

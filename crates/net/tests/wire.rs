@@ -1,0 +1,270 @@
+//! Wire-protocol properties: every frame type round-trips bitwise, and
+//! every malformed byte sequence — truncated, corrupt, oversized,
+//! unknown-tag, wrong-magic — maps to a typed [`WireError`] without
+//! panicking and without allocating beyond the (bounded) declared length.
+
+use hetgc_net::frame::HEADER_LEN;
+use hetgc_net::{
+    BehaviorSpec, DatasetSpec, Frame, Handshake, ModelSpec, TargetsSpec, WireError, MAX_FRAME_LEN,
+    VERSION,
+};
+use proptest::prelude::*;
+
+/// Strategy: finite `f64`s (frame equality is `PartialEq`, which NaN
+/// would break spuriously).
+fn finite() -> impl Strategy<Value = f64> {
+    -1e12f64..1e12
+}
+
+fn f64s(max: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(finite(), 0..max)
+}
+
+fn ranges(max: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0u32..10_000, 0u32..10_000), 0..max)
+}
+
+/// Strategy: an arbitrary (syntactically valid) handshake, covering every
+/// optional-field presence combination and both target layouts.
+fn handshake() -> impl Strategy<Value = Handshake> {
+    (
+        (0u32..64, 1u32..512, 1u32..4096),
+        ranges(6),
+        f64s(6),
+        (any::<u64>(), any::<bool>(), finite(), any::<bool>()),
+        (f64s(24), 1u32..8, any::<bool>()),
+    )
+        .prop_map(
+            |((worker, num_params, chunk_len), ranges, coefficients, behavior, dataset)| {
+                let (delay, has_throttle, rate, fail) = behavior;
+                let (x, dim, classes) = dataset;
+                let targets = if classes {
+                    TargetsSpec::Classes {
+                        labels: vec![0, 2, 1],
+                        num_classes: 3,
+                    }
+                } else {
+                    TargetsSpec::Regression(vec![1.5, -0.25])
+                };
+                Handshake {
+                    worker,
+                    num_params,
+                    chunk_len,
+                    ranges,
+                    coefficients,
+                    behavior: BehaviorSpec {
+                        extra_delay_micros: delay,
+                        throttle: has_throttle.then_some(rate),
+                        throttle_step: has_throttle.then_some((delay % (1 << 20), rate)),
+                        fail_from: fail.then_some(delay % 1000),
+                    },
+                    model: if classes {
+                        ModelSpec::Softmax { dim, classes: 3 }
+                    } else {
+                        ModelSpec::Linear { dim: num_params }
+                    },
+                    dataset: DatasetSpec { x, targets, dim },
+                }
+            },
+        )
+}
+
+/// One strategy producing every frame variant.
+fn frame() -> impl Strategy<Value = Frame> {
+    (
+        0usize..7,
+        (any::<u64>(), 0u32..64, 0u32..1024, 1u32..2048),
+        f64s(32),
+        ranges(6),
+        finite(),
+        handshake(),
+    )
+        .prop_map(|(which, ints, data, rs, x, h)| {
+            let (seq, worker, offset, total) = ints;
+            match which {
+                0 => Frame::Hello { version: VERSION },
+                1 => Frame::Shutdown,
+                2 => Frame::Round { seq, params: data },
+                3 => Frame::GradientChunk {
+                    seq,
+                    worker,
+                    offset,
+                    total,
+                    data,
+                },
+                4 => Frame::RoundDone {
+                    seq,
+                    worker,
+                    compute_seconds: x,
+                },
+                5 => Frame::Recode {
+                    row: worker,
+                    ranges: rs,
+                    coefficients: data,
+                },
+                _ => Frame::Handshake(h),
+            }
+        })
+}
+
+/// Strategy: arbitrary bytes (the shim has no `u8` Arbitrary).
+fn bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u32..256, 0..max).prop_map(|v| v.into_iter().map(|x| x as u8).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every frame type round-trips bitwise through encode → decode.
+    #[test]
+    fn frames_round_trip(f in frame()) {
+        let encoded = f.encode();
+        let back = Frame::decode(&encoded).expect("own encoding decodes");
+        prop_assert_eq!(&back, &f);
+        // Streaming decode agrees and consumes exactly the frame.
+        let (back, consumed) = Frame::decode_prefix(&encoded)
+            .expect("no wire error")
+            .expect("complete frame");
+        prop_assert_eq!(&back, &f);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+
+    /// Bytes of the NEXT frame never confuse a prefix decode.
+    #[test]
+    fn prefix_decode_ignores_following_bytes(f in frame(), extra in bytes(32)) {
+        let mut encoded = f.encode();
+        let frame_len = encoded.len();
+        encoded.extend_from_slice(&extra);
+        let (back, consumed) = Frame::decode_prefix(&encoded)
+            .expect("no wire error")
+            .expect("complete frame");
+        prop_assert_eq!(back, f);
+        prop_assert_eq!(consumed, frame_len);
+    }
+
+    /// Every strict prefix of a valid frame is `Truncated` (strict
+    /// decode) / `Ok(None)` (streaming decode) — never a panic, never a
+    /// wrong frame.
+    #[test]
+    fn truncation_is_typed(f in frame(), cut in any::<usize>()) {
+        let encoded = f.encode();
+        let cut = cut % encoded.len();
+        let prefix = &encoded[..cut];
+        prop_assert_eq!(Frame::decode(prefix).unwrap_err(), WireError::Truncated);
+        prop_assert!(
+            Frame::decode_prefix(prefix).expect("truncation is not a stream error").is_none()
+        );
+    }
+
+    /// Arbitrary garbage never panics: it decodes, truncates, or fails
+    /// with a typed error.
+    #[test]
+    fn garbage_never_panics(raw in bytes(64)) {
+        let _ = Frame::decode(&raw);
+        let _ = Frame::decode_prefix(&raw);
+    }
+
+    /// A corrupt inner element count (pointing past the payload) is
+    /// `Corrupt`, and the decoder never allocates the declared amount —
+    /// the count is validated against the remaining payload bytes first.
+    #[test]
+    fn corrupt_counts_are_typed(seq in any::<u64>(), count in 16u32..u32::MAX) {
+        // Hand-build a Round frame whose params count overruns the payload.
+        let mut raw = Vec::new();
+        let payload_len = 8 + 4; // seq + count, no elements
+        raw.extend_from_slice(&(payload_len as u32).to_le_bytes());
+        raw.push(0x03); // TAG_ROUND
+        raw.extend_from_slice(&seq.to_le_bytes());
+        raw.extend_from_slice(&count.to_le_bytes());
+        prop_assert!(
+            matches!(Frame::decode(&raw), Err(WireError::Corrupt { .. })),
+            "a count past the payload must be Corrupt"
+        );
+    }
+}
+
+#[test]
+fn oversized_header_is_rejected_before_allocation() {
+    // A header declaring more than the cap fails immediately — even
+    // though only the 5 header bytes exist, and even under the streaming
+    // decode (waiting for more bytes could never make it valid).
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+    raw.push(0x03);
+    assert_eq!(
+        Frame::decode(&raw).unwrap_err(),
+        WireError::Oversized {
+            declared: u64::from(MAX_FRAME_LEN) + 1
+        }
+    );
+    assert!(Frame::decode_prefix(&raw).is_err());
+}
+
+#[test]
+fn unknown_tag_is_typed() {
+    let mut raw = Vec::new();
+    raw.extend_from_slice(&0u32.to_le_bytes());
+    raw.push(0x7f);
+    assert_eq!(
+        Frame::decode(&raw).unwrap_err(),
+        WireError::UnknownTag { tag: 0x7f }
+    );
+}
+
+#[test]
+fn wrong_magic_is_typed() {
+    // A Hello carrying the wrong magic is a foreign peer, not a version
+    // mismatch.
+    let mut raw = Frame::Hello { version: VERSION }.encode();
+    raw[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&0xdead_beefu32.to_le_bytes());
+    assert_eq!(
+        Frame::decode(&raw).unwrap_err(),
+        WireError::BadMagic { got: 0xdead_beef }
+    );
+}
+
+#[test]
+fn trailing_payload_bytes_are_corrupt() {
+    // A Shutdown frame declaring a 1-byte payload: the payload is not
+    // consumed by the (empty) frame body → Corrupt.
+    let raw = [1u32.to_le_bytes().as_slice(), &[0x07, 0x00]].concat();
+    assert!(matches!(
+        Frame::decode(&raw),
+        Err(WireError::Corrupt { .. })
+    ));
+}
+
+#[test]
+fn presence_byte_other_than_01_is_corrupt() {
+    // Corrupt a Handshake's throttle presence byte (2 is not a valid
+    // option encoding).
+    let h = Handshake {
+        worker: 0,
+        num_params: 4,
+        chunk_len: 2,
+        ranges: vec![(0, 4)],
+        coefficients: vec![1.0],
+        behavior: BehaviorSpec {
+            extra_delay_micros: 0,
+            throttle: None,
+            throttle_step: None,
+            fail_from: None,
+        },
+        model: ModelSpec::Linear { dim: 4 },
+        dataset: DatasetSpec {
+            x: vec![],
+            targets: TargetsSpec::Regression(vec![]),
+            dim: 1,
+        },
+    };
+    let mut raw = Frame::Handshake(h).encode();
+    // Payload layout: worker(4) num_params(4) chunk_len(4) ranges(4+8)
+    // coefficients(4+8) delay(8) [throttle presence byte].
+    let idx = HEADER_LEN + 4 + 4 + 4 + (4 + 8) + (4 + 8) + 8;
+    assert_eq!(raw[idx], 0, "expected the throttle presence byte");
+    raw[idx] = 2;
+    assert!(matches!(
+        Frame::decode(&raw),
+        Err(WireError::Corrupt { .. })
+    ));
+}

@@ -1,16 +1,11 @@
 //! The master: broadcast → collect → decode at the earliest decodable set
 //! → optimize, iterated.
 //!
-//! Two layers:
-//!
-//! * [`ThreadedCluster`] — the collect-round engine: owns the worker
-//!   threads, channels and one reusable decode session, and exposes
-//!   [`ThreadedCluster::round`] (broadcast params, gather results, decode
-//!   or escalate, combine the gradient). This is what the unified
-//!   `hetgc::TrainDriver` loop drives through its `ThreadedEngine`.
-//! * [`ThreadedTrainer`] — the legacy all-in-one trainer, now a thin
-//!   (deprecated) wrapper looping [`ThreadedCluster::round`] with an
-//!   optimizer.
+//! One layer: [`ThreadedCluster`] — the collect-round engine. It owns
+//! the worker threads, channels and one reusable decode session, and
+//! exposes [`ThreadedCluster::round`] (broadcast params, gather results,
+//! decode or escalate, combine the gradient). This is what the unified
+//! `hetgc::TrainDriver` loop drives through its `ThreadedEngine`.
 //!
 //! The timeout → approximate fallback decision is **not** implemented
 //! here: the cluster holds an `hetgc_coding::EscalatingCodec`, so the
@@ -26,42 +21,12 @@ use hetgc_coding::{
     AnyCodec, ApproxCodec, CodecBackend, CodecSession, CodingMatrix, CompiledCodec, DecodePlan,
     EscalatingCodec, GradientCodec, GroupCodec,
 };
-use hetgc_ml::{Dataset, Model, Optimizer};
-use hetgc_sim::RunMetrics;
-use rand::RngCore;
+use hetgc_ml::{Dataset, Model};
 
 use crate::config::RuntimeConfig;
 use crate::error::RuntimeError;
 use crate::message::{FromWorker, ToWorker};
 use crate::worker::{worker_main, WorkerContext};
-
-/// Outcome of a threaded training run.
-#[derive(Debug, Clone)]
-pub struct TrainingReport {
-    /// Mean training loss after each iteration.
-    pub losses: Vec<f64>,
-    /// Wall-clock duration of each iteration.
-    pub iteration_times: Vec<Duration>,
-    /// How many worker results the master consumed per iteration.
-    pub results_used: Vec<usize>,
-    /// Final parameters.
-    pub params: Vec<f64>,
-    /// Iterations decoded through the approximate timeout fallback —
-    /// always 0 for exact backends. Counts every fallback-decoded round
-    /// (any positive residual, however numerically small), matching the
-    /// simulator's `BspIteration::is_approximate`.
-    pub approx_iterations: usize,
-    /// Timing metrics over the run — the same accumulator the simulated
-    /// trainers use, so averages and quantiles come from one code path.
-    pub metrics: RunMetrics,
-}
-
-impl TrainingReport {
-    /// Mean iteration wall time in seconds (0 when nothing ran).
-    pub fn avg_iteration_seconds(&self) -> f64 {
-        self.metrics.avg_iteration_time().unwrap_or(0.0)
-    }
-}
 
 /// One completed collect round of a [`ThreadedCluster`].
 #[derive(Debug, Clone)]
@@ -190,7 +155,15 @@ where
 
 /// Compiles `code` into the backend named by `config.backend`, then wires
 /// the escalation policy on top.
-fn build_codec(
+/// Compiles `code` into the backend named by [`RuntimeConfig::backend`]
+/// and wires [`RuntimeConfig::escalation`] on top — the one codec
+/// construction every master (threaded or socket) shares.
+///
+/// # Errors
+///
+/// [`RuntimeError::InvalidConfig`] when the requested backend cannot be
+/// built from this matrix.
+pub fn build_codec(
     code: CodingMatrix,
     config: &RuntimeConfig,
 ) -> Result<EscalatingCodec, RuntimeError> {
@@ -236,9 +209,7 @@ where
         Self::with_codec(codec, model, data, config)
     }
 
-    /// [`ThreadedCluster::start`] over an already-compiled codec (spares
-    /// callers that validated the backend at construction — e.g. the
-    /// legacy [`ThreadedTrainer`] — a second compilation).
+    /// [`ThreadedCluster::start`] over an already-compiled codec.
     fn with_codec(
         codec: EscalatingCodec,
         model: Arc<M>,
@@ -573,139 +544,63 @@ impl<M> Drop for ThreadedCluster<M> {
     }
 }
 
-/// A coded distributed trainer running each worker on its own OS thread.
-///
-/// Construction validates partitioning and backend selection; [`run`]
-/// spawns a [`ThreadedCluster`], trains, and joins the threads.
-///
-/// [`run`]: ThreadedTrainer::run
-#[derive(Debug)]
-pub struct ThreadedTrainer<M, O> {
-    codec: EscalatingCodec,
-    model: Arc<M>,
-    data: Arc<Dataset>,
-    optimizer: O,
-    config: RuntimeConfig,
-}
-
-impl<M, O> ThreadedTrainer<M, O>
-where
-    M: Model + Send + Sync + 'static,
-    O: Optimizer,
-{
-    /// Creates a trainer for `code` over `data`, compiling the matrix into
-    /// the backend named by [`RuntimeConfig::backend`] (see its docs for
-    /// the decode behaviour of each).
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::InvalidConfig`] when the dataset has fewer samples
-    /// than partitions, or when the requested backend cannot be built
-    /// from this matrix.
-    pub fn new(
-        code: CodingMatrix,
-        model: M,
-        data: Dataset,
-        optimizer: O,
-        config: RuntimeConfig,
-    ) -> Result<Self, RuntimeError> {
-        PartitionAssignment::even(data.len(), code.partitions()).map_err(|e| {
-            RuntimeError::InvalidConfig {
-                reason: format!("partitioning failed: {e}"),
-            }
-        })?;
-        // Compile the backend once; `run` hands it to the cluster as-is.
-        let codec = build_codec(code, &config)?;
-        Ok(ThreadedTrainer {
-            codec,
-            model: Arc::new(model),
-            data: Arc::new(data),
-            optimizer,
-            config,
-        })
-    }
-
-    /// Number of workers.
-    pub fn workers(&self) -> usize {
-        self.codec.workers()
-    }
-
-    /// Trains for `iterations` rounds, returning the loss/timing report.
-    ///
-    /// Deprecated: this is now a thin loop over
-    /// [`ThreadedCluster::round`]; drive a `hetgc::ThreadedEngine` through
-    /// `hetgc::TrainDriver` instead for the unified `TrainOutcome` report,
-    /// per-round records and residual-aware step scaling.
-    ///
-    /// # Errors
-    ///
-    /// * [`RuntimeError::Undecodable`] if an iteration cannot decode within
-    ///   the configured timeout (too many failed workers for `s`).
-    /// * [`RuntimeError::WorkerLost`] if a worker thread panics.
-    #[deprecated(
-        since = "0.2.0",
-        note = "drive a ThreadedEngine through hetgc::TrainDriver instead"
-    )]
-    pub fn run(
-        mut self,
-        iterations: usize,
-        rng: &mut dyn RngCore,
-    ) -> Result<TrainingReport, RuntimeError> {
-        let mut cluster = ThreadedCluster::with_codec(
-            self.codec,
-            Arc::clone(&self.model),
-            Arc::clone(&self.data),
-            &self.config,
-        )?;
-        let n = self.data.len() as f64;
-        let workers = cluster.workers();
-        let mut params = self.model.init_params(rng);
-        let mut losses = Vec::with_capacity(iterations);
-        let mut iteration_times = Vec::with_capacity(iterations);
-        let mut results_used = Vec::with_capacity(iterations);
-        let mut metrics = RunMetrics::new();
-        let mut approx_iterations = 0;
-
-        for iter in 1..=iterations {
-            let round = cluster.round(iter, &params)?;
-            if round.residual > 0.0 {
-                approx_iterations += 1;
-            }
-            let mut gradient = round.gradient;
-            for g in &mut gradient {
-                *g /= n;
-            }
-            self.optimizer.step(&mut params, &gradient);
-            losses.push(self.model.loss(&params, &self.data, (0, self.data.len())) / n);
-            metrics.record_time(
-                round.elapsed.as_secs_f64(),
-                round.busy.iter().sum(),
-                workers,
-            );
-            iteration_times.push(round.elapsed);
-            results_used.push(round.results_used);
-        }
-
-        Ok(TrainingReport {
-            losses,
-            iteration_times,
-            results_used,
-            params,
-            approx_iterations,
-            metrics,
-        })
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy wrapper on purpose
 mod tests {
     use super::*;
     use crate::config::WorkerBehavior;
     use hetgc_coding::{heter_aware, naive, EscalationPolicy};
-    use hetgc_ml::{synthetic, LinearRegression, Sgd, SoftmaxRegression};
+    use hetgc_ml::{synthetic, LinearRegression, SoftmaxRegression};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    /// Outcome of [`train`] — the slim stand-in for the removed legacy
+    /// all-in-one trainer's report.
+    #[derive(Debug)]
+    struct TrainRun {
+        losses: Vec<f64>,
+        results_used: Vec<usize>,
+        approx_rounds: usize,
+        params: Vec<f64>,
+    }
+
+    /// Full-batch SGD over [`ThreadedCluster::round`] — the same loop
+    /// shape the unified `hetgc::TrainDriver` runs in production.
+    fn train<M: Model + Send + Sync + 'static>(
+        code: hetgc_coding::CodingMatrix,
+        model: M,
+        data: Dataset,
+        lr: f64,
+        config: RuntimeConfig,
+        iterations: usize,
+        rng: &mut StdRng,
+    ) -> Result<TrainRun, RuntimeError> {
+        let model = Arc::new(model);
+        let data = Arc::new(data);
+        let mut cluster =
+            ThreadedCluster::start(code, Arc::clone(&model), Arc::clone(&data), &config)?;
+        let mut params = model.init_params(rng);
+        let n = data.len() as f64;
+        let mut run = TrainRun {
+            losses: Vec::new(),
+            results_used: Vec::new(),
+            approx_rounds: 0,
+            params: Vec::new(),
+        };
+        for iteration in 1..=iterations {
+            let round = cluster.round(iteration, &params)?;
+            if round.residual > 0.0 {
+                run.approx_rounds += 1;
+            }
+            run.results_used.push(round.results_used);
+            for (p, g) in params.iter_mut().zip(&round.gradient) {
+                *p -= lr * g / n;
+            }
+            run.losses
+                .push(model.loss(&params, &data, (0, data.len())) / n);
+        }
+        run.params = params;
+        Ok(run)
+    }
 
     fn quick_data(seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -716,32 +611,22 @@ mod tests {
     fn trains_and_loss_decreases() {
         let mut rng = StdRng::seed_from_u64(1);
         let code = heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut rng).unwrap();
-        let trainer = ThreadedTrainer::new(
+        let report = train(
             code,
             LinearRegression::new(3),
             quick_data(1),
-            Sgd::new(0.2),
+            0.2,
             RuntimeConfig::default(),
+            25,
+            &mut rng,
         )
         .unwrap();
-        assert_eq!(trainer.workers(), 3);
-        let report = trainer.run(25, &mut rng).unwrap();
         assert_eq!(report.losses.len(), 25);
         assert!(
             report.losses[24] < report.losses[0] * 0.5,
             "{:?}",
             report.losses
         );
-        assert!(report.avg_iteration_seconds() >= 0.0);
-        // The unified metrics path agrees with the raw durations.
-        assert_eq!(report.metrics.iterations(), 25);
-        let raw_avg = report
-            .iteration_times
-            .iter()
-            .map(Duration::as_secs_f64)
-            .sum::<f64>()
-            / 25.0;
-        assert!((report.avg_iteration_seconds() - raw_avg).abs() < 1e-12);
     }
 
     #[test]
@@ -971,16 +856,17 @@ mod tests {
             .with_timeout(Duration::from_millis(400));
         // Worker 0 is slower than the deadline: each round must complete
         // from the other three (exact decode) without waiting 500 ms.
-        let trainer = ThreadedTrainer::new(
+        let started = Instant::now();
+        let report = train(
             code,
             LinearRegression::new(3),
             quick_data(22),
-            Sgd::new(0.1),
+            0.1,
             config,
+            3,
+            &mut rng,
         )
         .unwrap();
-        let started = Instant::now();
-        let report = trainer.run(3, &mut rng).unwrap();
         assert_eq!(report.losses.len(), 3);
         assert!(
             started.elapsed() < Duration::from_millis(1200),
@@ -1014,16 +900,17 @@ mod tests {
             ref_losses.push(model.loss(&ref_params, &data, (0, data.len())) / n);
         }
 
-        let trainer = ThreadedTrainer::new(
+        let mut run_rng = StdRng::seed_from_u64(99); // same init draw
+        let report = train(
             code,
             LinearRegression::new(3),
             data,
-            Sgd::new(0.1),
+            0.1,
             RuntimeConfig::default(),
+            10,
+            &mut run_rng,
         )
         .unwrap();
-        let mut run_rng = StdRng::seed_from_u64(99); // same init draw
-        let report = trainer.run(10, &mut run_rng).unwrap();
         for (a, b) in report.losses.iter().zip(&ref_losses) {
             assert!((a - b).abs() < 1e-8, "coded {a} vs serial {b}");
         }
@@ -1038,15 +925,16 @@ mod tests {
         let code = heter_aware(&[1.0, 1.0, 1.0, 1.0], 4, 1, &mut rng).unwrap();
         let config =
             RuntimeConfig::nominal(4).set_behavior(2, WorkerBehavior::nominal().failing_from(3));
-        let trainer = ThreadedTrainer::new(
+        let report = train(
             code,
             LinearRegression::new(3),
             quick_data(3),
-            Sgd::new(0.1),
+            0.1,
             config,
+            8,
+            &mut rng,
         )
         .unwrap();
-        let report = trainer.run(8, &mut rng).unwrap();
         assert_eq!(report.losses.len(), 8);
         // After the failure the master decodes from ≤ 3 workers.
         assert!(report.results_used[5..].iter().all(|&u| u <= 3));
@@ -1059,15 +947,16 @@ mod tests {
         let config = RuntimeConfig::nominal(3)
             .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
             .with_timeout(Duration::from_millis(300));
-        let trainer = ThreadedTrainer::new(
+        let err = train(
             code,
             LinearRegression::new(3),
             quick_data(4),
-            Sgd::new(0.1),
+            0.1,
             config,
+            3,
+            &mut rng,
         )
-        .unwrap();
-        let err = trainer.run(3, &mut rng).unwrap_err();
+        .unwrap_err();
         assert!(matches!(
             err,
             RuntimeError::Undecodable { iteration: 1, .. }
@@ -1082,16 +971,17 @@ mod tests {
             0,
             WorkerBehavior::nominal().with_delay(Duration::from_millis(400)),
         );
-        let trainer = ThreadedTrainer::new(
+        let started = Instant::now();
+        let report = train(
             code,
             LinearRegression::new(3),
             quick_data(5),
-            Sgd::new(0.1),
+            0.1,
             config,
+            3,
+            &mut rng,
         )
         .unwrap();
-        let started = Instant::now();
-        let report = trainer.run(3, &mut rng).unwrap();
         // 3 iterations × 400 ms would be 1.2 s if we waited; decoding from
         // the other 3 workers should finish far sooner.
         assert!(
@@ -1107,15 +997,16 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let data = synthetic::gaussian_blobs(90, 2, 3, 5.0, &mut rng);
         let code = heter_aware(&[1.0, 2.0, 3.0], 6, 1, &mut rng).unwrap();
-        let trainer = ThreadedTrainer::new(
+        let report = train(
             code,
             SoftmaxRegression::new(2, 3),
             data,
-            Sgd::new(0.05),
+            0.05,
             RuntimeConfig::default(),
+            40,
+            &mut rng,
         )
         .unwrap();
-        let report = trainer.run(40, &mut rng).unwrap();
         assert!(report.losses[39] < report.losses[0], "{:?}", report.losses);
     }
 
@@ -1133,29 +1024,29 @@ mod tests {
                 .with_backend(backend)
         };
 
-        let exact = ThreadedTrainer::new(
+        let exact = train(
             code.clone(),
             LinearRegression::new(3),
             quick_data(9),
-            Sgd::new(0.05),
+            0.05,
             faulty(hetgc_coding::CodecBackend::Exact),
-        )
-        .unwrap()
-        .run(3, &mut StdRng::seed_from_u64(10));
+            3,
+            &mut StdRng::seed_from_u64(10),
+        );
         assert!(matches!(exact, Err(RuntimeError::Undecodable { .. })));
 
-        let approx = ThreadedTrainer::new(
+        let approx = train(
             code,
             LinearRegression::new(3),
             quick_data(9),
-            Sgd::new(0.05),
+            0.05,
             faulty(hetgc_coding::CodecBackend::Approx),
+            3,
+            &mut StdRng::seed_from_u64(10),
         )
-        .unwrap()
-        .run(3, &mut StdRng::seed_from_u64(10))
         .unwrap();
         assert_eq!(approx.losses.len(), 3);
-        assert_eq!(approx.approx_iterations, 3);
+        assert_eq!(approx.approx_rounds, 3);
         assert!(approx.results_used.iter().all(|&u| u <= 3));
     }
 
@@ -1174,18 +1065,18 @@ mod tests {
                 EscalationPolicy::escalate_to(hetgc_coding::CodecBackend::Approx)
                     .with_deadline(Duration::from_millis(250)),
             );
-        let report = ThreadedTrainer::new(
+        let report = train(
             code,
             LinearRegression::new(3),
             quick_data(12),
-            Sgd::new(0.05),
+            0.05,
             config,
+            3,
+            &mut StdRng::seed_from_u64(13),
         )
-        .unwrap()
-        .run(3, &mut StdRng::seed_from_u64(13))
         .unwrap();
         assert_eq!(report.losses.len(), 3);
-        assert_eq!(report.approx_iterations, 3);
+        assert_eq!(report.approx_rounds, 3);
     }
 
     #[test]
@@ -1197,22 +1088,22 @@ mod tests {
         let g = hetgc_coding::group_based(&[1.0; 4], 4, 1, &mut rng).unwrap();
         let data = quick_data(11);
         let run = |backend| {
-            ThreadedTrainer::new(
+            train(
                 g.code().clone(),
                 LinearRegression::new(3),
                 data.clone(),
-                Sgd::new(0.1),
+                0.1,
                 RuntimeConfig::nominal(4).with_backend(backend),
+                8,
+                &mut StdRng::seed_from_u64(12),
             )
-            .unwrap()
-            .run(8, &mut StdRng::seed_from_u64(12))
             .unwrap()
         };
         let grouped = run(hetgc_coding::CodecBackend::Group);
         let exact = run(hetgc_coding::CodecBackend::Exact);
         // Auto resolves to the group backend for a matrix with groups.
         let auto = run(hetgc_coding::CodecBackend::Auto);
-        assert_eq!(grouped.approx_iterations, 0);
+        assert_eq!(grouped.approx_rounds, 0);
         for (a, b) in grouped.losses.iter().zip(&exact.losses) {
             assert!((a - b).abs() < 1e-8, "group {a} vs exact {b}");
         }
@@ -1227,12 +1118,11 @@ mod tests {
         let code = heter_aware(&[1.0, 1.0], 4, 1, &mut rng).unwrap();
         // 3 samples < 4 partitions.
         let data = synthetic::linear_regression(3, 2, 0.0, &mut rng);
-        let r = ThreadedTrainer::new(
+        let r = ThreadedCluster::start(
             code,
-            LinearRegression::new(2),
-            data,
-            Sgd::new(0.1),
-            RuntimeConfig::default(),
+            Arc::new(LinearRegression::new(2)),
+            Arc::new(data),
+            &RuntimeConfig::default(),
         );
         assert!(matches!(r, Err(RuntimeError::InvalidConfig { .. })));
     }

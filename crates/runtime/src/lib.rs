@@ -52,5 +52,5 @@ mod worker;
 
 pub use config::{RuntimeConfig, WorkerBehavior};
 pub use error::RuntimeError;
-pub use executor::{ClusterRound, ThreadedCluster, ThreadedTrainer, TrainingReport};
+pub use executor::{build_codec, ClusterRound, ThreadedCluster};
 pub use message::{FromWorker, ToWorker};

@@ -1,19 +1,15 @@
 //! The acceptance contract of the `TrainDriver` redesign: the deprecated
-//! entry points (`train_bsp_sim`, `train_ssp_sim`,
-//! `ThreadedTrainer::run`) are thin wrappers over the unified loop and
-//! must produce trajectories identical to driving the engines directly —
-//! and the new coded-SSP engine must complete with approximate decoding
-//! where exact-only decoding stalls.
+//! sim entry points (`train_bsp_sim`, `train_ssp_sim`) are thin wrappers
+//! over the unified loop and must produce trajectories identical to
+//! driving the engines directly — and the new coded-SSP engine must
+//! complete with approximate decoding where exact-only decoding stalls.
 
 #![allow(deprecated)] // this file exists to pin the deprecated wrappers
 
-use std::sync::Arc;
-use std::time::Duration;
-
 use hetgc::{
     train_bsp_sim, train_ssp_sim, ClusterSpec, CodecBackend, DriverConfig, EscalationPolicy,
-    LinearRegression, RuntimeConfig, SchemeBuilder, SchemeKind, Sgd, SimBspEngine, SimSspEngine,
-    SimTrainConfig, StragglerModel, ThreadedEngine, ThreadedTrainer, TrainDriver, WorkerBehavior,
+    LinearRegression, SchemeBuilder, SchemeKind, Sgd, SimBspEngine, SimSspEngine, SimTrainConfig,
+    StragglerModel, TrainDriver,
 };
 use hetgc_ml::synthetic;
 use rand::rngs::StdRng;
@@ -179,82 +175,6 @@ fn ssp_wrapper_matches_driver_bitwise() {
         assert_eq!(t1, t2, "event times must be identical");
         assert_eq!(l1, l2, "losses must be identical");
     }
-}
-
-/// `ThreadedTrainer::run` ≡ `TrainDriver` + `ThreadedEngine`: decoding is
-/// exact in both, so with the same init seed the loss trajectories agree
-/// to fp accuracy (thread arrival order may pick different — equally
-/// exact — decode plans).
-#[test]
-fn threaded_wrapper_matches_driver() {
-    let data = synthetic::linear_regression(60, 3, 0.01, &mut StdRng::seed_from_u64(9));
-    let code = hetgc::heter_aware(&[1.0, 1.0, 2.0], 4, 1, &mut StdRng::seed_from_u64(10)).unwrap();
-
-    let legacy = ThreadedTrainer::new(
-        code.clone(),
-        LinearRegression::new(3),
-        data.clone(),
-        Sgd::new(0.2),
-        RuntimeConfig::default(),
-    )
-    .unwrap()
-    .run(10, &mut StdRng::seed_from_u64(11))
-    .unwrap();
-
-    let model = Arc::new(LinearRegression::new(3));
-    let shared = Arc::new(data);
-    let mut engine = ThreadedEngine::new(
-        code,
-        Arc::clone(&model),
-        Arc::clone(&shared),
-        &RuntimeConfig::default(),
-    )
-    .unwrap();
-    let new = TrainDriver::new(&*model, &shared, Sgd::new(0.2))
-        .run(&mut engine, 10, &mut StdRng::seed_from_u64(11))
-        .unwrap();
-
-    assert_eq!(legacy.losses.len(), new.rounds());
-    for (l, r) in legacy.losses.iter().zip(&new.records) {
-        let nl = r.loss.unwrap();
-        assert!((l - nl).abs() < 1e-8, "threaded diverged: {l} vs {nl}");
-    }
-    for (p, q) in legacy.params.iter().zip(&new.params) {
-        assert!((p - q).abs() < 1e-8);
-    }
-}
-
-/// The deprecated threaded wrapper and the driver agree on *failure*
-/// semantics as well: an undecodable round errors out of both paths.
-#[test]
-fn threaded_wrapper_and_driver_agree_on_timeout() {
-    let data = synthetic::linear_regression(40, 2, 0.01, &mut StdRng::seed_from_u64(12));
-    let code = hetgc::naive(3).unwrap();
-    let config = RuntimeConfig::nominal(3)
-        .set_behavior(1, WorkerBehavior::nominal().failing_from(1))
-        .with_timeout(Duration::from_millis(250));
-
-    let legacy = ThreadedTrainer::new(
-        code.clone(),
-        LinearRegression::new(2),
-        data.clone(),
-        Sgd::new(0.1),
-        config.clone(),
-    )
-    .unwrap()
-    .run(3, &mut StdRng::seed_from_u64(13));
-    assert!(legacy.is_err());
-
-    let model = Arc::new(LinearRegression::new(2));
-    let shared = Arc::new(data);
-    let mut engine =
-        ThreadedEngine::new(code, Arc::clone(&model), Arc::clone(&shared), &config).unwrap();
-    let new = TrainDriver::new(&*model, &shared, Sgd::new(0.1)).run(
-        &mut engine,
-        3,
-        &mut StdRng::seed_from_u64(13),
-    );
-    assert!(new.is_err());
 }
 
 /// The coded-SSP acceptance scenario: with two dead workers and s = 1,
