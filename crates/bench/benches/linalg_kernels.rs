@@ -1,0 +1,102 @@
+//! The chunked linalg kernels against naive scalar loops, at three
+//! model sizes (d = 1 k, 64 k, 1 M):
+//!
+//! * `linalg/axpy/*`         — `y += alpha * x`, the decode inner loop;
+//! * `linalg/dot/*`          — reduction with `LANES` partial
+//!   accumulators vs a single serial accumulator;
+//! * `linalg/block_decode/*` — the whole-round plan-matrix × arrival-block
+//!   product vs the equivalent per-row scalar sweep.
+//!
+//! The scalar arms are written inline (plain indexed loops) so they
+//! stay a faithful "what the code did before" baseline even as
+//! `hetgc_linalg` evolves. The CI `bench-smoke` job runs this bench
+//! with `--test` on every PR.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hetgc_linalg::kernels;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const DIMS: [usize; 3] = [1_024, 65_536, 1_048_576];
+
+fn vectors(d: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let x: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    let y: Vec<f64> = (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    (x, y)
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    for d in DIMS {
+        let (x, base) = vectors(d, 7);
+        let mut y = base.clone();
+        let mut group = c.benchmark_group(format!("linalg/axpy/d{d}"));
+        group.bench_function("scalar", |b| {
+            b.iter(|| {
+                for (o, &v) in y.iter_mut().zip(&x) {
+                    *o += 1.5 * v;
+                }
+                black_box(y[0])
+            })
+        });
+        group.bench_function("chunked", |b| {
+            b.iter(|| {
+                kernels::axpy(1.5, &x, &mut y);
+                black_box(y[0])
+            })
+        });
+        group.finish();
+    }
+}
+
+fn bench_dot(c: &mut Criterion) {
+    for d in DIMS {
+        let (x, y) = vectors(d, 11);
+        let mut group = c.benchmark_group(format!("linalg/dot/d{d}"));
+        group.bench_function("scalar", |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for (&a, &b) in x.iter().zip(&y) {
+                    acc += a * b;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_function("chunked", |b| b.iter(|| black_box(kernels::dot(&x, &y))));
+        group.finish();
+    }
+}
+
+fn bench_block_decode(c: &mut Criterion) {
+    const ROWS: usize = 7; // survivors of an m = 8, s = 1 round
+    for d in DIMS {
+        let mut rng = StdRng::seed_from_u64(13);
+        let rows: Vec<Vec<f64>> = (0..ROWS)
+            .map(|_| (0..d).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect();
+        let coeffs: Vec<f64> = (0..ROWS).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut out = vec![0.0; d];
+        let mut group = c.benchmark_group(format!("linalg/block_decode/d{d}"));
+        group.bench_function("per_row_scalar", |b| {
+            b.iter(|| {
+                out.fill(0.0);
+                for (row, &coef) in rows.iter().zip(&coeffs) {
+                    for (o, &v) in out.iter_mut().zip(row) {
+                        *o += coef * v;
+                    }
+                }
+                black_box(out[0])
+            })
+        });
+        group.bench_function("blocked", |b| {
+            b.iter(|| {
+                kernels::block_decode(&coeffs, &|i| rows[i].as_slice(), &mut out);
+                black_box(out[0])
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_axpy, bench_dot, bench_block_decode);
+criterion_main!(benches);

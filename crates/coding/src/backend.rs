@@ -126,11 +126,11 @@ impl GradientCodec for AnyCodec {
         self.as_compiled().encode(worker, partials)
     }
 
-    fn encode_into(
+    fn encode_into<E: hetgc_linalg::Element>(
         &self,
         worker: usize,
-        partials: &GradientBlock,
-        out: &mut [f64],
+        partials: &GradientBlock<E>,
+        out: &mut [E],
     ) -> Result<(), CodingError> {
         self.as_compiled().encode_into(worker, partials, out)
     }

@@ -13,6 +13,13 @@
 //! data-plane allocations. See `GradientCodec::encode_into` and
 //! `DecodePlan::apply_into` for the codec entry points built on top.
 //!
+//! Both types are generic over the sealed
+//! [`Element`](hetgc_linalg::Element) trait (`f64` by default, `f32`
+//! available): the storage layer is precision-agnostic, so a
+//! lower-precision data plane reuses the same pooling and the same codec
+//! entry points. Coding *construction* (decode-vector solves, rank
+//! checks) stays `f64` regardless.
+//!
 //! # Ownership rules ([`BufferPool`])
 //!
 //! * [`BufferPool::checkout`] transfers ownership of a `dim`-length,
@@ -30,11 +37,12 @@
 //!   telemetry (`RoundRecord.pool_hits` / `RoundRecord.alloc_bytes`).
 
 use crate::error::CodingError;
+use hetgc_linalg::Element;
 
 /// Flat, contiguous `rows × dim` gradient storage: row `j` is partition
 /// `j`'s partial gradient (or worker `j`'s coded gradient, depending on
 /// the consumer). One allocation holds the whole block; rows are borrowed
-/// slices, never copied.
+/// slices, never copied. Generic over the element type (`f64` default).
 ///
 /// # Example
 ///
@@ -46,19 +54,22 @@ use crate::error::CodingError;
 /// assert_eq!(block.row(1), &[1.0, 2.0, 3.0, 4.0]);
 /// assert_eq!(block.row(0), &[0.0; 4]);
 /// assert_eq!(block.as_slice().len(), 12);
+///
+/// let half = GradientBlock::<f32>::new(2, 4); // lower-precision plane
+/// assert_eq!(half.row(0), &[0.0_f32; 4]);
 /// ```
 #[derive(Debug, Clone, PartialEq)]
-pub struct GradientBlock {
-    data: Vec<f64>,
+pub struct GradientBlock<E: Element = f64> {
+    data: Vec<E>,
     rows: usize,
     dim: usize,
 }
 
-impl GradientBlock {
+impl<E: Element> GradientBlock<E> {
     /// A zeroed `rows × dim` block (one allocation).
     pub fn new(rows: usize, dim: usize) -> Self {
         GradientBlock {
-            data: vec![0.0; rows * dim],
+            data: vec![E::ZERO; rows * dim],
             rows,
             dim,
         }
@@ -70,7 +81,7 @@ impl GradientBlock {
     /// # Errors
     ///
     /// [`CodingError::InvalidParameter`] when row lengths disagree.
-    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, CodingError> {
+    pub fn from_rows(rows: &[Vec<E>]) -> Result<Self, CodingError> {
         let dim = rows.first().map_or(0, Vec::len);
         let mut block = GradientBlock::new(rows.len(), dim);
         for (j, row) in rows.iter().enumerate() {
@@ -99,7 +110,7 @@ impl GradientBlock {
     /// # Panics
     ///
     /// Panics if `i >= rows`.
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[E] {
         assert!(i < self.rows, "row {i} >= rows={}", self.rows);
         &self.data[i * self.dim..(i + 1) * self.dim]
     }
@@ -109,24 +120,24 @@ impl GradientBlock {
     /// # Panics
     ///
     /// Panics if `i >= rows`.
-    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+    pub fn row_mut(&mut self, i: usize) -> &mut [E] {
         assert!(i < self.rows, "row {i} >= rows={}", self.rows);
         &mut self.data[i * self.dim..(i + 1) * self.dim]
     }
 
     /// The whole block, row-major.
-    pub fn as_slice(&self) -> &[f64] {
+    pub fn as_slice(&self) -> &[E] {
         &self.data
     }
 
     /// The whole block, row-major, mutable.
-    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+    pub fn as_mut_slice(&mut self) -> &mut [E] {
         &mut self.data
     }
 
     /// Zeroes every entry (keeps the allocation).
     pub fn clear(&mut self) {
-        self.data.fill(0.0);
+        self.data.fill(E::ZERO);
     }
 
     /// Reshapes to `rows × dim`, zeroing the contents. Reuses the existing
@@ -136,20 +147,33 @@ impl GradientBlock {
         self.rows = rows;
         self.dim = dim;
         self.data.clear();
-        self.data.resize(rows * dim, 0.0);
+        self.data.resize(rows * dim, E::ZERO);
     }
 
     /// Copies the block out as the legacy `Vec<Vec<f64>>` layout — the
     /// bridge for the deprecated allocating entry points; avoid it on hot
     /// paths.
-    pub fn to_rows(&self) -> Vec<Vec<f64>> {
+    pub fn to_rows(&self) -> Vec<Vec<E>> {
         (0..self.rows).map(|i| self.row(i).to_vec()).collect()
+    }
+
+    /// Copies the block into a same-shape block of another element type,
+    /// converting through `f64` (exact when widening; rounds to nearest
+    /// when narrowing). The bridge the differential tests use to compare
+    /// element paths.
+    pub fn convert<T: Element>(&self) -> GradientBlock<T> {
+        let mut out = GradientBlock::new(self.rows, self.dim);
+        for (dst, src) in out.data.iter_mut().zip(&self.data) {
+            *dst = T::from_f64(src.to_f64());
+        }
+        out
     }
 }
 
 /// A pool of `dim`-length scratch vectors with checkout/recycle
 /// semantics: the steady-state replacement for per-round `vec![0.0; d]`.
-/// See the module docs for the ownership rules.
+/// Generic over the element type (`f64` default). See the module docs for
+/// the ownership rules.
 ///
 /// # Example
 ///
@@ -165,15 +189,15 @@ impl GradientBlock {
 /// assert_eq!((pool.hits(), pool.misses()), (1, 1));
 /// ```
 #[derive(Debug, Clone, Default)]
-pub struct BufferPool {
+pub struct BufferPool<E: Element = f64> {
     dim: usize,
-    free: Vec<Vec<f64>>,
+    free: Vec<Vec<E>>,
     hits: u64,
     misses: u64,
     alloc_bytes: u64,
 }
 
-impl BufferPool {
+impl<E: Element> BufferPool<E> {
     /// An empty pool of `dim`-length buffers.
     pub fn new(dim: usize) -> Self {
         BufferPool {
@@ -202,18 +226,18 @@ impl BufferPool {
     /// Checks a zeroed `dim`-length buffer out of the pool. Recycled
     /// buffers are re-zeroed here (never handed out dirty); an empty pool
     /// allocates (counted in [`BufferPool::alloc_bytes`]).
-    pub fn checkout(&mut self) -> Vec<f64> {
+    pub fn checkout(&mut self) -> Vec<E> {
         match self.free.pop() {
             Some(mut buf) => {
                 self.hits += 1;
                 buf.clear();
-                buf.resize(self.dim, 0.0);
+                buf.resize(self.dim, E::ZERO);
                 buf
             }
             None => {
                 self.misses += 1;
-                self.alloc_bytes += (self.dim * std::mem::size_of::<f64>()) as u64;
-                vec![0.0; self.dim]
+                self.alloc_bytes += (self.dim * E::BYTES) as u64;
+                vec![E::ZERO; self.dim]
             }
         }
     }
@@ -221,25 +245,25 @@ impl BufferPool {
     /// Checks out a buffer of an explicit length (instead of the pool's
     /// `dim`), zeroed — for callers with round-varying scratch sizes
     /// (e.g. a session's arrival-combination rows).
-    pub fn checkout_with_len(&mut self, len: usize) -> Vec<f64> {
+    pub fn checkout_with_len(&mut self, len: usize) -> Vec<E> {
         match self.free.pop() {
             Some(mut buf) => {
                 self.hits += 1;
                 buf.clear();
-                buf.resize(len, 0.0);
+                buf.resize(len, E::ZERO);
                 buf
             }
             None => {
                 self.misses += 1;
-                self.alloc_bytes += (len * std::mem::size_of::<f64>()) as u64;
-                vec![0.0; len]
+                self.alloc_bytes += (len * E::BYTES) as u64;
+                vec![E::ZERO; len]
             }
         }
     }
 
     /// Checks out a buffer initialized as a copy of `src` (fully
     /// overwritten — no zeroing pass needed).
-    pub fn checkout_copied(&mut self, src: &[f64]) -> Vec<f64> {
+    pub fn checkout_copied(&mut self, src: &[E]) -> Vec<E> {
         match self.free.pop() {
             Some(mut buf) => {
                 self.hits += 1;
@@ -258,7 +282,7 @@ impl BufferPool {
     /// Returns a buffer to the pool. Buffers of a different length are
     /// accepted too (they are resized at the next checkout), so a pool
     /// survives a re-code that changes `dim`.
-    pub fn recycle(&mut self, buf: Vec<f64>) {
+    pub fn recycle(&mut self, buf: Vec<E>) {
         self.free.push(buf);
     }
 
@@ -309,7 +333,7 @@ mod tests {
 
     #[test]
     fn block_reset_reuses_capacity() {
-        let mut b = GradientBlock::new(4, 8);
+        let mut b = GradientBlock::<f64>::new(4, 8);
         b.row_mut(3)[7] = 9.0;
         let ptr = b.as_slice().as_ptr();
         b.reset(2, 16); // same total size: must not reallocate
@@ -327,14 +351,25 @@ mod tests {
     }
 
     #[test]
+    fn block_f32_and_conversion() {
+        let mut b = GradientBlock::<f32>::new(2, 2);
+        b.row_mut(0).copy_from_slice(&[1.5, -2.5]);
+        assert_eq!(b.row(0), &[1.5_f32, -2.5]);
+        let wide: GradientBlock<f64> = b.convert();
+        assert_eq!(wide.row(0), &[1.5, -2.5]); // widening is exact
+        let narrow: GradientBlock<f32> = wide.convert();
+        assert_eq!(narrow, b);
+    }
+
+    #[test]
     #[should_panic(expected = "row 2")]
     fn block_row_out_of_range_panics() {
-        GradientBlock::new(2, 3).row(2);
+        GradientBlock::<f64>::new(2, 3).row(2);
     }
 
     #[test]
     fn pool_checkout_recycle_counts() {
-        let mut pool = BufferPool::new(3);
+        let mut pool = BufferPool::<f64>::new(3);
         let a = pool.checkout();
         let b = pool.checkout();
         assert_eq!(pool.misses(), 2);
@@ -348,6 +383,14 @@ mod tests {
     }
 
     #[test]
+    fn pool_f32_counts_narrow_bytes() {
+        let mut pool = BufferPool::<f32>::new(3);
+        let buf = pool.checkout();
+        assert_eq!(buf, vec![0.0_f32; 3]);
+        assert_eq!(pool.alloc_bytes(), 3 * 4, "f32 misses count 4 bytes/elem");
+    }
+
+    #[test]
     fn pool_rezeros_recycled_buffers() {
         let mut pool = BufferPool::new(4);
         let mut buf = pool.checkout();
@@ -358,7 +401,7 @@ mod tests {
 
     #[test]
     fn pool_survives_dim_change() {
-        let mut pool = BufferPool::new(2);
+        let mut pool = BufferPool::<f64>::new(2);
         let buf = pool.checkout();
         pool.recycle(buf);
         pool.reset_dim(5);

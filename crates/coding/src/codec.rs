@@ -57,9 +57,10 @@
 //! # }
 //! ```
 
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
-use hetgc_linalg::{solve_any, vec_ops, DEFAULT_TOLERANCE};
+use hetgc_linalg::{kernels, solve_any, vec_ops, Element, DEFAULT_TOLERANCE};
 
 use crate::block::{BufferPool, GradientBlock};
 use crate::error::CodingError;
@@ -201,22 +202,31 @@ impl DecodePlan {
     /// primary decode entry point. `out` must already have the gradient
     /// dimension (checkout a buffer from a [`BufferPool`] or reuse a
     /// [`GradientBlock`] row); `coded_of(w)` returns worker `w`'s coded
-    /// gradient, or `None` when it never arrived.
+    /// gradient, or `None` when it never arrived. Generic over the
+    /// element type; decode coefficients are solved in `f64` and converted
+    /// at the kernel boundary (the identity for `f64`).
+    ///
+    /// This variant takes an `FnMut` fetcher and combines row by row.
+    /// When the fetcher is `Fn + Sync` (it almost always is), prefer
+    /// [`DecodePlan::apply_rows_into`] / [`DecodePlan::apply_block_into`]:
+    /// same bitwise result, but through the cache-blocked whole-round
+    /// kernel.
     ///
     /// # Errors
     ///
     /// [`CodingError::InvalidParameter`] when the plan is empty, a needed
     /// coded gradient is missing, or dimensions disagree.
-    pub fn apply_into<'a, F>(&self, mut coded_of: F, out: &mut [f64]) -> Result<(), CodingError>
+    pub fn apply_into<'a, E, F>(&self, mut coded_of: F, out: &mut [E]) -> Result<(), CodingError>
     where
-        F: FnMut(usize) -> Option<&'a [f64]>,
+        E: Element,
+        F: FnMut(usize) -> Option<&'a [E]>,
     {
         if self.is_empty() {
             return Err(CodingError::InvalidParameter {
                 reason: "empty decode plan: no worker carries decode weight".into(),
             });
         }
-        out.fill(0.0);
+        out.fill(E::ZERO);
         for (w, coef) in self.iter() {
             let g = coded_of(w).ok_or_else(|| missing_worker(w))?;
             if g.len() != out.len() {
@@ -224,24 +234,70 @@ impl DecodePlan {
                     reason: format!("worker {w} gradient dim {} != {}", g.len(), out.len()),
                 });
             }
-            vec_ops::axpy(coef, g, out);
+            kernels::axpy(E::from_f64(coef), g, out);
         }
         Ok(())
     }
 
-    /// [`DecodePlan::apply_into`] over a [`GradientBlock`] whose row `w`
-    /// holds worker `w`'s coded gradient (the master-side arrival block).
+    /// Whole-round decode through the cache-blocked
+    /// [`kernels::block_decode`] kernel: one plan-vector × arrival-rows
+    /// product instead of a sequence of full-length row combines. The
+    /// per-element accumulation order over the plan's workers is
+    /// unchanged, so the result is **bitwise-identical** to
+    /// [`DecodePlan::apply_into`] — this is a locality/parallelism
+    /// optimization, not a semantics change.
+    ///
+    /// All needed rows are validated (presence and dimension) before the
+    /// kernel runs. Sequential decodes allocate nothing; for outputs of
+    /// [`kernels::PAR_MIN_DIM`] elements or more on multi-core hosts the
+    /// kernel spawns scoped threads across the `d` dimension (which
+    /// allocates — large-`d` decodes trade the zero-allocation guarantee
+    /// for the parallel win).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`DecodePlan::apply_into`].
+    pub fn apply_rows_into<'a, E, F>(&self, coded_of: F, out: &mut [E]) -> Result<(), CodingError>
+    where
+        E: Element,
+        F: Fn(usize) -> Option<&'a [E]> + Sync,
+    {
+        if self.is_empty() {
+            return Err(CodingError::InvalidParameter {
+                reason: "empty decode plan: no worker carries decode weight".into(),
+            });
+        }
+        for &w in &self.workers {
+            let g = coded_of(w).ok_or_else(|| missing_worker(w))?;
+            if g.len() != out.len() {
+                return Err(CodingError::InvalidParameter {
+                    reason: format!("worker {w} gradient dim {} != {}", g.len(), out.len()),
+                });
+            }
+        }
+        kernels::block_decode(
+            &self.coefficients,
+            &|i| coded_of(self.workers[i]).expect("validated above"),
+            out,
+        );
+        Ok(())
+    }
+
+    /// [`DecodePlan::apply_rows_into`] over a [`GradientBlock`] whose row
+    /// `w` holds worker `w`'s coded gradient (the master-side arrival
+    /// block) — the tightest decode path: contiguous rows through the
+    /// blocked kernel.
     ///
     /// # Errors
     ///
     /// Same contract as [`DecodePlan::apply_into`]; rows beyond the block
     /// surface as missing workers.
-    pub fn apply_block_into(
+    pub fn apply_block_into<E: Element>(
         &self,
-        arrivals: &GradientBlock,
-        out: &mut [f64],
+        arrivals: &GradientBlock<E>,
+        out: &mut [E],
     ) -> Result<(), CodingError> {
-        self.apply_into(|w| (w < arrivals.rows()).then(|| arrivals.row(w)), out)
+        self.apply_rows_into(|w| (w < arrivals.rows()).then(|| arrivals.row(w)), out)
     }
 
     /// Refills the plan in place from a dense decode vector (capacity
@@ -302,30 +358,37 @@ pub trait GradientCodec {
     /// zero-allocation primary encode entry point of the data plane.
     /// `partials` is the `k × d` block of per-partition gradients
     /// (row `j` = partition `j`); `out` must have length `d` and is fully
-    /// overwritten.
+    /// overwritten. Generic over the element type (`f64` and `f32`);
+    /// coding coefficients stay `f64` and convert at the kernel boundary.
     ///
     /// The default implementation routes through the allocating
-    /// [`GradientCodec::encode`]; the compiled backends override it with a
-    /// direct CSR accumulation that allocates nothing.
+    /// [`GradientCodec::encode`] in `f64` (identity conversions when
+    /// `E = f64`, so results are unchanged bitwise); the compiled backends
+    /// override it with a direct CSR accumulation through the chunked
+    /// kernels that allocates nothing.
     ///
     /// # Errors
     ///
     /// [`CodingError::InvalidParameter`] when the block shape or `out`
     /// length disagrees with the code.
-    fn encode_into(
+    fn encode_into<E: Element>(
         &self,
         worker: usize,
-        partials: &GradientBlock,
-        out: &mut [f64],
+        partials: &GradientBlock<E>,
+        out: &mut [E],
     ) -> Result<(), CodingError> {
-        let rows = partials.to_rows();
+        let rows: Vec<Vec<f64>> = (0..partials.rows())
+            .map(|j| partials.row(j).iter().map(|v| v.to_f64()).collect())
+            .collect();
         let coded = self.encode(worker, &rows)?;
         if coded.len() != out.len() {
             return Err(CodingError::InvalidParameter {
                 reason: format!("out has dim {}, expected {}", out.len(), coded.len()),
             });
         }
-        out.copy_from_slice(&coded);
+        for (o, &v) in out.iter_mut().zip(&coded) {
+            *o = E::from_f64(v);
+        }
         Ok(())
     }
 
@@ -766,6 +829,29 @@ impl PlanCache {
     }
 }
 
+/// Per-key in-flight solve deduplication ("singleflight") for the decode
+/// cache's miss path. The cache lock is deliberately released during the
+/// `O(mk²)` dense solve — holding it would serialize unrelated decodes —
+/// but that used to mean N threads missing on the *same* survivor pattern
+/// each ran their own full solve. The gate tracks the patterns currently
+/// being solved: the first thread to miss becomes the leader and solves;
+/// the rest block on the condvar, then re-probe the cache the leader
+/// populated.
+///
+/// If the leader fails (e.g. [`CodingError::NotDecodable`]) or panics,
+/// the key is removed (panic-safely, via a drop guard) and one waiter
+/// takes over as the new leader — errors are deterministic per pattern,
+/// so the retry reproduces the same error rather than hanging.
+#[derive(Debug, Default)]
+struct SolveGate {
+    /// Survivor keys currently being solved by some thread.
+    inflight: Mutex<Vec<Vec<usize>>>,
+    /// Signalled whenever a leader finishes (success or not).
+    done: Condvar,
+    /// Dense solves actually performed (the singleflight test observable).
+    solves: AtomicU64,
+}
+
 /// A [`CodingMatrix`] compiled for the per-iteration hot path: CSR-style
 /// sparse per-worker supports/coefficients, an LRU decode-plan cache
 /// keyed by sorted survivor sets, and cheap [`CodecSession`] spawning
@@ -784,6 +870,7 @@ pub struct CompiledCodec {
     coeffs: Vec<f64>,
     store: Arc<RowStore>,
     cache: Mutex<PlanCache>,
+    gate: SolveGate,
 }
 
 impl Clone for CompiledCodec {
@@ -795,6 +882,7 @@ impl Clone for CompiledCodec {
             coeffs: self.coeffs.clone(),
             store: Arc::clone(&self.store),
             cache: Mutex::new(self.cache.lock().expect("cache poisoned").clone()),
+            gate: SolveGate::default(),
         }
     }
 }
@@ -834,6 +922,7 @@ impl CompiledCodec {
             coeffs,
             store,
             cache: Mutex::new(cache),
+            gate: SolveGate::default(),
         }
     }
 
@@ -880,6 +969,68 @@ impl CompiledCodec {
     /// Number of survivor patterns currently cached.
     pub fn cached_plans(&self) -> usize {
         self.cache.lock().expect("cache poisoned").entries.len()
+    }
+
+    /// Dense decode solves actually performed. With the singleflight
+    /// gate, concurrent misses on the same survivor pattern cost one
+    /// solve (not one per thread), so under racing sessions this stays
+    /// well below [`CompiledCodec::cache_misses`].
+    pub fn plan_solves(&self) -> u64 {
+        self.gate.solves.load(Ordering::Relaxed)
+    }
+
+    /// The cache-miss solve path, deduplicated per survivor pattern: at
+    /// most one thread solves a given `key` at a time, and threads that
+    /// arrive while a solve is in flight wait for it and reuse the cached
+    /// result. See [`SolveGate`].
+    fn solve_shared(&self, key: Vec<usize>) -> Result<DecodePlan, CodingError> {
+        loop {
+            let flights = self.gate.inflight.lock().expect("gate poisoned");
+            if flights.contains(&key) {
+                // Someone is already solving this pattern: wait for the
+                // leader to finish, then re-probe the cache it populated.
+                let _woken = self.gate.done.wait(flights).expect("gate poisoned");
+                drop(_woken);
+                if let Some(plan) = self.cache.lock().expect("cache poisoned").lookup(&key) {
+                    return Ok(plan);
+                }
+                // Leader failed (or the plan was already evicted): retry,
+                // possibly becoming the new leader.
+                continue;
+            }
+            let mut flights = flights;
+            flights.push(key.clone());
+            break;
+        }
+        // This thread is the leader for `key`. The guard removes the key
+        // and wakes waiters however the solve exits — success, error, or
+        // panic — so waiters can never hang on a dead leader.
+        struct FlightGuard<'a> {
+            gate: &'a SolveGate,
+            key: &'a [usize],
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                let mut flights = self.gate.inflight.lock().expect("gate poisoned");
+                if let Some(pos) = flights.iter().position(|k| k == self.key) {
+                    flights.remove(pos);
+                }
+                drop(flights);
+                self.gate.done.notify_all();
+            }
+        }
+        let _flight = FlightGuard {
+            gate: &self.gate,
+            key: &key,
+        };
+        self.gate.solves.fetch_add(1, Ordering::Relaxed);
+        let dense = solve_decode_dense(&self.code, &key)?;
+        let plan = DecodePlan::from_dense(&dense);
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key.clone(), plan.clone());
+        Ok(plan)
     }
 
     /// [`GradientCodec::decode_plan`] addressed by *stragglers* instead of
@@ -944,7 +1095,15 @@ impl CompiledCodec {
         }
         let support = self.support_of(worker);
         let coeffs = self.coefficients_of(worker);
-        let dim = support.first().map(|&j| partials[j].len()).unwrap_or(0);
+        // The coded vector's dimension comes from the partials the worker
+        // actually combines; a worker with an *empty* support must still
+        // emit a d-length zero vector (not a 0-length one — downstream
+        // treats that as a dim mismatch), so fall back to the first
+        // non-empty partial in the block.
+        let dim = match support.first() {
+            Some(&j) => partials[j].len(),
+            None => partials.iter().find(|p| !p.is_empty()).map_or(0, Vec::len),
+        };
         out.clear();
         out.resize(dim, 0.0);
         for (&j, &coef) in support.iter().zip(coeffs) {
@@ -998,18 +1157,9 @@ impl GradientCodec for CompiledCodec {
             .probe(survivors, self.code.workers())?;
         match probed {
             Ok(plan) => Ok(plan),
-            Err(key) => {
-                // Concurrent misses on the same pattern may race to
-                // insert (the lock is released during the solve);
-                // `insert` keeps the cache duplicate-free.
-                let dense = solve_decode_dense(&self.code, &key)?;
-                let plan = DecodePlan::from_dense(&dense);
-                self.cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(key, plan.clone());
-                Ok(plan)
-            }
+            // Misses go through the singleflight gate: concurrent misses
+            // on the same pattern share one dense solve.
+            Err(key) => self.solve_shared(key),
         }
     }
 
@@ -1017,11 +1167,11 @@ impl GradientCodec for CompiledCodec {
         CodecSession::new(Arc::clone(&self.store))
     }
 
-    fn encode_into(
+    fn encode_into<E: Element>(
         &self,
         worker: usize,
-        partials: &GradientBlock,
-        out: &mut [f64],
+        partials: &GradientBlock<E>,
+        out: &mut [E],
     ) -> Result<(), CodingError> {
         if partials.rows() != self.partitions() {
             return Err(CodingError::InvalidParameter {
@@ -1037,12 +1187,14 @@ impl GradientCodec for CompiledCodec {
                 reason: format!("out has dim {}, expected {}", out.len(), partials.dim()),
             });
         }
-        out.fill(0.0);
         let support = self.support_of(worker);
         let coeffs = self.coefficients_of(worker);
-        for (&j, &coef) in support.iter().zip(coeffs) {
-            vec_ops::axpy(coef, partials.row(j), out);
-        }
+        // The CSR-gathered support rows through the column-blocked kernel,
+        // bitwise-identical to the fill + per-row axpy sequence it
+        // replaces. Sequential (`max_threads = 1`): encodes are already
+        // parallel across workers in the threaded engine, and the
+        // steady-state hot path must not allocate (spawning would).
+        kernels::block_decode_threads(coeffs, &|i| partials.row(support[i]), out, 1);
         Ok(())
     }
 }
@@ -1055,13 +1207,7 @@ impl CompiledCodec {
         if let Some(plan) = self.cache.lock().expect("cache poisoned").lookup(&key) {
             return Ok(plan);
         }
-        let dense = solve_decode_dense(&self.code, &key)?;
-        let plan = DecodePlan::from_dense(&dense);
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, plan.clone());
-        Ok(plan)
+        self.solve_shared(key)
     }
 }
 
@@ -1496,5 +1642,128 @@ mod tests {
             codec.decode_plan(&[0, 0]),
             Err(CodingError::InvalidParameter { .. })
         ));
+    }
+
+    /// Regression: a worker with an *empty* support must encode to a
+    /// `d`-length zero vector, not a 0-length one. The old code derived
+    /// the dimension from the first support entry, so an all-zero row
+    /// produced an empty reply that surfaced as a dim mismatch (or a
+    /// silently empty gradient) downstream.
+    #[test]
+    fn empty_support_worker_encodes_to_zero_vector() {
+        use hetgc_linalg::Matrix;
+        // Worker 1 computes nothing (all-zero row); workers 0 and 2 carry
+        // the code.
+        let b = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0], &[1.0, 2.0]]).unwrap();
+        let code = CodingMatrix::from_matrix(b, 0).unwrap();
+        let codec = CompiledCodec::new(code.clone());
+        let partials = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+
+        assert_eq!(codec.encode(1, &partials).unwrap(), vec![0.0; 3]);
+        assert_eq!(code.encode(1, &partials).unwrap(), vec![0.0; 3]);
+        // Ragged placeholders elsewhere don't confuse the fallback.
+        let ragged = vec![Vec::new(), vec![4.0, 5.0, 6.0]];
+        assert_eq!(codec.encode(1, &ragged).unwrap(), vec![0.0; 3]);
+        // The block path agrees.
+        let block = GradientBlock::from_rows(&partials).unwrap();
+        let mut out = [f64::NAN; 3];
+        codec.encode_into(1, &block, &mut out).unwrap();
+        assert_eq!(out, [0.0; 3]);
+        // All-empty partials still yield an empty vector (nothing to size
+        // against) rather than panicking.
+        assert_eq!(codec.encode(1, &[Vec::new(), Vec::new()]).unwrap(), vec![]);
+    }
+
+    /// The singleflight gate: threads racing a cache miss on the *same*
+    /// survivor pattern share one dense solve.
+    #[test]
+    fn concurrent_decode_plan_misses_solve_once() {
+        let b = code();
+        let codec = std::sync::Arc::new(CompiledCodec::new(b));
+        const THREADS: usize = 8;
+        // A barrier maximizes the chance every thread misses before any
+        // leader finishes; correctness doesn't depend on the interleaving.
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        let plans: Vec<DecodePlan> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let codec = std::sync::Arc::clone(&codec);
+                    let barrier = std::sync::Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        codec.decode_plan(&[0, 1, 3, 4]).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for plan in &plans {
+            assert_eq!(plan, &plans[0], "all threads see the same plan");
+        }
+        assert_eq!(codec.plan_solves(), 1, "racing misses must share one solve");
+        assert_eq!(codec.cached_plans(), 1);
+        // Undecodable patterns keep erroring deterministically through the
+        // gate (and count their solve attempts).
+        assert!(matches!(
+            codec.decode_plan(&[0]),
+            Err(CodingError::NotDecodable { .. })
+        ));
+        assert!(matches!(
+            codec.decode_plan(&[0]),
+            Err(CodingError::NotDecodable { .. })
+        ));
+        assert_eq!(codec.plan_solves(), 3, "failed solves are not cached");
+    }
+
+    /// The blocked `apply_rows_into`/`apply_block_into` decode paths are
+    /// bitwise-identical to the sequential `apply_into`, and the `f32`
+    /// element path mirrors the same plan.
+    #[test]
+    fn blocked_apply_paths_match_sequential_bitwise() {
+        let b = code();
+        let codec = CompiledCodec::new(b);
+        let m = codec.workers();
+        let dim = 173; // not a multiple of the kernel lanes
+        let partials: Vec<Vec<f64>> = (0..codec.partitions())
+            .map(|j| (0..dim).map(|t| ((j * 31 + t) as f64).sin()).collect())
+            .collect();
+        let block = GradientBlock::from_rows(&partials).unwrap();
+        let mut arrivals = GradientBlock::new(m, dim);
+        for w in 0..m {
+            let mut row = vec![0.0; dim];
+            codec.encode_into(w, &block, &mut row).unwrap();
+            arrivals.row_mut(w).copy_from_slice(&row);
+        }
+        let survivors: Vec<usize> = (1..m).collect();
+        let plan = codec.decode_plan(&survivors).unwrap();
+
+        let mut sequential = vec![0.0; dim];
+        plan.apply_into(|w| (w > 0).then(|| arrivals.row(w)), &mut sequential)
+            .unwrap();
+        let mut blocked = vec![f64::NAN; dim];
+        plan.apply_rows_into(|w| (w > 0).then(|| arrivals.row(w)), &mut blocked)
+            .unwrap();
+        assert_eq!(sequential, blocked);
+        let mut from_block = vec![f64::NAN; dim];
+        plan.apply_block_into(&arrivals, &mut from_block).unwrap();
+        assert_eq!(sequential, from_block);
+
+        // f32: encode + decode through the same codec, generic element.
+        let narrow: GradientBlock<f32> = block.convert();
+        let mut narrow_arrivals = GradientBlock::<f32>::new(m, dim);
+        for w in 0..m {
+            let mut row = vec![0.0_f32; dim];
+            codec.encode_into(w, &narrow, &mut row).unwrap();
+            narrow_arrivals.row_mut(w).copy_from_slice(&row);
+        }
+        let mut narrow_out = vec![0.0_f32; dim];
+        plan.apply_block_into(&narrow_arrivals, &mut narrow_out)
+            .unwrap();
+        for (t, (&n, &w)) in narrow_out.iter().zip(&sequential).enumerate() {
+            assert!(
+                (f64::from(n) - w).abs() < 1e-2 * (1.0 + w.abs()),
+                "t = {t}: f32 {n} vs f64 {w}"
+            );
+        }
     }
 }

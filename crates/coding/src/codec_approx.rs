@@ -197,11 +197,11 @@ impl GradientCodec for ApproxCodec {
         self.inner.encode(worker, partials)
     }
 
-    fn encode_into(
+    fn encode_into<E: hetgc_linalg::Element>(
         &self,
         worker: usize,
-        partials: &crate::GradientBlock,
-        out: &mut [f64],
+        partials: &crate::GradientBlock<E>,
+        out: &mut [E],
     ) -> Result<(), CodingError> {
         self.inner.encode_into(worker, partials, out)
     }

@@ -147,7 +147,14 @@ impl CodingMatrix {
             });
         }
         let support = self.support_of(w);
-        let dim = support.first().map(|&j| partials[j].len()).unwrap_or(0);
+        // An empty-support worker must still emit a d-length zero vector
+        // (not a 0-length one), so fall back to the first non-empty
+        // partial for the dimension — mirroring `CompiledCodec`'s ragged
+        // encode, which the differential tests hold bitwise-equal to this.
+        let dim = match support.first() {
+            Some(&j) => partials[j].len(),
+            None => partials.iter().find(|p| !p.is_empty()).map_or(0, Vec::len),
+        };
         let mut out = vec![0.0; dim];
         for &j in &support {
             if partials[j].len() != dim {

@@ -245,10 +245,11 @@ pub fn residual_step_scale(
 /// The master-side coded gradient of one simulated round, shared by the
 /// BSP and coded-SSP engines, on the pooled data plane: partials written
 /// into the engine's reusable [`GradientBlock`] → sparse `encode_into`
-/// per plan worker (into the reusable `coded` scratch) → accumulate with
-/// the plan's decode weights — plus the rigorous
-/// [`gradient_error_bound_l2`] for approximate plans. The only per-round
-/// allocation left is the outgoing gradient vector itself.
+/// per plan worker (into that worker's row of the reusable `arrivals`
+/// block, exactly what the master would have received) → one whole-round
+/// `apply_block_into` decode through the blocked kernel — plus the
+/// rigorous [`gradient_error_bound_l2`] for approximate plans. The only
+/// per-round allocation left is the outgoing gradient vector itself.
 ///
 /// In debug builds, exact plans are verified against the direct
 /// full-batch gradient (approximate rounds legitimately deviate, bounded
@@ -262,19 +263,23 @@ fn gradient_from_plan<M: Model + ?Sized>(
     data: &Dataset,
     ranges: &[(usize, usize)],
     partials: &mut GradientBlock,
-    coded: &mut Vec<f64>,
+    arrivals: &mut GradientBlock,
 ) -> Result<(Vec<f64>, Option<f64>), BoxError> {
     partial_gradients_into(model, params, data, ranges, partials);
     let d = model.num_params();
-    coded.clear();
-    coded.resize(d, 0.0);
-    let mut gradient = vec![0.0; d];
-    for (w, coef) in plan.iter() {
-        codec.encode_into(w, partials, coded)?;
-        for (g, c) in gradient.iter_mut().zip(coded.iter()) {
-            *g += coef * c;
-        }
+    let m = codec.workers();
+    if arrivals.rows() != m || arrivals.dim() != d {
+        arrivals.reset(m, d);
     }
+    // Only the plan's rows are encoded (and only those are read by the
+    // decode), so rows of workers outside the plan may hold stale data —
+    // skipping the block-wide zeroing keeps the round allocation- and
+    // fill-free.
+    for (w, _) in plan.iter() {
+        codec.encode_into(w, partials, arrivals.row_mut(w))?;
+    }
+    let mut gradient = vec![0.0; d];
+    plan.apply_block_into(arrivals, &mut gradient)?;
     let approximate = plan.residual() > 0.0;
     debug_assert!(
         approximate || {
@@ -326,7 +331,8 @@ pub struct SimBspEngine<'a, M: Model + ?Sized> {
     stragglers: StragglerModel,
     fallback_deadline: Option<f64>,
     label: String,
-    coded: Vec<f64>,
+    /// Reusable m × d master-side arrival block (the pooled data plane).
+    arrivals: GradientBlock,
     /// Reusable k × d partial-gradient block (the pooled data plane).
     partials: GradientBlock,
     /// Session-pool counters at the end of the previous round, for
@@ -384,7 +390,7 @@ impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
             stragglers: cfg.stragglers.clone(),
             fallback_deadline,
             label: scheme.kind.name().to_owned(),
-            coded: Vec::new(),
+            arrivals: GradientBlock::new(0, 0),
             partials: GradientBlock::new(0, 0),
             pool_mark: (0, 0),
             kind: scheme.kind,
@@ -467,7 +473,7 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             self.data,
             &self.ranges,
             &mut self.partials,
-            &mut self.coded,
+            &mut self.arrivals,
         )?;
         let (pool_hits, alloc_bytes) = pool_delta(&self.session, &mut self.pool_mark);
 
@@ -595,7 +601,7 @@ enum SspMode {
         ranges: Vec<(usize, usize)>,
         live: Vec<usize>,
         reported: Vec<bool>,
-        coded: Vec<f64>,
+        arrivals: GradientBlock,
         partials: GradientBlock,
         pool_mark: (u64, u64),
         /// Iteration time per *live* worker (aligned with `live`).
@@ -728,7 +734,7 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
                 ranges,
                 live,
                 reported: vec![false; m],
-                coded: Vec::new(),
+                arrivals: GradientBlock::new(0, 0),
                 partials: GradientBlock::new(0, 0),
                 pool_mark: (0, 0),
                 iter_times,
@@ -817,7 +823,7 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 ranges,
                 live,
                 reported,
-                coded,
+                arrivals,
                 partials,
                 pool_mark,
                 iter_times,
@@ -864,7 +870,7 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 };
 
                 let (gradient, error_bound) = gradient_from_plan(
-                    codec, &plan, self.model, params, self.data, ranges, partials, coded,
+                    codec, &plan, self.model, params, self.data, ranges, partials, arrivals,
                 )?;
                 let elapsed = at - self.last_time;
                 self.last_time = at;

@@ -1,0 +1,188 @@
+//! The sealed [`Element`] trait: the scalar types the data-plane kernels
+//! operate on.
+//!
+//! Gradient coding *construction* (solving decode vectors, rank checks)
+//! stays in `f64` — the matrices are tiny and precision matters. The
+//! *data plane* (encoding `g̃_w = Σ_j b_wj·g_j`, decoding
+//! `g = Σ_w a_w·g̃_w` over `d`-length gradients) is where the bytes and
+//! the cycles are, and communication-efficient follow-ups need it in
+//! lower precision. [`Element`] is that seam: the chunked kernels in
+//! [`crate::kernels`] are generic over it, `f64` and `f32` implement it
+//! today, and a future bf16/quantized element only has to implement this
+//! trait to inherit the whole kernel + codec data plane.
+//!
+//! The trait is **sealed**: kernel semantics (bitwise scalar/chunked
+//! equivalence, zero/one identities) are part of this crate's contract,
+//! so downstream crates can rely on every `Element` behaving like an
+//! IEEE-754 float rather than guarding against exotic implementations.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub};
+
+mod sealed {
+    /// Prevents downstream `Element` implementations; see module docs.
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// A scalar element of the gradient data plane. See the module docs.
+///
+/// Implemented by `f64` and `f32`. All operations mirror the IEEE-754
+/// semantics of the underlying primitive: in particular `ZERO * x` is
+/// **not** assumed to be `ZERO` (it is NaN for non-finite `x`), which is
+/// why the kernels never short-circuit on zero coefficients.
+pub trait Element:
+    sealed::Sealed
+    + Copy
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Send
+    + Sync
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + MulAssign
+    + 'static
+{
+    /// The additive identity.
+    const ZERO: Self;
+    /// The multiplicative identity.
+    const ONE: Self;
+    /// Short type name (`"f64"`, `"f32"`) for telemetry and reports.
+    const NAME: &'static str;
+    /// Bytes per element (`std::mem::size_of::<Self>()`).
+    const BYTES: usize;
+
+    /// Conversion from `f64` (rounding to nearest for narrower types).
+    /// Decode coefficients are always solved in `f64` and converted at
+    /// the kernel boundary; for `f64` this is the identity.
+    fn from_f64(v: f64) -> Self;
+
+    /// Widening conversion to `f64` (exact for `f64` and `f32`).
+    fn to_f64(self) -> f64;
+
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+
+    /// IEEE-754 maximum (NaN-ignoring, as `f64::max`).
+    fn max(self, other: Self) -> Self;
+
+    /// Whether the value is neither infinite nor NaN.
+    fn is_finite(self) -> bool;
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f64";
+    const BYTES: usize = std::mem::size_of::<f64>();
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NAME: &'static str = "f32";
+    const BYTES: usize = std::mem::size_of::<f32>();
+
+    #[inline(always)]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+
+    #[inline(always)]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+
+    #[inline(always)]
+    fn max(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+
+    #[inline(always)]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_names() {
+        assert_eq!(<f64 as Element>::ZERO, 0.0);
+        assert_eq!(<f32 as Element>::ONE, 1.0);
+        assert_eq!(<f64 as Element>::NAME, "f64");
+        assert_eq!(<f32 as Element>::NAME, "f32");
+        assert_eq!(<f64 as Element>::BYTES, 8);
+        assert_eq!(<f32 as Element>::BYTES, 4);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(<f64 as Element>::from_f64(1.5).to_f64(), 1.5);
+        assert_eq!(<f32 as Element>::from_f64(1.5).to_f64(), 1.5);
+        // Narrowing rounds to nearest.
+        let narrowed = <f32 as Element>::from_f64(0.1);
+        assert_eq!(narrowed, 0.1_f32);
+    }
+
+    #[test]
+    fn zero_times_nan_is_nan() {
+        // The identity the kernels must respect: no zero short-circuit.
+        let z = <f64 as Element>::ZERO;
+        assert!((z * f64::NAN).is_nan());
+        let z = <f32 as Element>::ZERO;
+        assert!((z * f32::NAN).is_nan());
+    }
+}

@@ -17,7 +17,10 @@
 //!   for decode vectors over non-square survivor sets.
 //! * Rank and span utilities ([`Matrix::rank`], [`in_span`],
 //!   [`Matrix::row_space_contains`]) used by the Condition-C1 checker.
-//! * Vector helpers in [`vec_ops`].
+//! * The sealed [`Element`] trait (`f64`/`f32`) and the chunked,
+//!   auto-vectorizable data-plane kernels in [`kernels`] — the per-round
+//!   encode/decode hot loops, generic over the element type.
+//! * Vector helpers in [`vec_ops`] (`f64` instantiations of [`kernels`]).
 //!
 //! # Example
 //!
@@ -33,21 +36,27 @@
 //! # }
 //! ```
 //!
-//! All routines are `O(n³)` textbook implementations: the matrices involved
-//! in gradient coding are tiny (`m ≤` a few hundred workers, `s+1 ≤ m`), so
-//! clarity and numerical robustness (partial pivoting, explicit tolerance
-//! handling) win over blocked performance kernels.
+//! The *construction-time* routines ([`Matrix`], [`Lu`], [`Qr`]) are
+//! `O(n³)` textbook implementations: the matrices involved in gradient
+//! coding are tiny (`m ≤` a few hundred workers, `s+1 ≤ m`), so clarity
+//! and numerical robustness (partial pivoting, explicit tolerance
+//! handling) win over blocked performance kernels. The *data-plane*
+//! routines ([`kernels`]) are the opposite trade: they run over
+//! `d`-length gradients every round and are written to vectorize.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod element;
 mod error;
+pub mod kernels;
 mod lu;
 mod matrix;
 mod qr;
 mod rank;
 pub mod vec_ops;
 
+pub use element::Element;
 pub use error::LinalgError;
 pub use lu::Lu;
 pub use matrix::Matrix;

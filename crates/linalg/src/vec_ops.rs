@@ -4,8 +4,21 @@
 //! encoding (`g̃_i = Σ_j b_ij·g_j`) and decoding (`g = Σ_i a_i·g̃_i`) are
 //! repeated scaled accumulations. These helpers keep that code readable and
 //! give the property tests a single algebra to target.
+//!
+//! The hot operations (`dot`, `axpy`, `scale`, the norms) are thin `f64`
+//! instantiations of the chunked generic kernels in [`crate::kernels`];
+//! see that module for the vectorization and bitwise-equivalence
+//! contract. In particular `axpy` no longer special-cases `alpha == 0.0`:
+//! an earlier version returned early, which silently dropped NaN/±inf
+//! propagation from `x` (`0 · NaN` is NaN, not `0`) and made the scalar
+//! and chunked paths diverge bitwise on non-finite gradients.
+
+use crate::kernels;
 
 /// Dot product `Σ a_i·b_i`.
+///
+/// Accumulates over [`kernels::LANES`] partial sums (deterministic, but
+/// reassociated relative to a left-to-right fold).
 ///
 /// # Panics
 ///
@@ -16,52 +29,35 @@
 /// assert_eq!(hetgc_linalg::vec_ops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(
-        a.len(),
-        b.len(),
-        "dot: length mismatch {} vs {}",
-        a.len(),
-        b.len()
-    );
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    kernels::dot(a, b)
 }
 
 /// In-place scaled accumulation: `y += alpha * x` (BLAS `axpy`).
+///
+/// Exactly one multiply-add per element, with **no** `alpha == 0.0`
+/// shortcut: non-finite values in `x` propagate (`0 · NaN` is NaN), and
+/// the result is bitwise-identical to the scalar loop.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    assert_eq!(
-        x.len(),
-        y.len(),
-        "axpy: length mismatch {} vs {}",
-        x.len(),
-        y.len()
-    );
-    if alpha == 0.0 {
-        return;
-    }
-    for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    kernels::axpy(alpha, x, y);
 }
 
 /// In-place scaling: `x *= alpha`.
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    kernels::scale(alpha, x);
 }
 
-/// Euclidean norm `|x|₂`.
+/// Euclidean norm `|x|₂` (lane-accumulated, like [`dot`]).
 pub fn norm2(x: &[f64]) -> f64 {
-    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+    kernels::norm2(x)
 }
 
 /// Maximum absolute component `|x|_∞`.
 pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    kernels::norm_inf(x)
 }
 
 /// Number of non-zero entries — the `ℓ₀` "norm" `‖b‖₀` used throughout the
@@ -134,10 +130,18 @@ mod tests {
     }
 
     #[test]
-    fn axpy_zero_alpha_noop() {
+    fn axpy_zero_alpha_propagates_non_finite() {
+        // Finite inputs: alpha == 0 leaves y unchanged (x·0 == 0 exactly).
         let mut y = vec![1.0, 2.0];
         axpy(0.0, &[100.0, 100.0], &mut y);
         assert_eq!(y, vec![1.0, 2.0]);
+        // Non-finite inputs: the old early-return hid these; the pinned
+        // contract is IEEE-754 propagation.
+        let mut y = vec![1.0, 2.0, 3.0];
+        axpy(0.0, &[f64::NAN, f64::INFINITY, 5.0], &mut y);
+        assert!(y[0].is_nan());
+        assert!(y[1].is_nan());
+        assert_eq!(y[2], 3.0);
     }
 
     #[test]

@@ -4,8 +4,32 @@
 //! solve/inverse exactness, rank monotonicity, span-membership soundness,
 //! and the min-norm solver's exactness on full-row-rank systems.
 
-use hetgc_linalg::{in_span, solve_min_norm, Matrix, DEFAULT_TOLERANCE};
+use hetgc_linalg::{in_span, kernels, solve_min_norm, Matrix, DEFAULT_TOLERANCE};
 use proptest::prelude::*;
+
+/// Strategy: an element drawn from finite values *and* the non-finite
+/// specials, so kernel-equivalence properties cover NaN/±inf propagation
+/// (the old `axpy` zero-alpha shortcut diverged exactly there).
+fn wild_f64() -> impl Strategy<Value = f64> {
+    (0u32..13, -1e6f64..1e6).prop_map(|(tag, v)| match tag {
+        8 => f64::NAN,
+        9 => f64::INFINITY,
+        10 => f64::NEG_INFINITY,
+        11 => 0.0,
+        12 => -0.0,
+        _ => v,
+    })
+}
+
+/// Bitwise comparison that treats any-NaN-pattern as equal (proptest may
+/// synthesize the one NaN constant, but `0·∞` produces a different
+/// payload than `NAN`; they are the same value for our contract).
+fn bits_eq(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x.is_nan() && y.is_nan()) || x.to_bits() == y.to_bits())
+}
 
 /// Strategy: a well-conditioned-ish square matrix (diagonally dominated) of
 /// side `n`, entries in (-1, 1) plus `n` on the diagonal. Diagonal dominance
@@ -139,5 +163,66 @@ proptest! {
         let rows: Vec<&[f64]> = std::iter::repeat_n(row.as_slice(), k).collect();
         let m = Matrix::from_rows(&rows).unwrap();
         prop_assert_eq!(m.rank(DEFAULT_TOLERANCE), 1);
+    }
+
+    /// The chunked `axpy` kernel is bitwise-identical to the scalar
+    /// definition — including on NaN/±inf inputs with `alpha == 0.0`,
+    /// where the old early-return shortcut used to diverge.
+    #[test]
+    fn chunked_axpy_bitwise_equals_scalar(
+        alpha in wild_f64(),
+        xy in prop::collection::vec((wild_f64(), wild_f64()), 0..70),
+    ) {
+        let x: Vec<f64> = xy.iter().map(|p| p.0).collect();
+        let mut y: Vec<f64> = xy.iter().map(|p| p.1).collect();
+        let mut y_ref = y.clone();
+        kernels::axpy(alpha, &x, &mut y);
+        for (yi, &xi) in y_ref.iter_mut().zip(&x) {
+            *yi += alpha * xi;
+        }
+        prop_assert!(bits_eq(&y, &y_ref), "chunked {y:?} vs scalar {y_ref:?}");
+    }
+
+    /// Same pin for `scale`: elementwise, so chunking is layout-only.
+    #[test]
+    fn chunked_scale_bitwise_equals_scalar(
+        alpha in wild_f64(),
+        x in prop::collection::vec(wild_f64(), 0..70),
+    ) {
+        let mut chunked = x.clone();
+        let mut scalar = x;
+        kernels::scale(alpha, &mut chunked);
+        for v in scalar.iter_mut() {
+            *v *= alpha;
+        }
+        prop_assert!(bits_eq(&chunked, &scalar));
+    }
+
+    /// The whole-round block-decode kernel is bitwise-identical to the
+    /// per-row `axpy` sequence it replaces, for any row count, dimension
+    /// (spanning several column blocks), and thread split.
+    #[test]
+    fn block_decode_bitwise_equals_axpy_sequence(
+        coeffs in prop::collection::vec(-3.0f64..3.0, 0..6),
+        d in 1usize..(3 * kernels::COL_BLOCK),
+        seed in 0u64..1000,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..coeffs.len())
+            .map(|i| {
+                (0..d)
+                    .map(|t| (((seed + i as u64) * 31 + t as u64) % 97) as f64 - 48.0)
+                    .collect()
+            })
+            .collect();
+        let mut reference = vec![0.0; d];
+        for (i, &c) in coeffs.iter().enumerate() {
+            kernels::axpy(c, &rows[i], &mut reference);
+        }
+        let mut sequential = vec![f64::NAN; d];
+        kernels::block_decode_threads(&coeffs, &|i| rows[i].as_slice(), &mut sequential, 1);
+        prop_assert!(bits_eq(&sequential, &reference));
+        let mut parallel = vec![f64::NAN; d];
+        kernels::block_decode_threads(&coeffs, &|i| rows[i].as_slice(), &mut parallel, 4);
+        prop_assert!(bits_eq(&parallel, &reference));
     }
 }

@@ -482,7 +482,7 @@ where
         };
 
         let mut gradient = vec![0.0; self.model.num_params()];
-        plan.apply_into(|w| self.received[w].as_deref(), &mut gradient)?;
+        plan.apply_rows_into(|w| self.received[w].as_deref(), &mut gradient)?;
         let used = plan.len();
         let residual = plan.residual();
         let alloc_bytes = self

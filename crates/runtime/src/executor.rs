@@ -492,9 +492,10 @@ where
         };
 
         // g = Σ a_w · g̃_w (un-normalized), applied straight over the
-        // per-worker arrival slots — no clone of any coded payload.
+        // per-worker arrival slots — no clone of any coded payload — in
+        // one whole-round pass through the blocked decode kernel.
         let mut gradient = vec![0.0; self.model.num_params()];
-        plan.apply_into(|w| self.received[w].as_deref(), &mut gradient)?;
+        plan.apply_rows_into(|w| self.received[w].as_deref(), &mut gradient)?;
         let used = plan.len();
         let residual = plan.residual();
         // Every consumed reply cost exactly one worker-side payload
