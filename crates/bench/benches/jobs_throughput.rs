@@ -1,0 +1,68 @@
+//! End-to-end multi-tenant throughput: a batch of training jobs over one
+//! shared worker pool, scheduled concurrently versus run back to back.
+//!
+//! The claim this bench pins: with sleep-dominated rounds (workers that
+//! model real compute/network latency), time-slicing the pool overlaps
+//! the tenants' waiting, so the scheduled batch's `jobs/sec` beats the
+//! sequential baseline — the scheduler's whole reason to exist. The
+//! per-batch shared-plan reuse (solves ≪ lookups) rides along for free
+//! and is asserted by `crates/sched/tests/scheduler.rs`.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetgc_runtime::WorkerBehavior;
+use hetgc_sched::{JobScheduler, JobSpec, SharedWorkerPool};
+
+const ROUNDS: usize = 3;
+const JOBS: usize = 4;
+
+/// A 4-worker fleet with millisecond-scale rounds and one consistent
+/// straggler — small enough to keep the bench quick, slow enough that
+/// overlap (not raw compute) dominates the scheduled batch.
+fn delay_pool() -> SharedWorkerPool {
+    let fast = WorkerBehavior::nominal().with_delay(Duration::from_millis(2));
+    let slow = WorkerBehavior::nominal().with_delay(Duration::from_millis(6));
+    SharedWorkerPool::new(vec![1.0; 4])
+        .with_behaviors(vec![fast.clone(), fast.clone(), fast, slow])
+        .with_max_concurrent(JOBS)
+}
+
+fn batch(pool: SharedWorkerPool) -> JobScheduler {
+    let mut sched = JobScheduler::new(pool);
+    for i in 0..JOBS {
+        // Equal seeds: identical codes, one decode-plan namespace.
+        sched = sched.submit(
+            JobSpec::new(format!("bench-job-{i}"))
+                .with_rounds(ROUNDS)
+                .with_seed(11),
+        );
+    }
+    sched
+}
+
+fn bench_jobs_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched/jobs_throughput");
+    for (label, concurrent) in [("scheduled", true), ("sequential", false)] {
+        let sched = batch(delay_pool());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &concurrent,
+            |b, &conc| {
+                b.iter(|| {
+                    let report = if conc {
+                        sched.run().expect("scheduled batch")
+                    } else {
+                        sched.run_sequential().expect("sequential batch")
+                    };
+                    assert_eq!(report.outcomes.len(), JOBS);
+                    black_box(report.jobs_per_sec())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_jobs_throughput);
+criterion_main!(benches);

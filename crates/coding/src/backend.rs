@@ -85,6 +85,23 @@ impl AnyCodec {
             AnyCodec::Approx(c) => c.inner(),
         }
     }
+
+    /// Attaches the fleet-wide plan cache to whichever backend this is
+    /// (see `CompiledCodec::attach_shared_plans`): exact solves — and,
+    /// for the approximate backend, ridge solves — route through the
+    /// shared map from now on.
+    pub fn attach_shared_plans(&mut self, cache: std::sync::Arc<crate::SharedPlanCache>) {
+        match self {
+            AnyCodec::Exact(c) => c.attach_shared_plans(cache),
+            AnyCodec::Group(c) => c.attach_shared_plans(cache),
+            AnyCodec::Approx(c) => c.attach_shared_plans(cache),
+        }
+    }
+
+    /// The attached fleet-wide plan cache, if any.
+    pub fn shared_plans(&self) -> Option<&std::sync::Arc<crate::SharedPlanCache>> {
+        self.as_compiled().shared_plans()
+    }
 }
 
 impl From<CompiledCodec> for AnyCodec {

@@ -64,6 +64,7 @@ use hetgc_linalg::{kernels, solve_any, vec_ops, Element, DEFAULT_TOLERANCE};
 
 use crate::block::{BufferPool, GradientBlock};
 use crate::error::CodingError;
+use crate::shared_cache::{scheme_fingerprint, PlanClass, SharedPlanCache};
 use crate::strategy::CodingMatrix;
 
 /// Default number of survivor patterns a [`CompiledCodec`] remembers.
@@ -487,6 +488,14 @@ pub struct CodecSession {
     /// tracked group is fully intact, [`CodecSession::push`] returns its
     /// precompiled indicator plan and skips the elimination entirely.
     groups: Option<crate::codec_group::GroupTracker>,
+    /// Fleet fast path (set when the owning codec carries a
+    /// [`SharedPlanCache`]): the cache plus the scheme's content
+    /// fingerprint. Each arrival probes the cache with the sorted arrival
+    /// set; a hit decodes the round without any further elimination, and
+    /// a round the session solves itself is published back.
+    shared: Option<(Arc<SharedPlanCache>, u64)>,
+    /// Sorted-arrival scratch key for the shared-cache probes.
+    scratch_key: Vec<usize>,
 }
 
 impl CodecSession {
@@ -507,7 +516,24 @@ impl CodecSession {
             plan_slot: DecodePlan::from_dense(&[]),
             has_plan: false,
             groups: None,
+            shared: None,
+            scratch_key: Vec::new(),
         }
+    }
+
+    /// Attaches the fleet-wide [`SharedPlanCache`] (keyed under
+    /// `fingerprint`) to this session. Once a round decodes through a
+    /// shared hit, its elimination state is frozen until
+    /// [`CodecSession::reset`] — callers must not push further arrivals
+    /// into an already-decoded round, which the runtime's collect loop
+    /// never does.
+    pub(crate) fn with_shared_plans(
+        mut self,
+        cache: Arc<SharedPlanCache>,
+        fingerprint: u64,
+    ) -> Self {
+        self.shared = Some((cache, fingerprint));
+        self
     }
 
     /// A session that additionally watches the given groups: the
@@ -622,6 +648,25 @@ impl CodecSession {
             }
         }
 
+        // Fleet fast path: a co-tenant running the same scheme may already
+        // have solved this exact arrival set — a hit decodes the round
+        // with no elimination at all. A silent non-hit falls through; the
+        // round's one logical cache request resolves later, either as a
+        // probe hit on a subsequent arrival or as the publish of this
+        // session's own solve.
+        if let Some((cache, fingerprint)) = self.shared.take() {
+            self.scratch_key.clear();
+            self.scratch_key.extend_from_slice(&self.arrivals);
+            self.scratch_key.sort_unstable();
+            let reused = cache.try_reuse(fingerprint, PlanClass::Exact, &self.scratch_key);
+            self.shared = Some((cache, fingerprint));
+            if let Some(plan) = reused {
+                self.plan_slot = plan;
+                self.has_plan = true;
+                return Ok(true);
+            }
+        }
+
         // Reduce the new row against the basis, tracking the combination.
         let store = Arc::clone(&self.store);
         let src_row = &store.rows[worker];
@@ -677,6 +722,21 @@ impl CodecSession {
             }
             self.plan_slot.assign_dense(&self.scratch_dense, 0.0);
             self.has_plan = true;
+            // This session led the solve for the pattern: book the round's
+            // logical request as the miss it was and share the plan, so
+            // co-tenants (and this session's later rounds) hit instead.
+            if let Some((cache, fingerprint)) = self.shared.take() {
+                self.scratch_key.clear();
+                self.scratch_key.extend_from_slice(&self.arrivals);
+                self.scratch_key.sort_unstable();
+                cache.publish_solved(
+                    fingerprint,
+                    PlanClass::Exact,
+                    self.scratch_key.clone(),
+                    self.plan_slot.clone(),
+                );
+                self.shared = Some((cache, fingerprint));
+            }
         }
         self.scratch_target = target;
         self.scratch_combo = acc;
@@ -871,6 +931,14 @@ pub struct CompiledCodec {
     store: Arc<RowStore>,
     cache: Mutex<PlanCache>,
     gate: SolveGate,
+    /// Stable content hash of `code` — the scheme half of the shared
+    /// cache's key. Computed once at compile time.
+    fingerprint: u64,
+    /// Optional fleet-wide L2 behind the private `PlanCache`: attached,
+    /// every plan this codec would solve is first looked up in (and
+    /// published to) the shared map, so tenants running the same scheme
+    /// reuse each other's solves. See [`SharedPlanCache`].
+    shared: Option<Arc<SharedPlanCache>>,
 }
 
 impl Clone for CompiledCodec {
@@ -883,6 +951,8 @@ impl Clone for CompiledCodec {
             store: Arc::clone(&self.store),
             cache: Mutex::new(self.cache.lock().expect("cache poisoned").clone()),
             gate: SolveGate::default(),
+            fingerprint: self.fingerprint,
+            shared: self.shared.clone(),
         }
     }
 }
@@ -915,6 +985,7 @@ impl CompiledCodec {
             row_ptr.push(support.len());
         }
         let store = Arc::new(RowStore::from_code(&code));
+        let fingerprint = scheme_fingerprint(&code);
         CompiledCodec {
             code,
             row_ptr,
@@ -923,7 +994,36 @@ impl CompiledCodec {
             store,
             cache: Mutex::new(cache),
             gate: SolveGate::default(),
+            fingerprint,
+            shared: None,
         }
+    }
+
+    /// The scheme's stable content fingerprint (see
+    /// [`scheme_fingerprint`]): equal iff the coding matrices are
+    /// bitwise-identical, i.e. iff their decode plans are
+    /// interchangeable.
+    pub fn scheme_fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Routes this codec's plan solves through `cache`: future misses of
+    /// the private plan cache consult (and populate) the shared map, so
+    /// every codec attached to the same cache — across jobs, threads and
+    /// backends — pays for each distinct survivor pattern once.
+    pub fn attach_shared_plans(&mut self, cache: Arc<SharedPlanCache>) {
+        self.shared = Some(cache);
+    }
+
+    /// Builder form of [`CompiledCodec::attach_shared_plans`].
+    pub fn with_shared_plans(mut self, cache: Arc<SharedPlanCache>) -> Self {
+        self.attach_shared_plans(cache);
+        self
+    }
+
+    /// The attached fleet-wide plan cache, if any.
+    pub fn shared_plans(&self) -> Option<&Arc<SharedPlanCache>> {
+        self.shared.as_ref()
     }
 
     /// The underlying strategy matrix.
@@ -984,6 +1084,24 @@ impl CompiledCodec {
     /// arrive while a solve is in flight wait for it and reuse the cached
     /// result. See [`SolveGate`].
     fn solve_shared(&self, key: Vec<usize>) -> Result<DecodePlan, CodingError> {
+        // With a fleet cache attached, the miss path goes through *its*
+        // cross-instance singleflight instead of the local gate: another
+        // tenant's solve for the same (scheme, pattern) is reused, and a
+        // genuinely new pattern is solved exactly once fleet-wide. The
+        // plan back-fills the private cache so steady-state repeats stay
+        // on the borrowed-key local probe with no shared state touched.
+        if let Some(shared) = &self.shared {
+            let plan = shared.get_or_solve(self.fingerprint, PlanClass::Exact, &key, || {
+                self.gate.solves.fetch_add(1, Ordering::Relaxed);
+                let dense = solve_decode_dense(&self.code, &key)?;
+                Ok(DecodePlan::from_dense(&dense))
+            })?;
+            self.cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, plan.clone());
+            return Ok(plan);
+        }
         loop {
             let flights = self.gate.inflight.lock().expect("gate poisoned");
             if flights.contains(&key) {
@@ -1164,7 +1282,14 @@ impl GradientCodec for CompiledCodec {
     }
 
     fn session(&self) -> CodecSession {
-        CodecSession::new(Arc::clone(&self.store))
+        let session = CodecSession::new(Arc::clone(&self.store));
+        match &self.shared {
+            // Threaded masters decode through sessions, not through
+            // `decode_plan` — attaching here is what makes the streaming
+            // path a shared-cache tenant.
+            Some(cache) => session.with_shared_plans(Arc::clone(cache), self.fingerprint),
+            None => session,
+        }
     }
 
     fn encode_into<E: Element>(

@@ -24,7 +24,7 @@
 //! residuals — this is the approximate-gradient-coding line of work
 //! (Raviv et al.; Charles et al.) grafted onto the paper's exact schemes.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::approx::approximate_decode;
 use crate::codec::{
@@ -32,6 +32,7 @@ use crate::codec::{
     DEFAULT_PLAN_CACHE_CAPACITY,
 };
 use crate::error::CodingError;
+use crate::shared_cache::{PlanClass, SharedPlanCache};
 use crate::strategy::CodingMatrix;
 
 /// Default residual budget as a fraction of `√k` — the residual of the
@@ -124,6 +125,46 @@ impl ApproxCodec {
         &self.inner
     }
 
+    /// Attaches the fleet-wide plan cache to both rungs this codec
+    /// serves: exact solves (via the inner compiled backend) and ridge
+    /// least-squares solves (under [`PlanClass::Approx`], so the two
+    /// plan kinds for one survivor set never collide).
+    pub fn attach_shared_plans(&mut self, cache: Arc<SharedPlanCache>) {
+        self.inner.attach_shared_plans(cache);
+    }
+
+    /// The least-squares miss path: through the shared cache's
+    /// cross-tenant singleflight when one is attached (back-filling the
+    /// private memo), a plain local solve-and-insert otherwise.
+    fn solve_approx(&self, key: Vec<usize>) -> Result<DecodePlan, CodingError> {
+        if let Some(shared) = self.inner.shared_plans() {
+            let plan = shared.get_or_solve(
+                self.inner.scheme_fingerprint(),
+                PlanClass::Approx,
+                &key,
+                || {
+                    let approx = approximate_decode(self.inner.code(), &key)?;
+                    Ok(DecodePlan::from_dense_with_residual(
+                        &approx.vector,
+                        approx.residual,
+                    ))
+                },
+            )?;
+            self.approx_cache
+                .lock()
+                .expect("cache poisoned")
+                .insert(key, plan.clone());
+            return Ok(plan);
+        }
+        let approx = approximate_decode(self.inner.code(), &key)?;
+        let plan = DecodePlan::from_dense_with_residual(&approx.vector, approx.residual);
+        self.approx_cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, plan.clone());
+        Ok(plan)
+    }
+
     /// The least-squares plan for an arbitrary survivor set, regardless of
     /// the residual budget (callers inspect [`DecodePlan::residual`]
     /// themselves). Memoized per sorted survivor set, so a persistent
@@ -144,15 +185,7 @@ impl ApproxCodec {
             .probe(survivors, self.inner.workers())?;
         match probed {
             Ok(plan) => Ok(plan),
-            Err(key) => {
-                let approx = approximate_decode(self.inner.code(), &key)?;
-                let plan = DecodePlan::from_dense_with_residual(&approx.vector, approx.residual);
-                self.approx_cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(key, plan.clone());
-                Ok(plan)
-            }
+            Err(key) => self.solve_approx(key),
         }
     }
 
@@ -166,13 +199,7 @@ impl ApproxCodec {
         {
             return Ok(plan);
         }
-        let approx = approximate_decode(self.inner.code(), &key)?;
-        let plan = DecodePlan::from_dense_with_residual(&approx.vector, approx.residual);
-        self.approx_cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, plan.clone());
-        Ok(plan)
+        self.solve_approx(key)
     }
 }
 

@@ -237,6 +237,14 @@ impl GroupCodec {
         &self.inner
     }
 
+    /// Attaches the fleet-wide plan cache to the generic fallback path.
+    /// The intact-group fast path keeps its precompiled indicator plans
+    /// (they never solve, so there is nothing to share); only survivor
+    /// sets with no intact group reach the shared map.
+    pub fn attach_shared_plans(&mut self, cache: Arc<crate::shared_cache::SharedPlanCache>) {
+        self.inner.attach_shared_plans(cache);
+    }
+
     /// The precompiled groups, ascending by size.
     pub fn groups(&self) -> &[Group] {
         &self.groups
@@ -300,10 +308,18 @@ impl GradientCodec for GroupCodec {
         if self.groups.is_empty() {
             self.inner.session()
         } else {
-            CodecSession::with_groups(
+            let session = CodecSession::with_groups(
                 self.inner.row_store(),
                 GroupTracker::new(Arc::clone(&self.index)),
-            )
+            );
+            // Broken-group rounds fall through to the generic elimination;
+            // those solves are the ones worth sharing fleet-wide.
+            match self.inner.shared_plans() {
+                Some(cache) => {
+                    session.with_shared_plans(Arc::clone(cache), self.inner.scheme_fingerprint())
+                }
+                None => session,
+            }
         }
     }
 }

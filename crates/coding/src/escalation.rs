@@ -233,6 +233,22 @@ impl EscalatingCodec {
             || (self.policy.allows_approx_for(self.base.backend())
                 && matches!(self.base, AnyCodec::Approx(_)))
     }
+
+    /// Attaches the fleet-wide plan cache to every rung of the ladder:
+    /// the base backend and — when one was compiled — the dedicated
+    /// approximate arm, so escalated rounds reuse cross-tenant ridge
+    /// solves exactly like exact rounds reuse exact solves.
+    pub fn attach_shared_plans(&mut self, cache: std::sync::Arc<crate::SharedPlanCache>) {
+        self.base.attach_shared_plans(std::sync::Arc::clone(&cache));
+        if let Some(arm) = &mut self.approx_arm {
+            arm.attach_shared_plans(cache);
+        }
+    }
+
+    /// The attached fleet-wide plan cache, if any.
+    pub fn shared_plans(&self) -> Option<&std::sync::Arc<crate::SharedPlanCache>> {
+        self.base.shared_plans()
+    }
 }
 
 impl GradientCodec for EscalatingCodec {

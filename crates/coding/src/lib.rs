@@ -62,6 +62,7 @@ mod escalation;
 mod fractional;
 mod group;
 mod heter_aware;
+mod shared_cache;
 mod strategy;
 mod support;
 mod verify;
@@ -73,7 +74,7 @@ pub use approx::{
     approximate_decode, gradient_error_bound_l2, under_replicated, ApproximateDecode,
 };
 pub use backend::{AnyCodec, CodecBackend};
-pub use block::{BufferPool, GradientBlock};
+pub use block::{BufferPool, GradientBlock, PoolStats, SharedBufferPool};
 pub use codec::{
     CodecSession, CompiledCodec, DecodePlan, GradientCodec, DEFAULT_PLAN_CACHE_CAPACITY,
 };
@@ -91,6 +92,10 @@ pub use group::{
     GroupSearchConfig,
 };
 pub use heter_aware::{heter_aware, heter_aware_from_support};
+pub use shared_cache::{
+    scheme_fingerprint, PlanClass, SharedPlanCache, DEFAULT_SHARED_CAPACITY_PER_SHARD,
+    DEFAULT_SHARED_SHARDS,
+};
 pub use strategy::CodingMatrix;
 pub use support::SupportMatrix;
 pub use verify::{

@@ -1,0 +1,519 @@
+//! The cross-tenant decode-plan cache: one sharded, concurrent map of
+//! solved plans shared by *many* codec instances.
+//!
+//! A [`crate::CompiledCodec`]'s own `PlanCache` memoizes survivor
+//! patterns per instance — enough for one training run, useless for a
+//! fleet. A multi-tenant scheduler admits many jobs whose schemes are
+//! often identical (same rates, same seed, same construction), and the
+//! approximate-gradient-coding line of work shows decode structure is
+//! reusable across runs: the `O(mk²)` dense solve for a survivor pattern
+//! depends only on the coding matrix and the pattern, never on the job.
+//! [`SharedPlanCache`] exploits that: plans are keyed by **(scheme
+//! fingerprint, plan class, sorted survivor set)** in a sharded lock map
+//! (the hand-rolled analogue of the `DashMap<Vec<usize>, Matrix>` inverse
+//! cache in the reference implementations), so two jobs running the same
+//! scheme pay for each straggler pattern once — fleet-wide.
+//!
+//! # Layering
+//!
+//! The shared cache is an **L2** behind each codec's private `PlanCache`
+//! (L1):
+//!
+//! 1. the codec probes its own L1 with the borrowed-key fast path — a
+//!    steady-state hit costs zero allocations and no shared state;
+//! 2. an L1 miss consults the shared map: a hit back-fills L1 and
+//!    returns without solving;
+//! 3. an L2 miss funnels through the cache's own singleflight gate
+//!    (the cross-*instance* twin of the per-codec `SolveGate` from the
+//!    decode hot-path rework), so N tenants racing on the same new
+//!    pattern perform exactly one dense solve between them.
+//!
+//! Exact and approximate (ridge least-squares) plans for the same
+//! survivor set are distinct cache lines — see [`PlanClass`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crate::codec::DecodePlan;
+use crate::error::CodingError;
+use crate::strategy::CodingMatrix;
+
+/// Default shard count of a [`SharedPlanCache`].
+pub const DEFAULT_SHARED_SHARDS: usize = 16;
+
+/// Default number of plans each shard retains (LRU beyond it).
+pub const DEFAULT_SHARED_CAPACITY_PER_SHARD: usize = 64;
+
+/// Which rung of the escalation ladder produced a plan. An exact decode
+/// vector and the ridge least-squares row for the *same* survivor set are
+/// different objects; the class keeps them on separate cache lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanClass {
+    /// An exact decode (`a·B = 1` to numerical precision).
+    Exact,
+    /// A ridge-stabilized least-squares plan with a positive residual.
+    Approx,
+}
+
+/// A stable 64-bit fingerprint of a coding scheme: dimensions, straggler
+/// budget, and the bit patterns of every coefficient. Two
+/// [`CodingMatrix`] values get the same fingerprint iff they are
+/// bitwise-identical codes — the condition under which their decode
+/// plans are interchangeable.
+pub fn scheme_fingerprint(code: &CodingMatrix) -> u64 {
+    let mut h = DefaultHasher::new();
+    code.workers().hash(&mut h);
+    code.partitions().hash(&mut h);
+    code.stragglers().hash(&mut h);
+    for w in 0..code.workers() {
+        for &v in code.row(w) {
+            v.to_bits().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// Full cache key: which scheme, which ladder rung, which survivors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SharedKey {
+    fingerprint: u64,
+    class: PlanClass,
+    survivors: Vec<usize>,
+}
+
+impl SharedKey {
+    fn matches(&self, fingerprint: u64, class: PlanClass, survivors: &[usize]) -> bool {
+        self.fingerprint == fingerprint && self.class == class && self.survivors == survivors
+    }
+
+    fn shard_index(
+        fingerprint: u64,
+        class: PlanClass,
+        survivors: &[usize],
+        shards: usize,
+    ) -> usize {
+        let mut h = DefaultHasher::new();
+        fingerprint.hash(&mut h);
+        class.hash(&mut h);
+        survivors.hash(&mut h);
+        (h.finish() as usize) % shards
+    }
+}
+
+/// One lock's worth of the map: a small LRU, most recently used last —
+/// the same discipline as the per-codec `PlanCache`.
+#[derive(Debug, Default)]
+struct Shard {
+    entries: Vec<(SharedKey, DecodePlan)>,
+}
+
+impl Shard {
+    fn lookup(
+        &mut self,
+        fingerprint: u64,
+        class: PlanClass,
+        survivors: &[usize],
+    ) -> Option<DecodePlan> {
+        let pos = self
+            .entries
+            .iter()
+            .position(|(k, _)| k.matches(fingerprint, class, survivors))?;
+        let entry = self.entries.remove(pos);
+        self.entries.push(entry);
+        Some(self.entries.last().expect("just pushed").1.clone())
+    }
+
+    fn insert(&mut self, capacity: usize, key: SharedKey, plan: DecodePlan) {
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(pos);
+        } else if self.entries.len() == capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, plan));
+    }
+}
+
+/// The concurrent, fleet-wide decode-plan cache. See the module docs for
+/// the two-level layering and the singleflight guarantee.
+///
+/// Cheap to share: wrap it in an `Arc` and attach it to any number of
+/// codecs via `CompiledCodec::attach_shared_plans` (or the `AnyCodec` /
+/// `EscalatingCodec` wrappers, which fan the attachment out to every
+/// arm). All counters are atomics; the hot path takes exactly one shard
+/// lock per lookup.
+#[derive(Debug)]
+pub struct SharedPlanCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    /// Keys currently being solved by some tenant (the cross-instance
+    /// singleflight gate).
+    inflight: Mutex<Vec<SharedKey>>,
+    /// Signalled whenever a leader finishes (success or not).
+    done: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    solves: AtomicU64,
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache::new()
+    }
+}
+
+impl SharedPlanCache {
+    /// A cache with the default shape ([`DEFAULT_SHARED_SHARDS`] shards
+    /// of [`DEFAULT_SHARED_CAPACITY_PER_SHARD`] plans each).
+    pub fn new() -> Self {
+        SharedPlanCache::with_shape(DEFAULT_SHARED_SHARDS, DEFAULT_SHARED_CAPACITY_PER_SHARD)
+    }
+
+    /// A cache with `shards` lock shards of `per_shard_capacity` plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either is zero.
+    pub fn with_shape(shards: usize, per_shard_capacity: usize) -> Self {
+        assert!(shards > 0, "shared plan cache needs at least one shard");
+        assert!(
+            per_shard_capacity > 0,
+            "shared plan cache shard capacity must be positive"
+        );
+        SharedPlanCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard_capacity,
+            inflight: Mutex::new(Vec::new()),
+            done: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+        }
+    }
+
+    /// Shared-cache hits so far (any tenant).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Shared-cache misses so far (any tenant).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups: hits + misses. Cross-tenant reuse shows up as
+    /// `solves() < lookups()` with `hits() > 0`.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses()
+    }
+
+    /// Solves actually performed through this cache: with the
+    /// singleflight gate, exactly one per distinct (scheme, class,
+    /// survivor-pattern) triple however many tenants race on it.
+    pub fn solves(&self) -> u64 {
+        self.solves.load(Ordering::Relaxed)
+    }
+
+    /// Plans currently resident across all shards.
+    pub fn cached_plans(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").entries.len())
+            .sum()
+    }
+
+    fn shard_for(&self, fingerprint: u64, class: PlanClass, survivors: &[usize]) -> &Mutex<Shard> {
+        let idx = SharedKey::shard_index(fingerprint, class, survivors, self.shards.len());
+        &self.shards[idx]
+    }
+
+    /// Raw lookup: one shard lock, LRU refresh on hit. Counting happens
+    /// in [`SharedPlanCache::get_or_solve`], where each logical request
+    /// books exactly one hit or miss at its *resolution* — a tenant that
+    /// misses, waits out another tenant's in-flight solve and reuses the
+    /// published plan is a hit (its demand was served without a solve),
+    /// not a miss-then-hit.
+    fn peek(&self, fingerprint: u64, class: PlanClass, survivors: &[usize]) -> Option<DecodePlan> {
+        self.shard_for(fingerprint, class, survivors)
+            .lock()
+            .expect("shard poisoned")
+            .lookup(fingerprint, class, survivors)
+    }
+
+    fn insert(&self, fingerprint: u64, class: PlanClass, survivors: Vec<usize>, plan: DecodePlan) {
+        let key = SharedKey {
+            fingerprint,
+            class,
+            survivors,
+        };
+        self.shard_for(key.fingerprint, key.class, &key.survivors)
+            .lock()
+            .expect("shard poisoned")
+            .insert(self.per_shard_capacity, key, plan);
+    }
+
+    /// The whole L2 contract in one call: lookup, then — on a miss —
+    /// singleflight the `solve` closure across every tenant of the cache
+    /// and publish its result. `survivors` must already be canonical
+    /// (sorted, deduplicated, validated), which every caller guarantees
+    /// by reaching this path through its own `PlanCache` probe.
+    ///
+    /// At most one tenant runs `solve` for a given key at a time; racing
+    /// tenants block and reuse the leader's plan. If the leader fails or
+    /// panics the key is released (via a drop guard) and one waiter
+    /// retries as the new leader — solve errors are deterministic per
+    /// pattern, so the retry reproduces the error instead of hanging.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `solve` returns.
+    pub(crate) fn get_or_solve<F>(
+        &self,
+        fingerprint: u64,
+        class: PlanClass,
+        survivors: &[usize],
+        solve: F,
+    ) -> Result<DecodePlan, CodingError>
+    where
+        F: FnOnce() -> Result<DecodePlan, CodingError>,
+    {
+        if let Some(plan) = self.peek(fingerprint, class, survivors) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(plan);
+        }
+        loop {
+            let flights = self.inflight.lock().expect("gate poisoned");
+            if flights
+                .iter()
+                .any(|k| k.matches(fingerprint, class, survivors))
+            {
+                let woken = self.done.wait(flights).expect("gate poisoned");
+                drop(woken);
+                if let Some(plan) = self.peek(fingerprint, class, survivors) {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(plan);
+                }
+                // Leader failed (or the plan was evicted immediately):
+                // retry, possibly becoming the new leader.
+                continue;
+            }
+            let mut flights = flights;
+            flights.push(SharedKey {
+                fingerprint,
+                class,
+                survivors: survivors.to_vec(),
+            });
+            break;
+        }
+        // This tenant leads the solve for the key. The guard removes the
+        // key and wakes waiters however the solve exits — success, error,
+        // or panic.
+        struct FlightGuard<'a> {
+            cache: &'a SharedPlanCache,
+            fingerprint: u64,
+            class: PlanClass,
+            survivors: &'a [usize],
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                let mut flights = self.cache.inflight.lock().expect("gate poisoned");
+                if let Some(pos) = flights
+                    .iter()
+                    .position(|k| k.matches(self.fingerprint, self.class, self.survivors))
+                {
+                    flights.remove(pos);
+                }
+                drop(flights);
+                self.cache.done.notify_all();
+            }
+        }
+        let _flight = FlightGuard {
+            cache: self,
+            fingerprint,
+            class,
+            survivors,
+        };
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        let plan = solve()?;
+        self.insert(fingerprint, class, survivors.to_vec(), plan.clone());
+        Ok(plan)
+    }
+
+    /// The streaming-session probe: returns the cached plan for the
+    /// current arrival set (booking a hit), or `None` **without booking a
+    /// miss** — a mid-round probe is speculative, since more arrivals may
+    /// land before the round decodes. The round's one logical request
+    /// resolves later: as this probe's hit, or as the miss recorded by
+    /// [`SharedPlanCache::publish_solved`] when the session ends up
+    /// solving itself.
+    pub(crate) fn try_reuse(
+        &self,
+        fingerprint: u64,
+        class: PlanClass,
+        survivors: &[usize],
+    ) -> Option<DecodePlan> {
+        let plan = self.peek(fingerprint, class, survivors)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(plan)
+    }
+
+    /// The streaming-session publish: the session's incremental
+    /// elimination *was* the round's dense solve, so the round's logical
+    /// request books as one miss plus one solve, and the plan is shared
+    /// fleet-wide. Tenants racing on the same fresh pattern may each
+    /// publish once (the streaming path has no singleflight — each was
+    /// already mid-elimination); the insert deduplicates the entry.
+    pub(crate) fn publish_solved(
+        &self,
+        fingerprint: u64,
+        class: PlanClass,
+        survivors: Vec<usize>,
+        plan: DecodePlan,
+    ) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        self.insert(fingerprint, class, survivors, plan);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(coeff: f64) -> DecodePlan {
+        DecodePlan::from_dense(&[coeff, 0.0, coeff / 2.0])
+    }
+
+    #[test]
+    fn lookup_miss_then_solve_then_hit() {
+        let cache = SharedPlanCache::with_shape(4, 8);
+        let got = cache
+            .get_or_solve(7, PlanClass::Exact, &[0, 2], || Ok(plan(1.0)))
+            .unwrap();
+        assert_eq!(got, plan(1.0));
+        assert_eq!(cache.solves(), 1);
+        assert_eq!(cache.misses(), 1);
+        // Second tenant, same key: served without solving.
+        let again = cache
+            .get_or_solve(7, PlanClass::Exact, &[0, 2], || panic!("must not solve"))
+            .unwrap();
+        assert_eq!(again, plan(1.0));
+        assert_eq!(cache.solves(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.lookups(), 2);
+        assert_eq!(cache.cached_plans(), 1);
+    }
+
+    #[test]
+    fn fingerprint_and_class_isolate_entries() {
+        let cache = SharedPlanCache::with_shape(2, 8);
+        cache
+            .get_or_solve(1, PlanClass::Exact, &[0, 1], || Ok(plan(1.0)))
+            .unwrap();
+        // Same survivors, different scheme: its own solve.
+        let other = cache
+            .get_or_solve(2, PlanClass::Exact, &[0, 1], || Ok(plan(2.0)))
+            .unwrap();
+        assert_eq!(other, plan(2.0));
+        // Same scheme and survivors, approximate class: its own solve.
+        let approx = cache
+            .get_or_solve(1, PlanClass::Approx, &[0, 1], || Ok(plan(3.0)))
+            .unwrap();
+        assert_eq!(approx, plan(3.0));
+        assert_eq!(cache.solves(), 3);
+        assert_eq!(cache.cached_plans(), 3);
+    }
+
+    #[test]
+    fn failed_leader_releases_the_key() {
+        let cache = SharedPlanCache::with_shape(1, 4);
+        let err = cache.get_or_solve(9, PlanClass::Exact, &[1], || {
+            Err(CodingError::NotDecodable { survivors: vec![1] })
+        });
+        assert!(err.is_err());
+        // The key is free again: a retry can lead and succeed.
+        let ok = cache
+            .get_or_solve(9, PlanClass::Exact, &[1], || Ok(plan(4.0)))
+            .unwrap();
+        assert_eq!(ok, plan(4.0));
+        assert_eq!(cache.solves(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_within_a_shard() {
+        let cache = SharedPlanCache::with_shape(1, 2);
+        for s in 0..3u64 {
+            cache
+                .get_or_solve(s, PlanClass::Exact, &[0], || Ok(plan(s as f64)))
+                .unwrap();
+        }
+        assert_eq!(cache.cached_plans(), 2);
+        // The oldest entry (fingerprint 0) was evicted: solving again.
+        cache
+            .get_or_solve(0, PlanClass::Exact, &[0], || Ok(plan(0.0)))
+            .unwrap();
+        assert_eq!(cache.solves(), 4);
+    }
+
+    #[test]
+    fn concurrent_tenants_singleflight_per_pattern() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+
+        let cache = Arc::new(SharedPlanCache::new());
+        let solved = Arc::new(AtomicUsize::new(0));
+        let patterns: Vec<Vec<usize>> = (0..6).map(|p| vec![p, p + 1]).collect();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let cache = Arc::clone(&cache);
+                let solved = Arc::clone(&solved);
+                let patterns = patterns.clone();
+                scope.spawn(move || {
+                    for (i, pat) in patterns.iter().enumerate() {
+                        let plan = cache
+                            .get_or_solve(42, PlanClass::Exact, pat, || {
+                                solved.fetch_add(1, Ordering::SeqCst);
+                                // Widen the race window so followers
+                                // really do arrive mid-solve.
+                                std::thread::sleep(std::time::Duration::from_millis(2));
+                                Ok(DecodePlan::from_dense(&[i as f64 + 1.0]))
+                            })
+                            .unwrap();
+                        assert_eq!(plan.coefficients(), &[i as f64 + 1.0], "thread {t}");
+                    }
+                });
+            }
+        });
+        assert_eq!(solved.load(Ordering::SeqCst), patterns.len());
+        assert_eq!(cache.solves() as usize, patterns.len());
+        assert!(cache.hits() > 0, "racing tenants must observe reuse");
+    }
+
+    #[test]
+    fn scheme_fingerprint_is_content_addressed() {
+        use crate::heter_aware::heter_aware;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let rates = [1.0, 2.0, 3.0, 4.0, 4.0];
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let a = heter_aware(&rates, 7, 1, &mut rng_a).unwrap();
+        let b = heter_aware(&rates, 7, 1, &mut rng_b).unwrap();
+        assert_eq!(scheme_fingerprint(&a), scheme_fingerprint(&b));
+
+        let mut rng_c = StdRng::seed_from_u64(12);
+        let c = heter_aware(&rates, 7, 1, &mut rng_c).unwrap();
+        if c.matrix() != a.matrix() {
+            assert_ne!(scheme_fingerprint(&a), scheme_fingerprint(&c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = SharedPlanCache::with_shape(0, 1);
+    }
+}

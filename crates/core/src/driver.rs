@@ -42,17 +42,31 @@ pub struct DriverConfig {
     /// re-coding). `None` — the default — runs the engine exactly as
     /// configured, bit for bit.
     pub adaptation: Option<AdaptationConfig>,
+    /// Tag every [`RoundRecord`] this run emits with a job identifier.
+    /// Multi-tenant schedulers interleave many jobs' records into one
+    /// JSONL stream; the tag is what makes those streams attributable.
+    /// `None` — the default for solo runs — omits the field entirely.
+    pub job_id: Option<String>,
 }
 
 impl Default for DriverConfig {
     /// Evaluate every round, scale steps on approximate rounds, no
-    /// adaptation.
+    /// adaptation, no job tag.
     fn default() -> Self {
         DriverConfig {
             eval_every: 1,
             residual_step_scaling: true,
             adaptation: None,
+            job_id: None,
         }
+    }
+}
+
+impl DriverConfig {
+    /// Builder form: tags every emitted record with `job_id`.
+    pub fn with_job_id(mut self, job_id: impl Into<String>) -> Self {
+        self.job_id = Some(job_id.into());
+        self
     }
 }
 
@@ -165,6 +179,11 @@ pub struct RoundRecord {
     pub bytes_sent: u64,
     /// Wire bytes the master received this round (`0` in-process).
     pub bytes_received: u64,
+    /// Which job emitted this record, when the run was tagged
+    /// ([`DriverConfig::job_id`]): the attribution key of interleaved
+    /// multi-job JSONL streams. `None` for solo runs, and omitted from
+    /// the JSON entirely.
+    pub job_id: Option<String>,
 }
 
 impl RoundRecord {
@@ -176,9 +195,13 @@ impl RoundRecord {
     pub fn to_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::new();
+        out.push('{');
+        if let Some(job) = &self.job_id {
+            let _ = write!(out, "\"job_id\":{},", json_str(job));
+        }
         let _ = write!(
             out,
-            "{{\"round\":{},\"time\":{},\"elapsed\":{},\"loss\":{},\
+            "\"round\":{},\"time\":{},\"elapsed\":{},\"loss\":{},\
              \"residual\":{},\"step_scale\":{},\"results_used\":{},\
              \"alloc_bytes\":{},\"pool_hits\":{},\
              \"bytes_sent\":{},\"bytes_received\":{}}}",
@@ -248,6 +271,10 @@ impl RoundRecord {
             pool_hits: counter("pool_hits")?,
             bytes_sent: counter("bytes_sent")?,
             bytes_received: counter("bytes_received")?,
+            // The job tag joined the format with the multi-tenant
+            // scheduler: absent means an untagged solo-run stream, same
+            // tolerance as the counters above.
+            job_id: json_str_field(line, "job_id")?,
         })
     }
 }
@@ -349,6 +376,42 @@ fn json_f64_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "null".to_owned(), json_f64)
 }
 
+/// Extracts an optional JSON string field from a single-line object,
+/// undoing the escapes [`json_str`] applies. `Ok(None)` when the field is
+/// absent — the tolerant half of the optional-field convention.
+fn json_str_field(line: &str, key: &str) -> Result<Option<String>, String> {
+    let pat = format!("\"{key}\":\"");
+    let Some(start) = line.find(&pat) else {
+        return Ok(None);
+    };
+    let rest = &line[start + pat.len()..];
+    let mut out = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Ok(Some(out)),
+            '\\' => match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|e| format!("field {key:?}: bad \\u escape {hex:?}: {e}"))?;
+                    out.push(
+                        char::from_u32(code)
+                            .ok_or_else(|| format!("field {key:?}: invalid codepoint {code}"))?,
+                    );
+                }
+                Some(other) => out.push(other),
+                None => return Err(format!("field {key:?}: unterminated escape")),
+            },
+            c => out.push(c),
+        }
+    }
+    Err(format!("field {key:?}: unterminated string"))
+}
+
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
@@ -374,6 +437,8 @@ fn json_str(s: &str) -> String {
 /// curve points.
 pub(crate) struct RoundLog {
     label: String,
+    /// Job tag stamped on every record ([`DriverConfig::job_id`]).
+    job_id: Option<String>,
     pub(crate) records: Vec<RoundRecord>,
     metrics: RunMetrics,
     points: Vec<(f64, f64)>,
@@ -383,9 +448,10 @@ pub(crate) struct RoundLog {
 }
 
 impl RoundLog {
-    pub(crate) fn new(label: String) -> Self {
+    pub(crate) fn tagged(label: String, job_id: Option<String>) -> Self {
         RoundLog {
             label,
+            job_id,
             records: Vec::new(),
             metrics: RunMetrics::new(),
             points: Vec::new(),
@@ -435,6 +501,7 @@ impl RoundLog {
             pool_hits: er.pool_hits,
             bytes_sent: er.bytes_sent,
             bytes_received: er.bytes_received,
+            job_id: self.job_id.clone(),
         });
     }
 
@@ -564,7 +631,7 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
     ) -> Result<TrainOutcome, BoxError> {
         let n = self.data.len() as f64;
         let mut params = self.model.init_params(rng);
-        let mut log = RoundLog::new(engine.label().to_owned());
+        let mut log = RoundLog::tagged(engine.label().to_owned(), self.cfg.job_id.clone());
         let eval_every = self.cfg.eval_every.max(1);
         let mut adaptation = self
             .cfg
@@ -643,7 +710,7 @@ pub fn drive_timing_with<E: RoundEngine + ?Sized>(
     rng: &mut dyn RngCore,
     cfg: &DriverConfig,
 ) -> Result<TrainOutcome, BoxError> {
-    let mut log = RoundLog::new(engine.label().to_owned());
+    let mut log = RoundLog::tagged(engine.label().to_owned(), cfg.job_id.clone());
     let mut adaptation = cfg
         .adaptation
         .as_ref()
@@ -811,6 +878,7 @@ mod tests {
                 pool_hits: 7,
                 bytes_sent: 2048,
                 bytes_received: 512,
+                job_id: Some("job-a".to_owned()),
             },
             RoundRecord {
                 round: 4,
@@ -824,6 +892,7 @@ mod tests {
                 pool_hits: 0,
                 bytes_sent: 0,
                 bytes_received: 0,
+                job_id: None,
             },
         ];
         for r in &records {
@@ -839,6 +908,7 @@ mod tests {
         let parsed = RoundRecord::from_json(legacy).unwrap();
         assert_eq!((parsed.alloc_bytes, parsed.pool_hits), (0, 0));
         assert_eq!((parsed.bytes_sent, parsed.bytes_received), (0, 0));
+        assert_eq!(parsed.job_id, None, "untagged streams parse to None");
         assert_eq!(parsed.round, 2);
         // A stream with the data-plane counters but not the wire counters
         // (the PR-5 ⟶ PR-6 window) parses the same way.

@@ -183,6 +183,15 @@ pub trait RoundEngine {
     fn initial_estimates(&self) -> Option<Vec<f64>> {
         None
     }
+
+    /// Per-worker partition loads of the engine's *current* code
+    /// (`load_of` per worker) — what a multi-job scheduler commits to a
+    /// shared worker pool to model cross-job contention, refreshed after
+    /// every successful [`RoundEngine::recode`]. `None` when the engine
+    /// has no codec view of its load (the uncoded SSP baseline).
+    fn worker_loads(&self) -> Option<Vec<usize>> {
+        None
+    }
 }
 
 /// A [`RoundEngine`] whose round can be split into a non-blocking
@@ -533,6 +542,14 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
 
     fn initial_estimates(&self) -> Option<Vec<f64>> {
         Some(self.rates.clone())
+    }
+
+    fn worker_loads(&self) -> Option<Vec<usize>> {
+        Some(
+            (0..self.codec.workers())
+                .map(|w| self.codec.load_of(w))
+                .collect(),
+        )
     }
 }
 
@@ -1095,6 +1112,11 @@ where
             Err(RuntimeError::InvalidConfig { .. }) => Ok(false),
             Err(e) => Err(e.into()),
         }
+    }
+
+    fn worker_loads(&self) -> Option<Vec<usize>> {
+        let codec = self.cluster.codec();
+        Some((0..codec.workers()).map(|w| codec.load_of(w)).collect())
     }
 }
 

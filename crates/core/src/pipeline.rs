@@ -135,7 +135,7 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
         }
         let n = self.data.len() as f64;
         let mut params = self.model.init_params(rng);
-        let mut log = RoundLog::new(engine.label().to_owned());
+        let mut log = RoundLog::tagged(engine.label().to_owned(), self.cfg.job_id.clone());
         let eval_every = self.cfg.eval_every.max(1);
         if rounds == 0 {
             return Ok(log.finish(params, None));

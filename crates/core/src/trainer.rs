@@ -157,6 +157,7 @@ pub fn train_bsp_sim<M: Model + ?Sized, R: Rng>(
             eval_every: 1,
             residual_step_scaling: false,
             adaptation: None,
+            job_id: None,
         })
         .run(&mut engine, cfg.iterations, rng)?;
     Ok(BspTrainOutcome {
@@ -202,6 +203,7 @@ pub fn train_ssp_sim<M: Model + ?Sized, R: Rng>(
             eval_every: cfg.eval_every,
             residual_step_scaling: false,
             adaptation: None,
+            job_id: None,
         })
         .run(&mut engine, cfg.iterations * rates.len(), rng)?;
     Ok(out.curve)

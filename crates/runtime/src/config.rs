@@ -1,9 +1,10 @@
 //! Runtime configuration: per-worker behaviour injection and codec
 //! backend selection.
 
+use std::sync::Arc;
 use std::time::Duration;
 
-use hetgc_coding::{CodecBackend, EscalationPolicy};
+use hetgc_coding::{CodecBackend, EscalationPolicy, SharedPlanCache};
 
 /// Behaviour of one worker, used to emulate heterogeneity and stragglers on
 /// real threads.
@@ -91,7 +92,7 @@ impl WorkerBehavior {
 }
 
 /// Whole-runtime configuration.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct RuntimeConfig {
     /// Per-worker behaviours. Missing entries default to
     /// [`WorkerBehavior::nominal`].
@@ -126,6 +127,29 @@ pub struct RuntimeConfig {
     /// ceiling), cap the accepted residual, or carry the escalation
     /// deadline here instead of [`RuntimeConfig::iteration_timeout`].
     pub escalation: Option<EscalationPolicy>,
+    /// A fleet-wide decode-plan cache to attach to the compiled codec —
+    /// set by multi-job schedulers so tenants running the *same* scheme
+    /// share dense solves (one solve per distinct survivor set across the
+    /// fleet, singleflighted). `None` (the default) keeps each cluster's
+    /// plan cache private.
+    pub shared_plans: Option<Arc<SharedPlanCache>>,
+}
+
+// Manual because `SharedPlanCache` carries live counters and locks:
+// two configs are "equal" when they point at the *same* shared cache
+// (or both at none), not when the caches' contents coincide.
+impl PartialEq for RuntimeConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.behaviors == other.behaviors
+            && self.iteration_timeout == other.iteration_timeout
+            && self.backend == other.backend
+            && self.escalation == other.escalation
+            && match (&self.shared_plans, &other.shared_plans) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
 }
 
 impl RuntimeConfig {
@@ -136,6 +160,7 @@ impl RuntimeConfig {
             iteration_timeout: None,
             backend: CodecBackend::Auto,
             escalation: None,
+            shared_plans: None,
         }
     }
 
@@ -169,6 +194,13 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::escalation`]).
     pub fn with_escalation(mut self, policy: EscalationPolicy) -> Self {
         self.escalation = Some(policy);
+        self
+    }
+
+    /// Attaches a fleet-wide decode-plan cache (see
+    /// [`RuntimeConfig::shared_plans`]).
+    pub fn with_shared_plans(mut self, cache: Arc<SharedPlanCache>) -> Self {
+        self.shared_plans = Some(cache);
         self
     }
 

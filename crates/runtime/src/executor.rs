@@ -183,7 +183,11 @@ pub fn build_codec(
         })?),
         CodecBackend::Approx => AnyCodec::Approx(ApproxCodec::new(code)),
     };
-    Ok(EscalatingCodec::new(base, config.effective_escalation()))
+    let mut codec = EscalatingCodec::new(base, config.effective_escalation());
+    if let Some(shared) = &config.shared_plans {
+        codec.attach_shared_plans(Arc::clone(shared));
+    }
+    Ok(codec)
 }
 
 impl<M> ThreadedCluster<M>
@@ -260,6 +264,13 @@ where
     /// The training data.
     pub fn data(&self) -> &Arc<Dataset> {
         &self.data
+    }
+
+    /// Snapshot of the decode session's buffer-pool counters — what a
+    /// multi-job scheduler merges across tenants into a fleet-wide
+    /// data-plane report ([`hetgc_coding::PoolStats::merge`]).
+    pub fn pool_stats(&self) -> hetgc_coding::PoolStats {
+        self.session.pool().stats()
     }
 
     /// Replaces the round deadline in place — the hook a learned

@@ -1,0 +1,175 @@
+//! The scheduler's acceptance contract:
+//!
+//! * ≥ 4 jobs genuinely concurrent over one shared pool, with batch
+//!   throughput ≥ 1.3× the sequential baseline;
+//! * cross-job decode-plan reuse visible in the shared cache's counters
+//!   (solves strictly below lookups, hits from every follower tenant);
+//! * per-job `job_id` attribution on every interleaved record;
+//! * deterministic epoch-driven rebalancing when a co-tenant commits
+//!   load.
+
+use std::time::Duration;
+
+use hetgc::{
+    scheme_from_estimates, synthetic, EscalationPolicy, LinearRegression, Model, RoundEngine,
+    SchemeKind, SimBspEngine, SimTrainConfig,
+};
+use hetgc_runtime::WorkerBehavior;
+use hetgc_sched::{JobScheduler, JobSpec, LeasedEngine, SharedWorkerPool};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 4-worker fleet whose rounds are sleep-dominated (every worker adds
+/// a fixed delay) with one consistent straggler, so concurrent jobs
+/// overlap their waiting and every job decodes the same survivor set.
+fn delay_pool(max_concurrent: usize) -> SharedWorkerPool {
+    let fast = WorkerBehavior::nominal().with_delay(Duration::from_millis(10));
+    let slow = WorkerBehavior::nominal().with_delay(Duration::from_millis(30));
+    SharedWorkerPool::new(vec![1.0; 4])
+        .with_behaviors(vec![fast.clone(), fast.clone(), fast, slow])
+        .with_max_concurrent(max_concurrent)
+}
+
+#[test]
+fn four_concurrent_jobs_beat_sequential_and_share_plans() {
+    let pool = delay_pool(4);
+    let mut sched = JobScheduler::new(pool.clone());
+    for name in ["tenant-a", "tenant-b", "tenant-c", "tenant-d"] {
+        // Equal seeds → identical codes → one decode-plan namespace.
+        sched = sched.submit(JobSpec::new(name).with_rounds(5).with_seed(11));
+    }
+
+    let scheduled = sched.run().expect("concurrent batch");
+    let sequential = sched.run_sequential().expect("sequential baseline");
+
+    assert_eq!(scheduled.outcomes.len(), 4);
+    assert_eq!(
+        scheduled.peak_concurrent, 4,
+        "all four tenants must actually overlap"
+    );
+    for outcome in &scheduled.outcomes {
+        assert_eq!(outcome.rounds(), 5, "{}", outcome.label);
+        assert!(!outcome.stalled);
+    }
+
+    // Throughput: overlapped sleep-dominated rounds must beat running
+    // the same four jobs back to back.
+    let speedup = scheduled.jobs_per_sec() / sequential.jobs_per_sec();
+    assert!(
+        speedup >= 1.3,
+        "scheduled {:.2} jobs/s vs sequential {:.2} jobs/s (×{speedup:.2}) — {}",
+        scheduled.jobs_per_sec(),
+        sequential.jobs_per_sec(),
+        scheduled.summary(),
+    );
+
+    // Cross-job plan reuse: worker 3 is always last, so every tenant
+    // decodes the same survivor set; the first to need the plan solves
+    // it, the rest hit the shared cache.
+    assert!(
+        scheduled.cache_solves < scheduled.cache_lookups,
+        "solves {} must stay below lookups {}",
+        scheduled.cache_solves,
+        scheduled.cache_lookups,
+    );
+    assert!(
+        scheduled.cache_hits >= 3,
+        "three follower tenants must reuse the leader's solve (hits = {})",
+        scheduled.cache_hits,
+    );
+
+    // Fleet rollup covers every tenant's rounds.
+    assert_eq!(scheduled.fleet.jobs().len(), 4);
+    assert_eq!(scheduled.fleet.total_rounds(), 20);
+    assert!(scheduled.fleet.jobs_per_sec() > 0.0);
+    // Data-plane stats merged across tenants: the threaded master pools
+    // its decode buffers, so steady state shows recycling.
+    assert!(scheduled.data_plane.checkouts() > 0);
+}
+
+#[test]
+fn records_carry_their_jobs_tag() {
+    let pool = delay_pool(2);
+    let report = JobScheduler::new(pool)
+        .submit(JobSpec::new("alpha").with_rounds(3))
+        .submit(JobSpec::new("beta").with_rounds(3).with_seed(9).pipelined())
+        .run()
+        .expect("batch");
+    assert_eq!(report.outcomes.len(), 2);
+    for outcome in &report.outcomes {
+        assert!(!outcome.records.is_empty());
+        for record in &outcome.records {
+            assert_eq!(
+                record.job_id.as_deref(),
+                Some(outcome.label.as_str()),
+                "every interleaved record is attributable"
+            );
+            // The tag survives the JSONL round trip.
+            let parsed = hetgc::RoundRecord::from_json(&record.to_json()).unwrap();
+            assert_eq!(&parsed, record);
+        }
+    }
+    // The pipelined tenant's telemetry flowed through the collect path.
+    let beta = report
+        .fleet
+        .jobs()
+        .iter()
+        .find(|j| j.job_id == "beta")
+        .expect("beta telemetry");
+    assert_eq!(beta.rounds, 3);
+    assert!(beta.samples_ingested > 0);
+}
+
+#[test]
+fn co_tenant_load_commit_triggers_one_rebalance() {
+    // Deterministic, simulator-backed: tenant A runs rounds; tenant B
+    // arrives and commits load; A's next round must re-code against the
+    // pool's new effective rates, exactly once.
+    let pool = SharedWorkerPool::new(vec![1.0, 2.0, 2.0, 4.0]);
+    let lease = pool.lease();
+    let rates = lease.effective_rates();
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let scheme = scheme_from_estimates(SchemeKind::HeterAware, &rates, 1, None, &mut rng)
+        .expect("feasible scheme");
+    let model = LinearRegression::new(3);
+    let data = synthetic::linear_regression(96, 3, 0.01, &mut rng);
+    let engine = SimBspEngine::new(
+        &scheme,
+        &model,
+        &data,
+        &rates,
+        &SimTrainConfig::default(),
+        EscalationPolicy::follow_backend(),
+    )
+    .expect("sim engine");
+    let mut tenant_a = LeasedEngine::new(engine, lease).with_rebalancing(true);
+    assert!(
+        tenant_a.worker_loads().is_some(),
+        "the sim engine reports its loads to the ledger"
+    );
+
+    let params = model.init_params(&mut rng);
+    tenant_a.round(1, &params, &mut rng).expect("round 1");
+    assert_eq!(tenant_a.rebalances(), 0, "no co-tenant yet: no rebalance");
+
+    // Tenant B arrives and claims worker 3 hard.
+    let lease_b = pool.lease();
+    lease_b.commit_load(&[0, 0, 0, 8]);
+    let contended = pool.effective_rates_for(tenant_a.lease().job_id());
+    assert!(contended[3] < 4.0, "worker 3 now looks slower to A");
+
+    tenant_a.round(2, &params, &mut rng).expect("round 2");
+    assert_eq!(tenant_a.rebalances(), 1, "epoch change → one re-code");
+    // The rebuild's own ledger commit must not re-trigger.
+    tenant_a.round(3, &params, &mut rng).expect("round 3");
+    assert_eq!(tenant_a.rebalances(), 1);
+
+    // Telemetry followed every completed round.
+    assert_eq!(tenant_a.hub().rounds(), 3);
+
+    // B leaving moves the epoch again: A rebalances back.
+    drop(lease_b);
+    tenant_a.round(4, &params, &mut rng).expect("round 4");
+    assert_eq!(tenant_a.rebalances(), 2, "departure → another re-code");
+}

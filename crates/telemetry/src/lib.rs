@@ -50,6 +50,7 @@
 mod adaptation;
 mod deadline;
 mod drift;
+mod fleet;
 mod hub;
 mod quantile;
 mod recode;
@@ -58,6 +59,7 @@ mod sample;
 pub use adaptation::{Adaptation, AdaptationConfig, AdaptationDecision};
 pub use deadline::{DeadlineConfig, DeadlineController};
 pub use drift::{DriftConfig, DriftDetector, DriftEvent, DriftKind};
+pub use fleet::{FleetRollup, JobTelemetry};
 pub use hub::TelemetryHub;
 pub use quantile::QuantileWindow;
 pub use recode::{RecodeConfig, RecodeController};

@@ -10,5 +10,6 @@ pub use hetgc_linalg as linalg;
 pub use hetgc_ml as ml;
 pub use hetgc_net as net;
 pub use hetgc_runtime as runtime;
+pub use hetgc_sched as sched;
 pub use hetgc_sim as sim;
 pub use hetgc_telemetry as telemetry;

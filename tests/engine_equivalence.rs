@@ -66,6 +66,7 @@ fn bsp_wrapper_matches_driver_bitwise() {
             eval_every: 1,
             residual_step_scaling: false,
             adaptation: None,
+            job_id: None,
         })
         .run(&mut engine, cfg.iterations, &mut StdRng::seed_from_u64(3))
         .unwrap();
@@ -162,6 +163,7 @@ fn ssp_wrapper_matches_driver_bitwise() {
             eval_every: cfg.eval_every,
             residual_step_scaling: false,
             adaptation: None,
+            job_id: None,
         })
         .run(
             &mut engine,
