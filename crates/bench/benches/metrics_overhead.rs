@@ -1,0 +1,232 @@
+//! The cost of the observability layer on the decode hot loop.
+//!
+//! Three variants of the identical master collect round (session reset,
+//! streamed arrivals, plan application over a reused gradient block):
+//!
+//! * `baseline` — no instrumentation at all;
+//! * `metrics_disabled` — counter/histogram/recorder handles attached
+//!   but switched off: every record call is one relaxed atomic load;
+//! * `metrics_enabled` — the full stack recording (atomics + the
+//!   preallocated flight-recorder ring).
+//!
+//! Besides the criterion medians, `overhead_guard` measures
+//! baseline vs disabled directly (interleaved min-of-N) and **panics**
+//! when the disabled path costs more than 2% — the contract that makes
+//! shipping the instrumentation compiled-in acceptable.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetgc::{
+    heter_aware, partial_gradients_into, synthetic, ClusterSpec, CompiledCodec, GradientBlock,
+    GradientCodec, LinearRegression, Model, PartitionAssignment,
+};
+use hetgc_obs::{Counter, Histogram, MetricsRegistry, Phase, Recorder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const M: usize = 8;
+const DIM: usize = 6;
+const SAMPLES: usize = 96;
+
+struct Workload {
+    codec: CompiledCodec,
+    model: LinearRegression,
+    params: Vec<f64>,
+    data: hetgc::Dataset,
+    ranges: Vec<(usize, usize)>,
+    order: Vec<usize>,
+}
+
+fn workload() -> Workload {
+    let base = ClusterSpec::cluster_a().throughputs();
+    let throughputs: Vec<f64> = (0..M).map(|i| base[i % base.len()]).collect();
+    let mut rng = StdRng::seed_from_u64(7);
+    let code = heter_aware(&throughputs, 2 * M, 1, &mut rng).expect("construct");
+    let codec = CompiledCodec::new(code);
+    let model = LinearRegression::new(DIM);
+    let params = model.init_params(&mut rng);
+    let data = synthetic::linear_regression(SAMPLES, DIM, 0.02, &mut rng);
+    let assignment = PartitionAssignment::even(data.len(), codec.partitions()).expect("assignment");
+    let ranges: Vec<(usize, usize)> = assignment.iter().collect();
+    // One consistent straggler (the last worker never arrives).
+    let order: Vec<usize> = (0..M - 1).collect();
+    Workload {
+        codec,
+        model,
+        params,
+        data,
+        ranges,
+        order,
+    }
+}
+
+/// Reused round state, as the engines hold it.
+struct RoundState {
+    session: hetgc::CodecSession,
+    partials: GradientBlock,
+    arrivals: GradientBlock,
+    decoded: Vec<f64>,
+}
+
+impl RoundState {
+    fn new(w: &Workload) -> Self {
+        let d = w.model.num_params();
+        RoundState {
+            session: w.codec.session(),
+            partials: GradientBlock::new(w.codec.partitions(), d),
+            arrivals: GradientBlock::new(w.codec.workers(), d),
+            decoded: vec![0.0; d],
+        }
+    }
+}
+
+/// Optional instrumentation for one round — `None` fields mean baseline.
+struct Instruments {
+    recorder: Option<Recorder>,
+    rounds: Option<Counter>,
+    round_seconds: Option<Histogram>,
+}
+
+impl Instruments {
+    fn none() -> Self {
+        Instruments {
+            recorder: None,
+            rounds: None,
+            round_seconds: None,
+        }
+    }
+
+    fn from_registry(registry: &MetricsRegistry, recorder: Recorder) -> Self {
+        Instruments {
+            recorder: Some(recorder),
+            rounds: Some(registry.counter("bench_rounds_total", "rounds", &[])),
+            round_seconds: Some(registry.histogram("bench_round_seconds", "latency", &[])),
+        }
+    }
+}
+
+fn round(w: &Workload, s: &mut RoundState, obs: &Instruments) {
+    // Every variant times the round — the drivers compute elapsed for
+    // their own round log whether or not metrics are attached, so the
+    // clock reads are part of the baseline, not of the overhead.
+    let started = Instant::now();
+    s.session.reset();
+    for &worker in &w.order {
+        if let Some(rec) = &obs.recorder {
+            rec.instant(Phase::Arrival, (worker + 1) as u64);
+        }
+        if s.session.push_arrival(worker).expect("valid push") {
+            break;
+        }
+    }
+    let plan = s.session.decoded_plan().expect("decodable prefix");
+    partial_gradients_into(&w.model, &w.params, &w.data, &w.ranges, &mut s.partials);
+    let decode_span = obs.recorder.as_ref().map(|r| r.span(Phase::Decode));
+    for (worker, _) in plan.iter() {
+        w.codec
+            .encode_into(worker, &s.partials, s.arrivals.row_mut(worker))
+            .expect("encode");
+    }
+    plan.apply_block_into(&s.arrivals, &mut s.decoded)
+        .expect("apply");
+    drop(decode_span);
+    let elapsed = std::hint::black_box(started.elapsed().as_secs_f64());
+    if let Some(c) = &obs.rounds {
+        c.inc();
+    }
+    if let Some(h) = &obs.round_seconds {
+        h.observe(elapsed);
+    }
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let w = workload();
+    let mut s = RoundState::new(&w);
+    let obs = Instruments::none();
+    c.bench_function("metrics_overhead/baseline", |b| {
+        b.iter(|| round(&w, &mut s, &obs));
+    });
+}
+
+fn bench_disabled(c: &mut Criterion) {
+    let w = workload();
+    let mut s = RoundState::new(&w);
+    let registry = MetricsRegistry::disabled();
+    let recorder = Recorder::new(1024);
+    recorder.set_enabled(false);
+    let obs = Instruments::from_registry(&registry, recorder);
+    c.bench_function("metrics_overhead/metrics_disabled", |b| {
+        b.iter(|| round(&w, &mut s, &obs));
+    });
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    let w = workload();
+    let mut s = RoundState::new(&w);
+    let registry = MetricsRegistry::new();
+    let recorder = Recorder::new(1024);
+    let obs = Instruments::from_registry(&registry, recorder);
+    c.bench_function("metrics_overhead/metrics_enabled", |b| {
+        b.iter(|| round(&w, &mut s, &obs));
+    });
+}
+
+/// The hard gate: disabled-path instrumentation must cost < 2% on the
+/// decode hot loop. Measured as interleaved min-of-N batches so machine
+/// drift hits both sides equally; min (not mean) discards scheduler
+/// noise. Panicking here fails the bench-smoke CI arm.
+fn overhead_guard(_c: &mut Criterion) {
+    const BATCH: usize = 512;
+    const REPS: usize = 21;
+    let w = workload();
+    let mut base_state = RoundState::new(&w);
+    let baseline = Instruments::none();
+    let mut dis_state = RoundState::new(&w);
+    let registry = MetricsRegistry::disabled();
+    let recorder = Recorder::new(1024);
+    recorder.set_enabled(false);
+    let disabled = Instruments::from_registry(&registry, recorder);
+
+    // Warm both states to steady capacity before timing anything.
+    for _ in 0..64 {
+        round(&w, &mut base_state, &baseline);
+        round(&w, &mut dis_state, &disabled);
+    }
+    let mut best_base = f64::INFINITY;
+    let mut best_dis = f64::INFINITY;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            round(&w, &mut base_state, &baseline);
+        }
+        best_base = best_base.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for _ in 0..BATCH {
+            round(&w, &mut dis_state, &disabled);
+        }
+        best_dis = best_dis.min(t.elapsed().as_secs_f64());
+    }
+    let overhead = best_dis / best_base - 1.0;
+    println!(
+        "bench metrics_overhead/overhead_guard disabled-path overhead {:+.3}% \
+         (baseline {:.3}ms, disabled {:.3}ms per {BATCH} rounds)",
+        overhead * 100.0,
+        best_base * 1e3,
+        best_dis * 1e3,
+    );
+    assert!(
+        overhead < 0.02,
+        "disabled-path metrics cost {:.2}% > 2% on the decode hot loop",
+        overhead * 100.0
+    );
+}
+
+criterion_group!(
+    benches,
+    bench_baseline,
+    bench_disabled,
+    bench_enabled,
+    overhead_guard
+);
+criterion_main!(benches);

@@ -98,6 +98,22 @@ impl AnyCodec {
         }
     }
 
+    /// Reports whichever backend this is into `metrics` (see
+    /// `CompiledCodec::attach_metrics`): cache probes, dense/ridge
+    /// solves, and plan-solve spans all land on the same handles.
+    pub fn attach_metrics(&mut self, metrics: hetgc_obs::CodecMetrics) {
+        match self {
+            AnyCodec::Exact(c) => c.attach_metrics(metrics),
+            AnyCodec::Group(c) => c.attach_metrics(metrics),
+            AnyCodec::Approx(c) => c.attach_metrics(metrics),
+        }
+    }
+
+    /// The attached metric bundle, if any.
+    pub fn metrics(&self) -> Option<&hetgc_obs::CodecMetrics> {
+        self.as_compiled().metrics()
+    }
+
     /// The attached fleet-wide plan cache, if any.
     pub fn shared_plans(&self) -> Option<&std::sync::Arc<crate::SharedPlanCache>> {
         self.as_compiled().shared_plans()

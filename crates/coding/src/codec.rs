@@ -59,8 +59,10 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use hetgc_linalg::{kernels, solve_any, vec_ops, Element, DEFAULT_TOLERANCE};
+use hetgc_obs::{CodecMetrics, Phase};
 
 use crate::block::{BufferPool, GradientBlock};
 use crate::error::CodingError;
@@ -939,6 +941,10 @@ pub struct CompiledCodec {
     /// published to) the shared map, so tenants running the same scheme
     /// reuse each other's solves. See [`SharedPlanCache`].
     shared: Option<Arc<SharedPlanCache>>,
+    /// Optional metric handles (cache hits/misses, plan-solve latency,
+    /// cache-probe / plan-solve spans). Pre-registered atomics: recording
+    /// stays allocation-free on the hot path.
+    obs: Option<CodecMetrics>,
 }
 
 impl Clone for CompiledCodec {
@@ -953,6 +959,7 @@ impl Clone for CompiledCodec {
             gate: SolveGate::default(),
             fingerprint: self.fingerprint,
             shared: self.shared.clone(),
+            obs: self.obs.clone(),
         }
     }
 }
@@ -996,6 +1003,7 @@ impl CompiledCodec {
             gate: SolveGate::default(),
             fingerprint,
             shared: None,
+            obs: None,
         }
     }
 
@@ -1024,6 +1032,37 @@ impl CompiledCodec {
     /// The attached fleet-wide plan cache, if any.
     pub fn shared_plans(&self) -> Option<&Arc<SharedPlanCache>> {
         self.shared.as_ref()
+    }
+
+    /// Reports this codec's plan-cache behaviour (probe hits/misses,
+    /// dense-solve count and latency, cache-probe / plan-solve spans)
+    /// into `metrics`. The handles are pre-registered atomics, so the
+    /// decode hot path stays lock- and allocation-free.
+    pub fn attach_metrics(&mut self, metrics: CodecMetrics) {
+        self.obs = Some(metrics);
+    }
+
+    /// Builder form of [`CompiledCodec::attach_metrics`].
+    pub fn with_metrics(mut self, metrics: CodecMetrics) -> Self {
+        self.attach_metrics(metrics);
+        self
+    }
+
+    /// The attached metric bundle, if any.
+    pub fn metrics(&self) -> Option<&CodecMetrics> {
+        self.obs.as_ref()
+    }
+
+    /// Records one dense solve in the attached metrics (latency
+    /// histogram, solve counter, plan-solve span).
+    fn observe_solve(&self, started: Instant) {
+        if let Some(obs) = &self.obs {
+            let ended = Instant::now();
+            obs.solved(ended.duration_since(started).as_secs_f64());
+            if let Some(rec) = obs.recorder() {
+                rec.record(Phase::PlanSolve, started, ended, 0);
+            }
+        }
     }
 
     /// The underlying strategy matrix.
@@ -1093,7 +1132,9 @@ impl CompiledCodec {
         if let Some(shared) = &self.shared {
             let plan = shared.get_or_solve(self.fingerprint, PlanClass::Exact, &key, || {
                 self.gate.solves.fetch_add(1, Ordering::Relaxed);
+                let started = Instant::now();
                 let dense = solve_decode_dense(&self.code, &key)?;
+                self.observe_solve(started);
                 Ok(DecodePlan::from_dense(&dense))
             })?;
             self.cache
@@ -1142,7 +1183,9 @@ impl CompiledCodec {
             key: &key,
         };
         self.gate.solves.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
         let dense = solve_decode_dense(&self.code, &key)?;
+        self.observe_solve(started);
         let plan = DecodePlan::from_dense(&dense);
         self.cache
             .lock()
@@ -1274,10 +1317,20 @@ impl GradientCodec for CompiledCodec {
             .expect("cache poisoned")
             .probe(survivors, self.code.workers())?;
         match probed {
-            Ok(plan) => Ok(plan),
+            Ok(plan) => {
+                if let Some(obs) = &self.obs {
+                    obs.hit();
+                }
+                Ok(plan)
+            }
             // Misses go through the singleflight gate: concurrent misses
             // on the same pattern share one dense solve.
-            Err(key) => self.solve_shared(key),
+            Err(key) => {
+                if let Some(obs) = &self.obs {
+                    obs.miss();
+                }
+                self.solve_shared(key)
+            }
         }
     }
 
@@ -1330,7 +1383,13 @@ impl CompiledCodec {
     /// sibling backends that canonicalize once themselves.
     pub(crate) fn decode_plan_canonical(&self, key: Vec<usize>) -> Result<DecodePlan, CodingError> {
         if let Some(plan) = self.cache.lock().expect("cache poisoned").lookup(&key) {
+            if let Some(obs) = &self.obs {
+                obs.hit();
+            }
             return Ok(plan);
+        }
+        if let Some(obs) = &self.obs {
+            obs.miss();
         }
         self.solve_shared(key)
     }

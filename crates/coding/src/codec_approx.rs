@@ -133,6 +133,13 @@ impl ApproxCodec {
         self.inner.attach_shared_plans(cache);
     }
 
+    /// Reports both rungs' plan-cache behaviour (exact probes through
+    /// the inner backend, ridge probes and solves here) into `metrics`;
+    /// see `CompiledCodec::attach_metrics`.
+    pub fn attach_metrics(&mut self, metrics: hetgc_obs::CodecMetrics) {
+        self.inner.attach_metrics(metrics);
+    }
+
     /// The least-squares miss path: through the shared cache's
     /// cross-tenant singleflight when one is attached (back-filling the
     /// private memo), a plain local solve-and-insert otherwise.
@@ -143,7 +150,11 @@ impl ApproxCodec {
                 PlanClass::Approx,
                 &key,
                 || {
+                    let started = std::time::Instant::now();
                     let approx = approximate_decode(self.inner.code(), &key)?;
+                    if let Some(obs) = self.inner.metrics() {
+                        obs.solved(started.elapsed().as_secs_f64());
+                    }
                     Ok(DecodePlan::from_dense_with_residual(
                         &approx.vector,
                         approx.residual,
@@ -156,7 +167,11 @@ impl ApproxCodec {
                 .insert(key, plan.clone());
             return Ok(plan);
         }
+        let started = std::time::Instant::now();
         let approx = approximate_decode(self.inner.code(), &key)?;
+        if let Some(obs) = self.inner.metrics() {
+            obs.solved(started.elapsed().as_secs_f64());
+        }
         let plan = DecodePlan::from_dense_with_residual(&approx.vector, approx.residual);
         self.approx_cache
             .lock()
@@ -184,8 +199,18 @@ impl ApproxCodec {
             .expect("cache poisoned")
             .probe(survivors, self.inner.workers())?;
         match probed {
-            Ok(plan) => Ok(plan),
-            Err(key) => self.solve_approx(key),
+            Ok(plan) => {
+                if let Some(obs) = self.inner.metrics() {
+                    obs.hit();
+                }
+                Ok(plan)
+            }
+            Err(key) => {
+                if let Some(obs) = self.inner.metrics() {
+                    obs.miss();
+                }
+                self.solve_approx(key)
+            }
         }
     }
 

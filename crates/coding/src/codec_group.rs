@@ -245,6 +245,13 @@ impl GroupCodec {
         self.inner.attach_shared_plans(cache);
     }
 
+    /// Reports the generic fallback path's plan-cache behaviour into
+    /// `metrics` (the intact-group fast path never probes or solves, so
+    /// it records nothing); see `CompiledCodec::attach_metrics`.
+    pub fn attach_metrics(&mut self, metrics: hetgc_obs::CodecMetrics) {
+        self.inner.attach_metrics(metrics);
+    }
+
     /// The precompiled groups, ascending by size.
     pub fn groups(&self) -> &[Group] {
         &self.groups

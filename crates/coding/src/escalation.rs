@@ -245,6 +245,22 @@ impl EscalatingCodec {
         }
     }
 
+    /// Reports every rung of the ladder into `metrics`: the base backend
+    /// and — when one was compiled — the approximate arm record onto the
+    /// same shared handles, so one counter family covers the whole
+    /// escalation path.
+    pub fn attach_metrics(&mut self, metrics: hetgc_obs::CodecMetrics) {
+        self.base.attach_metrics(metrics.clone());
+        if let Some(arm) = &mut self.approx_arm {
+            arm.attach_metrics(metrics);
+        }
+    }
+
+    /// The attached metric bundle, if any.
+    pub fn metrics(&self) -> Option<&hetgc_obs::CodecMetrics> {
+        self.base.metrics()
+    }
+
     /// The attached fleet-wide plan cache, if any.
     pub fn shared_plans(&self) -> Option<&std::sync::Arc<crate::SharedPlanCache>> {
         self.base.shared_plans()

@@ -223,6 +223,61 @@ impl SharedPlanCache {
             .sum()
     }
 
+    /// Plans resident in each shard, in shard order — the occupancy view
+    /// behind `hetgc_shared_cache_shard_plans{shard=...}`. A lopsided
+    /// vector means the survivor-pattern hash is clumping and capacity
+    /// is effectively smaller than `shards × per_shard_capacity`.
+    pub fn shard_occupancy(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("shard poisoned").entries.len())
+            .collect()
+    }
+
+    /// Publishes the cache's live statistics into `registry` as gauges
+    /// (hits, misses, solves, resident plans, and per-shard occupancy).
+    /// Call it from a scrape refresh hook so `/metrics` reads are
+    /// current.
+    pub fn export_metrics(&self, registry: &hetgc_obs::MetricsRegistry) {
+        registry
+            .gauge(
+                "hetgc_shared_cache_hits",
+                "Shared plan-cache hits (any tenant)",
+                &[],
+            )
+            .set(self.hits() as f64);
+        registry
+            .gauge(
+                "hetgc_shared_cache_misses",
+                "Shared plan-cache misses (any tenant)",
+                &[],
+            )
+            .set(self.misses() as f64);
+        registry
+            .gauge(
+                "hetgc_shared_cache_solves",
+                "Dense solves performed through the shared cache",
+                &[],
+            )
+            .set(self.solves() as f64);
+        registry
+            .gauge(
+                "hetgc_shared_cache_plans",
+                "Decode plans resident across all shards",
+                &[],
+            )
+            .set(self.cached_plans() as f64);
+        for (i, occupancy) in self.shard_occupancy().into_iter().enumerate() {
+            registry
+                .gauge(
+                    "hetgc_shared_cache_shard_plans",
+                    "Decode plans resident per shard",
+                    &[("shard", &i.to_string())],
+                )
+                .set(occupancy as f64);
+        }
+    }
+
     fn shard_for(&self, fingerprint: u64, class: PlanClass, survivors: &[usize]) -> &Mutex<Shard> {
         let idx = SharedKey::shard_index(fingerprint, class, survivors, self.shards.len());
         &self.shards[idx]

@@ -18,6 +18,7 @@
 //! reported in [`TrainOutcome::adaptation`].
 
 use hetgc_ml::{Dataset, Model, Optimizer};
+use hetgc_obs::{Phase, RunObserver};
 use hetgc_sim::RunMetrics;
 use hetgc_telemetry::{Adaptation, AdaptationConfig};
 use rand::RngCore;
@@ -569,6 +570,7 @@ pub struct TrainDriver<'a, M: Model + ?Sized, O: Optimizer> {
     optimizer: O,
     cfg: DriverConfig,
     record_writer: Option<&'a mut dyn std::io::Write>,
+    observer: Option<RunObserver>,
 }
 
 impl<M: Model + ?Sized, O: Optimizer + std::fmt::Debug> std::fmt::Debug for TrainDriver<'_, M, O> {
@@ -577,6 +579,7 @@ impl<M: Model + ?Sized, O: Optimizer + std::fmt::Debug> std::fmt::Debug for Trai
             .field("optimizer", &self.optimizer)
             .field("cfg", &self.cfg)
             .field("streams_records", &self.record_writer.is_some())
+            .field("observed", &self.observer.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -591,6 +594,7 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
             optimizer,
             cfg: DriverConfig::default(),
             record_writer: None,
+            observer: None,
         }
     }
 
@@ -607,6 +611,17 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
     /// reads the stream back.
     pub fn with_record_writer(mut self, writer: &'a mut dyn std::io::Write) -> Self {
         self.record_writer = Some(writer);
+        self
+    }
+
+    /// Reports every round into `observer`'s metric handles (round
+    /// counters/latency, wire bytes, per-worker arrival histograms) and —
+    /// when the observer carries a flight recorder — attaches that
+    /// recorder to the engine at run start and wraps the optimizer step
+    /// in a [`Phase::Step`] span. All of it is atomics on pre-registered
+    /// handles: the loop allocates nothing extra per round.
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -638,16 +653,27 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
             .adaptation
             .as_ref()
             .map(|cfg| AdaptationState::new(engine, cfg));
+        if let Some(rec) = self.observer.as_ref().and_then(|o| o.recorder()) {
+            engine.attach_recorder(rec.clone());
+        }
 
         for round in 1..=rounds {
             let er = engine.round(round, &params, rng)?;
             let Some(elapsed) = er.elapsed else {
+                if let Some(obs) = &self.observer {
+                    obs.observe_failed_round();
+                }
                 log.failed_round();
                 if er.stop {
                     break;
                 }
                 continue;
             };
+            let step_span = self
+                .observer
+                .as_ref()
+                .and_then(|o| o.recorder())
+                .map(|r| r.span(Phase::Step));
             let mut step_scale = 1.0;
             if let Some(gradient) = er.gradient.as_ref() {
                 if self.cfg.residual_step_scaling {
@@ -661,6 +687,15 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
             }
             let loss = (round % eval_every == 0 || round == rounds)
                 .then(|| self.model.loss(&params, self.data, (0, self.data.len())) / n);
+            drop(step_span);
+            if let Some(obs) = &self.observer {
+                obs.observe_round(elapsed, er.residual, er.bytes_sent, er.bytes_received);
+                for s in &er.samples {
+                    if let Some(arrival) = s.arrival_seconds {
+                        obs.observe_arrival(s.worker, arrival);
+                    }
+                }
+            }
             log.completed_round(round, &er, elapsed, loss, step_scale, engine.workers());
             if let Some(writer) = self.record_writer.as_deref_mut() {
                 let record = log.records.last().expect("round just recorded");

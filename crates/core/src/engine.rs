@@ -33,6 +33,7 @@ use hetgc_coding::{
     GradientBlock, GradientCodec,
 };
 use hetgc_ml::{partial_gradients_into, Dataset, Model};
+use hetgc_obs::{Phase, Recorder};
 use hetgc_runtime::{RuntimeConfig, RuntimeError, ThreadedCluster};
 use hetgc_sim::{
     simulate_bsp_iteration_in, BspIterationConfig, NetworkModel, RateDrift, SspEngine,
@@ -151,6 +152,12 @@ pub trait RoundEngine {
     /// Observes the parameters after the driver's optimizer step —
     /// engines with stale-parameter semantics (SSP) snapshot them here.
     fn after_step(&mut self, _params: &[f64]) {}
+
+    /// Installs a flight recorder: from now on the engine emits
+    /// per-phase spans (encode, collect, decode, …) and per-arrival
+    /// instants into it. The default ignores the recorder — an engine
+    /// with no hot phases to report stays span-free.
+    fn attach_recorder(&mut self, _recorder: Recorder) {}
 
     /// Installs a learned escalation deadline (seconds from round start —
     /// simulated or wall-clock, matching the engine's substrate). Engines
@@ -273,7 +280,9 @@ fn gradient_from_plan<M: Model + ?Sized>(
     ranges: &[(usize, usize)],
     partials: &mut GradientBlock,
     arrivals: &mut GradientBlock,
+    recorder: Option<&Recorder>,
 ) -> Result<(Vec<f64>, Option<f64>), BoxError> {
+    let encode_span = recorder.map(|r| r.span(Phase::Encode));
     partial_gradients_into(model, params, data, ranges, partials);
     let d = model.num_params();
     let m = codec.workers();
@@ -287,8 +296,11 @@ fn gradient_from_plan<M: Model + ?Sized>(
     for (w, _) in plan.iter() {
         codec.encode_into(w, partials, arrivals.row_mut(w))?;
     }
+    drop(encode_span);
+    let decode_span = recorder.map(|r| r.span(Phase::Decode));
     let mut gradient = vec![0.0; d];
     plan.apply_block_into(arrivals, &mut gradient)?;
+    drop(decode_span);
     let approximate = plan.residual() > 0.0;
     debug_assert!(
         approximate || {
@@ -354,6 +366,8 @@ pub struct SimBspEngine<'a, M: Model + ?Sized> {
     backend: hetgc_coding::CodecBackend,
     policy: EscalationPolicy,
     recodes: usize,
+    /// Flight recorder, when the driver attached one.
+    recorder: Option<Recorder>,
 }
 
 impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
@@ -407,6 +421,7 @@ impl<'a, M: Model + ?Sized> SimBspEngine<'a, M> {
             backend: cfg.backend,
             policy,
             recodes: 0,
+            recorder: None,
         })
     }
 
@@ -464,14 +479,21 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
         if let Some(deadline) = self.fallback_deadline {
             sim_cfg = sim_cfg.fallback_deadline(deadline);
         }
+        let collect_span = self.recorder.as_ref().map(|r| r.span(Phase::Collect));
         let outcome =
             simulate_bsp_iteration_in(&self.codec, &sim_cfg, &events, rng, &mut self.session)?;
+        drop(collect_span);
         let Some(iter_time) = outcome.completion else {
             // A stalled round ends the run: nothing will change next time.
             return Ok(EngineRound::failed(true));
         };
 
         let samples = bsp_samples(&self.codec, &outcome, self.work_per_partition, iter_time);
+        if let Some(rec) = &self.recorder {
+            for s in samples.iter().filter(|s| !s.failed) {
+                rec.instant(Phase::Arrival, (s.worker + 1) as u64);
+            }
+        }
 
         // Real coded gradient computation through the shared helper.
         let (gradient, error_bound) = gradient_from_plan(
@@ -483,6 +505,7 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             &self.ranges,
             &mut self.partials,
             &mut self.arrivals,
+            self.recorder.as_ref(),
         )?;
         let (pool_hits, alloc_bytes) = pool_delta(&self.session, &mut self.pool_mark);
 
@@ -503,6 +526,10 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
         })
     }
 
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
     fn set_deadline(&mut self, deadline: f64) {
         if deadline.is_finite() && deadline > 0.0 {
             self.fallback_deadline = Some(deadline);
@@ -516,6 +543,7 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
     }
 
     fn recode(&mut self, estimates: &[f64], rng: &mut dyn RngCore) -> Result<bool, BoxError> {
+        let _recode_span = self.recorder.as_ref().map(|r| r.span(Phase::Recode));
         let Ok(scheme) =
             scheme_from_estimates(self.kind, estimates, self.straggler_budget, None, rng)
         else {
@@ -640,6 +668,8 @@ pub struct SimSspEngine<'a, M: Model + ?Sized> {
     label: String,
     last_time: f64,
     mode: SspMode,
+    /// Flight recorder, when the driver attached one.
+    recorder: Option<Recorder>,
 }
 
 impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
@@ -686,6 +716,7 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
                 last_worker: None,
                 iter_times,
             },
+            recorder: None,
         })
     }
 
@@ -757,6 +788,7 @@ impl<'a, M: Model + ?Sized> SimSspEngine<'a, M> {
                 iter_times,
                 work_per_partition,
             },
+            recorder: None,
         })
     }
 
@@ -860,6 +892,9 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     }
                     reported[w] = true;
                     reported_count += 1;
+                    if let Some(rec) = &self.recorder {
+                        rec.instant(Phase::Arrival, (w + 1) as u64);
+                    }
                     samples.push(RoundSample::completed(
                         w,
                         codec.load_of(w) as f64 * *work_per_partition,
@@ -887,7 +922,15 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 };
 
                 let (gradient, error_bound) = gradient_from_plan(
-                    codec, &plan, self.model, params, self.data, ranges, partials, arrivals,
+                    codec,
+                    &plan,
+                    self.model,
+                    params,
+                    self.data,
+                    ranges,
+                    partials,
+                    arrivals,
+                    self.recorder.as_ref(),
                 )?;
                 let elapsed = at - self.last_time;
                 self.last_time = at;
@@ -911,6 +954,10 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                 })
             }
         }
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
     }
 
     fn after_step(&mut self, params: &[f64]) {
@@ -952,6 +999,9 @@ pub struct ThreadedEngine<M> {
     label: String,
     recode_spec: Option<(SchemeKind, usize)>,
     recodes: usize,
+    /// Flight recorder, when the driver attached one (the cluster holds
+    /// its own clone for the dispatch/collect/decode spans).
+    recorder: Option<Recorder>,
 }
 
 impl<M> ThreadedEngine<M>
@@ -974,6 +1024,7 @@ where
             label: "threaded".to_owned(),
             recode_spec: None,
             recodes: 0,
+            recorder: None,
         })
     }
 
@@ -1033,7 +1084,12 @@ where
                     RoundSample::failed(w, work)
                 }
             })
-            .collect();
+            .collect::<Vec<RoundSample>>();
+        if let Some(rec) = &self.recorder {
+            for s in samples.iter().filter(|s| !s.failed) {
+                rec.instant(Phase::Arrival, (s.worker + 1) as u64);
+            }
+        }
         EngineRound {
             elapsed: Some(elapsed),
             at: None,
@@ -1078,6 +1134,11 @@ where
     ) -> Result<EngineRound, BoxError> {
         let r = self.cluster.round(round, params)?;
         Ok(self.engine_round(r))
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.cluster.attach_recorder(recorder.clone());
+        self.recorder = Some(recorder);
     }
 
     fn set_deadline(&mut self, deadline: f64) {

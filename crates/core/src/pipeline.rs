@@ -35,6 +35,7 @@
 //! halves of that trade.
 
 use hetgc_ml::{Dataset, Model, Optimizer};
+use hetgc_obs::{Phase, RunObserver};
 use rand::RngCore;
 
 use crate::driver::{DriverConfig, RoundLog, TrainOutcome};
@@ -73,6 +74,7 @@ pub struct PipelinedDriver<'a, M: Model + ?Sized, O: Optimizer> {
     data: &'a Dataset,
     optimizer: O,
     cfg: DriverConfig,
+    observer: Option<RunObserver>,
 }
 
 impl<M: Model + ?Sized, O: Optimizer + std::fmt::Debug> std::fmt::Debug
@@ -82,6 +84,7 @@ impl<M: Model + ?Sized, O: Optimizer + std::fmt::Debug> std::fmt::Debug
         f.debug_struct("PipelinedDriver")
             .field("optimizer", &self.optimizer)
             .field("cfg", &self.cfg)
+            .field("observed", &self.observer.is_some())
             .finish_non_exhaustive()
     }
 }
@@ -95,6 +98,7 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
             data,
             optimizer,
             cfg: DriverConfig::default(),
+            observer: None,
         }
     }
 
@@ -104,6 +108,15 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
     /// [`PipelinedDriver::run`] rejects a config that sets it.
     pub fn with_config(mut self, cfg: DriverConfig) -> Self {
         self.cfg = cfg;
+        self
+    }
+
+    /// Reports every round into `observer` exactly like
+    /// `TrainDriver::with_observer` does — round counters, latency and
+    /// arrival histograms, wire bytes, and (with a recorder) the
+    /// [`Phase::Step`] span around the overlapped master work.
+    pub fn with_observer(mut self, observer: RunObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -140,6 +153,9 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
         if rounds == 0 {
             return Ok(log.finish(params, None));
         }
+        if let Some(rec) = self.observer.as_ref().and_then(|o| o.recorder()) {
+            engine.attach_recorder(rec.clone());
+        }
 
         engine.dispatch(1, &params)?;
         for round in 1..=rounds {
@@ -151,12 +167,20 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
                 engine.dispatch(round + 1, &params)?;
             }
             let Some(elapsed) = er.elapsed else {
+                if let Some(obs) = &self.observer {
+                    obs.observe_failed_round();
+                }
                 log.failed_round();
                 if er.stop {
                     break;
                 }
                 continue;
             };
+            let step_span = self
+                .observer
+                .as_ref()
+                .and_then(|o| o.recorder())
+                .map(|r| r.span(Phase::Step));
             let mut step_scale = 1.0;
             if let Some(gradient) = er.gradient.as_ref() {
                 if self.cfg.residual_step_scaling {
@@ -170,6 +194,15 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
             }
             let loss = (round % eval_every == 0 || round == rounds)
                 .then(|| self.model.loss(&params, self.data, (0, self.data.len())) / n);
+            drop(step_span);
+            if let Some(obs) = &self.observer {
+                obs.observe_round(elapsed, er.residual, er.bytes_sent, er.bytes_received);
+                for s in &er.samples {
+                    if let Some(arrival) = s.arrival_seconds {
+                        obs.observe_arrival(s.worker, arrival);
+                    }
+                }
+            }
             log.completed_round(round, &er, elapsed, loss, step_scale, engine.workers());
             if er.stop {
                 break;

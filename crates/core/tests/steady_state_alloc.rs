@@ -17,6 +17,7 @@ use hetgc::{
     heter_aware, partial_gradients_into, synthetic, CompiledCodec, GradientBlock, GradientCodec,
     LinearRegression, Model, PartitionAssignment,
 };
+use hetgc_obs::{CodecMetrics, MetricsRegistry, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -203,4 +204,64 @@ fn steady_state_round_allocates_nothing_on_the_codec_hot_path() {
             "f32 decode {n} strays from f64 {w}"
         );
     }
+
+    // The same guarantee with the observability stack attached: a
+    // preallocated flight-recorder ring, counter/histogram handles, and
+    // the codec's cache-probe hooks record every round without touching
+    // the heap. Registration (the only allocating part) happens here,
+    // before the counter arms. (Still the single #[test] — see above.)
+    let registry = MetricsRegistry::new();
+    let recorder = Recorder::new(512);
+    let codec_metrics = CodecMetrics::new(&registry, "steady").with_recorder(recorder.clone());
+    let rounds_total = registry.counter("rounds_total", "rounds", &[]);
+    let round_seconds = registry.histogram("round_seconds", "latency", &[]);
+    let observed_round = |session: &mut hetgc::CodecSession,
+                          partials: &mut GradientBlock,
+                          arrivals: &mut GradientBlock,
+                          decoded: &mut [f64]| {
+        let started = std::time::Instant::now();
+        session.reset();
+        for &w in &arrival_order {
+            recorder.instant(Phase::Arrival, (w + 1) as u64);
+            if session.push_arrival(w).unwrap() {
+                break;
+            }
+        }
+        // The session's plan slot is reused round over round — the
+        // metrics layer books it exactly as the engine decode path does.
+        codec_metrics.hit();
+        let plan = session.decoded_plan().expect("m − s survivors decode");
+        partial_gradients_into(&model, &params, &data, &ranges, partials);
+        let decode_span = recorder.span(Phase::Decode);
+        for (w, _) in plan.iter() {
+            codec.encode_into(w, partials, arrivals.row_mut(w)).unwrap();
+        }
+        plan.apply_block_into(arrivals, decoded).unwrap();
+        drop(decode_span);
+        rounds_total.inc();
+        round_seconds.observe(started.elapsed().as_secs_f64());
+    };
+    for _ in 0..6 {
+        observed_round(&mut session, &mut partials, &mut arrivals, &mut decoded);
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    ALLOC_BYTES.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    for _ in 0..10 {
+        observed_round(&mut session, &mut partials, &mut arrivals, &mut decoded);
+    }
+    ENABLED.store(false, Ordering::SeqCst);
+    let allocs_obs = ALLOCS.load(Ordering::SeqCst);
+    let bytes_obs = ALLOC_BYTES.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs_obs, 0,
+        "metrics-enabled steady-state rounds allocated {allocs_obs} times \
+         ({bytes_obs} bytes) on the codec hot path"
+    );
+    assert_eq!(decoded, reference, "observed rounds must still agree");
+    assert_eq!(codec_metrics.hit_count(), 16);
+    assert!(
+        recorder.recorded() >= 16 * 5,
+        "recorder captured the rounds"
+    );
 }

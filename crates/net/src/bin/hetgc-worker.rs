@@ -1,18 +1,62 @@
-//! Standalone socket worker: `hetgc-worker <master-addr>`.
+//! Standalone socket worker: `hetgc-worker <master-addr> [--metrics-addr <addr>]`.
 //!
 //! Connects to a `SocketCluster` master, handshakes, and serves coded
 //! gradient rounds until told to shut down. One process per coding-matrix
 //! row; the master assigns the row at accept time.
+//!
+//! With `--metrics-addr` the worker also serves a Prometheus
+//! text-exposition `/metrics` endpoint (rounds served/skipped, compute
+//! latency histogram) for the lifetime of the process.
 
 use std::process::ExitCode;
 
+use hetgc_obs::{MetricsRegistry, MetricsServer};
+
+const USAGE: &str = "usage: hetgc-worker <master-addr> [--metrics-addr <addr>]";
+
 fn main() -> ExitCode {
+    let mut master: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
     let mut args = std::env::args().skip(1);
-    let Some(addr) = args.next() else {
-        eprintln!("usage: hetgc-worker <master-addr>");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--metrics-addr" => {
+                let Some(addr) = args.next() else {
+                    eprintln!("{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                metrics_addr = Some(addr);
+            }
+            _ if master.is_none() => master = Some(arg),
+            _ => {
+                eprintln!("{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(addr) = master else {
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    match hetgc_net::run_worker(addr.as_str()) {
+
+    let mut registry = None;
+    let mut _server = None;
+    if let Some(metrics_addr) = metrics_addr {
+        let r = MetricsRegistry::new();
+        match MetricsServer::start(&metrics_addr, r.clone()) {
+            Ok(server) => {
+                eprintln!("hetgc-worker: serving /metrics on {}", server.addr());
+                _server = Some(server);
+                registry = Some(r);
+            }
+            Err(e) => {
+                eprintln!("hetgc-worker: cannot bind metrics endpoint {metrics_addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match hetgc_net::run_worker_with_metrics(addr.as_str(), registry) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("hetgc-worker: {e}");

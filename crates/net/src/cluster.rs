@@ -22,6 +22,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgc_cluster::PartitionAssignment;
 use hetgc_coding::{CodingMatrix, DecodePlan, EscalatingCodec, GradientCodec};
 use hetgc_ml::{Dataset, Model};
+use hetgc_obs::{MetricsRegistry, Phase, Recorder};
 use hetgc_runtime::{build_codec, RuntimeConfig};
 
 use crate::conn::Connection;
@@ -67,6 +68,84 @@ pub struct SocketRound {
     pub bytes_sent: u64,
     /// Real bytes read from worker sockets during this round.
     pub bytes_received: u64,
+    /// Per physical link `(sent, received)` byte deltas of this round —
+    /// the link-resolved breakdown of `bytes_sent` / `bytes_received`,
+    /// indexed by accept order (not logical row; `row_of` maps).
+    pub link_bytes: Vec<(u64, u64)>,
+}
+
+/// Cloneable per-link traffic handles: the byte counters shared with the
+/// link's writer and reader halves, plus master-side frame counters.
+/// Clones share the same atomic cells, so a metrics refresh hook can
+/// capture a snapshot-free handle and read live totals without touching
+/// the cluster.
+#[derive(Debug, Clone, Default)]
+pub struct LinkStats {
+    sent_bytes: Arc<AtomicU64>,
+    received_bytes: Arc<AtomicU64>,
+    frames_sent: Arc<AtomicU64>,
+    frames_received: Arc<AtomicU64>,
+}
+
+impl LinkStats {
+    /// Bytes written to this link's socket since start.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read from this link's socket since start.
+    pub fn received_bytes(&self) -> u64 {
+        self.received_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Frames the master wrote to this link (rounds, recodes, handshake).
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent.load(Ordering::Relaxed)
+    }
+
+    /// Frames the master's reader thread decoded off this link.
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received.load(Ordering::Relaxed)
+    }
+}
+
+/// Publishes every link's live traffic totals into `registry` as gauges
+/// labelled by link index — the pull half of the exposition endpoint:
+/// capture `SocketCluster::link_stats` clones in a refresh hook and call
+/// this before each scrape.
+pub fn export_link_metrics(registry: &MetricsRegistry, links: &[LinkStats]) {
+    for (i, link) in links.iter().enumerate() {
+        let l = i.to_string();
+        let labels = [("link", l.as_str())];
+        registry
+            .gauge(
+                "hetgc_link_sent_bytes",
+                "Bytes written to the link",
+                &labels,
+            )
+            .set(link.sent_bytes() as f64);
+        registry
+            .gauge(
+                "hetgc_link_received_bytes",
+                "Bytes read from the link",
+                &labels,
+            )
+            .set(link.received_bytes() as f64);
+        registry
+            .gauge(
+                "hetgc_link_frames_sent",
+                "Frames the master wrote to the link",
+                &labels,
+            )
+            .set(link.frames_sent() as f64);
+        registry
+            .gauge(
+                "hetgc_link_frames_received",
+                "Frames decoded off the link",
+                &labels,
+            )
+            .set(link.frames_received() as f64);
+    }
 }
 
 /// A completed worker reply, reassembled by a reader thread.
@@ -139,12 +218,15 @@ pub struct SocketCluster<M> {
     arrival_seconds: Vec<f64>,
     round_seq: u64,
     chunk_len: usize,
-    /// Aggregate real traffic across every link (writers + readers).
-    sent_total: Arc<AtomicU64>,
-    received_total: Arc<AtomicU64>,
-    /// Traffic totals snapshotted at the last dispatch, for per-round
-    /// deltas.
-    bytes_mark: (u64, u64),
+    /// Per physical link traffic counters (writer + reader halves of link
+    /// `c` share `links[c]`'s byte cells); aggregates are sums over this.
+    links: Vec<LinkStats>,
+    /// Per-link `(sent, received)` totals snapshotted at the last
+    /// dispatch, for per-round deltas.
+    bytes_mark: Vec<(u64, u64)>,
+    /// Flight recorder for the master's hot phases; `None` until
+    /// attached.
+    recorder: Option<Recorder>,
 }
 
 impl<M> SocketCluster<M>
@@ -200,21 +282,21 @@ where
         let chunk_len = chunk_len.max(1);
         let assignment = even_assignment(data.len(), codec.partitions())?;
         let dataset_spec = DatasetSpec::from_dataset(&data);
-        let sent_total = Arc::new(AtomicU64::new(0));
-        let received_total = Arc::new(AtomicU64::new(0));
         let (reply_tx, reply_rx) = unbounded::<Reply>();
 
         let mut conns = Vec::with_capacity(m);
         let mut alive = Vec::with_capacity(m);
         let mut handles = Vec::with_capacity(m);
+        let mut links = Vec::with_capacity(m);
         listener.listener.set_nonblocking(true)?;
         let accept_started = Instant::now();
         for row in 0..m {
+            let link = LinkStats::default();
             let stream = accept_one(&listener.listener, accept_started)?;
             let mut conn = Connection::with_counters(
                 stream,
-                Arc::clone(&sent_total),
-                Arc::clone(&received_total),
+                Arc::clone(&link.sent_bytes),
+                Arc::clone(&link.received_bytes),
             );
             match conn.recv_deadline(Some(
                 ACCEPT_DEADLINE.saturating_sub(accept_started.elapsed()),
@@ -243,20 +325,23 @@ where
                 model: spec,
                 dataset: dataset_spec.clone(),
             }))?;
+            link.frames_sent.fetch_add(1, Ordering::Relaxed); // the handshake
             let live = Arc::new(AtomicBool::new(true));
             let reader = Connection::with_counters(
                 conn.stream().try_clone()?,
                 Arc::default(), // readers never send
-                Arc::clone(&received_total),
+                Arc::clone(&link.received_bytes),
             );
             handles.push(spawn_reader(
                 reader,
                 model.num_params(),
                 reply_tx.clone(),
                 Arc::clone(&live),
+                Arc::clone(&link.frames_received),
             ));
             alive.push(live);
             conns.push(conn);
+            links.push(link);
         }
         drop(reply_tx); // master keeps only the receiver
         let session = codec.session();
@@ -278,9 +363,9 @@ where
             arrival_seconds: vec![0.0; m],
             round_seq: 0,
             chunk_len,
-            sent_total,
-            received_total,
-            bytes_mark: (0, 0),
+            links,
+            bytes_mark: vec![(0, 0); m],
+            recorder: None,
             codec,
         })
     }
@@ -328,14 +413,38 @@ where
             .collect()
     }
 
-    /// Total real bytes written to worker sockets since start.
+    /// Total real bytes written to worker sockets since start (the sum
+    /// of every link's counter).
     pub fn bytes_sent(&self) -> u64 {
-        self.sent_total.load(Ordering::Relaxed)
+        self.links.iter().map(LinkStats::sent_bytes).sum()
     }
 
     /// Total real bytes read from worker sockets since start.
     pub fn bytes_received(&self) -> u64 {
-        self.received_total.load(Ordering::Relaxed)
+        self.links.iter().map(LinkStats::received_bytes).sum()
+    }
+
+    /// Per physical link traffic handles (accept order). Clones share
+    /// the live counters — capture them in a metrics refresh hook (see
+    /// [`export_link_metrics`]) to publish per-link traffic without
+    /// borrowing the cluster.
+    pub fn link_stats(&self) -> Vec<LinkStats> {
+        self.links.clone()
+    }
+
+    /// Installs a flight recorder: every subsequent round emits
+    /// dispatch/collect/decode spans, per-arrival instants (on the real
+    /// arrival clock), and recode spans on hot swaps.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Attaches cache/solve metric handles to the decode codec (fanned
+    /// out through the whole escalation ladder). As with the threaded
+    /// cluster, [`SocketCluster::recode`] builds a fresh codec —
+    /// re-attach after hot swaps if continuity matters.
+    pub fn attach_codec_metrics(&mut self, metrics: hetgc_obs::CodecMetrics) {
+        self.codec.attach_metrics(metrics);
     }
 
     /// Runs one collect round: broadcast, gather, decode or escalate.
@@ -367,6 +476,7 @@ where
                 reason: "dispatch while a round is in flight (collect it first)".into(),
             });
         }
+        let _dispatch_span = self.recorder.as_ref().map(|r| r.span(Phase::Dispatch));
         self.round_seq += 1;
         let seq = self.round_seq;
         let encoded = Frame::Round {
@@ -374,10 +484,9 @@ where
             params: params.to_vec(),
         }
         .encode();
-        self.bytes_mark = (
-            self.sent_total.load(Ordering::Relaxed),
-            self.received_total.load(Ordering::Relaxed),
-        );
+        for (link, mark) in self.links.iter().zip(self.bytes_mark.iter_mut()) {
+            *mark = (link.sent_bytes(), link.received_bytes());
+        }
         let mut live = 0usize;
         let mut first_dead = 0usize;
         for j in 0..self.codec.workers() {
@@ -387,7 +496,10 @@ where
                 continue;
             }
             match self.conns[c].send_encoded(&encoded) {
-                Ok(()) => live += 1,
+                Ok(()) => {
+                    live += 1;
+                    self.links[c].frames_sent.fetch_add(1, Ordering::Relaxed);
+                }
                 Err(_) => {
                     // Broken pipe: the peer is gone. Demote the link and
                     // let the escalation ladder handle the missing reply.
@@ -423,6 +535,10 @@ where
                 reason: "collect without a dispatched round".into(),
             })?;
 
+        // Clone the recorder so the span guard borrows a local, not
+        // `self` (absorb below needs `&mut self`).
+        let recorder = self.recorder.clone();
+        let collect_span = recorder.as_ref().map(|r| r.span(Phase::Collect));
         self.session.reset();
         let pool_hits_before = self.session.pool().hits();
         self.received.iter_mut().for_each(|slot| *slot = None);
@@ -473,6 +589,7 @@ where
                 break;
             }
         }
+        drop(collect_span);
         let plan = match fallback.as_ref() {
             Some(plan) => plan,
             None => self
@@ -481,8 +598,10 @@ where
                 .expect("collect loop broke on a decode"),
         };
 
+        let decode_span = self.recorder.as_ref().map(|r| r.span(Phase::Decode));
         let mut gradient = vec![0.0; self.model.num_params()];
         plan.apply_rows_into(|w| self.received[w].as_deref(), &mut gradient)?;
+        drop(decode_span);
         let used = plan.len();
         let residual = plan.residual();
         let alloc_bytes = self
@@ -498,6 +617,14 @@ where
             }
             *late = 0.0;
         }
+        let link_bytes: Vec<(u64, u64)> = self
+            .links
+            .iter()
+            .zip(&self.bytes_mark)
+            .map(|(link, &(sent0, recv0))| {
+                (link.sent_bytes() - sent0, link.received_bytes() - recv0)
+            })
+            .collect();
         Ok(SocketRound {
             gradient,
             residual,
@@ -508,8 +635,9 @@ where
             arrivals: self.arrival_seconds.clone(),
             alloc_bytes,
             pool_hits: self.session.pool().hits() - pool_hits_before,
-            bytes_sent: self.sent_total.load(Ordering::Relaxed) - self.bytes_mark.0,
-            bytes_received: self.received_total.load(Ordering::Relaxed) - self.bytes_mark.1,
+            bytes_sent: link_bytes.iter().map(|&(s, _)| s).sum(),
+            bytes_received: link_bytes.iter().map(|&(_, r)| r).sum(),
+            link_bytes,
         })
     }
 
@@ -532,6 +660,11 @@ where
             .arrived
             .saturating_duration_since(started)
             .as_secs_f64();
+        if let Some(rec) = &self.recorder {
+            // The instant is stamped at absorb time; the true arrival
+            // clock (reader-thread receipt) rides in the round sample.
+            rec.instant(Phase::Arrival, (worker + 1) as u64);
+        }
         self.received[worker] = Some(reply.coded);
         Ok(self.session.push_arrival(worker)?)
     }
@@ -574,6 +707,7 @@ where
                 ),
             });
         }
+        let _recode_span = self.recorder.as_ref().map(|r| r.span(Phase::Recode));
         let codec = build_codec(code, &self.config)?;
         let assignment = even_assignment(self.data.len(), codec.partitions())?;
         for (j, &c) in live.iter().enumerate() {
@@ -587,6 +721,7 @@ where
                 self.alive[c].store(false, Ordering::Relaxed);
                 return Err(NetError::WorkerLost { worker: c });
             }
+            self.links[c].frames_sent.fetch_add(1, Ordering::Relaxed);
         }
         let m = codec.workers();
         self.session = codec.session();
@@ -675,12 +810,14 @@ fn spawn_reader(
     num_params: usize,
     replies: Sender<Reply>,
     alive: Arc<AtomicBool>,
+    frames_received: Arc<AtomicU64>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         // The in-progress reassembly: (seq, row, buffer).
         let mut pending: Option<(u64, u32, Vec<f64>)> = None;
         // EOF, broken link or garbage ends the loop: the peer is gone.
         while let Ok(frame) = conn.recv() {
+            frames_received.fetch_add(1, Ordering::Relaxed);
             match frame {
                 Frame::GradientChunk {
                     seq,

@@ -14,6 +14,7 @@ use hetgc::{
 };
 use hetgc_coding::GradientCodec;
 use hetgc_ml::Model;
+use hetgc_obs::Recorder;
 use rand::RngCore;
 
 use crate::cluster::{SocketCluster, SocketRound};
@@ -65,6 +66,13 @@ where
     /// The underlying cluster.
     pub fn cluster(&self) -> &SocketCluster<M> {
         &self.cluster
+    }
+
+    /// The underlying cluster, mutably — for pre-run observability
+    /// wiring ([`SocketCluster::attach_codec_metrics`],
+    /// [`SocketCluster::link_stats`], timeouts).
+    pub fn cluster_mut(&mut self) -> &mut SocketCluster<M> {
+        &mut self.cluster
     }
 
     /// How many times [`RoundEngine::recode`] installed a rebuilt code.
@@ -145,6 +153,10 @@ where
     ) -> Result<EngineRound, BoxError> {
         let r = self.cluster.round(round, params)?;
         Ok(self.engine_round(r))
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.cluster.attach_recorder(recorder);
     }
 
     fn set_deadline(&mut self, deadline: f64) {

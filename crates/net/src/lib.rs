@@ -42,11 +42,13 @@ pub mod spawn;
 pub mod spec;
 pub mod worker;
 
-pub use cluster::{SocketCluster, SocketListener, SocketRound, DEFAULT_CHUNK_LEN};
+pub use cluster::{
+    export_link_metrics, LinkStats, SocketCluster, SocketListener, SocketRound, DEFAULT_CHUNK_LEN,
+};
 pub use conn::Connection;
 pub use engine::SocketEngine;
 pub use error::{NetError, WireError};
 pub use frame::{Frame, MAX_FRAME_LEN, VERSION};
 pub use spawn::WorkerFleet;
 pub use spec::{AnyModel, BehaviorSpec, DatasetSpec, Handshake, ModelSpec, TargetsSpec};
-pub use worker::run_worker;
+pub use worker::{run_worker, run_worker_with_metrics};

@@ -11,6 +11,7 @@ use std::process::{Child, Command, Stdio};
 /// panicking test cannot leak orphan workers.
 #[derive(Debug, Default)]
 pub struct WorkerFleet {
+    bin: String,
     children: Vec<Option<Child>>,
 }
 
@@ -26,16 +27,32 @@ impl WorkerFleet {
     ///
     /// Propagates spawn failures (missing binary, resource limits).
     pub fn spawn(bin: &str, addr: &str, count: usize) -> std::io::Result<Self> {
-        let mut children = Vec::with_capacity(count);
+        let mut fleet = WorkerFleet {
+            bin: bin.to_owned(),
+            children: Vec::with_capacity(count),
+        };
         for _ in 0..count {
-            let child = Command::new(bin)
-                .arg(addr)
-                .stdout(Stdio::null())
-                .stderr(Stdio::inherit())
-                .spawn()?;
-            children.push(Some(child));
+            fleet.spawn_with_args(&[addr])?;
         }
-        Ok(WorkerFleet { children })
+        Ok(fleet)
+    }
+
+    /// Spawns one more worker with an explicit argument vector — e.g.
+    /// `&[addr, "--metrics-addr", "127.0.0.1:9101"]` for a worker that
+    /// serves its own exposition endpoint. The child joins the fleet and
+    /// is reaped with it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spawn failures.
+    pub fn spawn_with_args(&mut self, args: &[&str]) -> std::io::Result<()> {
+        let child = Command::new(&self.bin)
+            .args(args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()?;
+        self.children.push(Some(child));
+        Ok(())
     }
 
     /// Number of workers originally spawned.

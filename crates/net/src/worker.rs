@@ -12,6 +12,7 @@ use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
 use hetgc_ml::{Dataset, Model};
+use hetgc_obs::{Counter, Histogram, MetricsRegistry};
 use hetgc_runtime::WorkerBehavior;
 
 use crate::conn::Connection;
@@ -37,6 +38,21 @@ struct Assignment {
 /// Protocol violations, handshake inconsistencies and transport failures
 /// other than a plain disconnect.
 pub fn run_worker<A: ToSocketAddrs>(addr: A) -> Result<(), NetError> {
+    run_worker_with_metrics(addr, None)
+}
+
+/// [`run_worker`] with an optional worker-side metrics registry: rounds
+/// served, rounds skipped (fail-stop emulation), and a compute-latency
+/// histogram, all labelled by the handshake-assigned worker row. The
+/// `hetgc-worker` binary wires this to `--metrics-addr`.
+///
+/// # Errors
+///
+/// Same contract as [`run_worker`].
+pub fn run_worker_with_metrics<A: ToSocketAddrs>(
+    addr: A,
+    registry: Option<MetricsRegistry>,
+) -> Result<(), NetError> {
     let mut conn = Connection::connect(addr)?;
     conn.send(&Frame::Hello { version: VERSION })?;
     let handshake = match conn.recv()? {
@@ -47,11 +63,50 @@ pub fn run_worker<A: ToSocketAddrs>(addr: A) -> Result<(), NetError> {
             )))
         }
     };
-    serve(conn, handshake)
+    let metrics = registry
+        .as_ref()
+        .map(|r| WorkerMetrics::new(r, handshake.worker));
+    serve(conn, handshake, metrics)
+}
+
+/// The worker-side metric families, labelled by the worker's
+/// handshake-assigned row (stable across mid-run recodes).
+struct WorkerMetrics {
+    rounds: Counter,
+    skipped: Counter,
+    compute: Histogram,
+}
+
+impl WorkerMetrics {
+    fn new(registry: &MetricsRegistry, worker: u32) -> Self {
+        let labels = [("worker", worker.to_string())];
+        let labels: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+        WorkerMetrics {
+            rounds: registry.counter(
+                "hetgc_worker_rounds_total",
+                "Coded-gradient rounds computed and streamed back",
+                &labels,
+            ),
+            skipped: registry.counter(
+                "hetgc_worker_rounds_skipped_total",
+                "Rounds dropped by the fail-stop behaviour schedule",
+                &labels,
+            ),
+            compute: registry.histogram(
+                "hetgc_worker_compute_seconds",
+                "Per-round coded-gradient compute time (includes emulated throttle)",
+                &labels,
+            ),
+        }
+    }
 }
 
 /// The round loop over an already-handshaken connection.
-fn serve(mut conn: Connection, handshake: Handshake) -> Result<(), NetError> {
+fn serve(
+    mut conn: Connection,
+    handshake: Handshake,
+    metrics: Option<WorkerMetrics>,
+) -> Result<(), NetError> {
     let Handshake {
         worker,
         num_params,
@@ -123,6 +178,9 @@ fn serve(mut conn: Connection, handshake: Handshake) -> Result<(), NetError> {
         };
         if !behavior.responds_at(seq as usize) {
             // Fail-stop emulation: keep draining frames, never reply.
+            if let Some(m) = &metrics {
+                m.skipped.inc();
+            }
             continue;
         }
         let started = Instant::now();
@@ -135,6 +193,10 @@ fn serve(mut conn: Connection, handshake: Handshake) -> Result<(), NetError> {
             &mut partial,
         );
         throttle(&behavior, &assignment, seq, started);
+        if let Some(m) = &metrics {
+            m.rounds.inc();
+            m.compute.observe(started.elapsed().as_secs_f64());
+        }
         stream_reply(&mut conn, &assignment, seq, &coded, chunk_len, started)?;
     }
 }

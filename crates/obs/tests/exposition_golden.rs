@@ -1,0 +1,129 @@
+//! Golden/format test for the `/metrics` exposition (ISSUE 9
+//! satellite): the rendered text conforms to the Prometheus text format
+//! (names, HELP/TYPE lines, label escaping) and parses back to exactly
+//! the snapshot it came from.
+
+use hetgc_obs::{expo, MetricValue, MetricsRegistry};
+
+fn populated_registry() -> MetricsRegistry {
+    let reg = MetricsRegistry::new();
+    reg.counter(
+        "hetgc_rounds_total",
+        "Completed training rounds",
+        &[("job", "alpha")],
+    )
+    .add(12);
+    reg.counter(
+        "hetgc_rounds_total",
+        "Completed training rounds",
+        &[("job", "beta")],
+    )
+    .add(7);
+    reg.gauge(
+        "hetgc_shared_cache_plans",
+        "Decode plans resident in the shared cache",
+        &[],
+    )
+    .set(23.0);
+    reg.gauge(
+        "hetgc_link_sent_bytes",
+        "Bytes sent per link",
+        &[("link", "0")],
+    )
+    .set(4096.0);
+    let h = reg.histogram(
+        "hetgc_arrival_seconds",
+        "Per-worker result arrival latency from round start",
+        &[("job", "alpha"), ("worker", "0")],
+    );
+    for v in [1e-5, 3e-4, 3e-4, 0.02, 1.5] {
+        h.observe(v);
+    }
+    // A label value exercising every escape: backslash, quote, newline.
+    reg.counter(
+        "hetgc_escaped_total",
+        "Escaping fixture",
+        &[("path", "a\\b\"c\nd")],
+    )
+    .add(1);
+    reg
+}
+
+#[test]
+fn exposition_conforms_to_text_format() {
+    let text = expo::render(&populated_registry().snapshot());
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Every family gets exactly one HELP immediately followed by TYPE.
+    for (i, line) in lines.iter().enumerate() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let name = rest.split(' ').next().unwrap();
+            assert!(
+                lines[i + 1].starts_with(&format!("# TYPE {name} ")),
+                "HELP for {name} not followed by its TYPE line"
+            );
+        }
+    }
+    assert!(text.contains("# TYPE hetgc_rounds_total counter\n"));
+    assert!(text.contains("# TYPE hetgc_shared_cache_plans gauge\n"));
+    assert!(text.contains("# TYPE hetgc_arrival_seconds histogram\n"));
+    assert!(text.contains("hetgc_rounds_total{job=\"alpha\"} 12\n"));
+    assert!(text.contains("hetgc_rounds_total{job=\"beta\"} 7\n"));
+    assert!(text.contains("hetgc_link_sent_bytes{link=\"0\"} 4096\n"));
+
+    // Histogram component series: cumulative buckets ending at +Inf,
+    // plus _sum and _count carrying the base label set.
+    assert!(
+        text.contains("hetgc_arrival_seconds_bucket{job=\"alpha\",worker=\"0\",le=\"+Inf\"} 5\n")
+    );
+    assert!(text.contains("hetgc_arrival_seconds_sum{job=\"alpha\",worker=\"0\"}"));
+    assert!(text.contains("hetgc_arrival_seconds_count{job=\"alpha\",worker=\"0\"} 5\n"));
+    let mut last_cumulative = 0u64;
+    let mut bucket_lines = 0;
+    for line in &lines {
+        if line.starts_with("hetgc_arrival_seconds_bucket{") {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last_cumulative, "buckets must be cumulative: {line}");
+            last_cumulative = v;
+            bucket_lines += 1;
+        }
+    }
+    assert_eq!(bucket_lines, hetgc_obs::HISTOGRAM_BUCKETS);
+    assert_eq!(last_cumulative, 5);
+
+    // Label escaping: backslash, quote, and newline are escaped on the
+    // wire (the raw newline must NOT appear inside a label value).
+    assert!(text.contains(r#"path="a\\b\"c\nd""#));
+
+    // Metric names and label keys stay in the legal charset.
+    let name_ok = |name: &str| {
+        !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            && !name.chars().next().unwrap().is_ascii_digit()
+    };
+    for line in &lines {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let name = line.split(['{', ' ']).next().unwrap();
+        assert!(name_ok(name), "illegal metric name in line: {line}");
+    }
+}
+
+#[test]
+fn exposition_parses_back_to_the_snapshot() {
+    let snap = populated_registry().snapshot();
+    let parsed = expo::parse(&expo::render(&snap)).expect("rendered text must parse");
+    assert_eq!(parsed, snap);
+
+    // And the parsed snapshot is still merge-compatible: doubling via
+    // merge doubles the counters.
+    let mut doubled = parsed.clone();
+    doubled.merge(&snap);
+    assert_eq!(
+        doubled.get("hetgc_rounds_total", &[("job", "alpha")]),
+        Some(&MetricValue::Counter(24))
+    );
+}

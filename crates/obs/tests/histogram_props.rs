@@ -1,0 +1,75 @@
+//! Property tests for histogram invariants (ISSUE 9 satellite): bucket
+//! counts always sum to the observation count, and snapshot `merge` is
+//! order-independent and lossless.
+
+use hetgc_obs::{HistogramSnapshot, MetricsRegistry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+fn observations() -> impl Strategy<Value = Vec<f64>> {
+    // Mix magnitudes across the whole bucket range, including
+    // sub-minimum and overflow values.
+    prop::collection::vec((-30.0f64..30.0).prop_map(|e| e.exp2()), 0..200)
+}
+
+fn observe_all(values: &[f64]) -> HistogramSnapshot {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("h", "h", &[]);
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bucket_counts_sum_to_observation_count(values in observations()) {
+        let snap = observe_all(&values);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.buckets.iter().sum::<u64>(), values.len() as u64);
+        prop_assert_eq!(snap.buckets.len(), HISTOGRAM_BUCKETS);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_lossless(
+        a in observations(),
+        b in observations(),
+        c in observations(),
+    ) {
+        let (sa, sb, sc) = (observe_all(&a), observe_all(&b), observe_all(&c));
+
+        // (a ⊕ b) ⊕ c == (c ⊕ b) ⊕ a, bucket-wise and count-wise.
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut right = sc.clone();
+        right.merge(&sb);
+        right.merge(&sa);
+        prop_assert_eq!(&left.buckets, &right.buckets);
+        prop_assert_eq!(left.count, right.count);
+        // Sums agree up to float summation order.
+        prop_assert!((left.sum - right.sum).abs() <= 1e-9 * (1.0 + left.sum.abs()));
+
+        // Lossless: the merge equals observing the concatenation.
+        let mut concat: Vec<f64> = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        let all = observe_all(&concat);
+        prop_assert_eq!(&left.buckets, &all.buckets);
+        prop_assert_eq!(left.count, all.count);
+        prop_assert!((left.sum - all.sum).abs() <= 1e-9 * (1.0 + all.sum.abs()));
+    }
+
+    #[test]
+    fn merge_preserves_quantile_bounds(values in observations()) {
+        // Splitting a stream across two registries and merging must give
+        // the same quantile estimate as one registry seeing everything.
+        let mid = values.len() / 2;
+        let mut merged = observe_all(&values[..mid]);
+        merged.merge(&observe_all(&values[mid..]));
+        let whole = observe_all(&values);
+        prop_assert_eq!(merged.quantile(0.5), whole.quantile(0.5));
+        prop_assert_eq!(merged.quantile(0.99), whole.quantile(0.99));
+    }
+}

@@ -22,6 +22,7 @@ use hetgc_coding::{
     EscalatingCodec, GradientCodec, GroupCodec,
 };
 use hetgc_ml::{Dataset, Model};
+use hetgc_obs::{Phase, Recorder};
 
 use crate::config::RuntimeConfig;
 use crate::error::RuntimeError;
@@ -96,6 +97,9 @@ pub struct ThreadedCluster<M> {
     /// round (including a previous driver run over the same cluster) are
     /// filtered out regardless of the caller's numbering.
     round_seq: usize,
+    /// Flight recorder for the master's hot phases (dispatch, collect,
+    /// decode, recode); `None` until attached.
+    recorder: Option<Recorder>,
 }
 
 /// Spawns one worker thread per codec row, returning the channel ends
@@ -238,6 +242,7 @@ where
             compute_seconds: vec![0.0; m],
             late_compute_seconds: vec![0.0; m],
             round_seq: 0,
+            recorder: None,
         })
     }
 
@@ -280,6 +285,21 @@ where
         self.timeout = Some(timeout);
     }
 
+    /// Installs a flight recorder: every subsequent round emits
+    /// dispatch/collect/decode spans (and recode spans on hot swaps)
+    /// into it.
+    pub fn attach_recorder(&mut self, recorder: Recorder) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Attaches cache/solve metric handles to the decode codec (fanned
+    /// out through the whole escalation ladder). Note a
+    /// [`ThreadedCluster::recode`] builds a fresh codec — re-attach
+    /// after hot swaps if continuity matters.
+    pub fn attach_codec_metrics(&mut self, metrics: hetgc_obs::CodecMetrics) {
+        self.codec.attach_metrics(metrics);
+    }
+
     /// Hot-swaps a rebuilt coding strategy into the running cluster: the
     /// new matrix is compiled into the configured backend + escalation
     /// policy, the old worker threads are shut down and joined, and a
@@ -297,6 +317,7 @@ where
     /// [`RuntimeError::InvalidConfig`] when the new matrix cannot be
     /// compiled or partitioned; the old pool keeps running in that case.
     pub fn recode(&mut self, code: CodingMatrix) -> Result<(), RuntimeError> {
+        let _recode_span = self.recorder.as_ref().map(|r| r.span(Phase::Recode));
         let codec = build_codec(code, &self.config)?;
         // Validate the new partitioning BEFORE tearing the old pool down.
         let (to_workers, from_rx, handles) =
@@ -371,6 +392,7 @@ where
                 reason: "dispatch while a round is in flight (collect it first)".into(),
             });
         }
+        let _dispatch_span = self.recorder.as_ref().map(|r| r.span(Phase::Dispatch));
         self.round_seq += 1;
         let tag = self.round_seq;
         let shared = Arc::new(params.to_vec());
@@ -414,6 +436,7 @@ where
                 reason: "collect without a dispatched round".into(),
             })?;
 
+        let collect_span = self.recorder.as_ref().map(|r| r.span(Phase::Collect));
         self.session.reset();
         let pool_hits_before = self.session.pool().hits();
         // Rearm the per-worker slots: releasing the previous round's
@@ -494,6 +517,7 @@ where
                 break;
             }
         }
+        drop(collect_span);
         let plan = match fallback.as_ref() {
             Some(plan) => plan,
             None => self
@@ -505,8 +529,10 @@ where
         // g = Σ a_w · g̃_w (un-normalized), applied straight over the
         // per-worker arrival slots — no clone of any coded payload — in
         // one whole-round pass through the blocked decode kernel.
+        let decode_span = self.recorder.as_ref().map(|r| r.span(Phase::Decode));
         let mut gradient = vec![0.0; self.model.num_params()];
         plan.apply_rows_into(|w| self.received[w].as_deref(), &mut gradient)?;
+        drop(decode_span);
         let used = plan.len();
         let residual = plan.residual();
         // Every consumed reply cost exactly one worker-side payload

@@ -14,6 +14,7 @@
 //! [epoch]: crate::SharedWorkerPool::epoch
 
 use hetgc::{EngineRound, PipelinedEngine, RoundEngine};
+use hetgc_obs::Recorder;
 use hetgc_telemetry::TelemetryHub;
 use rand::RngCore;
 
@@ -151,6 +152,10 @@ impl<E: RoundEngine> RoundEngine for LeasedEngine<E> {
 
     fn after_step(&mut self, params: &[f64]) {
         self.inner.after_step(params);
+    }
+
+    fn attach_recorder(&mut self, recorder: Recorder) {
+        self.inner.attach_recorder(recorder);
     }
 
     fn set_deadline(&mut self, deadline: f64) {

@@ -10,10 +10,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use hetgc::{
-    scheme_from_estimates, synthetic, DriverConfig, LinearRegression, PipelinedDriver, SchemeKind,
-    Sgd, ThreadedEngine, TrainDriver, TrainOutcome,
+    scheme_from_estimates, synthetic, DriverConfig, LinearRegression, PipelinedDriver, RoundEngine,
+    SchemeKind, Sgd, ThreadedEngine, TrainDriver, TrainOutcome,
 };
 use hetgc_coding::{CodecBackend, EscalationPolicy, PoolStats};
+use hetgc_obs::{MetricsRegistry, RunObserver};
 use hetgc_runtime::RuntimeConfig;
 use hetgc_telemetry::{FleetRollup, JobTelemetry};
 use rand::rngs::StdRng;
@@ -219,6 +220,7 @@ impl SchedulerReport {
 pub struct JobScheduler {
     pool: SharedWorkerPool,
     jobs: Vec<JobSpec>,
+    metrics: Option<MetricsRegistry>,
 }
 
 impl JobScheduler {
@@ -227,12 +229,23 @@ impl JobScheduler {
         JobScheduler {
             pool,
             jobs: Vec::new(),
+            metrics: None,
         }
     }
 
     /// Queues one job for the next batch.
     pub fn submit(mut self, spec: JobSpec) -> Self {
         self.jobs.push(spec);
+        self
+    }
+
+    /// Reports every job's rounds into `registry`, each under its own
+    /// `job` label ([`RunObserver`] families: round counters, latency and
+    /// per-worker arrival histograms, wire bytes). Attach the same
+    /// registry to a `hetgc_obs::MetricsServer` to scrape the whole
+    /// batch live.
+    pub fn with_metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.metrics = Some(registry);
         self
     }
 
@@ -273,7 +286,8 @@ impl JobScheduler {
                     .iter()
                     .map(|spec| {
                         let pool = &self.pool;
-                        s.spawn(move || run_job(pool, spec).map_err(|e| e.to_string()))
+                        let metrics = self.metrics.as_ref();
+                        s.spawn(move || run_job(pool, spec, metrics).map_err(|e| e.to_string()))
                     })
                     .collect();
                 handles
@@ -284,7 +298,9 @@ impl JobScheduler {
         } else {
             self.jobs
                 .iter()
-                .map(|spec| run_job(&self.pool, spec).map_err(|e| e.to_string()))
+                .map(|spec| {
+                    run_job(&self.pool, spec, self.metrics.as_ref()).map_err(|e| e.to_string())
+                })
                 .collect()
         };
         let wall_seconds = started.elapsed().as_secs_f64();
@@ -314,7 +330,11 @@ impl JobScheduler {
 /// Runs one job end to end: admit → build scheme/workload → spawn the
 /// tenant cluster (shared-plan cache attached) → train → snapshot
 /// telemetry and data-plane stats.
-fn run_job(pool: &SharedWorkerPool, spec: &JobSpec) -> Result<JobRun, BoxError> {
+fn run_job(
+    pool: &SharedWorkerPool,
+    spec: &JobSpec,
+    metrics: Option<&MetricsRegistry>,
+) -> Result<JobRun, BoxError> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     // The initial allocation targets the fleet's *base* rates — the spec
     // every tenant knows at admission — so equal-seeded jobs build
@@ -354,14 +374,23 @@ fn run_job(pool: &SharedWorkerPool, spec: &JobSpec) -> Result<JobRun, BoxError> 
         ..DriverConfig::default()
     }
     .with_job_id(spec.name.clone());
+    let observer = metrics.map(|r| RunObserver::new(r, spec.name.as_str(), leased.workers()));
     let outcome = if spec.pipelined {
-        PipelinedDriver::new(model.as_ref(), data.as_ref(), Sgd::new(spec.learning_rate))
-            .with_config(driver_cfg)
-            .run(&mut leased, spec.rounds, &mut rng)?
+        let mut driver =
+            PipelinedDriver::new(model.as_ref(), data.as_ref(), Sgd::new(spec.learning_rate))
+                .with_config(driver_cfg);
+        if let Some(obs) = observer {
+            driver = driver.with_observer(obs);
+        }
+        driver.run(&mut leased, spec.rounds, &mut rng)?
     } else {
-        TrainDriver::new(model.as_ref(), data.as_ref(), Sgd::new(spec.learning_rate))
-            .with_config(driver_cfg)
-            .run(&mut leased, spec.rounds, &mut rng)?
+        let mut driver =
+            TrainDriver::new(model.as_ref(), data.as_ref(), Sgd::new(spec.learning_rate))
+                .with_config(driver_cfg);
+        if let Some(obs) = observer {
+            driver = driver.with_observer(obs);
+        }
+        driver.run(&mut leased, spec.rounds, &mut rng)?
     };
 
     let wall = started.elapsed().as_secs_f64();

@@ -140,6 +140,24 @@ impl TelemetryHub {
     pub fn round_quantile(&self, q: f64) -> Option<f64> {
         self.round_times.quantile(q)
     }
+
+    /// Median recent round-completion time, straight off the window —
+    /// dashboards and the metrics registry read these instead of
+    /// re-deriving quantiles from raw samples.
+    pub fn round_p50(&self) -> Option<f64> {
+        self.round_times.p50()
+    }
+
+    /// 90th-percentile recent round-completion time.
+    pub fn round_p90(&self) -> Option<f64> {
+        self.round_times.p90()
+    }
+
+    /// 99th-percentile recent round-completion time — the tail the
+    /// learned escalation deadline tracks.
+    pub fn round_p99(&self) -> Option<f64> {
+        self.round_times.p99()
+    }
 }
 
 #[cfg(test)]
@@ -191,6 +209,19 @@ mod tests {
         assert_eq!(hub.estimates_or(&[9.0, 7.0]), vec![3.0, 7.0, 3.0]);
         // No fallback at all: mean everywhere unobserved.
         assert_eq!(hub.estimates_or(&[]), vec![3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn percentile_accessors_match_quantile() {
+        let mut hub = TelemetryHub::new(1, 0.5, 16);
+        assert_eq!(hub.round_p50(), None);
+        for i in 1..=10 {
+            hub.ingest(i as f64, 0.0, &[]);
+        }
+        assert_eq!(hub.round_p50(), hub.round_quantile(0.5));
+        assert_eq!(hub.round_p90(), hub.round_quantile(0.9));
+        assert_eq!(hub.round_p99(), hub.round_quantile(0.99));
+        assert_eq!(hub.round_p99(), Some(10.0));
     }
 
     #[test]

@@ -65,6 +65,22 @@ impl QuantileWindow {
         let idx = (q * (sorted.len() - 1) as f64).round() as usize;
         Some(sorted[idx])
     }
+
+    /// The median over the current window.
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The 90th percentile over the current window.
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.9)
+    }
+
+    /// The 99th percentile over the current window — the tail the
+    /// escalation deadline and dashboards care about.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +115,20 @@ mod tests {
         assert_eq!(w.quantile(1.0), Some(30.0));
         w.push(3.0); // 30 evicted
         assert_eq!(w.quantile(1.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_shorthands() {
+        let mut w = QuantileWindow::new(100);
+        assert_eq!(w.p50(), None);
+        for i in 1..=100 {
+            w.push(i as f64);
+        }
+        // Nearest rank over an even count rounds the half-index up —
+        // the `RunMetrics::quantile` convention this window matches.
+        assert_eq!(w.p50(), Some(51.0));
+        assert_eq!(w.p90(), Some(90.0));
+        assert_eq!(w.p99(), Some(99.0));
     }
 
     #[test]

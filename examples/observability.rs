@@ -1,0 +1,104 @@
+//! Live observability on a real training run: four throttled worker
+//! threads train through the unified `TrainDriver` loop while a
+//! `MetricsRegistry` + flight `Recorder` capture every round, and a
+//! `MetricsServer` exposes them over HTTP — this example scrapes its own
+//! `/metrics` and `/trace` endpoints mid-run, exactly like a Prometheus
+//! agent or a human with `curl` would.
+//!
+//! ```text
+//! cargo run --release --example observability
+//! ```
+
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use hetgc::{heter_aware, LinearRegression, RuntimeConfig, Sgd, ThreadedEngine, TrainDriver};
+use hetgc_ml::synthetic;
+use hetgc_obs::{expo, MetricsRegistry, MetricsServer, Recorder, RunObserver};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One blocking HTTP/1.0 GET against the exposition server.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok(body)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
+    let mut rng = StdRng::seed_from_u64(9);
+    let workers = 4;
+    let data = Arc::new(synthetic::linear_regression(240, 6, 0.02, &mut rng));
+    let model = Arc::new(LinearRegression::new(6));
+    let code = heter_aware(&[1.0, 1.0, 2.0, 4.0], 8, 1, &mut rng)?;
+
+    // The observability stack: one registry, one 4096-event flight
+    // recorder, one HTTP endpoint serving both.
+    let registry = MetricsRegistry::new();
+    let recorder = Recorder::new(4096);
+    let server = MetricsServer::start_with(
+        "127.0.0.1:0",
+        registry.clone(),
+        Some(recorder.clone()),
+        None,
+    )?;
+    println!("serving /metrics and /trace on http://{}", server.addr());
+
+    // The run observer books rounds/arrivals/bytes under job="demo" and
+    // threads the recorder through driver + engine + codec.
+    let observer = RunObserver::new(&registry, "demo", workers).with_recorder(recorder.clone());
+    let mut engine = ThreadedEngine::new(
+        code,
+        Arc::clone(&model),
+        Arc::clone(&data),
+        &RuntimeConfig::nominal(workers),
+    )?;
+    println!("training 16 rounds on {workers} worker threads…");
+    let out = TrainDriver::new(&*model, &data, Sgd::new(0.2))
+        .with_observer(observer)
+        .run(&mut engine, 16, &mut rng)?;
+    println!(
+        "trained: final loss {:.5}, {} rounds recorded",
+        out.final_loss().unwrap_or(f64::NAN),
+        out.records.len()
+    );
+
+    // Scrape our own endpoint, the way Prometheus would.
+    let body = http_get(server.addr(), "/metrics")?;
+    println!("\n$ curl http://{}/metrics  (hetgc_* lines)", server.addr());
+    for line in body.lines() {
+        if line.starts_with("hetgc_") && !line.contains("_bucket") {
+            println!("  {line}");
+        }
+    }
+    // The text format round-trips: parse it back and read a counter.
+    let scraped = expo::parse(&body)?;
+    let rounds = scraped.get("hetgc_rounds_total", &[("job", "demo")]);
+    println!("parsed back: hetgc_rounds_total{{job=\"demo\"}} = {rounds:?}");
+
+    // And the flight recorder: a Chrome Trace Event JSON of the run.
+    let trace = http_get(server.addr(), "/trace")?;
+    let phases: BTreeSet<&str> = ["dispatch", "collect", "arrival", "decode", "step"]
+        .into_iter()
+        .filter(|p| trace.contains(&format!("\"name\":\"{p}\"")))
+        .collect();
+    println!(
+        "\n$ curl http://{}/trace → {} bytes of Chrome trace ({} events; phases seen: {:?})",
+        server.addr(),
+        trace.len(),
+        recorder.recorded(),
+        phases
+    );
+    println!("load it in chrome://tracing or https://ui.perfetto.dev");
+
+    server.stop();
+    Ok(())
+}

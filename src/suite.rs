@@ -9,6 +9,7 @@ pub use hetgc_coding as coding;
 pub use hetgc_linalg as linalg;
 pub use hetgc_ml as ml;
 pub use hetgc_net as net;
+pub use hetgc_obs as obs;
 pub use hetgc_runtime as runtime;
 pub use hetgc_sched as sched;
 pub use hetgc_sim as sim;
