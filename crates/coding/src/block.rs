@@ -168,6 +168,24 @@ impl<E: Element> GradientBlock<E> {
         }
         out
     }
+
+    /// [`GradientBlock::convert`] into a caller-owned destination block,
+    /// overwrite-only: `out` is reshaped to this block's geometry and
+    /// every element is written, so — unlike `convert` or
+    /// [`GradientBlock::reset`] — there is no zeroing pass that the
+    /// element-wise copy would immediately overwrite. This is the
+    /// dequantize fast path's bridge between element widths; in steady
+    /// state (same geometry every round) it allocates nothing.
+    pub fn convert_into<T: Element>(&self, out: &mut GradientBlock<T>) {
+        out.rows = self.rows;
+        out.dim = self.dim;
+        // `resize` only touches the extension; the retained prefix keeps
+        // its stale contents, which the copy below overwrites in full.
+        out.data.resize(self.rows * self.dim, T::ZERO);
+        for (dst, src) in out.data.iter_mut().zip(&self.data) {
+            *dst = T::from_f64(src.to_f64());
+        }
+    }
 }
 
 /// A pool of `dim`-length scratch vectors with checkout/recycle
@@ -250,6 +268,29 @@ impl<E: Element> BufferPool<E> {
             Some(mut buf) => {
                 self.hits += 1;
                 buf.clear();
+                buf.resize(len, E::ZERO);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                self.alloc_bytes += (len * E::BYTES) as u64;
+                vec![E::ZERO; len]
+            }
+        }
+    }
+
+    /// Checks out a `len`-length buffer **without** the zeroing pass:
+    /// a recycled buffer keeps its stale contents (only any extension
+    /// beyond its previous length is zero-filled by `resize`). Strictly
+    /// for overwrite-only callers — paths like the wire dequantizer
+    /// that write every element before any read, where
+    /// [`BufferPool::checkout_with_len`]'s re-zero is pure waste. The
+    /// buffer is always a safe, fully initialized `Vec`; "uninit" here
+    /// means *semantically stale*, never undefined memory.
+    pub fn checkout_uninit(&mut self, len: usize) -> Vec<E> {
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.hits += 1;
                 buf.resize(len, E::ZERO);
                 buf
             }
@@ -398,6 +439,14 @@ impl<E: Element> SharedBufferPool<E> {
             .checkout_with_len(len)
     }
 
+    /// See [`BufferPool::checkout_uninit`].
+    pub fn checkout_uninit(&self, len: usize) -> Vec<E> {
+        self.inner
+            .lock()
+            .expect("pool poisoned")
+            .checkout_uninit(len)
+    }
+
     /// See [`BufferPool::checkout_copied`].
     pub fn checkout_copied(&self, src: &[E]) -> Vec<E> {
         self.inner
@@ -517,6 +566,45 @@ mod tests {
         buf.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
         pool.recycle(buf);
         assert_eq!(pool.checkout(), vec![0.0; 4], "stale data must not leak");
+    }
+
+    #[test]
+    fn checkout_uninit_skips_the_zeroing_pass() {
+        let mut pool = BufferPool::new(4);
+        let mut buf = pool.checkout_uninit(4);
+        assert_eq!(buf, vec![0.0; 4], "a fresh (miss) buffer is still zeroed");
+        buf.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        pool.recycle(buf);
+        // Same length: the stale prefix survives — overwrite-only contract.
+        assert_eq!(pool.checkout_uninit(4), vec![1.0, 2.0, 3.0, 4.0]);
+        pool.recycle(vec![7.0, 8.0]);
+        // Growing: only the extension is zero-filled.
+        assert_eq!(pool.checkout_uninit(4), vec![7.0, 8.0, 0.0, 0.0]);
+        assert_eq!((pool.hits(), pool.misses()), (2, 1));
+        assert_eq!(pool.alloc_bytes(), 4 * 8, "hits allocate nothing");
+        // The zeroing checkouts are unaffected by uninit traffic.
+        pool.recycle(vec![9.0; 4]);
+        assert_eq!(pool.checkout(), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn convert_into_overwrites_a_reused_block() {
+        let mut src = GradientBlock::<f64>::new(2, 3);
+        src.row_mut(0).copy_from_slice(&[1.5, -2.5, 3.0]);
+        src.row_mut(1).copy_from_slice(&[-4.0, 5.5, -6.0]);
+        // Destination starts with the wrong geometry and stale garbage.
+        let mut dst = GradientBlock::<f32>::new(3, 2);
+        dst.as_mut_slice().fill(99.0);
+        let ptr = dst.as_slice().as_ptr();
+        src.convert_into(&mut dst);
+        assert_eq!((dst.rows(), dst.dim()), (2, 3));
+        assert_eq!(dst.as_slice().as_ptr(), ptr, "same capacity: no realloc");
+        assert_eq!(dst, src.convert::<f32>());
+        // Round-trip through the narrow plane widens back exactly here
+        // (every value is f32-representable).
+        let mut wide = GradientBlock::<f64>::new(0, 0);
+        dst.convert_into(&mut wide);
+        assert_eq!(wide, src);
     }
 
     #[test]

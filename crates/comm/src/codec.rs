@@ -1,0 +1,639 @@
+//! The `WireCodec` trait and its three quantizing backends.
+//!
+//! A codec turns a chunk of `f64` coded-gradient elements into wire
+//! bytes and back. Encoding is deterministic (two encodes of the same
+//! chunk produce identical bytes on every platform — rounding is
+//! explicit arithmetic, never `round()`-to-current-mode), decoding is
+//! total over adversarial bytes (typed [`CommError`], never a panic),
+//! and both directions reuse caller-owned buffers so the steady-state
+//! hot path performs no allocation.
+//!
+//! Layouts (all little-endian):
+//!
+//! | codec       | payload                                    | bytes |
+//! |-------------|--------------------------------------------|-------|
+//! | `F64Raw`    | `f64` per element                          | 8n    |
+//! | `F32Narrow` | `f32` per element                          | 4n    |
+//! | `Bf16`      | top 16 bits of `f32`, round-to-nearest-even| 2n    |
+//! | `Int8Quant` | `[lo: f64][scale: f64][code: u8 x n]`      | 16+n  |
+
+use crate::encoding::PayloadEncoding;
+use crate::error::CommError;
+use hetgc_linalg::Element;
+
+/// Compresses and decompresses coded-gradient chunks for the wire.
+///
+/// Implementations must be deterministic and total: the same input
+/// chunk always yields the same bytes, and arbitrary input bytes are
+/// either decoded or rejected with a typed error.
+pub trait WireCodec {
+    /// The wire encoding this codec produces.
+    fn encoding(&self) -> PayloadEncoding;
+
+    /// Encodes `src` into `out` (cleared first; capacity is reused
+    /// across calls, so steady-state encoding allocates nothing).
+    fn encode_into(&self, src: &[f64], out: &mut Vec<u8>) -> Result<(), CommError>;
+
+    /// The number of elements `bytes` decodes to, or a typed error if
+    /// the payload is structurally invalid.
+    fn decoded_len(&self, bytes: &[u8]) -> Result<usize, CommError>;
+
+    /// Decodes `bytes` into `out`, whose length must equal
+    /// [`WireCodec::decoded_len`].
+    fn decode_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CommError>;
+
+    /// Exact encoded size in bytes for an `n`-element chunk.
+    fn encoded_len(&self, n: usize) -> usize;
+}
+
+fn reject_empty(src: &[f64]) -> Result<(), CommError> {
+    if src.is_empty() {
+        Err(CommError::EmptyChunk)
+    } else {
+        Ok(())
+    }
+}
+
+fn check_out_len(expected: usize, got: usize) -> Result<(), CommError> {
+    if expected == 0 {
+        Err(CommError::EmptyChunk)
+    } else if expected != got {
+        Err(CommError::LengthMismatch { expected, got })
+    } else {
+        Ok(())
+    }
+}
+
+/// Identity codec: full-width `f64` elements, byte-for-byte what the
+/// worker computed. Exists so benches and differential harnesses can
+/// treat the baseline uniformly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F64Raw;
+
+impl WireCodec for F64Raw {
+    fn encoding(&self) -> PayloadEncoding {
+        PayloadEncoding::F64
+    }
+
+    fn encode_into(&self, src: &[f64], out: &mut Vec<u8>) -> Result<(), CommError> {
+        reject_empty(src)?;
+        out.clear();
+        out.reserve(src.len() * 8);
+        for &x in src {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn decoded_len(&self, bytes: &[u8]) -> Result<usize, CommError> {
+        if !bytes.len().is_multiple_of(8) {
+            return Err(CommError::Corrupt {
+                what: "f64 payload length is not a multiple of 8",
+            });
+        }
+        Ok(bytes.len() / 8)
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CommError> {
+        self.decode_elements_into(bytes, out)
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        n * 8
+    }
+}
+
+impl F64Raw {
+    /// [`WireCodec::decode_into`] writing any [`Element`] destination.
+    pub fn decode_elements_into<E: Element>(
+        &self,
+        bytes: &[u8],
+        out: &mut [E],
+    ) -> Result<(), CommError> {
+        check_out_len(self.decoded_len(bytes)?, out.len())?;
+        for (dst, raw) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+            let mut le = [0u8; 8];
+            le.copy_from_slice(raw);
+            *dst = E::from_f64(f64::from_le_bytes(le));
+        }
+        Ok(())
+    }
+}
+
+/// Narrowing cast to IEEE-754 `f32`: ~2x smaller, exact whenever the
+/// value is representable in single precision. Non-finite inputs
+/// propagate bit-faithfully; finite inputs that would overflow to
+/// infinity are rejected with [`CommError::OutOfRange`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct F32Narrow;
+
+impl WireCodec for F32Narrow {
+    fn encoding(&self) -> PayloadEncoding {
+        PayloadEncoding::F32
+    }
+
+    fn encode_into(&self, src: &[f64], out: &mut Vec<u8>) -> Result<(), CommError> {
+        reject_empty(src)?;
+        out.clear();
+        out.reserve(src.len() * 4);
+        for (i, &x) in src.iter().enumerate() {
+            let narrow = x as f32;
+            if x.is_finite() && narrow.is_infinite() {
+                return Err(CommError::OutOfRange { index: i });
+            }
+            out.extend_from_slice(&narrow.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn decoded_len(&self, bytes: &[u8]) -> Result<usize, CommError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(CommError::Corrupt {
+                what: "f32 payload length is not a multiple of 4",
+            });
+        }
+        Ok(bytes.len() / 4)
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CommError> {
+        self.decode_elements_into(bytes, out)
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        n * 4
+    }
+}
+
+impl F32Narrow {
+    /// [`WireCodec::decode_into`] writing any [`Element`] destination.
+    /// Decoding into an `f32` block is a pure bit copy — the ROADMAP's
+    /// wire-level `GradientBlock<f32>` path.
+    pub fn decode_elements_into<E: Element>(
+        &self,
+        bytes: &[u8],
+        out: &mut [E],
+    ) -> Result<(), CommError> {
+        check_out_len(self.decoded_len(bytes)?, out.len())?;
+        for (dst, raw) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            let mut le = [0u8; 4];
+            le.copy_from_slice(raw);
+            *dst = E::from_f64(f64::from(f32::from_le_bytes(le)));
+        }
+        Ok(())
+    }
+}
+
+/// Converts a finite-or-infinite `f32` to bfloat16 bits with
+/// round-to-nearest-even; NaNs are quieted but stay NaN.
+fn f32_to_bf16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    if x.is_nan() {
+        // Keep sign + exponent, force a non-zero (quiet) mantissa so
+        // the value survives the truncation as NaN.
+        return ((bits >> 16) as u16) | 0x0040;
+    }
+    let lsb = (bits >> 16) & 1;
+    ((bits + 0x7FFF + lsb) >> 16) as u16
+}
+
+fn bf16_to_f32(bits: u16) -> f32 {
+    f32::from_bits(u32::from(bits) << 16)
+}
+
+/// bfloat16 truncation of the `f32` representation (~4x): 8 exponent
+/// bits keep `f64`'s dynamic range envelope at 8 significand bits of
+/// precision. Rounding is round-to-nearest-even; non-finite inputs
+/// propagate, and finite inputs that round to infinity are rejected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bf16;
+
+impl WireCodec for Bf16 {
+    fn encoding(&self) -> PayloadEncoding {
+        PayloadEncoding::Bf16
+    }
+
+    fn encode_into(&self, src: &[f64], out: &mut Vec<u8>) -> Result<(), CommError> {
+        reject_empty(src)?;
+        out.clear();
+        out.reserve(src.len() * 2);
+        for (i, &x) in src.iter().enumerate() {
+            let narrow = x as f32;
+            if x.is_finite() && narrow.is_infinite() {
+                return Err(CommError::OutOfRange { index: i });
+            }
+            let half = f32_to_bf16(narrow);
+            if x.is_finite() && bf16_to_f32(half).is_infinite() {
+                return Err(CommError::OutOfRange { index: i });
+            }
+            out.extend_from_slice(&half.to_le_bytes());
+        }
+        Ok(())
+    }
+
+    fn decoded_len(&self, bytes: &[u8]) -> Result<usize, CommError> {
+        if !bytes.len().is_multiple_of(2) {
+            return Err(CommError::Corrupt {
+                what: "bf16 payload length is not a multiple of 2",
+            });
+        }
+        Ok(bytes.len() / 2)
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CommError> {
+        self.decode_elements_into(bytes, out)
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        n * 2
+    }
+}
+
+impl Bf16 {
+    /// [`WireCodec::decode_into`] writing any [`Element`] destination.
+    pub fn decode_elements_into<E: Element>(
+        &self,
+        bytes: &[u8],
+        out: &mut [E],
+    ) -> Result<(), CommError> {
+        check_out_len(self.decoded_len(bytes)?, out.len())?;
+        for (dst, raw) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+            let bits = u16::from_le_bytes([raw[0], raw[1]]);
+            *dst = E::from_f64(f64::from(bf16_to_f32(bits)));
+        }
+        Ok(())
+    }
+}
+
+/// Per-chunk affine int8 quantization (~8x for large chunks): the
+/// chunk ships a 16-byte `[lo, scale]` header followed by one byte per
+/// element, `value = lo + code * scale`. Codes are computed with
+/// explicit `floor(x + 0.5)` arithmetic so encoding is bit-identical
+/// across platforms. Non-finite inputs are rejected (an affine grid
+/// cannot carry them), and the worst-case error is `scale / 2` —
+/// half a grid step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Int8Quant;
+
+const INT8_HEADER: usize = 16;
+
+impl WireCodec for Int8Quant {
+    fn encoding(&self) -> PayloadEncoding {
+        PayloadEncoding::Int8
+    }
+
+    fn encode_into(&self, src: &[f64], out: &mut Vec<u8>) -> Result<(), CommError> {
+        reject_empty(src)?;
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (i, &x) in src.iter().enumerate() {
+            if !x.is_finite() {
+                return Err(CommError::NonFinite { index: i });
+            }
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let scale = (hi - lo) / 255.0;
+        if !scale.is_finite() {
+            // The chunk's dynamic range itself overflows f64.
+            return Err(CommError::OutOfRange { index: 0 });
+        }
+        out.clear();
+        out.reserve(INT8_HEADER + src.len());
+        out.extend_from_slice(&lo.to_le_bytes());
+        out.extend_from_slice(&scale.to_le_bytes());
+        if scale == 0.0 {
+            // Constant chunk: every element is exactly `lo`.
+            out.resize(INT8_HEADER + src.len(), 0);
+        } else {
+            for &x in src {
+                let code = ((x - lo) / scale + 0.5).floor().clamp(0.0, 255.0);
+                out.push(code as u8);
+            }
+        }
+        Ok(())
+    }
+
+    fn decoded_len(&self, bytes: &[u8]) -> Result<usize, CommError> {
+        if bytes.is_empty() {
+            return Err(CommError::EmptyChunk);
+        }
+        if bytes.len() <= INT8_HEADER {
+            return Err(CommError::Corrupt {
+                what: "int8 payload shorter than its header plus one code",
+            });
+        }
+        Ok(bytes.len() - INT8_HEADER)
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CommError> {
+        self.decode_elements_into(bytes, out)
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        INT8_HEADER + n
+    }
+}
+
+impl Int8Quant {
+    /// [`WireCodec::decode_into`] writing any [`Element`] destination.
+    pub fn decode_elements_into<E: Element>(
+        &self,
+        bytes: &[u8],
+        out: &mut [E],
+    ) -> Result<(), CommError> {
+        check_out_len(self.decoded_len(bytes)?, out.len())?;
+        let mut le = [0u8; 8];
+        le.copy_from_slice(&bytes[..8]);
+        let lo = f64::from_le_bytes(le);
+        le.copy_from_slice(&bytes[8..16]);
+        let scale = f64::from_le_bytes(le);
+        if !lo.is_finite() || !scale.is_finite() {
+            return Err(CommError::Corrupt {
+                what: "non-finite int8 quantization header",
+            });
+        }
+        if scale < 0.0 {
+            return Err(CommError::Corrupt {
+                what: "negative int8 quantization scale",
+            });
+        }
+        for (dst, &code) in out.iter_mut().zip(&bytes[INT8_HEADER..]) {
+            *dst = E::from_f64(lo + f64::from(code) * scale);
+        }
+        Ok(())
+    }
+}
+
+/// A runtime-selected codec: one value per [`PayloadEncoding`], so the
+/// net layer can negotiate the encoding per link and hold the codec in
+/// a field without generics or boxing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnyWireCodec {
+    /// Full-width baseline.
+    F64(F64Raw),
+    /// Narrowed `f32`.
+    F32(F32Narrow),
+    /// bfloat16.
+    Bf16(Bf16),
+    /// Affine int8.
+    Int8(Int8Quant),
+}
+
+impl AnyWireCodec {
+    /// The codec implementing `encoding`.
+    pub fn for_encoding(encoding: PayloadEncoding) -> AnyWireCodec {
+        match encoding {
+            PayloadEncoding::F64 => AnyWireCodec::F64(F64Raw),
+            PayloadEncoding::F32 => AnyWireCodec::F32(F32Narrow),
+            PayloadEncoding::Bf16 => AnyWireCodec::Bf16(Bf16),
+            PayloadEncoding::Int8 => AnyWireCodec::Int8(Int8Quant),
+        }
+    }
+
+    /// [`WireCodec::decode_into`] writing any [`Element`] destination —
+    /// the master's dequantize-straight-into-the-arrival-block path.
+    pub fn decode_elements_into<E: Element>(
+        &self,
+        bytes: &[u8],
+        out: &mut [E],
+    ) -> Result<(), CommError> {
+        match self {
+            AnyWireCodec::F64(c) => c.decode_elements_into(bytes, out),
+            AnyWireCodec::F32(c) => c.decode_elements_into(bytes, out),
+            AnyWireCodec::Bf16(c) => c.decode_elements_into(bytes, out),
+            AnyWireCodec::Int8(c) => c.decode_elements_into(bytes, out),
+        }
+    }
+
+    /// Encodes `src` into `out` and immediately decodes it back into
+    /// `roundtrip` (same length as `src`), returning the squared L2
+    /// quantization error of the chunk. This is the worker-side path:
+    /// the round trip is what feeds the error-feedback accumulator and
+    /// the per-round wire-error report.
+    pub fn encode_roundtrip(
+        &self,
+        src: &[f64],
+        out: &mut Vec<u8>,
+        roundtrip: &mut [f64],
+    ) -> Result<f64, CommError> {
+        if roundtrip.len() != src.len() {
+            return Err(CommError::LengthMismatch {
+                expected: src.len(),
+                got: roundtrip.len(),
+            });
+        }
+        self.encode_into(src, out)?;
+        self.decode_into(out, roundtrip)?;
+        let mut err_sq = 0.0;
+        for (&sent, &got) in src.iter().zip(roundtrip.iter()) {
+            let d = sent - got;
+            err_sq += d * d;
+        }
+        Ok(err_sq)
+    }
+}
+
+impl WireCodec for AnyWireCodec {
+    fn encoding(&self) -> PayloadEncoding {
+        match self {
+            AnyWireCodec::F64(c) => c.encoding(),
+            AnyWireCodec::F32(c) => c.encoding(),
+            AnyWireCodec::Bf16(c) => c.encoding(),
+            AnyWireCodec::Int8(c) => c.encoding(),
+        }
+    }
+
+    fn encode_into(&self, src: &[f64], out: &mut Vec<u8>) -> Result<(), CommError> {
+        match self {
+            AnyWireCodec::F64(c) => c.encode_into(src, out),
+            AnyWireCodec::F32(c) => c.encode_into(src, out),
+            AnyWireCodec::Bf16(c) => c.encode_into(src, out),
+            AnyWireCodec::Int8(c) => c.encode_into(src, out),
+        }
+    }
+
+    fn decoded_len(&self, bytes: &[u8]) -> Result<usize, CommError> {
+        match self {
+            AnyWireCodec::F64(c) => c.decoded_len(bytes),
+            AnyWireCodec::F32(c) => c.decoded_len(bytes),
+            AnyWireCodec::Bf16(c) => c.decoded_len(bytes),
+            AnyWireCodec::Int8(c) => c.decoded_len(bytes),
+        }
+    }
+
+    fn decode_into(&self, bytes: &[u8], out: &mut [f64]) -> Result<(), CommError> {
+        match self {
+            AnyWireCodec::F64(c) => c.decode_into(bytes, out),
+            AnyWireCodec::F32(c) => c.decode_into(bytes, out),
+            AnyWireCodec::Bf16(c) => c.decode_into(bytes, out),
+            AnyWireCodec::Int8(c) => c.decode_into(bytes, out),
+        }
+    }
+
+    fn encoded_len(&self, n: usize) -> usize {
+        match self {
+            AnyWireCodec::F64(c) => c.encoded_len(n),
+            AnyWireCodec::F32(c) => c.encoded_len(n),
+            AnyWireCodec::Bf16(c) => c.encoded_len(n),
+            AnyWireCodec::Int8(c) => c.encoded_len(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codecs() -> [AnyWireCodec; 4] {
+        PayloadEncoding::ALL.map(AnyWireCodec::for_encoding)
+    }
+
+    #[test]
+    fn empty_chunks_are_typed_errors_everywhere() {
+        let mut out = Vec::new();
+        for codec in codecs() {
+            assert_eq!(codec.encode_into(&[], &mut out), Err(CommError::EmptyChunk));
+            assert_eq!(codec.decode_into(&[], &mut []), Err(CommError::EmptyChunk));
+        }
+    }
+
+    #[test]
+    fn f64_round_trip_is_exact() {
+        let src = [1.5, -2.25, 0.0, -0.0, 1e300, f64::MIN_POSITIVE];
+        let mut out = Vec::new();
+        let mut back = [0.0; 6];
+        F64Raw.encode_into(&src, &mut out).unwrap();
+        assert_eq!(out.len(), F64Raw.encoded_len(src.len()));
+        F64Raw.decode_into(&out, &mut back).unwrap();
+        for (a, b) in src.iter().zip(back.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn int8_constant_chunk_decodes_exactly() {
+        let src = [3.25; 9];
+        let mut out = Vec::new();
+        let mut back = [0.0; 9];
+        Int8Quant.encode_into(&src, &mut out).unwrap();
+        assert_eq!(out.len(), 16 + 9);
+        Int8Quant.decode_into(&out, &mut back).unwrap();
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn int8_rejects_non_finite_input() {
+        let mut out = Vec::new();
+        assert_eq!(
+            Int8Quant.encode_into(&[1.0, f64::NAN], &mut out),
+            Err(CommError::NonFinite { index: 1 })
+        );
+        assert_eq!(
+            Int8Quant.encode_into(&[f64::INFINITY], &mut out),
+            Err(CommError::NonFinite { index: 0 })
+        );
+    }
+
+    #[test]
+    fn narrow_casts_propagate_non_finite_and_reject_overflow() {
+        let mut out = Vec::new();
+        let mut back = [0.0; 3];
+        F32Narrow
+            .encode_into(&[f64::NAN, f64::NEG_INFINITY, -0.0], &mut out)
+            .unwrap();
+        F32Narrow.decode_into(&out, &mut back).unwrap();
+        assert!(back[0].is_nan());
+        assert_eq!(back[1], f64::NEG_INFINITY);
+        assert_eq!(back[2].to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            F32Narrow.encode_into(&[1e300], &mut out),
+            Err(CommError::OutOfRange { index: 0 })
+        );
+        assert_eq!(
+            Bf16.encode_into(&[0.5, 1e300], &mut out),
+            Err(CommError::OutOfRange { index: 1 })
+        );
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1.0 + 2^-8 sits exactly between bf16(1.0) and the next grid
+        // point 1.0078125; ties go to the even significand (1.0).
+        let mut out = Vec::new();
+        let mut back = [0.0; 1];
+        Bf16.encode_into(&[1.0 + 2f64.powi(-8)], &mut out).unwrap();
+        Bf16.decode_into(&out, &mut back).unwrap();
+        assert_eq!(back[0], 1.0);
+        // 1.0 + 3 * 2^-8 ties between 1.0078125 and 1.015625; even wins.
+        Bf16.encode_into(&[1.0 + 3.0 * 2f64.powi(-8)], &mut out)
+            .unwrap();
+        Bf16.decode_into(&out, &mut back).unwrap();
+        assert_eq!(back[0], 1.015625);
+    }
+
+    #[test]
+    fn decode_writes_f32_blocks_through_the_element_seam() {
+        let src = [0.5, -1.25, 8.0, 0.0];
+        let mut out = Vec::new();
+        let mut narrow = [0.0f32; 4];
+        for codec in codecs() {
+            // Every test value is exactly representable in bf16; the
+            // affine int8 grid only guarantees half a step (9.25/510).
+            let tol = match codec.encoding() {
+                PayloadEncoding::Int8 => 9.25 / 510.0 + 1e-12,
+                _ => 0.0,
+            };
+            codec.encode_into(&src, &mut out).unwrap();
+            codec.decode_elements_into(&out, &mut narrow).unwrap();
+            for (a, b) in src.iter().zip(narrow.iter()) {
+                assert!((*a - f64::from(*b)).abs() <= tol, "{}", codec.encoding());
+            }
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_typed() {
+        let mut out = Vec::new();
+        F32Narrow.encode_into(&[1.0, 2.0], &mut out).unwrap();
+        let mut short = [0.0; 1];
+        assert_eq!(
+            F32Narrow.decode_into(&out, &mut short),
+            Err(CommError::LengthMismatch {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn corrupt_payloads_are_typed() {
+        assert!(matches!(
+            F32Narrow.decoded_len(&[0, 1, 2]),
+            Err(CommError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            Int8Quant.decoded_len(&[0; 16]),
+            Err(CommError::Corrupt { .. })
+        ));
+        let mut bad = Vec::new();
+        Int8Quant.encode_into(&[1.0, 2.0], &mut bad).unwrap();
+        bad[8..16].copy_from_slice(&f64::NAN.to_le_bytes());
+        let mut back = [0.0; 2];
+        assert!(matches!(
+            Int8Quant.decode_into(&bad, &mut back),
+            Err(CommError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let src: Vec<f64> = (0..257).map(|i| (i as f64 * 0.731).sin() * 3.7).collect();
+        for codec in codecs() {
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            codec.encode_into(&src, &mut a).unwrap();
+            codec.encode_into(&src, &mut b).unwrap();
+            assert_eq!(a, b, "{}", codec.encoding());
+        }
+    }
+}

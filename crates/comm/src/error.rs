@@ -1,0 +1,64 @@
+//! Typed failures for the wire-codec layer.
+//!
+//! Every rejection a codec can make is a distinct variant: callers
+//! (the worker's encode path, the master's dequantize path, the
+//! proptest corpus) match on them, and nothing in this crate panics on
+//! adversarial payload bytes.
+
+use core::fmt;
+
+/// A quantize/dequantize failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CommError {
+    /// An empty chunk was offered for encoding or decoding; the wire
+    /// never carries zero-element payloads.
+    EmptyChunk,
+    /// The element at `index` is NaN or infinite and the codec cannot
+    /// represent non-finite values (int8 affine quantization).
+    NonFinite {
+        /// Offset of the offending element within the chunk.
+        index: usize,
+    },
+    /// The finite element at `index` overflows the narrower format's
+    /// range and would silently become infinite.
+    OutOfRange {
+        /// Offset of the offending element within the chunk.
+        index: usize,
+    },
+    /// The destination slice does not match the payload's decoded
+    /// length.
+    LengthMismatch {
+        /// Elements the payload decodes to.
+        expected: usize,
+        /// Elements the caller provided room for.
+        got: usize,
+    },
+    /// The payload bytes are structurally invalid for this codec.
+    Corrupt {
+        /// What was wrong, for diagnostics.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::EmptyChunk => write!(f, "empty gradient chunk"),
+            CommError::NonFinite { index } => {
+                write!(f, "non-finite element at index {index}")
+            }
+            CommError::OutOfRange { index } => {
+                write!(f, "element at index {index} overflows the wire format")
+            }
+            CommError::LengthMismatch { expected, got } => {
+                write!(
+                    f,
+                    "payload decodes to {expected} elements, caller expected {got}"
+                )
+            }
+            CommError::Corrupt { what } => write!(f, "corrupt payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

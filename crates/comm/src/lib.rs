@@ -1,0 +1,35 @@
+//! `hetgc-comm`: quantized wire codecs with error feedback for the
+//! coded-gradient data plane.
+//!
+//! The socket data plane (hetgc-net) ships every coded partial as
+//! full-width `f64`; for large models the bytes/round, not compute,
+//! become the scaling ceiling. This crate provides the compression
+//! layer between a worker's coded scratch and the wire:
+//!
+//! - [`PayloadEncoding`] — the negotiated per-link wire format,
+//! - [`WireCodec`] and its backends [`F64Raw`], [`F32Narrow`],
+//!   [`Bf16`], [`Int8Quant`] (2x / 4x / ~8x smaller payloads),
+//! - [`AnyWireCodec`] — the runtime-selected codec the net layer holds,
+//! - [`ErrorFeedback`] — the EF-SGD accumulator that carries each
+//!   round's quantization residual into the next round's partial so
+//!   lossy traffic does not bias convergence.
+//!
+//! Codecs are deterministic, total over adversarial bytes (typed
+//! [`CommError`], never a panic), and allocation-free in steady state:
+//! encode appends into a reused `Vec<u8>`, decode writes a
+//! caller-sized slice of any [`hetgc_linalg::Element`] — which is how
+//! the master dequantizes straight into an arrival
+//! `GradientBlock<f32>` without an `f64` staging pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod encoding;
+mod error;
+mod feedback;
+
+pub use codec::{AnyWireCodec, Bf16, F32Narrow, F64Raw, Int8Quant, WireCodec};
+pub use encoding::PayloadEncoding;
+pub use error::CommError;
+pub use feedback::ErrorFeedback;

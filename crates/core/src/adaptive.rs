@@ -229,6 +229,8 @@ impl RoundEngine for DriftEngine<'_> {
             pool_hits: 0,
             bytes_sent: 0,
             bytes_received: 0,
+            wire_error: 0.0,
+            bytes_saved: 0,
             stop: false,
         })
     }

@@ -23,7 +23,7 @@ use hetgc_sim::RunMetrics;
 use hetgc_telemetry::{Adaptation, AdaptationConfig};
 use rand::RngCore;
 
-use crate::engine::{residual_step_scale, EngineRound, RoundEngine};
+use crate::engine::{combined_step_scale, EngineRound, RoundEngine};
 use crate::scheme::BoxError;
 use crate::trainer::LossCurve;
 
@@ -180,6 +180,11 @@ pub struct RoundRecord {
     pub bytes_sent: u64,
     /// Wire bytes the master received this round (`0` in-process).
     pub bytes_received: u64,
+    /// Combined L2 quantization error the wire codecs introduced into
+    /// this round's coded results (`0.0` on lossless transports, and
+    /// omitted from the JSON then — streams predating wire compression
+    /// parse with `0.0`).
+    pub wire_error: f64,
     /// Which job emitted this record, when the run was tagged
     /// ([`DriverConfig::job_id`]): the attribution key of interleaved
     /// multi-job JSONL streams. `None` for solo runs, and omitted from
@@ -218,6 +223,12 @@ impl RoundRecord {
             self.bytes_sent,
             self.bytes_received,
         );
+        // Lossy-wire rounds only: lossless streams stay byte-identical
+        // to the pre-compression format.
+        if self.wire_error > 0.0 {
+            out.pop(); // the closing brace
+            let _ = write!(out, ",\"wire_error\":{}}}", json_f64(self.wire_error));
+        }
         out
     }
 
@@ -272,6 +283,14 @@ impl RoundRecord {
             pool_hits: counter("pool_hits")?,
             bytes_sent: counter("bytes_sent")?,
             bytes_received: counter("bytes_received")?,
+            // Wire compression joined later still; absent (every
+            // lossless round) parses as exactly zero error.
+            wire_error: match field(line, "wire_error") {
+                Ok(raw) => raw
+                    .parse::<f64>()
+                    .map_err(|e| format!("field \"wire_error\" = {raw:?}: {e}"))?,
+                Err(_) => 0.0,
+            },
             // The job tag joined the format with the multi-tenant
             // scheduler: absent means an untagged solo-run stream, same
             // tolerance as the counters above.
@@ -502,6 +521,7 @@ impl RoundLog {
             pool_hits: er.pool_hits,
             bytes_sent: er.bytes_sent,
             bytes_received: er.bytes_received,
+            wire_error: er.wire_error,
             job_id: self.job_id.clone(),
         });
     }
@@ -678,8 +698,16 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
             if let Some(gradient) = er.gradient.as_ref() {
                 if self.cfg.residual_step_scaling {
                     let norm = gradient.iter().map(|x| x * x).sum::<f64>().sqrt();
-                    step_scale =
-                        residual_step_scale(er.residual, er.error_bound, norm, engine.partitions());
+                    // Lossy wire traffic gates the step exactly like an
+                    // approximate decode; lossless rounds reduce to the
+                    // plain residual scaling bitwise.
+                    step_scale = combined_step_scale(
+                        er.residual,
+                        er.error_bound,
+                        er.wire_error,
+                        norm,
+                        engine.partitions(),
+                    );
                 }
                 let step: Vec<f64> = gradient.iter().map(|x| step_scale * x / n).collect();
                 self.optimizer.step(&mut params, &step);
@@ -690,6 +718,9 @@ impl<'a, M: Model + ?Sized, O: Optimizer> TrainDriver<'a, M, O> {
             drop(step_span);
             if let Some(obs) = &self.observer {
                 obs.observe_round(elapsed, er.residual, er.bytes_sent, er.bytes_received);
+                if er.bytes_saved > 0 || er.wire_error > 0.0 {
+                    obs.observe_wire(er.bytes_saved, er.wire_error);
+                }
                 for s in &er.samples {
                     if let Some(arrival) = s.arrival_seconds {
                         obs.observe_arrival(s.worker, arrival);
@@ -821,6 +852,8 @@ mod tests {
             pool_hits: 4,
             bytes_sent: 0,
             bytes_received: 0,
+            wire_error: 0.0,
+            bytes_saved: 0,
             stop: false,
         }
     }
@@ -913,6 +946,7 @@ mod tests {
                 pool_hits: 7,
                 bytes_sent: 2048,
                 bytes_received: 512,
+                wire_error: 0.125,
                 job_id: Some("job-a".to_owned()),
             },
             RoundRecord {
@@ -927,6 +961,7 @@ mod tests {
                 pool_hits: 0,
                 bytes_sent: 0,
                 bytes_received: 0,
+                wire_error: 0.0,
                 job_id: None,
             },
         ];

@@ -88,6 +88,14 @@ pub struct EngineRound {
     /// Wire bytes the master received this round (coded-gradient frames).
     /// `0` for in-process engines, as with [`EngineRound::bytes_sent`].
     pub bytes_received: u64,
+    /// Combined L2 quantization error the wire codecs introduced into
+    /// this round's coded results (worker-measured, see
+    /// `hetgc_comm::ErrorFeedback`). `0.0` for lossless transports —
+    /// in-process engines and full-width `f64` links.
+    pub wire_error: f64,
+    /// Payload bytes a lossy wire encoding saved this round versus
+    /// full-width `f64` traffic. `0` for lossless transports.
+    pub bytes_saved: u64,
     /// `true` asks the driver to end the run after this round (a stalled
     /// BSP run, a deterministic-failure timing sweep).
     pub stop: bool,
@@ -109,6 +117,8 @@ impl EngineRound {
             pool_hits: 0,
             bytes_sent: 0,
             bytes_received: 0,
+            wire_error: 0.0,
+            bytes_saved: 0,
             stop,
         }
     }
@@ -256,6 +266,34 @@ pub fn residual_step_scale(
         _ => residual / (partitions.max(1) as f64).sqrt(),
     };
     1.0 / (1.0 + relative.max(0.0))
+}
+
+/// [`residual_step_scale`] with the round's measured wire quantization
+/// error folded in: the quantization error is an L2 deviation of the
+/// decoded gradient of exactly the same shape as an approximate decode's,
+/// so its relative magnitude (`wire_error / ‖g‖`) composes additively
+/// with the decode term in the denominator. A lossless round
+/// (`wire_error ≤ 0`) is bitwise the old path — socket runs over `f64`
+/// links train byte-identically to before compression existed.
+pub fn combined_step_scale(
+    residual: f64,
+    error_bound: Option<f64>,
+    wire_error: f64,
+    gradient_norm: f64,
+    partitions: usize,
+) -> f64 {
+    if wire_error <= 0.0 || gradient_norm <= 0.0 {
+        return residual_step_scale(residual, error_bound, gradient_norm, partitions);
+    }
+    let decode_relative = if residual <= 0.0 {
+        0.0
+    } else {
+        match error_bound {
+            Some(bound) if bound.is_finite() => bound / gradient_norm,
+            _ => residual / (partitions.max(1) as f64).sqrt(),
+        }
+    };
+    1.0 / (1.0 + decode_relative.max(0.0) + wire_error / gradient_norm)
 }
 
 /// The master-side coded gradient of one simulated round, shared by the
@@ -522,6 +560,8 @@ impl<M: Model + ?Sized> RoundEngine for SimBspEngine<'_, M> {
             pool_hits,
             bytes_sent: 0,
             bytes_received: 0,
+            wire_error: 0.0,
+            bytes_saved: 0,
             stop: false,
         })
     }
@@ -863,6 +903,8 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     pool_hits: 0,
                     bytes_sent: 0,
                     bytes_received: 0,
+                    wire_error: 0.0,
+                    bytes_saved: 0,
                     stop: false,
                 })
             }
@@ -950,6 +992,8 @@ impl<M: Model + ?Sized> RoundEngine for SimSspEngine<'_, M> {
                     pool_hits,
                     bytes_sent: 0,
                     bytes_received: 0,
+                    wire_error: 0.0,
+                    bytes_saved: 0,
                     stop: false,
                 })
             }
@@ -1105,6 +1149,8 @@ where
             pool_hits: r.pool_hits,
             bytes_sent: 0,
             bytes_received: 0,
+            wire_error: 0.0,
+            bytes_saved: 0,
             stop: false,
         }
     }

@@ -39,7 +39,7 @@ use hetgc_obs::{Phase, RunObserver};
 use rand::RngCore;
 
 use crate::driver::{DriverConfig, RoundLog, TrainOutcome};
-use crate::engine::{residual_step_scale, PipelinedEngine};
+use crate::engine::{combined_step_scale, PipelinedEngine};
 use crate::scheme::BoxError;
 
 /// The double-buffered twin of [`TrainDriver`](crate::TrainDriver): same
@@ -185,8 +185,13 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
             if let Some(gradient) = er.gradient.as_ref() {
                 if self.cfg.residual_step_scaling {
                     let norm = gradient.iter().map(|x| x * x).sum::<f64>().sqrt();
-                    step_scale =
-                        residual_step_scale(er.residual, er.error_bound, norm, engine.partitions());
+                    step_scale = combined_step_scale(
+                        er.residual,
+                        er.error_bound,
+                        er.wire_error,
+                        norm,
+                        engine.partitions(),
+                    );
                 }
                 let step: Vec<f64> = gradient.iter().map(|x| step_scale * x / n).collect();
                 self.optimizer.step(&mut params, &step);
@@ -197,6 +202,9 @@ impl<'a, M: Model + ?Sized, O: Optimizer> PipelinedDriver<'a, M, O> {
             drop(step_span);
             if let Some(obs) = &self.observer {
                 obs.observe_round(elapsed, er.residual, er.bytes_sent, er.bytes_received);
+                if er.bytes_saved > 0 || er.wire_error > 0.0 {
+                    obs.observe_wire(er.bytes_saved, er.wire_error);
+                }
                 for s in &er.samples {
                     if let Some(arrival) = s.arrival_seconds {
                         obs.observe_arrival(s.worker, arrival);

@@ -281,6 +281,7 @@ mod tests {
                 pool_hits: i as u64,
                 bytes_sent: 1024 * i as u64,
                 bytes_received: 512 * i as u64,
+                wire_error: if i == 3 { 0.5 } else { 0.0 },
                 job_id: (i == 2).then(|| "job-b".to_owned()),
             })
             .collect();

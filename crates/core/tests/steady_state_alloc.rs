@@ -14,9 +14,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use hetgc::{
-    heter_aware, partial_gradients_into, synthetic, CompiledCodec, GradientBlock, GradientCodec,
-    LinearRegression, Model, PartitionAssignment,
+    heter_aware, partial_gradients_into, synthetic, BufferPool, CompiledCodec, GradientBlock,
+    GradientCodec, LinearRegression, Model, PartitionAssignment,
 };
+use hetgc_comm::{AnyWireCodec, ErrorFeedback, PayloadEncoding, WireCodec};
 use hetgc_obs::{CodecMetrics, MetricsRegistry, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -155,15 +156,10 @@ fn steady_state_round_allocates_nothing_on_the_codec_hot_path() {
         }
         let plan = session.decoded_plan().expect("m − s survivors decode");
         partial_gradients_into(&model, &params, &data, &ranges, partials);
-        // In-place narrowing into the pre-sized f32 block (the real
-        // narrow plane would write f32 gradients directly).
-        for (dst, &src) in partials32
-            .as_mut_slice()
-            .iter_mut()
-            .zip(partials.as_slice())
-        {
-            *dst = src as f32;
-        }
+        // Overwrite-only narrowing into the reused f32 block — no
+        // zeroing pass before the copy (the real narrow plane would
+        // write f32 gradients directly).
+        partials.convert_into(partials32);
         for (w, _) in plan.iter() {
             codec
                 .encode_into(w, partials32, arrivals32.row_mut(w))
@@ -264,4 +260,52 @@ fn steady_state_round_allocates_nothing_on_the_codec_hot_path() {
         recorder.recorded() >= 16 * 5,
         "recorder captured the rounds"
     );
+
+    // The int8 wire codecs hold the guarantee too: each arrival row is
+    // carried through the full worker-side lossy path — error feedback
+    // applied, quantized into a reused wire buffer, round-tripped into
+    // pooled scratch, residual absorbed. The scratch buffers come from
+    // `checkout_uninit` / `checkout_copied`: both skip the zeroing pass
+    // because encode/decode overwrite every element before any read.
+    // (Still the single #[test] — the counter is process-global.)
+    let wire_codec = AnyWireCodec::for_encoding(PayloadEncoding::Int8);
+    let mut wire_pool: BufferPool = BufferPool::new(d);
+    let mut wire = Vec::new();
+    let mut feedback: Vec<ErrorFeedback> = (0..m).map(|_| ErrorFeedback::new(d)).collect();
+    let wire_round = |arrivals: &GradientBlock,
+                      pool: &mut BufferPool,
+                      wire: &mut Vec<u8>,
+                      feedback: &mut [ErrorFeedback]| {
+        for &w in &arrival_order {
+            let mut intended = pool.checkout_copied(arrivals.row(w));
+            feedback[w].apply(&mut intended);
+            let mut shipped = pool.checkout_uninit(d);
+            let err_sq = wire_codec
+                .encode_roundtrip(&intended, wire, &mut shipped)
+                .expect("finite arrival row quantizes");
+            assert!(err_sq.is_finite());
+            assert_eq!(wire.len(), wire_codec.encoded_len(d));
+            feedback[w].absorb(&intended, &shipped);
+            pool.recycle(shipped);
+            pool.recycle(intended);
+        }
+    };
+    for _ in 0..6 {
+        wire_round(&arrivals, &mut wire_pool, &mut wire, &mut feedback);
+    }
+    ALLOCS.store(0, Ordering::SeqCst);
+    ALLOC_BYTES.store(0, Ordering::SeqCst);
+    ENABLED.store(true, Ordering::SeqCst);
+    for _ in 0..10 {
+        wire_round(&arrivals, &mut wire_pool, &mut wire, &mut feedback);
+    }
+    ENABLED.store(false, Ordering::SeqCst);
+    let allocs_wire = ALLOCS.load(Ordering::SeqCst);
+    let bytes_wire = ALLOC_BYTES.load(Ordering::SeqCst);
+    assert_eq!(
+        allocs_wire, 0,
+        "steady-state int8 wire rounds allocated {allocs_wire} times \
+         ({bytes_wire} bytes) on the quantize hot path"
+    );
+    assert!(wire_pool.hits() > 0, "wire pool must be recycling scratch");
 }

@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use hetgc_cluster::PartitionAssignment;
 use hetgc_coding::{CodingMatrix, DecodePlan, EscalatingCodec, GradientCodec};
+use hetgc_comm::{AnyWireCodec, PayloadEncoding, WireCodec};
 use hetgc_ml::{Dataset, Model};
 use hetgc_obs::{MetricsRegistry, Phase, Recorder};
 use hetgc_runtime::{build_codec, RuntimeConfig};
@@ -72,6 +73,14 @@ pub struct SocketRound {
     /// the link-resolved breakdown of `bytes_sent` / `bytes_received`,
     /// indexed by accept order (not logical row; `row_of` maps).
     pub link_bytes: Vec<(u64, u64)>,
+    /// Combined L2 quantization error of this round's lossy wire traffic
+    /// (`sqrt(Σ_w err_w²)` over the replies absorbed this round), as
+    /// measured worker-side from the encode round trips. `0.0` when
+    /// every link ships full-width `f64`.
+    pub wire_error: f64,
+    /// Payload bytes the negotiated wire encodings saved this round
+    /// versus shipping every reply as full-width `f64`.
+    pub bytes_saved: u64,
 }
 
 /// Cloneable per-link traffic handles: the byte counters shared with the
@@ -155,6 +164,12 @@ struct Reply {
     seq: u64,
     coded: Vec<f64>,
     compute_seconds: f64,
+    /// Worker-measured L2 quantization error of this reply (0.0 on
+    /// lossless links).
+    wire_error: f64,
+    /// Gradient payload bytes this reply occupied on the wire (codec
+    /// output for encoded links, `8 · num_params` for `f64`).
+    payload_bytes: u64,
     /// When the final frame of the reply hit the master.
     arrived: Instant,
 }
@@ -221,6 +236,13 @@ pub struct SocketCluster<M> {
     /// Per physical link traffic counters (writer + reader halves of link
     /// `c` share `links[c]`'s byte cells); aggregates are sums over this.
     links: Vec<LinkStats>,
+    /// Per physical link negotiated payload encoding (accept order).
+    encodings: Vec<PayloadEncoding>,
+    /// Per-logical-row quantization error of the current round's replies.
+    wire_errors: Vec<f64>,
+    /// Per-logical-row gradient payload bytes of the current round's
+    /// replies (0 = no reply this round).
+    payload_bytes: Vec<u64>,
     /// Per-link `(sent, received)` totals snapshotted at the last
     /// dispatch, for per-round deltas.
     bytes_mark: Vec<(u64, u64)>,
@@ -272,6 +294,40 @@ where
         config: &RuntimeConfig,
         chunk_len: usize,
     ) -> Result<Self, NetError> {
+        Self::start_encoded(
+            listener,
+            code,
+            model,
+            spec,
+            data,
+            config,
+            chunk_len,
+            PayloadEncoding::F64,
+        )
+    }
+
+    /// [`SocketCluster::start_with`] with a requested gradient payload
+    /// encoding. The encoding is *negotiated per link*: a worker that
+    /// advertises the capability in its `Hello` is handshaken onto
+    /// `encoding`; one that does not (an older peer) keeps full-width
+    /// [`PayloadEncoding::F64`] — never a silent misinterpretation, the
+    /// two sides always agree frame by frame. [`Self::link_encodings`]
+    /// exposes the negotiation outcome.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SocketCluster::start`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_encoded(
+        listener: SocketListener,
+        code: CodingMatrix,
+        model: Arc<M>,
+        spec: ModelSpec,
+        data: Arc<Dataset>,
+        config: &RuntimeConfig,
+        chunk_len: usize,
+        encoding: PayloadEncoding,
+    ) -> Result<Self, NetError> {
         let codec = build_codec(code, config)?;
         if spec.build().num_params() != model.num_params() {
             return Err(NetError::InvalidConfig {
@@ -288,6 +344,7 @@ where
         let mut alive = Vec::with_capacity(m);
         let mut handles = Vec::with_capacity(m);
         let mut links = Vec::with_capacity(m);
+        let mut encodings = Vec::with_capacity(m);
         listener.listener.set_nonblocking(true)?;
         let accept_started = Instant::now();
         for row in 0..m {
@@ -298,11 +355,20 @@ where
                 Arc::clone(&link.sent_bytes),
                 Arc::clone(&link.received_bytes),
             );
-            match conn.recv_deadline(Some(
+            let negotiated = match conn.recv_deadline(Some(
                 ACCEPT_DEADLINE.saturating_sub(accept_started.elapsed()),
             )) {
-                Ok(Frame::Hello { version }) if version == VERSION => {}
-                Ok(Frame::Hello { version }) => {
+                Ok(Frame::Hello { version, encodings }) if version == VERSION => {
+                    // Per-link negotiation: the requested encoding only
+                    // if the worker advertised it; older peers that sent
+                    // no capability bytes stay on full-width f64.
+                    if encoding != PayloadEncoding::F64 && encodings.contains(&encoding.to_byte()) {
+                        encoding
+                    } else {
+                        PayloadEncoding::F64
+                    }
+                }
+                Ok(Frame::Hello { version, .. }) => {
                     return Err(NetError::Handshake(format!(
                         "worker speaks protocol v{version}, master v{VERSION}"
                     )))
@@ -313,7 +379,7 @@ where
                     )))
                 }
                 Err(e) => return Err(NetError::Handshake(format!("hello not received: {e}"))),
-            }
+            };
             let (ranges, coefficients) = row_assignment(&codec, &assignment, row)?;
             conn.send(&Frame::Handshake(Handshake {
                 worker: row as u32,
@@ -324,6 +390,7 @@ where
                 behavior: BehaviorSpec::from(&config.behavior_of(row)),
                 model: spec,
                 dataset: dataset_spec.clone(),
+                encoding: negotiated,
             }))?;
             link.frames_sent.fetch_add(1, Ordering::Relaxed); // the handshake
             let live = Arc::new(AtomicBool::new(true));
@@ -335,6 +402,7 @@ where
             handles.push(spawn_reader(
                 reader,
                 model.num_params(),
+                negotiated,
                 reply_tx.clone(),
                 Arc::clone(&live),
                 Arc::clone(&link.frames_received),
@@ -342,6 +410,7 @@ where
             alive.push(live);
             conns.push(conn);
             links.push(link);
+            encodings.push(negotiated);
         }
         drop(reply_tx); // master keeps only the receiver
         let session = codec.session();
@@ -364,6 +433,9 @@ where
             round_seq: 0,
             chunk_len,
             links,
+            encodings,
+            wire_errors: vec![0.0; m],
+            payload_bytes: vec![0; m],
             bytes_mark: vec![(0, 0); m],
             recorder: None,
             codec,
@@ -422,6 +494,15 @@ where
     /// Total real bytes read from worker sockets since start.
     pub fn bytes_received(&self) -> u64 {
         self.links.iter().map(LinkStats::received_bytes).sum()
+    }
+
+    /// Per physical link negotiated payload encoding, in accept order —
+    /// the outcome of the `Hello` capability negotiation. A link shows
+    /// [`PayloadEncoding::F64`] either because no compression was
+    /// requested or because its worker did not advertise the requested
+    /// encoding.
+    pub fn link_encodings(&self) -> &[PayloadEncoding] {
+        &self.encodings
     }
 
     /// Per physical link traffic handles (accept order). Clones share
@@ -544,6 +625,8 @@ where
         self.received.iter_mut().for_each(|slot| *slot = None);
         self.compute_seconds.iter_mut().for_each(|c| *c = 0.0);
         self.arrival_seconds.iter_mut().for_each(|a| *a = 0.0);
+        self.wire_errors.iter_mut().for_each(|e| *e = 0.0);
+        self.payload_bytes.iter_mut().for_each(|b| *b = 0);
         let mut fallback: Option<DecodePlan> = None;
         loop {
             let recv_result = match self.timeout {
@@ -625,6 +708,17 @@ where
                 (link.sent_bytes() - sent0, link.received_bytes() - recv0)
             })
             .collect();
+        // Quantization errors combine in quadrature (independent lossy
+        // links); savings compare each reply's payload to the f64 width
+        // it displaced.
+        let wire_error = self.wire_errors.iter().map(|e| e * e).sum::<f64>().sqrt();
+        let full_width = (self.model.num_params() * 8) as u64;
+        let bytes_saved = self
+            .payload_bytes
+            .iter()
+            .filter(|&&b| b > 0)
+            .map(|&b| full_width.saturating_sub(b))
+            .sum();
         Ok(SocketRound {
             gradient,
             residual,
@@ -638,6 +732,8 @@ where
             bytes_sent: link_bytes.iter().map(|&(s, _)| s).sum(),
             bytes_received: link_bytes.iter().map(|&(_, r)| r).sum(),
             link_bytes,
+            wire_error,
+            bytes_saved,
         })
     }
 
@@ -656,6 +752,8 @@ where
             return Ok(false);
         }
         self.compute_seconds[worker] = reply.compute_seconds;
+        self.wire_errors[worker] = reply.wire_error;
+        self.payload_bytes[worker] = reply.payload_bytes;
         self.arrival_seconds[worker] = reply
             .arrived
             .saturating_duration_since(started)
@@ -729,6 +827,8 @@ where
         self.compute_seconds = vec![0.0; m];
         self.late_compute_seconds = vec![0.0; m];
         self.arrival_seconds = vec![0.0; m];
+        self.wire_errors = vec![0.0; m];
+        self.payload_bytes = vec![0; m];
         self.row_of = live;
         self.codec = codec;
         Ok(())
@@ -801,20 +901,36 @@ fn accept_one(listener: &TcpListener, started: Instant) -> Result<TcpStream, Net
     }
 }
 
+/// An in-progress reply reassembly on one link.
+struct PendingReply {
+    seq: u64,
+    worker: u32,
+    buf: Vec<f64>,
+    /// Contiguous prefix filled so far — enforced (and meaningful) only
+    /// on encoded links, where chunks must arrive in offset order.
+    filled: usize,
+    /// Wire bytes of gradient payload accumulated for this reply.
+    payload_bytes: u64,
+}
+
 /// Spawns the reader thread for one link: reassembles
-/// [`Frame::GradientChunk`]s into a gradient buffer and forwards each
-/// [`Frame::RoundDone`] as a completed [`Reply`]. Exits (marking the link
-/// dead) on EOF, transport error or protocol violation.
+/// [`Frame::GradientChunk`]s (or, on a lossy-negotiated link,
+/// [`Frame::EncodedChunk`]s dequantized on arrival) into a gradient
+/// buffer and forwards each [`Frame::RoundDone`] as a completed
+/// [`Reply`]. Exits (marking the link dead) on EOF, transport error or
+/// protocol violation — a chunk whose encoding contradicts the handshake
+/// kills the link rather than risking a misinterpreted payload.
 fn spawn_reader(
     mut conn: Connection,
     num_params: usize,
+    encoding: PayloadEncoding,
     replies: Sender<Reply>,
     alive: Arc<AtomicBool>,
     frames_received: Arc<AtomicU64>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
-        // The in-progress reassembly: (seq, row, buffer).
-        let mut pending: Option<(u64, u32, Vec<f64>)> = None;
+        let codec = AnyWireCodec::for_encoding(encoding);
+        let mut pending: Option<PendingReply> = None;
         // EOF, broken link or garbage ends the loop: the peer is gone.
         while let Ok(frame) = conn.recv() {
             frames_received.fetch_add(1, Ordering::Relaxed);
@@ -826,36 +942,99 @@ fn spawn_reader(
                     total,
                     data,
                 } => {
+                    if encoding != PayloadEncoding::F64 {
+                        break; // handshake said encoded traffic: violation
+                    }
                     if total as usize != num_params {
                         continue; // wrong regime/corrupt: drop
                     }
-                    let resumes = matches!(&pending, Some((s, w, _)) if *s == seq && *w == worker);
+                    let resumes = matches!(&pending, Some(p) if p.seq == seq && p.worker == worker);
                     if !resumes {
-                        pending = Some((seq, worker, vec![0.0; num_params]));
+                        pending = Some(PendingReply {
+                            seq,
+                            worker,
+                            buf: vec![0.0; num_params],
+                            filled: 0,
+                            payload_bytes: 0,
+                        });
                     }
-                    let (_, _, buf) = pending.as_mut().expect("set above");
+                    let p = pending.as_mut().expect("set above");
                     let offset = offset as usize;
-                    if offset + data.len() <= buf.len() {
-                        buf[offset..offset + data.len()].copy_from_slice(&data);
+                    if offset + data.len() <= p.buf.len() {
+                        p.buf[offset..offset + data.len()].copy_from_slice(&data);
+                        p.payload_bytes += 8 * data.len() as u64;
                     }
+                }
+                Frame::EncodedChunk {
+                    seq,
+                    worker,
+                    offset,
+                    total,
+                    encoding: chunk_encoding,
+                    bytes,
+                } => {
+                    // Only the negotiated encoding is ever dequantized;
+                    // anything else is a protocol violation, not a
+                    // fallback opportunity.
+                    if encoding == PayloadEncoding::F64 || chunk_encoding != encoding {
+                        break;
+                    }
+                    if total as usize != num_params {
+                        continue; // wrong regime/corrupt: drop
+                    }
+                    let resumes = matches!(&pending, Some(p) if p.seq == seq && p.worker == worker);
+                    if !resumes {
+                        pending = Some(PendingReply {
+                            seq,
+                            worker,
+                            buf: vec![0.0; num_params],
+                            filled: 0,
+                            payload_bytes: 0,
+                        });
+                    }
+                    let p = pending.as_mut().expect("set above");
+                    let Ok(n) = codec.decoded_len(&bytes) else {
+                        break; // corrupt codec payload: kill the link
+                    };
+                    let offset = offset as usize;
+                    // Encoded chunks must tile the gradient in order —
+                    // the worker streams them that way, and contiguity
+                    // is what lets RoundDone verify full coverage.
+                    if offset != p.filled || offset + n > p.buf.len() {
+                        break;
+                    }
+                    if codec
+                        .decode_into(&bytes, &mut p.buf[offset..offset + n])
+                        .is_err()
+                    {
+                        break;
+                    }
+                    p.filled += n;
+                    p.payload_bytes += bytes.len() as u64;
                 }
                 Frame::RoundDone {
                     seq,
                     worker,
                     compute_seconds,
+                    wire_error,
                 } => {
-                    let coded = match pending.take() {
-                        Some((s, w, buf)) if s == seq && w == worker => buf,
+                    let done = match pending.take() {
+                        Some(p) if p.seq == seq && p.worker == worker => p,
                         other => {
                             pending = other; // chunks belong elsewhere: keep them
                             continue; // no payload for this round: drop the reply
                         }
                     };
+                    if encoding != PayloadEncoding::F64 && done.filled != num_params {
+                        break; // encoded reply with holes: violation
+                    }
                     let reply = Reply {
                         worker: worker as usize,
                         seq,
-                        coded,
+                        coded: done.buf,
                         compute_seconds,
+                        wire_error: wire_error.unwrap_or(0.0),
+                        payload_bytes: done.payload_bytes,
                         arrived: Instant::now(),
                     };
                     if replies.send(reply).is_err() {

@@ -124,6 +124,8 @@ where
             pool_hits: r.pool_hits,
             bytes_sent: r.bytes_sent,
             bytes_received: r.bytes_received,
+            wire_error: r.wire_error,
+            bytes_saved: r.bytes_saved,
             stop: false,
         }
     }

@@ -40,6 +40,13 @@ pub enum WireError {
         /// What was being decoded when the contradiction surfaced.
         what: &'static str,
     },
+    /// A handshake or gradient chunk named a payload encoding this
+    /// build does not implement. Always a typed rejection — a peer is
+    /// never silently fed a misinterpreted payload.
+    UnknownEncoding {
+        /// The offending encoding byte.
+        value: u8,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -52,6 +59,9 @@ impl fmt::Display for WireError {
             WireError::BadMagic { got } => write!(f, "bad protocol magic {got:#010x}"),
             WireError::UnknownTag { tag } => write!(f, "unknown frame tag {tag:#04x}"),
             WireError::Corrupt { what } => write!(f, "corrupt frame payload: {what}"),
+            WireError::UnknownEncoding { value } => {
+                write!(f, "unsupported payload encoding {value:#04x}")
+            }
         }
     }
 }
@@ -95,6 +105,8 @@ pub enum NetError {
         /// Underlying message.
         message: String,
     },
+    /// The wire codec (quantize/dequantize) failed on a payload.
+    Payload(hetgc_comm::CommError),
 }
 
 impl fmt::Display for NetError {
@@ -115,6 +127,7 @@ impl fmt::Display for NetError {
             ),
             NetError::WorkerLost { worker } => write!(f, "worker {worker} connection lost"),
             NetError::Coding { message } => write!(f, "coding failure: {message}"),
+            NetError::Payload(e) => write!(f, "wire codec failure: {e}"),
         }
     }
 }
@@ -136,6 +149,12 @@ impl From<WireError> for NetError {
 impl From<io::Error> for NetError {
     fn from(e: io::Error) -> Self {
         NetError::Io(e)
+    }
+}
+
+impl From<hetgc_comm::CommError> for NetError {
+    fn from(e: hetgc_comm::CommError) -> Self {
+        NetError::Payload(e)
     }
 }
 
@@ -171,6 +190,7 @@ impl Error for NetError {
         match self {
             NetError::Wire(e) => Some(e),
             NetError::Io(e) => Some(e),
+            NetError::Payload(e) => Some(e),
             _ => None,
         }
     }

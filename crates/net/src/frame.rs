@@ -10,19 +10,31 @@
 //!
 //! | frame           | tag  | payload |
 //! |-----------------|------|---------|
-//! | `Hello`         | 0x01 | magic `u32` (`0x48_47_43_31`, "HGC1"), version `u16` |
-//! | `Handshake`     | 0x02 | worker `u32`, num_params `u32`, chunk_len `u32`, ranges `vec<(u32,u32)>`, coefficients `vec<f64>`, behavior, model spec, dataset |
+//! | `Hello`         | 0x01 | magic `u32` (`0x48_47_43_31`, "HGC1"), version `u16`, *capability bytes* |
+//! | `Handshake`     | 0x02 | worker `u32`, num_params `u32`, chunk_len `u32`, ranges `vec<(u32,u32)>`, coefficients `vec<f64>`, behavior, model spec, dataset, *encoding byte* |
 //! | `Round`         | 0x03 | seq `u64`, params `vec<f64>` |
 //! | `GradientChunk` | 0x04 | seq `u64`, worker `u32`, offset `u32`, total `u32`, data `vec<f64>` |
-//! | `RoundDone`     | 0x05 | seq `u64`, worker `u32`, compute_seconds `f64` |
+//! | `RoundDone`     | 0x05 | seq `u64`, worker `u32`, compute_seconds `f64`, *opt wire_error `f64`* |
 //! | `Recode`        | 0x06 | row `u32`, ranges `vec<(u32,u32)>`, coefficients `vec<f64>` |
 //! | `Shutdown`      | 0x07 | *(empty)* |
+//! | `EncodedChunk`  | 0x08 | seq `u64`, worker `u32`, offset `u32`, total `u32`, encoding `u8`, bytes `vec<u8>` |
 //!
 //! `vec<T>` is a `u32` element count followed by the elements. Optional
 //! values are a presence byte (0/1) followed by the value when present.
+//!
+//! Fields in *italics* are the PR 10 wire-compression extensions. They
+//! follow an optional-trailing-field convention: a writer emits them
+//! only when they differ from the default (no capabilities, `f64`
+//! encoding, no wire error), and a reader consumes them only when bytes
+//! remain — so a default-valued frame is byte-identical to the pre-PR-10
+//! layout and old peers interoperate transparently at `f64`. An
+//! *unknown* encoding byte is [`WireError::UnknownEncoding`], never a
+//! silent fallback; old masters seeing tag 0x08 get a typed
+//! [`WireError::UnknownTag`].
 
 use crate::error::WireError;
 use crate::spec::{BehaviorSpec, DatasetSpec, Handshake, ModelSpec, TargetsSpec};
+use hetgc_comm::PayloadEncoding;
 
 /// Protocol magic carried by [`Frame::Hello`]: `"HGC1"` as a big-endian
 /// byte string, stored little-endian like every other integer.
@@ -47,6 +59,7 @@ const TAG_GRADIENT_CHUNK: u8 = 0x04;
 const TAG_ROUND_DONE: u8 = 0x05;
 const TAG_RECODE: u8 = 0x06;
 const TAG_SHUTDOWN: u8 = 0x07;
+const TAG_ENCODED_CHUNK: u8 = 0x08;
 
 /// One protocol frame. See the module docs for the wire layout.
 #[derive(Debug, Clone, PartialEq)]
@@ -56,6 +69,13 @@ pub enum Frame {
     Hello {
         /// Protocol version the worker speaks ([`VERSION`]).
         version: u16,
+        /// Capability set: the payload-encoding bytes this worker can
+        /// produce beyond the implicit `f64` baseline (see
+        /// [`PayloadEncoding::advertised`]). Kept as raw bytes — a
+        /// newer worker may advertise encodings this build does not
+        /// know, which the master simply never selects. Empty for
+        /// pre-compression peers (their `Hello` is byte-identical).
+        encodings: Vec<u8>,
     },
     /// Master → worker reply to `Hello`: the worker's complete marching
     /// orders — logical row, shard assignment, codec row, behaviour,
@@ -96,6 +116,12 @@ pub enum Frame {
         /// throttle emulation and injected delay), the worker-side
         /// telemetry observation.
         compute_seconds: f64,
+        /// L2 norm of this round's quantization error (what the lossy
+        /// wire encoding dropped from the coded partial), measured by
+        /// the worker from the encode round trip. `None` on lossless
+        /// links — and absent from the wire, so `f64` peers emit the
+        /// pre-compression layout.
+        wire_error: Option<f64>,
     },
     /// Master → worker control frame: a live re-code. The worker becomes
     /// logical row `row` of the rebuilt code and adopts the new shard
@@ -112,6 +138,25 @@ pub enum Frame {
     },
     /// Master → worker: terminate cleanly.
     Shutdown,
+    /// Worker → master: one quantized chunk of the round's coded
+    /// gradient — [`Frame::GradientChunk`]'s compressed sibling, sent
+    /// only on links whose handshake negotiated a non-`f64` encoding.
+    /// `offset`/`total` still count *elements*, not bytes.
+    EncodedChunk {
+        /// The round this chunk belongs to.
+        seq: u64,
+        /// The sender's current logical row.
+        worker: u32,
+        /// Starting coordinate of the chunk within the gradient vector.
+        offset: u32,
+        /// Total gradient dimension.
+        total: u32,
+        /// The codec that produced `bytes`; must match the negotiated
+        /// encoding (the master drops the link on a mismatch).
+        encoding: PayloadEncoding,
+        /// The codec's payload for this chunk.
+        bytes: Vec<u8>,
+    },
 }
 
 impl Frame {
@@ -119,10 +164,13 @@ impl Frame {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = vec![0u8; HEADER_LEN]; // length + tag backfilled
         match self {
-            Frame::Hello { version } => {
+            Frame::Hello { version, encodings } => {
                 out[4] = TAG_HELLO;
                 put_u32(&mut out, MAGIC);
                 put_u16(&mut out, *version);
+                // Capability bytes fill the remainder of the payload;
+                // an empty set emits the pre-compression layout.
+                out.extend_from_slice(encodings);
             }
             Frame::Handshake(h) => {
                 out[4] = TAG_HANDSHAKE;
@@ -151,11 +199,17 @@ impl Frame {
                 seq,
                 worker,
                 compute_seconds,
+                wire_error,
             } => {
                 out[4] = TAG_ROUND_DONE;
                 put_u64(&mut out, *seq);
                 put_u32(&mut out, *worker);
                 put_f64(&mut out, *compute_seconds);
+                // Written only when present: lossless links emit the
+                // pre-compression layout.
+                if wire_error.is_some() {
+                    put_opt_f64(&mut out, *wire_error);
+                }
             }
             Frame::Recode {
                 row,
@@ -168,6 +222,22 @@ impl Frame {
                 put_f64_vec(&mut out, coefficients);
             }
             Frame::Shutdown => out[4] = TAG_SHUTDOWN,
+            Frame::EncodedChunk {
+                seq,
+                worker,
+                offset,
+                total,
+                encoding,
+                bytes,
+            } => {
+                out[4] = TAG_ENCODED_CHUNK;
+                put_u64(&mut out, *seq);
+                put_u32(&mut out, *worker);
+                put_u32(&mut out, *offset);
+                put_u32(&mut out, *total);
+                out.push(encoding.to_byte());
+                put_byte_vec(&mut out, bytes);
+            }
         }
         let len = (out.len() - HEADER_LEN) as u32;
         debug_assert!(len <= MAX_FRAME_LEN, "encoder produced an oversized frame");
@@ -225,7 +295,11 @@ impl Frame {
                 if magic != MAGIC {
                     return Err(WireError::BadMagic { got: magic });
                 }
-                Frame::Hello { version: r.u16()? }
+                let version = r.u16()?;
+                // Whatever follows the version is the capability set; a
+                // pre-compression peer simply has none.
+                let encodings = r.remaining()?.to_vec();
+                Frame::Hello { version, encodings }
             }
             TAG_HANDSHAKE => Frame::Handshake(get_handshake(&mut r)?),
             TAG_ROUND => Frame::Round {
@@ -243,6 +317,11 @@ impl Frame {
                 seq: r.u64()?,
                 worker: r.u32()?,
                 compute_seconds: r.f64()?,
+                wire_error: if r.has_remaining() {
+                    r.opt_f64()?
+                } else {
+                    None
+                },
             },
             TAG_RECODE => Frame::Recode {
                 row: r.u32()?,
@@ -250,6 +329,17 @@ impl Frame {
                 coefficients: r.f64_vec()?,
             },
             TAG_SHUTDOWN => Frame::Shutdown,
+            TAG_ENCODED_CHUNK => Frame::EncodedChunk {
+                seq: r.u64()?,
+                worker: r.u32()?,
+                offset: r.u32()?,
+                total: r.u32()?,
+                encoding: {
+                    let value = r.u8()?;
+                    PayloadEncoding::from_byte(value).ok_or(WireError::UnknownEncoding { value })?
+                },
+                bytes: r.byte_vec()?,
+            },
             tag => return Err(WireError::UnknownTag { tag }),
         };
         if r.pos != r.buf.len() {
@@ -299,6 +389,11 @@ fn put_range_vec(out: &mut Vec<u8>, v: &[(u32, u32)]) {
         put_u32(out, lo);
         put_u32(out, hi);
     }
+}
+
+fn put_byte_vec(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
 }
 
 fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
@@ -368,6 +463,11 @@ fn put_handshake(out: &mut Vec<u8>, h: &Handshake) {
             put_u32(out, *num_classes);
         }
     }
+    // Payload encoding: trailing byte, written only for non-default
+    // encodings so an `f64` handshake keeps the pre-compression layout.
+    if h.encoding != PayloadEncoding::F64 {
+        out.push(h.encoding.to_byte());
+    }
 }
 
 // ------------------------------------------------------------ reading
@@ -394,6 +494,15 @@ impl Reader<'_> {
 
     fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
+    }
+
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
+    /// Consumes and returns every byte left in the payload.
+    fn remaining(&mut self) -> Result<&[u8], WireError> {
+        self.take(self.buf.len() - self.pos)
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
@@ -431,6 +540,11 @@ impl Reader<'_> {
             });
         }
         Ok(n)
+    }
+
+    fn byte_vec(&mut self) -> Result<Vec<u8>, WireError> {
+        let n = self.count(1)?;
+        Ok(self.take(n)?.to_vec())
     }
 
     fn f64_vec(&mut self) -> Result<Vec<f64>, WireError> {
@@ -527,6 +641,12 @@ fn get_handshake(r: &mut Reader<'_>) -> Result<Handshake, WireError> {
             })
         }
     };
+    let encoding = if r.has_remaining() {
+        let value = r.u8()?;
+        PayloadEncoding::from_byte(value).ok_or(WireError::UnknownEncoding { value })?
+    } else {
+        PayloadEncoding::F64
+    };
     Ok(Handshake {
         worker,
         num_params,
@@ -536,5 +656,6 @@ fn get_handshake(r: &mut Reader<'_>) -> Result<Handshake, WireError> {
         behavior,
         model,
         dataset: DatasetSpec { x, targets, dim },
+        encoding,
     })
 }

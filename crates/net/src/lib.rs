@@ -49,6 +49,7 @@ pub use conn::Connection;
 pub use engine::SocketEngine;
 pub use error::{NetError, WireError};
 pub use frame::{Frame, MAX_FRAME_LEN, VERSION};
+pub use hetgc_comm::PayloadEncoding;
 pub use spawn::WorkerFleet;
 pub use spec::{AnyModel, BehaviorSpec, DatasetSpec, Handshake, ModelSpec, TargetsSpec};
 pub use worker::{run_worker, run_worker_with_metrics};

@@ -10,6 +10,7 @@
 
 use std::time::Duration;
 
+use hetgc_comm::PayloadEncoding;
 use hetgc_ml::{Dataset, LinearRegression, Model, SoftmaxRegression, Targets};
 use hetgc_runtime::WorkerBehavior;
 
@@ -38,6 +39,12 @@ pub struct Handshake {
     /// The full training data (loopback-scale; a production data plane
     /// would ship a shard manifest instead).
     pub dataset: DatasetSpec,
+    /// The payload encoding this link negotiated for gradient traffic.
+    /// The master selects it from the worker's `Hello` capability set
+    /// ([`PayloadEncoding::F64`] — the wire default — for peers that
+    /// advertise nothing); the worker must ship its coded partials in
+    /// exactly this encoding.
+    pub encoding: PayloadEncoding,
 }
 
 /// Wire form of [`WorkerBehavior`].

@@ -11,6 +11,7 @@
 use std::net::ToSocketAddrs;
 use std::time::{Duration, Instant};
 
+use hetgc_comm::{AnyWireCodec, ErrorFeedback, PayloadEncoding, WireCodec};
 use hetgc_ml::{Dataset, Model};
 use hetgc_obs::{Counter, Histogram, MetricsRegistry};
 use hetgc_runtime::WorkerBehavior;
@@ -54,7 +55,10 @@ pub fn run_worker_with_metrics<A: ToSocketAddrs>(
     registry: Option<MetricsRegistry>,
 ) -> Result<(), NetError> {
     let mut conn = Connection::connect(addr)?;
-    conn.send(&Frame::Hello { version: VERSION })?;
+    conn.send(&Frame::Hello {
+        version: VERSION,
+        encodings: PayloadEncoding::advertised(),
+    })?;
     let handshake = match conn.recv()? {
         Frame::Handshake(h) => h,
         other => {
@@ -116,6 +120,7 @@ fn serve(
         behavior,
         model,
         dataset,
+        encoding,
     } = handshake;
     let model = model.build();
     if model.num_params() != num_params as usize {
@@ -137,6 +142,16 @@ fn serve(
     // per-round allocations are the outgoing frame encodings.
     let mut coded: Vec<f64> = Vec::new();
     let mut partial: Vec<f64> = Vec::new();
+    // On a lossy link the coded partial is quantized before it ships;
+    // the quantization residual is carried into the next round (EF-SGD)
+    // so lossy traffic does not bias convergence. The scratch buffers
+    // reach steady-state capacity after the first round.
+    let mut lossy = (encoding != PayloadEncoding::F64).then(|| LossyLink {
+        codec: AnyWireCodec::for_encoding(encoding),
+        feedback: ErrorFeedback::new(num_params as usize),
+        wire: Vec::new(),
+        roundtrip: vec![0.0; num_params as usize],
+    });
     loop {
         let mut frame = match conn.recv() {
             Ok(f) => f,
@@ -197,8 +212,30 @@ fn serve(
             m.rounds.inc();
             m.compute.observe(started.elapsed().as_secs_f64());
         }
-        stream_reply(&mut conn, &assignment, seq, &coded, chunk_len, started)?;
+        match &mut lossy {
+            Some(link) => stream_encoded_reply(
+                &mut conn,
+                &assignment,
+                seq,
+                &mut coded,
+                chunk_len,
+                started,
+                link,
+            )?,
+            None => stream_reply(&mut conn, &assignment, seq, &coded, chunk_len, started)?,
+        }
     }
+}
+
+/// Per-link state of a lossy (non-`f64`) wire encoding.
+struct LossyLink {
+    codec: AnyWireCodec,
+    feedback: ErrorFeedback,
+    /// Reused encode buffer for one chunk's wire bytes.
+    wire: Vec<u8>,
+    /// Reused dequantized image of the whole coded partial — what the
+    /// master will reconstruct, and hence what feeds error feedback.
+    roundtrip: Vec<f64>,
 }
 
 fn to_usize_ranges(ranges: &[(u32, u32)]) -> Vec<(usize, usize)> {
@@ -275,5 +312,49 @@ fn stream_reply(
         // Effective duration including throttle/delay sleeps — the
         // emulated speed, exactly what the threaded worker reports.
         compute_seconds: started.elapsed().as_secs_f64(),
+        wire_error: None,
+    })
+}
+
+/// [`stream_reply`]'s lossy sibling: folds the carried error-feedback
+/// residual into the coded partial, quantizes it chunk by chunk into
+/// [`Frame::EncodedChunk`]s, absorbs what quantization dropped back into
+/// the accumulator, and reports the round's measured quantization error
+/// on the [`Frame::RoundDone`].
+#[allow(clippy::too_many_arguments)]
+fn stream_encoded_reply(
+    conn: &mut Connection,
+    assignment: &Assignment,
+    seq: u64,
+    coded: &mut [f64],
+    chunk_len: usize,
+    started: Instant,
+    link: &mut LossyLink,
+) -> Result<(), NetError> {
+    link.feedback.apply(coded);
+    let total = coded.len() as u32;
+    let encoding = link.codec.encoding();
+    let mut err_sq = 0.0;
+    for (i, (chunk, ship)) in coded
+        .chunks(chunk_len)
+        .zip(link.roundtrip.chunks_mut(chunk_len))
+        .enumerate()
+    {
+        err_sq += link.codec.encode_roundtrip(chunk, &mut link.wire, ship)?;
+        conn.send(&Frame::EncodedChunk {
+            seq,
+            worker: assignment.row,
+            offset: (i * chunk_len) as u32,
+            total,
+            encoding,
+            bytes: link.wire.clone(),
+        })?;
+    }
+    link.feedback.absorb(coded, &link.roundtrip);
+    conn.send(&Frame::RoundDone {
+        seq,
+        worker: assignment.row,
+        compute_seconds: started.elapsed().as_secs_f64(),
+        wire_error: Some(err_sq.sqrt()),
     })
 }

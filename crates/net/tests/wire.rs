@@ -5,8 +5,8 @@
 
 use hetgc_net::frame::HEADER_LEN;
 use hetgc_net::{
-    BehaviorSpec, DatasetSpec, Frame, Handshake, ModelSpec, TargetsSpec, WireError, MAX_FRAME_LEN,
-    VERSION,
+    BehaviorSpec, DatasetSpec, Frame, Handshake, ModelSpec, PayloadEncoding, TargetsSpec,
+    WireError, MAX_FRAME_LEN, VERSION,
 };
 use proptest::prelude::*;
 
@@ -33,9 +33,17 @@ fn handshake() -> impl Strategy<Value = Handshake> {
         f64s(6),
         (any::<u64>(), any::<bool>(), finite(), any::<bool>()),
         (f64s(24), 1u32..8, any::<bool>()),
+        0u8..4,
     )
         .prop_map(
-            |((worker, num_params, chunk_len), ranges, coefficients, behavior, dataset)| {
+            |(
+                (worker, num_params, chunk_len),
+                ranges,
+                coefficients,
+                behavior,
+                dataset,
+                encoding,
+            )| {
                 let (delay, has_throttle, rate, fail) = behavior;
                 let (x, dim, classes) = dataset;
                 let targets = if classes {
@@ -64,6 +72,7 @@ fn handshake() -> impl Strategy<Value = Handshake> {
                         ModelSpec::Linear { dim: num_params }
                     },
                     dataset: DatasetSpec { x, targets, dim },
+                    encoding: PayloadEncoding::from_byte(encoding).expect("0..4 are all known"),
                 }
             },
         )
@@ -72,17 +81,23 @@ fn handshake() -> impl Strategy<Value = Handshake> {
 /// One strategy producing every frame variant.
 fn frame() -> impl Strategy<Value = Frame> {
     (
-        0usize..7,
+        0usize..8,
         (any::<u64>(), 0u32..64, 0u32..1024, 1u32..2048),
         f64s(32),
         ranges(6),
-        finite(),
+        (finite(), any::<bool>(), 0u8..4),
         handshake(),
     )
-        .prop_map(|(which, ints, data, rs, x, h)| {
+        .prop_map(|(which, ints, data, rs, (x, some, enc), h)| {
             let (seq, worker, offset, total) = ints;
             match which {
-                0 => Frame::Hello { version: VERSION },
+                0 => Frame::Hello {
+                    version: VERSION,
+                    // Capability sets are arbitrary bytes on the wire —
+                    // including empty (a pre-compression peer) and bytes
+                    // this build does not know.
+                    encodings: data.iter().map(|&v| v.to_bits() as u8).take(4).collect(),
+                },
                 1 => Frame::Shutdown,
                 2 => Frame::Round { seq, params: data },
                 3 => Frame::GradientChunk {
@@ -96,11 +111,20 @@ fn frame() -> impl Strategy<Value = Frame> {
                     seq,
                     worker,
                     compute_seconds: x,
+                    wire_error: some.then_some(x.abs()),
                 },
                 5 => Frame::Recode {
                     row: worker,
                     ranges: rs,
                     coefficients: data,
+                },
+                6 => Frame::EncodedChunk {
+                    seq,
+                    worker,
+                    offset,
+                    total,
+                    encoding: PayloadEncoding::from_byte(enc).expect("0..4 are all known"),
+                    bytes: data.iter().map(|&v| v.to_bits() as u8).collect(),
                 },
                 _ => Frame::Handshake(h),
             }
@@ -215,7 +239,11 @@ fn unknown_tag_is_typed() {
 fn wrong_magic_is_typed() {
     // A Hello carrying the wrong magic is a foreign peer, not a version
     // mismatch.
-    let mut raw = Frame::Hello { version: VERSION }.encode();
+    let mut raw = Frame::Hello {
+        version: VERSION,
+        encodings: Vec::new(),
+    }
+    .encode();
     raw[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&0xdead_beefu32.to_le_bytes());
     assert_eq!(
         Frame::decode(&raw).unwrap_err(),
@@ -232,6 +260,84 @@ fn trailing_payload_bytes_are_corrupt() {
         Frame::decode(&raw),
         Err(WireError::Corrupt { .. })
     ));
+}
+
+#[test]
+fn default_extension_fields_stay_byte_identical() {
+    // The PR-10 extension fields (Hello capabilities, Handshake
+    // encoding, RoundDone wire_error) are only written when non-default,
+    // so default frames keep the exact pre-compression layout: an
+    // empty-capability Hello is magic(4) + version(2), nothing more.
+    let hello = Frame::Hello {
+        version: VERSION,
+        encodings: Vec::new(),
+    }
+    .encode();
+    assert_eq!(hello.len(), HEADER_LEN + 4 + 2);
+    // And a lossless RoundDone is seq(8) + worker(4) + compute(8).
+    let done = Frame::RoundDone {
+        seq: 7,
+        worker: 3,
+        compute_seconds: 0.25,
+        wire_error: None,
+    }
+    .encode();
+    assert_eq!(done.len(), HEADER_LEN + 8 + 4 + 8);
+}
+
+#[test]
+fn unknown_handshake_encoding_is_typed() {
+    let h = Handshake {
+        worker: 0,
+        num_params: 4,
+        chunk_len: 2,
+        ranges: vec![(0, 4)],
+        coefficients: vec![1.0],
+        behavior: BehaviorSpec {
+            extra_delay_micros: 0,
+            throttle: None,
+            throttle_step: None,
+            fail_from: None,
+        },
+        model: ModelSpec::Linear { dim: 4 },
+        dataset: DatasetSpec {
+            x: vec![],
+            targets: TargetsSpec::Regression(vec![]),
+            dim: 1,
+        },
+        encoding: PayloadEncoding::Int8,
+    };
+    // A non-default encoding rides as the final payload byte; a value
+    // this build does not implement must be a typed rejection, never a
+    // silent f64 fallback.
+    let mut raw = Frame::Handshake(h).encode();
+    assert_eq!(*raw.last().unwrap(), PayloadEncoding::Int8.to_byte());
+    *raw.last_mut().unwrap() = 0x09;
+    assert_eq!(
+        Frame::decode(&raw).unwrap_err(),
+        WireError::UnknownEncoding { value: 0x09 }
+    );
+}
+
+#[test]
+fn unknown_chunk_encoding_is_typed() {
+    let mut raw = Frame::EncodedChunk {
+        seq: 1,
+        worker: 0,
+        offset: 0,
+        total: 4,
+        encoding: PayloadEncoding::Bf16,
+        bytes: vec![0xAA, 0xBB],
+    }
+    .encode();
+    // Payload layout: seq(8) worker(4) offset(4) total(4) encoding(1).
+    let idx = HEADER_LEN + 8 + 4 + 4 + 4;
+    assert_eq!(raw[idx], PayloadEncoding::Bf16.to_byte());
+    raw[idx] = 0x7f;
+    assert_eq!(
+        Frame::decode(&raw).unwrap_err(),
+        WireError::UnknownEncoding { value: 0x7f }
+    );
 }
 
 #[test]
@@ -256,6 +362,7 @@ fn presence_byte_other_than_01_is_corrupt() {
             targets: TargetsSpec::Regression(vec![]),
             dim: 1,
         },
+        encoding: PayloadEncoding::F64,
     };
     let mut raw = Frame::Handshake(h).encode();
     // Payload layout: worker(4) num_params(4) chunk_len(4) ranges(4+8)

@@ -19,6 +19,8 @@ pub struct RunObserver {
     round_seconds: Histogram,
     bytes_sent: Counter,
     bytes_received: Counter,
+    wire_bytes_saved: Counter,
+    wire_quant_error: Histogram,
     arrivals: Vec<Histogram>,
     recorder: Option<Recorder>,
 }
@@ -64,6 +66,16 @@ impl RunObserver {
                 "Bytes received from workers",
                 job_label,
             ),
+            wire_bytes_saved: registry.counter(
+                "hetgc_wire_bytes_saved_total",
+                "Payload bytes saved by lossy wire encodings vs full-width f64",
+                job_label,
+            ),
+            wire_quant_error: registry.histogram(
+                "hetgc_wire_quantization_error",
+                "Per-round L2 quantization error of lossy wire traffic",
+                job_label,
+            ),
             arrivals,
             recorder: None,
         }
@@ -89,6 +101,16 @@ impl RunObserver {
         }
         self.bytes_sent.add(bytes_sent);
         self.bytes_received.add(bytes_received);
+    }
+
+    /// Records one round's wire-compression outcome: bytes the lossy
+    /// payload encodings saved versus full-width `f64` traffic, and the
+    /// measured L2 quantization error they introduced. The driver only
+    /// calls this on rounds that actually moved compressed traffic, so
+    /// lossless runs register the families but never populate them.
+    pub fn observe_wire(&self, bytes_saved: u64, quantization_error: f64) {
+        self.wire_bytes_saved.add(bytes_saved);
+        self.wire_quant_error.observe(quantization_error);
     }
 
     /// Records a round that failed to decode.
@@ -206,6 +228,8 @@ mod tests {
         let obs = RunObserver::new(&reg, "job-a", 3);
         obs.observe_round(0.5, 0.0, 100, 200);
         obs.observe_round(0.7, 1e-3, 50, 60);
+        obs.observe_wire(4096, 0.25);
+        obs.observe_wire(4096, 0.5);
         obs.observe_failed_round();
         obs.observe_arrival(0, 0.01);
         obs.observe_arrival(2, 0.02);
@@ -223,6 +247,17 @@ mod tests {
             snap.get("hetgc_bytes_sent_total", &[("job", "job-a")]),
             Some(&MetricValue::Counter(150))
         );
+        assert_eq!(
+            snap.get("hetgc_wire_bytes_saved_total", &[("job", "job-a")]),
+            Some(&MetricValue::Counter(8192))
+        );
+        match snap.get("hetgc_wire_quantization_error", &[("job", "job-a")]) {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 2);
+                assert!((h.sum - 0.75).abs() < 1e-12);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
         match snap.get(
             "hetgc_arrival_seconds",
             &[("job", "job-a"), ("worker", "2")],

@@ -6,6 +6,7 @@
 pub use hetgc;
 pub use hetgc_cluster as cluster;
 pub use hetgc_coding as coding;
+pub use hetgc_comm as comm;
 pub use hetgc_linalg as linalg;
 pub use hetgc_ml as ml;
 pub use hetgc_net as net;
